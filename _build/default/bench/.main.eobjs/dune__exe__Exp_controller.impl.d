@@ -1,0 +1,1 @@
+bench/exp_controller.ml: Buffer Chunk Controller Dummy_mb Engine Errors List Mb_agent Openmb_apps Openmb_core Openmb_net Openmb_sim Openmb_wire Printf Stats Time Util

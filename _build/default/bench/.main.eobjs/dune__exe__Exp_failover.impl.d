@@ -1,0 +1,1 @@
+bench/exp_failover.ml: Addr Array Controller Engine Failover List Mb_base Nat Openmb_apps Openmb_core Openmb_mbox Openmb_net Openmb_sim Packet Payload Printf Scenario Switch Time Util

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_controller Exp_failover Exp_mb Exp_micro Exp_scenarios List Printf String Sys

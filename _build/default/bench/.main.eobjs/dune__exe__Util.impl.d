@@ -1,0 +1,1 @@
+bench/util.ml: Openmb_sim Printf String

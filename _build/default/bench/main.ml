@@ -1,0 +1,72 @@
+(* OpenMB benchmark harness.
+
+   Regenerates every table and figure of the paper's evaluation (§8)
+   plus the design-choice ablations.  With no arguments it runs the
+   whole battery; pass experiment names to run a subset:
+
+     dune exec bench/main.exe             # everything
+     dune exec bench/main.exe table3 fig8 # a subset
+     dune exec bench/main.exe -- --list   # available experiments *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ("fig7", "MB actions during scale-up (timeline)", Exp_scenarios.fig7);
+    ("fig8", "flow-duration CDF and deprecated-MB hold-up", Exp_scenarios.fig8);
+    ("table2", "applicability matrix of MB control schemes", Exp_scenarios.table2);
+    ("table3", "RE in live migration: encoded vs. undecodable", Exp_scenarios.table3);
+    ("fig9ab", "get/put processing time vs. state chunks", Exp_mb.fig9ab);
+    ("fig9cd", "re-process events vs. packet rate", Exp_mb.fig9cd);
+    ("fig10a", "controller move time, with/without events", Exp_controller.fig10a);
+    ("fig10b", "controller move time vs. simultaneous moves", Exp_controller.fig10b);
+    ("snapshot", "VM-snapshot baseline sizes and log damage", Exp_scenarios.snapshot);
+    ("splitmerge", "Split/Merge halt-and-buffer latency", Exp_scenarios.splitmerge);
+    ("correctness", "migrated-MB output equals unmodified MB", Exp_scenarios.correctness);
+    ("latency", "per-packet latency, normal vs. during get", Exp_mb.latency);
+    ("compression", "state-transfer compression (section 8.3)", Exp_controller.compression);
+    ( "ablation-events",
+      "what breaks without re-process events",
+      Exp_scenarios.ablation_events );
+    ( "ablation-delete",
+      "immediate vs. quiescence-deferred delete",
+      Exp_scenarios.ablation_delete );
+    ( "ablation-broker",
+      "controller-brokered vs. direct transfer",
+      Exp_controller.ablation_broker );
+    ( "ablation-scan",
+      "linear-scan get vs. indexed lookup (footnote 6)",
+      Exp_micro.scan_vs_index );
+    ("failover", "failure-recovery options quantified (section 2)", Exp_failover.run);
+    ("micro", "Bechamel micro-benchmarks of hot primitives", Exp_micro.run);
+  ]
+
+let list_experiments () =
+  print_endline "Available experiments:";
+  List.iter (fun (name, descr, _) -> Printf.printf "  %-16s %s\n" name descr) experiments
+
+let run_one name =
+  match List.find_opt (fun (n, _, _) -> String.equal n name) experiments with
+  | Some (_, _, f) -> f ()
+  | None ->
+    Printf.eprintf "unknown experiment %S\n" name;
+    list_experiments ();
+    exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] ->
+    List.iter
+      (fun (name, _, f) ->
+        Printf.printf "\n>>> %s\n%!" name;
+        f ();
+        Printf.printf "%!")
+      experiments
+  | _ :: args ->
+    List.iter
+      (fun arg ->
+        match arg with
+        | "--list" | "-l" -> list_experiments ()
+        | name ->
+          run_one name;
+          Printf.printf "%!")
+      args
+  | [] -> assert false

@@ -1,0 +1,19 @@
+(* Shared helpers for the benchmark harness. *)
+
+let banner title =
+  let line = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" line title line
+
+let section title = Printf.printf "\n--- %s ---\n" title
+
+let row fmt = Printf.printf fmt
+
+let paper_note fmt =
+  Printf.printf "  [paper] ";
+  Printf.printf fmt
+
+(* Run a function over a fresh engine-driven setup and hand back the
+   result once the simulation drains. *)
+let ms t = Openmb_sim.Time.to_ms t
+
+let mb bytes = float_of_int bytes /. 1e6

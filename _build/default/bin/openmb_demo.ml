@@ -1,0 +1,254 @@
+(* openmb_demo — command-line front end to the OpenMB scenarios.
+
+   Subcommands:
+     migrate   IDS live migration with a configurable trace
+     scale     monitor scale-up/scale-down cycle
+     failover  NAT failure recovery via introspection events
+     re        redundancy-elimination decoder migration
+     traces    inspect the synthetic trace generators *)
+
+open Cmdliner
+open Openmb_sim
+open Openmb_net
+open Openmb_mbox
+open Openmb_apps
+
+let quiesce_ctrl =
+  { Openmb_core.Controller.default_config with quiescence = Time.ms 500.0 }
+
+(* --------------------------- migrate ------------------------------ *)
+
+let run_migrate http_flows other_flows duration migrate_at seed =
+  let params =
+    {
+      Openmb_traffic.Cloud_trace.default_params with
+      n_http_flows = http_flows;
+      n_other_flows = other_flows;
+      duration;
+      seed;
+    }
+  in
+  let http_prefix = params.Openmb_traffic.Cloud_trace.cloud_http in
+  let trace = Openmb_traffic.Cloud_trace.generate params in
+  Printf.printf "trace: %d packets, %.0f s\n"
+    (Openmb_traffic.Trace.packet_count trace)
+    (Time.to_seconds (Openmb_traffic.Trace.duration trace));
+  let scenario = Scenario.create ~ctrl_config:quiesce_ctrl () in
+  let engine = Scenario.engine scenario in
+  let a = Ids.create engine ~name:"ids-a" () in
+  let b = Ids.create engine ~name:"ids-b" () in
+  Scenario.attach_mb scenario ~port:"a" ~receive:(Ids.receive a) ~base:(Ids.base a)
+    ~impl:(Ids.impl a);
+  Scenario.attach_mb scenario ~port:"b" ~receive:(Ids.receive b) ~base:(Ids.base b)
+    ~impl:(Ids.impl b);
+  Scenario.install_default_route scenario ~port:"a";
+  Scenario.inject scenario trace ~into:(Switch.receive (Scenario.switch scenario));
+  Scenario.at scenario (Time.seconds migrate_at) (fun () ->
+      Printf.printf "t=%.1fs migrating HTTP flows\n" migrate_at;
+      Migrate.migrate_perflow scenario ~src:"ids-a" ~dst:"ids-b"
+        ~key:[ Hfl.Dst_ip http_prefix ]
+        ~also_route:[ [ Hfl.Src_ip http_prefix ] ]
+        ~dst_port:"b"
+        ~on_done:(fun r ->
+          match r.Migrate.move with
+          | Some mr ->
+            Printf.printf "t=%.2fs move returned: %d chunks, %d bytes, %d events\n"
+              (Time.to_seconds (Engine.now engine))
+              mr.Openmb_core.Controller.chunks_moved mr.Openmb_core.Controller.bytes_moved
+              mr.Openmb_core.Controller.events_forwarded
+          | None -> ())
+        ());
+  Scenario.run scenario;
+  Ids.finalize a;
+  Ids.finalize b;
+  Printf.printf "conn.log: %d entries at A, %d at B; anomalies %d; alerts %d\n"
+    (List.length (Ids.conn_log a))
+    (List.length (Ids.conn_log b))
+    (Ids.anomalous_entries a + Ids.anomalous_entries b)
+    (List.length (Ids.alerts a) + List.length (Ids.alerts b))
+
+(* ---------------------------- scale ------------------------------- *)
+
+let run_scale flows duration up_at down_at seed =
+  let trace =
+    Openmb_traffic.Cloud_trace.generate
+      {
+        Openmb_traffic.Cloud_trace.default_params with
+        n_http_flows = flows;
+        n_other_flows = flows / 2;
+        n_scanners = 0;
+        duration;
+        seed;
+      }
+  in
+  let scenario = Scenario.create ~ctrl_config:quiesce_ctrl () in
+  let engine = Scenario.engine scenario in
+  let m1 = Monitor.create engine ~name:"prads1" () in
+  let m2 = Monitor.create engine ~name:"prads2" () in
+  Scenario.attach_mb scenario ~port:"mb1" ~receive:(Monitor.receive m1)
+    ~base:(Monitor.base m1) ~impl:(Monitor.impl m1);
+  Scenario.attach_mb scenario ~port:"mb2" ~receive:(Monitor.receive m2)
+    ~base:(Monitor.base m2) ~impl:(Monitor.impl m2);
+  Scenario.install_default_route scenario ~port:"mb1";
+  Scenario.inject scenario trace ~into:(Switch.receive (Scenario.switch scenario));
+  Scenario.at scenario (Time.seconds up_at) (fun () ->
+      Printf.printf "t=%.1fs scale up\n" up_at;
+      Scale.scale_up scenario ~existing:"prads1" ~fresh:"prads2"
+        ~rebalance:[ Hfl.Src_ip (Addr.prefix_of_string "10.0.0.0/17") ]
+        ~dst_port:"mb2"
+        ~on_done:(fun r ->
+          Printf.printf "t=%.2fs scale-up moved %d chunks\n"
+            (Time.to_seconds (Engine.now engine))
+            r.Scale.move.Openmb_core.Controller.chunks_moved)
+        ());
+  Scenario.at scenario (Time.seconds down_at) (fun () ->
+      Printf.printf "t=%.1fs scale down\n" down_at;
+      Scale.scale_down scenario ~deprecated:"prads2" ~survivor:"prads1" ~dst_port:"mb1"
+        ~on_done:(fun r ->
+          Printf.printf "t=%.2fs scale-down merged %d shared chunk(s)\n"
+            (Time.to_seconds (Engine.now engine))
+            r.Scale.merged.Openmb_core.Controller.chunks_moved)
+        ());
+  Scenario.run scenario;
+  let t1 = Monitor.totals m1 and t2 = Monitor.totals m2 in
+  Printf.printf "totals: %d pkts (%d survivor + %d residual), %d flows\n"
+    (t1.Monitor.tot_pkts + t2.Monitor.tot_pkts)
+    t1.Monitor.tot_pkts t2.Monitor.tot_pkts
+    (t1.Monitor.tot_new_flows + t2.Monitor.tot_new_flows)
+
+(* --------------------------- failover ----------------------------- *)
+
+let run_failover conns fail_at =
+  let scenario = Scenario.create ~ctrl_config:quiesce_ctrl () in
+  let engine = Scenario.engine scenario in
+  let internal = Addr.prefix_of_string "10.0.0.0/8" in
+  let public = Addr.of_string "5.5.5.5" in
+  let nat1 = Nat.create engine ~name:"nat1" ~external_ip:public ~internal_prefix:internal () in
+  let nat2 = Nat.create engine ~name:"nat2" ~external_ip:public ~internal_prefix:internal () in
+  Scenario.attach_mb scenario ~port:"nat1" ~receive:(Nat.receive nat1)
+    ~base:(Nat.base nat1) ~impl:(Nat.impl nat1);
+  Scenario.attach_mb scenario ~port:"nat2" ~receive:(Nat.receive nat2)
+    ~base:(Nat.base nat2) ~impl:(Nat.impl nat2);
+  Scenario.install_default_route scenario ~port:"nat1";
+  let watcher = Failover.watch scenario ~mb:"nat1" ~codes:[ "nat.new_mapping" ] () in
+  for i = 0 to conns - 1 do
+    let ts = 0.2 +. (0.02 *. float_of_int i) in
+    let p =
+      Packet.make ~id:i ~ts:(Time.seconds ts)
+        ~src_ip:(Addr.of_string (Printf.sprintf "10.0.%d.%d" (i / 200) (1 + (i mod 200))))
+        ~dst_ip:(Addr.of_string "1.1.1.5") ~src_port:(5000 + i) ~dst_port:443
+        ~proto:Packet.Tcp ()
+    in
+    Scenario.at scenario (Time.seconds ts) (fun () ->
+        Switch.receive (Scenario.switch scenario) p)
+  done;
+  Scenario.at scenario (Time.seconds fail_at) (fun () ->
+      Printf.printf "t=%.1fs primary fails (%d mappings mirrored)\n" fail_at
+        (Failover.tracked watcher);
+      Failover.fail_over watcher ~replacement:"nat2" ~dst_port:"nat2"
+        ~on_done:(fun r ->
+          Printf.printf "t=%.2fs recovered: %d mappings restored\n"
+            (Time.to_seconds (Engine.now engine))
+            r.Failover.restored)
+        ());
+  Scenario.run scenario;
+  Printf.printf "replacement holds %d mappings\n" (Nat.mapping_count nat2)
+
+(* ------------------------------ re -------------------------------- *)
+
+let run_re flows pkts migrate_at =
+  let params =
+    {
+      Openmb_traffic.Redundancy_trace.default_params with
+      n_flows_a = flows;
+      n_flows_b = flows;
+      packets_per_flow = pkts;
+      duration = migrate_at *. 2.5;
+    }
+  in
+  let scenario = Scenario.create ~ctrl_config:quiesce_ctrl () in
+  let engine = Scenario.engine scenario in
+  let enc = Re_encoder.create engine ~name:"enc" () in
+  let dec_a = Re_decoder.create engine ~name:"dec-a" () in
+  let dec_b = Re_decoder.create engine ~name:"dec-b" () in
+  Scenario.attach_mb scenario ~port:"decA" ~receive:(Re_decoder.receive dec_a)
+    ~base:(Re_decoder.base dec_a) ~impl:(Re_decoder.impl dec_a);
+  Scenario.attach_mb scenario ~port:"decB" ~receive:(Re_decoder.receive dec_b)
+    ~base:(Re_decoder.base dec_b) ~impl:(Re_decoder.impl dec_b);
+  Scenario.install_default_route scenario ~port:"decA";
+  Openmb_core.Controller.connect (Scenario.controller scenario)
+    (Openmb_core.Mb_agent.create engine ~impl:(Re_encoder.impl enc) ());
+  Mb_base.set_egress (Re_encoder.base enc) (Switch.receive (Scenario.switch scenario));
+  let trace = Openmb_traffic.Redundancy_trace.generate params in
+  Scenario.inject scenario trace ~into:(Re_encoder.receive enc);
+  Scenario.at scenario (Time.seconds migrate_at) (fun () ->
+      Printf.printf "t=%.1fs migrating the class-B decoder\n" migrate_at;
+      Migrate.migrate_re scenario ~orig_decoder:"dec-a" ~new_decoder:"dec-b"
+        ~encoder:"enc" ~keep_prefix:params.Openmb_traffic.Redundancy_trace.class_a
+        ~move_prefix:params.Openmb_traffic.Redundancy_trace.class_b ~dst_port:"decB" ());
+  Scenario.run scenario;
+  Printf.printf "encoder eliminated %.2f MB of redundancy across %d caches\n"
+    (float_of_int (Re_encoder.encoded_bytes enc) /. 1e6)
+    (Re_encoder.num_caches enc);
+  Printf.printf "decoded: A %d pkts, B %d pkts; undecodable bytes: %d\n"
+    (Re_decoder.packets_decoded dec_a)
+    (Re_decoder.packets_decoded dec_b)
+    (Re_decoder.undecodable_bytes dec_a + Re_decoder.undecodable_bytes dec_b)
+
+(* ----------------------------- traces ------------------------------ *)
+
+let run_traces () =
+  let show name t =
+    Printf.printf "%-12s %8d packets  %10d payload bytes  %8.1f s\n" name
+      (Openmb_traffic.Trace.packet_count t)
+      (Openmb_traffic.Trace.payload_bytes t)
+      (Time.to_seconds (Openmb_traffic.Trace.duration t))
+  in
+  show "cloud" (Openmb_traffic.Cloud_trace.generate Openmb_traffic.Cloud_trace.default_params);
+  show "university"
+    (Openmb_traffic.University_dc.generate
+       { Openmb_traffic.University_dc.default_params with n_flows = 500 });
+  show "redundancy"
+    (Openmb_traffic.Redundancy_trace.generate Openmb_traffic.Redundancy_trace.default_params);
+  show "cbr" (Openmb_traffic.Cbr.generate Openmb_traffic.Cbr.default_params)
+
+(* ------------------------------ CLI -------------------------------- *)
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let migrate_cmd =
+  let http = Arg.(value & opt int 80 & info [ "http-flows" ] ~doc:"HTTP flows.") in
+  let other = Arg.(value & opt int 40 & info [ "other-flows" ] ~doc:"Other flows.") in
+  let duration = Arg.(value & opt float 30.0 & info [ "duration" ] ~doc:"Trace seconds.") in
+  let at = Arg.(value & opt float 12.0 & info [ "at" ] ~doc:"Migration instant (s).") in
+  Cmd.v (Cmd.info "migrate" ~doc:"IDS live migration")
+    Term.(const run_migrate $ http $ other $ duration $ at $ seed_arg)
+
+let scale_cmd =
+  let flows = Arg.(value & opt int 100 & info [ "flows" ] ~doc:"HTTP flows.") in
+  let duration = Arg.(value & opt float 40.0 & info [ "duration" ] ~doc:"Trace seconds.") in
+  let up = Arg.(value & opt float 10.0 & info [ "up-at" ] ~doc:"Scale-up instant.") in
+  let down = Arg.(value & opt float 28.0 & info [ "down-at" ] ~doc:"Scale-down instant.") in
+  Cmd.v (Cmd.info "scale" ~doc:"Monitor scale-up/down cycle")
+    Term.(const run_scale $ flows $ duration $ up $ down $ seed_arg)
+
+let failover_cmd =
+  let conns = Arg.(value & opt int 25 & info [ "connections" ] ~doc:"Active connections.") in
+  let at = Arg.(value & opt float 4.0 & info [ "at" ] ~doc:"Failure instant (s).") in
+  Cmd.v (Cmd.info "failover" ~doc:"NAT failure recovery")
+    Term.(const run_failover $ conns $ at)
+
+let re_cmd =
+  let flows = Arg.(value & opt int 40 & info [ "flows" ] ~doc:"Flows per class.") in
+  let pkts = Arg.(value & opt int 40 & info [ "packets" ] ~doc:"Packets per flow.") in
+  let at = Arg.(value & opt float 12.0 & info [ "at" ] ~doc:"Migration instant (s).") in
+  Cmd.v (Cmd.info "re" ~doc:"RE decoder live migration")
+    Term.(const run_re $ flows $ pkts $ at)
+
+let traces_cmd =
+  Cmd.v (Cmd.info "traces" ~doc:"Describe the synthetic traces")
+    Term.(const run_traces $ const ())
+
+let () =
+  let info = Cmd.info "openmb_demo" ~doc:"OpenMB software-defined middlebox scenarios" in
+  exit (Cmd.eval (Cmd.group info [ migrate_cmd; scale_cmd; failover_cmd; re_cmd; traces_cmd ]))

@@ -1,0 +1,1 @@
+examples/elastic_scaling.ml: Addr Engine Hfl Monitor Openmb_apps Openmb_core Openmb_mbox Openmb_net Openmb_sim Openmb_traffic Printf Scale Scenario Switch Time

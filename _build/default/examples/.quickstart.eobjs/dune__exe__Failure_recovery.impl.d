@@ -1,0 +1,1 @@
+examples/failure_recovery.ml: Addr Engine Failover Nat Openmb_apps Openmb_core Openmb_mbox Openmb_net Openmb_sim Packet Printf Scenario Switch Time

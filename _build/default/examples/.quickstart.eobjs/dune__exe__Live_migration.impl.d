@@ -1,0 +1,1 @@
+examples/live_migration.ml: Engine Five_tuple Hfl Ids List Migrate Openmb_apps Openmb_core Openmb_mbox Openmb_net Openmb_sim Openmb_traffic Printf Scenario String Switch Time

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addr Config_tree Controller Engine Errors Firewall Hfl Json List Mb_agent Mb_base Openmb_core Openmb_mbox Openmb_net Openmb_sim Openmb_wire Packet Printf Southbound Time

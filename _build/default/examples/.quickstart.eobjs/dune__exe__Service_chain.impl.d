@@ -1,0 +1,1 @@
+examples/service_chain.ml: Addr Controller Engine Errors Firewall Hfl List Load_balancer Mb_agent Nat Openmb_apps Openmb_core Openmb_mbox Openmb_net Openmb_sim Packet Printf Scenario Switch Time

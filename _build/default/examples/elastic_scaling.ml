@@ -1,0 +1,86 @@
+(* Elastic scaling of a monitoring middlebox (§6.2 / Figure 3).
+
+   A PRADS-like monitor watches all traffic.  When load rises, the
+   control application brings up a second instance, asks [stats] how
+   much per-flow state the rebalanced subnet holds, moves that state
+   and reroutes — then scales back down later, merging the shared
+   counters so nothing is over- or under-reported.
+
+   Run with:  dune exec examples/elastic_scaling.exe *)
+
+open Openmb_sim
+open Openmb_net
+open Openmb_mbox
+open Openmb_apps
+
+let () =
+  let trace =
+    Openmb_traffic.Cloud_trace.generate
+      {
+        Openmb_traffic.Cloud_trace.default_params with
+        n_http_flows = 100;
+        n_other_flows = 50;
+        n_scanners = 0;
+        duration = 40.0;
+      }
+  in
+  (* Reference totals from a single unscaled instance. *)
+  let reference =
+    let engine = Engine.create () in
+    let m = Monitor.create engine ~name:"reference" () in
+    Openmb_traffic.Trace.replay engine trace ~into:(Monitor.receive m);
+    Engine.run engine;
+    Monitor.totals m
+  in
+
+  let scenario =
+    Scenario.create
+      ~ctrl_config:
+        { Openmb_core.Controller.default_config with quiescence = Time.ms 500.0 }
+      ()
+  in
+  let engine = Scenario.engine scenario in
+  let m1 = Monitor.create engine ~name:"prads1" () in
+  let m2 = Monitor.create engine ~name:"prads2" () in
+  Scenario.attach_mb scenario ~port:"mb1" ~receive:(Monitor.receive m1)
+    ~base:(Monitor.base m1) ~impl:(Monitor.impl m1);
+  Scenario.attach_mb scenario ~port:"mb2" ~receive:(Monitor.receive m2)
+    ~base:(Monitor.base m2) ~impl:(Monitor.impl m2);
+  Scenario.install_default_route scenario ~port:"mb1";
+  Scenario.inject scenario trace ~into:(Switch.receive (Scenario.switch scenario));
+
+  let rebalance = [ Hfl.Src_ip (Addr.prefix_of_string "10.0.0.0/17") ] in
+  Scenario.at scenario (Time.seconds 10.0) (fun () ->
+      print_endline "t=10s  load is up: scaling out ...";
+      Scale.scale_up scenario ~existing:"prads1" ~fresh:"prads2" ~rebalance
+        ~also_route:[ [ Hfl.Dst_ip (Addr.prefix_of_string "10.0.0.0/17") ] ]
+        ~dst_port:"mb2"
+        ~on_done:(fun r ->
+          Printf.printf
+            "t=%.2fs scale-up done: stats said %d chunks for the subnet; moved %d\n"
+            (Time.to_seconds (Engine.now engine))
+            r.Scale.queried.Openmb_core.Southbound.perflow_report_chunks
+            r.Scale.move.Openmb_core.Controller.chunks_moved)
+        ());
+  Scenario.at scenario (Time.seconds 28.0) (fun () ->
+      print_endline "t=28s  load is down: scaling in ...";
+      Scale.scale_down scenario ~deprecated:"prads2" ~survivor:"prads1" ~dst_port:"mb1"
+        ~on_done:(fun r ->
+          Printf.printf "t=%.2fs scale-down done: merged %d shared chunk(s)\n"
+            (Time.to_seconds (Engine.now engine))
+            r.Scale.merged.Openmb_core.Controller.chunks_moved)
+        ());
+  Scenario.run scenario;
+
+  (* After scale-down the deprecated instance's counters were merged
+     into the survivor and the instance terminated, so the survivor
+     alone must match the reference — no over- or under-reporting. *)
+  let t1 = Monitor.totals m1 in
+  Printf.printf "\nreference totals : %d pkts, %d bytes, %d flows\n"
+    reference.Monitor.tot_pkts reference.Monitor.tot_bytes reference.Monitor.tot_new_flows;
+  Printf.printf "survivor totals  : %d pkts, %d bytes, %d flows\n" t1.Monitor.tot_pkts
+    t1.Monitor.tot_bytes t1.Monitor.tot_new_flows;
+  Printf.printf "counters conserved: %b\n"
+    (reference.Monitor.tot_pkts = t1.Monitor.tot_pkts
+    && reference.Monitor.tot_bytes = t1.Monitor.tot_bytes
+    && reference.Monitor.tot_new_flows = t1.Monitor.tot_new_flows)

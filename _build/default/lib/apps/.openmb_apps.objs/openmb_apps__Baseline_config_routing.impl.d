@@ -1,0 +1,1 @@
+lib/apps/baseline_config_routing.ml: Engine Five_tuple Float Hfl List Mb_base Openmb_mbox Openmb_net Openmb_sim Openmb_traffic Packet Payload Re_decoder Re_encoder Time

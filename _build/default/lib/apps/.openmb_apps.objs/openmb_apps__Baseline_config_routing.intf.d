@@ -1,0 +1,1 @@
+lib/apps/baseline_config_routing.mli: Openmb_traffic

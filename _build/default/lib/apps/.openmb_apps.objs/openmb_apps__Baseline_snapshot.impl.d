@@ -1,0 +1,1 @@
+lib/apps/baseline_snapshot.ml: Engine Hfl Ids Openmb_mbox Openmb_net Openmb_sim Openmb_traffic Time

@@ -1,0 +1,1 @@
+lib/apps/baseline_snapshot.mli: Openmb_net Openmb_traffic

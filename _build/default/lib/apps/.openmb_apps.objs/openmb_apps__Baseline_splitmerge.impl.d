@@ -1,0 +1,1 @@
+lib/apps/baseline_splitmerge.ml: Engine Float Openmb_sim Queue Stats Time

@@ -1,0 +1,1 @@
+lib/apps/baseline_splitmerge.mli: Openmb_sim

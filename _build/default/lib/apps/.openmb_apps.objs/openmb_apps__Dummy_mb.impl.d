@@ -1,0 +1,1 @@
+lib/apps/dummy_mb.ml: Addr Buffer Chunk Engine Errors Event Five_tuple Hfl List Mb_base Openmb_core Openmb_mbox Openmb_net Openmb_sim Packet Payload Printf Southbound State_table String Taxonomy Time

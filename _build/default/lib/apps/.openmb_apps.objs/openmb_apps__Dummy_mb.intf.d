@@ -1,0 +1,1 @@
+lib/apps/dummy_mb.mli: Openmb_core Openmb_mbox Openmb_net Openmb_sim

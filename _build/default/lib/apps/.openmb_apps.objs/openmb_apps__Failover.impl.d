@@ -1,0 +1,1 @@
+lib/apps/failover.ml: Controller Engine Errors Event Hashtbl Hfl Json List Openmb_core Openmb_net Openmb_sim Openmb_wire Printf Recorder Scenario Time

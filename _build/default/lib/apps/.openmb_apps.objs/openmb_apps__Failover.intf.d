@@ -1,0 +1,1 @@
+lib/apps/failover.mli: Openmb_sim Scenario

@@ -1,0 +1,1 @@
+lib/apps/migrate.ml: Addr Config_tree Controller Engine Errors Hfl Json List Openmb_core Openmb_net Openmb_sim Openmb_wire Printf Recorder Scenario Time

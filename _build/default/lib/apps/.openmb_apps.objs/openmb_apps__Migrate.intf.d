@@ -1,0 +1,1 @@
+lib/apps/migrate.mli: Openmb_core Openmb_net Openmb_sim Scenario

@@ -1,0 +1,1 @@
+lib/apps/scale.ml: Config_tree Controller Engine Errors Hfl List Openmb_core Openmb_net Openmb_sim Printf Recorder Scenario Southbound Time

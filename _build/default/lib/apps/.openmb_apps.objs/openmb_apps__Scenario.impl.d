@@ -1,0 +1,1 @@
+lib/apps/scenario.ml: Controller Engine Flow_table Hfl Host Link Mb_agent Mb_base Openmb_core Openmb_mbox Openmb_net Openmb_sim Openmb_traffic Recorder Sdn_controller Switch Time

@@ -1,0 +1,1 @@
+lib/apps/scenario.mli: Openmb_core Openmb_mbox Openmb_net Openmb_sim Openmb_traffic

@@ -1,0 +1,116 @@
+open Openmb_sim
+open Openmb_net
+open Openmb_mbox
+
+type holdup_report = {
+  rerouted_at : float;
+  holdup_seconds : float;
+  stranded_flows : int;
+  frac_over_1500 : float;
+}
+
+(* Flow intervals (first/last packet timestamp per canonical tuple),
+   derived from the trace the deprecated MB would be carrying. *)
+let flow_intervals trace =
+  let tbl = Five_tuple.Table.create 1024 in
+  List.iter
+    (fun (p : Packet.t) ->
+      let key = Five_tuple.canonical (Five_tuple.of_packet p) in
+      let ts = Time.to_seconds p.ts in
+      match Five_tuple.Table.find_opt tbl key with
+      | None -> Five_tuple.Table.replace tbl key (ts, ts)
+      | Some (first, last) ->
+        Five_tuple.Table.replace tbl key (Float.min first ts, Float.max last ts))
+    (Openmb_traffic.Trace.packets trace);
+  Five_tuple.Table.fold (fun _ interval acc -> interval :: acc) tbl []
+
+let scale_down_holdup ?(trace_params = Openmb_traffic.University_dc.default_params)
+    ~reroute_at () =
+  let trace = Openmb_traffic.University_dc.generate trace_params in
+  let intervals = flow_intervals trace in
+  (* Flows already in progress at the reroute stay pinned to the
+     deprecated instance; it cannot be destroyed until they finish. *)
+  let stranded =
+    List.filter (fun (first, last) -> first <= reroute_at && last > reroute_at) intervals
+  in
+  let holdup =
+    List.fold_left (fun acc (_, last) -> Float.max acc (last -. reroute_at)) 0.0 stranded
+  in
+  let over_1500 =
+    List.length (List.filter (fun (_, last) -> last -. reroute_at > 1500.0) stranded)
+  in
+  let n = List.length stranded in
+  {
+    rerouted_at = reroute_at;
+    holdup_seconds = holdup;
+    stranded_flows = n;
+    frac_over_1500 = (if n = 0 then 0.0 else float_of_int over_1500 /. float_of_int n);
+  }
+
+type re_report = {
+  encoded_bytes : int;
+  undecodable_bytes : int;
+  old_decoder_failures : int;
+}
+
+let re_migration ?(trace_params = Openmb_traffic.Redundancy_trace.default_params)
+    ~routing_lag_packets () =
+  let engine = Engine.create () in
+  (* Classic implicit-position RE: the failure mode under study is the
+     permanent cache desynchronization one missed packet causes. *)
+  let mode = Re_encoder.Implicit in
+  let old_enc = Re_encoder.create engine ~mode ~name:"enc-old" () in
+  let old_dec = Re_decoder.create engine ~mode ~name:"dec-old" () in
+  let new_enc = Re_encoder.create engine ~mode ~name:"enc-new" () in
+  let new_dec = Re_decoder.create engine ~mode ~name:"dec-new" () in
+  let move_hfl = Openmb_traffic.Redundancy_trace.class_b_hfl trace_params in
+  let trace = Openmb_traffic.Redundancy_trace.generate trace_params in
+  let encoder_switched = ref false in
+  let routing_updated = ref false in
+  let new_enc_packets = ref 0 in
+  let lost_pkts = ref 0 in
+  let lost_shim_bytes = ref 0 in
+  let shim_bytes (p : Packet.t) =
+    match p.body with
+    | Packet.Raw _ -> 0
+    | Packet.Encoded { segments; _ } ->
+      List.fold_left
+        (fun acc seg ->
+          match seg with
+          | Packet.Shim { len; _ } -> acc + (len * Payload.token_bytes)
+          | Packet.Literal _ -> acc)
+        0 segments
+  in
+  (* Old pair path: unaffected by the migration. *)
+  Mb_base.set_egress (Re_encoder.base old_enc) (fun p -> Re_decoder.receive old_dec p);
+  (* New pair path: until routing catches up, packets land at the old
+     decoder, which holds a different cache and cannot recover them
+     (it validates the cache region and drops).  The new decoder never
+     sees them — the desynchronization seed. *)
+  Mb_base.set_egress (Re_encoder.base new_enc)
+    (fun p ->
+      incr new_enc_packets;
+      (* The routing change takes effect only after the new encoder has
+         sent [routing_lag_packets] packets (§8.1.2 assumes 10). *)
+      if !routing_updated then Re_decoder.receive new_dec p
+      else begin
+        incr lost_pkts;
+        lost_shim_bytes := !lost_shim_bytes + shim_bytes p;
+        if !new_enc_packets >= routing_lag_packets then routing_updated := true
+      end);
+  (* The encoder-side switch happens 30% into the trace — before the
+     routing update by construction, which is the hazard. *)
+  let switch_at =
+    Time.seconds (0.3 *. Time.to_seconds (Openmb_traffic.Trace.duration trace))
+  in
+  ignore (Engine.schedule_at engine switch_at (fun () -> encoder_switched := true));
+  Openmb_traffic.Trace.replay engine trace ~into:(fun p ->
+      if !encoder_switched && Hfl.matches_packet move_hfl p then
+        Re_encoder.receive new_enc p
+      else Re_encoder.receive old_enc p);
+  Engine.run engine;
+  {
+    encoded_bytes = Re_encoder.encoded_bytes new_enc;
+    undecodable_bytes = Re_decoder.undecodable_bytes new_dec + !lost_shim_bytes;
+    old_decoder_failures = !lost_pkts;
+  }

@@ -1,0 +1,49 @@
+(** Config-and-routing-only baseline (§2.1, §8.1.2): SDN reroutes
+    traffic and MB configuration is updated, but internal state never
+    moves.
+
+    Two experiments use it:
+
+    - {!scale_down_holdup}: scale-down that leaves in-progress flows on
+      the deprecated instance and sends only new flows to the survivor.
+      The deprecated MB is held up until its last flow completes —
+      with the university-DC duration tail (Fig. 8), over 1500 s.
+    - {!re_migration}: decoder migration with a fresh empty
+      encoder/decoder pair (classic implicit-position RE).  The encoder
+      switches before routing catches up, so encoded packets reach the
+      old decoder, the new pair's caches desynchronize, and every
+      encoded byte is undecodable (Table 3's second row). *)
+
+type holdup_report = {
+  rerouted_at : float;  (** When new flows started going to the survivor. *)
+  holdup_seconds : float;
+      (** How long after the reroute the deprecated MB still had live
+          flows. *)
+  stranded_flows : int;  (** Flows pinned to the deprecated instance. *)
+  frac_over_1500 : float;
+      (** Fraction of stranded flows still alive 1500 s after the
+          reroute. *)
+}
+
+val scale_down_holdup :
+  ?trace_params:Openmb_traffic.University_dc.params ->
+  reroute_at:float ->
+  unit ->
+  holdup_report
+
+type re_report = {
+  encoded_bytes : int;  (** Redundant bytes the new encoder eliminated. *)
+  undecodable_bytes : int;  (** Of those, bytes never reconstructed. *)
+  old_decoder_failures : int;
+      (** Encoded packets that hit the old decoder during the routing
+          lag. *)
+}
+
+val re_migration :
+  ?trace_params:Openmb_traffic.Redundancy_trace.params ->
+  routing_lag_packets:int ->
+  unit ->
+  re_report
+(** The encoder pair switches for the migrating prefix; the routing
+    update takes effect only after [routing_lag_packets] migrated
+    packets have been encoded (the paper assumes 10). *)

@@ -1,0 +1,54 @@
+open Openmb_sim
+open Openmb_net
+open Openmb_mbox
+
+type report = {
+  full_delta_bytes : int;
+  http_delta_bytes : int;
+  other_delta_bytes : int;
+  sdmbn_moved_bytes : int;
+  anomalies_old : int;
+  anomalies_new : int;
+}
+
+let run ?(trace_params = Openmb_traffic.Cloud_trace.default_params) ~migrate_key
+    ~snapshot_at () =
+  let engine = Engine.create () in
+  let old_ids = Ids.create engine ~name:"bro-old" () in
+  let new_ids = Ids.create engine ~name:"bro-new" () in
+  let trace = Openmb_traffic.Cloud_trace.generate trace_params in
+  (* Before the snapshot instant, everything goes to the old instance;
+     afterwards the migrating substream goes to the clone.  The flip is
+     done at injection (the routing component is exercised elsewhere) —
+     what this baseline measures is state footprint and log damage. *)
+  let migrated = ref false in
+  Openmb_traffic.Trace.replay engine trace ~into:(fun p ->
+      if !migrated && Hfl.matches_packet migrate_key p then Ids.receive new_ids p
+      else Ids.receive old_ids p);
+  let report = ref None in
+  ignore
+    (Engine.schedule_at engine (Time.seconds snapshot_at) (fun () ->
+         (* Image deltas measured at the instant of migration. *)
+         let full_delta = Ids.memory_bytes old_ids in
+         let http_delta = Ids.memory_bytes_for old_ids ~key:migrate_key in
+         let other_delta = full_delta - http_delta in
+         let sdmbn_moved = Ids.serialized_bytes old_ids ~key:migrate_key in
+         Ids.snapshot_into old_ids new_ids;
+         migrated := true;
+         report := Some (full_delta, http_delta, other_delta, sdmbn_moved)));
+  Engine.run engine;
+  (* Tear both instances down; stranded foreign state surfaces as
+     anomalous log entries. *)
+  Ids.finalize old_ids;
+  Ids.finalize new_ids;
+  match !report with
+  | None -> failwith "Baseline_snapshot.run: snapshot instant past end of trace"
+  | Some (full_delta_bytes, http_delta_bytes, other_delta_bytes, sdmbn_moved_bytes) ->
+    {
+      full_delta_bytes;
+      http_delta_bytes;
+      other_delta_bytes;
+      sdmbn_moved_bytes;
+      anomalies_old = Ids.anomalous_entries old_ids;
+      anomalies_new = Ids.anomalous_entries new_ids;
+    }

@@ -1,0 +1,35 @@
+(** VM-snapshot baseline (§2.1, §8.1.2).
+
+    Moving middlebox state by cloning the whole VM image carries
+    {e all} state to the destination: the new instance holds records
+    for flows that will never reach it, and the old instance keeps
+    records for the migrated flows.  Both populations of stranded
+    records terminate abruptly and pollute the logs, and the image
+    deltas are far larger than the state OpenMB would move. *)
+
+type report = {
+  full_delta_bytes : int;
+      (** FULL−BASE: memory the traffic state added to the image. *)
+  http_delta_bytes : int;  (** Memory held by HTTP-substream state. *)
+  other_delta_bytes : int;  (** Memory held by the other substream's state. *)
+  sdmbn_moved_bytes : int;
+      (** What OpenMB would actually transfer: the serialized per-flow
+          state of the migrating (HTTP) flows. *)
+  anomalies_old : int;
+      (** Incorrect conn.log entries at the old instance (migrated
+          flows cut off mid-stream). *)
+  anomalies_new : int;
+      (** Incorrect conn.log entries at the new instance (foreign
+          flows that never progressed). *)
+}
+
+val run :
+  ?trace_params:Openmb_traffic.Cloud_trace.params ->
+  migrate_key:Openmb_net.Hfl.t ->
+  snapshot_at:float ->
+  unit ->
+  report
+(** Drive the cloud trace through an IDS; at [snapshot_at] snapshot it
+    into a second instance and flip [migrate_key]-matching traffic to
+    the clone; run the rest of the trace; account sizes and log
+    anomalies. *)

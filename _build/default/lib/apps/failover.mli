@@ -1,0 +1,40 @@
+(** Failure-recovery control application (§2, requirement R6).
+
+    Rather than running a hot standby (double resources) or
+    snapshotting everything (expensive, lossy), the application
+    subscribes to the middlebox's introspection events and keeps a live
+    copy of only the {e critical} state — e.g. a NAT's address/port
+    mappings, announced via ["nat.new_mapping"] events.  When the
+    instance fails, a replacement is loaded with the critical state
+    (non-critical fields such as idle timers revert to defaults) and
+    traffic is rerouted. *)
+
+type t
+
+val watch :
+  Scenario.t ->
+  mb:string ->
+  codes:string list ->
+  unit ->
+  t
+(** Subscribe to the given introspection event codes at [mb] and start
+    mirroring critical state into the application. *)
+
+val tracked : t -> int
+(** Critical-state records currently mirrored. *)
+
+type recovery = {
+  restored : int;  (** Critical records installed at the replacement. *)
+  rerouted_at : Openmb_sim.Time.t;
+}
+
+val fail_over :
+  t ->
+  replacement:string ->
+  dst_port:string ->
+  ?on_done:(recovery -> unit) ->
+  unit ->
+  unit
+(** The watched instance has failed: disconnect it, push the mirrored
+    critical state into [replacement] (already launched and connected),
+    and reroute all traffic to [dst_port]. *)

@@ -1,0 +1,54 @@
+(** Live-migration control application (§6.1).
+
+    Coordinates MB state transfer with network routing updates so a
+    subset of flows can be shifted to middlebox instances in a new
+    data center without correctness loss:
+
+    - {!migrate_perflow} covers MBs whose migratable state is per-flow
+      (IDS, monitor, NAT, load balancer, firewall): duplicate
+      configuration, [moveInternal] the flows' state, then — only once
+      the move has returned — update routing (requirement R4).
+    - {!migrate_re} is the paper's five-step RE recipe: duplicate the
+      decoder configuration, [cloneSupport] the decoder cache, grow the
+      encoder's cache set, update routing, then split the encoder's
+      traffic across caches and stop the source decoder's sync
+      events. *)
+
+type result = {
+  move : Openmb_core.Controller.move_result option;
+      (** The state transfer's outcome ([None] until it returns). *)
+  routing_done_at : Openmb_sim.Time.t option;
+      (** When the routing update took effect. *)
+}
+
+val migrate_perflow :
+  Scenario.t ->
+  src:string ->
+  dst:string ->
+  key:Openmb_net.Hfl.t ->
+  dst_port:string ->
+  ?config_keys:Openmb_core.Config_tree.path list ->
+  ?also_route:Openmb_net.Hfl.t list ->
+  ?on_done:(result -> unit) ->
+  unit ->
+  unit
+(** Move per-flow state matching [key] from [src] to [dst] and then
+    reroute matching traffic to switch port [dst_port].
+    [config_keys] (default [[[]]] = everything) are read from [src] and
+    written to [dst] first — the R3 configuration clone.  [also_route]
+    lists additional match keys flipped with the same update — the
+    reverse direction of connection-oriented traffic. *)
+
+val migrate_re :
+  Scenario.t ->
+  orig_decoder:string ->
+  new_decoder:string ->
+  encoder:string ->
+  keep_prefix:Openmb_net.Addr.prefix ->
+  move_prefix:Openmb_net.Addr.prefix ->
+  dst_port:string ->
+  ?on_done:(result -> unit) ->
+  unit ->
+  unit
+(** The §6.1 recipe.  [move_prefix] traffic ends up on [dst_port]
+    (the new decoder); [keep_prefix] traffic keeps its current path. *)

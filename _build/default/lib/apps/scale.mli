@@ -1,0 +1,53 @@
+(** Elastic scaling control application (§6.2).
+
+    Scale-up: duplicate the configuration onto a fresh instance, query
+    how much per-flow state exists for the rebalanced subnet, move that
+    state, and reroute the subnet — so in-progress flows land on the
+    new instance with their records intact.
+
+    Scale-down: move {e all} per-flow state back to the surviving
+    instance, merge the shared reporting state (counters add; no
+    over- or under-reporting), reroute, and only then release the
+    deprecated instance. *)
+
+type up_result = {
+  queried : Openmb_core.Southbound.stats;
+      (** The pre-move [stats] answer used to decide the rebalance. *)
+  move : Openmb_core.Controller.move_result;
+  routing_done_at : Openmb_sim.Time.t;
+}
+
+val scale_up :
+  Scenario.t ->
+  existing:string ->
+  fresh:string ->
+  rebalance:Openmb_net.Hfl.t ->
+  dst_port:string ->
+  ?also_route:Openmb_net.Hfl.t list ->
+  ?on_done:(up_result -> unit) ->
+  unit ->
+  unit
+(** The four §6.2 scale-up actions against instance [existing],
+    shifting [rebalance]-matching flows to [fresh] (reachable on switch
+    port [dst_port]).  [also_route] lists additional match keys flipped
+    with the same update — the reverse direction of the rebalanced
+    traffic, so both directions of a connection land on the same
+    instance. *)
+
+type down_result = {
+  moved : Openmb_core.Controller.move_result;
+  merged : Openmb_core.Controller.move_result;
+  deprecated_released_at : Openmb_sim.Time.t;
+}
+
+val scale_down :
+  Scenario.t ->
+  deprecated:string ->
+  survivor:string ->
+  dst_port:string ->
+  ?on_done:(down_result -> unit) ->
+  unit ->
+  unit
+(** The four §6.2 scale-down actions: move all per-flow state and merge
+    shared reporting state from [deprecated] into [survivor], reroute
+    everything to [dst_port], then disconnect [deprecated]. *)

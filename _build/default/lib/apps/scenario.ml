@@ -1,0 +1,59 @@
+open Openmb_sim
+open Openmb_net
+open Openmb_core
+open Openmb_mbox
+
+type t = {
+  engine : Engine.t;
+  recorder : Recorder.t option;
+  ctrl : Controller.t;
+  sdn : Sdn_controller.t;
+  switch : Switch.t;
+  sink : Host.t;
+}
+
+let create ?ctrl_config ?(install_delay = Time.ms 10.0) ?(with_recorder = true) () =
+  let engine = Engine.create () in
+  let recorder = if with_recorder then Some (Recorder.create engine) else None in
+  let ctrl = Controller.create engine ?config:ctrl_config ?recorder () in
+  let sdn = Sdn_controller.create engine ~install_delay () in
+  let switch = Switch.create engine ~name:"s1" () in
+  Sdn_controller.register_switch sdn switch;
+  let sink = Host.create ~name:"sink" () in
+  { engine; recorder; ctrl; sdn; switch; sink }
+
+let engine t = t.engine
+let recorder t = t.recorder
+let controller t = t.ctrl
+let sdn t = t.sdn
+let switch t = t.switch
+let sink t = t.sink
+
+let attach_mb t ~port ~receive ~base ~impl =
+  let to_mb = Link.create t.engine ~name:("s1-" ^ port) ~dst:receive () in
+  Switch.attach_port t.switch ~port to_mb;
+  let to_sink = Link.create t.engine ~name:(port ^ "-sink") ~dst:(Host.receive t.sink) () in
+  Mb_base.set_egress base (Link.send to_sink);
+  let agent = Mb_agent.create t.engine ?recorder:t.recorder ~impl () in
+  Controller.connect t.ctrl agent
+
+let attach_port_to_sink t ~port =
+  let link = Link.create t.engine ~name:("s1-" ^ port) ~dst:(Host.receive t.sink) () in
+  Switch.attach_port t.switch ~port link
+
+let chain ~receive base = Mb_base.set_egress base receive
+
+let install_default_route t ~port =
+  ignore
+    (Flow_table.install (Switch.table t.switch) ~priority:1 ~match_:Hfl.any
+       ~action:(Flow_table.Forward port))
+
+let route t ~match_ ~port ?(priority = 100) ?on_done () =
+  Sdn_controller.update_route t.sdn ~switch:"s1" ~match_
+    ~new_action:(Flow_table.Forward port) ~priority ?on_done ()
+
+let inject t trace ~into = Openmb_traffic.Trace.replay t.engine trace ~into
+
+let run ?until t = Engine.run ?until t.engine
+
+let at t time f = ignore (Engine.schedule_at t.engine time f)

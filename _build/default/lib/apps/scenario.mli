@@ -1,0 +1,69 @@
+(** Deployment wiring for the evaluation scenarios.
+
+    Builds the common testbed shape: a traffic source feeding an
+    OpenFlow switch whose ports lead to middlebox slots, with each
+    middlebox's egress draining into a sink host; an SDN controller
+    owning the switch and an MB controller owning the middleboxes —
+    the two control planes a control application coordinates. *)
+
+type t
+
+val create :
+  ?ctrl_config:Openmb_core.Controller.config ->
+  ?install_delay:Openmb_sim.Time.t ->
+  ?with_recorder:bool ->
+  unit ->
+  t
+(** Fresh engine, recorder (when [with_recorder], default true), MB
+    controller, SDN controller and one switch named ["s1"]. *)
+
+val engine : t -> Openmb_sim.Engine.t
+val recorder : t -> Openmb_sim.Recorder.t option
+val controller : t -> Openmb_core.Controller.t
+val sdn : t -> Openmb_net.Sdn_controller.t
+val switch : t -> Openmb_net.Switch.t
+val sink : t -> Openmb_net.Host.t
+
+val attach_mb :
+  t ->
+  port:string ->
+  receive:(Openmb_net.Packet.t -> unit) ->
+  base:Openmb_mbox.Mb_base.t ->
+  impl:Openmb_core.Southbound.impl ->
+  unit
+(** Wire a middlebox into the deployment: switch port [port] leads to
+    [receive]; the MB's egress leads to the sink; the MB connects to
+    the MB controller via a fresh agent (shared recorder). *)
+
+val attach_port_to_sink : t -> port:string -> unit
+(** A switch port that bypasses middleboxes. *)
+
+val chain : receive:(Openmb_net.Packet.t -> unit) -> Openmb_mbox.Mb_base.t -> unit
+(** [chain ~receive base] points [base]'s egress at another MB's
+    [receive] — for in-path pairs like RE encoder→switch→decoder this
+    links MB stages directly. *)
+
+val install_default_route : t -> port:string -> unit
+(** Lowest-priority rule sending everything to [port] (installed
+    immediately, no SDN delay — initial provisioning). *)
+
+val route :
+  t ->
+  match_:Openmb_net.Hfl.t ->
+  port:string ->
+  ?priority:int ->
+  ?on_done:(unit -> unit) ->
+  unit ->
+  unit
+(** Routing update through the SDN controller (takes install-delay
+    time; [on_done] fires when active). *)
+
+val inject : t -> Openmb_traffic.Trace.t -> into:(Openmb_net.Packet.t -> unit) -> unit
+(** Replay a trace into an entry point ([Switch.receive (switch t)] or
+    an upstream MB's receive). *)
+
+val run : ?until:Openmb_sim.Time.t -> t -> unit
+(** Drive the engine. *)
+
+val at : t -> Openmb_sim.Time.t -> (unit -> unit) -> unit
+(** Schedule a control action. *)

@@ -1,0 +1,1 @@
+lib/core/chunk.ml: Bytes Char Errors Hashtbl Int64 Openmb_net Openmb_sim Openmb_wire Printf String Taxonomy

@@ -1,0 +1,1 @@
+lib/core/chunk.mli: Errors Openmb_net Taxonomy

@@ -1,0 +1,1 @@
+lib/core/config_tree.ml: Hashtbl List Openmb_wire Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Channel Chunk Config_tree Engine Errors Event Hashtbl Hfl List Mb_agent Message Openmb_net Openmb_sim Printf Queue Recorder Southbound String Taxonomy Time

@@ -1,0 +1,1 @@
+lib/core/controller.mli: Config_tree Errors Event Mb_agent Openmb_net Openmb_sim Openmb_wire Southbound

@@ -1,0 +1,1 @@
+lib/core/event.ml: Hfl List Openmb_net Openmb_wire Packet Printf String

@@ -1,0 +1,1 @@
+lib/core/event.mli: Openmb_net Openmb_wire

@@ -1,0 +1,1 @@
+lib/core/mb_agent.ml: Chunk Engine Errors Event List Message Openmb_net Openmb_sim Printf Recorder Southbound Time

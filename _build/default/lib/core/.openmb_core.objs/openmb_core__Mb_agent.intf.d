@@ -1,0 +1,1 @@
+lib/core/mb_agent.mli: Message Openmb_sim Southbound

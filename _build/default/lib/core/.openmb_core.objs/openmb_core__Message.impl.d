@@ -1,0 +1,1 @@
+lib/core/message.ml: Addr Array Chunk Config_tree Errors Event Hfl Json List Openmb_net Openmb_sim Openmb_wire Packet Payload Printf Southbound String Taxonomy

@@ -1,0 +1,1 @@
+lib/core/message.mli: Chunk Config_tree Errors Event Openmb_net Openmb_wire Southbound

@@ -1,0 +1,1 @@
+lib/core/southbound.ml: Chunk Config_tree Errors Event Openmb_net Openmb_sim Openmb_wire Time

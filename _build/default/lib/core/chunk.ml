@@ -1,0 +1,70 @@
+type t = {
+  mb_kind : string;
+  role : Taxonomy.role;
+  partition : Taxonomy.partition;
+  key : Openmb_net.Hfl.t;
+  cipher : string;
+}
+
+let magic = "OMB1"
+
+(* Keystream: SplitMix64 seeded from a hash of the MB kind, standing in
+   for a per-vendor symmetric key. *)
+let xor_keystream ~mb_kind s =
+  let g = Openmb_sim.Prng.create ~seed:(Hashtbl.hash ("vendor-secret:" ^ mb_kind)) in
+  let n = String.length s in
+  let out = Bytes.create n in
+  let block = ref 0L and avail = ref 0 in
+  for i = 0 to n - 1 do
+    if !avail = 0 then begin
+      block := Openmb_sim.Prng.bits64 g;
+      avail := 8
+    end;
+    let k = Int64.to_int (Int64.logand !block 0xFFL) in
+    block := Int64.shift_right_logical !block 8;
+    decr avail;
+    Bytes.set out i (Char.chr (Char.code s.[i] lxor k))
+  done;
+  Bytes.to_string out
+
+let compression_enabled = ref false
+
+let seal ~mb_kind ~role ~partition ~key ~plain =
+  (* Compress-then-encrypt: the XOR keystream destroys redundancy, so
+     any compression must happen on the plaintext.  A flag byte after
+     the magic records whether the body is compressed. *)
+  let body =
+    if !compression_enabled then
+      let c = Openmb_wire.Compress.compress plain in
+      if String.length c < String.length plain then "C" ^ c else "R" ^ plain
+    else "R" ^ plain
+  in
+  { mb_kind; role; partition; key; cipher = xor_keystream ~mb_kind (magic ^ body) }
+
+let unseal ~mb_kind t =
+  let plain = xor_keystream ~mb_kind t.cipher in
+  let ml = String.length magic in
+  if String.length plain >= ml + 1 && String.sub plain 0 ml = magic then begin
+    let body = String.sub plain (ml + 1) (String.length plain - ml - 1) in
+    match plain.[ml] with
+    | 'R' -> Ok body
+    | 'C' -> (
+      match Openmb_wire.Compress.decompress body with
+      | s -> Ok s
+      | exception Invalid_argument _ ->
+        Error (Errors.Bad_chunk "corrupt compressed chunk body"))
+    | _ -> Error (Errors.Bad_chunk "corrupt chunk framing")
+  end
+  else
+    Error
+      (Errors.Bad_chunk
+         (Printf.sprintf "cannot unseal %s chunk with kind %s key" t.mb_kind mb_kind))
+
+let size_bytes t = String.length t.cipher
+
+let describe t =
+  Printf.sprintf "%s/%s %s (%dB)"
+    (Taxonomy.role_to_string t.role)
+    (Taxonomy.partition_to_string t.partition)
+    (match t.key with [] -> "<shared>" | key -> Openmb_net.Hfl.to_string key)
+    (size_bytes t)

@@ -1,0 +1,98 @@
+type path = string list
+
+type node = Values of Openmb_wire.Json.t list | Children of (string, node) Hashtbl.t
+
+type t = { mutable root : (string, node) Hashtbl.t }
+
+type entry = { path : path; values : Openmb_wire.Json.t list }
+
+let create () = { root = Hashtbl.create 8 }
+
+let is_root_path = function [] | [ "*" ] -> true | _ -> false
+
+let set t p values =
+  if is_root_path p then invalid_arg "Config_tree.set: cannot set values at the root";
+  let rec go tbl = function
+    | [] -> assert false
+    | [ last ] -> Hashtbl.replace tbl last (Values values)
+    | seg :: rest -> (
+      match Hashtbl.find_opt tbl seg with
+      | Some (Children sub) -> go sub rest
+      | Some (Values _) ->
+        invalid_arg
+          (Printf.sprintf "Config_tree.set: key %S already holds values" seg)
+      | None ->
+        let sub = Hashtbl.create 4 in
+        Hashtbl.replace tbl seg (Children sub);
+        go sub rest)
+  in
+  go t.root p
+
+let rec leaves_under prefix tbl =
+  Hashtbl.fold
+    (fun seg node acc ->
+      match node with
+      | Values vs -> { path = List.rev (seg :: prefix); values = vs } :: acc
+      | Children sub -> leaves_under (seg :: prefix) sub @ acc)
+    tbl []
+
+let sort_entries es =
+  List.sort (fun a b -> Stdlib.compare a.path b.path) es
+
+let find_node t p =
+  let rec go tbl = function
+    | [] -> Some (Children tbl)
+    | seg :: rest -> (
+      match Hashtbl.find_opt tbl seg with
+      | None -> None
+      | Some (Values _ as n) -> if rest = [] then Some n else None
+      | Some (Children sub as n) -> if rest = [] then Some n else go sub rest)
+  in
+  go t.root p
+
+let get t p =
+  let p = if is_root_path p then [] else p in
+  match find_node t p with
+  | None -> []
+  | Some (Values vs) -> [ { path = p; values = vs } ]
+  | Some (Children tbl) -> sort_entries (leaves_under (List.rev p) tbl)
+
+let mem t p =
+  let p = if is_root_path p then [] else p in
+  p = [] || find_node t p <> None
+
+let del t p =
+  if is_root_path p then begin
+    let had = Hashtbl.length t.root > 0 in
+    t.root <- Hashtbl.create 8;
+    had
+  end
+  else begin
+    let rec go tbl = function
+      | [] -> false
+      | [ last ] ->
+        if Hashtbl.mem tbl last then begin
+          Hashtbl.remove tbl last;
+          true
+        end
+        else false
+      | seg :: rest -> (
+        match Hashtbl.find_opt tbl seg with
+        | Some (Children sub) -> go sub rest
+        | Some (Values _) | None -> false)
+    in
+    go t.root p
+  end
+
+let entries t = sort_entries (leaves_under [] t.root)
+
+let replace_all t es =
+  t.root <- Hashtbl.create 8;
+  List.iter (fun e -> set t e.path e.values) es
+
+let path_to_string = function [] -> "*" | p -> String.concat "." p
+
+let path_of_string s =
+  if s = "*" || s = "" then [] else String.split_on_char '.' s
+
+let size t = List.length (entries t)

@@ -1,0 +1,56 @@
+(** Hierarchical configuration state (§4.1.1).
+
+    OpenMB organizes MB configuration as a hierarchy of keys and
+    values: each key is associated with either an unordered set of
+    sub-keys or an ordered list of values (a parameter, a firewall
+    rule, an IPS rule, ...).  Middleboxes instantiate one tree each;
+    the controller reads and writes it through the
+    [getConfig]/[setConfig]/[delConfig] southbound calls. *)
+
+type path = string list
+(** Hierarchical key, root-first, e.g. [["rules"; "http"]].  The empty
+    path denotes the root. *)
+
+type t
+(** A mutable configuration tree. *)
+
+type entry = { path : path; values : Openmb_wire.Json.t list }
+(** One leaf: a key holding an ordered list of configuration values. *)
+
+val create : unit -> t
+(** Empty tree. *)
+
+val set : t -> path -> Openmb_wire.Json.t list -> unit
+(** [set t p vs] binds the ordered value list [vs] at [p], creating
+    intermediate keys.  Raises [Invalid_argument] if [p] is empty or if
+    an existing ancestor of [p] already holds values (a key holds
+    either sub-keys or values, never both). *)
+
+val get : t -> path -> entry list
+(** [get t p] is the leaf at [p] (singleton list) if [p] holds values,
+    or all leaves beneath [p] in lexicographic path order if [p] is an
+    interior key.  The wildcard path [["*"]] (or the empty path) is the
+    whole tree — this serves the paper's [readConfig(MB, "*")].
+    Returns [[]] for an unknown key. *)
+
+val mem : t -> path -> bool
+(** Whether [p] names a leaf or interior key. *)
+
+val del : t -> path -> bool
+(** Remove the leaf or subtree at [p]; [false] if absent. *)
+
+val entries : t -> entry list
+(** All leaves in lexicographic path order. *)
+
+val replace_all : t -> entry list -> unit
+(** Clear the tree and install the given leaves — used to duplicate a
+    configuration onto a new MB instance. *)
+
+val path_to_string : path -> string
+(** Dot-joined rendering, e.g. ["rules.http"]; ["*"] for the root. *)
+
+val path_of_string : string -> path
+(** Inverse of {!path_to_string}. *)
+
+val size : t -> int
+(** Number of leaves. *)

@@ -1,0 +1,587 @@
+open Openmb_sim
+open Openmb_net
+
+type config = {
+  quiescence : Time.t;
+  cpu_fixed : Time.t;
+  cpu_per_byte : Time.t;
+  channel_latency : Time.t;
+  channel_bandwidth : float;
+  forward_events : bool;
+}
+
+let default_config =
+  {
+    quiescence = Time.seconds 5.0;
+    cpu_fixed = Time.us 8.0;
+    cpu_per_byte = Time.us 0.3;
+    channel_latency = Time.us 200.0;
+    channel_bandwidth = 125e6;
+    forward_events = true;
+  }
+
+type move_result = {
+  chunks_moved : int;
+  bytes_moved : int;
+  events_forwarded : int;
+  duration : Time.t;
+}
+
+(* A handler consumes successive replies to one op; [`Done] removes it. *)
+type handler = Message.reply -> [ `Keep | `Done ]
+
+type conn = {
+  agent : Mb_agent.t;
+  to_mb : Message.to_mb Channel.t;
+  mutable next_op : int;
+  pending : (int, handler) Hashtbl.t;
+}
+
+type transfer_kind = T_move | T_clone | T_merge
+
+type transfer = {
+  t_id : int;
+  kind : transfer_kind;
+  src : string;
+  dst : string;
+  hfl : Hfl.t;
+  started : Time.t;
+  mutable open_gets : int;
+  mutable pending_puts : int;
+  mutable returned : bool;
+  mutable chunks : int;
+  mutable bytes : int;
+  mutable events_fwd : int;
+  acked : (string, unit) Hashtbl.t;
+  putting : (string, unit) Hashtbl.t;  (* keys with an unacked put *)
+  buffered : (string, Event.t Queue.t) Hashtbl.t;
+  mutable buffered_count : int;
+  mutable last_event : Time.t;
+  on_done : (move_result, Errors.t) result -> unit;
+}
+
+type subscription = {
+  sub_mb : string;
+  sub_codes : string list;
+  sub_key : Hfl.t;
+  sub_handler : Event.t -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  recorder : Recorder.t option;
+  mbs : (string, conn) Hashtbl.t;
+  mutable transfers : transfer list;
+  mutable next_transfer : int;
+  mutable subscriptions : subscription list;
+  mutable cpu_free_at : Time.t;
+  mutable events_forwarded : int;
+  mutable events_dropped : int;
+  mutable buffered_peak : int;
+  mutable messages : int;
+}
+
+let create engine ?(config = default_config) ?recorder () =
+  {
+    engine;
+    cfg = config;
+    recorder;
+    mbs = Hashtbl.create 8;
+    transfers = [];
+    next_transfer = 0;
+    subscriptions = [];
+    cpu_free_at = Time.zero;
+    events_forwarded = 0;
+    events_dropped = 0;
+    buffered_peak = 0;
+    messages = 0;
+  }
+
+let record t ~kind ~detail =
+  match t.recorder with
+  | Some r -> Recorder.record r ~actor:"controller" ~kind ~detail
+  | None -> ()
+
+(* Charge the (serial) controller CPU for a message of [bytes] bytes,
+   then run [k].  Concurrent operations contend here, which is what
+   makes simultaneous moves slow each other down (Fig. 10b). *)
+let cpu t bytes k =
+  let cost =
+    Time.(t.cfg.cpu_fixed + seconds (to_seconds t.cfg.cpu_per_byte *. float_of_int bytes))
+  in
+  let start = Time.max (Engine.now t.engine) t.cpu_free_at in
+  t.cpu_free_at <- Time.(start + cost);
+  t.messages <- t.messages + 1;
+  ignore (Engine.schedule_at t.engine t.cpu_free_at k)
+
+let find_conn t name = Hashtbl.find_opt t.mbs name
+
+(* Send [req] to [conn], registering [handler] for its replies. *)
+let op_send t conn req handler =
+  let op = conn.next_op in
+  conn.next_op <- op + 1;
+  Hashtbl.replace conn.pending op handler;
+  let msg = { Message.op; req } in
+  let bytes = Message.request_wire_bytes msg in
+  cpu t bytes (fun () -> Channel.send conn.to_mb ~bytes msg)
+
+(* Fire-and-forget request (deferred deletes, event forwarding). *)
+let op_send_ignore t conn req =
+  op_send t conn req (fun _ -> `Done)
+
+let fail_async t err on_done =
+  ignore (Engine.schedule_after t.engine Time.zero (fun () -> on_done (Error err)))
+
+(* ------------------------------------------------------------------ *)
+(* Event handling                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let shared_key_id = ""
+
+let transfer_key_id transfer key =
+  match transfer.kind with
+  | T_move -> Hfl.to_string key
+  | T_clone | T_merge -> shared_key_id
+
+let forward_reprocess t transfer ev =
+  if not t.cfg.forward_events then t.events_dropped <- t.events_dropped + 1
+  else
+  match ev with
+  | Event.Reprocess { key; packet } -> (
+    match find_conn t transfer.dst with
+    | None -> t.events_dropped <- t.events_dropped + 1
+    | Some dst_conn ->
+      transfer.events_fwd <- transfer.events_fwd + 1;
+      t.events_forwarded <- t.events_forwarded + 1;
+      record t ~kind:"event-fwd"
+        ~detail:(Printf.sprintf "%s->%s %s" transfer.src transfer.dst (Event.describe ev));
+      op_send_ignore t dst_conn (Message.Reprocess_packet { key; packet }))
+  | Event.Introspect _ -> ()
+
+let buffer_event t transfer key ev =
+  let id = transfer_key_id transfer key in
+  let q =
+    match Hashtbl.find_opt transfer.buffered id with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.replace transfer.buffered id q;
+      q
+  in
+  Queue.push ev q;
+  transfer.buffered_count <- transfer.buffered_count + 1;
+  let total =
+    List.fold_left (fun acc tr -> acc + tr.buffered_count) 0 t.transfers
+  in
+  if total > t.buffered_peak then t.buffered_peak <- total
+
+let flush_buffered t transfer id =
+  match Hashtbl.find_opt transfer.buffered id with
+  | None -> ()
+  | Some q ->
+    Hashtbl.remove transfer.buffered id;
+    Queue.iter
+      (fun ev ->
+        transfer.buffered_count <- transfer.buffered_count - 1;
+        forward_reprocess t transfer ev)
+      q
+
+let handle_reprocess_event t src_name ev key =
+  (* Route to the transfer whose source raised it and whose scope
+     covers the key.  Events about shared state carry the empty key and
+     can only belong to a clone/merge; keyed events prefer a move
+     transfer covering the key, falling back to a concurrent
+     clone/merge (which replays every packet).  Most-recent transfer
+     wins on a remaining tie. *)
+  let is_shared_event = key = Hfl.any in
+  let move_match tr =
+    String.equal tr.src src_name
+    && (match tr.kind with T_move -> true | T_clone | T_merge -> false)
+    && Hfl.subsumes tr.hfl key
+  in
+  let shared_match tr =
+    String.equal tr.src src_name
+    && match tr.kind with T_clone | T_merge -> true | T_move -> false
+  in
+  let found =
+    if is_shared_event then List.find_opt shared_match t.transfers
+    else
+      match List.find_opt move_match t.transfers with
+      | Some tr -> Some tr
+      | None -> List.find_opt shared_match t.transfers
+  in
+  match found with
+  | None -> t.events_dropped <- t.events_dropped + 1
+  | Some transfer ->
+    transfer.last_event <- Engine.now t.engine;
+    let id = transfer_key_id transfer key in
+    (* Forward once the destination holds the state the event applies
+       to: either its put has been acknowledged, or the source's export
+       stream has ended without a chunk for this key — the flow started
+       mid-move and exists only through its replayed packets. *)
+    let ready =
+      Hashtbl.mem transfer.acked id
+      || (transfer.open_gets = 0 && not (Hashtbl.mem transfer.putting id))
+    in
+    if ready then forward_reprocess t transfer ev else buffer_event t transfer key ev
+
+let handle_introspect_event t src_name ev =
+  match ev with
+  | Event.Introspect { code; key; _ } ->
+    List.iter
+      (fun s ->
+        if
+          String.equal s.sub_mb src_name
+          && (s.sub_codes = [] || List.mem code s.sub_codes)
+          && Hfl.subsumes s.sub_key key
+        then s.sub_handler ev)
+      t.subscriptions
+  | Event.Reprocess _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Connection management                                               *)
+(* ------------------------------------------------------------------ *)
+
+let dispatch_from_mb t mb_name msg =
+  match msg with
+  | Message.Event_msg (Event.Reprocess { key; _ } as ev) ->
+    handle_reprocess_event t mb_name ev key
+  | Message.Event_msg (Event.Introspect _ as ev) -> handle_introspect_event t mb_name ev
+  | Message.Reply { op; reply } -> (
+    match find_conn t mb_name with
+    | None -> ()
+    | Some conn -> (
+      match Hashtbl.find_opt conn.pending op with
+      | None -> ()
+      | Some handler -> (
+        match handler reply with
+        | `Keep -> ()
+        | `Done -> Hashtbl.remove conn.pending op)))
+
+let connect t agent =
+  let name = Mb_agent.name agent in
+  if Hashtbl.mem t.mbs name then
+    failwith (Printf.sprintf "Controller.connect: duplicate MB name %s" name);
+  let deliver msg =
+    (* Receiving costs controller CPU proportional to message size. *)
+    cpu t (Message.reply_wire_bytes msg) (fun () -> dispatch_from_mb t name msg)
+  in
+  let mk_channel () =
+    Channel.create t.engine ~latency:t.cfg.channel_latency
+      ~bytes_per_sec:t.cfg.channel_bandwidth ~deliver
+  in
+  let reply_ch = mk_channel () and event_ch = mk_channel () in
+  let to_mb =
+    Channel.create t.engine ~latency:t.cfg.channel_latency
+      ~bytes_per_sec:t.cfg.channel_bandwidth
+      ~deliver:(fun msg -> Mb_agent.handle_request agent msg)
+  in
+  Mb_agent.set_uplinks agent
+    ~send_reply:(fun msg -> Channel.send reply_ch ~bytes:(Message.reply_wire_bytes msg) msg)
+    ~send_event:(fun msg -> Channel.send event_ch ~bytes:(Message.reply_wire_bytes msg) msg);
+  Hashtbl.replace t.mbs name { agent; to_mb; next_op = 0; pending = Hashtbl.create 16 }
+
+let disconnect t name =
+  Hashtbl.remove t.mbs name;
+  t.transfers <-
+    List.filter (fun tr -> not (String.equal tr.src name || String.equal tr.dst name))
+      t.transfers
+
+let mb_names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.mbs []
+
+(* ------------------------------------------------------------------ *)
+(* Simple northbound operations                                        *)
+(* ------------------------------------------------------------------ *)
+
+let with_conn t name on_err k =
+  match find_conn t name with
+  | None -> fail_async t (Errors.Unknown_mb name) on_err
+  | Some conn -> k conn
+
+let read_config t ~src ~key ~on_done =
+  with_conn t src on_done (fun conn ->
+      op_send t conn (Message.Get_config key) (fun reply ->
+          (match reply with
+          | Message.Config_values entries -> on_done (Ok entries)
+          | Message.Op_error e -> on_done (Error e)
+          | Message.State_chunk _ | Message.End_of_state _ | Message.Ack
+          | Message.Stats_reply _ ->
+            on_done (Error (Errors.Op_failed "unexpected reply to getConfig")));
+          `Done))
+
+let expect_ack on_done reply =
+  (match reply with
+  | Message.Ack -> on_done (Ok ())
+  | Message.Op_error e -> on_done (Error e)
+  | Message.State_chunk _ | Message.End_of_state _ | Message.Config_values _
+  | Message.Stats_reply _ ->
+    on_done (Error (Errors.Op_failed "unexpected reply")));
+  `Done
+
+let write_config t ~dst ~key ~values ~on_done =
+  with_conn t dst on_done (fun conn ->
+      op_send t conn (Message.Set_config (key, values)) (expect_ack on_done))
+
+let del_config t ~dst ~key ~on_done =
+  with_conn t dst on_done (fun conn ->
+      op_send t conn (Message.Del_config key) (expect_ack on_done))
+
+let stats t ~src ~key ~on_done =
+  with_conn t src on_done (fun conn ->
+      op_send t conn (Message.Get_stats key) (fun reply ->
+          (match reply with
+          | Message.Stats_reply s -> on_done (Ok s)
+          | Message.Op_error e -> on_done (Error e)
+          | Message.State_chunk _ | Message.End_of_state _ | Message.Ack
+          | Message.Config_values _ ->
+            on_done (Error (Errors.Op_failed "unexpected reply to stats")));
+          `Done))
+
+let unsubscribe_introspection t ~mb ~codes =
+  t.subscriptions <-
+    List.filter
+      (fun s ->
+        not
+          (String.equal s.sub_mb mb
+          && (codes = [] || List.exists (fun c -> List.mem c s.sub_codes) codes)))
+      t.subscriptions;
+  match find_conn t mb with
+  | None -> ()
+  | Some conn -> op_send_ignore t conn (Message.Disable_events { codes })
+
+let subscribe_introspection t ?expires_after ~mb ~codes ~key ~handler () =
+  with_conn t mb
+    (fun _ -> ())
+    (fun conn ->
+      t.subscriptions <-
+        { sub_mb = mb; sub_codes = codes; sub_key = key; sub_handler = handler }
+        :: t.subscriptions;
+      op_send_ignore t conn (Message.Enable_events { codes; key });
+      (* §4.2.2: event generation can be limited to a fixed period so
+         controller, network and MB are not at risk of overload. *)
+      match expires_after with
+      | None -> ()
+      | Some delay ->
+        ignore
+          (Engine.schedule_after t.engine delay (fun () ->
+               unsubscribe_introspection t ~mb ~codes)))
+
+(* cloneConfig (§5): a composition of readConfig and writeConfig that
+   duplicates a configuration subtree onto another instance. *)
+let clone_config t ~src ~dst ~key ~on_done =
+  read_config t ~src ~key ~on_done:(fun res ->
+      match res with
+      | Error e -> on_done (Error e)
+      | Ok entries ->
+        let total = List.length entries in
+        if total = 0 then on_done (Ok 0)
+        else begin
+          let remaining = ref total in
+          let failed = ref None in
+          List.iter
+            (fun (entry : Config_tree.entry) ->
+              write_config t ~dst ~key:entry.path ~values:entry.values
+                ~on_done:(fun res ->
+                  (match res with
+                  | Error e when !failed = None -> failed := Some e
+                  | Error _ | Ok () -> ());
+                  decr remaining;
+                  if !remaining = 0 then
+                    match !failed with
+                    | Some e -> on_done (Error e)
+                    | None -> on_done (Ok total)))
+            entries
+        end)
+
+(* ------------------------------------------------------------------ *)
+(* Transfers: move / clone / merge                                     *)
+(* ------------------------------------------------------------------ *)
+
+let finalize_transfer t transfer =
+  t.transfers <- List.filter (fun tr -> tr.t_id <> transfer.t_id) t.transfers;
+  record t ~kind:"transfer-final"
+    ~detail:(Printf.sprintf "#%d %s->%s" transfer.t_id transfer.src transfer.dst);
+  match transfer.kind with
+  | T_move -> (
+    (* Deferred delete of the moved state at the source (Fig. 5). *)
+    match find_conn t transfer.src with
+    | None -> ()
+    | Some src_conn ->
+      op_send_ignore t src_conn (Message.Del_support_perflow transfer.hfl);
+      op_send_ignore t src_conn (Message.Del_report_perflow transfer.hfl))
+  | T_clone | T_merge -> ()
+
+let rec schedule_quiescence_check t transfer =
+  let due = Time.(transfer.last_event + t.cfg.quiescence) in
+  let delay = Time.(due - Engine.now t.engine) in
+  (* Clamp to a positive minimum: floating-point rounding can make
+     [due - now] collapse to zero while [now - last_event] still
+     compares below the quiescence threshold, which would re-arm the
+     check at the same instant forever. *)
+  let delay = Time.max delay (Time.ms 1.0) in
+  ignore
+    (Engine.schedule_after t.engine delay (fun () ->
+         if List.exists (fun tr -> tr.t_id = transfer.t_id) t.transfers then begin
+           let idle = Time.(Engine.now t.engine - transfer.last_event) in
+           if Time.compare idle t.cfg.quiescence >= 0 then finalize_transfer t transfer
+           else schedule_quiescence_check t transfer
+         end))
+
+let maybe_return t transfer =
+  if (not transfer.returned) && transfer.open_gets = 0 && transfer.pending_puts = 0 then begin
+    transfer.returned <- true;
+    (* Any still-buffered events belong to flows that started mid-move
+       (no chunk was ever exported for them): replay them now, in
+       order — the destination rebuilds their state from scratch. *)
+    let ids = Hashtbl.fold (fun id _ acc -> id :: acc) transfer.buffered [] in
+    List.iter (flush_buffered t transfer) ids;
+    transfer.last_event <- Engine.now t.engine;
+    record t ~kind:"transfer-done"
+      ~detail:
+        (Printf.sprintf "#%d %s->%s chunks=%d" transfer.t_id transfer.src transfer.dst
+           transfer.chunks);
+    transfer.on_done
+      (Ok
+         {
+           chunks_moved = transfer.chunks;
+           bytes_moved = transfer.bytes;
+           events_forwarded = transfer.events_fwd;
+           duration = Time.(Engine.now t.engine - transfer.started);
+         });
+    schedule_quiescence_check t transfer
+  end
+
+let fail_transfer t transfer err =
+  if not transfer.returned then begin
+    transfer.returned <- true;
+    t.transfers <- List.filter (fun tr -> tr.t_id <> transfer.t_id) t.transfers;
+    transfer.on_done (Error err)
+  end
+
+(* Issue a put for a streamed chunk and track its acknowledgement. *)
+let issue_put t transfer dst_conn (chunk : Chunk.t) =
+  let req =
+    match (chunk.role, chunk.partition) with
+    | Taxonomy.Supporting, Taxonomy.Per_flow -> Message.Put_support_perflow chunk
+    | Taxonomy.Supporting, Taxonomy.Shared -> Message.Put_support_shared chunk
+    | Taxonomy.Reporting, Taxonomy.Per_flow -> Message.Put_report_perflow chunk
+    | Taxonomy.Reporting, Taxonomy.Shared -> Message.Put_report_shared chunk
+    | Taxonomy.Configuring, (Taxonomy.Per_flow | Taxonomy.Shared) ->
+      (* Configuration state never travels as chunks. *)
+      Message.Put_support_shared chunk
+  in
+  transfer.pending_puts <- transfer.pending_puts + 1;
+  transfer.chunks <- transfer.chunks + 1;
+  transfer.bytes <- transfer.bytes + Chunk.size_bytes chunk;
+  let key_id =
+    match chunk.partition with
+    | Taxonomy.Per_flow -> Hfl.to_string chunk.key
+    | Taxonomy.Shared -> shared_key_id
+  in
+  Hashtbl.replace transfer.putting key_id ();
+  op_send t dst_conn req (fun reply ->
+      (match reply with
+      | Message.Ack ->
+        Hashtbl.remove transfer.putting key_id;
+        Hashtbl.replace transfer.acked key_id ();
+        transfer.pending_puts <- transfer.pending_puts - 1;
+        flush_buffered t transfer key_id;
+        maybe_return t transfer
+      | Message.Op_error e -> fail_transfer t transfer e
+      | Message.State_chunk _ | Message.End_of_state _ | Message.Config_values _
+      | Message.Stats_reply _ ->
+        fail_transfer t transfer (Errors.Op_failed "unexpected reply to put"));
+      `Done)
+
+(* Handler for one of the source-side get streams of a transfer. *)
+let get_stream_handler t transfer dst_conn reply =
+  match reply with
+  | Message.State_chunk chunk ->
+    issue_put t transfer dst_conn chunk;
+    `Keep
+  | Message.End_of_state _ ->
+    transfer.open_gets <- transfer.open_gets - 1;
+    maybe_return t transfer;
+    `Done
+  | Message.Op_error e ->
+    fail_transfer t transfer e;
+    `Done
+  | Message.Ack | Message.Config_values _ | Message.Stats_reply _ ->
+    fail_transfer t transfer (Errors.Op_failed "unexpected reply to get");
+    `Done
+
+let start_transfer t ~kind ~src ~dst ~hfl ~gets ~on_done =
+  match (find_conn t src, find_conn t dst) with
+  | None, _ -> fail_async t (Errors.Unknown_mb src) on_done
+  | _, None -> fail_async t (Errors.Unknown_mb dst) on_done
+  | Some src_conn, Some dst_conn ->
+    let src_impl = Mb_agent.impl src_conn.agent in
+    let dst_impl = Mb_agent.impl dst_conn.agent in
+    if not (String.equal src_impl.kind dst_impl.kind) then
+      fail_async t
+        (Errors.Illegal_operation
+           (Printf.sprintf "cannot transfer state between MB kinds %s and %s"
+              src_impl.kind dst_impl.kind))
+        on_done
+    else begin
+      match Southbound.check_granularity src_impl hfl with
+      | Error e -> fail_async t e on_done
+      | Ok () ->
+        let transfer =
+          {
+            t_id = t.next_transfer;
+            kind;
+            src;
+            dst;
+            hfl;
+            started = Engine.now t.engine;
+            open_gets = List.length gets;
+            pending_puts = 0;
+            returned = false;
+            chunks = 0;
+            bytes = 0;
+            events_fwd = 0;
+            acked = Hashtbl.create 64;
+            putting = Hashtbl.create 64;
+            buffered = Hashtbl.create 16;
+            buffered_count = 0;
+            last_event = Engine.now t.engine;
+            on_done;
+          }
+        in
+        t.next_transfer <- t.next_transfer + 1;
+        t.transfers <- transfer :: t.transfers;
+        record t ~kind:"transfer-start"
+          ~detail:
+            (Printf.sprintf "#%d %s %s->%s %s" transfer.t_id
+               (match kind with T_move -> "move" | T_clone -> "clone" | T_merge -> "merge")
+               src dst (Hfl.to_string hfl));
+        List.iter
+          (fun req -> op_send t src_conn req (get_stream_handler t transfer dst_conn))
+          gets
+    end
+
+let move_internal t ~src ~dst ~key ~on_done =
+  start_transfer t ~kind:T_move ~src ~dst ~hfl:key
+    ~gets:[ Message.Get_support_perflow key; Message.Get_report_perflow key ]
+    ~on_done
+
+let clone_support t ~src ~dst ~on_done =
+  start_transfer t ~kind:T_clone ~src ~dst ~hfl:Hfl.any
+    ~gets:[ Message.Get_support_shared ] ~on_done
+
+let merge_internal t ~src ~dst ~on_done =
+  start_transfer t ~kind:T_merge ~src ~dst ~hfl:Hfl.any
+    ~gets:[ Message.Get_support_shared; Message.Get_report_shared ]
+    ~on_done
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let events_buffered_peak t = t.buffered_peak
+let events_forwarded t = t.events_forwarded
+let events_dropped t = t.events_dropped
+let active_transfers t = List.length t.transfers
+let messages_processed t = t.messages

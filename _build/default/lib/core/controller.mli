@@ -1,0 +1,178 @@
+(** The OpenMB middlebox controller (§5).
+
+    The controller brokers every exchange of state and events between
+    middleboxes: it translates northbound calls into sequences of
+    southbound operations, streams state chunks from source to
+    destination, tracks put acknowledgements, buffers re-process events
+    until the state they apply to has been installed at the
+    destination, and issues the deferred deletes once events quiesce
+    (Figure 5).
+
+    All controller work passes through a single simulated CPU, so
+    concurrent operations contend — reproducing the linear scaling of
+    Figure 10(b).  State transfers can optionally be compressed (§8.3).
+
+    Because the host simulation is single-threaded and event-driven,
+    northbound calls are continuation-passing: each takes an [on_done]
+    callback fired when the operation returns. *)
+
+type t
+
+type config = {
+  quiescence : Openmb_sim.Time.t;
+      (** Idle time after which a transfer's events are assumed done
+          and the deferred delete is issued (paper: 5 s). *)
+  cpu_fixed : Openmb_sim.Time.t;
+      (** Controller CPU per processed message (thread wake-up,
+          locking). *)
+  cpu_per_byte : Openmb_sim.Time.t;
+      (** Controller CPU per message byte (socket read, JSON parse). *)
+  channel_latency : Openmb_sim.Time.t;
+      (** Propagation latency of the controller–MB connections. *)
+  channel_bandwidth : float;  (** Bytes/second of those connections. *)
+  forward_events : bool;
+      (** Forward re-process events to destinations (true in OpenMB;
+          the event ablation bench disables it to demonstrate the lost
+          state updates). *)
+}
+
+val default_config : config
+(** 5 s quiescence, 8 µs + 0.3 µs/byte CPU, 200 µs / 125 MB/s
+    channels — calibrated to the paper's controller numbers.
+    (Compression of transfers is controlled by
+    {!Chunk.compression_enabled}.) *)
+
+val create :
+  Openmb_sim.Engine.t ->
+  ?config:config ->
+  ?recorder:Openmb_sim.Recorder.t ->
+  unit ->
+  t
+
+val connect : t -> Mb_agent.t -> unit
+(** Establish the op and event connections to an MB agent and register
+    it under its impl name.  Raises [Failure] on duplicate names. *)
+
+val disconnect : t -> string -> unit
+(** Forget an MB (e.g. a terminated instance); in-flight operations on
+    it are abandoned. *)
+
+val mb_names : t -> string list
+
+(** {1 Northbound API}
+
+    The six operations of §5 plus introspection subscription. *)
+
+type move_result = {
+  chunks_moved : int;
+  bytes_moved : int;
+  events_forwarded : int;
+  duration : Openmb_sim.Time.t;  (** Call start to return. *)
+}
+
+val read_config :
+  t ->
+  src:string ->
+  key:Config_tree.path ->
+  on_done:((Config_tree.entry list, Errors.t) result -> unit) ->
+  unit
+
+val write_config :
+  t ->
+  dst:string ->
+  key:Config_tree.path ->
+  values:Openmb_wire.Json.t list ->
+  on_done:((unit, Errors.t) result -> unit) ->
+  unit
+
+val del_config :
+  t ->
+  dst:string ->
+  key:Config_tree.path ->
+  on_done:((unit, Errors.t) result -> unit) ->
+  unit
+
+val stats :
+  t ->
+  src:string ->
+  key:Openmb_net.Hfl.t ->
+  on_done:((Southbound.stats, Errors.t) result -> unit) ->
+  unit
+
+val move_internal :
+  t ->
+  src:string ->
+  dst:string ->
+  key:Openmb_net.Hfl.t ->
+  on_done:((move_result, Errors.t) result -> unit) ->
+  unit
+(** Move the per-flow supporting and reporting state matching [key]
+    from [src] to [dst].  [on_done] fires when every exported chunk has
+    been acknowledged by [dst]; event forwarding continues afterwards,
+    and the state is deleted from [src] once events quiesce. *)
+
+val clone_support :
+  t ->
+  src:string ->
+  dst:string ->
+  on_done:((move_result, Errors.t) result -> unit) ->
+  unit
+(** Clone shared supporting state from [src] to [dst]; no delete is
+    ever issued (§5). *)
+
+val merge_internal :
+  t ->
+  src:string ->
+  dst:string ->
+  on_done:((move_result, Errors.t) result -> unit) ->
+  unit
+(** Transfer shared supporting and reporting state from [src] into
+    [dst], which merges it with its own (§4.1.2–4.1.3). *)
+
+val subscribe_introspection :
+  t ->
+  ?expires_after:Openmb_sim.Time.t ->
+  mb:string ->
+  codes:string list ->
+  key:Openmb_net.Hfl.t ->
+  handler:(Event.t -> unit) ->
+  unit ->
+  unit
+(** Enable matching introspection events at [mb] and deliver them to
+    [handler].  With [expires_after], the subscription (and the MB-side
+    event generation) is torn down after that long — §4.2.2's guard
+    against event overload. *)
+
+val unsubscribe_introspection : t -> mb:string -> codes:string list -> unit
+(** Remove subscriptions on [mb] whose code lists intersect [codes]
+    ([codes = []] removes all of them) and disable the MB-side
+    generation. *)
+
+val clone_config :
+  t ->
+  src:string ->
+  dst:string ->
+  key:Config_tree.path ->
+  on_done:((int, Errors.t) result -> unit) ->
+  unit
+(** The [cloneConfig] composition of §5: read the configuration subtree
+    at [key] from [src] and write every entry to [dst]; returns the
+    number of entries cloned. *)
+
+(** {1 Reporting} *)
+
+val events_buffered_peak : t -> int
+(** High-water mark of buffered re-process events across transfers. *)
+
+val events_forwarded : t -> int
+(** Total re-process events forwarded to destinations. *)
+
+val events_dropped : t -> int
+(** Re-process events that matched no active transfer. *)
+
+val active_transfers : t -> int
+(** Transfers still forwarding events (including returned ones awaiting
+    quiescence). *)
+
+val messages_processed : t -> int
+(** Messages that crossed the controller CPU. *)

@@ -1,0 +1,29 @@
+type t =
+  | Granularity_too_fine
+  | Unknown_mb of string
+  | Unknown_config_key of string
+  | Illegal_operation of string
+  | Bad_chunk of string
+  | Op_failed of string
+
+let to_string = function
+  | Granularity_too_fine -> "request granularity finer than MB state granularity"
+  | Unknown_mb name -> Printf.sprintf "unknown middlebox %S" name
+  | Unknown_config_key key -> Printf.sprintf "unknown configuration key %S" key
+  | Illegal_operation what -> Printf.sprintf "illegal operation: %s" what
+  | Bad_chunk what -> Printf.sprintf "bad state chunk: %s" what
+  | Op_failed what -> Printf.sprintf "operation failed: %s" what
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let equal a b =
+  match (a, b) with
+  | Granularity_too_fine, Granularity_too_fine -> true
+  | Unknown_mb x, Unknown_mb y
+  | Unknown_config_key x, Unknown_config_key y
+  | Illegal_operation x, Illegal_operation y
+  | Bad_chunk x, Bad_chunk y
+  | Op_failed x, Op_failed y -> String.equal x y
+  | ( ( Granularity_too_fine | Unknown_mb _ | Unknown_config_key _ | Illegal_operation _
+      | Bad_chunk _ | Op_failed _ ),
+      _ ) -> false

@@ -1,0 +1,20 @@
+(** Errors surfaced by the OpenMB APIs. *)
+
+type t =
+  | Granularity_too_fine
+      (** A per-flow state request constrained a dimension finer than
+          the MB's state granularity (§4.1.2). *)
+  | Unknown_mb of string  (** Northbound call names an unregistered MB. *)
+  | Unknown_config_key of string
+      (** [getConfig]/[delConfig] on a key the MB does not define. *)
+  | Illegal_operation of string
+      (** Operation violates the state taxonomy (e.g. putting a
+          reporting chunk through a supporting-state call). *)
+  | Bad_chunk of string
+      (** Chunk cannot be unsealed or is structurally invalid for the
+          receiving MB. *)
+  | Op_failed of string  (** MB-specific failure. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,198 @@
+open Openmb_sim
+
+type t = {
+  engine : Engine.t;
+  recorder : Recorder.t option;
+  impl : Southbound.impl;
+  filter : Event.Filter.t;
+  mutable send_reply : Message.from_mb -> unit;
+  mutable send_event : Message.from_mb -> unit;
+  mutable cpu_free_at : Time.t;
+  mutable active_ops : int;
+  mutable ops_handled : int;
+  mutable events_raised : int;
+}
+
+let record t ~kind ~detail =
+  match t.recorder with
+  | Some r -> Recorder.record r ~actor:t.impl.name ~kind ~detail
+  | None -> ()
+
+let not_attached _ = failwith "Mb_agent: not attached to a controller"
+
+let create engine ?recorder ~impl () =
+  let t =
+    {
+      engine;
+      recorder;
+      impl;
+      filter = Event.Filter.create ();
+      send_reply = not_attached;
+      send_event = not_attached;
+      cpu_free_at = Time.zero;
+      active_ops = 0;
+      ops_handled = 0;
+      events_raised = 0;
+    }
+  in
+  (* Events raised by the MB's packet-processing logic flow out through
+     the agent; re-process events always pass, introspection events are
+     filtered (§4.2.2). *)
+  impl.set_event_sink (fun ev ->
+      if Event.Filter.admits t.filter ev then begin
+        t.events_raised <- t.events_raised + 1;
+        record t ~kind:"event-raise" ~detail:(Event.describe ev);
+        t.send_event (Message.Event_msg ev)
+      end);
+  t
+
+let impl t = t.impl
+let name t = t.impl.name
+
+let set_uplinks t ~send_reply ~send_event =
+  t.send_reply <- send_reply;
+  t.send_event <- send_event
+
+let op_active t = t.active_ops > 0
+let ops_handled t = t.ops_handled
+let events_raised t = t.events_raised
+
+(* Charge [cost] of serial control-thread CPU, then run [k].  The MB
+   keeps processing packets meanwhile (its data path is separate); the
+   impl is told an op is active so it can apply the 2% slowdown. *)
+let exec t cost k =
+  let start = Time.max (Engine.now t.engine) t.cpu_free_at in
+  t.cpu_free_at <- Time.(start + cost);
+  t.active_ops <- t.active_ops + 1;
+  if t.active_ops = 1 then t.impl.set_op_active true;
+  ignore
+    (Engine.schedule_at t.engine t.cpu_free_at (fun () ->
+         k ();
+         t.active_ops <- t.active_ops - 1;
+         if t.active_ops = 0 then t.impl.set_op_active false))
+
+let chunk_serialize_cost (cost : Southbound.cost_model) chunk =
+  Time.(
+    cost.serialize_per_chunk
+    + seconds
+        (to_seconds cost.serialize_per_byte *. float_of_int (Chunk.size_bytes chunk)))
+
+let chunk_deserialize_cost (cost : Southbound.cost_model) chunk =
+  Time.(
+    cost.deserialize_per_chunk
+    + seconds
+        (to_seconds cost.deserialize_per_byte *. float_of_int (Chunk.size_bytes chunk)))
+
+let scan_cost t =
+  Time.seconds
+    (Time.to_seconds t.impl.cost.scan_per_entry *. float_of_int (t.impl.table_entries ()))
+
+let config_op_cost = Time.us 200.0
+
+let reply t op reply = t.send_reply (Message.Reply { op; reply })
+
+let reply_result t op = function
+  | Ok () -> reply t op Message.Ack
+  | Error e -> reply t op (Message.Op_error e)
+
+(* Execute a streaming get: linear scan, then serialize and send each
+   matching chunk in turn, then the end-of-state marker carrying the
+   chunk count. *)
+let handle_get t op ~what (fetch : unit -> (Chunk.t list, Errors.t) result) =
+  record t ~kind:"get-start" ~detail:what;
+  exec t (scan_cost t) (fun () ->
+      match fetch () with
+      | Error e -> reply t op (Message.Op_error e)
+      | Ok chunks ->
+        let count = List.length chunks in
+        List.iter
+          (fun chunk ->
+            exec t (chunk_serialize_cost t.impl.cost chunk) (fun () ->
+                reply t op (Message.State_chunk chunk)))
+          chunks;
+        exec t Time.zero (fun () ->
+            record t ~kind:"get-end" ~detail:(Printf.sprintf "%s count=%d" what count);
+            reply t op (Message.End_of_state { count })))
+
+(* Shared-state gets return zero or one chunk and skip the scan. *)
+let handle_get_shared t op ~what (fetch : unit -> (Chunk.t option, Errors.t) result) =
+  record t ~kind:"get-start" ~detail:what;
+  exec t Time.zero (fun () ->
+      match fetch () with
+      | Error e -> reply t op (Message.Op_error e)
+      | Ok None ->
+        record t ~kind:"get-end" ~detail:(what ^ " count=0");
+        reply t op (Message.End_of_state { count = 0 })
+      | Ok (Some chunk) ->
+        exec t (chunk_serialize_cost t.impl.cost chunk) (fun () ->
+            reply t op (Message.State_chunk chunk);
+            record t ~kind:"get-end" ~detail:(what ^ " count=1");
+            reply t op (Message.End_of_state { count = 1 })))
+
+let handle_put t op ~what chunk (store : Chunk.t -> (unit, Errors.t) result) =
+  exec t (chunk_deserialize_cost t.impl.cost chunk) (fun () ->
+      record t ~kind:"put" ~detail:what;
+      reply_result t op (store chunk))
+
+let handle_del t op (remove : unit -> (int, Errors.t) result) =
+  exec t (scan_cost t) (fun () ->
+      match remove () with
+      | Ok n ->
+        record t ~kind:"del" ~detail:(Printf.sprintf "removed=%d" n);
+        reply t op Message.Ack
+      | Error e -> reply t op (Message.Op_error e))
+
+let handle_request t { Message.op; req } =
+  t.ops_handled <- t.ops_handled + 1;
+  let i = t.impl in
+  match req with
+  | Message.Get_config path ->
+    exec t config_op_cost (fun () ->
+        match i.get_config path with
+        | Ok entries -> reply t op (Message.Config_values entries)
+        | Error e -> reply t op (Message.Op_error e))
+  | Message.Set_config (path, values) ->
+    exec t config_op_cost (fun () -> reply_result t op (i.set_config path values))
+  | Message.Del_config path ->
+    exec t config_op_cost (fun () -> reply_result t op (i.del_config path))
+  | Message.Get_support_perflow hfl ->
+    handle_get t op
+      ~what:("support " ^ Openmb_net.Hfl.to_string hfl)
+      (fun () -> i.get_support_perflow hfl)
+  | Message.Put_support_perflow chunk ->
+    handle_put t op ~what:"support" chunk i.put_support_perflow
+  | Message.Del_support_perflow hfl ->
+    handle_del t op (fun () -> i.del_support_perflow hfl)
+  | Message.Get_support_shared ->
+    handle_get_shared t op ~what:"support-shared" i.get_support_shared
+  | Message.Put_support_shared chunk ->
+    handle_put t op ~what:"support-shared" chunk i.put_support_shared
+  | Message.Get_report_perflow hfl ->
+    handle_get t op
+      ~what:("report " ^ Openmb_net.Hfl.to_string hfl)
+      (fun () -> i.get_report_perflow hfl)
+  | Message.Put_report_perflow chunk ->
+    handle_put t op ~what:"report" chunk i.put_report_perflow
+  | Message.Del_report_perflow hfl ->
+    handle_del t op (fun () -> i.del_report_perflow hfl)
+  | Message.Get_report_shared ->
+    handle_get_shared t op ~what:"report-shared" i.get_report_shared
+  | Message.Put_report_shared chunk ->
+    handle_put t op ~what:"report-shared" chunk i.put_report_shared
+  | Message.Get_stats hfl ->
+    exec t config_op_cost (fun () -> reply t op (Message.Stats_reply (i.stats hfl)))
+  | Message.Enable_events { codes; key } ->
+    Event.Filter.enable t.filter ~codes ~key;
+    reply t op Message.Ack
+  | Message.Disable_events { codes } ->
+    Event.Filter.disable t.filter ~codes;
+    reply t op Message.Ack
+  | Message.Reprocess_packet { key; packet } ->
+    (* Re-processing updates state but performs no external
+       side-effects (§4.2.1).  It rides the MB's packet path, not the
+       control thread, so no control CPU is charged here. *)
+    record t ~kind:"event-proc"
+      ~detail:
+        (Printf.sprintf "%s %s" (Openmb_net.Hfl.to_string key)
+           (Openmb_net.Packet.flow_label packet));
+    i.process_packet packet ~side_effects:false

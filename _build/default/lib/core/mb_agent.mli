@@ -1,0 +1,45 @@
+(** Middlebox-side OpenMB runtime.
+
+    Wraps a {!Southbound.impl} and attaches it to the MB controller:
+    receives requests from the controller connection, executes them on
+    the MB's (serial) control thread while charging the impl's
+    simulated CPU costs, streams state chunks and acknowledgements
+    back, and forwards the MB's events — subject to the introspection
+    filter — up the event connection.
+
+    This is the analog of the ≈500-line common code base the paper
+    links into each modified middlebox (§7). *)
+
+type t
+
+val create :
+  Openmb_sim.Engine.t ->
+  ?recorder:Openmb_sim.Recorder.t ->
+  impl:Southbound.impl ->
+  unit ->
+  t
+(** An agent not yet attached to a controller. *)
+
+val impl : t -> Southbound.impl
+val name : t -> string
+
+val set_uplinks :
+  t ->
+  send_reply:(Message.from_mb -> unit) ->
+  send_event:(Message.from_mb -> unit) ->
+  unit
+(** Install the transmit functions toward the controller (set up by
+    {!Controller.connect}): one for op replies, one for events,
+    mirroring the paper's two threads per MB. *)
+
+val handle_request : t -> Message.to_mb -> unit
+(** Entry point for requests arriving from the controller. *)
+
+val op_active : t -> bool
+(** Whether a state operation is currently executing. *)
+
+val ops_handled : t -> int
+(** Total requests processed (for reporting). *)
+
+val events_raised : t -> int
+(** Events the MB emitted that passed the filter and were sent. *)

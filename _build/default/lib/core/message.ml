@@ -1,0 +1,433 @@
+open Openmb_wire
+open Openmb_net
+
+type op_id = int
+
+type request =
+  | Get_config of Config_tree.path
+  | Set_config of Config_tree.path * Json.t list
+  | Del_config of Config_tree.path
+  | Get_support_perflow of Hfl.t
+  | Put_support_perflow of Chunk.t
+  | Del_support_perflow of Hfl.t
+  | Get_support_shared
+  | Put_support_shared of Chunk.t
+  | Get_report_perflow of Hfl.t
+  | Put_report_perflow of Chunk.t
+  | Del_report_perflow of Hfl.t
+  | Get_report_shared
+  | Put_report_shared of Chunk.t
+  | Get_stats of Hfl.t
+  | Enable_events of { codes : string list; key : Hfl.t }
+  | Disable_events of { codes : string list }
+  | Reprocess_packet of { key : Hfl.t; packet : Packet.t }
+
+type reply =
+  | State_chunk of Chunk.t
+  | End_of_state of { count : int }
+  | Ack
+  | Config_values of Config_tree.entry list
+  | Stats_reply of Southbound.stats
+  | Op_error of Errors.t
+
+type to_mb = { op : op_id; req : request }
+
+type from_mb = Reply of { op : op_id; reply : reply } | Event_msg of Event.t
+
+(* ------------------------------------------------------------------ *)
+(* JSON encodings                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let hfl_to_json hfl = Json.String (Hfl.to_string hfl)
+let hfl_of_json j = Hfl.of_string (Json.get_string j)
+let path_to_json p = Json.String (Config_tree.path_to_string p)
+let path_of_json j = Config_tree.path_of_string (Json.get_string j)
+
+let chunk_to_json (c : Chunk.t) =
+  Json.Assoc
+    [
+      ("kind", Json.String c.mb_kind);
+      ("role", Json.String (Taxonomy.role_to_string c.role));
+      ("partition", Json.String (Taxonomy.partition_to_string c.partition));
+      ("key", hfl_to_json c.key);
+      ("cipher", Json.String c.cipher);
+    ]
+
+let chunk_of_json j : Chunk.t =
+  {
+    mb_kind = Json.get_string (Json.member "kind" j);
+    role = Taxonomy.role_of_string (Json.get_string (Json.member "role" j));
+    partition =
+      Taxonomy.partition_of_string (Json.get_string (Json.member "partition" j));
+    key = hfl_of_json (Json.member "key" j);
+    cipher = Json.get_string (Json.member "cipher" j);
+  }
+
+let flags_to_json (f : Packet.tcp_flags) =
+  Json.Assoc
+    [
+      ("syn", Json.Bool f.syn);
+      ("ack", Json.Bool f.ack);
+      ("fin", Json.Bool f.fin);
+      ("rst", Json.Bool f.rst);
+    ]
+
+let flags_of_json j : Packet.tcp_flags =
+  {
+    syn = Json.get_bool (Json.member "syn" j);
+    ack = Json.get_bool (Json.member "ack" j);
+    fin = Json.get_bool (Json.member "fin" j);
+    rst = Json.get_bool (Json.member "rst" j);
+  }
+
+let app_to_json = function
+  | Packet.Plain -> Json.Null
+  | Packet.Http_request { method_; host; uri } ->
+    Json.Assoc
+      [
+        ("t", Json.String "req");
+        ("method", Json.String method_);
+        ("host", Json.String host);
+        ("uri", Json.String uri);
+      ]
+  | Packet.Http_response { status } ->
+    Json.Assoc [ ("t", Json.String "resp"); ("status", Json.Int status) ]
+
+let app_of_json = function
+  | Json.Null -> Packet.Plain
+  | j -> (
+    match Json.get_string (Json.member "t" j) with
+    | "req" ->
+      Packet.Http_request
+        {
+          method_ = Json.get_string (Json.member "method" j);
+          host = Json.get_string (Json.member "host" j);
+          uri = Json.get_string (Json.member "uri" j);
+        }
+    | "resp" -> Packet.Http_response { status = Json.get_int (Json.member "status" j) }
+    | s -> invalid_arg (Printf.sprintf "Message.app_of_json: %S" s))
+
+let payload_to_json p =
+  Json.Assoc
+    [
+      ("tokens", Json.List (Array.to_list (Array.map (fun t -> Json.Int t) (Payload.tokens p))));
+      ("trailing", Json.Int (Payload.size_bytes p mod Payload.token_bytes));
+    ]
+
+let payload_of_json j =
+  let tokens =
+    Array.of_list (List.map Json.get_int (Json.get_list (Json.member "tokens" j)))
+  in
+  let trailing = Json.get_int (Json.member "trailing" j) in
+  Payload.of_tokens_trailing tokens ~trailing
+
+let segment_to_json = function
+  | Packet.Literal p -> Json.Assoc [ ("t", Json.String "lit"); ("payload", payload_to_json p) ]
+  | Packet.Shim { offset; len } ->
+    Json.Assoc
+      [ ("t", Json.String "shim"); ("offset", Json.Int offset); ("len", Json.Int len) ]
+
+let segment_of_json j =
+  match Json.get_string (Json.member "t" j) with
+  | "lit" -> Packet.Literal (payload_of_json (Json.member "payload" j))
+  | "shim" ->
+    Packet.Shim
+      { offset = Json.get_int (Json.member "offset" j); len = Json.get_int (Json.member "len" j) }
+  | s -> invalid_arg (Printf.sprintf "Message.segment_of_json: %S" s)
+
+let body_to_json = function
+  | Packet.Raw p -> Json.Assoc [ ("t", Json.String "raw"); ("payload", payload_to_json p) ]
+  | Packet.Encoded { cache_id; append_base; segments; orig } ->
+    Json.Assoc
+      [
+        ("t", Json.String "enc");
+        ("cache", Json.Int cache_id);
+        ("base", Json.Int append_base);
+        ("segments", Json.List (List.map segment_to_json segments));
+        ("orig", payload_to_json orig);
+      ]
+
+let body_of_json j =
+  match Json.get_string (Json.member "t" j) with
+  | "raw" -> Packet.Raw (payload_of_json (Json.member "payload" j))
+  | "enc" ->
+    Packet.Encoded
+      {
+        cache_id = Json.get_int (Json.member "cache" j);
+        append_base = Json.get_int (Json.member "base" j);
+        segments = List.map segment_of_json (Json.get_list (Json.member "segments" j));
+        orig = payload_of_json (Json.member "orig" j);
+      }
+  | s -> invalid_arg (Printf.sprintf "Message.body_of_json: %S" s)
+
+let packet_to_json (p : Packet.t) =
+  Json.Assoc
+    [
+      ("id", Json.Int p.id);
+      ("ts", Json.Float (Openmb_sim.Time.to_seconds p.ts));
+      ("src_ip", Json.String (Addr.to_string p.src_ip));
+      ("dst_ip", Json.String (Addr.to_string p.dst_ip));
+      ("src_port", Json.Int p.src_port);
+      ("dst_port", Json.Int p.dst_port);
+      ("proto", Json.String (Packet.proto_to_string p.proto));
+      ("flags", flags_to_json p.flags);
+      ("app", app_to_json p.app);
+      ("body", body_to_json p.body);
+    ]
+
+let packet_of_json j : Packet.t =
+  {
+    id = Json.get_int (Json.member "id" j);
+    ts = Openmb_sim.Time.seconds (Json.get_float (Json.member "ts" j));
+    src_ip = Addr.of_string (Json.get_string (Json.member "src_ip" j));
+    dst_ip = Addr.of_string (Json.get_string (Json.member "dst_ip" j));
+    src_port = Json.get_int (Json.member "src_port" j);
+    dst_port = Json.get_int (Json.member "dst_port" j);
+    proto = Packet.proto_of_string (Json.get_string (Json.member "proto" j));
+    flags = flags_of_json (Json.member "flags" j);
+    app = app_of_json (Json.member "app" j);
+    body = body_of_json (Json.member "body" j);
+  }
+
+let request_body_to_json = function
+  | Get_config p -> ("getConfig", [ ("key", path_to_json p) ])
+  | Set_config (p, vs) -> ("setConfig", [ ("key", path_to_json p); ("values", Json.List vs) ])
+  | Del_config p -> ("delConfig", [ ("key", path_to_json p) ])
+  | Get_support_perflow h -> ("getSupportPerflow", [ ("key", hfl_to_json h) ])
+  | Put_support_perflow c -> ("putSupportPerflow", [ ("chunk", chunk_to_json c) ])
+  | Del_support_perflow h -> ("delSupportPerflow", [ ("key", hfl_to_json h) ])
+  | Get_support_shared -> ("getSupportShared", [])
+  | Put_support_shared c -> ("putSupportShared", [ ("chunk", chunk_to_json c) ])
+  | Get_report_perflow h -> ("getReportPerflow", [ ("key", hfl_to_json h) ])
+  | Put_report_perflow c -> ("putReportPerflow", [ ("chunk", chunk_to_json c) ])
+  | Del_report_perflow h -> ("delReportPerflow", [ ("key", hfl_to_json h) ])
+  | Get_report_shared -> ("getReportShared", [])
+  | Put_report_shared c -> ("putReportShared", [ ("chunk", chunk_to_json c) ])
+  | Get_stats h -> ("getStats", [ ("key", hfl_to_json h) ])
+  | Enable_events { codes; key } ->
+    ( "enableEvents",
+      [
+        ("codes", Json.List (List.map (fun c -> Json.String c) codes));
+        ("key", hfl_to_json key);
+      ] )
+  | Disable_events { codes } ->
+    ("disableEvents", [ ("codes", Json.List (List.map (fun c -> Json.String c) codes)) ])
+  | Reprocess_packet { key; packet } ->
+    ("reprocessPacket", [ ("key", hfl_to_json key); ("packet", packet_to_json packet) ])
+
+let request_to_json { op; req } =
+  let name, fields = request_body_to_json req in
+  Json.Assoc (("op", Json.Int op) :: ("type", Json.String name) :: fields)
+
+let request_of_json j =
+  let op = Json.get_int (Json.member "op" j) in
+  let key_field () = Json.member "key" j in
+  let chunk_field () = chunk_of_json (Json.member "chunk" j) in
+  let req =
+    match Json.get_string (Json.member "type" j) with
+    | "getConfig" -> Get_config (path_of_json (key_field ()))
+    | "setConfig" ->
+      Set_config (path_of_json (key_field ()), Json.get_list (Json.member "values" j))
+    | "delConfig" -> Del_config (path_of_json (key_field ()))
+    | "getSupportPerflow" -> Get_support_perflow (hfl_of_json (key_field ()))
+    | "putSupportPerflow" -> Put_support_perflow (chunk_field ())
+    | "delSupportPerflow" -> Del_support_perflow (hfl_of_json (key_field ()))
+    | "getSupportShared" -> Get_support_shared
+    | "putSupportShared" -> Put_support_shared (chunk_field ())
+    | "getReportPerflow" -> Get_report_perflow (hfl_of_json (key_field ()))
+    | "putReportPerflow" -> Put_report_perflow (chunk_field ())
+    | "delReportPerflow" -> Del_report_perflow (hfl_of_json (key_field ()))
+    | "getReportShared" -> Get_report_shared
+    | "putReportShared" -> Put_report_shared (chunk_field ())
+    | "getStats" -> Get_stats (hfl_of_json (key_field ()))
+    | "enableEvents" ->
+      Enable_events
+        {
+          codes = List.map Json.get_string (Json.get_list (Json.member "codes" j));
+          key = hfl_of_json (key_field ());
+        }
+    | "disableEvents" ->
+      Disable_events
+        { codes = List.map Json.get_string (Json.get_list (Json.member "codes" j)) }
+    | "reprocessPacket" ->
+      Reprocess_packet
+        { key = hfl_of_json (key_field ()); packet = packet_of_json (Json.member "packet" j) }
+    | s -> invalid_arg (Printf.sprintf "Message.request_of_json: unknown type %S" s)
+  in
+  { op; req }
+
+let stats_to_json (s : Southbound.stats) =
+  Json.Assoc
+    [
+      ("pf_support_chunks", Json.Int s.perflow_support_chunks);
+      ("pf_report_chunks", Json.Int s.perflow_report_chunks);
+      ("pf_support_bytes", Json.Int s.perflow_support_bytes);
+      ("pf_report_bytes", Json.Int s.perflow_report_bytes);
+      ("sh_support_bytes", Json.Int s.shared_support_bytes);
+      ("sh_report_bytes", Json.Int s.shared_report_bytes);
+    ]
+
+let stats_of_json j : Southbound.stats =
+  {
+    perflow_support_chunks = Json.get_int (Json.member "pf_support_chunks" j);
+    perflow_report_chunks = Json.get_int (Json.member "pf_report_chunks" j);
+    perflow_support_bytes = Json.get_int (Json.member "pf_support_bytes" j);
+    perflow_report_bytes = Json.get_int (Json.member "pf_report_bytes" j);
+    shared_support_bytes = Json.get_int (Json.member "sh_support_bytes" j);
+    shared_report_bytes = Json.get_int (Json.member "sh_report_bytes" j);
+  }
+
+let error_to_json (e : Errors.t) =
+  let code, arg =
+    match e with
+    | Granularity_too_fine -> ("granularity", "")
+    | Unknown_mb s -> ("unknown_mb", s)
+    | Unknown_config_key s -> ("unknown_config_key", s)
+    | Illegal_operation s -> ("illegal_operation", s)
+    | Bad_chunk s -> ("bad_chunk", s)
+    | Op_failed s -> ("op_failed", s)
+  in
+  Json.Assoc [ ("code", Json.String code); ("arg", Json.String arg) ]
+
+let error_of_json j : Errors.t =
+  let arg = Json.get_string (Json.member "arg" j) in
+  match Json.get_string (Json.member "code" j) with
+  | "granularity" -> Granularity_too_fine
+  | "unknown_mb" -> Unknown_mb arg
+  | "unknown_config_key" -> Unknown_config_key arg
+  | "illegal_operation" -> Illegal_operation arg
+  | "bad_chunk" -> Bad_chunk arg
+  | "op_failed" -> Op_failed arg
+  | s -> invalid_arg (Printf.sprintf "Message.error_of_json: %S" s)
+
+let entry_to_json (e : Config_tree.entry) =
+  Json.Assoc
+    [ ("key", Json.String (Config_tree.path_to_string e.path)); ("values", Json.List e.values) ]
+
+let entry_of_json j : Config_tree.entry =
+  {
+    path = Config_tree.path_of_string (Json.get_string (Json.member "key" j));
+    values = Json.get_list (Json.member "values" j);
+  }
+
+let reply_to_json = function
+  | State_chunk c -> ("stateChunk", [ ("chunk", chunk_to_json c) ])
+  | End_of_state { count } -> ("endOfState", [ ("count", Json.Int count) ])
+  | Ack -> ("ack", [])
+  | Config_values es -> ("configValues", [ ("entries", Json.List (List.map entry_to_json es)) ])
+  | Stats_reply s -> ("stats", [ ("stats", stats_to_json s) ])
+  | Op_error e -> ("error", [ ("error", error_to_json e) ])
+
+let event_to_json = function
+  | Event.Reprocess { key; packet } ->
+    Json.Assoc
+      [
+        ("t", Json.String "reprocess");
+        ("key", hfl_to_json key);
+        ("packet", packet_to_json packet);
+      ]
+  | Event.Introspect { code; key; info } ->
+    Json.Assoc
+      [
+        ("t", Json.String "introspect");
+        ("code", Json.String code);
+        ("key", hfl_to_json key);
+        ("info", info);
+      ]
+
+let event_of_json j =
+  match Json.get_string (Json.member "t" j) with
+  | "reprocess" ->
+    Event.Reprocess
+      { key = hfl_of_json (Json.member "key" j); packet = packet_of_json (Json.member "packet" j) }
+  | "introspect" ->
+    Event.Introspect
+      {
+        code = Json.get_string (Json.member "code" j);
+        key = hfl_of_json (Json.member "key" j);
+        info = Json.member "info" j;
+      }
+  | s -> invalid_arg (Printf.sprintf "Message.event_of_json: %S" s)
+
+let from_mb_to_json = function
+  | Reply { op; reply } ->
+    let name, fields = reply_to_json reply in
+    Json.Assoc (("op", Json.Int op) :: ("type", Json.String name) :: fields)
+  | Event_msg ev -> Json.Assoc [ ("type", Json.String "event"); ("event", event_to_json ev) ]
+
+let from_mb_of_json j =
+  match Json.get_string (Json.member "type" j) with
+  | "event" -> Event_msg (event_of_json (Json.member "event" j))
+  | name ->
+    let op = Json.get_int (Json.member "op" j) in
+    let reply =
+      match name with
+      | "stateChunk" -> State_chunk (chunk_of_json (Json.member "chunk" j))
+      | "endOfState" -> End_of_state { count = Json.get_int (Json.member "count" j) }
+      | "ack" -> Ack
+      | "configValues" ->
+        Config_values (List.map entry_of_json (Json.get_list (Json.member "entries" j)))
+      | "stats" -> Stats_reply (stats_of_json (Json.member "stats" j))
+      | "error" -> Op_error (error_of_json (Json.member "error" j))
+      | s -> invalid_arg (Printf.sprintf "Message.from_mb_of_json: unknown type %S" s)
+    in
+    Reply { op; reply }
+
+(* ------------------------------------------------------------------ *)
+(* Wire sizes                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Framing overhead covering the op id, type tag and JSON punctuation.
+   State- and packet-bearing messages avoid materializing the (large)
+   JSON text on the hot path; everything else measures the actual
+   encoding. *)
+let framing = 48
+
+let request_wire_bytes m =
+  match m.req with
+  | Put_support_perflow c | Put_support_shared c | Put_report_perflow c
+  | Put_report_shared c ->
+    framing + Chunk.size_bytes c + String.length (Hfl.to_string c.key)
+  | Reprocess_packet { key; packet } ->
+    framing + Packet.wire_bytes packet + String.length (Hfl.to_string key)
+  | Get_config _ | Set_config _ | Del_config _ | Get_support_perflow _
+  | Del_support_perflow _ | Get_support_shared | Get_report_perflow _
+  | Del_report_perflow _ | Get_report_shared | Get_stats _ | Enable_events _
+  | Disable_events _ ->
+    Json.wire_size (request_to_json m)
+
+let reply_wire_bytes = function
+  | Reply { reply = State_chunk c; _ } ->
+    framing + Chunk.size_bytes c + String.length (Hfl.to_string c.key)
+  | Event_msg ev -> framing + Event.wire_bytes ev
+  | Reply { op; reply = (End_of_state _ | Ack | Config_values _ | Stats_reply _ | Op_error _) as reply } ->
+    Json.wire_size (from_mb_to_json (Reply { op; reply }))
+
+(* ------------------------------------------------------------------ *)
+(* Descriptions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let describe_request req =
+  let name, _ = request_body_to_json req in
+  let detail =
+    match req with
+    | Get_config p | Set_config (p, _) | Del_config p -> Config_tree.path_to_string p
+    | Get_support_perflow h | Del_support_perflow h | Get_report_perflow h
+    | Del_report_perflow h | Get_stats h ->
+      Hfl.to_string h
+    | Put_support_perflow c | Put_support_shared c | Put_report_perflow c
+    | Put_report_shared c ->
+      Chunk.describe c
+    | Get_support_shared | Get_report_shared -> ""
+    | Enable_events { codes; _ } | Disable_events { codes } -> String.concat "," codes
+    | Reprocess_packet { packet; _ } -> Packet.flow_label packet
+  in
+  if detail = "" then name else name ^ " " ^ detail
+
+let describe_reply = function
+  | State_chunk c -> "stateChunk " ^ Chunk.describe c
+  | End_of_state { count } -> Printf.sprintf "endOfState count=%d" count
+  | Ack -> "ack"
+  | Config_values es -> Printf.sprintf "configValues n=%d" (List.length es)
+  | Stats_reply _ -> "stats"
+  | Op_error e -> "error " ^ Errors.to_string e

@@ -1,0 +1,69 @@
+(** The OpenMB wire protocol.
+
+    The controller and middleboxes exchange JSON messages to invoke
+    operations, send and receive state, and raise and forward events
+    (§7).  Every message has a faithful JSON encoding (used by the
+    tests and available for logging); transfer costs on the simulated
+    channels use {!request_wire_bytes}/{!reply_wire_bytes}, which agree
+    with the encoded size without materializing the JSON on the hot
+    path. *)
+
+type op_id = int
+(** Correlates replies with requests within one MB connection. *)
+
+type request =
+  | Get_config of Config_tree.path
+  | Set_config of Config_tree.path * Openmb_wire.Json.t list
+  | Del_config of Config_tree.path
+  | Get_support_perflow of Openmb_net.Hfl.t
+  | Put_support_perflow of Chunk.t
+  | Del_support_perflow of Openmb_net.Hfl.t
+  | Get_support_shared
+  | Put_support_shared of Chunk.t
+  | Get_report_perflow of Openmb_net.Hfl.t
+  | Put_report_perflow of Chunk.t
+  | Del_report_perflow of Openmb_net.Hfl.t
+  | Get_report_shared
+  | Put_report_shared of Chunk.t
+  | Get_stats of Openmb_net.Hfl.t
+  | Enable_events of { codes : string list; key : Openmb_net.Hfl.t }
+  | Disable_events of { codes : string list }
+  | Reprocess_packet of { key : Openmb_net.Hfl.t; packet : Openmb_net.Packet.t }
+      (** Controller forwarding a re-process event to the destination
+          MB. *)
+
+type reply =
+  | State_chunk of Chunk.t  (** One streamed piece of state during a get. *)
+  | End_of_state of { count : int }  (** Terminates a get stream. *)
+  | Ack  (** Successful put/del/set/enable/disable/reprocess. *)
+  | Config_values of Config_tree.entry list
+  | Stats_reply of Southbound.stats
+  | Op_error of Errors.t
+
+type to_mb = { op : op_id; req : request }
+(** Controller → MB. *)
+
+type from_mb =
+  | Reply of { op : op_id; reply : reply }
+  | Event_msg of Event.t  (** MB-initiated, not tied to an op. *)
+
+val request_to_json : to_mb -> Openmb_wire.Json.t
+val request_of_json : Openmb_wire.Json.t -> to_mb
+(** Raises [Invalid_argument] on messages not produced by
+    {!request_to_json}. *)
+
+val from_mb_to_json : from_mb -> Openmb_wire.Json.t
+val from_mb_of_json : Openmb_wire.Json.t -> from_mb
+(** Raises [Invalid_argument] on messages not produced by
+    {!from_mb_to_json}. *)
+
+val request_wire_bytes : to_mb -> int
+(** Wire size of the message; dominated by chunk/packet bodies for
+    state-bearing messages. *)
+
+val reply_wire_bytes : from_mb -> int
+
+val describe_request : request -> string
+(** Short label like ["getSupportPerflow nw_src=1.1.1.0/24"]. *)
+
+val describe_reply : reply -> string

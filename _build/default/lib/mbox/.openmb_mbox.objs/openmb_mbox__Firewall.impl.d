@@ -1,0 +1,1 @@
+lib/mbox/firewall.ml: Chunk Config_tree Errors Event Five_tuple Hfl Json List Mb_base Openmb_core Openmb_net Openmb_sim Openmb_wire Packet Printf Southbound State_table String Taxonomy Time

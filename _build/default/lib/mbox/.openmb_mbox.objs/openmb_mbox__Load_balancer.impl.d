@@ -1,0 +1,1 @@
+lib/mbox/load_balancer.ml: Addr Array Chunk Config_tree Errors Event Five_tuple Hashtbl Hfl Json List Mb_base Openmb_core Openmb_net Openmb_sim Openmb_wire Packet Southbound State_table Taxonomy Time

@@ -1,0 +1,1 @@
+lib/mbox/mb_base.ml: Chunk Config_tree Engine Errors Event Openmb_core Openmb_net Openmb_sim Openmb_wire Recorder Southbound Stats Time

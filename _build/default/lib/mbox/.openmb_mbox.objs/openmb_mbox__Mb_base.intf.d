@@ -1,0 +1,1 @@
+lib/mbox/mb_base.mli: Openmb_core Openmb_net Openmb_sim Openmb_wire

@@ -1,0 +1,1 @@
+lib/mbox/monitor.ml: Chunk Config_tree Errors Event Five_tuple Float Hfl Json List Mb_base Openmb_core Openmb_net Openmb_sim Openmb_wire Packet Southbound State_table String Taxonomy Time

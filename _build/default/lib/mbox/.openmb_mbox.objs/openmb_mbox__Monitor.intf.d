@@ -1,0 +1,1 @@
+lib/mbox/monitor.mli: Mb_base Openmb_core Openmb_net Openmb_sim

@@ -1,0 +1,1 @@
+lib/mbox/re_cache.ml: Array Buffer Char Int List String

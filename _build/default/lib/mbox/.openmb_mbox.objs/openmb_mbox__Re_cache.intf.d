@@ -1,0 +1,1 @@
+lib/mbox/re_cache.mli:

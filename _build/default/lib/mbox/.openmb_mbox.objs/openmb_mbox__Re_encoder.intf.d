@@ -1,0 +1,1 @@
+lib/mbox/re_encoder.mli: Mb_base Openmb_core Openmb_net Openmb_sim Re_cache

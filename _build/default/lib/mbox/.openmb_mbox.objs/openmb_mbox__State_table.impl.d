@@ -1,0 +1,1 @@
+lib/mbox/state_table.ml: Addr Five_tuple Hashtbl Hfl List Openmb_net

@@ -1,0 +1,1 @@
+lib/mbox/state_table.mli: Openmb_net

@@ -1,0 +1,41 @@
+(** Stateful firewall.
+
+    Evaluates an ordered rule list (configuration state, §4.1.1's
+    iptables/IOS example) on the first packet of each flow, caches the
+    verdict as per-flow supporting state, and permits established
+    connections' reverse traffic.  Shared reporting state counts
+    allowed and denied packets and merges by addition. *)
+
+type t
+
+type action = Allow | Deny
+
+type rule = { rl_match : Openmb_net.Hfl.t; rl_action : action }
+
+val create :
+  Openmb_sim.Engine.t ->
+  ?recorder:Openmb_sim.Recorder.t ->
+  ?cost:Openmb_core.Southbound.cost_model ->
+  ?rules:rule list ->
+  ?default_action:action ->
+  name:string ->
+  unit ->
+  t
+(** [rules] default to empty; [default_action] to [Allow]. *)
+
+val impl : t -> Openmb_core.Southbound.impl
+val base : t -> Mb_base.t
+
+val receive : t -> Openmb_net.Packet.t -> unit
+
+val rules : t -> rule list
+(** Current ordered rule list (reflects [setConfig] updates). *)
+
+val allowed : t -> int
+val denied : t -> int
+
+val cached_verdicts : t -> int
+(** Per-flow verdict-cache population. *)
+
+val rule_to_json : rule -> Openmb_wire.Json.t
+(** The configuration-value encoding of one rule. *)

@@ -1,0 +1,203 @@
+open Openmb_sim
+open Openmb_wire
+open Openmb_net
+open Openmb_core
+
+type policy = Round_robin | Least_conn | Source_hash
+
+type t = {
+  base : Mb_base.t;
+  policy : policy;
+  table : Addr.t State_table.t;  (* flow key -> backend *)
+  mutable backends : Addr.t array;
+  mutable rr_next : int;
+}
+
+let lb_granularity = Hfl.[ Dim_src_ip; Dim_src_port ]
+
+let default_cost : Southbound.cost_model =
+  {
+    per_packet = Time.us 50.0;
+    op_slowdown = 1.02;
+    scan_per_entry = Time.us 8.0;
+    serialize_per_chunk = Time.us 80.0;
+    serialize_per_byte = Time.us 0.02;
+    deserialize_per_chunk = Time.us 15.0;
+    deserialize_per_byte = Time.us 0.005;
+  }
+
+let policy_to_string = function
+  | Round_robin -> "round_robin"
+  | Least_conn -> "least_conn"
+  | Source_hash -> "source_hash"
+
+let create engine ?recorder ?(cost = default_cost) ?(policy = Round_robin) ~backends
+    ~name () =
+  if backends = [] then invalid_arg "Load_balancer.create: no backends";
+  let base = Mb_base.create engine ?recorder ~name ~kind:"lb" ~cost () in
+  Config_tree.set (Mb_base.config base) [ "backends" ]
+    (List.map (fun a -> Json.String (Addr.to_string a)) backends);
+  Config_tree.set (Mb_base.config base) [ "policy" ]
+    [ Json.String (policy_to_string policy) ];
+  {
+    base;
+    policy;
+    table = State_table.create ~granularity:lb_granularity ();
+    backends = Array.of_list backends;
+    rr_next = 0;
+  }
+
+let base t = t.base
+
+let backend_load t =
+  let counts = Hashtbl.create 8 in
+  Array.iter (fun b -> Hashtbl.replace counts b 0) t.backends;
+  State_table.iter t.table (fun e ->
+      let c = match Hashtbl.find_opt counts e.value with Some c -> c | None -> 0 in
+      Hashtbl.replace counts e.value (c + 1));
+  Array.to_list (Array.map (fun b -> (b, Hashtbl.find counts b)) t.backends)
+
+let pick_backend t (p : Packet.t) =
+  match t.policy with
+  | Round_robin ->
+    let b = t.backends.(t.rr_next mod Array.length t.backends) in
+    t.rr_next <- t.rr_next + 1;
+    b
+  | Least_conn ->
+    let load = backend_load t in
+    let best, _ =
+      List.fold_left
+        (fun (bb, bc) (b, c) -> if c < bc then (b, c) else (bb, bc))
+        (t.backends.(0), max_int)
+        load
+    in
+    best
+  | Source_hash ->
+    let h = Hashtbl.hash (Addr.to_string p.src_ip, p.src_port) in
+    t.backends.(h mod Array.length t.backends)
+
+let process t (p : Packet.t) ~side_effects =
+  let tup = Five_tuple.of_packet p in
+  let entry, created =
+    State_table.find_or_create t.table tup ~default:(fun () -> pick_backend t p)
+  in
+  if created && side_effects then
+    Mb_base.raise_event t.base
+      (Event.Introspect
+         {
+           code = "lb.new_assignment";
+           key = entry.key;
+           info = Json.Assoc [ ("backend", Json.String (Addr.to_string entry.value)) ];
+         });
+  if entry.moved then
+    Mb_base.raise_event t.base (Event.Reprocess { key = entry.key; packet = p });
+  if side_effects then Some { p with dst_ip = entry.value } else None
+
+let receive t p =
+  Mb_base.inject t.base p ~side_effects:true ~work:(fun p ->
+      match process t p ~side_effects:true with
+      | Some rewritten -> Mb_base.forward t.base rewritten
+      | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Southbound implementation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let chunk_of_entry t (entry : Addr.t State_table.entry) =
+  Mb_base.seal_json t.base ~role:Taxonomy.Supporting ~partition:Taxonomy.Per_flow
+    ~key:entry.key
+    (Json.Assoc [ ("backend", Json.String (Addr.to_string entry.value)) ])
+
+let get_support_perflow t hfl =
+  match Hfl.compatible_with_granularity hfl (State_table.granularity t.table) with
+  | false -> Error Errors.Granularity_too_fine
+  | true ->
+    (* Skip entries an earlier pending transfer already exported. *)
+    let entries =
+      List.filter
+        (fun (e : Addr.t State_table.entry) -> not e.moved)
+        (State_table.matching t.table hfl)
+    in
+    List.iter (fun (e : Addr.t State_table.entry) -> e.moved <- true) entries;
+    State_table.add_move_filter t.table hfl;
+    Ok (List.map (chunk_of_entry t) entries)
+
+let put_support_perflow t (chunk : Chunk.t) =
+  if chunk.role <> Taxonomy.Supporting || chunk.partition <> Taxonomy.Per_flow then
+    Error (Errors.Illegal_operation "expected per-flow supporting chunk")
+  else
+    match Mb_base.unseal_json t.base chunk with
+    | Error e -> Error e
+    | Ok json -> (
+      match Addr.of_string (Json.get_string (Json.member "backend" json)) with
+      | backend ->
+        State_table.insert t.table ~key:chunk.key backend;
+        Ok ()
+      | exception Invalid_argument msg -> Error (Errors.Bad_chunk msg))
+
+let del_support_perflow t hfl =
+  let removed = State_table.remove_moved_matching t.table hfl in
+  State_table.remove_move_filter t.table hfl;
+  Ok (List.length removed)
+
+let set_config t path values =
+  let stored =
+    match Config_tree.set (Mb_base.config t.base) path values with
+    | () -> Ok ()
+    | exception Invalid_argument msg -> Error (Errors.Op_failed msg)
+  in
+  match (stored, path) with
+  | Ok (), [ "backends" ] -> (
+    match
+      List.map
+        (function
+          | Json.String s -> Addr.of_string s
+          | _ -> invalid_arg "backends must be address strings")
+        values
+    with
+    | [] -> Error (Errors.Op_failed "backends must be non-empty")
+    | backends ->
+      t.backends <- Array.of_list backends;
+      Ok ()
+    | exception Invalid_argument msg -> Error (Errors.Op_failed msg))
+  | result, _ -> result
+
+let stats t hfl =
+  let entries = State_table.matching t.table hfl in
+  let bytes =
+    List.fold_left (fun acc e -> acc + Chunk.size_bytes (chunk_of_entry t e)) 0 entries
+  in
+  {
+    Southbound.empty_stats with
+    perflow_support_chunks = List.length entries;
+    perflow_support_bytes = bytes;
+  }
+
+let impl t =
+  let default =
+    Mb_base.default_impl t.base ~table_entries:(fun () -> State_table.size t.table)
+  in
+  {
+    default with
+    granularity = lb_granularity;
+    set_config = set_config t;
+    get_support_perflow = get_support_perflow t;
+    put_support_perflow = put_support_perflow t;
+    del_support_perflow = del_support_perflow t;
+    stats = stats t;
+    process_packet =
+      (fun p ~side_effects ->
+        if side_effects then receive t p
+        else
+          Mb_base.inject t.base p ~side_effects:false ~work:(fun p ->
+              ignore (process t p ~side_effects:false)));
+  }
+
+let assignments t = State_table.fold t.table ~init:[] ~f:(fun acc e -> (e.key, e.value) :: acc)
+let assignment_count t = State_table.size t.table
+
+let set_backends t backends =
+  if backends = [] then invalid_arg "Load_balancer.set_backends: no backends";
+  t.backends <- Array.of_list backends;
+  Config_tree.set (Mb_base.config t.base) [ "backends" ]
+    (List.map (fun a -> Json.String (Addr.to_string a)) backends)

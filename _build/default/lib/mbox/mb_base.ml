@@ -1,0 +1,147 @@
+open Openmb_sim
+open Openmb_core
+
+type t = {
+  engine : Engine.t;
+  recorder : Recorder.t option;
+  name : string;
+  kind : string;
+  cost : Southbound.cost_model;
+  config : Config_tree.t;
+  mutable event_sink : Event.t -> unit;
+  mutable egress : (Openmb_net.Packet.t -> unit) option;
+  mutable op_active : bool;
+  mutable dp_free_at : Time.t;
+  latency : Stats.t;
+  latency_during_op : Stats.t;
+  mutable pkts : int;
+}
+
+let create engine ?recorder ~name ~kind ~cost () =
+  {
+    engine;
+    recorder;
+    name;
+    kind;
+    cost;
+    config = Config_tree.create ();
+    event_sink = (fun _ -> ());
+    egress = None;
+    op_active = false;
+    dp_free_at = Time.zero;
+    latency = Stats.create ();
+    latency_during_op = Stats.create ();
+    pkts = 0;
+  }
+
+let engine t = t.engine
+let name t = t.name
+let kind t = t.kind
+let config t = t.config
+let now t = Engine.now t.engine
+let set_egress t f = t.egress <- Some f
+let forward t p = match t.egress with Some f -> f p | None -> ()
+let raise_event t ev = t.event_sink ev
+let set_op_active t b = t.op_active <- b
+let op_active t = t.op_active
+
+let record t ~kind ~detail =
+  match t.recorder with
+  | Some r -> Recorder.record r ~actor:t.name ~kind ~detail
+  | None -> ()
+
+let inject t p ~side_effects ~work =
+  let arrival = Engine.now t.engine in
+  let during_op = t.op_active in
+  let cost =
+    if during_op then
+      Time.seconds (Time.to_seconds t.cost.per_packet *. t.cost.op_slowdown)
+    else t.cost.per_packet
+  in
+  let start = Time.max arrival t.dp_free_at in
+  t.dp_free_at <- Time.(start + cost);
+  ignore
+    (Engine.schedule_at t.engine t.dp_free_at (fun () ->
+         t.pkts <- t.pkts + 1;
+         let lat = Time.to_seconds Time.(Engine.now t.engine - arrival) in
+         Stats.add t.latency lat;
+         if during_op then Stats.add t.latency_during_op lat;
+         if side_effects then
+           record t ~kind:"pkt" ~detail:(Openmb_net.Packet.flow_label p);
+         work p))
+
+let latency_stats t = t.latency
+let latency_during_op_stats t = t.latency_during_op
+let packets_processed t = t.pkts
+
+(* ------------------------------------------------------------------ *)
+(* Chunk helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let seal_raw t ~role ~partition ~key plain =
+  Chunk.seal ~mb_kind:t.kind ~role ~partition ~key ~plain
+
+let unseal_raw t chunk = Chunk.unseal ~mb_kind:t.kind chunk
+
+let seal_json t ~role ~partition ~key json =
+  seal_raw t ~role ~partition ~key (Openmb_wire.Json.to_string json)
+
+let unseal_json t chunk =
+  match unseal_raw t chunk with
+  | Error e -> Error e
+  | Ok plain -> (
+    match Openmb_wire.Json.of_string plain with
+    | json -> Ok json
+    | exception Openmb_wire.Json.Parse_error msg -> Error (Errors.Bad_chunk msg))
+
+(* ------------------------------------------------------------------ *)
+(* Impl assembly                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let illegal what _ = Error (Errors.Illegal_operation what)
+
+let config_get t path =
+  match Config_tree.get t.config path with
+  | [] ->
+    if Config_tree.mem t.config path then Ok []
+    else Error (Errors.Unknown_config_key (Config_tree.path_to_string path))
+  | entries -> Ok entries
+
+let config_set t path values =
+  match Config_tree.set t.config path values with
+  | () -> Ok ()
+  | exception Invalid_argument msg -> Error (Errors.Op_failed msg)
+
+let config_del t path =
+  if Config_tree.del t.config path then Ok ()
+  else Error (Errors.Unknown_config_key (Config_tree.path_to_string path))
+
+let default_impl t ~table_entries : Southbound.impl =
+  {
+    name = t.name;
+    kind = t.kind;
+    granularity = Openmb_net.Hfl.full_granularity;
+    cost = t.cost;
+    table_entries;
+    get_config = config_get t;
+    set_config = config_set t;
+    del_config = config_del t;
+    (* Reading a state class the MB does not keep yields an empty
+       stream (a move touches both supporting and reporting state, and
+       most MBs hold only one); importing into an absent class is an
+       error. *)
+    get_support_perflow = (fun _ -> Ok []);
+    put_support_perflow = illegal "MB keeps no per-flow supporting state";
+    del_support_perflow = (fun _ -> Ok 0);
+    get_support_shared = (fun () -> Ok None);
+    put_support_shared = illegal "MB keeps no shared supporting state";
+    get_report_perflow = (fun _ -> Ok []);
+    put_report_perflow = illegal "MB keeps no per-flow reporting state";
+    del_report_perflow = (fun _ -> Ok 0);
+    get_report_shared = (fun () -> Ok None);
+    put_report_shared = illegal "MB keeps no shared reporting state";
+    stats = (fun _ -> Southbound.empty_stats);
+    process_packet = (fun _ ~side_effects:_ -> ());
+    set_event_sink = (fun sink -> t.event_sink <- sink);
+    set_op_active = set_op_active t;
+  }

@@ -1,0 +1,99 @@
+(** Common middlebox runtime.
+
+    Every middlebox in this repo is built on this base: it provides the
+    simulated packet data path (serial processing with queueing, the
+    op-slowdown penalty, per-packet latency measurement), event
+    emission honouring the moved/cloned flags, a configuration tree,
+    and helpers for assembling a {!Openmb_core.Southbound.impl}. *)
+
+type t
+
+val create :
+  Openmb_sim.Engine.t ->
+  ?recorder:Openmb_sim.Recorder.t ->
+  name:string ->
+  kind:string ->
+  cost:Openmb_core.Southbound.cost_model ->
+  unit ->
+  t
+
+val engine : t -> Openmb_sim.Engine.t
+val name : t -> string
+val kind : t -> string
+val config : t -> Openmb_core.Config_tree.t
+val now : t -> Openmb_sim.Time.t
+
+val set_egress : t -> (Openmb_net.Packet.t -> unit) -> unit
+(** Where processed packets are forwarded (the MB's egress link). *)
+
+val forward : t -> Openmb_net.Packet.t -> unit
+(** Emit a packet on the egress (drops silently when none is set —
+    sink deployments). *)
+
+val raise_event : t -> Openmb_core.Event.t -> unit
+(** Send an event up to the agent (no-op before an agent attaches). *)
+
+val set_op_active : t -> bool -> unit
+(** Called by the agent while southbound ops execute; the packet path
+    then applies [cost.op_slowdown]. *)
+
+val op_active : t -> bool
+
+val inject :
+  t ->
+  Openmb_net.Packet.t ->
+  side_effects:bool ->
+  work:(Openmb_net.Packet.t -> unit) ->
+  unit
+(** Run [work] on the packet after data-path queueing and the modelled
+    per-packet processing cost.  [work] performs the MB's state updates
+    and (only when [side_effects] is true) any forwarding/alerting.
+    Records per-packet latency including queueing, and the ["pkt"]
+    timeline entry. *)
+
+val latency_stats : t -> Openmb_sim.Stats.t
+(** Per-packet processing latency (including queueing). *)
+
+val latency_during_op_stats : t -> Openmb_sim.Stats.t
+(** Latency of the subset of packets that arrived while a state
+    operation was executing (the §8.2 get-call comparison). *)
+
+val packets_processed : t -> int
+
+val record : t -> kind:string -> detail:string -> unit
+(** Log a timeline entry under this MB's name. *)
+
+(** {1 Chunk helpers} *)
+
+val seal_json :
+  t ->
+  role:Openmb_core.Taxonomy.role ->
+  partition:Openmb_core.Taxonomy.partition ->
+  key:Openmb_net.Hfl.t ->
+  Openmb_wire.Json.t ->
+  Openmb_core.Chunk.t
+(** Serialize a JSON value and seal it as a chunk of this MB's kind. *)
+
+val unseal_json :
+  t -> Openmb_core.Chunk.t -> (Openmb_wire.Json.t, Openmb_core.Errors.t) result
+(** Unseal and parse a chunk produced by a same-kind MB. *)
+
+val seal_raw :
+  t ->
+  role:Openmb_core.Taxonomy.role ->
+  partition:Openmb_core.Taxonomy.partition ->
+  key:Openmb_net.Hfl.t ->
+  string ->
+  Openmb_core.Chunk.t
+(** Seal an MB-private binary serialization (used by RE's cache). *)
+
+val unseal_raw : t -> Openmb_core.Chunk.t -> (string, Openmb_core.Errors.t) result
+
+(** {1 Impl assembly} *)
+
+val default_impl : t -> table_entries:(unit -> int) -> Openmb_core.Southbound.impl
+(** A southbound impl with this base's name/kind/cost wired in, config
+    ops backed by {!config}, granularity {!Openmb_net.Hfl.full_granularity},
+    and every state operation returning
+    [Error (Illegal_operation _)] and packet processing doing nothing —
+    middleboxes override the operations they support. *)

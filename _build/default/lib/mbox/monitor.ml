@@ -1,0 +1,275 @@
+open Openmb_sim
+open Openmb_wire
+open Openmb_net
+open Openmb_core
+
+type flow_record = {
+  fr_first : float;
+  fr_last : float;
+  fr_pkts : int;
+  fr_bytes : int;
+  fr_service : string;
+}
+
+type totals = {
+  tot_pkts : int;
+  tot_bytes : int;
+  tot_tcp : int;
+  tot_udp : int;
+  tot_icmp : int;
+  tot_new_flows : int;
+}
+
+let zero_totals =
+  { tot_pkts = 0; tot_bytes = 0; tot_tcp = 0; tot_udp = 0; tot_icmp = 0; tot_new_flows = 0 }
+
+type t = {
+  base : Mb_base.t;
+  table : flow_record State_table.t;
+  mutable shared : totals;
+  mutable shared_moved : bool;  (* shared reporting exported for merge *)
+}
+
+let default_cost : Southbound.cost_model =
+  {
+    per_packet = Time.us 120.0;
+    op_slowdown = 1.02;
+    scan_per_entry = Time.us 20.0;
+    serialize_per_chunk = Time.us 250.0;
+    serialize_per_byte = Time.us 0.05;
+    deserialize_per_chunk = Time.us 40.0;
+    deserialize_per_byte = Time.us 0.01;
+  }
+
+let create engine ?recorder ?(cost = default_cost) ~name () =
+  let base = Mb_base.create engine ?recorder ~name ~kind:"prads" ~cost () in
+  Config_tree.set (Mb_base.config base) [ "service"; "ports" ]
+    [ Json.Int 80; Json.Int 443; Json.Int 22; Json.Int 53; Json.Int 25 ];
+  {
+    base;
+    table = State_table.create ~granularity:Hfl.full_granularity ();
+    shared = zero_totals;
+    shared_moved = false;
+  }
+
+let base t = t.base
+
+let service_of_port t port =
+  let known =
+    match Config_tree.get (Mb_base.config t.base) [ "service"; "ports" ] with
+    | [ { values; _ } ] -> List.filter_map (function Json.Int p -> Some p | _ -> None) values
+    | _ -> []
+  in
+  if not (List.mem port known) then ""
+  else
+    match port with
+    | 80 | 8080 -> "http"
+    | 443 -> "https"
+    | 22 -> "ssh"
+    | 53 -> "dns"
+    | 25 -> "smtp"
+    | _ -> "tcp-" ^ string_of_int port
+
+let process t (p : Packet.t) ~side_effects =
+  let tup = Five_tuple.of_packet p in
+  let ts = Time.to_seconds p.ts in
+  let entry, created =
+    State_table.find_or_create t.table tup ~default:(fun () ->
+        { fr_first = ts; fr_last = ts; fr_pkts = 0; fr_bytes = 0; fr_service = "" })
+  in
+  let body = Packet.body_bytes p in
+  let service =
+    if entry.value.fr_service = "" then service_of_port t p.dst_port
+    else entry.value.fr_service
+  in
+  let newly_detected = entry.value.fr_service = "" && service <> "" in
+  entry.value <-
+    {
+      fr_first = entry.value.fr_first;
+      fr_last = Float.max entry.value.fr_last ts;
+      fr_pkts = entry.value.fr_pkts + 1;
+      fr_bytes = entry.value.fr_bytes + body;
+      fr_service = service;
+    };
+  (* Shared reporting state is merged between instances when flows
+     consolidate (§4.1.3); a re-processed packet must not also bump
+     these counters or the merged totals would double-count it.  Only
+     the state the event identifies — the per-flow record above — is
+     replayed. *)
+  if side_effects then
+    t.shared <-
+      {
+        tot_pkts = t.shared.tot_pkts + 1;
+        tot_bytes = t.shared.tot_bytes + body;
+        tot_tcp = (t.shared.tot_tcp + match p.proto with Packet.Tcp -> 1 | _ -> 0);
+        tot_udp = (t.shared.tot_udp + match p.proto with Packet.Udp -> 1 | _ -> 0);
+        tot_icmp = (t.shared.tot_icmp + match p.proto with Packet.Icmp -> 1 | _ -> 0);
+        tot_new_flows = (t.shared.tot_new_flows + if created then 1 else 0);
+      };
+  if newly_detected && side_effects then
+    Mb_base.raise_event t.base
+      (Event.Introspect
+         {
+           code = "monitor.new_asset";
+           key = entry.key;
+           info = Json.Assoc [ ("service", Json.String service) ];
+         });
+  if entry.moved then
+    Mb_base.raise_event t.base (Event.Reprocess { key = entry.key; packet = p })
+
+let receive t p =
+  Mb_base.inject t.base p ~side_effects:true ~work:(fun p ->
+      process t p ~side_effects:true;
+      Mb_base.forward t.base p)
+
+(* ------------------------------------------------------------------ *)
+(* Serialization: a single flat structure per flow, like PRADS'        *)
+(* connection struct (§7 — no complex serialization needed).           *)
+(* ------------------------------------------------------------------ *)
+
+let record_to_json r =
+  Json.Assoc
+    [
+      ("first", Json.Float r.fr_first);
+      ("last", Json.Float r.fr_last);
+      ("pkts", Json.Int r.fr_pkts);
+      ("bytes", Json.Int r.fr_bytes);
+      ("service", Json.String r.fr_service);
+    ]
+
+let record_of_json j =
+  {
+    fr_first = Json.get_float (Json.member "first" j);
+    fr_last = Json.get_float (Json.member "last" j);
+    fr_pkts = Json.get_int (Json.member "pkts" j);
+    fr_bytes = Json.get_int (Json.member "bytes" j);
+    fr_service = Json.get_string (Json.member "service" j);
+  }
+
+let totals_to_json s =
+  Json.Assoc
+    [
+      ("pkts", Json.Int s.tot_pkts);
+      ("bytes", Json.Int s.tot_bytes);
+      ("tcp", Json.Int s.tot_tcp);
+      ("udp", Json.Int s.tot_udp);
+      ("icmp", Json.Int s.tot_icmp);
+      ("new_flows", Json.Int s.tot_new_flows);
+    ]
+
+let totals_of_json j =
+  {
+    tot_pkts = Json.get_int (Json.member "pkts" j);
+    tot_bytes = Json.get_int (Json.member "bytes" j);
+    tot_tcp = Json.get_int (Json.member "tcp" j);
+    tot_udp = Json.get_int (Json.member "udp" j);
+    tot_icmp = Json.get_int (Json.member "icmp" j);
+    tot_new_flows = Json.get_int (Json.member "new_flows" j);
+  }
+
+let chunk_of_entry t (entry : flow_record State_table.entry) =
+  Mb_base.seal_json t.base ~role:Taxonomy.Reporting ~partition:Taxonomy.Per_flow
+    ~key:entry.key
+    (record_to_json entry.value)
+
+let get_report_perflow t hfl =
+  match Hfl.compatible_with_granularity hfl (State_table.granularity t.table) with
+  | false -> Error Errors.Granularity_too_fine
+  | true ->
+    (* Skip entries an earlier pending transfer already exported. *)
+    let entries =
+      List.filter
+        (fun (e : flow_record State_table.entry) -> not e.moved)
+        (State_table.matching t.table hfl)
+    in
+    List.iter (fun (e : flow_record State_table.entry) -> e.moved <- true) entries;
+    State_table.add_move_filter t.table hfl;
+    Ok (List.map (chunk_of_entry t) entries)
+
+let put_report_perflow t (chunk : Chunk.t) =
+  if chunk.role <> Taxonomy.Reporting || chunk.partition <> Taxonomy.Per_flow then
+    Error (Errors.Illegal_operation "expected per-flow reporting chunk")
+  else
+    match Mb_base.unseal_json t.base chunk with
+    | Error e -> Error e
+    | Ok json -> (
+      match record_of_json json with
+      | r ->
+        State_table.insert t.table ~key:chunk.key r;
+        Ok ()
+      | exception Invalid_argument msg -> Error (Errors.Bad_chunk msg))
+
+let del_report_perflow t hfl =
+  let removed = State_table.remove_moved_matching t.table hfl in
+  State_table.remove_move_filter t.table hfl;
+  Ok (List.length removed)
+
+let get_report_shared t () =
+  t.shared_moved <- true;
+  Ok
+    (Some
+       (Mb_base.seal_json t.base ~role:Taxonomy.Reporting ~partition:Taxonomy.Shared
+          ~key:Hfl.any (totals_to_json t.shared)))
+
+(* Merging shared reporting state adds the counter values (§7: "we add
+   the counter values stored in the prads_stat structure provided in
+   the put call to the [local ones]"). *)
+let put_report_shared t (chunk : Chunk.t) =
+  if chunk.role <> Taxonomy.Reporting || chunk.partition <> Taxonomy.Shared then
+    Error (Errors.Illegal_operation "expected shared reporting chunk")
+  else
+    match Mb_base.unseal_json t.base chunk with
+    | Error e -> Error e
+    | Ok json -> (
+      match totals_of_json json with
+      | other ->
+        t.shared <-
+          {
+            tot_pkts = t.shared.tot_pkts + other.tot_pkts;
+            tot_bytes = t.shared.tot_bytes + other.tot_bytes;
+            tot_tcp = t.shared.tot_tcp + other.tot_tcp;
+            tot_udp = t.shared.tot_udp + other.tot_udp;
+            tot_icmp = t.shared.tot_icmp + other.tot_icmp;
+            tot_new_flows = t.shared.tot_new_flows + other.tot_new_flows;
+          };
+        Ok ()
+      | exception Invalid_argument msg -> Error (Errors.Bad_chunk msg))
+
+let stats t hfl =
+  let entries = State_table.matching t.table hfl in
+  let bytes =
+    List.fold_left (fun acc e -> acc + Chunk.size_bytes (chunk_of_entry t e)) 0 entries
+  in
+  {
+    Southbound.empty_stats with
+    perflow_report_chunks = List.length entries;
+    perflow_report_bytes = bytes;
+    shared_report_bytes = String.length (Json.to_string (totals_to_json t.shared));
+  }
+
+let impl t =
+  let default =
+    Mb_base.default_impl t.base ~table_entries:(fun () -> State_table.size t.table)
+  in
+  {
+    default with
+    get_report_perflow = get_report_perflow t;
+    put_report_perflow = put_report_perflow t;
+    del_report_perflow = del_report_perflow t;
+    get_report_shared = get_report_shared t;
+    put_report_shared = put_report_shared t;
+    stats = stats t;
+    process_packet =
+      (fun p ~side_effects ->
+        if side_effects then receive t p
+        else
+          Mb_base.inject t.base p ~side_effects:false ~work:(fun p ->
+              process t p ~side_effects:false));
+  }
+
+let totals t = t.shared
+
+let flow_records t =
+  State_table.fold t.table ~init:[] ~f:(fun acc e -> (e.key, e.value) :: acc)
+
+let tracked_flows t = State_table.size t.table

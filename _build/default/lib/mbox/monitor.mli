@@ -1,0 +1,58 @@
+(** Passive traffic monitor (the repo's PRADS analog).
+
+    Maintains a per-flow {e reporting} record (packet/byte counters,
+    first/last seen, detected service) and one shared [prads_stat]
+    counter block covering all traffic.  Raises
+    ["monitor.new_asset"] introspection events when it identifies a
+    service on a flow.
+
+    OpenMB integration: per-flow reporting state moves between
+    instances (scale up/down); shared reporting state merges by adding
+    counters (§4.1.3) — never clones, to avoid double reporting.  The
+    scaling evaluation's invariant is that the sum of all instances'
+    outputs equals a single unscaled instance's output. *)
+
+type t
+
+type flow_record = {
+  fr_first : float;
+  fr_last : float;
+  fr_pkts : int;
+  fr_bytes : int;
+  fr_service : string;  (** Detected service, [""] if none yet. *)
+}
+
+type totals = {
+  tot_pkts : int;
+  tot_bytes : int;
+  tot_tcp : int;
+  tot_udp : int;
+  tot_icmp : int;
+  tot_new_flows : int;
+}
+(** The shared [prads_stat] block. *)
+
+val create :
+  Openmb_sim.Engine.t ->
+  ?recorder:Openmb_sim.Recorder.t ->
+  ?cost:Openmb_core.Southbound.cost_model ->
+  name:string ->
+  unit ->
+  t
+
+val default_cost : Openmb_core.Southbound.cost_model
+(** PRADS-calibrated: lightweight packets, cheap flat-record
+    serialization (§8.2 — chunks are a single small structure). *)
+
+val impl : t -> Openmb_core.Southbound.impl
+val base : t -> Mb_base.t
+
+val receive : t -> Openmb_net.Packet.t -> unit
+
+val totals : t -> totals
+(** Current shared counters of this instance. *)
+
+val flow_records : t -> (Openmb_net.Hfl.t * flow_record) list
+(** Per-flow reporting records currently resident here. *)
+
+val tracked_flows : t -> int

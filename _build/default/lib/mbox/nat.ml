@@ -1,0 +1,287 @@
+open Openmb_sim
+open Openmb_wire
+open Openmb_net
+open Openmb_core
+
+type mapping = {
+  m_int_ip : Addr.t;
+  m_int_port : int;
+  m_ext_port : int;
+  m_proto : Packet.proto;
+  m_created : float;
+  m_last_active : float;
+}
+
+type t = {
+  base : Mb_base.t;
+  external_ip : Addr.t;
+  internal_prefix : Addr.prefix;
+  table : mapping State_table.t;
+  by_ext_port : (int, Hfl.t) Hashtbl.t;  (* ext port -> table key *)
+  mutable next_port : int;
+  mutable dropped : int;
+}
+
+let nat_granularity = Hfl.[ Dim_src_ip; Dim_src_port; Dim_proto ]
+
+let default_cost : Southbound.cost_model =
+  {
+    per_packet = Time.us 60.0;
+    op_slowdown = 1.02;
+    scan_per_entry = Time.us 10.0;
+    serialize_per_chunk = Time.us 100.0;
+    serialize_per_byte = Time.us 0.02;
+    deserialize_per_chunk = Time.us 20.0;
+    deserialize_per_byte = Time.us 0.005;
+  }
+
+let create engine ?recorder ?(cost = default_cost) ~external_ip ~internal_prefix ~name () =
+  let base = Mb_base.create engine ?recorder ~name ~kind:"nat" ~cost () in
+  Config_tree.set (Mb_base.config base) [ "external_ip" ]
+    [ Json.String (Addr.to_string external_ip) ];
+  Config_tree.set (Mb_base.config base) [ "timeout"; "tcp" ] [ Json.Int 300 ];
+  Config_tree.set (Mb_base.config base) [ "timeout"; "udp" ] [ Json.Int 60 ];
+  {
+    base;
+    external_ip;
+    internal_prefix;
+    table = State_table.create ~granularity:nat_granularity ();
+    by_ext_port = Hashtbl.create 64;
+    next_port = 20000;
+    dropped = 0;
+  }
+
+let base t = t.base
+
+let allocate_port t =
+  (* Sequential allocation with wrap, skipping ports in use. *)
+  let start = t.next_port in
+  let rec go port =
+    let port = if port > 65000 then 20000 else port in
+    if not (Hashtbl.mem t.by_ext_port port) then begin
+      t.next_port <- port + 1;
+      port
+    end
+    else if port + 1 = start then failwith "Nat.allocate_port: port pool exhausted"
+    else go (port + 1)
+  in
+  go start
+
+let is_outbound t (p : Packet.t) = Addr.in_prefix p.src_ip t.internal_prefix
+
+let process t (p : Packet.t) ~side_effects =
+  let ts = Time.to_seconds p.ts in
+  if is_outbound t p then begin
+    let tup = Five_tuple.of_packet p in
+    let entry, created =
+      State_table.find_or_create t.table tup ~default:(fun () ->
+          let ext_port = allocate_port t in
+          {
+            m_int_ip = p.src_ip;
+            m_int_port = p.src_port;
+            m_ext_port = ext_port;
+            m_proto = p.proto;
+            m_created = ts;
+            m_last_active = ts;
+          })
+    in
+    if created then begin
+      Hashtbl.replace t.by_ext_port entry.value.m_ext_port entry.key;
+      if side_effects then
+        Mb_base.raise_event t.base
+          (Event.Introspect
+             {
+               code = "nat.new_mapping";
+               key = entry.key;
+               info =
+                 Json.Assoc
+                   [
+                     ("int_ip", Json.String (Addr.to_string entry.value.m_int_ip));
+                     ("int_port", Json.Int entry.value.m_int_port);
+                     ("ext_port", Json.Int entry.value.m_ext_port);
+                     ("proto", Json.String (Packet.proto_to_string entry.value.m_proto));
+                   ];
+             })
+    end;
+    entry.value <- { entry.value with m_last_active = ts };
+    if entry.moved then
+      Mb_base.raise_event t.base (Event.Reprocess { key = entry.key; packet = p });
+    if side_effects then
+      Some
+        {
+          p with
+          src_ip = t.external_ip;
+          src_port = entry.value.m_ext_port;
+        }
+    else None
+  end
+  else begin
+    (* Inbound: reverse translation by destination (external) port. *)
+    match Hashtbl.find_opt t.by_ext_port p.dst_port with
+    | None ->
+      t.dropped <- t.dropped + 1;
+      None
+    | Some key -> (
+      match State_table.matching t.table key with
+      | [ entry ] ->
+        entry.value <- { entry.value with m_last_active = ts };
+        if entry.moved then
+          Mb_base.raise_event t.base (Event.Reprocess { key = entry.key; packet = p });
+        if side_effects then
+          Some { p with dst_ip = entry.value.m_int_ip; dst_port = entry.value.m_int_port }
+        else None
+      | _ ->
+        t.dropped <- t.dropped + 1;
+        None)
+  end
+
+let receive t p =
+  Mb_base.inject t.base p ~side_effects:true ~work:(fun p ->
+      match process t p ~side_effects:true with
+      | Some translated -> Mb_base.forward t.base translated
+      | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let mapping_to_json m =
+  Json.Assoc
+    [
+      ("int_ip", Json.String (Addr.to_string m.m_int_ip));
+      ("int_port", Json.Int m.m_int_port);
+      ("ext_port", Json.Int m.m_ext_port);
+      ("proto", Json.String (Packet.proto_to_string m.m_proto));
+      ("created", Json.Float m.m_created);
+      ("last_active", Json.Float m.m_last_active);
+    ]
+
+let mapping_of_json j =
+  (* [created] is absent when restoring from introspection-event info
+     (failure recovery) — default it. *)
+  let created =
+    match Json.member "created" j with Json.Null -> 0.0 | v -> Json.get_float v
+  in
+  {
+    m_int_ip = Addr.of_string (Json.get_string (Json.member "int_ip" j));
+    m_int_port = Json.get_int (Json.member "int_port" j);
+    m_ext_port = Json.get_int (Json.member "ext_port" j);
+    m_proto = Packet.proto_of_string (Json.get_string (Json.member "proto" j));
+    m_created = created;
+    (* Timers are non-critical state: reset on import (§2, failure
+       recovery). *)
+    m_last_active = created;
+  }
+
+let chunk_of_entry t (entry : mapping State_table.entry) =
+  Mb_base.seal_json t.base ~role:Taxonomy.Supporting ~partition:Taxonomy.Per_flow
+    ~key:entry.key
+    (mapping_to_json entry.value)
+
+let get_support_perflow t hfl =
+  match Hfl.compatible_with_granularity hfl (State_table.granularity t.table) with
+  | false -> Error Errors.Granularity_too_fine
+  | true ->
+    (* Skip entries an earlier pending transfer already exported. *)
+    let entries =
+      List.filter
+        (fun (e : mapping State_table.entry) -> not e.moved)
+        (State_table.matching t.table hfl)
+    in
+    List.iter (fun (e : mapping State_table.entry) -> e.moved <- true) entries;
+    State_table.add_move_filter t.table hfl;
+    Ok (List.map (chunk_of_entry t) entries)
+
+let put_support_perflow t (chunk : Chunk.t) =
+  if chunk.role <> Taxonomy.Supporting || chunk.partition <> Taxonomy.Per_flow then
+    Error (Errors.Illegal_operation "expected per-flow supporting chunk")
+  else
+    match Mb_base.unseal_json t.base chunk with
+    | Error e -> Error e
+    | Ok json -> (
+      match mapping_of_json json with
+      | m ->
+        State_table.insert t.table ~key:chunk.key m;
+        Hashtbl.replace t.by_ext_port m.m_ext_port chunk.key;
+        Ok ()
+      | exception Invalid_argument msg -> Error (Errors.Bad_chunk msg))
+
+let del_support_perflow t hfl =
+  let removed = State_table.remove_moved_matching t.table hfl in
+  State_table.remove_move_filter t.table hfl;
+  List.iter
+    (fun (e : mapping State_table.entry) -> Hashtbl.remove t.by_ext_port e.value.m_ext_port)
+    removed;
+  Ok (List.length removed)
+
+let stats t hfl =
+  let entries = State_table.matching t.table hfl in
+  let bytes =
+    List.fold_left (fun acc e -> acc + Chunk.size_bytes (chunk_of_entry t e)) 0 entries
+  in
+  {
+    Southbound.empty_stats with
+    perflow_support_chunks = List.length entries;
+    perflow_support_bytes = bytes;
+  }
+
+(* Static mappings (port forwarding) installed through configuration —
+   also the failure-recovery application's restore path: critical
+   state re-created via the configuring interface, with non-critical
+   timers at defaults. *)
+let set_config t path values =
+  let store () =
+    match Config_tree.set (Mb_base.config t.base) path values with
+    | () -> Ok ()
+    | exception Invalid_argument msg -> Error (Errors.Op_failed msg)
+  in
+  match path with
+  | [ "static_mappings" ] -> (
+    match List.map mapping_of_json values with
+    | ms ->
+      List.iter
+        (fun m ->
+          let key =
+            [
+              Hfl.Src_ip (Addr.prefix m.m_int_ip 32);
+              Hfl.Src_port m.m_int_port;
+              Hfl.Proto m.m_proto;
+            ]
+          in
+          State_table.insert t.table ~key m;
+          Hashtbl.replace t.by_ext_port m.m_ext_port key)
+        ms;
+      store ()
+    | exception Invalid_argument msg -> Error (Errors.Op_failed msg))
+  | _ -> store ()
+
+let impl t =
+  let default =
+    Mb_base.default_impl t.base ~table_entries:(fun () -> State_table.size t.table)
+  in
+  {
+    default with
+    granularity = nat_granularity;
+    set_config = set_config t;
+    get_support_perflow = get_support_perflow t;
+    put_support_perflow = put_support_perflow t;
+    del_support_perflow = del_support_perflow t;
+    stats = stats t;
+    process_packet =
+      (fun p ~side_effects ->
+        if side_effects then receive t p
+        else
+          Mb_base.inject t.base p ~side_effects:false ~work:(fun p ->
+              ignore (process t p ~side_effects:false)));
+  }
+
+let mappings t = State_table.fold t.table ~init:[] ~f:(fun acc e -> e.value :: acc)
+let mapping_count t = State_table.size t.table
+
+let lookup_external t ~ext_port =
+  match Hashtbl.find_opt t.by_ext_port ext_port with
+  | None -> None
+  | Some key -> (
+    match State_table.matching t.table key with [ e ] -> Some e.value | _ -> None)
+
+let packets_dropped t = t.dropped

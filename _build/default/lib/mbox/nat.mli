@@ -1,0 +1,48 @@
+(** Source NAT middlebox.
+
+    Rewrites outbound packets to a public address with an allocated
+    external port and reverses the translation for inbound packets.
+    Mappings are per-flow supporting state keyed on the internal
+    (source IP, source port, protocol) — the NAT's granularity is
+    coarser than a five-tuple, exercising the paper's granularity
+    rules.  The address/port mapping is the {e critical} state a
+    failover must preserve; idle timers are non-critical and reset to
+    defaults on import (§2's failure-recovery discussion).
+
+    Raises ["nat.new_mapping"] introspection events carrying the new
+    mapping (§4.2.2's canonical example). *)
+
+type t
+
+type mapping = {
+  m_int_ip : Openmb_net.Addr.t;
+  m_int_port : int;
+  m_ext_port : int;
+  m_proto : Openmb_net.Packet.proto;
+  m_created : float;
+  m_last_active : float;  (** Non-critical; reset on failover import. *)
+}
+
+val create :
+  Openmb_sim.Engine.t ->
+  ?recorder:Openmb_sim.Recorder.t ->
+  ?cost:Openmb_core.Southbound.cost_model ->
+  external_ip:Openmb_net.Addr.t ->
+  internal_prefix:Openmb_net.Addr.prefix ->
+  name:string ->
+  unit ->
+  t
+
+val impl : t -> Openmb_core.Southbound.impl
+val base : t -> Mb_base.t
+
+val receive : t -> Openmb_net.Packet.t -> unit
+
+val mappings : t -> mapping list
+val mapping_count : t -> int
+
+val lookup_external : t -> ext_port:int -> mapping option
+(** Reverse-path lookup used by inbound translation. *)
+
+val packets_dropped : t -> int
+(** Inbound packets with no matching mapping. *)

@@ -1,0 +1,159 @@
+open Openmb_net
+
+type 'a entry = { key : Hfl.t; mutable value : 'a; mutable moved : bool }
+
+type 'a t = {
+  granularity : Hfl.granularity;
+  by_key : (string, 'a entry) Hashtbl.t;
+  (* Optional secondary index: source address -> entries, serving
+     exact-source and host-prefix requests in O(matches) instead of a
+     full scan (the paper's footnote-6 improvement). *)
+  by_src : (int, (string, 'a entry) Hashtbl.t) Hashtbl.t option;
+  mutable move_filters : Hfl.t list;
+}
+
+let create ?(indexed = false) ~granularity () =
+  {
+    granularity;
+    by_key = Hashtbl.create 64;
+    by_src = (if indexed then Some (Hashtbl.create 64) else None);
+    move_filters = [];
+  }
+
+let src_of_key key =
+  List.find_map
+    (fun f ->
+      match f with
+      | Hfl.Src_ip p when Addr.prefix_len p = 32 -> Some (Addr.to_int (Addr.prefix_base p))
+      | Hfl.Src_ip _ | Hfl.Dst_ip _ | Hfl.Src_port _ | Hfl.Dst_port _ | Hfl.Proto _ ->
+        None)
+    key
+
+let index_add t (e : 'a entry) =
+  match (t.by_src, src_of_key e.key) with
+  | Some idx, Some src ->
+    let bucket =
+      match Hashtbl.find_opt idx src with
+      | Some b -> b
+      | None ->
+        let b = Hashtbl.create 4 in
+        Hashtbl.replace idx src b;
+        b
+    in
+    Hashtbl.replace bucket (Hfl.to_string e.key) e
+  | (Some _ | None), _ -> ()
+
+let index_remove t (e : 'a entry) =
+  match (t.by_src, src_of_key e.key) with
+  | Some idx, Some src -> (
+    match Hashtbl.find_opt idx src with
+    | Some bucket ->
+      Hashtbl.remove bucket (Hfl.to_string e.key);
+      if Hashtbl.length bucket = 0 then Hashtbl.remove idx src
+    | None -> ())
+  | (Some _ | None), _ -> ()
+
+let granularity t = t.granularity
+let size t = Hashtbl.length t.by_key
+let key_of t tup = Hfl.key_of_tuple t.granularity tup
+
+let find t tup = Hashtbl.find_opt t.by_key (Hfl.to_string (key_of t tup))
+
+let find_bidir t tup =
+  match find t tup with
+  | Some e -> Some e
+  | None -> find t (Five_tuple.reverse tup)
+
+let find_or_create t tup ~default =
+  match find_bidir t tup with
+  | Some e -> (e, false)
+  | None ->
+    let key = key_of t tup in
+    (* State created while a covering move is in progress belongs to
+       the destination: flag it immediately so its packets are
+       re-processed there (the flow started after the export scan and
+       its record will never be put — the replayed packets rebuild it
+       at the destination from scratch). *)
+    let moved = List.exists (fun f -> Hfl.subsumes f key) t.move_filters in
+    let e = { key; value = default (); moved } in
+    Hashtbl.replace t.by_key (Hfl.to_string key) e;
+    index_add t e;
+    (e, true)
+
+let insert t ~key value =
+  let id = Hfl.to_string key in
+  (match Hashtbl.find_opt t.by_key id with
+  | Some old -> index_remove t old
+  | None -> ());
+  let e = { key; value; moved = false } in
+  Hashtbl.replace t.by_key id e;
+  index_add t e
+
+(* A request pinning the source to a single host can be served from the
+   index; anything else falls back to the linear scan the paper's
+   prototype performs. *)
+let indexed_candidates t hfl =
+  match t.by_src with
+  | None -> None
+  | Some idx ->
+    List.find_map
+      (fun f ->
+        match f with
+        | Hfl.Src_ip p when Addr.prefix_len p = 32 -> (
+          match Hashtbl.find_opt idx (Addr.to_int (Addr.prefix_base p)) with
+          | Some bucket -> Some (Hashtbl.fold (fun _ e acc -> e :: acc) bucket [])
+          | None -> Some [])
+        | Hfl.Src_ip _ | Hfl.Dst_ip _ | Hfl.Src_port _ | Hfl.Dst_port _ | Hfl.Proto _ ->
+          None)
+      hfl
+
+let matching t hfl =
+  match indexed_candidates t hfl with
+  | Some candidates -> List.filter (fun e -> Hfl.subsumes hfl e.key) candidates
+  | None ->
+    Hashtbl.fold
+      (fun _ e acc -> if Hfl.subsumes hfl e.key then e :: acc else acc)
+      t.by_key []
+
+let remove_matching t hfl =
+  let hits = matching t hfl in
+  List.iter
+    (fun e ->
+      Hashtbl.remove t.by_key (Hfl.to_string e.key);
+      index_remove t e)
+    hits;
+  hits
+
+(* The deferred delete that completes a move (Fig. 5) must only remove
+   state that is still the exported copy: an entry whose [moved] flag
+   was cleared by a later import belongs to a newer transfer and must
+   survive — otherwise a move back to this instance races the delete
+   and loses state. *)
+let remove_moved_matching t hfl =
+  let hits = List.filter (fun e -> e.moved) (matching t hfl) in
+  List.iter
+    (fun e ->
+      Hashtbl.remove t.by_key (Hfl.to_string e.key);
+      index_remove t e)
+    hits;
+  hits
+
+let remove_key t key =
+  let id = Hfl.to_string key in
+  match Hashtbl.find_opt t.by_key id with
+  | Some e ->
+    Hashtbl.remove t.by_key id;
+    index_remove t e;
+    true
+  | None -> false
+
+let add_move_filter t hfl = t.move_filters <- hfl :: t.move_filters
+
+let remove_move_filter t hfl =
+  t.move_filters <- List.filter (fun f -> not (Hfl.equal f hfl)) t.move_filters
+
+let iter t f = Hashtbl.iter (fun _ e -> f e) t.by_key
+let fold t ~init ~f = Hashtbl.fold (fun _ e acc -> f acc e) t.by_key init
+let clear t =
+  Hashtbl.reset t.by_key;
+  match t.by_src with Some idx -> Hashtbl.reset idx | None -> ()

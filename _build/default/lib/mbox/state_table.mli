@@ -1,0 +1,82 @@
+(** Generic per-flow state table used by all middleboxes.
+
+    Entries are keyed at the owning MB's granularity (a projection of
+    the five-tuple onto the dimensions it distinguishes, §4.1.2) and
+    carry the [moved] flag the paper adds to Bro's [Connection] class:
+    once a get has exported an entry, updates to it raise re-process
+    events until the entry is deleted.
+
+    Lookups by five-tuple are O(1); lookups by header-field list (gets,
+    deletes, stats) are the linear scan the paper's prototype performs
+    (§7, footnote 6). *)
+
+type 'a entry = {
+  key : Openmb_net.Hfl.t;  (** The entry's state key at MB granularity. *)
+  mutable value : 'a;
+  mutable moved : bool;
+      (** Set when the entry has been exported by a get; packet-driven
+          updates must then raise re-process events. *)
+}
+
+type 'a t
+
+val create : ?indexed:bool -> granularity:Openmb_net.Hfl.granularity -> unit -> 'a t
+(** With [indexed] (default false), a secondary source-address index
+    accelerates {!matching} for exact-source requests from a full scan
+    to O(matches) — the paper's footnote-6 suggestion of adopting
+    switch-style lookup structures.  Results are identical either
+    way. *)
+
+val granularity : 'a t -> Openmb_net.Hfl.granularity
+
+val size : 'a t -> int
+(** Number of entries (the scan cost driver). *)
+
+val key_of : 'a t -> Openmb_net.Five_tuple.t -> Openmb_net.Hfl.t
+(** Projection of a tuple onto this table's granularity. *)
+
+val find : 'a t -> Openmb_net.Five_tuple.t -> 'a entry option
+(** Exact-direction lookup. *)
+
+val find_bidir : 'a t -> Openmb_net.Five_tuple.t -> 'a entry option
+(** Lookup trying the tuple, then its reverse — for connection-oriented
+    MBs whose state is keyed on the originator direction. *)
+
+val find_or_create :
+  'a t -> Openmb_net.Five_tuple.t -> default:(unit -> 'a) -> 'a entry * bool
+(** Bidirectional find; on miss, creates an entry keyed on the tuple as
+    given.  The boolean is [true] when the entry was created. *)
+
+val insert : 'a t -> key:Openmb_net.Hfl.t -> 'a -> unit
+(** Install an entry under an explicit key (state import).  Replaces
+    any existing entry with that key and clears its [moved] flag. *)
+
+val matching : 'a t -> Openmb_net.Hfl.t -> 'a entry list
+(** Linear scan for entries whose key is subsumed by the request. *)
+
+val remove_matching : 'a t -> Openmb_net.Hfl.t -> 'a entry list
+(** Remove and return all matching entries. *)
+
+val remove_moved_matching : 'a t -> Openmb_net.Hfl.t -> 'a entry list
+(** Remove and return the matching entries whose [moved] flag is set —
+    the delete that completes a move.  Entries re-imported since the
+    export (flag cleared by {!insert}) belong to a newer transfer and
+    are kept. *)
+
+val remove_key : 'a t -> Openmb_net.Hfl.t -> bool
+
+val add_move_filter : 'a t -> Openmb_net.Hfl.t -> unit
+(** Register an in-progress move's scope: entries created under a
+    registered filter are born with [moved] set, so flows that start
+    mid-move are re-processed at the destination rather than stranding
+    state here.  Called by the MB's get; removed by the matching
+    delete. *)
+
+val remove_move_filter : 'a t -> Openmb_net.Hfl.t -> unit
+(** Unregister a move filter (compared up to constraint order). *)
+
+val iter : 'a t -> ('a entry -> unit) -> unit
+
+val fold : 'a t -> init:'b -> f:('b -> 'a entry -> 'b) -> 'b
+
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/net/five_tuple.ml: Addr Format Hashtbl Int Packet Printf Stdlib

@@ -1,0 +1,1 @@
+lib/net/five_tuple.mli: Addr Format Hashtbl Packet

@@ -1,0 +1,1 @@
+lib/net/flow_table.ml: Hfl Int List Packet

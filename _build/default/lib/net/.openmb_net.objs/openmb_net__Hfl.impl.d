@@ -1,0 +1,1 @@
+lib/net/hfl.ml: Addr Five_tuple Format List Packet Printf Stdlib String

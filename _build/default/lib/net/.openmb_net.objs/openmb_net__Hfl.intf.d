@@ -1,0 +1,1 @@
+lib/net/hfl.mli: Addr Five_tuple Format Packet

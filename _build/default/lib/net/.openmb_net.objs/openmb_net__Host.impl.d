@@ -1,0 +1,1 @@
+lib/net/host.ml: Link List Packet Printf

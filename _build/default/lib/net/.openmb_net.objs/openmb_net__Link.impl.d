@@ -1,0 +1,1 @@
+lib/net/link.ml: Channel Openmb_sim Packet Time

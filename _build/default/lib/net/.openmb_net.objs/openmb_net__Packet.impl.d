@@ -1,0 +1,1 @@
+lib/net/packet.ml: Addr Format List Openmb_sim Payload Printf

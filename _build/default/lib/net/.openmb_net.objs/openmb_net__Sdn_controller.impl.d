@@ -1,0 +1,1 @@
+lib/net/sdn_controller.ml: Engine Flow_table Hashtbl Openmb_sim Printf Switch Time

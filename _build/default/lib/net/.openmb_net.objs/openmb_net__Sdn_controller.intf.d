@@ -1,0 +1,1 @@
+lib/net/sdn_controller.mli: Flow_table Hfl Openmb_sim Switch

@@ -1,0 +1,1 @@
+lib/net/switch.ml: Engine Flow_table Hashtbl Link Openmb_sim Packet Time

@@ -1,0 +1,1 @@
+lib/net/switch.mli: Flow_table Link Openmb_sim Packet

@@ -1,0 +1,59 @@
+type t = {
+  src_ip : Addr.t;
+  dst_ip : Addr.t;
+  src_port : int;
+  dst_port : int;
+  proto : Packet.proto;
+}
+
+let of_packet (p : Packet.t) =
+  {
+    src_ip = p.src_ip;
+    dst_ip = p.dst_ip;
+    src_port = p.src_port;
+    dst_port = p.dst_port;
+    proto = p.proto;
+  }
+
+let reverse t =
+  {
+    src_ip = t.dst_ip;
+    dst_ip = t.src_ip;
+    src_port = t.dst_port;
+    dst_port = t.src_port;
+    proto = t.proto;
+  }
+
+let compare a b =
+  let c = Addr.compare a.src_ip b.src_ip in
+  if c <> 0 then c
+  else
+    let c = Addr.compare a.dst_ip b.dst_ip in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.src_port b.src_port in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.dst_port b.dst_port in
+        if c <> 0 then c else Stdlib.compare a.proto b.proto
+
+let canonical t =
+  let r = reverse t in
+  if compare t r <= 0 then t else r
+
+let equal a b = compare a b = 0
+let hash t = Hashtbl.hash t
+
+let to_string t =
+  Printf.sprintf "%s %s:%d>%s:%d"
+    (Packet.proto_to_string t.proto)
+    (Addr.to_string t.src_ip) t.src_port (Addr.to_string t.dst_ip) t.dst_port
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,32 @@
+(** Transport five-tuples: the finest flow identity in the system. *)
+
+type t = {
+  src_ip : Addr.t;
+  dst_ip : Addr.t;
+  src_port : int;
+  dst_port : int;
+  proto : Packet.proto;
+}
+
+val of_packet : Packet.t -> t
+(** Five-tuple of a packet as sent. *)
+
+val reverse : t -> t
+(** The tuple of the opposite direction. *)
+
+val canonical : t -> t
+(** Direction-insensitive form: the lexicographically smaller of [t]
+    and [reverse t].  Two packets of the same bidirectional connection
+    have equal canonical tuples. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_string : t -> string
+(** ["tcp 10.0.0.1:3456>1.1.1.5:80"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Table : Hashtbl.S with type key = t
+(** Hash tables keyed by five-tuples (direction-sensitive). *)

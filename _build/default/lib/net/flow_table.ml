@@ -1,0 +1,52 @@
+type action = Forward of string | Drop | To_controller
+
+type rule = {
+  cookie : int;
+  priority : int;
+  match_ : Hfl.t;
+  action : action;
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+type t = { mutable rules : rule list; mutable next_cookie : int }
+(* [rules] is kept sorted: descending priority, then ascending cookie
+   (insertion order) so that lookup is a single scan. *)
+
+let create () = { rules = []; next_cookie = 0 }
+
+let rule_order a b =
+  let c = Int.compare b.priority a.priority in
+  if c <> 0 then c else Int.compare a.cookie b.cookie
+
+let install t ~priority ~match_ ~action =
+  let rule = { cookie = t.next_cookie; priority; match_; action; packets = 0; bytes = 0 } in
+  t.next_cookie <- t.next_cookie + 1;
+  t.rules <- List.sort rule_order (rule :: t.rules);
+  rule
+
+let remove t ~cookie =
+  let before = List.length t.rules in
+  t.rules <- List.filter (fun r -> r.cookie <> cookie) t.rules;
+  List.length t.rules < before
+
+let remove_matching t hfl =
+  let before = List.length t.rules in
+  t.rules <- List.filter (fun r -> not (Hfl.equal r.match_ hfl)) t.rules;
+  before - List.length t.rules
+
+let lookup t p =
+  let rec scan = function
+    | [] -> None
+    | r :: rest ->
+      if Hfl.matches_packet r.match_ p then begin
+        r.packets <- r.packets + 1;
+        r.bytes <- r.bytes + Packet.wire_bytes p;
+        Some r.action
+      end
+      else scan rest
+  in
+  scan t.rules
+
+let rules t = t.rules
+let size t = List.length t.rules

@@ -1,0 +1,43 @@
+(** Prioritized wildcard flow table, as installed in OpenFlow
+    switches. *)
+
+type action =
+  | Forward of string  (** Output on the named port. *)
+  | Drop
+  | To_controller  (** Punt to the SDN controller. *)
+
+type rule = {
+  cookie : int;  (** Unique id assigned at install time. *)
+  priority : int;  (** Higher wins. *)
+  match_ : Hfl.t;
+  action : action;
+  mutable packets : int;  (** Packets matched so far. *)
+  mutable bytes : int;  (** Bytes matched so far. *)
+}
+
+type t
+(** A mutable flow table. *)
+
+val create : unit -> t
+(** Empty table. *)
+
+val install : t -> priority:int -> match_:Hfl.t -> action:action -> rule
+(** Add a rule; returns it (with its assigned cookie).  Among rules of
+    equal priority, earlier-installed rules win. *)
+
+val remove : t -> cookie:int -> bool
+(** Remove the rule with the given cookie; [false] if absent. *)
+
+val remove_matching : t -> Hfl.t -> int
+(** Remove every rule whose match equals the given HFL (up to
+    constraint order); returns the number removed. *)
+
+val lookup : t -> Packet.t -> action option
+(** Highest-priority matching rule's action, updating its counters;
+    [None] on table miss. *)
+
+val rules : t -> rule list
+(** Current rules, highest priority first. *)
+
+val size : t -> int
+(** Number of installed rules. *)

@@ -1,0 +1,107 @@
+type dim = Dim_src_ip | Dim_dst_ip | Dim_src_port | Dim_dst_port | Dim_proto
+
+type field =
+  | Src_ip of Addr.prefix
+  | Dst_ip of Addr.prefix
+  | Src_port of int
+  | Dst_port of int
+  | Proto of Packet.proto
+
+type t = field list
+
+type granularity = dim list
+
+let any = []
+let full_granularity = [ Dim_src_ip; Dim_dst_ip; Dim_src_port; Dim_dst_port; Dim_proto ]
+
+let dim_of_field = function
+  | Src_ip _ -> Dim_src_ip
+  | Dst_ip _ -> Dim_dst_ip
+  | Src_port _ -> Dim_src_port
+  | Dst_port _ -> Dim_dst_port
+  | Proto _ -> Dim_proto
+
+let field_matches (tup : Five_tuple.t) = function
+  | Src_ip p -> Addr.in_prefix tup.src_ip p
+  | Dst_ip p -> Addr.in_prefix tup.dst_ip p
+  | Src_port port -> tup.src_port = port
+  | Dst_port port -> tup.dst_port = port
+  | Proto proto -> tup.proto = proto
+
+let matches_tuple hfl tup = List.for_all (field_matches tup) hfl
+let matches_packet hfl p = matches_tuple hfl (Five_tuple.of_packet p)
+
+let matches_bidir hfl tup =
+  matches_tuple hfl tup || matches_tuple hfl (Five_tuple.reverse tup)
+
+(* [a] subsumes [b] iff every constraint of [a] is implied by some
+   constraint of [b] on the same dimension. *)
+let field_subsumes fa fb =
+  match (fa, fb) with
+  | Src_ip pa, Src_ip pb | Dst_ip pa, Dst_ip pb -> Addr.prefix_subsumes pa pb
+  | Src_port a, Src_port b | Dst_port a, Dst_port b -> a = b
+  | Proto a, Proto b -> a = b
+  | (Src_ip _ | Dst_ip _ | Src_port _ | Dst_port _ | Proto _), _ -> false
+
+let subsumes a b =
+  List.for_all (fun fa -> List.exists (fun fb -> field_subsumes fa fb) b) a
+
+let well_formed hfl =
+  let dims = List.map dim_of_field hfl in
+  List.length (List.sort_uniq Stdlib.compare dims) = List.length dims
+
+let compatible_with_granularity hfl g =
+  List.for_all (fun f -> List.mem (dim_of_field f) g) hfl
+
+let key_of_tuple g (tup : Five_tuple.t) =
+  List.filter_map
+    (fun d ->
+      match d with
+      | Dim_src_ip -> Some (Src_ip (Addr.prefix tup.src_ip 32))
+      | Dim_dst_ip -> Some (Dst_ip (Addr.prefix tup.dst_ip 32))
+      | Dim_src_port -> Some (Src_port tup.src_port)
+      | Dim_dst_port -> Some (Dst_port tup.dst_port)
+      | Dim_proto -> Some (Proto tup.proto))
+    g
+
+let field_to_string = function
+  | Src_ip p -> "nw_src=" ^ Addr.prefix_to_string p
+  | Dst_ip p -> "nw_dst=" ^ Addr.prefix_to_string p
+  | Src_port p -> "tp_src=" ^ string_of_int p
+  | Dst_port p -> "tp_dst=" ^ string_of_int p
+  | Proto p -> "proto=" ^ Packet.proto_to_string p
+
+let to_string hfl = String.concat "," (List.map field_to_string hfl)
+
+let field_of_string s =
+  match String.index_opt s '=' with
+  | None -> invalid_arg (Printf.sprintf "Hfl.of_string: missing '=' in %S" s)
+  | Some i ->
+    let key = String.sub s 0 i in
+    let value = String.sub s (i + 1) (String.length s - i - 1) in
+    (match key with
+    | "nw_src" -> Src_ip (Addr.prefix_of_string value)
+    | "nw_dst" -> Dst_ip (Addr.prefix_of_string value)
+    | "tp_src" -> Src_port (int_of_string value)
+    | "tp_dst" -> Dst_port (int_of_string value)
+    | "proto" -> Proto (Packet.proto_of_string value)
+    | _ -> invalid_arg (Printf.sprintf "Hfl.of_string: unknown field %S" key))
+
+let of_string s =
+  if String.length s = 0 then []
+  else List.map field_of_string (String.split_on_char ',' s)
+
+let field_equal a b =
+  match (a, b) with
+  | Src_ip p, Src_ip q | Dst_ip p, Dst_ip q -> Addr.prefix_equal p q
+  | Src_port p, Src_port q | Dst_port p, Dst_port q -> p = q
+  | Proto p, Proto q -> p = q
+  | (Src_ip _ | Dst_ip _ | Src_port _ | Dst_port _ | Proto _), _ -> false
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all (fun fa -> List.exists (field_equal fa) b) a
+
+let pp fmt hfl =
+  if hfl = [] then Format.pp_print_string fmt "<any>"
+  else Format.pp_print_string fmt (to_string hfl)

@@ -1,0 +1,23 @@
+open Openmb_sim
+
+type t = {
+  name : string;
+  channel : Packet.t Channel.t;
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+let create engine ?(latency = Time.us 50.0) ?(bandwidth_bps = 1e9) ~name ~dst () =
+  let bytes_per_sec = bandwidth_bps /. 8.0 in
+  { name; channel = Channel.create engine ~latency ~bytes_per_sec ~deliver:dst;
+    packets = 0; bytes = 0 }
+
+let send t p =
+  let bytes = Packet.wire_bytes p in
+  t.packets <- t.packets + 1;
+  t.bytes <- t.bytes + bytes;
+  Channel.send t.channel ~bytes p
+
+let name t = t.name
+let packets_sent t = t.packets
+let bytes_sent t = t.bytes

@@ -1,0 +1,28 @@
+(** Simulated network link.
+
+    Delivers packets to the attached receiver after propagation latency
+    plus store-and-forward serialization delay, in FIFO order.  A
+    non-zero latency is what creates the paper's in-flight-packet
+    window: packets already on the wire keep arriving at the old
+    middlebox after a routing update. *)
+
+type t
+
+val create :
+  Openmb_sim.Engine.t ->
+  ?latency:Openmb_sim.Time.t ->
+  ?bandwidth_bps:float ->
+  name:string ->
+  dst:(Packet.t -> unit) ->
+  unit ->
+  t
+(** [create engine ~name ~dst ()] is a link delivering to [dst].
+    [latency] defaults to 50 µs (one LAN hop); [bandwidth_bps] to
+    1 Gbit/s, matching the paper's testbed NICs. *)
+
+val send : t -> Packet.t -> unit
+(** Put a packet on the wire. *)
+
+val name : t -> string
+val packets_sent : t -> int
+val bytes_sent : t -> int

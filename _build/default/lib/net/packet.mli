@@ -1,0 +1,109 @@
+(** Network packets.
+
+    A packet carries L3/L4 header fields, TCP flags, an optional
+    application-layer annotation (used by the IDS HTTP analyzer) and a
+    body.  The body is either raw payload content or a
+    redundancy-elimination encoding — a sequence of literal regions and
+    shims referencing a decoder cache — because encoded packets travel
+    through the simulated network between the RE encoder and decoder
+    exactly as in SmartRE. *)
+
+type proto = Tcp | Udp | Icmp
+
+type tcp_flags = { syn : bool; ack : bool; fin : bool; rst : bool }
+
+type app =
+  | Plain
+  | Http_request of { method_ : string; host : string; uri : string }
+  | Http_response of { status : int }
+      (** Application-layer annotation for analyzers; [Plain] for
+          traffic without one. *)
+
+type segment =
+  | Literal of Payload.t  (** Content carried verbatim. *)
+  | Shim of { offset : int; len : int }
+      (** Reference to [len] tokens at absolute cache offset
+          [offset]. *)
+
+type body =
+  | Raw of Payload.t
+  | Encoded of {
+      cache_id : int;  (** Decoder cache the shims reference. *)
+      append_base : int;
+          (** Absolute cache offset at which the decoder appends the
+              reconstructed payload (explicit position-sync mode). *)
+      segments : segment list;
+      orig : Payload.t;
+          (** Ground truth for the simulator's corruption accounting:
+              what a correct reconstruction must equal.  Not part of
+              the wire representation and never read by decoder
+              logic. *)
+    }  (** RE-encoded body. *)
+
+type t = {
+  id : int;  (** Unique per simulation run. *)
+  ts : Openmb_sim.Time.t;  (** Time the packet entered the network. *)
+  src_ip : Addr.t;
+  dst_ip : Addr.t;
+  src_port : int;
+  dst_port : int;
+  proto : proto;
+  flags : tcp_flags;
+  app : app;
+  body : body;
+}
+
+val make :
+  ?flags:tcp_flags ->
+  ?app:app ->
+  ?body:body ->
+  id:int ->
+  ts:Openmb_sim.Time.t ->
+  src_ip:Addr.t ->
+  dst_ip:Addr.t ->
+  src_port:int ->
+  dst_port:int ->
+  proto:proto ->
+  unit ->
+  t
+(** Packet constructor; [flags] default to all-clear, [app] to [Plain],
+    [body] to an empty [Raw] payload. *)
+
+val no_flags : tcp_flags
+(** All TCP flags clear. *)
+
+val syn_flags : tcp_flags
+(** Only SYN set. *)
+
+val synack_flags : tcp_flags
+(** SYN and ACK set. *)
+
+val fin_flags : tcp_flags
+(** FIN and ACK set. *)
+
+val rst_flags : tcp_flags
+(** Only RST set. *)
+
+val header_bytes : int
+(** Modelled L2–L4 header overhead per packet (54 bytes). *)
+
+val body_bytes : t -> int
+(** Size of the body on the wire: raw payload size, or sum of literal
+    sizes plus {!shim_bytes} per shim for an encoded body. *)
+
+val wire_bytes : t -> int
+(** [header_bytes + body_bytes]. *)
+
+val original_body_bytes : t -> int
+(** Size the body represents once decoded (shims expanded). *)
+
+val shim_bytes : int
+(** Wire size of one shim (12 bytes: cache id, offset, length). *)
+
+val proto_to_string : proto -> string
+val proto_of_string : string -> proto
+
+val flow_label : t -> string
+(** Compact ["tcp 10.0.0.1:3456>1.1.1.5:80"] rendering for logs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+let token_bytes = 64
+
+type t = { toks : int array; trailing : int }
+
+let empty = { toks = [||]; trailing = 0 }
+let of_tokens a = { toks = Array.copy a; trailing = 0 }
+
+let of_tokens_trailing a ~trailing =
+  if trailing < 0 || trailing >= token_bytes then
+    invalid_arg "Payload.of_tokens_trailing: trailing out of range";
+  { toks = Array.copy a; trailing }
+
+let tokens p = Array.copy p.toks
+let token_count p = Array.length p.toks
+
+let get_token p i =
+  if i < 0 || i >= Array.length p.toks then invalid_arg "Payload.get_token: out of range";
+  p.toks.(i)
+
+let size_bytes p = (Array.length p.toks * token_bytes) + p.trailing
+
+let sub p ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length p.toks then
+    invalid_arg "Payload.sub: out of range";
+  let trailing = if pos + len = Array.length p.toks then p.trailing else 0 in
+  { toks = Array.sub p.toks pos len; trailing }
+
+let concat parts =
+  let toks = Array.concat (List.map (fun p -> p.toks) parts) in
+  let trailing = List.fold_left (fun acc p -> acc + p.trailing) 0 parts in
+  (* Fold accumulated trailing bytes into whole tokens where possible;
+     the residue stays as trailing.  Token values for folded bytes are
+     not meaningful content, so this only happens when callers
+     concatenate incomplete payloads, which the MBs never do for
+     content-bearing traffic. *)
+  { toks; trailing = trailing mod token_bytes }
+
+let equal a b = a.trailing = b.trailing && Array.length a.toks = Array.length b.toks
+  && (let n = Array.length a.toks in
+      let rec go i = i >= n || (a.toks.(i) = b.toks.(i) && go (i + 1)) in
+      go 0)
+
+let fingerprint p ~pos = get_token p pos
+
+let pp fmt p =
+  let n = Array.length p.toks in
+  let shown = min n 4 in
+  Format.fprintf fmt "<%dB:" (size_bytes p);
+  for i = 0 to shown - 1 do
+    Format.fprintf fmt " %x" p.toks.(i)
+  done;
+  if n > shown then Format.fprintf fmt " ...";
+  Format.fprintf fmt ">"

@@ -1,0 +1,50 @@
+open Openmb_sim
+
+type t = {
+  engine : Engine.t;
+  install_delay : Time.t;
+  switches : (string, Switch.t) Hashtbl.t;
+  mutable ops : int;
+}
+
+let create engine ?(install_delay = Time.ms 10.0) () =
+  { engine; install_delay; switches = Hashtbl.create 4; ops = 0 }
+
+let register_switch t sw =
+  Hashtbl.replace t.switches (Switch.name sw) sw;
+  (* Proactive-rule scenarios: misses are silently dropped but counted
+     by the switch itself. *)
+  Switch.on_miss sw (fun _ -> ())
+
+let find_switch t name =
+  match Hashtbl.find_opt t.switches name with
+  | Some sw -> sw
+  | None -> failwith (Printf.sprintf "Sdn_controller: unknown switch %s" name)
+
+let install_rule t ~switch ~priority ~match_ ~action ?on_done () =
+  let sw = find_switch t switch in
+  t.ops <- t.ops + 1;
+  ignore
+    (Engine.schedule_after t.engine t.install_delay (fun () ->
+         ignore (Flow_table.install (Switch.table sw) ~priority ~match_ ~action);
+         match on_done with Some f -> f () | None -> ()))
+
+let remove_rules t ~switch ~match_ ?on_done () =
+  let sw = find_switch t switch in
+  t.ops <- t.ops + 1;
+  ignore
+    (Engine.schedule_after t.engine t.install_delay (fun () ->
+         ignore (Flow_table.remove_matching (Switch.table sw) match_);
+         match on_done with Some f -> f () | None -> ()))
+
+let update_route t ~switch ~match_ ~new_action ?(priority = 100) ?on_done () =
+  let sw = find_switch t switch in
+  t.ops <- t.ops + 1;
+  ignore
+    (Engine.schedule_after t.engine t.install_delay (fun () ->
+         let table = Switch.table sw in
+         ignore (Flow_table.remove_matching table match_);
+         ignore (Flow_table.install table ~priority ~match_ ~action:new_action);
+         match on_done with Some f -> f () | None -> ()))
+
+let rule_operations t = t.ops

@@ -1,0 +1,61 @@
+(** SDN controller for L2/L3 forwarding state.
+
+    Control applications coordinate this controller with the MB
+    controller: a [moveInternal] must complete before the routing
+    update it enables is issued (§3, Figure 4).  Rule installation is
+    not instantaneous — each install takes a configurable delay
+    modelling controller-to-switch RTT plus TCAM update, which together
+    with link latency creates the window during which packets keep
+    arriving at the old middlebox. *)
+
+type t
+
+val create :
+  Openmb_sim.Engine.t ->
+  ?install_delay:Openmb_sim.Time.t ->
+  unit ->
+  t
+(** [install_delay] defaults to 10 ms per rule operation (commodity
+    OpenFlow switches install on the order of hundreds of rules per
+    second). *)
+
+val register_switch : t -> Switch.t -> unit
+(** Bring a switch under this controller's management.  Registering
+    also claims the switch's miss handler (misses are counted and
+    dropped, as the scenarios install proactive rules). *)
+
+val install_rule :
+  t ->
+  switch:string ->
+  priority:int ->
+  match_:Hfl.t ->
+  action:Flow_table.action ->
+  ?on_done:(unit -> unit) ->
+  unit ->
+  unit
+(** Install a rule on the named switch after the install delay;
+    [on_done] fires once the rule is active.  Raises [Failure] for an
+    unknown switch. *)
+
+val remove_rules :
+  t -> switch:string -> match_:Hfl.t -> ?on_done:(unit -> unit) -> unit -> unit
+(** Remove all rules with exactly this match from the named switch
+    after the install delay. *)
+
+val update_route :
+  t ->
+  switch:string ->
+  match_:Hfl.t ->
+  new_action:Flow_table.action ->
+  ?priority:int ->
+  ?on_done:(unit -> unit) ->
+  unit ->
+  unit
+(** Atomically (from the switch's perspective) replace the forwarding
+    decision for [match_]: after the install delay, rules with this
+    exact match are removed and the new rule becomes active in the same
+    instant.  This is the routing flip used by the control
+    applications; [priority] defaults to 100. *)
+
+val rule_operations : t -> int
+(** Total rule install/remove operations issued (for reporting). *)

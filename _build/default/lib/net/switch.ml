@@ -1,0 +1,52 @@
+open Openmb_sim
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  switching_delay : Time.t;
+  table : Flow_table.t;
+  ports : (string, Link.t) Hashtbl.t;
+  mutable miss_handler : (Packet.t -> unit) option;
+  mutable received : int;
+  mutable dropped : int;
+  mutable to_controller : int;
+}
+
+let create engine ?(switching_delay = Time.us 10.0) ~name () =
+  {
+    engine;
+    name;
+    switching_delay;
+    table = Flow_table.create ();
+    ports = Hashtbl.create 8;
+    miss_handler = None;
+    received = 0;
+    dropped = 0;
+    to_controller = 0;
+  }
+
+let name t = t.name
+let attach_port t ~port link = Hashtbl.replace t.ports port link
+let table t = t.table
+let on_miss t f = t.miss_handler <- Some f
+
+let punt t p =
+  t.to_controller <- t.to_controller + 1;
+  match t.miss_handler with Some f -> f p | None -> t.dropped <- t.dropped + 1
+
+let receive t p =
+  t.received <- t.received + 1;
+  let forward () =
+    match Flow_table.lookup t.table p with
+    | Some (Flow_table.Forward port) -> (
+      match Hashtbl.find_opt t.ports port with
+      | Some link -> Link.send link p
+      | None -> t.dropped <- t.dropped + 1)
+    | Some Flow_table.Drop -> t.dropped <- t.dropped + 1
+    | Some Flow_table.To_controller | None -> punt t p
+  in
+  ignore (Engine.schedule_after t.engine t.switching_delay forward)
+
+let packets_received t = t.received
+let packets_dropped t = t.dropped
+let packets_to_controller t = t.to_controller

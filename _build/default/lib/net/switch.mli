@@ -1,0 +1,38 @@
+(** OpenFlow-style switch.
+
+    A switch owns a {!Flow_table.t} and a set of named output ports,
+    each attached to a {!Link.t}.  Received packets are matched against
+    the table after a fixed switching delay; misses and
+    [To_controller] actions are punted to a registered handler. *)
+
+type t
+
+val create :
+  Openmb_sim.Engine.t ->
+  ?switching_delay:Openmb_sim.Time.t ->
+  name:string ->
+  unit ->
+  t
+(** [create engine ~name ()] is a switch with an empty flow table and
+    no ports.  [switching_delay] defaults to 10 µs. *)
+
+val name : t -> string
+
+val attach_port : t -> port:string -> Link.t -> unit
+(** Bind output [port] to a link.  Re-binding an existing port replaces
+    it. *)
+
+val table : t -> Flow_table.t
+(** The switch's flow table (for direct rule manipulation by the SDN
+    controller). *)
+
+val on_miss : t -> (Packet.t -> unit) -> unit
+(** Handler invoked on table miss or [To_controller]; default drops and
+    counts. *)
+
+val receive : t -> Packet.t -> unit
+(** Packet arrival on any ingress port. *)
+
+val packets_received : t -> int
+val packets_dropped : t -> int
+val packets_to_controller : t -> int

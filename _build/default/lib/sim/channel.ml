@@ -1,0 +1,35 @@
+type 'a t = {
+  engine : Engine.t;
+  latency : Time.t;
+  bytes_per_sec : float;
+  deliver : 'a -> unit;
+  mutable free_at : Time.t;
+  mutable bytes_sent : int;
+  mutable messages_sent : int;
+}
+
+let create engine ~latency ~bytes_per_sec ~deliver =
+  if bytes_per_sec <= 0.0 then invalid_arg "Channel.create: bytes_per_sec must be positive";
+  {
+    engine;
+    latency;
+    bytes_per_sec;
+    deliver;
+    free_at = Time.zero;
+    bytes_sent = 0;
+    messages_sent = 0;
+  }
+
+let send ch ~bytes msg =
+  let start = Time.max (Engine.now ch.engine) ch.free_at in
+  let transfer = Time.seconds (float_of_int bytes /. ch.bytes_per_sec) in
+  let done_sending = Time.(start + transfer) in
+  ch.free_at <- done_sending;
+  ch.bytes_sent <- ch.bytes_sent + bytes;
+  ch.messages_sent <- ch.messages_sent + 1;
+  let arrival = Time.(done_sending + ch.latency) in
+  ignore (Engine.schedule_at ch.engine arrival (fun () -> ch.deliver msg))
+
+let bytes_sent ch = ch.bytes_sent
+let messages_sent ch = ch.messages_sent
+let busy_until ch = ch.free_at

@@ -1,0 +1,37 @@
+(** Simulated point-to-point message channel.
+
+    Models the UNIX-socket connections between middleboxes and the MB
+    controller: messages are delivered in FIFO order after a fixed
+    propagation latency plus a size-proportional serialization delay.
+    The channel is half-duplex per direction — a large state transfer
+    occupying the pipe delays messages queued behind it, which is the
+    effect the paper's controller profile (§8.3) attributes to socket
+    reads. *)
+
+type 'a t
+(** A unidirectional channel carrying ['a] messages. *)
+
+val create :
+  Engine.t ->
+  latency:Time.t ->
+  bytes_per_sec:float ->
+  deliver:('a -> unit) ->
+  'a t
+(** [create engine ~latency ~bytes_per_sec ~deliver] is a channel that
+    invokes [deliver msg] on the receiving side once the message has
+    crossed.  [bytes_per_sec] must be positive. *)
+
+val send : 'a t -> bytes:int -> 'a -> unit
+(** [send ch ~bytes msg] enqueues [msg], whose wire representation
+    occupies [bytes] bytes, for delivery. *)
+
+val bytes_sent : 'a t -> int
+(** Total bytes ever enqueued on this channel. *)
+
+val messages_sent : 'a t -> int
+(** Total messages ever enqueued on this channel. *)
+
+val busy_until : 'a t -> Time.t
+(** The time at which the pipe becomes idle given what has been sent so
+    far; equals the delivery start time available to the next
+    message. *)

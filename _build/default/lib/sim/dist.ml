@@ -1,0 +1,92 @@
+let exponential g ~mean =
+  let u = 1.0 -. Prng.float g 1.0 in
+  -.mean *. log u
+
+let uniform g ~lo ~hi = lo +. Prng.float g (hi -. lo)
+
+let pareto g ~shape ~scale =
+  let u = 1.0 -. Prng.float g 1.0 in
+  scale /. (u ** (1.0 /. shape))
+
+let bounded_pareto g ~shape ~lo ~hi =
+  (* Inverse CDF of the Pareto truncated to [lo, hi]. *)
+  let u = Prng.float g 1.0 in
+  let la = lo ** shape and ha = hi ** shape in
+  let x = -.((u *. ha) -. (u *. la) -. ha) /. (ha *. la) in
+  x ** (-1.0 /. shape)
+
+let normal g ~mean ~stddev =
+  let u1 = 1.0 -. Prng.float g 1.0 in
+  let u2 = Prng.float g 1.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let lognormal g ~mu ~sigma = exp (normal g ~mean:mu ~stddev:sigma)
+
+(* Zipf sampling by inversion over a cached cumulative table.  The
+   cache is keyed on (n, s); generators in this codebase use a handful
+   of distinct configurations, so the table is built once each. *)
+let zipf_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 7
+
+let zipf_table n s =
+  match Hashtbl.find_opt zipf_cache (n, s) with
+  | Some t -> t
+  | None ->
+    let t = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for k = 1 to n do
+      acc := !acc +. (1.0 /. (float_of_int k ** s));
+      t.(k - 1) <- !acc
+    done;
+    (* Normalize to a proper CDF. *)
+    let total = t.(n - 1) in
+    for k = 0 to n - 1 do
+      t.(k) <- t.(k) /. total
+    done;
+    Hashtbl.replace zipf_cache (n, s) t;
+    t
+
+let zipf g ~n ~s =
+  assert (n > 0);
+  let t = zipf_table n s in
+  let u = Prng.float g 1.0 in
+  (* Binary search for the first index whose CDF value exceeds u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.(mid) < u then search (mid + 1) hi else search lo mid
+  in
+  search 0 (n - 1) + 1
+
+let empirical g ~points =
+  let n = Array.length points in
+  assert (n > 0);
+  let u = Prng.float g 1.0 in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      let _, p = points.(mid) in
+      if p < u then search (mid + 1) hi else search lo mid
+  in
+  let i = search 0 (n - 1) in
+  if i = 0 then
+    let v, p = points.(0) in
+    if p <= 0.0 then v else v *. (u /. p)
+  else
+    let v0, p0 = points.(i - 1) and v1, p1 = points.(i) in
+    if p1 <= p0 then v1 else v0 +. ((v1 -. v0) *. ((u -. p0) /. (p1 -. p0)))
+
+let weighted_index g ~weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  assert (total > 0.0);
+  let u = Prng.float g total in
+  let n = Array.length weights in
+  let rec go i acc =
+    if i >= n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if u < acc then i else go (i + 1) acc
+  in
+  go 0 0.0

@@ -1,0 +1,40 @@
+(** Random-variate distributions used by the traffic generators.
+
+    Each sampler takes the {!Prng.t} explicitly so the caller controls
+    which stream the draw comes from. *)
+
+val exponential : Prng.t -> mean:float -> float
+(** Exponential variate with the given mean. *)
+
+val uniform : Prng.t -> lo:float -> hi:float -> float
+(** Uniform variate in [\[lo, hi)]. *)
+
+val pareto : Prng.t -> shape:float -> scale:float -> float
+(** Pareto (type I) variate: minimum value [scale], tail index
+    [shape].  Heavy-tailed for [shape <= 2]. *)
+
+val bounded_pareto : Prng.t -> shape:float -> lo:float -> hi:float -> float
+(** Pareto variate truncated to [\[lo, hi\]] by inverse-CDF sampling of
+    the bounded distribution (no rejection). *)
+
+val lognormal : Prng.t -> mu:float -> sigma:float -> float
+(** Log-normal variate with parameters of the underlying normal. *)
+
+val normal : Prng.t -> mean:float -> stddev:float -> float
+(** Normal variate (Box–Muller). *)
+
+val zipf : Prng.t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [\[1, n\]] with exponent [s], sampled by
+    inversion over the precomputed normalization (O(log n) per draw
+    after an O(n) table build per call site is avoided by a small
+    internal cache keyed on [(n, s)]). *)
+
+val empirical : Prng.t -> points:(float * float) array -> float
+(** [empirical g ~points] samples from the CDF given as
+    [(value, cumulative_probability)] pairs sorted by probability, with
+    linear interpolation between points.  The final pair must have
+    cumulative probability [1.0]. *)
+
+val weighted_index : Prng.t -> weights:float array -> int
+(** Index [i] chosen with probability proportional to [weights.(i)].
+    Weights must be non-negative and not all zero. *)

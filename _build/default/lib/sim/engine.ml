@@ -1,0 +1,53 @@
+type handle = { mutable cancelled : bool }
+
+type event = { at : Time.t; action : unit -> unit; h : handle }
+
+type t = { mutable clock : Time.t; queue : event Heap.t }
+
+let create () =
+  { clock = Time.zero; queue = Heap.create ~cmp:(fun a b -> Time.compare a.at b.at) }
+
+let now t = t.clock
+
+let schedule_at t when_ f =
+  if Time.compare when_ t.clock < 0 then
+    invalid_arg "Engine.schedule_at: time is in the past";
+  let h = { cancelled = false } in
+  Heap.push t.queue { at = when_; action = f; h };
+  h
+
+let schedule_after t delay f =
+  if Time.compare delay Time.zero < 0 then
+    invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t Time.(t.clock + delay) f
+
+let cancel h = h.cancelled <- true
+let is_cancelled h = h.cancelled
+let pending t = Heap.size t.queue
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    if ev.h.cancelled then step t
+    else begin
+      t.clock <- ev.at;
+      ev.action ();
+      true
+    end
+
+let run ?until t =
+  let keep_going () =
+    match until with
+    | None -> not (Heap.is_empty t.queue)
+    | Some limit -> (
+      match Heap.peek t.queue with
+      | None -> false
+      | Some ev -> Time.compare ev.at limit <= 0)
+  in
+  while keep_going () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when Time.compare t.clock limit < 0 -> t.clock <- limit
+  | _ -> ()

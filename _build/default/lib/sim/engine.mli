@@ -1,0 +1,52 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and a queue of pending events.  A
+    component schedules a closure to run at (or after) some simulated
+    time; [run] repeatedly pops the earliest event, advances the clock
+    to its timestamp and executes it.  Events scheduled for the same
+    instant execute in scheduling order.
+
+    All OpenMB components — middleboxes, the MB controller, switches,
+    traffic sources — are driven by one shared engine, which is what
+    lets the benches measure protocol latencies deterministically. *)
+
+type t
+(** A simulation engine instance. *)
+
+type handle
+(** A cancellable reference to a scheduled event. *)
+
+val create : unit -> t
+(** Fresh engine with the clock at {!Time.zero} and no pending
+    events. *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> handle
+(** [schedule_at t when_ f] runs [f] when the clock reaches [when_].
+    Scheduling in the past raises [Invalid_argument]. *)
+
+val schedule_after : t -> Time.t -> (unit -> unit) -> handle
+(** [schedule_after t delay f] runs [f] at [now t + delay].  A negative
+    [delay] raises [Invalid_argument]. *)
+
+val cancel : handle -> unit
+(** Cancel a pending event; a no-op if it already ran or was
+    cancelled. *)
+
+val is_cancelled : handle -> bool
+(** Whether {!cancel} was called on this handle. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet
+    discarded). *)
+
+val run : ?until:Time.t -> t -> unit
+(** [run t] executes events until the queue drains.  With [?until],
+    stops once the next event would be strictly later than [until] and
+    advances the clock to [until]. *)
+
+val step : t -> bool
+(** Execute the single earliest pending event.  Returns [false] when
+    the queue is empty. *)

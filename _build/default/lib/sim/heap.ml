@@ -1,0 +1,85 @@
+(* Classic array-backed binary heap.  Each element carries an insertion
+   sequence number so that equal-priority elements pop in FIFO order. *)
+
+type 'a entry = { value : 'a; seq : int }
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create ~cmp = { cmp; data = [||]; len = 0; next_seq = 0 }
+let size h = h.len
+let is_empty h = h.len = 0
+
+let entry_cmp h a b =
+  let c = h.cmp a.value b.value in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let grow h =
+  let cap = Array.length h.data in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  (* The dummy slot reuses an existing entry; it is never read before
+     being overwritten because [len] guards all accesses. *)
+  if h.len = 0 then h.data <- Array.make new_cap { value = Obj.magic 0; seq = 0 }
+  else begin
+    let d = Array.make new_cap h.data.(0) in
+    Array.blit h.data 0 d 0 h.len;
+    h.data <- d
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_cmp h h.data.(i) h.data.(parent) < 0 then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && entry_cmp h h.data.(l) h.data.(!smallest) < 0 then smallest := l;
+  if r < h.len && entry_cmp h h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h x =
+  if h.len >= Array.length h.data then grow h;
+  h.data.(h.len) <- { value = x; seq = h.next_seq };
+  h.next_seq <- h.next_seq + 1;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let peek h = if h.len = 0 then None else Some h.data.(0).value
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0).value in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let clear h =
+  h.len <- 0;
+  h.next_seq <- 0
+
+let to_list h =
+  let rec collect i acc =
+    if i < 0 then acc else collect (i - 1) (h.data.(i).value :: acc)
+  in
+  collect (h.len - 1) []

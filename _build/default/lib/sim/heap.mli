@@ -1,0 +1,36 @@
+(** Imperative binary min-heap, used as the simulator's pending-event
+    queue.
+
+    Elements are ordered by a user-supplied comparison.  Ties are broken
+    by insertion order (first-in, first-out), which gives the simulator
+    deterministic FIFO semantics for events scheduled at the same
+    instant. *)
+
+type 'a t
+(** A mutable min-heap of ['a] values. *)
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp]. *)
+
+val size : 'a t -> int
+(** Number of elements currently in the heap. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [true] iff [h] holds no elements. *)
+
+val push : 'a t -> 'a -> unit
+(** [push h x] inserts [x]. *)
+
+val peek : 'a t -> 'a option
+(** [peek h] is the minimum element without removing it, or [None] if
+    [h] is empty. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element, breaking ties in
+    insertion order, or returns [None] if [h] is empty. *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the heap contents in unspecified order. *)

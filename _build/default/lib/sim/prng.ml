@@ -1,0 +1,55 @@
+(* SplitMix64 (Steele, Lea & Flood 2014): tiny state, excellent
+   statistical quality for simulation purposes, and trivially
+   splittable. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g = { state = mix (bits64 g) }
+
+let int g bound =
+  assert (bound > 0);
+  (* Drop two bits so the value fits OCaml's 63-bit int without
+     touching the sign bit. *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
+  r mod bound
+
+let int_in g lo hi =
+  assert (lo <= hi);
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  (* 53 uniform mantissa bits. *)
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let chance g p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float g 1.0 < p
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  assert (Array.length a > 0);
+  a.(int g (Array.length a))

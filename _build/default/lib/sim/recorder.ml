@@ -1,0 +1,33 @@
+type entry = { time : Time.t; actor : string; kind : string; detail : string }
+
+type t = { engine : Engine.t; mutable entries_rev : entry list; mutable n : int }
+
+let create engine = { engine; entries_rev = []; n = 0 }
+
+let record t ~actor ~kind ~detail =
+  t.entries_rev <- { time = Engine.now t.engine; actor; kind; detail } :: t.entries_rev;
+  t.n <- t.n + 1
+
+let entries t = List.rev t.entries_rev
+
+let matches ?actor ?kind ?since ?until e =
+  (match actor with None -> true | Some a -> String.equal e.actor a)
+  && (match kind with None -> true | Some k -> String.equal e.kind k)
+  && (match since with None -> true | Some s -> Time.compare e.time s >= 0)
+  && match until with None -> true | Some u -> Time.compare e.time u <= 0
+
+let filter ?actor ?kind ?since ?until t =
+  List.filter (matches ?actor ?kind ?since ?until) (entries t)
+
+let count ?actor ?kind t =
+  List.fold_left
+    (fun acc e -> if matches ?actor ?kind e then acc + 1 else acc)
+    0 t.entries_rev
+
+let pp_entry fmt e =
+  Format.fprintf fmt "[%8.3fs] %-16s %-12s %s" (Time.to_seconds e.time) e.actor e.kind
+    e.detail
+
+let clear t =
+  t.entries_rev <- [];
+  t.n <- 0

@@ -1,0 +1,38 @@
+(** Timeline recorder.
+
+    Components log labelled occurrences (packet processed, get started,
+    event raised, …) against the virtual clock; the Figure-7 bench then
+    extracts and prints the per-middlebox activity timeline. *)
+
+type entry = {
+  time : Time.t;  (** When the occurrence happened. *)
+  actor : string;  (** Component that logged it, e.g. ["prads-1"]. *)
+  kind : string;  (** Occurrence class, e.g. ["pkt"], ["get-start"]. *)
+  detail : string;  (** Free-form annotation. *)
+}
+(** One recorded occurrence. *)
+
+type t
+(** A mutable, append-only timeline. *)
+
+val create : Engine.t -> t
+(** A recorder stamping entries with the engine's clock. *)
+
+val record : t -> actor:string -> kind:string -> detail:string -> unit
+(** Append one entry at the current virtual time. *)
+
+val entries : t -> entry list
+(** All entries in chronological (append) order. *)
+
+val filter :
+  ?actor:string -> ?kind:string -> ?since:Time.t -> ?until:Time.t -> t -> entry list
+(** Entries matching all the given criteria. *)
+
+val count : ?actor:string -> ?kind:string -> t -> int
+(** Number of matching entries. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+(** Render one entry as ["[   1.204s] prads-1          pkt        http 10.0.0.1:80"]. *)
+
+val clear : t -> unit
+(** Drop all recorded entries. *)

@@ -1,0 +1,122 @@
+type t = {
+  mutable data : float array;
+  mutable len : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable sorted : bool;
+}
+
+let create () = { data = Array.make 64 0.0; len = 0; sum = 0.0; sum_sq = 0.0; sorted = true }
+
+let add t x =
+  if t.len >= Array.length t.data then begin
+    let d = Array.make (2 * Array.length t.data) 0.0 in
+    Array.blit t.data 0 d 0 t.len;
+    t.data <- d
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sum <- t.sum +. x;
+  t.sum_sq <- t.sum_sq +. (x *. x);
+  t.sorted <- false
+
+let count t = t.len
+let total t = t.sum
+let mean t = if t.len = 0 then nan else t.sum /. float_of_int t.len
+
+let variance t =
+  if t.len = 0 then nan
+  else
+    let m = mean t in
+    Float.max 0.0 ((t.sum_sq /. float_of_int t.len) -. (m *. m))
+
+let stddev t = sqrt (variance t)
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let sub = Array.sub t.data 0 t.len in
+    Array.sort Float.compare sub;
+    Array.blit sub 0 t.data 0 t.len;
+    t.sorted <- true
+  end
+
+let min_value t =
+  if t.len = 0 then nan
+  else begin
+    ensure_sorted t;
+    t.data.(0)
+  end
+
+let max_value t =
+  if t.len = 0 then nan
+  else begin
+    ensure_sorted t;
+    t.data.(t.len - 1)
+  end
+
+let percentile t p =
+  if t.len = 0 then nan
+  else begin
+    ensure_sorted t;
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = p /. 100.0 *. float_of_int (t.len - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then t.data.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      t.data.(lo) +. (frac *. (t.data.(hi) -. t.data.(lo)))
+  end
+
+let median t = percentile t 50.0
+
+let cdf t ~points =
+  if t.len = 0 || points <= 0 then []
+  else begin
+    ensure_sorted t;
+    let lo = t.data.(0) and hi = t.data.(t.len - 1) in
+    let step = if points = 1 then 0.0 else (hi -. lo) /. float_of_int (points - 1) in
+    (* For each x, the fraction of observations <= x via binary search
+       for the upper bound. *)
+    let frac_le x =
+      let rec search a b =
+        if a >= b then a
+        else
+          let mid = (a + b) / 2 in
+          if t.data.(mid) <= x then search (mid + 1) b else search a mid
+      in
+      float_of_int (search 0 t.len) /. float_of_int t.len
+    in
+    List.init points (fun i ->
+        let x = lo +. (float_of_int i *. step) in
+        (x, frac_le x))
+  end
+
+let fraction_above t x =
+  if t.len = 0 then nan
+  else begin
+    ensure_sorted t;
+    let rec search a b =
+      if a >= b then a
+      else
+        let mid = (a + b) / 2 in
+        if t.data.(mid) <= x then search (mid + 1) b else search a mid
+    in
+    float_of_int (t.len - search 0 t.len) /. float_of_int t.len
+  end
+
+let histogram t ~bins =
+  if t.len = 0 || bins <= 0 then []
+  else begin
+    ensure_sorted t;
+    let lo = t.data.(0) and hi = t.data.(t.len - 1) in
+    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+    let counts = Array.make bins 0 in
+    for i = 0 to t.len - 1 do
+      let b = int_of_float ((t.data.(i) -. lo) /. width) in
+      let b = if b >= bins then bins - 1 else b in
+      counts.(b) <- counts.(b) + 1
+    done;
+    List.init bins (fun b ->
+        (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width), counts.(b)))
+  end

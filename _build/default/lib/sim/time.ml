@@ -1,0 +1,15 @@
+type t = float
+
+let zero = 0.0
+let seconds s = s
+let ms m = m *. 1e-3
+let us u = u *. 1e-6
+let to_seconds t = t
+let to_ms t = t *. 1e3
+let to_us t = t *. 1e6
+let compare = Float.compare
+let ( + ) = Stdlib.( +. )
+let ( - ) = Stdlib.( -. )
+let max = Float.max
+let min = Float.min
+let pp fmt t = Format.fprintf fmt "%.3fs" t

@@ -1,0 +1,50 @@
+(** Simulated time.
+
+    Time is represented as a [float] number of seconds since the start of
+    the simulation.  All OpenMB latencies and delays are expressed in this
+    unit; helper constructors are provided for the sub-second magnitudes
+    the paper reports (milliseconds for API-call processing, microseconds
+    for per-packet costs). *)
+
+type t = float
+(** A point in simulated time, in seconds.  Always non-negative. *)
+
+val zero : t
+(** The simulation epoch. *)
+
+val seconds : float -> t
+(** [seconds s] is the duration of [s] seconds. *)
+
+val ms : float -> t
+(** [ms m] is the duration of [m] milliseconds. *)
+
+val us : float -> t
+(** [us u] is the duration of [u] microseconds. *)
+
+val to_seconds : t -> float
+(** [to_seconds t] is [t] expressed in seconds. *)
+
+val to_ms : t -> float
+(** [to_ms t] is [t] expressed in milliseconds. *)
+
+val to_us : t -> float
+(** [to_us t] is [t] expressed in microseconds. *)
+
+val compare : t -> t -> int
+(** Total order on time points. *)
+
+val ( + ) : t -> t -> t
+(** Sum of a time point and a duration (or two durations). *)
+
+val ( - ) : t -> t -> t
+(** Difference of two time points; may be negative for out-of-order
+    arguments. *)
+
+val max : t -> t -> t
+(** Later of two time points. *)
+
+val min : t -> t -> t
+(** Earlier of two time points. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt t] prints [t] with millisecond precision, e.g. ["12.345s"]. *)

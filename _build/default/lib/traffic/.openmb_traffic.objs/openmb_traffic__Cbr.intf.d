@@ -1,0 +1,1 @@
+lib/traffic/cbr.mli: Openmb_net Trace

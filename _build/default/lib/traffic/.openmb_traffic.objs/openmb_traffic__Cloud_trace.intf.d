@@ -1,0 +1,1 @@
+lib/traffic/cloud_trace.mli: Openmb_net Trace

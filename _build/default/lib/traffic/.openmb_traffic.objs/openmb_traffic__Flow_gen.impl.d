@@ -1,0 +1,1 @@
+lib/traffic/flow_gen.ml: Array Five_tuple Float List Openmb_net Openmb_sim Packet Payload Prng Time Trace

@@ -1,0 +1,1 @@
+lib/traffic/flow_gen.mli: Openmb_net Openmb_sim Trace

@@ -1,0 +1,1 @@
+lib/traffic/redundancy_trace.ml: Addr Array Dist Five_tuple Flow_gen Hfl List Openmb_net Openmb_sim Packet Payload Prng Trace

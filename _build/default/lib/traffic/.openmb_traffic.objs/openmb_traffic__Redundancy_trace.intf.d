@@ -1,0 +1,1 @@
+lib/traffic/redundancy_trace.mli: Openmb_net Trace

@@ -1,0 +1,1 @@
+lib/traffic/trace.ml: Array Engine List Openmb_net Openmb_sim Packet Time

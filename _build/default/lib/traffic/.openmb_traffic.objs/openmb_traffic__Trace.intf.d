@@ -1,0 +1,1 @@
+lib/traffic/trace.mli: Openmb_net Openmb_sim

@@ -1,0 +1,1 @@
+lib/traffic/university_dc.ml: Addr Dist Five_tuple Flow_gen List Openmb_net Openmb_sim Packet Prng Trace

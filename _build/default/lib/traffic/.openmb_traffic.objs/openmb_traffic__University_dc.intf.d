@@ -1,0 +1,1 @@
+lib/traffic/university_dc.mli: Openmb_net Openmb_sim Trace

@@ -1,0 +1,113 @@
+open Openmb_sim
+open Openmb_net
+
+type params = {
+  seed : int;
+  n_http_flows : int;
+  n_other_flows : int;
+  n_scanners : int;
+  duration : float;
+  campus : Addr.prefix;
+  cloud_http : Addr.prefix;
+  cloud_other : Addr.prefix;
+}
+
+let default_params =
+  {
+    seed = 42;
+    n_http_flows = 300;
+    n_other_flows = 120;
+    n_scanners = 2;
+    duration = 60.0;
+    campus = Addr.prefix_of_string "10.0.0.0/16";
+    cloud_http = Addr.prefix_of_string "1.1.1.0/24";
+    cloud_other = Addr.prefix_of_string "1.1.2.0/24";
+  }
+
+let is_http (p : Packet.t) = p.dst_port = 80 || p.src_port = 80
+
+let pick_host prng prefix =
+  (* Avoid the network (offset 0) and broadcast-ish tail. *)
+  let capacity = 1 lsl (32 - Addr.prefix_len prefix) in
+  Addr.host_in_prefix prefix (1 + Prng.int prng (max 1 (capacity - 2)))
+
+let uris = [| "/index.html"; "/api/v1/items"; "/static/app.js"; "/images/logo.png";
+              "/search?q=ocaml"; "/login"; "/data.json"; "/feed.xml" |]
+
+let hosts = [| "app.cloud.example"; "cdn.cloud.example"; "api.cloud.example" |]
+
+let generate ?(ids = Trace.Id_gen.create ()) p =
+  let master = Prng.create ~seed:p.seed in
+  let g_http = Prng.split master in
+  let g_other = Prng.split master in
+  let g_scan = Prng.split master in
+  let http_flows =
+    List.concat
+      (List.init p.n_http_flows (fun i ->
+           let tuple =
+             {
+               Five_tuple.src_ip = pick_host g_http p.campus;
+               dst_ip = pick_host g_http p.cloud_http;
+               src_port = 10000 + (i mod 50000);
+               dst_port = 80;
+               proto = Packet.Tcp;
+             }
+           in
+           (* Flows start early enough to complete within the trace. *)
+           let duration = Dist.uniform g_http ~lo:1.0 ~hi:(p.duration *. 0.6) in
+           let start = Dist.uniform g_http ~lo:0.0 ~hi:(p.duration -. duration -. 0.1) in
+           let n_txn = 1 + Prng.int g_http 4 in
+           let http =
+             List.init n_txn (fun _ ->
+                 (Prng.choose g_http hosts, Prng.choose g_http uris))
+           in
+           let data_packets = max (2 * n_txn) (4 + Prng.int g_http 20) in
+           Flow_gen.tcp_flow ~ids ~prng:g_http ~tuple ~start ~duration ~data_packets
+             ~content:(Flow_gen.fresh_content g_http ~tokens_per_packet:8)
+             ~http ()))
+  in
+  let other_flows =
+    List.concat
+      (List.init p.n_other_flows (fun i ->
+           let proto = if Prng.chance g_other 0.3 then Packet.Udp else Packet.Tcp in
+           let tuple =
+             {
+               Five_tuple.src_ip = pick_host g_other p.campus;
+               dst_ip = pick_host g_other p.cloud_other;
+               src_port = 20000 + (i mod 40000);
+               dst_port = Prng.choose g_other [| 22; 443; 53; 25; 8443 |];
+               proto;
+             }
+           in
+           let duration = Dist.uniform g_other ~lo:0.5 ~hi:(p.duration *. 0.5) in
+           let start = Dist.uniform g_other ~lo:0.0 ~hi:(p.duration -. duration -. 0.1) in
+           let data_packets = 2 + Prng.int g_other 10 in
+           let content = Flow_gen.fresh_content g_other ~tokens_per_packet:4 in
+           match proto with
+           | Packet.Udp ->
+             Flow_gen.udp_flow ~ids ~prng:g_other ~tuple ~start ~duration ~data_packets
+               ~content ()
+           | Packet.Tcp | Packet.Icmp ->
+             Flow_gen.tcp_flow ~ids ~prng:g_other ~tuple ~start ~duration ~data_packets
+               ~content ()))
+  in
+  let scan_probes =
+    List.concat
+      (List.init p.n_scanners (fun i ->
+           let src = pick_host g_scan p.campus in
+           (* Each scanner probes enough distinct destinations to trip
+              the IDS threshold. *)
+           List.init 30 (fun j ->
+               let tuple =
+                 {
+                   Five_tuple.src_ip = src;
+                   dst_ip = pick_host g_scan p.cloud_other;
+                   src_port = 30000 + (i * 100) + j;
+                   dst_port = 1 + Prng.int g_scan 1024;
+                   proto = Packet.Tcp;
+                 }
+               in
+               Flow_gen.syn_probe ~ids ~tuple
+                 ~start:(Dist.uniform g_scan ~lo:0.0 ~hi:p.duration))))
+  in
+  Trace.of_packets (http_flows @ other_flows @ scan_probes)

@@ -1,0 +1,30 @@
+(** Synthetic stand-in for the paper's campus↔cloud capture: traffic
+    between a campus network and two cloud-provider prefixes over ~15
+    minutes, with an HTTP substream (to the cloud web services) and an
+    "other" substream (non-HTTP ports), plus a small population of
+    scanners probing the campus.
+
+    The HTTP/other split is what the migration scenarios partition on
+    (HTTP flows move; other flows stay). *)
+
+type params = {
+  seed : int;
+  n_http_flows : int;
+  n_other_flows : int;
+  n_scanners : int;  (** Sources emitting bare SYN probes. *)
+  duration : float;  (** Trace length, seconds. *)
+  campus : Openmb_net.Addr.prefix;  (** Client population. *)
+  cloud_http : Openmb_net.Addr.prefix;  (** HTTP destinations. *)
+  cloud_other : Openmb_net.Addr.prefix;  (** Non-HTTP destinations. *)
+}
+
+val default_params : params
+(** 300 HTTP flows, 120 other flows, 2 scanners over 60 s —
+    test-sized.  The benches scale the flow counts up to the paper's
+    populations. *)
+
+val generate : ?ids:Trace.Id_gen.gen -> params -> Trace.t
+
+val is_http : Openmb_net.Packet.t -> bool
+(** Whether a packet belongs to the HTTP substream (port 80 on either
+    side). *)

@@ -1,0 +1,83 @@
+open Openmb_sim
+open Openmb_net
+
+type params = {
+  seed : int;
+  n_flows_a : int;
+  n_flows_b : int;
+  packets_per_flow : int;
+  tokens_per_packet : int;
+  redundancy : float;
+  pool_size : int;
+  duration : float;
+  clients : Addr.prefix;
+  class_a : Addr.prefix;
+  class_b : Addr.prefix;
+}
+
+let default_params =
+  {
+    seed = 7;
+    n_flows_a = 60;
+    n_flows_b = 60;
+    packets_per_flow = 40;
+    tokens_per_packet = 16;
+    redundancy = 0.5;
+    pool_size = 512;
+    duration = 30.0;
+    clients = Addr.prefix_of_string "10.0.0.0/16";
+    class_a = Addr.prefix_of_string "1.1.1.0/24";
+    class_b = Addr.prefix_of_string "1.1.2.0/24";
+  }
+
+let class_b_hfl p = [ Hfl.Dst_ip p.class_b ]
+
+let pick_host prng prefix =
+  let capacity = 1 lsl (32 - Addr.prefix_len prefix) in
+  Addr.host_in_prefix prefix (1 + Prng.int prng (max 1 (capacity - 2)))
+
+(* Token spaces: popular pool tokens are [class_tag + rank]; fresh
+   tokens live far above any pool.  Class tags keep the pools
+   disjoint. *)
+let pool_token ~class_tag rank = (class_tag lsl 20) lor rank
+
+let content_for prng p ~class_tag ~fresh_base =
+  let counter = ref 0 in
+  {
+    Flow_gen.payload_for =
+      (fun _ ->
+        Payload.of_tokens
+          (Array.init p.tokens_per_packet (fun _ ->
+               if Prng.chance prng p.redundancy then
+                 pool_token ~class_tag (Dist.zipf prng ~n:p.pool_size ~s:1.1)
+               else begin
+                 incr counter;
+                 fresh_base + !counter
+               end)));
+  }
+
+let flows_for ?(ids = Trace.Id_gen.create ()) prng p ~n ~class_tag ~dst_prefix ~port_base =
+  List.concat
+    (List.init n (fun i ->
+         let tuple =
+           {
+             Five_tuple.src_ip = pick_host prng p.clients;
+             dst_ip = pick_host prng dst_prefix;
+             src_port = port_base + i;
+             dst_port = 80;
+             proto = Packet.Tcp;
+           }
+         in
+         let start = Dist.uniform prng ~lo:0.0 ~hi:(p.duration *. 0.2) in
+         let duration = p.duration *. 0.75 in
+         let fresh_base = (class_tag lsl 44) lor (i lsl 24) in
+         Flow_gen.tcp_flow ~ids ~prng ~tuple ~start ~duration
+           ~data_packets:p.packets_per_flow
+           ~content:(content_for prng p ~class_tag ~fresh_base)
+           ()))
+
+let generate ?(ids = Trace.Id_gen.create ()) p =
+  let prng = Prng.create ~seed:p.seed in
+  let a = flows_for ~ids prng p ~n:p.n_flows_a ~class_tag:1 ~dst_prefix:p.class_a ~port_base:10000 in
+  let b = flows_for ~ids prng p ~n:p.n_flows_b ~class_tag:2 ~dst_prefix:p.class_b ~port_base:20000 in
+  Trace.of_packets (a @ b)

@@ -1,0 +1,35 @@
+(** Synthetic stand-in for the high-redundancy campus capture used by
+    the RE experiments (Table 3).
+
+    Payload tokens are drawn from per-destination-class content pools
+    with Zipf popularity, so a large fraction of content repeats —
+    the redundancy an RE encoder eliminates.  Redundancy is strictly
+    {e intra-class}: the pools of the two destination prefixes are
+    disjoint, so content never repeats across the migration boundary.
+    (Cross-class repeats would let the encoder emit shims for class-A
+    traffic that reference class-B content appended during the small
+    routing/config window — a failure mode the paper's trace evidently
+    did not exhibit; see DESIGN.md.) *)
+
+type params = {
+  seed : int;
+  n_flows_a : int;  (** Flows to the class-A prefix (stay in DC A). *)
+  n_flows_b : int;  (** Flows to the class-B prefix (migrate to DC B). *)
+  packets_per_flow : int;
+  tokens_per_packet : int;
+  redundancy : float;  (** Fraction of tokens drawn from the popular pool. *)
+  pool_size : int;  (** Distinct popular tokens per class. *)
+  duration : float;
+  clients : Openmb_net.Addr.prefix;
+  class_a : Openmb_net.Addr.prefix;
+  class_b : Openmb_net.Addr.prefix;
+}
+
+val default_params : params
+(** 60+60 flows, 40 packets × 16 tokens each, 50% redundancy over
+    30 s. *)
+
+val generate : ?ids:Trace.Id_gen.gen -> params -> Trace.t
+
+val class_b_hfl : params -> Openmb_net.Hfl.t
+(** Header-field list selecting the migrating (class-B) traffic. *)

@@ -1,0 +1,1 @@
+lib/wire/json.ml: Bool Buffer Char Float Int List Printf String

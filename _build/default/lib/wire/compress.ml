@@ -1,0 +1,130 @@
+(* LZSS with a 4 KiB sliding window and 3-byte hash-chain match
+   finding.  Output format: groups of 8 tokens preceded by a flag byte;
+   bit i set means token i is a (offset, length) back-reference encoded
+   in two bytes (12-bit offset, 4-bit length-3), clear means a literal
+   byte. *)
+
+let window_size = 4096
+let min_match = 3
+let max_match = 18 (* 4-bit length field stores length - min_match *)
+
+let hash3 s i =
+  (Char.code s.[i] lsl 10) lxor (Char.code s.[i + 1] lsl 5) lxor Char.code s.[i + 2]
+
+let compress input =
+  let n = String.length input in
+  if n = 0 then ""
+  else begin
+    let out = Buffer.create (n / 2) in
+    (* head.(h) = most recent position with hash h; prev.(i mod window) =
+       previous position with the same hash, forming chains. *)
+    let head = Array.make 32768 (-1) in
+    let prev = Array.make window_size (-1) in
+    let insert pos =
+      if pos + min_match <= n then begin
+        let h = hash3 input pos land 32767 in
+        prev.(pos land (window_size - 1)) <- head.(h);
+        head.(h) <- pos
+      end
+    in
+    let find_match pos =
+      if pos + min_match > n then None
+      else begin
+        let h = hash3 input pos land 32767 in
+        let limit = pos - window_size in
+        let best_len = ref 0 and best_off = ref 0 in
+        let candidate = ref head.(h) in
+        let tries = ref 32 in
+        while !candidate >= 0 && !candidate > limit && !tries > 0 do
+          let cand = !candidate in
+          let max_here = min max_match (n - pos) in
+          let len = ref 0 in
+          while !len < max_here && input.[cand + !len] = input.[pos + !len] do
+            incr len
+          done;
+          if !len > !best_len then begin
+            best_len := !len;
+            best_off := pos - cand
+          end;
+          candidate := prev.(cand land (window_size - 1));
+          decr tries
+        done;
+        if !best_len >= min_match then Some (!best_off, !best_len) else None
+      end
+    in
+    let pos = ref 0 in
+    let flags = ref 0 and flag_count = ref 0 in
+    let group = Buffer.create 17 in
+    let flush_group () =
+      if !flag_count > 0 then begin
+        Buffer.add_char out (Char.chr !flags);
+        Buffer.add_buffer out group;
+        Buffer.clear group;
+        flags := 0;
+        flag_count := 0
+      end
+    in
+    while !pos < n do
+      (match find_match !pos with
+      | Some (off, len) ->
+        flags := !flags lor (1 lsl !flag_count);
+        (* 12-bit offset (1..4095), 4-bit length - min_match. *)
+        let b1 = (off lsr 4) land 0xFF in
+        let b2 = ((off land 0xF) lsl 4) lor (len - min_match) in
+        Buffer.add_char group (Char.chr b1);
+        Buffer.add_char group (Char.chr b2);
+        for k = 0 to len - 1 do
+          insert (!pos + k)
+        done;
+        pos := !pos + len
+      | None ->
+        Buffer.add_char group input.[!pos];
+        insert !pos;
+        incr pos);
+      incr flag_count;
+      if !flag_count = 8 then flush_group ()
+    done;
+    flush_group ();
+    Buffer.contents out
+  end
+
+let decompress input =
+  let n = String.length input in
+  let out = Buffer.create (n * 2) in
+  let pos = ref 0 in
+  let byte () =
+    if !pos >= n then invalid_arg "Compress.decompress: truncated input";
+    let c = input.[!pos] in
+    incr pos;
+    c
+  in
+  while !pos < n do
+    let flags = Char.code (byte ()) in
+    let k = ref 0 in
+    while !k < 8 && !pos < n do
+      if flags land (1 lsl !k) <> 0 then begin
+        let b1 = Char.code (byte ()) in
+        let b2 = Char.code (byte ()) in
+        let off = (b1 lsl 4) lor (b2 lsr 4) in
+        let len = (b2 land 0xF) + min_match in
+        if off = 0 || off > Buffer.length out then
+          invalid_arg "Compress.decompress: bad back-reference";
+        let start = Buffer.length out - off in
+        for i = 0 to len - 1 do
+          Buffer.add_char out (Buffer.nth out (start + i))
+        done
+      end
+      else Buffer.add_char out (byte ());
+      incr k
+    done
+  done;
+  Buffer.contents out
+
+let compressed_size s = String.length (compress s)
+
+let ratio s =
+  let n = String.length s in
+  if n = 0 then 0.0
+  else
+    let c = compressed_size s in
+    Float.max 0.0 (1.0 -. (float_of_int c /. float_of_int n))

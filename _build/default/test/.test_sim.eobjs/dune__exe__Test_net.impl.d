@@ -1,0 +1,1 @@
+test/test_net.ml: Addr Alcotest Engine Five_tuple Flow_table Fmt Format Hfl Host Link List Openmb_net Openmb_sim Packet Payload Printf QCheck2 QCheck_alcotest Sdn_controller Switch Time

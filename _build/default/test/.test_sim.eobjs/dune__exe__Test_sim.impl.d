@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Channel Dist Engine Float Heap Int List Openmb_sim Prng QCheck2 QCheck_alcotest Recorder Stats Time

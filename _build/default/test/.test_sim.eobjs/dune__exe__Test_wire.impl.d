@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Compress Format Json List Openmb_wire Printf QCheck2 QCheck_alcotest String

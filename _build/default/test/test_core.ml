@@ -1,0 +1,837 @@
+(* Tests for the OpenMB framework core: taxonomy, configuration trees,
+   chunks, the wire protocol, events, and full controller protocol runs
+   against dummy middleboxes. *)
+
+open Openmb_sim
+open Openmb_wire
+open Openmb_net
+open Openmb_core
+
+let errt = Alcotest.testable Errors.pp Errors.equal
+
+(* ------------------------------------------------------------------ *)
+(* Taxonomy                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_taxonomy_table1 () =
+  Alcotest.(check bool) "config read-only" true
+    (Taxonomy.mb_access Taxonomy.Configuring = Taxonomy.Read_only);
+  Alcotest.(check bool) "supporting rw" true
+    (Taxonomy.mb_access Taxonomy.Supporting = Taxonomy.Read_write);
+  Alcotest.(check bool) "reporting wo" true
+    (Taxonomy.mb_access Taxonomy.Reporting = Taxonomy.Write_only);
+  Alcotest.(check bool) "controller writes config" true
+    (Taxonomy.controller_may_write Taxonomy.Configuring);
+  Alcotest.(check bool) "controller can't write supporting" false
+    (Taxonomy.controller_may_write Taxonomy.Supporting)
+
+let test_taxonomy_operations () =
+  (* Move: per-flow supporting/reporting only. *)
+  Alcotest.(check bool) "move pf supporting" true
+    (Taxonomy.may_move Taxonomy.Supporting Taxonomy.Per_flow);
+  Alcotest.(check bool) "move shared supporting" false
+    (Taxonomy.may_move Taxonomy.Supporting Taxonomy.Shared);
+  (* Clone: never for reporting (double counting). *)
+  Alcotest.(check bool) "clone shared supporting" true
+    (Taxonomy.may_clone Taxonomy.Supporting Taxonomy.Shared);
+  Alcotest.(check bool) "clone reporting forbidden" false
+    (Taxonomy.may_clone Taxonomy.Reporting Taxonomy.Shared);
+  Alcotest.(check bool) "clone config" true
+    (Taxonomy.may_clone Taxonomy.Configuring Taxonomy.Shared);
+  (* Merge: shared state only. *)
+  Alcotest.(check bool) "merge shared reporting" true
+    (Taxonomy.may_merge Taxonomy.Reporting Taxonomy.Shared);
+  Alcotest.(check bool) "merge per-flow forbidden" false
+    (Taxonomy.may_merge Taxonomy.Supporting Taxonomy.Per_flow)
+
+let test_taxonomy_strings () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "role roundtrip" true
+        (Taxonomy.role_of_string (Taxonomy.role_to_string r) = r))
+    [ Taxonomy.Configuring; Taxonomy.Supporting; Taxonomy.Reporting ];
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "partition roundtrip" true
+        (Taxonomy.partition_of_string (Taxonomy.partition_to_string p) = p))
+    [ Taxonomy.Per_flow; Taxonomy.Shared ]
+
+(* ------------------------------------------------------------------ *)
+(* Config tree                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_set_get () =
+  let t = Config_tree.create () in
+  Config_tree.set t [ "rules"; "http" ] [ Json.String "allow" ];
+  Config_tree.set t [ "rules"; "ssh" ] [ Json.String "deny" ];
+  Config_tree.set t [ "cache_size" ] [ Json.Int 500 ];
+  (match Config_tree.get t [ "rules"; "http" ] with
+  | [ { values = [ Json.String "allow" ]; _ } ] -> ()
+  | _ -> Alcotest.fail "leaf lookup");
+  Alcotest.(check int) "subtree" 2 (List.length (Config_tree.get t [ "rules" ]));
+  Alcotest.(check int) "wildcard root" 3 (List.length (Config_tree.get t [ "*" ]));
+  Alcotest.(check int) "size" 3 (Config_tree.size t)
+
+let test_config_del () =
+  let t = Config_tree.create () in
+  Config_tree.set t [ "a"; "b" ] [ Json.Int 1 ];
+  Config_tree.set t [ "a"; "c" ] [ Json.Int 2 ];
+  Alcotest.(check bool) "del leaf" true (Config_tree.del t [ "a"; "b" ]);
+  Alcotest.(check bool) "gone" false (Config_tree.mem t [ "a"; "b" ]);
+  Alcotest.(check bool) "sibling intact" true (Config_tree.mem t [ "a"; "c" ]);
+  Alcotest.(check bool) "del subtree" true (Config_tree.del t [ "a" ]);
+  Alcotest.(check int) "empty" 0 (Config_tree.size t);
+  Alcotest.(check bool) "del absent" false (Config_tree.del t [ "zz" ])
+
+let test_config_replace_all () =
+  let t = Config_tree.create () in
+  Config_tree.set t [ "old" ] [ Json.Int 1 ];
+  let src = Config_tree.create () in
+  Config_tree.set src [ "x"; "y" ] [ Json.Int 9 ];
+  Config_tree.replace_all t (Config_tree.entries src);
+  Alcotest.(check bool) "old gone" false (Config_tree.mem t [ "old" ]);
+  Alcotest.(check int) "copied" 1 (List.length (Config_tree.get t [ "x"; "y" ]))
+
+let test_config_value_vs_subtree_conflict () =
+  let t = Config_tree.create () in
+  Config_tree.set t [ "a" ] [ Json.Int 1 ];
+  Alcotest.(check bool) "cannot nest under a value" true
+    (match Config_tree.set t [ "a"; "b" ] [ Json.Int 2 ] with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_config_path_strings () =
+  Alcotest.(check string) "join" "a.b.c" (Config_tree.path_to_string [ "a"; "b"; "c" ]);
+  Alcotest.(check string) "root" "*" (Config_tree.path_to_string []);
+  Alcotest.(check (list string)) "parse" [ "a"; "b" ] (Config_tree.path_of_string "a.b");
+  Alcotest.(check (list string)) "parse root" [] (Config_tree.path_of_string "*")
+
+(* ------------------------------------------------------------------ *)
+(* Chunks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_chunk_seal_unseal () =
+  let key = Hfl.of_string "nw_src=10.0.0.1/32" in
+  let c =
+    Chunk.seal ~mb_kind:"bro" ~role:Taxonomy.Supporting ~partition:Taxonomy.Per_flow ~key
+      ~plain:"secret state"
+  in
+  (match Chunk.unseal ~mb_kind:"bro" c with
+  | Ok s -> Alcotest.(check string) "roundtrip" "secret state" s
+  | Error e -> Alcotest.failf "unseal failed: %s" (Errors.to_string e));
+  (match Chunk.unseal ~mb_kind:"prads" c with
+  | Error (Errors.Bad_chunk _) -> ()
+  | Ok _ -> Alcotest.fail "wrong kind must not unseal"
+  | Error e -> Alcotest.failf "unexpected error: %s" (Errors.to_string e))
+
+let test_chunk_opacity () =
+  (* The ciphertext must not contain the plaintext. *)
+  let plain = "this-is-visible-state-data" in
+  let c =
+    Chunk.seal ~mb_kind:"bro" ~role:Taxonomy.Supporting ~partition:Taxonomy.Per_flow
+      ~key:Hfl.any ~plain
+  in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "ciphertext hides plaintext" false (contains ~sub:"visible" c.cipher)
+
+let test_chunk_compression () =
+  let plain = String.concat "" (List.init 100 (fun _ -> "repetitive-state ")) in
+  Chunk.compression_enabled := false;
+  let raw =
+    Chunk.seal ~mb_kind:"bro" ~role:Taxonomy.Supporting ~partition:Taxonomy.Shared
+      ~key:Hfl.any ~plain
+  in
+  Chunk.compression_enabled := true;
+  let small =
+    Chunk.seal ~mb_kind:"bro" ~role:Taxonomy.Supporting ~partition:Taxonomy.Shared
+      ~key:Hfl.any ~plain
+  in
+  Chunk.compression_enabled := false;
+  Alcotest.(check bool) "compressed smaller" true
+    (Chunk.size_bytes small < Chunk.size_bytes raw);
+  (match Chunk.unseal ~mb_kind:"bro" small with
+  | Ok s -> Alcotest.(check string) "compressed roundtrip" plain s
+  | Error e -> Alcotest.failf "unseal failed: %s" (Errors.to_string e))
+
+let prop_chunk_roundtrip =
+  QCheck2.Test.make ~name:"chunk seal/unseal round-trip" ~count:200
+    QCheck2.Gen.(pair (string_size (int_range 0 500)) (string_size (int_range 1 10)))
+    (fun (plain, kind) ->
+      let c =
+        Chunk.seal ~mb_kind:kind ~role:Taxonomy.Supporting ~partition:Taxonomy.Per_flow
+          ~key:Hfl.any ~plain
+      in
+      Chunk.unseal ~mb_kind:kind c = Ok plain)
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mk_packet ?(id = 0) () =
+  Packet.make ~id ~ts:Time.zero ~src_ip:(Addr.of_string "10.0.0.1")
+    ~dst_ip:(Addr.of_string "1.1.1.1") ~src_port:1234 ~dst_port:80 ~proto:Packet.Tcp ()
+
+let test_event_filter () =
+  let f = Event.Filter.create () in
+  let intro code =
+    Event.Introspect { code; key = Hfl.of_string "nw_src=10.0.0.1/32"; info = Json.Null }
+  in
+  Alcotest.(check bool) "disabled by default" false (Event.Filter.admits f (intro "nat.new"));
+  Alcotest.(check bool) "reprocess always admitted" true
+    (Event.Filter.admits f (Event.Reprocess { key = Hfl.any; packet = mk_packet () }));
+  Event.Filter.enable f ~codes:[ "nat.new" ] ~key:(Hfl.of_string "nw_src=10.0.0.0/8");
+  Alcotest.(check bool) "enabled code+key" true (Event.Filter.admits f (intro "nat.new"));
+  Alcotest.(check bool) "other code still blocked" false
+    (Event.Filter.admits f (intro "lb.assign"));
+  Event.Filter.disable f ~codes:[ "nat.new" ];
+  Alcotest.(check bool) "disabled again" false (Event.Filter.admits f (intro "nat.new"))
+
+let test_event_filter_key_scope () =
+  let f = Event.Filter.create () in
+  Event.Filter.enable f ~codes:[] ~key:(Hfl.of_string "nw_src=10.0.0.0/8");
+  let intro src =
+    Event.Introspect
+      { code = "x"; key = Hfl.of_string (Printf.sprintf "nw_src=%s/32" src); info = Json.Null }
+  in
+  Alcotest.(check bool) "in scope" true (Event.Filter.admits f (intro "10.1.2.3"));
+  Alcotest.(check bool) "out of scope" false (Event.Filter.admits f (intro "192.168.1.1"))
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_request req =
+  let msg = { Message.op = 7; req } in
+  let j = Message.request_to_json msg in
+  let back = Message.request_of_json (Json.of_string (Json.to_string j)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "request roundtrip: %s" (Message.describe_request req))
+    true (back = msg)
+
+let test_message_request_roundtrips () =
+  let key = Hfl.of_string "nw_src=10.0.0.0/24,tp_dst=80" in
+  let chunk =
+    Chunk.seal ~mb_kind:"bro" ~role:Taxonomy.Supporting ~partition:Taxonomy.Per_flow ~key
+      ~plain:"some\nbinary\x01payload"
+  in
+  List.iter roundtrip_request
+    [
+      Message.Get_config [ "rules"; "http" ];
+      Message.Set_config ([ "cache" ], [ Json.Int 500; Json.String "lru" ]);
+      Message.Del_config [ "rules" ];
+      Message.Get_support_perflow key;
+      Message.Put_support_perflow chunk;
+      Message.Del_support_perflow key;
+      Message.Get_support_shared;
+      Message.Put_support_shared
+        (Chunk.seal ~mb_kind:"re-decoder" ~role:Taxonomy.Supporting
+           ~partition:Taxonomy.Shared ~key:Hfl.any ~plain:"cache");
+      Message.Get_report_perflow key;
+      Message.Del_report_perflow key;
+      Message.Get_report_shared;
+      Message.Get_stats key;
+      Message.Enable_events { codes = [ "nat.new" ]; key };
+      Message.Disable_events { codes = [] };
+      Message.Reprocess_packet { key; packet = mk_packet () };
+    ]
+
+let roundtrip_reply reply =
+  let msg = Message.Reply { op = 3; reply } in
+  let j = Message.from_mb_to_json msg in
+  let back = Message.from_mb_of_json (Json.of_string (Json.to_string j)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "reply roundtrip: %s" (Message.describe_reply reply))
+    true (back = msg)
+
+let test_message_reply_roundtrips () =
+  List.iter roundtrip_reply
+    [
+      Message.State_chunk
+        (Chunk.seal ~mb_kind:"prads" ~role:Taxonomy.Reporting ~partition:Taxonomy.Per_flow
+           ~key:(Hfl.of_string "tp_src=99") ~plain:"rec");
+      Message.End_of_state { count = 42 };
+      Message.Ack;
+      Message.Config_values
+        [ { Config_tree.path = [ "a"; "b" ]; values = [ Json.Int 1 ] } ];
+      Message.Stats_reply
+        {
+          Southbound.perflow_support_chunks = 1;
+          perflow_report_chunks = 2;
+          perflow_support_bytes = 300;
+          perflow_report_bytes = 400;
+          shared_support_bytes = 5;
+          shared_report_bytes = 6;
+        };
+      Message.Op_error Errors.Granularity_too_fine;
+      Message.Op_error (Errors.Unknown_mb "x");
+    ]
+
+let test_message_event_roundtrips () =
+  let events =
+    [
+      Event.Reprocess { key = Hfl.of_string "tp_dst=80"; packet = mk_packet () };
+      Event.Introspect
+        {
+          code = "nat.new_mapping";
+          key = Hfl.of_string "nw_src=10.0.0.1/32";
+          info = Json.Assoc [ ("ext_port", Json.Int 4242) ];
+        };
+    ]
+  in
+  List.iter
+    (fun ev ->
+      let msg = Message.Event_msg ev in
+      let back = Message.from_mb_of_json (Json.of_string (Json.to_string (Message.from_mb_to_json msg))) in
+      Alcotest.(check bool) "event roundtrip" true (back = msg))
+    events
+
+let test_message_wire_bytes_chunked () =
+  let chunk =
+    Chunk.seal ~mb_kind:"bro" ~role:Taxonomy.Supporting ~partition:Taxonomy.Per_flow
+      ~key:Hfl.any ~plain:(String.make 1000 'x')
+  in
+  let msg = { Message.op = 0; req = Message.Put_support_perflow chunk } in
+  Alcotest.(check bool) "wire size covers chunk body" true
+    (Message.request_wire_bytes msg >= 1000)
+
+(* ------------------------------------------------------------------ *)
+(* Controller end-to-end                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A fast controller config so tests needn't simulate 5 s quiescence. *)
+let test_config =
+  {
+    Controller.default_config with
+    quiescence = Time.ms 50.0;
+    channel_latency = Time.us 100.0;
+  }
+
+type rig = {
+  engine : Engine.t;
+  ctrl : Controller.t;
+  src : Openmb_apps.Dummy_mb.t;
+  dst : Openmb_apps.Dummy_mb.t;
+}
+
+let make_rig ?(src_chunks = 20) ?granularity ?kind () =
+  let engine = Engine.create () in
+  let ctrl = Controller.create engine ~config:test_config () in
+  let src = Openmb_apps.Dummy_mb.create engine ?granularity ?kind ~name:"src" () in
+  let dst = Openmb_apps.Dummy_mb.create engine ?granularity ?kind ~name:"dst" () in
+  Openmb_apps.Dummy_mb.populate src ~n:src_chunks;
+  Controller.connect ctrl (Mb_agent.create engine ~impl:(Openmb_apps.Dummy_mb.impl src) ());
+  Controller.connect ctrl (Mb_agent.create engine ~impl:(Openmb_apps.Dummy_mb.impl dst) ());
+  { engine; ctrl; src; dst }
+
+let test_move_internal_basic () =
+  let r = make_rig ~src_chunks:20 () in
+  let result = ref None in
+  Controller.move_internal r.ctrl ~src:"src" ~dst:"dst" ~key:Hfl.any ~on_done:(fun res ->
+      result := Some res);
+  Engine.run r.engine;
+  (match !result with
+  | Some (Ok mr) ->
+    Alcotest.(check int) "all chunks moved" 20 mr.Controller.chunks_moved;
+    Alcotest.(check bool) "bytes accounted" true (mr.Controller.bytes_moved > 20 * 100)
+  | Some (Error e) -> Alcotest.failf "move failed: %s" (Errors.to_string e)
+  | None -> Alcotest.fail "move never returned");
+  Alcotest.(check int) "dst has the state" 20 (Openmb_apps.Dummy_mb.chunk_count r.dst);
+  (* After quiescence the deferred delete must have emptied the src. *)
+  Alcotest.(check int) "src deleted after quiescence" 0
+    (Openmb_apps.Dummy_mb.chunk_count r.src);
+  Alcotest.(check int) "no transfers left" 0 (Controller.active_transfers r.ctrl)
+
+let test_move_internal_subset () =
+  let r = make_rig ~src_chunks:30 () in
+  (* Keys are 10.0.0.x for the first 250 chunks; move a /30 slice. *)
+  let key = Hfl.of_string "nw_src=10.0.0.4/30" in
+  let result = ref None in
+  Controller.move_internal r.ctrl ~src:"src" ~dst:"dst" ~key ~on_done:(fun res ->
+      result := Some res);
+  Engine.run r.engine;
+  (match !result with
+  | Some (Ok mr) -> Alcotest.(check int) "4 chunks in slice" 4 mr.Controller.chunks_moved
+  | _ -> Alcotest.fail "move failed");
+  Alcotest.(check int) "dst got slice" 4 (Openmb_apps.Dummy_mb.chunk_count r.dst);
+  Alcotest.(check int) "src kept the rest" 26 (Openmb_apps.Dummy_mb.chunk_count r.src)
+
+let test_move_unknown_mb () =
+  let r = make_rig () in
+  let result = ref None in
+  Controller.move_internal r.ctrl ~src:"nope" ~dst:"dst" ~key:Hfl.any ~on_done:(fun res ->
+      result := Some res);
+  Engine.run r.engine;
+  match !result with
+  | Some (Error e) -> Alcotest.check errt "unknown mb" (Errors.Unknown_mb "nope") e
+  | _ -> Alcotest.fail "expected failure"
+
+let test_move_granularity_error () =
+  (* MB keyed on src ip/port only; a dst-port request is finer. *)
+  let r = make_rig ~granularity:Hfl.[ Dim_src_ip; Dim_src_port ] () in
+  let result = ref None in
+  Controller.move_internal r.ctrl ~src:"src" ~dst:"dst"
+    ~key:(Hfl.of_string "tp_dst=80")
+    ~on_done:(fun res -> result := Some res);
+  Engine.run r.engine;
+  match !result with
+  | Some (Error e) -> Alcotest.check errt "granularity" Errors.Granularity_too_fine e
+  | _ -> Alcotest.fail "expected granularity error"
+
+let test_move_kind_mismatch () =
+  let engine = Engine.create () in
+  let ctrl = Controller.create engine ~config:test_config () in
+  let src = Openmb_apps.Dummy_mb.create engine ~kind:"bro" ~name:"src" () in
+  let dst = Openmb_apps.Dummy_mb.create engine ~kind:"prads" ~name:"dst" () in
+  Controller.connect ctrl (Mb_agent.create engine ~impl:(Openmb_apps.Dummy_mb.impl src) ());
+  Controller.connect ctrl (Mb_agent.create engine ~impl:(Openmb_apps.Dummy_mb.impl dst) ());
+  let result = ref None in
+  Controller.move_internal ctrl ~src:"src" ~dst:"dst" ~key:Hfl.any ~on_done:(fun res ->
+      result := Some res);
+  Engine.run engine;
+  match !result with
+  | Some (Error (Errors.Illegal_operation _)) -> ()
+  | _ -> Alcotest.fail "expected kind-mismatch error"
+
+let test_move_with_events_buffered_and_forwarded () =
+  let r = make_rig ~src_chunks:50 () in
+  (* The source raises re-process events while the move is in
+     flight; every one must reach the destination exactly once. *)
+  Openmb_apps.Dummy_mb.start_events r.src ~rate_pps:2000.0;
+  let result = ref None in
+  Controller.move_internal r.ctrl ~src:"src" ~dst:"dst" ~key:Hfl.any ~on_done:(fun res ->
+      result := Some res;
+      (* Stop events shortly after the move returns so quiescence can
+         be reached. *)
+      ignore
+        (Engine.schedule_after r.engine (Time.ms 10.0) (fun () ->
+             Openmb_apps.Dummy_mb.stop_events r.src)));
+  Engine.run r.engine;
+  (match !result with
+  | Some (Ok _) -> ()
+  | _ -> Alcotest.fail "move failed");
+  Alcotest.(check bool) "events were forwarded" true (Controller.events_forwarded r.ctrl > 0);
+  Alcotest.(check int) "every forwarded event was replayed at dst"
+    (Controller.events_forwarded r.ctrl)
+    (Openmb_apps.Dummy_mb.reprocessed r.dst);
+  Alcotest.(check int) "none dropped" 0 (Controller.events_dropped r.ctrl)
+
+let test_event_for_unmoved_state_dropped () =
+  let r = make_rig ~src_chunks:10 () in
+  (* Events with no active transfer are dropped and counted. *)
+  Openmb_apps.Dummy_mb.start_events r.src ~rate_pps:1000.0;
+  ignore
+    (Engine.schedule_after r.engine (Time.ms 20.0) (fun () ->
+         Openmb_apps.Dummy_mb.stop_events r.src));
+  Engine.run r.engine;
+  Alcotest.(check bool) "dropped counted" true (Controller.events_dropped r.ctrl > 0);
+  Alcotest.(check int) "nothing forwarded" 0 (Controller.events_forwarded r.ctrl)
+
+let test_clone_support () =
+  let r = make_rig () in
+  Openmb_apps.Dummy_mb.set_shared_support r.src "the-cache";
+  let result = ref None in
+  Controller.clone_support r.ctrl ~src:"src" ~dst:"dst" ~on_done:(fun res ->
+      result := Some res);
+  Engine.run r.engine;
+  (match !result with
+  | Some (Ok mr) -> Alcotest.(check int) "one chunk" 1 mr.Controller.chunks_moved
+  | _ -> Alcotest.fail "clone failed");
+  Alcotest.(check (option string)) "dst has the clone" (Some "the-cache")
+    (Openmb_apps.Dummy_mb.shared_support r.dst);
+  (* Clone must NOT delete the source copy. *)
+  Alcotest.(check (option string)) "src keeps its copy" (Some "the-cache")
+    (Openmb_apps.Dummy_mb.shared_support r.src)
+
+let test_merge_internal () =
+  let r = make_rig () in
+  Openmb_apps.Dummy_mb.set_shared_support r.src "src-sup";
+  Openmb_apps.Dummy_mb.set_shared_report r.src "src-rep";
+  Openmb_apps.Dummy_mb.set_shared_support r.dst "dst-sup";
+  Openmb_apps.Dummy_mb.set_shared_report r.dst "dst-rep";
+  let result = ref None in
+  Controller.merge_internal r.ctrl ~src:"src" ~dst:"dst" ~on_done:(fun res ->
+      result := Some res);
+  Engine.run r.engine;
+  (match !result with
+  | Some (Ok mr) -> Alcotest.(check int) "two shared chunks" 2 mr.Controller.chunks_moved
+  | _ -> Alcotest.fail "merge failed");
+  Alcotest.(check (option string)) "supporting merged" (Some "dst-sup+src-sup")
+    (Openmb_apps.Dummy_mb.shared_support r.dst);
+  Alcotest.(check (option string)) "reporting merged" (Some "dst-rep+src-rep")
+    (Openmb_apps.Dummy_mb.shared_report r.dst)
+
+let test_merge_with_empty_shared () =
+  (* PRADS-style: no shared supporting state; merge must still
+     complete via the reporting chunk alone. *)
+  let r = make_rig () in
+  Openmb_apps.Dummy_mb.set_shared_report r.src "only-rep";
+  let result = ref None in
+  Controller.merge_internal r.ctrl ~src:"src" ~dst:"dst" ~on_done:(fun res ->
+      result := Some res);
+  Engine.run r.engine;
+  (match !result with
+  | Some (Ok mr) -> Alcotest.(check int) "one chunk" 1 mr.Controller.chunks_moved
+  | _ -> Alcotest.fail "merge failed");
+  Alcotest.(check (option string)) "reporting arrived" (Some "only-rep")
+    (Openmb_apps.Dummy_mb.shared_report r.dst)
+
+let test_read_write_config () =
+  let r = make_rig () in
+  Config_tree.set (Openmb_mbox.Mb_base.config (Openmb_apps.Dummy_mb.base r.src))
+    [ "policy" ] [ Json.String "strict" ];
+  let got = ref None in
+  Controller.read_config r.ctrl ~src:"src" ~key:[ "policy" ] ~on_done:(fun res ->
+      got := Some res);
+  Engine.run r.engine;
+  (match !got with
+  | Some (Ok [ { Config_tree.values = [ Json.String "strict" ]; _ } ]) -> ()
+  | _ -> Alcotest.fail "read_config");
+  (* Clone it to the destination. *)
+  let wrote = ref None in
+  Controller.write_config r.ctrl ~dst:"dst" ~key:[ "policy" ]
+    ~values:[ Json.String "strict" ] ~on_done:(fun res -> wrote := Some res);
+  Engine.run r.engine;
+  (match !wrote with
+  | Some (Ok ()) -> ()
+  | _ -> Alcotest.fail "write_config");
+  match
+    Config_tree.get (Openmb_mbox.Mb_base.config (Openmb_apps.Dummy_mb.base r.dst))
+      [ "policy" ]
+  with
+  | [ { Config_tree.values = [ Json.String "strict" ]; _ } ] -> ()
+  | _ -> Alcotest.fail "config not applied at dst"
+
+let test_read_config_unknown_key () =
+  let r = make_rig () in
+  let got = ref None in
+  Controller.read_config r.ctrl ~src:"src" ~key:[ "no"; "such" ] ~on_done:(fun res ->
+      got := Some res);
+  Engine.run r.engine;
+  match !got with
+  | Some (Error (Errors.Unknown_config_key _)) -> ()
+  | _ -> Alcotest.fail "expected unknown-key error"
+
+let test_stats_call () =
+  let r = make_rig ~src_chunks:15 () in
+  let got = ref None in
+  Controller.stats r.ctrl ~src:"src" ~key:Hfl.any ~on_done:(fun res -> got := Some res);
+  Engine.run r.engine;
+  match !got with
+  | Some (Ok s) ->
+    Alcotest.(check int) "chunk count" 15 s.Southbound.perflow_support_chunks;
+    Alcotest.(check int) "bytes" (15 * 202) s.Southbound.perflow_support_bytes
+  | _ -> Alcotest.fail "stats failed"
+
+let test_introspection_subscription () =
+  let r = make_rig () in
+  let seen = ref [] in
+  Controller.subscribe_introspection r.ctrl ~mb:"src" ~codes:[ "test.event" ] ~key:Hfl.any
+    ~handler:(fun ev -> seen := ev :: !seen)
+    ();
+  (* Give the Enable_events message time to land, then raise events. *)
+  ignore
+    (Engine.schedule_after r.engine (Time.ms 5.0) (fun () ->
+         Openmb_mbox.Mb_base.raise_event (Openmb_apps.Dummy_mb.base r.src)
+           (Event.Introspect { code = "test.event"; key = Hfl.any; info = Json.Null });
+         Openmb_mbox.Mb_base.raise_event (Openmb_apps.Dummy_mb.base r.src)
+           (Event.Introspect { code = "other.event"; key = Hfl.any; info = Json.Null })));
+  Engine.run r.engine;
+  Alcotest.(check int) "only subscribed code delivered" 1 (List.length !seen)
+
+let test_concurrent_moves () =
+  let engine = Engine.create () in
+  let ctrl = Controller.create engine ~config:test_config () in
+  let mbs =
+    List.init 4 (fun i ->
+        let mb = Openmb_apps.Dummy_mb.create engine ~name:(Printf.sprintf "mb%d" i) () in
+        Controller.connect ctrl (Mb_agent.create engine ~impl:(Openmb_apps.Dummy_mb.impl mb) ());
+        mb)
+  in
+  (match mbs with
+  | [ a; _b; c; _d ] ->
+    Openmb_apps.Dummy_mb.populate a ~n:25;
+    Openmb_apps.Dummy_mb.populate c ~n:25
+  | _ -> assert false);
+  let done_count = ref 0 in
+  Controller.move_internal ctrl ~src:"mb0" ~dst:"mb1" ~key:Hfl.any ~on_done:(fun res ->
+      (match res with Ok _ -> incr done_count | Error _ -> ()));
+  Controller.move_internal ctrl ~src:"mb2" ~dst:"mb3" ~key:Hfl.any ~on_done:(fun res ->
+      (match res with Ok _ -> incr done_count | Error _ -> ()));
+  Engine.run engine;
+  Alcotest.(check int) "both moves completed" 2 !done_count;
+  (match mbs with
+  | [ _; b; _; d ] ->
+    Alcotest.(check int) "mb1 got state" 25 (Openmb_apps.Dummy_mb.chunk_count b);
+    Alcotest.(check int) "mb3 got state" 25 (Openmb_apps.Dummy_mb.chunk_count d)
+  | _ -> assert false)
+
+let test_clone_config () =
+  let r = make_rig () in
+  let cfg = Openmb_mbox.Mb_base.config (Openmb_apps.Dummy_mb.base r.src) in
+  Config_tree.set cfg [ "rules"; "http" ] [ Json.String "allow" ];
+  Config_tree.set cfg [ "rules"; "ssh" ] [ Json.String "deny" ];
+  Config_tree.set cfg [ "cache" ] [ Json.Int 512 ];
+  let result = ref None in
+  Controller.clone_config r.ctrl ~src:"src" ~dst:"dst" ~key:[] ~on_done:(fun res ->
+      result := Some res);
+  Engine.run r.engine;
+  (match !result with
+  | Some (Ok n) -> Alcotest.(check int) "three entries cloned" 3 n
+  | _ -> Alcotest.fail "cloneConfig failed");
+  let dst_cfg = Openmb_mbox.Mb_base.config (Openmb_apps.Dummy_mb.base r.dst) in
+  Alcotest.(check int) "destination has the subtree" 3 (Config_tree.size dst_cfg);
+  match Config_tree.get dst_cfg [ "rules"; "ssh" ] with
+  | [ { Config_tree.values = [ Json.String "deny" ]; _ } ] -> ()
+  | _ -> Alcotest.fail "cloned value wrong"
+
+let test_clone_config_unknown_dst () =
+  let r = make_rig () in
+  Config_tree.set (Openmb_mbox.Mb_base.config (Openmb_apps.Dummy_mb.base r.src))
+    [ "x" ] [ Json.Int 1 ];
+  let result = ref None in
+  Controller.clone_config r.ctrl ~src:"src" ~dst:"nope" ~key:[] ~on_done:(fun res ->
+      result := Some res);
+  Engine.run r.engine;
+  match !result with
+  | Some (Error (Errors.Unknown_mb _)) -> ()
+  | _ -> Alcotest.fail "expected unknown-mb error"
+
+let test_timed_subscription_expires () =
+  let r = make_rig () in
+  let seen = ref 0 in
+  Controller.subscribe_introspection r.ctrl ~expires_after:(Time.ms 100.0) ~mb:"src"
+    ~codes:[ "tick" ] ~key:Hfl.any
+    ~handler:(fun _ -> incr seen)
+    ();
+  let raise_at ts =
+    ignore
+      (Engine.schedule_at r.engine (Time.ms ts) (fun () ->
+           Openmb_mbox.Mb_base.raise_event (Openmb_apps.Dummy_mb.base r.src)
+             (Event.Introspect { code = "tick"; key = Hfl.any; info = Json.Null })))
+  in
+  raise_at 20.0;
+  raise_at 50.0;
+  raise_at 200.0;
+  (* after expiry *)
+  Engine.run r.engine;
+  Alcotest.(check int) "only events before expiry delivered" 2 !seen
+
+let test_unsubscribe () =
+  let r = make_rig () in
+  let seen = ref 0 in
+  Controller.subscribe_introspection r.ctrl ~mb:"src" ~codes:[ "tick" ] ~key:Hfl.any
+    ~handler:(fun _ -> incr seen)
+    ();
+  ignore
+    (Engine.schedule_at r.engine (Time.ms 20.0) (fun () ->
+         Openmb_mbox.Mb_base.raise_event (Openmb_apps.Dummy_mb.base r.src)
+           (Event.Introspect { code = "tick"; key = Hfl.any; info = Json.Null })));
+  ignore
+    (Engine.schedule_at r.engine (Time.ms 40.0) (fun () ->
+         Controller.unsubscribe_introspection r.ctrl ~mb:"src" ~codes:[ "tick" ]));
+  ignore
+    (Engine.schedule_at r.engine (Time.ms 60.0) (fun () ->
+         Openmb_mbox.Mb_base.raise_event (Openmb_apps.Dummy_mb.base r.src)
+           (Event.Introspect { code = "tick"; key = Hfl.any; info = Json.Null })));
+  Engine.run r.engine;
+  Alcotest.(check int) "nothing delivered after unsubscribe" 1 !seen
+
+let test_disconnect_mid_move () =
+  (* The destination vanishes while a move streams: the controller must
+     not crash, and the transfer is abandoned (puts can no longer be
+     delivered, so the move never returns success). *)
+  let r = make_rig ~src_chunks:200 () in
+  let result = ref None in
+  Controller.move_internal r.ctrl ~src:"src" ~dst:"dst" ~key:Hfl.any ~on_done:(fun res ->
+      result := Some res);
+  ignore
+    (Engine.schedule_after r.engine (Time.us 400.0) (fun () ->
+         Controller.disconnect r.ctrl "dst"));
+  Engine.run r.engine;
+  (match !result with
+  | Some (Ok _) -> Alcotest.fail "move must not complete against a dead destination"
+  | Some (Error _) | None -> ());
+  Alcotest.(check int) "source keeps its state" 200 (Openmb_apps.Dummy_mb.chunk_count r.src)
+
+let test_corrupt_chunk_rejected () =
+  (* A chunk whose ciphertext was corrupted in transit must be refused
+     by the destination, failing the move rather than importing
+     garbage. *)
+  let r = make_rig ~src_chunks:1 () in
+  let impl_src = Openmb_apps.Dummy_mb.impl r.src in
+  let chunk =
+    match impl_src.Southbound.get_support_perflow Hfl.any with
+    | Ok [ c ] -> c
+    | _ -> Alcotest.fail "expected one chunk"
+  in
+  let corrupt = { chunk with Chunk.cipher = "garbage" ^ chunk.Chunk.cipher } in
+  let impl_dst = Openmb_apps.Dummy_mb.impl r.dst in
+  match impl_dst.Southbound.put_support_perflow corrupt with
+  | Error (Errors.Bad_chunk _) -> ()
+  | Ok () -> Alcotest.fail "corrupt chunk accepted"
+  | Error e -> Alcotest.failf "unexpected error: %s" (Errors.to_string e)
+
+let test_move_empty_key_range () =
+  (* Moving a key that matches nothing returns successfully with zero
+     chunks (and the deferred delete is a harmless no-op). *)
+  let r = make_rig ~src_chunks:5 () in
+  let result = ref None in
+  Controller.move_internal r.ctrl ~src:"src" ~dst:"dst"
+    ~key:(Hfl.of_string "nw_src=192.168.0.0/16")
+    ~on_done:(fun res -> result := Some res);
+  Engine.run r.engine;
+  (match !result with
+  | Some (Ok mr) -> Alcotest.(check int) "zero chunks" 0 mr.Controller.chunks_moved
+  | _ -> Alcotest.fail "empty move failed");
+  Alcotest.(check int) "source untouched" 5 (Openmb_apps.Dummy_mb.chunk_count r.src)
+
+let test_event_wire_bytes () =
+  let reprocess = Event.Reprocess { key = Hfl.any; packet = mk_packet () } in
+  Alcotest.(check bool) "reprocess carries the packet" true
+    (Event.wire_bytes reprocess >= Packet.wire_bytes (mk_packet ()));
+  let intro =
+    Event.Introspect
+      { code = "nat.new_mapping"; key = Hfl.of_string "tp_src=1"; info = Json.Assoc [] }
+  in
+  Alcotest.(check bool) "introspection is small" true (Event.wire_bytes intro < 100)
+
+let test_buffered_peak_tracked () =
+  (* Chunks serialize slowly while events pour in: the controller must
+     buffer them (peak > 0) and forward every one afterwards. *)
+  let r = make_rig ~src_chunks:100 () in
+  Openmb_apps.Dummy_mb.start_events r.src ~rate_pps:5000.0;
+  Controller.move_internal r.ctrl ~src:"src" ~dst:"dst" ~key:Hfl.any ~on_done:(fun _ ->
+      ignore
+        (Engine.schedule_after r.engine (Time.ms 5.0) (fun () ->
+             Openmb_apps.Dummy_mb.stop_events r.src)));
+  Engine.run r.engine;
+  Alcotest.(check bool) "events were buffered at some point" true
+    (Controller.events_buffered_peak r.ctrl > 0);
+  Alcotest.(check int) "all buffered events eventually replayed"
+    (Controller.events_forwarded r.ctrl)
+    (Openmb_apps.Dummy_mb.reprocessed r.dst)
+
+let test_duplicate_connect_rejected () =
+  let engine = Engine.create () in
+  let ctrl = Controller.create engine ~config:test_config () in
+  let mb = Openmb_apps.Dummy_mb.create engine ~name:"x" () in
+  Controller.connect ctrl (Mb_agent.create engine ~impl:(Openmb_apps.Dummy_mb.impl mb) ());
+  Alcotest.check_raises "duplicate" (Failure "Controller.connect: duplicate MB name x")
+    (fun () ->
+      Controller.connect ctrl (Mb_agent.create engine ~impl:(Openmb_apps.Dummy_mb.impl mb) ()))
+
+(* Protocol-level property: an arbitrary sequence of moves between
+   three MBs neither loses nor duplicates state — every chunk ends up
+   at exactly one instance, and the union of keys is preserved. *)
+let prop_moves_conserve_state =
+  QCheck2.Test.make ~name:"random move sequences conserve state" ~count:25
+    QCheck2.Gen.(
+      pair (int_range 1 30) (list_size (int_range 1 6) (pair (int_bound 2) (int_bound 2))))
+    (fun (n_chunks, moves) ->
+      let engine = Engine.create () in
+      let ctrl = Controller.create engine ~config:test_config () in
+      let mbs =
+        Array.init 3 (fun i ->
+            let mb =
+              Openmb_apps.Dummy_mb.create engine ~name:(Printf.sprintf "mb%d" i) ()
+            in
+            Controller.connect ctrl
+              (Mb_agent.create engine ~impl:(Openmb_apps.Dummy_mb.impl mb) ());
+            mb)
+      in
+      Openmb_apps.Dummy_mb.populate mbs.(0) ~n:n_chunks;
+      (* Execute the moves strictly one after another (each waits for
+         the previous to return), self-moves skipped. *)
+      let rec run_moves = function
+        | [] -> ()
+        | (src, dst) :: rest ->
+          if src = dst then run_moves rest
+          else
+            Controller.move_internal ctrl
+              ~src:(Printf.sprintf "mb%d" src)
+              ~dst:(Printf.sprintf "mb%d" dst)
+              ~key:Hfl.any
+              ~on_done:(fun _ -> run_moves rest)
+      in
+      run_moves moves;
+      Engine.run engine;
+      let counts = Array.map Openmb_apps.Dummy_mb.chunk_count mbs in
+      Array.fold_left ( + ) 0 counts = n_chunks)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "openmb_core"
+    [
+      ( "taxonomy",
+        [
+          Alcotest.test_case "table 1" `Quick test_taxonomy_table1;
+          Alcotest.test_case "operation legality" `Quick test_taxonomy_operations;
+          Alcotest.test_case "string roundtrips" `Quick test_taxonomy_strings;
+        ] );
+      ( "config_tree",
+        [
+          Alcotest.test_case "set/get" `Quick test_config_set_get;
+          Alcotest.test_case "del" `Quick test_config_del;
+          Alcotest.test_case "replace_all" `Quick test_config_replace_all;
+          Alcotest.test_case "value/subtree conflict" `Quick
+            test_config_value_vs_subtree_conflict;
+          Alcotest.test_case "path strings" `Quick test_config_path_strings;
+        ] );
+      ( "chunk",
+        [
+          Alcotest.test_case "seal/unseal" `Quick test_chunk_seal_unseal;
+          Alcotest.test_case "opacity" `Quick test_chunk_opacity;
+          Alcotest.test_case "compression" `Quick test_chunk_compression;
+        ]
+        @ qcheck [ prop_chunk_roundtrip ] );
+      ( "event",
+        [
+          Alcotest.test_case "filter codes" `Quick test_event_filter;
+          Alcotest.test_case "filter key scope" `Quick test_event_filter_key_scope;
+        ] );
+      ( "message",
+        [
+          Alcotest.test_case "request roundtrips" `Quick test_message_request_roundtrips;
+          Alcotest.test_case "reply roundtrips" `Quick test_message_reply_roundtrips;
+          Alcotest.test_case "event roundtrips" `Quick test_message_event_roundtrips;
+          Alcotest.test_case "chunk wire bytes" `Quick test_message_wire_bytes_chunked;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "move all" `Quick test_move_internal_basic;
+          Alcotest.test_case "move subset" `Quick test_move_internal_subset;
+          Alcotest.test_case "move unknown MB" `Quick test_move_unknown_mb;
+          Alcotest.test_case "move granularity error" `Quick test_move_granularity_error;
+          Alcotest.test_case "move kind mismatch" `Quick test_move_kind_mismatch;
+          Alcotest.test_case "events buffered and forwarded" `Quick
+            test_move_with_events_buffered_and_forwarded;
+          Alcotest.test_case "stray events dropped" `Quick
+            test_event_for_unmoved_state_dropped;
+          Alcotest.test_case "clone support" `Quick test_clone_support;
+          Alcotest.test_case "merge internal" `Quick test_merge_internal;
+          Alcotest.test_case "merge with empty shared" `Quick test_merge_with_empty_shared;
+          Alcotest.test_case "read/write config" `Quick test_read_write_config;
+          Alcotest.test_case "read unknown config key" `Quick test_read_config_unknown_key;
+          Alcotest.test_case "stats" `Quick test_stats_call;
+          Alcotest.test_case "introspection subscription" `Quick
+            test_introspection_subscription;
+          Alcotest.test_case "concurrent moves" `Quick test_concurrent_moves;
+          Alcotest.test_case "clone config" `Quick test_clone_config;
+          Alcotest.test_case "clone config unknown dst" `Quick test_clone_config_unknown_dst;
+          Alcotest.test_case "timed subscription expires" `Quick
+            test_timed_subscription_expires;
+          Alcotest.test_case "unsubscribe" `Quick test_unsubscribe;
+          Alcotest.test_case "disconnect mid-move" `Quick test_disconnect_mid_move;
+          Alcotest.test_case "corrupt chunk rejected" `Quick test_corrupt_chunk_rejected;
+          Alcotest.test_case "move empty key range" `Quick test_move_empty_key_range;
+          Alcotest.test_case "event wire bytes" `Quick test_event_wire_bytes;
+          Alcotest.test_case "buffered peak tracked" `Quick test_buffered_peak_tracked;
+          Alcotest.test_case "duplicate connect" `Quick test_duplicate_connect_rejected;
+        ]
+        @ qcheck [ prop_moves_conserve_state ] );
+    ]

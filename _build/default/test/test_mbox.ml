@@ -1,0 +1,1033 @@
+(* Tests for the middlebox implementations. *)
+
+open Openmb_sim
+open Openmb_wire
+open Openmb_net
+open Openmb_core
+open Openmb_mbox
+
+let mk_packet ?(id = 0) ?(ts = 0.0) ?(src = "10.0.0.1") ?(dst = "1.1.1.5") ?(sport = 1234)
+    ?(dport = 80) ?(proto = Packet.Tcp) ?(flags = Packet.no_flags) ?(app = Packet.Plain)
+    ?(tokens = [||]) () =
+  Packet.make ~flags ~app
+    ~body:(Packet.Raw (Payload.of_tokens tokens))
+    ~id ~ts:(Time.seconds ts) ~src_ip:(Addr.of_string src) ~dst_ip:(Addr.of_string dst)
+    ~src_port:sport ~dst_port:dport ~proto ()
+
+let run_all engine = Engine.run engine
+
+(* ------------------------------------------------------------------ *)
+(* State table                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_state_table_basic () =
+  let t = State_table.create ~granularity:Hfl.full_granularity () in
+  let tup = Five_tuple.of_packet (mk_packet ()) in
+  let entry, created = State_table.find_or_create t tup ~default:(fun () -> 1) in
+  Alcotest.(check bool) "created" true created;
+  let entry2, created2 = State_table.find_or_create t tup ~default:(fun () -> 2) in
+  Alcotest.(check bool) "found" false created2;
+  Alcotest.(check int) "same entry" entry.State_table.value entry2.State_table.value;
+  Alcotest.(check int) "size" 1 (State_table.size t)
+
+let test_state_table_bidir () =
+  let t = State_table.create ~granularity:Hfl.full_granularity () in
+  let tup = Five_tuple.of_packet (mk_packet ()) in
+  ignore (State_table.find_or_create t tup ~default:(fun () -> 7));
+  (match State_table.find_bidir t (Five_tuple.reverse tup) with
+  | Some e -> Alcotest.(check int) "reverse finds" 7 e.State_table.value
+  | None -> Alcotest.fail "reverse lookup failed");
+  Alcotest.(check bool) "exact reverse lookup misses" true
+    (State_table.find t (Five_tuple.reverse tup) = None)
+
+let test_state_table_matching_scan () =
+  let t = State_table.create ~granularity:Hfl.full_granularity () in
+  for i = 0 to 9 do
+    let tup =
+      Five_tuple.of_packet (mk_packet ~src:(Printf.sprintf "10.0.0.%d" i) ~sport:(1000 + i) ())
+    in
+    ignore (State_table.find_or_create t tup ~default:(fun () -> i))
+  done;
+  let hits = State_table.matching t (Hfl.of_string "nw_src=10.0.0.4/30") in
+  Alcotest.(check int) "prefix scan" 4 (List.length hits);
+  let removed = State_table.remove_matching t (Hfl.of_string "nw_src=10.0.0.4/30") in
+  Alcotest.(check int) "removed" 4 (List.length removed);
+  Alcotest.(check int) "left" 6 (State_table.size t)
+
+let test_state_table_insert_clears_moved () =
+  let t = State_table.create ~granularity:Hfl.full_granularity () in
+  let tup = Five_tuple.of_packet (mk_packet ()) in
+  let entry, _ = State_table.find_or_create t tup ~default:(fun () -> 0) in
+  entry.State_table.moved <- true;
+  State_table.insert t ~key:entry.State_table.key 9;
+  match State_table.find t tup with
+  | Some e ->
+    Alcotest.(check int) "value replaced" 9 e.State_table.value;
+    Alcotest.(check bool) "moved cleared" false e.State_table.moved
+  | None -> Alcotest.fail "entry vanished"
+
+let test_state_table_indexed_equivalence () =
+  let linear = State_table.create ~granularity:Hfl.full_granularity () in
+  let indexed = State_table.create ~indexed:true ~granularity:Hfl.full_granularity () in
+  for i = 0 to 49 do
+    let tup =
+      Five_tuple.of_packet
+        (mk_packet ~src:(Printf.sprintf "10.0.%d.%d" (i mod 3) (1 + i)) ~sport:(1000 + i) ())
+    in
+    ignore (State_table.find_or_create linear tup ~default:(fun () -> i));
+    ignore (State_table.find_or_create indexed tup ~default:(fun () -> i))
+  done;
+  let queries =
+    [
+      Hfl.of_string "nw_src=10.0.0.5/32";
+      Hfl.of_string "nw_src=10.0.1.0/24";
+      Hfl.of_string "nw_src=10.0.0.5/32,tp_src=1004";
+      Hfl.of_string "nw_src=192.168.0.1/32";
+      Hfl.any;
+    ]
+  in
+  List.iter
+    (fun q ->
+      let keys t =
+        List.sort String.compare
+          (List.map (fun (e : int State_table.entry) -> Hfl.to_string e.key)
+             (State_table.matching t q))
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "same matches for %s" (Hfl.to_string q))
+        (keys linear) (keys indexed))
+    queries;
+  (* Removal keeps the index consistent. *)
+  ignore (State_table.remove_matching indexed (Hfl.of_string "nw_src=10.0.0.5/32"));
+  Alcotest.(check (list string)) "removed from index" []
+    (List.map
+       (fun (e : int State_table.entry) -> Hfl.to_string e.key)
+       (State_table.matching indexed (Hfl.of_string "nw_src=10.0.0.5/32")))
+
+let prop_state_table_index_equivalence =
+  QCheck2.Test.make ~name:"indexed matching equals linear matching" ~count:100
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 40) (pair (int_bound 8) (int_range 1 5000)))
+        (int_bound 8))
+    (fun (flows, q_host) ->
+      let mk_tab indexed =
+        let t = State_table.create ~indexed ~granularity:Hfl.full_granularity () in
+        List.iter
+          (fun (host, port) ->
+            let tup =
+              Five_tuple.of_packet
+                (mk_packet ~src:(Printf.sprintf "10.0.0.%d" (1 + host)) ~sport:port ())
+            in
+            ignore (State_table.find_or_create t tup ~default:(fun () -> port)))
+          flows;
+        t
+      in
+      let q = Hfl.of_string (Printf.sprintf "nw_src=10.0.0.%d/32" (1 + q_host)) in
+      let keys t =
+        List.sort String.compare
+          (List.map (fun (e : int State_table.entry) -> Hfl.to_string e.key)
+             (State_table.matching t q))
+      in
+      keys (mk_tab false) = keys (mk_tab true))
+
+(* ------------------------------------------------------------------ *)
+(* Mb_base                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_mb_base_queueing_latency () =
+  let engine = Engine.create () in
+  let cost = { Southbound.default_cost with per_packet = Time.ms 1.0 } in
+  let base = Mb_base.create engine ~name:"mb" ~kind:"t" ~cost () in
+  (* Two packets arriving together: the second queues behind the
+     first. *)
+  Mb_base.inject base (mk_packet ~id:1 ()) ~side_effects:true ~work:(fun _ -> ());
+  Mb_base.inject base (mk_packet ~id:2 ()) ~side_effects:true ~work:(fun _ -> ());
+  run_all engine;
+  let s = Mb_base.latency_stats base in
+  Alcotest.(check int) "two processed" 2 (Stats.count s);
+  Alcotest.(check (float 1e-6)) "first latency 1ms" 0.001 (Stats.min_value s);
+  Alcotest.(check (float 1e-6)) "second queued to 2ms" 0.002 (Stats.max_value s)
+
+let test_mb_base_op_slowdown () =
+  let engine = Engine.create () in
+  let cost = { Southbound.default_cost with per_packet = Time.ms 1.0; op_slowdown = 1.5 } in
+  let base = Mb_base.create engine ~name:"mb" ~kind:"t" ~cost () in
+  Mb_base.set_op_active base true;
+  Mb_base.inject base (mk_packet ()) ~side_effects:true ~work:(fun _ -> ());
+  run_all engine;
+  Alcotest.(check (float 1e-6)) "slowed per-packet cost" 0.0015
+    (Stats.max_value (Mb_base.latency_stats base))
+
+let test_mb_base_seal_roundtrip () =
+  let engine = Engine.create () in
+  let base = Mb_base.create engine ~name:"mb" ~kind:"kindx" ~cost:Southbound.default_cost () in
+  let j = Json.Assoc [ ("a", Json.Int 1) ] in
+  let chunk =
+    Mb_base.seal_json base ~role:Taxonomy.Supporting ~partition:Taxonomy.Per_flow
+      ~key:Hfl.any j
+  in
+  match Mb_base.unseal_json base chunk with
+  | Ok j' -> Alcotest.(check bool) "roundtrip" true (Json.equal j j')
+  | Error e -> Alcotest.failf "unseal: %s" (Errors.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* IDS                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tcp_conversation ?(src = "10.0.0.1") ?(dst = "1.1.1.5") ?(sport = 1234) () =
+  (* SYN, SYN-ACK, request, response, FIN. *)
+  let fwd ?flags ?app ?(ts = 0.0) id =
+    mk_packet ~id ~ts ~src ~dst ~sport ?flags ?app ~tokens:[| id |] ()
+  in
+  let rev ?flags ?app ?(ts = 0.0) id =
+    mk_packet ~id ~ts ~src:dst ~dst:src ~sport:80 ~dport:sport ?flags ?app ~tokens:[| id |] ()
+  in
+  [
+    fwd ~flags:Packet.syn_flags ~ts:0.0 1;
+    rev ~flags:Packet.synack_flags ~ts:0.01 2;
+    fwd ~ts:0.02 ~app:(Packet.Http_request { method_ = "GET"; host = "h"; uri = "/x" }) 3;
+    rev ~ts:0.03 ~app:(Packet.Http_response { status = 200 }) 4;
+    fwd ~flags:Packet.fin_flags ~ts:0.04 5;
+  ]
+
+let feed_ids ids pkts =
+  let engine = Mb_base.engine (Ids.base ids) in
+  let start = Time.to_seconds (Engine.now engine) in
+  List.iter
+    (fun (p : Packet.t) ->
+      ignore
+        (Engine.schedule_at engine
+           (Time.seconds (start +. Time.to_seconds p.Packet.ts))
+           (fun () -> Ids.receive ids p)))
+    pkts;
+  run_all engine
+
+let test_ids_connection_lifecycle () =
+  let engine = Engine.create () in
+  let ids = Ids.create engine ~name:"bro1" () in
+  feed_ids ids (tcp_conversation ());
+  Alcotest.(check int) "one conn logged" 1 (List.length (Ids.conn_log ids));
+  let entry = List.hd (Ids.conn_log ids) in
+  Alcotest.(check string) "clean close" "SF" entry.Ids.ce_state;
+  Alcotest.(check bool) "not anomalous" false entry.Ids.ce_anomalous;
+  Alcotest.(check int) "one http txn" 1 (List.length (Ids.http_log ids));
+  let h = List.hd (Ids.http_log ids) in
+  Alcotest.(check string) "uri" "/x" h.Ids.he_uri;
+  Alcotest.(check int) "status" 200 h.Ids.he_status
+
+let test_ids_rst () =
+  let engine = Engine.create () in
+  let ids = Ids.create engine ~name:"bro1" () in
+  feed_ids ids
+    [
+      mk_packet ~id:1 ~flags:Packet.syn_flags ();
+      mk_packet ~id:2 ~ts:0.01 ~flags:Packet.rst_flags ();
+    ];
+  let entry = List.hd (Ids.conn_log ids) in
+  Alcotest.(check string) "reset by originator" "RSTO" entry.Ids.ce_state
+
+let test_ids_exploit_alert () =
+  let engine = Engine.create () in
+  let ids = Ids.create engine ~name:"bro1" () in
+  feed_ids ids
+    [
+      mk_packet ~id:1 ~flags:Packet.syn_flags ();
+      mk_packet ~id:2 ~ts:0.01
+        ~app:(Packet.Http_request { method_ = "GET"; host = "h"; uri = "/cgi/cmd.exe" })
+        ();
+    ];
+  match Ids.alerts ids with
+  | [ a ] -> Alcotest.(check string) "exploit alert" "http-exploit" a.Ids.al_kind
+  | l -> Alcotest.failf "expected one alert, got %d" (List.length l)
+
+let test_ids_scan_alert_once () =
+  let engine = Engine.create () in
+  let ids = Ids.create engine ~name:"bro1" () in
+  let probes =
+    List.init 30 (fun i ->
+        mk_packet ~id:i ~ts:(0.01 *. float_of_int i) ~flags:Packet.syn_flags
+          ~dst:(Printf.sprintf "1.1.2.%d" (i + 1))
+          ~sport:(2000 + i) ())
+  in
+  feed_ids ids probes;
+  let scans = List.filter (fun a -> a.Ids.al_kind = "port-scan") (Ids.alerts ids) in
+  Alcotest.(check int) "exactly one scan alert" 1 (List.length scans)
+
+let test_ids_get_put_roundtrip () =
+  (* Serialize state out of one IDS, import into another, and check the
+     connection concludes normally there. *)
+  let engine = Engine.create () in
+  let a = Ids.create engine ~name:"bro-a" () in
+  let b = Ids.create engine ~name:"bro-b" () in
+  let pkts = tcp_conversation () in
+  let head, tail =
+    (List.filteri (fun i _ -> i < 3) pkts, List.filteri (fun i _ -> i >= 3) pkts)
+  in
+  feed_ids a head;
+  let impl_a = Ids.impl a and impl_b = Ids.impl b in
+  (match impl_a.Southbound.get_support_perflow Hfl.any with
+  | Ok [ chunk ] -> (
+    match impl_b.Southbound.put_support_perflow chunk with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "put: %s" (Errors.to_string e))
+  | Ok l -> Alcotest.failf "expected 1 chunk, got %d" (List.length l)
+  | Error e -> Alcotest.failf "get: %s" (Errors.to_string e));
+  ignore (impl_a.Southbound.del_support_perflow Hfl.any);
+  feed_ids b tail;
+  Alcotest.(check int) "A logged nothing" 0 (List.length (Ids.conn_log a));
+  (match Ids.conn_log b with
+  | [ entry ] ->
+    Alcotest.(check string) "B closed the moved conn" "SF" entry.Ids.ce_state;
+    Alcotest.(check bool) "history survived the move" true (entry.Ids.ce_orig_bytes > 0)
+  | l -> Alcotest.failf "expected 1 entry at B, got %d" (List.length l));
+  Alcotest.(check int) "http logged at B" 1 (List.length (Ids.http_log b))
+
+let test_ids_moved_flag_raises_events () =
+  let engine = Engine.create () in
+  let ids = Ids.create engine ~name:"bro1" () in
+  let events = ref [] in
+  (Ids.impl ids).Southbound.set_event_sink (fun ev -> events := ev :: !events);
+  feed_ids ids [ mk_packet ~id:1 ~flags:Packet.syn_flags () ];
+  ignore ((Ids.impl ids).Southbound.get_support_perflow Hfl.any);
+  feed_ids ids [ mk_packet ~id:2 ~ts:0.01 () ];
+  let reprocess =
+    List.filter (function Event.Reprocess _ -> true | Event.Introspect _ -> false) !events
+  in
+  Alcotest.(check int) "one reprocess event" 1 (List.length reprocess)
+
+let test_ids_del_after_move_no_anomaly () =
+  let engine = Engine.create () in
+  let ids = Ids.create engine ~name:"bro1" () in
+  feed_ids ids [ mk_packet ~id:1 ~flags:Packet.syn_flags () ];
+  ignore ((Ids.impl ids).Southbound.get_support_perflow Hfl.any);
+  ignore ((Ids.impl ids).Southbound.del_support_perflow Hfl.any);
+  Ids.finalize ids;
+  Alcotest.(check int) "no anomalous entries" 0 (Ids.anomalous_entries ids)
+
+let test_ids_finalize_anomalies () =
+  let engine = Engine.create () in
+  let ids = Ids.create engine ~name:"bro1" () in
+  (* An established connection cut off mid-stream is anomalous; a lone
+     unanswered SYN (S0 - a probe) is a legitimate ending. *)
+  feed_ids ids
+    [
+      mk_packet ~id:1 ~flags:Packet.syn_flags ();
+      mk_packet ~id:2 ~ts:0.01 ~flags:Packet.synack_flags ~src:"1.1.1.5" ~dst:"10.0.0.1"
+        ~sport:80 ~dport:1234 ();
+      mk_packet ~id:3 ~ts:0.02 ~tokens:[| 5 |] ();
+      mk_packet ~id:4 ~ts:0.03 ~flags:Packet.syn_flags ~src:"10.0.0.99" ~sport:7777 ();
+    ];
+  Ids.finalize ids;
+  Alcotest.(check int) "only the established conn is anomalous" 1
+    (Ids.anomalous_entries ids)
+
+let test_ids_granularity_and_stats () =
+  let engine = Engine.create () in
+  let ids = Ids.create engine ~name:"bro1" () in
+  feed_ids ids (tcp_conversation ());
+  let impl = Ids.impl ids in
+  let stats = impl.Southbound.stats Hfl.any in
+  Alcotest.(check int) "one chunk" 1 stats.Southbound.perflow_support_chunks;
+  (* A connection that carried data has reassembly and analyzer state:
+     the chunk is an order of magnitude heavier than PRADS' flat
+     record. *)
+  Alcotest.(check bool) "bro chunks are heavy" true
+    (stats.Southbound.perflow_support_bytes > 500)
+
+let test_ids_scan_state_clone_merge () =
+  let engine = Engine.create () in
+  let a = Ids.create engine ~name:"bro-a" () in
+  let b = Ids.create engine ~name:"bro-b" () in
+  (* Fifteen probes at each instance from the same source; merged they
+     exceed the threshold of 20. *)
+  let probes base =
+    List.init 15 (fun i ->
+        mk_packet ~id:(base + i) ~ts:(0.01 *. float_of_int i) ~flags:Packet.syn_flags
+          ~dst:(Printf.sprintf "1.1.2.%d" ((base mod 100) + i + 1))
+          ~sport:(3000 + base + i) ())
+  in
+  feed_ids a (probes 0);
+  feed_ids b (probes 100);
+  (match (Ids.impl a).Southbound.get_support_shared () with
+  | Ok (Some chunk) -> (
+    match (Ids.impl b).Southbound.put_support_shared chunk with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "merge put: %s" (Errors.to_string e))
+  | _ -> Alcotest.fail "no shared chunk");
+  (* One more probe at B must now trip the merged counter. *)
+  feed_ids b
+    [ mk_packet ~id:999 ~ts:1.0 ~flags:Packet.syn_flags ~dst:"1.1.2.250" ~sport:9999 () ];
+  let scans = List.filter (fun al -> al.Ids.al_kind = "port-scan") (Ids.alerts b) in
+  Alcotest.(check int) "merged counts trip the alert" 1 (List.length scans)
+
+(* ------------------------------------------------------------------ *)
+(* Monitor                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let feed_monitor mon pkts =
+  let engine = Mb_base.engine (Monitor.base mon) in
+  let start = Time.to_seconds (Engine.now engine) in
+  List.iter
+    (fun (p : Packet.t) ->
+      ignore
+        (Engine.schedule_at engine
+           (Time.seconds (start +. Time.to_seconds p.Packet.ts))
+           (fun () -> Monitor.receive mon p)))
+    pkts;
+  run_all engine
+
+let test_monitor_counters () =
+  let engine = Engine.create () in
+  let mon = Monitor.create engine ~name:"prads1" () in
+  feed_monitor mon
+    [
+      mk_packet ~id:1 ~tokens:[| 1; 2 |] ();
+      mk_packet ~id:2 ~ts:0.01 ~tokens:[| 3 |] ();
+      mk_packet ~id:3 ~ts:0.02 ~proto:Packet.Udp ~dport:53 ~sport:5353 ();
+    ];
+  let t = Monitor.totals mon in
+  Alcotest.(check int) "pkts" 3 t.Monitor.tot_pkts;
+  Alcotest.(check int) "tcp" 2 t.Monitor.tot_tcp;
+  Alcotest.(check int) "udp" 1 t.Monitor.tot_udp;
+  Alcotest.(check int) "flows" 2 t.Monitor.tot_new_flows;
+  Alcotest.(check int) "bytes" (3 * Payload.token_bytes) t.Monitor.tot_bytes
+
+let test_monitor_asset_event () =
+  let engine = Engine.create () in
+  let mon = Monitor.create engine ~name:"prads1" () in
+  let events = ref [] in
+  (Monitor.impl mon).Southbound.set_event_sink (fun ev -> events := ev :: !events);
+  feed_monitor mon [ mk_packet ~id:1 () ];
+  match !events with
+  | [ Event.Introspect { code; _ } ] ->
+    Alcotest.(check string) "asset event" "monitor.new_asset" code
+  | _ -> Alcotest.fail "expected one introspection event"
+
+let test_monitor_move_report () =
+  let engine = Engine.create () in
+  let a = Monitor.create engine ~name:"prads-a" () in
+  let b = Monitor.create engine ~name:"prads-b" () in
+  feed_monitor a [ mk_packet ~id:1 (); mk_packet ~id:2 ~ts:0.01 () ];
+  (match (Monitor.impl a).Southbound.get_report_perflow Hfl.any with
+  | Ok [ chunk ] -> (
+    match (Monitor.impl b).Southbound.put_report_perflow chunk with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "put: %s" (Errors.to_string e))
+  | _ -> Alcotest.fail "expected one report chunk");
+  ignore ((Monitor.impl a).Southbound.del_report_perflow Hfl.any);
+  Alcotest.(check int) "B tracks the flow" 1 (Monitor.tracked_flows b);
+  Alcotest.(check int) "A forgot it" 0 (Monitor.tracked_flows a);
+  match Monitor.flow_records b with
+  | [ (_, r) ] -> Alcotest.(check int) "counters intact" 2 r.Monitor.fr_pkts
+  | _ -> Alcotest.fail "missing record at B"
+
+let test_monitor_shared_merge_adds () =
+  let engine = Engine.create () in
+  let a = Monitor.create engine ~name:"prads-a" () in
+  let b = Monitor.create engine ~name:"prads-b" () in
+  feed_monitor a [ mk_packet ~id:1 (); mk_packet ~id:2 ~ts:0.01 () ];
+  feed_monitor b [ mk_packet ~id:3 ~src:"10.0.0.9" ~sport:9 () ];
+  (match (Monitor.impl a).Southbound.get_report_shared () with
+  | Ok (Some chunk) -> (
+    match (Monitor.impl b).Southbound.put_report_shared chunk with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "merge: %s" (Errors.to_string e))
+  | _ -> Alcotest.fail "no shared chunk");
+  let t = Monitor.totals b in
+  Alcotest.(check int) "pkts added" 3 t.Monitor.tot_pkts;
+  Alcotest.(check int) "flows added" 2 t.Monitor.tot_new_flows
+
+let test_monitor_rejects_wrong_chunk_class () =
+  let engine = Engine.create () in
+  let a = Monitor.create engine ~name:"prads-a" () in
+  feed_monitor a [ mk_packet ~id:1 () ];
+  match (Monitor.impl a).Southbound.get_report_perflow Hfl.any with
+  | Ok [ chunk ] -> (
+    (* A per-flow reporting chunk pushed through the shared-report put
+       must be refused. *)
+    match (Monitor.impl a).Southbound.put_report_shared chunk with
+    | Error (Errors.Illegal_operation _) -> ()
+    | Ok () -> Alcotest.fail "wrong-class put accepted"
+    | Error e -> Alcotest.failf "unexpected error: %s" (Errors.to_string e))
+  | _ -> Alcotest.fail "expected one chunk"
+
+(* ------------------------------------------------------------------ *)
+(* RE cache                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_re_cache_append_read () =
+  let c = Re_cache.create ~capacity:8 () in
+  let base = Re_cache.append c [| 10; 11; 12 |] in
+  Alcotest.(check int) "base" 0 base;
+  Alcotest.(check (option int)) "read" (Some 11) (Re_cache.read c ~offset:1);
+  Alcotest.(check (option int)) "missing" None (Re_cache.read c ~offset:5);
+  match Re_cache.read_run c ~offset:0 ~len:3 with
+  | Some run -> Alcotest.(check (array int)) "run" [| 10; 11; 12 |] run
+  | None -> Alcotest.fail "run read failed"
+
+let test_re_cache_window_eviction () =
+  let c = Re_cache.create ~capacity:4 () in
+  ignore (Re_cache.append c [| 1; 2; 3; 4; 5; 6 |]);
+  Alcotest.(check (option int)) "old evicted" None (Re_cache.read c ~offset:0);
+  Alcotest.(check (option int)) "recent present" (Some 6) (Re_cache.read c ~offset:5);
+  Alcotest.(check bool) "in_window" true (Re_cache.in_window c 5);
+  Alcotest.(check bool) "out of window" false (Re_cache.in_window c 0)
+
+let test_re_cache_serialize_roundtrip () =
+  let c = Re_cache.create ~capacity:16 () in
+  ignore (Re_cache.append c (Array.init 10 (fun i -> i * 7)));
+  let c' = Re_cache.deserialize (Re_cache.serialize c) in
+  Alcotest.(check bool) "contents equal" true (Re_cache.equal_contents c c');
+  Alcotest.(check int) "pos preserved" (Re_cache.pos c) (Re_cache.pos c')
+
+let test_re_cache_clone_independent () =
+  let c = Re_cache.create ~capacity:16 () in
+  ignore (Re_cache.append c [| 1; 2 |]);
+  let d = Re_cache.clone c in
+  ignore (Re_cache.append c [| 3 |]);
+  Alcotest.(check (option int)) "clone unaffected" None (Re_cache.read d ~offset:2);
+  Alcotest.(check (option int)) "original advanced" (Some 3) (Re_cache.read c ~offset:2)
+
+let prop_re_cache_serialize_roundtrip =
+  QCheck2.Test.make ~name:"re-cache serialize round-trip" ~count:100
+    QCheck2.Gen.(pair (int_range 1 64) (list_size (int_range 0 100) (int_bound 1000000)))
+    (fun (cap, tokens) ->
+      let c = Re_cache.create ~capacity:cap () in
+      ignore (Re_cache.append c (Array.of_list tokens));
+      Re_cache.equal_contents c (Re_cache.deserialize (Re_cache.serialize c)))
+
+(* ------------------------------------------------------------------ *)
+(* RE encoder / decoder                                                *)
+(* ------------------------------------------------------------------ *)
+
+let re_pair engine ?(mode = Re_encoder.Explicit) () =
+  let enc = Re_encoder.create engine ~mode ~name:"enc" () in
+  let dec = Re_decoder.create engine ~mode ~name:"dec" () in
+  Mb_base.set_egress (Re_encoder.base enc) (fun p -> Re_decoder.receive dec p);
+  (enc, dec)
+
+let content_packet ~id ~ts tokens = mk_packet ~id ~ts ~tokens ()
+
+let send_via engine enc ~id ~ts tokens =
+  let start = Time.to_seconds (Engine.now engine) in
+  ignore
+    (Engine.schedule_at engine
+       (Time.seconds (start +. ts))
+       (fun () -> Re_encoder.receive enc (content_packet ~id ~ts tokens)))
+
+let test_re_encode_decode_identity () =
+  let engine = Engine.create () in
+  let enc, dec = re_pair engine () in
+  let sink = ref [] in
+  Mb_base.set_egress (Re_decoder.base dec) (fun p -> sink := p :: !sink);
+  send_via engine enc ~id:1 ~ts:0.0 [| 1; 2; 3; 4 |];
+  send_via engine enc ~id:2 ~ts:0.01 [| 1; 2; 3; 4 |];
+  send_via engine enc ~id:3 ~ts:0.02 [| 9; 1; 2; 8 |];
+  run_all engine;
+  Alcotest.(check int) "all delivered" 3 (List.length !sink);
+  Alcotest.(check int) "all decoded" 3 (Re_decoder.packets_decoded dec);
+  Alcotest.(check int) "none failed" 0 (Re_decoder.packets_failed dec);
+  Alcotest.(check bool) "redundancy eliminated" true (Re_encoder.encoded_bytes enc > 0);
+  Alcotest.(check int) "decoder reconstructed every eliminated byte"
+    (Re_encoder.encoded_bytes enc) (Re_decoder.decoded_bytes dec);
+  List.iter
+    (fun (p : Packet.t) ->
+      match p.Packet.body with
+      | Packet.Raw _ -> ()
+      | Packet.Encoded _ -> Alcotest.fail "decoder must emit raw packets")
+    !sink
+
+let test_re_encoder_shrinks_wire_bytes () =
+  let engine = Engine.create () in
+  let enc = Re_encoder.create engine ~name:"enc" () in
+  let out = ref None in
+  Mb_base.set_egress (Re_encoder.base enc) (fun p -> out := Some p);
+  let repeated = Array.init 16 (fun i -> 100 + i) in
+  send_via engine enc ~id:1 ~ts:0.0 repeated;
+  send_via engine enc ~id:2 ~ts:0.01 repeated;
+  run_all engine;
+  match !out with
+  | Some p ->
+    Alcotest.(check bool) "encoded smaller than original" true
+      (Packet.wire_bytes p < Packet.header_bytes + (16 * Payload.token_bytes));
+    Alcotest.(check int) "original size recorded" (16 * Payload.token_bytes)
+      (Packet.original_body_bytes p)
+  | None -> Alcotest.fail "no output"
+
+let test_re_implicit_desync_on_loss () =
+  (* Classic RE: dropping one encoded packet desynchronizes the caches
+     and later shims reconstruct wrong content. *)
+  let engine = Engine.create () in
+  let enc = Re_encoder.create engine ~mode:Re_encoder.Implicit ~name:"enc" () in
+  let dec = Re_decoder.create engine ~mode:Re_encoder.Implicit ~name:"dec" () in
+  let drop = ref false in
+  Mb_base.set_egress (Re_encoder.base enc) (fun p ->
+      if !drop then drop := false else Re_decoder.receive dec p);
+  send_via engine enc ~id:1 ~ts:0.0 [| 1; 2; 3; 4 |];
+  ignore (Engine.schedule_at engine (Time.seconds 0.005) (fun () -> drop := true));
+  send_via engine enc ~id:2 ~ts:0.01 [| 5; 6; 7; 8 |];
+  send_via engine enc ~id:3 ~ts:0.02 [| 20; 21; 22; 23 |];
+  send_via engine enc ~id:4 ~ts:0.03 [| 20; 21; 22; 23 |];
+  run_all engine;
+  Alcotest.(check bool) "desync detected" true (Re_decoder.undecodable_bytes dec > 0)
+
+let test_re_explicit_survives_literal_loss () =
+  (* Explicit positions: after losing a literal-only packet, later
+     shims that do not reference the lost region still decode. *)
+  let engine = Engine.create () in
+  let enc = Re_encoder.create engine ~mode:Re_encoder.Explicit ~name:"enc" () in
+  let dec = Re_decoder.create engine ~mode:Re_encoder.Explicit ~name:"dec" () in
+  let drop = ref false in
+  Mb_base.set_egress (Re_encoder.base enc) (fun p ->
+      if !drop then drop := false else Re_decoder.receive dec p);
+  send_via engine enc ~id:1 ~ts:0.0 [| 1; 2; 3; 4 |];
+  ignore (Engine.schedule_at engine (Time.seconds 0.005) (fun () -> drop := true));
+  send_via engine enc ~id:2 ~ts:0.01 [| 50; 51 |];
+  send_via engine enc ~id:3 ~ts:0.02 [| 1; 2; 3; 4 |];
+  run_all engine;
+  Alcotest.(check int) "no failures" 0 (Re_decoder.packets_failed dec);
+  Alcotest.(check int) "two decoded" 2 (Re_decoder.packets_decoded dec)
+
+let test_re_decoder_clone_via_chunks () =
+  let engine = Engine.create () in
+  let enc, dec = re_pair engine () in
+  send_via engine enc ~id:1 ~ts:0.0 [| 1; 2; 3 |];
+  run_all engine;
+  let dec2 = Re_decoder.create engine ~name:"dec2" () in
+  (match (Re_decoder.impl dec).Southbound.get_support_shared () with
+  | Ok (Some chunk) -> (
+    match (Re_decoder.impl dec2).Southbound.put_support_shared chunk with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "put: %s" (Errors.to_string e))
+  | _ -> Alcotest.fail "no cache chunk");
+  Alcotest.(check bool) "caches identical" true
+    (Re_cache.equal_contents (Re_decoder.cache dec) (Re_decoder.cache dec2))
+
+let test_re_decoder_cloned_raises_events () =
+  let engine = Engine.create () in
+  let enc, dec = re_pair engine () in
+  let events = ref 0 in
+  (Re_decoder.impl dec).Southbound.set_event_sink (fun _ -> incr events);
+  ignore ((Re_decoder.impl dec).Southbound.get_support_shared ());
+  send_via engine enc ~id:1 ~ts:0.0 [| 1; 2 |];
+  run_all engine;
+  Alcotest.(check int) "cache update raised an event" 1 !events;
+  (match
+     (Re_decoder.impl dec).Southbound.set_config [ "SyncEvents" ] [ Json.Bool false ]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "set_config: %s" (Errors.to_string e));
+  send_via engine enc ~id:2 ~ts:0.01 [| 3; 4 |];
+  run_all engine;
+  Alcotest.(check int) "no further events" 1 !events
+
+let test_re_encoder_num_caches_clone_and_flows () =
+  let engine = Engine.create () in
+  let enc = Re_encoder.create engine ~name:"enc" () in
+  Mb_base.set_egress (Re_encoder.base enc) (fun _ -> ());
+  send_via engine enc ~id:1 ~ts:0.0 [| 1; 2; 3 |];
+  run_all engine;
+  (match (Re_encoder.impl enc).Southbound.set_config [ "NumCaches" ] [ Json.Int 2 ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "NumCaches: %s" (Errors.to_string e));
+  Alcotest.(check int) "two caches" 2 (Re_encoder.num_caches enc);
+  Alcotest.(check bool) "clone matches original" true
+    (Re_cache.equal_contents (Re_encoder.cache enc 0) (Re_encoder.cache enc 1));
+  send_via engine enc ~id:2 ~ts:0.01 [| 4; 5 |];
+  run_all engine;
+  Alcotest.(check bool) "mirroring before the split" true
+    (Re_cache.equal_contents (Re_encoder.cache enc 0) (Re_encoder.cache enc 1));
+  (match
+     (Re_encoder.impl enc).Southbound.set_config [ "CacheFlows" ]
+       [ Json.String "1.1.1.0/24"; Json.String "1.1.2.0/24" ]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "CacheFlows: %s" (Errors.to_string e));
+  let start = Time.to_seconds (Engine.now engine) in
+  ignore
+    (Engine.schedule_at engine
+       (Time.seconds (start +. 0.01))
+       (fun () ->
+         Re_encoder.receive enc (mk_packet ~id:3 ~ts:0.02 ~dst:"1.1.2.9" ~tokens:[| 6 |] ())));
+  run_all engine;
+  Alcotest.(check bool) "caches diverge after the split" false
+    (Re_cache.equal_contents (Re_encoder.cache enc 0) (Re_encoder.cache enc 1))
+
+let prop_re_lossless_path_decodes =
+  (* Any token stream pushed through a lossless encoder/decoder pair
+     reconstructs perfectly, whatever the redundancy pattern. *)
+  QCheck2.Test.make ~name:"re pair decodes arbitrary streams" ~count:60
+    QCheck2.Gen.(list_size (int_range 1 30) (list_size (int_range 1 12) (int_bound 40)))
+    (fun packets ->
+      let engine = Engine.create () in
+      let enc = Re_encoder.create engine ~name:"enc" () in
+      let dec = Re_decoder.create engine ~name:"dec" () in
+      Mb_base.set_egress (Re_encoder.base enc) (fun p -> Re_decoder.receive dec p);
+      List.iteri
+        (fun i tokens ->
+          let ts = 0.01 *. float_of_int i in
+          ignore
+            (Engine.schedule_at engine (Time.seconds ts) (fun () ->
+                 Re_encoder.receive enc
+                   (mk_packet ~id:i ~ts ~tokens:(Array.of_list tokens) ()))))
+        packets;
+      Engine.run engine;
+      Re_decoder.packets_failed dec = 0
+      && Re_decoder.packets_decoded dec = List.length packets)
+
+(* ------------------------------------------------------------------ *)
+(* NAT                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let make_nat ?(name = "nat1") engine =
+  Nat.create engine ~name ~external_ip:(Addr.of_string "5.5.5.5")
+    ~internal_prefix:(Addr.prefix_of_string "10.0.0.0/8") ()
+
+let test_nat_translation_roundtrip () =
+  let engine = Engine.create () in
+  let nat = make_nat engine in
+  let out = ref [] in
+  Mb_base.set_egress (Nat.base nat) (fun p -> out := p :: !out);
+  Nat.receive nat (mk_packet ~id:1 ());
+  run_all engine;
+  (match !out with
+  | [ p ] ->
+    Alcotest.(check string) "rewritten source" "5.5.5.5" (Addr.to_string p.Packet.src_ip);
+    Alcotest.(check bool) "external port allocated" true (p.Packet.src_port >= 20000);
+    let reply =
+      mk_packet ~id:2 ~ts:0.01 ~src:"1.1.1.5" ~dst:"5.5.5.5" ~sport:80
+        ~dport:p.Packet.src_port ()
+    in
+    out := [];
+    Nat.receive nat reply;
+    run_all engine;
+    (match !out with
+    | [ r ] ->
+      Alcotest.(check string) "restored dst" "10.0.0.1" (Addr.to_string r.Packet.dst_ip);
+      Alcotest.(check int) "restored port" 1234 r.Packet.dst_port
+    | _ -> Alcotest.fail "reply not translated")
+  | _ -> Alcotest.fail "no outbound packet");
+  Alcotest.(check int) "one mapping" 1 (Nat.mapping_count nat)
+
+let test_nat_unknown_inbound_dropped () =
+  let engine = Engine.create () in
+  let nat = make_nat engine in
+  Mb_base.set_egress (Nat.base nat) (fun _ -> ());
+  Nat.receive nat (mk_packet ~id:1 ~src:"1.1.1.5" ~dst:"5.5.5.5" ~sport:80 ~dport:31337 ());
+  run_all engine;
+  Alcotest.(check int) "dropped" 1 (Nat.packets_dropped nat)
+
+let test_nat_introspection_event () =
+  let engine = Engine.create () in
+  let nat = make_nat engine in
+  let events = ref [] in
+  (Nat.impl nat).Southbound.set_event_sink (fun ev -> events := ev :: !events);
+  Nat.receive nat (mk_packet ~id:1 ());
+  run_all engine;
+  match !events with
+  | [ Event.Introspect { code; info; _ } ] ->
+    Alcotest.(check string) "mapping event" "nat.new_mapping" code;
+    Alcotest.(check bool) "carries the external port" true (Json.mem "ext_port" info)
+  | _ -> Alcotest.fail "expected one introspection event"
+
+let test_nat_granularity () =
+  let engine = Engine.create () in
+  let nat = make_nat engine in
+  Mb_base.set_egress (Nat.base nat) (fun _ -> ());
+  Nat.receive nat (mk_packet ~id:1 ());
+  run_all engine;
+  let impl = Nat.impl nat in
+  (match impl.Southbound.get_support_perflow (Hfl.of_string "tp_dst=80") with
+  | Error Errors.Granularity_too_fine -> ()
+  | _ -> Alcotest.fail "expected granularity error");
+  match impl.Southbound.get_support_perflow (Hfl.of_string "nw_src=10.0.0.0/8") with
+  | Ok [ _ ] -> ()
+  | _ -> Alcotest.fail "expected one mapping chunk"
+
+let test_nat_move_preserves_mapping () =
+  let engine = Engine.create () in
+  let a = make_nat engine in
+  let b = make_nat ~name:"nat2" engine in
+  Mb_base.set_egress (Nat.base a) (fun _ -> ());
+  Nat.receive a (mk_packet ~id:1 ());
+  run_all engine;
+  let ext_port =
+    match Nat.mappings a with [ m ] -> m.Nat.m_ext_port | _ -> Alcotest.fail "no mapping"
+  in
+  (match (Nat.impl a).Southbound.get_support_perflow Hfl.any with
+  | Ok [ chunk ] -> (
+    match (Nat.impl b).Southbound.put_support_perflow chunk with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "put: %s" (Errors.to_string e))
+  | _ -> Alcotest.fail "expected one chunk");
+  match Nat.lookup_external b ~ext_port with
+  | Some m -> Alcotest.(check int) "internal port preserved" 1234 m.Nat.m_int_port
+  | None -> Alcotest.fail "mapping lost in move"
+
+let test_nat_static_mapping_restore () =
+  let engine = Engine.create () in
+  let nat = make_nat engine in
+  let info =
+    Json.Assoc
+      [
+        ("int_ip", Json.String "10.0.0.42");
+        ("int_port", Json.Int 4242);
+        ("ext_port", Json.Int 33333);
+        ("proto", Json.String "tcp");
+      ]
+  in
+  (match (Nat.impl nat).Southbound.set_config [ "static_mappings" ] [ info ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "restore: %s" (Errors.to_string e));
+  match Nat.lookup_external nat ~ext_port:33333 with
+  | Some m ->
+    Alcotest.(check string) "restored ip" "10.0.0.42" (Addr.to_string m.Nat.m_int_ip);
+    Alcotest.(check (float 1e-9)) "timer reset to default" 0.0 m.Nat.m_last_active
+  | None -> Alcotest.fail "static mapping not installed"
+
+(* ------------------------------------------------------------------ *)
+(* Load balancer                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let backends = [ Addr.of_string "10.9.0.1"; Addr.of_string "10.9.0.2" ]
+
+let test_lb_round_robin_sticky () =
+  let engine = Engine.create () in
+  let lb = Load_balancer.create engine ~backends ~name:"lb1" () in
+  let out = ref [] in
+  Mb_base.set_egress (Load_balancer.base lb) (fun p -> out := p :: !out);
+  Load_balancer.receive lb (mk_packet ~id:1 ~sport:1000 ());
+  Load_balancer.receive lb (mk_packet ~id:2 ~sport:2000 ());
+  Load_balancer.receive lb (mk_packet ~id:3 ~sport:1000 ());
+  run_all engine;
+  (match List.rev !out with
+  | [ p1; p2; p3 ] ->
+    Alcotest.(check bool) "flows spread" false (Addr.equal p1.Packet.dst_ip p2.Packet.dst_ip);
+    Alcotest.(check bool) "same flow sticks" true
+      (Addr.equal p1.Packet.dst_ip p3.Packet.dst_ip)
+  | _ -> Alcotest.fail "expected three packets");
+  Alcotest.(check int) "two assignments" 2 (Load_balancer.assignment_count lb)
+
+let test_lb_granularity_rejects_five_tuple () =
+  let engine = Engine.create () in
+  let lb = Load_balancer.create engine ~backends ~name:"lb1" () in
+  match
+    (Load_balancer.impl lb).Southbound.get_support_perflow
+      (Hfl.of_string "nw_src=10.0.0.1/32,nw_dst=1.1.1.5/32")
+  with
+  | Error Errors.Granularity_too_fine -> ()
+  | _ -> Alcotest.fail "destination constraint must be too fine for Balance"
+
+let test_lb_move_keeps_backend () =
+  let engine = Engine.create () in
+  let a = Load_balancer.create engine ~backends ~name:"lb-a" () in
+  let b = Load_balancer.create engine ~backends ~name:"lb-b" () in
+  Mb_base.set_egress (Load_balancer.base a) (fun _ -> ());
+  Load_balancer.receive a (mk_packet ~id:1 ());
+  run_all engine;
+  let backend =
+    match Load_balancer.assignments a with
+    | [ (_, be) ] -> be
+    | _ -> Alcotest.fail "no assignment"
+  in
+  (match (Load_balancer.impl a).Southbound.get_support_perflow Hfl.any with
+  | Ok [ chunk ] -> (
+    match (Load_balancer.impl b).Southbound.put_support_perflow chunk with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "put: %s" (Errors.to_string e))
+  | _ -> Alcotest.fail "expected one chunk");
+  let out = ref [] in
+  Mb_base.set_egress (Load_balancer.base b) (fun p -> out := p :: !out);
+  Load_balancer.receive b (mk_packet ~id:2 ~ts:0.01 ());
+  run_all engine;
+  match !out with
+  | [ p ] ->
+    Alcotest.(check bool) "in-progress transaction stays on its server" true
+      (Addr.equal p.Packet.dst_ip backend)
+  | _ -> Alcotest.fail "no output at B"
+
+let test_lb_least_conn_policy () =
+  let engine = Engine.create () in
+  let lb =
+    Load_balancer.create engine ~policy:Load_balancer.Least_conn ~backends ~name:"lb1" ()
+  in
+  Mb_base.set_egress (Load_balancer.base lb) (fun _ -> ());
+  for i = 1 to 4 do
+    Load_balancer.receive lb (mk_packet ~id:i ~sport:(1000 * i) ())
+  done;
+  run_all engine;
+  let load = Load_balancer.backend_load lb in
+  List.iter (fun (_, c) -> Alcotest.(check int) "balanced" 2 c) load
+
+let test_lb_reconfigure_backends () =
+  let engine = Engine.create () in
+  let lb = Load_balancer.create engine ~backends ~name:"lb1" () in
+  (match
+     (Load_balancer.impl lb).Southbound.set_config [ "backends" ]
+       [ Json.String "10.9.0.9" ]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "set_config: %s" (Errors.to_string e));
+  let out = ref [] in
+  Mb_base.set_egress (Load_balancer.base lb) (fun p -> out := p :: !out);
+  Load_balancer.receive lb (mk_packet ~id:1 ());
+  run_all engine;
+  match !out with
+  | [ p ] -> Alcotest.(check string) "new backend" "10.9.0.9" (Addr.to_string p.Packet.dst_ip)
+  | _ -> Alcotest.fail "no output"
+
+(* ------------------------------------------------------------------ *)
+(* Firewall                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_firewall_rules_and_cache () =
+  let engine = Engine.create () in
+  let fw =
+    Firewall.create engine
+      ~rules:
+        [
+          { Firewall.rl_match = Hfl.of_string "tp_dst=22"; rl_action = Firewall.Deny };
+          { Firewall.rl_match = Hfl.of_string "nw_src=10.0.0.0/8"; rl_action = Firewall.Allow };
+        ]
+      ~default_action:Firewall.Deny ~name:"fw1" ()
+  in
+  let out = ref 0 in
+  Mb_base.set_egress (Firewall.base fw) (fun _ -> incr out);
+  Firewall.receive fw (mk_packet ~id:1 ());
+  Firewall.receive fw (mk_packet ~id:2 ~dport:22 ~sport:9 ());
+  Firewall.receive fw (mk_packet ~id:3 ~src:"192.168.0.1" ~sport:10 ());
+  run_all engine;
+  Alcotest.(check int) "one allowed through" 1 !out;
+  Alcotest.(check int) "allowed counter" 1 (Firewall.allowed fw);
+  Alcotest.(check int) "denied counter" 2 (Firewall.denied fw);
+  Alcotest.(check int) "verdicts cached" 3 (Firewall.cached_verdicts fw)
+
+let test_firewall_shared_report_merge () =
+  let engine = Engine.create () in
+  let a = Firewall.create engine ~name:"fw-a" () in
+  let b = Firewall.create engine ~name:"fw-b" () in
+  Mb_base.set_egress (Firewall.base a) (fun _ -> ());
+  Mb_base.set_egress (Firewall.base b) (fun _ -> ());
+  Firewall.receive a (mk_packet ~id:1 ());
+  Firewall.receive b (mk_packet ~id:2 ~sport:9 ());
+  run_all engine;
+  (match (Firewall.impl a).Southbound.get_report_shared () with
+  | Ok (Some chunk) -> (
+    match (Firewall.impl b).Southbound.put_report_shared chunk with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "merge: %s" (Errors.to_string e))
+  | _ -> Alcotest.fail "no shared report");
+  Alcotest.(check int) "counters added" 2 (Firewall.allowed b)
+
+let test_firewall_verdict_move () =
+  let engine = Engine.create () in
+  let a = Firewall.create engine ~default_action:Firewall.Allow ~name:"fw-a" () in
+  let b = Firewall.create engine ~default_action:Firewall.Deny ~name:"fw-b" () in
+  Mb_base.set_egress (Firewall.base a) (fun _ -> ());
+  Firewall.receive a (mk_packet ~id:1 ());
+  run_all engine;
+  (match (Firewall.impl a).Southbound.get_support_perflow Hfl.any with
+  | Ok [ chunk ] -> (
+    match (Firewall.impl b).Southbound.put_support_perflow chunk with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "put: %s" (Errors.to_string e))
+  | _ -> Alcotest.fail "expected one verdict chunk");
+  (* The moved flow keeps its Allow verdict even though B's policy
+     default is Deny — the R1 correctness property. *)
+  let out = ref 0 in
+  Mb_base.set_egress (Firewall.base b) (fun _ -> incr out);
+  Firewall.receive b (mk_packet ~id:2 ~ts:0.01 ());
+  run_all engine;
+  Alcotest.(check int) "moved verdict honoured" 1 !out
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "openmb_mbox"
+    [
+      ( "state_table",
+        [
+          Alcotest.test_case "basic" `Quick test_state_table_basic;
+          Alcotest.test_case "bidirectional" `Quick test_state_table_bidir;
+          Alcotest.test_case "matching scan" `Quick test_state_table_matching_scan;
+          Alcotest.test_case "insert clears moved" `Quick test_state_table_insert_clears_moved;
+          Alcotest.test_case "indexed equivalence" `Quick
+            test_state_table_indexed_equivalence;
+        ]
+        @ qcheck [ prop_state_table_index_equivalence ] );
+      ( "mb_base",
+        [
+          Alcotest.test_case "queueing latency" `Quick test_mb_base_queueing_latency;
+          Alcotest.test_case "op slowdown" `Quick test_mb_base_op_slowdown;
+          Alcotest.test_case "seal roundtrip" `Quick test_mb_base_seal_roundtrip;
+        ] );
+      ( "ids",
+        [
+          Alcotest.test_case "connection lifecycle" `Quick test_ids_connection_lifecycle;
+          Alcotest.test_case "rst" `Quick test_ids_rst;
+          Alcotest.test_case "exploit alert" `Quick test_ids_exploit_alert;
+          Alcotest.test_case "scan alert once" `Quick test_ids_scan_alert_once;
+          Alcotest.test_case "get/put roundtrip" `Quick test_ids_get_put_roundtrip;
+          Alcotest.test_case "moved flag events" `Quick test_ids_moved_flag_raises_events;
+          Alcotest.test_case "del after move no anomaly" `Quick
+            test_ids_del_after_move_no_anomaly;
+          Alcotest.test_case "finalize anomalies" `Quick test_ids_finalize_anomalies;
+          Alcotest.test_case "granularity and stats" `Quick test_ids_granularity_and_stats;
+          Alcotest.test_case "scan state clone/merge" `Quick test_ids_scan_state_clone_merge;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "counters" `Quick test_monitor_counters;
+          Alcotest.test_case "asset event" `Quick test_monitor_asset_event;
+          Alcotest.test_case "move report" `Quick test_monitor_move_report;
+          Alcotest.test_case "shared merge adds" `Quick test_monitor_shared_merge_adds;
+          Alcotest.test_case "wrong chunk class" `Quick test_monitor_rejects_wrong_chunk_class;
+        ] );
+      ( "re_cache",
+        [
+          Alcotest.test_case "append/read" `Quick test_re_cache_append_read;
+          Alcotest.test_case "window eviction" `Quick test_re_cache_window_eviction;
+          Alcotest.test_case "serialize roundtrip" `Quick test_re_cache_serialize_roundtrip;
+          Alcotest.test_case "clone independence" `Quick test_re_cache_clone_independent;
+        ]
+        @ qcheck [ prop_re_cache_serialize_roundtrip ] );
+      ( "re",
+        [
+          Alcotest.test_case "encode/decode identity" `Quick test_re_encode_decode_identity;
+          Alcotest.test_case "wire shrink" `Quick test_re_encoder_shrinks_wire_bytes;
+          Alcotest.test_case "implicit desync on loss" `Quick test_re_implicit_desync_on_loss;
+          Alcotest.test_case "explicit survives literal loss" `Quick
+            test_re_explicit_survives_literal_loss;
+          Alcotest.test_case "decoder clone via chunks" `Quick test_re_decoder_clone_via_chunks;
+          Alcotest.test_case "cloned decoder raises events" `Quick
+            test_re_decoder_cloned_raises_events;
+          Alcotest.test_case "encoder NumCaches/CacheFlows" `Quick
+            test_re_encoder_num_caches_clone_and_flows;
+        ]
+        @ qcheck [ prop_re_lossless_path_decodes ] );
+      ( "nat",
+        [
+          Alcotest.test_case "translation roundtrip" `Quick test_nat_translation_roundtrip;
+          Alcotest.test_case "unknown inbound dropped" `Quick test_nat_unknown_inbound_dropped;
+          Alcotest.test_case "introspection event" `Quick test_nat_introspection_event;
+          Alcotest.test_case "granularity" `Quick test_nat_granularity;
+          Alcotest.test_case "move preserves mapping" `Quick test_nat_move_preserves_mapping;
+          Alcotest.test_case "static mapping restore" `Quick test_nat_static_mapping_restore;
+        ] );
+      ( "load_balancer",
+        [
+          Alcotest.test_case "round robin sticky" `Quick test_lb_round_robin_sticky;
+          Alcotest.test_case "granularity rejects 5-tuple" `Quick
+            test_lb_granularity_rejects_five_tuple;
+          Alcotest.test_case "move keeps backend" `Quick test_lb_move_keeps_backend;
+          Alcotest.test_case "least-conn policy" `Quick test_lb_least_conn_policy;
+          Alcotest.test_case "reconfigure backends" `Quick test_lb_reconfigure_backends;
+        ] );
+      ( "firewall",
+        [
+          Alcotest.test_case "rules and cache" `Quick test_firewall_rules_and_cache;
+          Alcotest.test_case "shared report merge" `Quick test_firewall_shared_report_merge;
+          Alcotest.test_case "verdict move" `Quick test_firewall_verdict_move;
+        ] );
+    ]

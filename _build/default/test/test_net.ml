@@ -1,0 +1,401 @@
+(* Tests for the network substrate: addresses, header-field lists,
+   flow tables, switches and the SDN controller. *)
+
+open Openmb_sim
+open Openmb_net
+
+let addr = Alcotest.testable (Fmt.of_to_string Addr.to_string) Addr.equal
+
+let mk_packet ?(id = 0) ?(ts = 0.0) ?(src = "10.0.0.1") ?(dst = "1.1.1.5") ?(sport = 1234)
+    ?(dport = 80) ?(proto = Packet.Tcp) ?(flags = Packet.no_flags) () =
+  Packet.make ~flags ~id ~ts:(Time.seconds ts) ~src_ip:(Addr.of_string src)
+    ~dst_ip:(Addr.of_string dst) ~src_port:sport ~dst_port:dport ~proto ()
+
+(* ------------------------------------------------------------------ *)
+(* Addr                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_addr_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Addr.to_string (Addr.of_string s)))
+    [ "0.0.0.0"; "255.255.255.255"; "10.1.2.3"; "192.168.0.1" ]
+
+let test_addr_bad_input () =
+  List.iter
+    (fun s ->
+      match Addr.of_string s with
+      | _ -> Alcotest.fail (Printf.sprintf "expected failure for %S" s)
+      | exception Invalid_argument _ -> ())
+    [ "1.2.3"; "1.2.3.4.5"; "256.0.0.1"; "a.b.c.d"; "" ]
+
+let test_prefix_membership () =
+  let p = Addr.prefix_of_string "10.1.0.0/16" in
+  Alcotest.(check bool) "inside" true (Addr.in_prefix (Addr.of_string "10.1.255.3") p);
+  Alcotest.(check bool) "outside" false (Addr.in_prefix (Addr.of_string "10.2.0.1") p);
+  Alcotest.(check string) "host bits cleared" "10.1.0.0/16"
+    (Addr.prefix_to_string (Addr.prefix (Addr.of_string "10.1.2.3") 16))
+
+let test_prefix_subsumption () =
+  let p16 = Addr.prefix_of_string "10.1.0.0/16" in
+  let p24 = Addr.prefix_of_string "10.1.2.0/24" in
+  let other = Addr.prefix_of_string "10.2.0.0/16" in
+  Alcotest.(check bool) "coarser subsumes finer" true (Addr.prefix_subsumes p16 p24);
+  Alcotest.(check bool) "finer does not subsume coarser" false (Addr.prefix_subsumes p24 p16);
+  Alcotest.(check bool) "disjoint" false (Addr.prefix_subsumes other p24);
+  Alcotest.(check bool) "reflexive" true (Addr.prefix_subsumes p16 p16)
+
+let test_prefix_zero () =
+  let p0 = Addr.prefix_of_string "0.0.0.0/0" in
+  Alcotest.(check bool) "matches everything" true
+    (Addr.in_prefix (Addr.of_string "255.1.2.3") p0)
+
+let test_host_in_prefix () =
+  let p = Addr.prefix_of_string "1.1.1.0/24" in
+  Alcotest.check addr "offset 5" (Addr.of_string "1.1.1.5") (Addr.host_in_prefix p 5);
+  Alcotest.check_raises "overflow" (Invalid_argument "Addr.host_in_prefix: offset out of range")
+    (fun () -> ignore (Addr.host_in_prefix p 256))
+
+(* ------------------------------------------------------------------ *)
+(* Payload                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_payload_sizes () =
+  let p = Payload.of_tokens [| 1; 2; 3 |] in
+  Alcotest.(check int) "bytes" (3 * Payload.token_bytes) (Payload.size_bytes p);
+  Alcotest.(check int) "tokens" 3 (Payload.token_count p);
+  let q = Payload.of_tokens_trailing [| 1 |] ~trailing:10 in
+  Alcotest.(check int) "trailing" (Payload.token_bytes + 10) (Payload.size_bytes q)
+
+let test_payload_sub_equal () =
+  let p = Payload.of_tokens [| 1; 2; 3; 4; 5 |] in
+  let s = Payload.sub p ~pos:1 ~len:3 in
+  Alcotest.(check bool) "slice" true (Payload.equal s (Payload.of_tokens [| 2; 3; 4 |]));
+  Alcotest.(check bool) "concat" true
+    (Payload.equal p
+       (Payload.concat [ Payload.sub p ~pos:0 ~len:2; Payload.sub p ~pos:2 ~len:3 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Five-tuple                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_five_tuple_reverse_canonical () =
+  let t = Five_tuple.of_packet (mk_packet ()) in
+  let r = Five_tuple.reverse t in
+  Alcotest.(check bool) "reverse differs" false (Five_tuple.equal t r);
+  Alcotest.(check bool) "double reverse" true (Five_tuple.equal t (Five_tuple.reverse r));
+  Alcotest.(check bool) "canonical equal both directions" true
+    (Five_tuple.equal (Five_tuple.canonical t) (Five_tuple.canonical r))
+
+(* ------------------------------------------------------------------ *)
+(* Header-field lists                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_hfl_matching () =
+  let p = mk_packet () in
+  let hfl = Hfl.of_string "nw_src=10.0.0.0/8,tp_dst=80,proto=tcp" in
+  Alcotest.(check bool) "matches" true (Hfl.matches_packet hfl p);
+  Alcotest.(check bool) "port mismatch" false
+    (Hfl.matches_packet (Hfl.of_string "tp_dst=443") p);
+  Alcotest.(check bool) "empty matches all" true (Hfl.matches_packet Hfl.any p)
+
+let test_hfl_bidir () =
+  let t = Five_tuple.of_packet (mk_packet ()) in
+  let hfl = Hfl.of_string "nw_src=1.1.1.5/32" in
+  Alcotest.(check bool) "forward no" false (Hfl.matches_tuple hfl t);
+  Alcotest.(check bool) "bidir yes" true (Hfl.matches_bidir hfl t)
+
+let test_hfl_string_roundtrip () =
+  let cases =
+    [ "nw_src=10.0.0.0/8"; "nw_dst=1.1.1.0/24,tp_dst=80"; "proto=udp,tp_src=53"; "" ]
+  in
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Hfl.to_string (Hfl.of_string s)))
+    cases
+
+let test_hfl_subsumes () =
+  let coarse = Hfl.of_string "nw_src=10.0.0.0/8" in
+  let fine = Hfl.of_string "nw_src=10.1.0.0/16,tp_dst=80" in
+  Alcotest.(check bool) "coarse subsumes fine" true (Hfl.subsumes coarse fine);
+  Alcotest.(check bool) "fine does not subsume coarse" false (Hfl.subsumes fine coarse);
+  Alcotest.(check bool) "any subsumes all" true (Hfl.subsumes Hfl.any fine);
+  Alcotest.(check bool) "disjoint dims" false
+    (Hfl.subsumes (Hfl.of_string "tp_src=9") fine)
+
+let test_hfl_granularity () =
+  (* The Balance example: per-flow state keyed on source IP/port only. *)
+  let lb_gran = Hfl.[ Dim_src_ip; Dim_src_port ] in
+  Alcotest.(check bool) "coarser ok" true
+    (Hfl.compatible_with_granularity (Hfl.of_string "nw_src=10.0.0.0/8") lb_gran);
+  Alcotest.(check bool) "exact ok" true
+    (Hfl.compatible_with_granularity
+       (Hfl.of_string "nw_src=10.0.0.1/32,tp_src=99")
+       lb_gran);
+  Alcotest.(check bool) "finer rejected" false
+    (Hfl.compatible_with_granularity (Hfl.of_string "tp_dst=80") lb_gran)
+
+let test_hfl_key_of_tuple () =
+  let t = Five_tuple.of_packet (mk_packet ()) in
+  let key = Hfl.key_of_tuple Hfl.[ Dim_src_ip; Dim_src_port ] t in
+  Alcotest.(check string) "projected" "nw_src=10.0.0.1/32,tp_src=1234" (Hfl.to_string key);
+  let full = Hfl.key_of_tuple Hfl.full_granularity t in
+  Alcotest.(check bool) "full key matches own packet" true
+    (Hfl.matches_packet full (mk_packet ()))
+
+let test_hfl_well_formed () =
+  Alcotest.(check bool) "dup dim" false
+    (Hfl.well_formed (Hfl.of_string "tp_dst=80,tp_dst=81"));
+  Alcotest.(check bool) "ok" true (Hfl.well_formed (Hfl.of_string "tp_dst=80,tp_src=1"))
+
+let prop_hfl_subsumes_implies_match =
+  (* If a subsumes b, any tuple matching b matches a. *)
+  let gen =
+    QCheck2.Gen.(
+      let prefix = map2 (fun a len -> Addr.prefix (Addr.of_int a) len) (int_bound 0xFFFFFFF) (int_range 8 32) in
+      let field =
+        oneof
+          [
+            map (fun p -> Hfl.Src_ip p) prefix;
+            map (fun p -> Hfl.Dst_ip p) prefix;
+            map (fun p -> Hfl.Src_port p) (int_range 1 65535);
+            map (fun p -> Hfl.Dst_port p) (int_range 1 65535);
+            return (Hfl.Proto Packet.Tcp);
+          ]
+      in
+      triple (list_size (int_range 0 3) field) (list_size (int_range 0 3) field)
+        (pair (int_bound 0xFFFFFFF) (pair (int_range 1 65535) (int_range 1 65535))))
+  in
+  QCheck2.Test.make ~name:"subsumption is sound" ~count:500 gen
+    (fun (a, b, (ip, (sp, dp))) ->
+      let tup =
+        {
+          Five_tuple.src_ip = Addr.of_int ip;
+          dst_ip = Addr.of_int (ip lxor 0xFF);
+          src_port = sp;
+          dst_port = dp;
+          proto = Packet.Tcp;
+        }
+      in
+      (not (Hfl.subsumes a b && Hfl.matches_tuple b tup)) || Hfl.matches_tuple a tup)
+
+(* ------------------------------------------------------------------ *)
+(* Flow table                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let action =
+  Alcotest.testable
+    (fun fmt -> function
+      | Flow_table.Forward p -> Format.fprintf fmt "forward:%s" p
+      | Flow_table.Drop -> Format.fprintf fmt "drop"
+      | Flow_table.To_controller -> Format.fprintf fmt "controller")
+    ( = )
+
+let test_flow_table_priority () =
+  let t = Flow_table.create () in
+  ignore (Flow_table.install t ~priority:10 ~match_:Hfl.any ~action:(Flow_table.Forward "default"));
+  ignore
+    (Flow_table.install t ~priority:100
+       ~match_:(Hfl.of_string "tp_dst=80")
+       ~action:(Flow_table.Forward "http"));
+  Alcotest.(check (option action)) "http wins" (Some (Flow_table.Forward "http"))
+    (Flow_table.lookup t (mk_packet ()));
+  Alcotest.(check (option action)) "default" (Some (Flow_table.Forward "default"))
+    (Flow_table.lookup t (mk_packet ~dport:22 ()))
+
+let test_flow_table_tie_break () =
+  let t = Flow_table.create () in
+  ignore (Flow_table.install t ~priority:5 ~match_:Hfl.any ~action:(Flow_table.Forward "first"));
+  ignore (Flow_table.install t ~priority:5 ~match_:Hfl.any ~action:(Flow_table.Forward "second"));
+  Alcotest.(check (option action)) "earlier install wins ties"
+    (Some (Flow_table.Forward "first"))
+    (Flow_table.lookup t (mk_packet ()))
+
+let test_flow_table_remove_and_counters () =
+  let t = Flow_table.create () in
+  let r = Flow_table.install t ~priority:1 ~match_:Hfl.any ~action:Flow_table.Drop in
+  ignore (Flow_table.lookup t (mk_packet ()));
+  ignore (Flow_table.lookup t (mk_packet ()));
+  Alcotest.(check int) "packet counter" 2 r.Flow_table.packets;
+  Alcotest.(check bool) "removed" true (Flow_table.remove t ~cookie:r.Flow_table.cookie);
+  Alcotest.(check (option action)) "miss after removal" None (Flow_table.lookup t (mk_packet ()));
+  Alcotest.(check bool) "double remove" false (Flow_table.remove t ~cookie:r.Flow_table.cookie)
+
+let test_flow_table_remove_matching () =
+  let t = Flow_table.create () in
+  let m = Hfl.of_string "tp_dst=80" in
+  ignore (Flow_table.install t ~priority:1 ~match_:m ~action:Flow_table.Drop);
+  ignore (Flow_table.install t ~priority:2 ~match_:m ~action:(Flow_table.Forward "x"));
+  ignore (Flow_table.install t ~priority:1 ~match_:Hfl.any ~action:Flow_table.Drop);
+  Alcotest.(check int) "removed both" 2 (Flow_table.remove_matching t m);
+  Alcotest.(check int) "one left" 1 (Flow_table.size t)
+
+(* ------------------------------------------------------------------ *)
+(* Switch + SDN controller                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_switch_forwarding () =
+  let e = Engine.create () in
+  let received = ref [] in
+  let sw = Switch.create e ~name:"s1" () in
+  let link =
+    Link.create e ~name:"s1-out" ~dst:(fun p -> received := p :: !received) ()
+  in
+  Switch.attach_port sw ~port:"out" link;
+  ignore
+    (Flow_table.install (Switch.table sw) ~priority:1 ~match_:Hfl.any
+       ~action:(Flow_table.Forward "out"));
+  Switch.receive sw (mk_packet ());
+  Engine.run e;
+  Alcotest.(check int) "delivered" 1 (List.length !received);
+  Alcotest.(check int) "rx count" 1 (Switch.packets_received sw)
+
+let test_switch_miss_handler () =
+  let e = Engine.create () in
+  let punted = ref 0 in
+  let sw = Switch.create e ~name:"s1" () in
+  Switch.on_miss sw (fun _ -> incr punted);
+  Switch.receive sw (mk_packet ());
+  Engine.run e;
+  Alcotest.(check int) "punted on miss" 1 !punted
+
+let test_sdn_route_update_takes_time () =
+  let e = Engine.create () in
+  let to_a = ref 0 and to_b = ref 0 in
+  let sw = Switch.create e ~name:"s1" () in
+  let mk_counter_link name counter =
+    Link.create e ~name ~dst:(fun _ -> incr counter) ()
+  in
+  Switch.attach_port sw ~port:"a" (mk_counter_link "la" to_a);
+  Switch.attach_port sw ~port:"b" (mk_counter_link "lb" to_b);
+  let ctrl = Sdn_controller.create e ~install_delay:(Time.ms 10.0) () in
+  Sdn_controller.register_switch ctrl sw;
+  (* Initial rule issued at t=0 is active at t=10 ms.  Traffic at 1 kHz
+     over [20 ms, 70 ms); the reroute issued at t=40 ms takes effect at
+     t=50 ms, so 30 packets go to port a and 20 to port b. *)
+  Sdn_controller.install_rule ctrl ~switch:"s1" ~priority:1 ~match_:Hfl.any
+    ~action:(Flow_table.Forward "a") ();
+  for i = 0 to 49 do
+    ignore
+      (Engine.schedule_at e
+         (Time.ms (20.0 +. float_of_int i))
+         (fun () -> Switch.receive sw (mk_packet ~id:i ())))
+  done;
+  ignore
+    (Engine.schedule_at e (Time.ms 40.0) (fun () ->
+         Sdn_controller.update_route ctrl ~switch:"s1" ~match_:Hfl.any
+           ~new_action:(Flow_table.Forward "b") ()));
+  Engine.run e;
+  Alcotest.(check int) "packets before flip" 30 !to_a;
+  Alcotest.(check int) "packets after flip" 20 !to_b
+
+let test_sdn_unknown_switch () =
+  let e = Engine.create () in
+  let ctrl = Sdn_controller.create e () in
+  Alcotest.check_raises "unknown switch" (Failure "Sdn_controller: unknown switch nope")
+    (fun () ->
+      Sdn_controller.install_rule ctrl ~switch:"nope" ~priority:1 ~match_:Hfl.any
+        ~action:Flow_table.Drop ())
+
+let test_link_counters_and_order () =
+  let e = Engine.create () in
+  let got = ref [] in
+  let link = Link.create e ~name:"l" ~dst:(fun p -> got := p.Packet.id :: !got) () in
+  Link.send link (mk_packet ~id:1 ());
+  Link.send link (mk_packet ~id:2 ());
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO delivery" [ 1; 2 ] (List.rev !got);
+  Alcotest.(check int) "packets counted" 2 (Link.packets_sent link);
+  Alcotest.(check bool) "bytes counted" true (Link.bytes_sent link >= 2 * Packet.header_bytes)
+
+let test_switch_unknown_port_drops () =
+  let e = Engine.create () in
+  let sw = Switch.create e ~name:"s1" () in
+  ignore
+    (Flow_table.install (Switch.table sw) ~priority:1 ~match_:Hfl.any
+       ~action:(Flow_table.Forward "nowhere"));
+  Switch.receive sw (mk_packet ());
+  Engine.run e;
+  Alcotest.(check int) "dropped" 1 (Switch.packets_dropped sw)
+
+let test_sdn_remove_rules () =
+  let e = Engine.create () in
+  let sw = Switch.create e ~name:"s1" () in
+  let hits = ref 0 in
+  Switch.attach_port sw ~port:"p" (Link.create e ~name:"lp" ~dst:(fun _ -> incr hits) ());
+  let ctrl = Sdn_controller.create e ~install_delay:(Time.ms 1.0) () in
+  Sdn_controller.register_switch ctrl sw;
+  let m = Hfl.of_string "tp_dst=80" in
+  Sdn_controller.install_rule ctrl ~switch:"s1" ~priority:5 ~match_:m
+    ~action:(Flow_table.Forward "p") ();
+  Engine.run e;
+  Switch.receive sw (mk_packet ~id:1 ());
+  Engine.run e;
+  Sdn_controller.remove_rules ctrl ~switch:"s1" ~match_:m ();
+  Engine.run e;
+  Switch.receive sw (mk_packet ~id:2 ());
+  Engine.run e;
+  Alcotest.(check int) "only pre-removal packet forwarded" 1 !hits;
+  Alcotest.(check int) "two rule operations issued" 2 (Sdn_controller.rule_operations ctrl)
+
+let test_host_send_receive () =
+  let h = Host.create ~name:"h1" () in
+  Host.receive h (mk_packet ());
+  Alcotest.(check int) "received" 1 (Host.packets_received h);
+  Alcotest.(check int) "recorded" 1 (List.length (Host.received h));
+  Host.clear h;
+  Alcotest.(check int) "cleared" 0 (Host.packets_received h)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "openmb_net"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_addr_roundtrip;
+          Alcotest.test_case "bad input" `Quick test_addr_bad_input;
+          Alcotest.test_case "prefix membership" `Quick test_prefix_membership;
+          Alcotest.test_case "prefix subsumption" `Quick test_prefix_subsumption;
+          Alcotest.test_case "zero prefix" `Quick test_prefix_zero;
+          Alcotest.test_case "host in prefix" `Quick test_host_in_prefix;
+        ] );
+      ( "payload",
+        [
+          Alcotest.test_case "sizes" `Quick test_payload_sizes;
+          Alcotest.test_case "sub/concat/equal" `Quick test_payload_sub_equal;
+        ] );
+      ( "five_tuple",
+        [ Alcotest.test_case "reverse and canonical" `Quick test_five_tuple_reverse_canonical ]
+      );
+      ( "hfl",
+        [
+          Alcotest.test_case "matching" `Quick test_hfl_matching;
+          Alcotest.test_case "bidirectional" `Quick test_hfl_bidir;
+          Alcotest.test_case "string roundtrip" `Quick test_hfl_string_roundtrip;
+          Alcotest.test_case "subsumption" `Quick test_hfl_subsumes;
+          Alcotest.test_case "granularity" `Quick test_hfl_granularity;
+          Alcotest.test_case "key projection" `Quick test_hfl_key_of_tuple;
+          Alcotest.test_case "well-formedness" `Quick test_hfl_well_formed;
+        ]
+        @ qcheck [ prop_hfl_subsumes_implies_match ] );
+      ( "flow_table",
+        [
+          Alcotest.test_case "priority" `Quick test_flow_table_priority;
+          Alcotest.test_case "tie break" `Quick test_flow_table_tie_break;
+          Alcotest.test_case "remove and counters" `Quick test_flow_table_remove_and_counters;
+          Alcotest.test_case "remove matching" `Quick test_flow_table_remove_matching;
+        ] );
+      ( "switch",
+        [
+          Alcotest.test_case "forwarding" `Quick test_switch_forwarding;
+          Alcotest.test_case "miss handler" `Quick test_switch_miss_handler;
+          Alcotest.test_case "unknown port drops" `Quick test_switch_unknown_port_drops;
+        ] );
+      ("link", [ Alcotest.test_case "counters and order" `Quick test_link_counters_and_order ]);
+      ( "sdn",
+        [
+          Alcotest.test_case "route update delay" `Quick test_sdn_route_update_takes_time;
+          Alcotest.test_case "unknown switch" `Quick test_sdn_unknown_switch;
+          Alcotest.test_case "remove rules" `Quick test_sdn_remove_rules;
+        ] );
+      ("host", [ Alcotest.test_case "send/receive" `Quick test_host_send_receive ]);
+    ]

@@ -1,0 +1,410 @@
+(* Unit and property tests for the simulation substrate. *)
+
+open Openmb_sim
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 0 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 1; 3; 4; 5; 9 ] (drain [])
+
+let test_heap_fifo_ties () =
+  (* Equal keys pop in insertion order. *)
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+  List.iter (Heap.push h) [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
+  let labels = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (_, l) ->
+      labels := l :: !labels;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "fifo ties" [ "z"; "a"; "b"; "c" ] (List.rev !labels)
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h)
+
+let test_heap_clear () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Heap.clear h;
+  Alcotest.(check int) "size after clear" 0 (Heap.size h);
+  Heap.push h 7;
+  Alcotest.(check (option int)) "usable after clear" (Some 7) (Heap.pop h)
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* PRNG and distributions                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:99 and b = Prng.create ~seed:99 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.create ~seed:99 in
+  let c = Prng.split a in
+  (* Splitting then drawing from the parent must not change the
+     child's stream. *)
+  let expected = List.init 10 (fun _ -> Prng.bits64 (Prng.split (Prng.create ~seed:99))) in
+  ignore expected;
+  let child_first = Prng.bits64 c in
+  let a2 = Prng.create ~seed:99 in
+  let c2 = Prng.split a2 in
+  ignore (Prng.bits64 a2);
+  Alcotest.(check int64) "child unaffected by parent draws" child_first (Prng.bits64 c2)
+
+let test_prng_bounds () =
+  let g = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in g (-5) 5 in
+    Alcotest.(check bool) "int_in range" true (v >= -5 && v <= 5)
+  done
+
+let test_prng_float_mean () =
+  let g = Prng.create ~seed:5 in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float g 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_dist_exponential_mean () =
+  let g = Prng.create ~seed:8 in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Dist.exponential g ~mean:3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (mean -. 3.0) < 0.15)
+
+let test_dist_zipf_rank1_most_popular () =
+  let g = Prng.create ~seed:21 in
+  let counts = Array.make 11 0 in
+  for _ = 1 to 10000 do
+    let r = Dist.zipf g ~n:10 ~s:1.2 in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 1 beats rank 10" true (counts.(1) > counts.(10) * 3);
+  Alcotest.(check int) "rank 0 unused" 0 counts.(0)
+
+let test_dist_empirical_endpoints () =
+  let g = Prng.create ~seed:2 in
+  let points = [| (1.0, 0.5); (10.0, 1.0) |] in
+  for _ = 1 to 1000 do
+    let v = Dist.empirical g ~points in
+    Alcotest.(check bool) "within hull" true (v >= 0.0 && v <= 10.0)
+  done
+
+let test_dist_bounded_pareto_bounds () =
+  let g = Prng.create ~seed:77 in
+  for _ = 1 to 1000 do
+    let v = Dist.bounded_pareto g ~shape:1.2 ~lo:2.0 ~hi:50.0 in
+    Alcotest.(check bool) "in [lo,hi]" true (v >= 2.0 -. 1e-9 && v <= 50.0 +. 1e-9)
+  done
+
+let test_dist_weighted_index () =
+  let g = Prng.create ~seed:6 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 3000 do
+    let i = Dist.weighted_index g ~weights:[| 0.0; 1.0; 9.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero weight never drawn" 0 counts.(0);
+  Alcotest.(check bool) "9:1 ratio" true (counts.(2) > counts.(1) * 5)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.count s);
+  check_float "mean" 2.5 (Stats.mean s);
+  check_float "total" 10.0 (Stats.total s);
+  check_float "min" 1.0 (Stats.min_value s);
+  check_float "max" 4.0 (Stats.max_value s);
+  check_float "median" 2.5 (Stats.median s)
+
+let test_stats_percentile_interpolation () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 0.0; 10.0 ];
+  check_float "p25" 2.5 (Stats.percentile s 25.0);
+  check_float "p100" 10.0 (Stats.percentile s 100.0);
+  check_float "p0" 0.0 (Stats.percentile s 0.0)
+
+let test_stats_fraction_above () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  check_float "fraction above 90" 0.10 (Stats.fraction_above s 90.0);
+  check_float "fraction above 0" 1.0 (Stats.fraction_above s 0.0)
+
+let test_stats_cdf_monotone () =
+  let s = Stats.create () in
+  let g = Prng.create ~seed:4 in
+  for _ = 1 to 500 do
+    Stats.add s (Prng.float g 100.0)
+  done;
+  let cdf = Stats.cdf s ~points:20 in
+  Alcotest.(check int) "points" 20 (List.length cdf);
+  let rec monotone = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (monotone cdf);
+  let _, last = List.nth cdf 19 in
+  check_float "ends at 1" 1.0 last
+
+let test_stats_histogram_total () =
+  let s = Stats.create () in
+  for i = 0 to 99 do
+    Stats.add s (float_of_int i)
+  done;
+  let h = Stats.histogram s ~bins:10 in
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all samples binned" 100 total
+
+let prop_stats_mean_bounded =
+  QCheck2.Test.make ~name:"mean within [min,max]" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let m = Stats.mean s in
+      m >= Stats.min_value s -. 1e-6 && m <= Stats.max_value s +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let log tag () = order := tag :: !order in
+  ignore (Engine.schedule_at e (Time.seconds 2.0) (log "b"));
+  ignore (Engine.schedule_at e (Time.seconds 1.0) (log "a"));
+  ignore (Engine.schedule_at e (Time.seconds 3.0) (log "c"));
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !order);
+  check_float "clock at last event" 3.0 (Time.to_seconds (Engine.now e))
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore
+      (Engine.schedule_at e (Time.seconds 1.0) (fun () -> order := i :: !order))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule_at e (Time.seconds 1.0) (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled" false !fired;
+  Alcotest.(check bool) "is_cancelled" true (Engine.is_cancelled h)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick n () =
+    incr count;
+    if n > 0 then ignore (Engine.schedule_after e (Time.seconds 1.0) (tick (n - 1)))
+  in
+  ignore (Engine.schedule_after e Time.zero (tick 9));
+  Engine.run e;
+  Alcotest.(check int) "chain of 10" 10 !count;
+  check_float "clock" 9.0 (Time.to_seconds (Engine.now e))
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule_at e (Time.seconds (float_of_int i)) (fun () -> incr count))
+  done;
+  Engine.run ~until:(Time.seconds 5.5) e;
+  Alcotest.(check int) "five fired" 5 !count;
+  check_float "clock advanced to until" 5.5 (Time.to_seconds (Engine.now e));
+  Engine.run e;
+  Alcotest.(check int) "rest fired" 10 !count
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e (Time.seconds 5.0) (fun () -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past scheduling fails"
+    (Invalid_argument "Engine.schedule_at: time is in the past") (fun () ->
+      ignore (Engine.schedule_at e (Time.seconds 1.0) (fun () -> ())))
+
+let prop_engine_time_order =
+  (* Whatever the scheduling order, callbacks execute in non-decreasing
+     virtual time. *)
+  QCheck2.Test.make ~name:"events execute in time order" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 50) (float_range 0.0 100.0))
+    (fun times ->
+      let e = Engine.create () in
+      let seen = ref [] in
+      List.iter
+        (fun t ->
+          ignore
+            (Engine.schedule_at e (Time.seconds t) (fun () ->
+                 seen := Time.to_seconds (Engine.now e) :: !seen)))
+        times;
+      Engine.run e;
+      let order = List.rev !seen in
+      List.sort Float.compare order = order
+      && List.length order = List.length times)
+
+(* ------------------------------------------------------------------ *)
+(* Channel                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_channel_latency_and_bandwidth () =
+  let e = Engine.create () in
+  let arrivals = ref [] in
+  let ch =
+    Channel.create e ~latency:(Time.ms 1.0) ~bytes_per_sec:1000.0 ~deliver:(fun msg ->
+        arrivals := (msg, Time.to_seconds (Engine.now e)) :: !arrivals)
+  in
+  (* 100 bytes at 1000 B/s = 100 ms transfer + 1 ms latency. *)
+  Channel.send ch ~bytes:100 "m1";
+  Engine.run e;
+  (match !arrivals with
+  | [ ("m1", t) ] -> check_float "arrival" 0.101 t
+  | _ -> Alcotest.fail "expected one delivery")
+
+let test_channel_fifo_serialization () =
+  let e = Engine.create () in
+  let arrivals = ref [] in
+  let ch =
+    Channel.create e ~latency:Time.zero ~bytes_per_sec:1000.0 ~deliver:(fun msg ->
+        arrivals := (msg, Time.to_seconds (Engine.now e)) :: !arrivals)
+  in
+  Channel.send ch ~bytes:100 "a";
+  Channel.send ch ~bytes:100 "b";
+  Engine.run e;
+  (match List.rev !arrivals with
+  | [ ("a", ta); ("b", tb) ] ->
+    check_float "first" 0.1 ta;
+    check_float "second queued behind first" 0.2 tb
+  | _ -> Alcotest.fail "expected two deliveries");
+  Alcotest.(check int) "bytes counted" 200 (Channel.bytes_sent ch);
+  Alcotest.(check int) "messages counted" 2 (Channel.messages_sent ch)
+
+(* ------------------------------------------------------------------ *)
+(* Recorder                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_recorder_filter () =
+  let e = Engine.create () in
+  let r = Recorder.create e in
+  ignore
+    (Engine.schedule_at e (Time.seconds 1.0) (fun () ->
+         Recorder.record r ~actor:"mb1" ~kind:"pkt" ~detail:"x"));
+  ignore
+    (Engine.schedule_at e (Time.seconds 2.0) (fun () ->
+         Recorder.record r ~actor:"mb2" ~kind:"pkt" ~detail:"y"));
+  ignore
+    (Engine.schedule_at e (Time.seconds 3.0) (fun () ->
+         Recorder.record r ~actor:"mb1" ~kind:"get-start" ~detail:"z"));
+  Engine.run e;
+  Alcotest.(check int) "all" 3 (List.length (Recorder.entries r));
+  Alcotest.(check int) "by actor" 2 (List.length (Recorder.filter ~actor:"mb1" r));
+  Alcotest.(check int) "by kind" 2 (Recorder.count ~kind:"pkt" r);
+  Alcotest.(check int) "by window" 1
+    (List.length (Recorder.filter ~since:(Time.seconds 1.5) ~until:(Time.seconds 2.5) r))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "openmb_sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+        ]
+        @ qcheck [ prop_heap_sorts ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "float mean" `Quick test_prng_float_mean;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "exponential mean" `Quick test_dist_exponential_mean;
+          Alcotest.test_case "zipf popularity" `Quick test_dist_zipf_rank1_most_popular;
+          Alcotest.test_case "empirical endpoints" `Quick test_dist_empirical_endpoints;
+          Alcotest.test_case "bounded pareto bounds" `Quick test_dist_bounded_pareto_bounds;
+          Alcotest.test_case "weighted index" `Quick test_dist_weighted_index;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "percentile interpolation" `Quick
+            test_stats_percentile_interpolation;
+          Alcotest.test_case "fraction above" `Quick test_stats_fraction_above;
+          Alcotest.test_case "cdf monotone" `Quick test_stats_cdf_monotone;
+          Alcotest.test_case "histogram total" `Quick test_stats_histogram_total;
+        ]
+        @ qcheck [ prop_stats_mean_bounded ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
+        ]
+        @ qcheck [ prop_engine_time_order ] );
+      ( "channel",
+        [
+          Alcotest.test_case "latency and bandwidth" `Quick
+            test_channel_latency_and_bandwidth;
+          Alcotest.test_case "fifo serialization" `Quick test_channel_fifo_serialization;
+        ] );
+      ("recorder", [ Alcotest.test_case "filter" `Quick test_recorder_filter ]);
+    ]

@@ -1,0 +1,183 @@
+(* Tests for the JSON codec and the LZSS compressor. *)
+
+open Openmb_wire
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json = Alcotest.testable (fun fmt j -> Format.pp_print_string fmt (Json.to_string j)) Json.equal
+
+let test_json_print_basics () =
+  Alcotest.(check string) "null" "null" (Json.to_string Json.Null);
+  Alcotest.(check string) "bool" "true" (Json.to_string (Json.Bool true));
+  Alcotest.(check string) "int" "-42" (Json.to_string (Json.Int (-42)));
+  Alcotest.(check string) "string" {|"hi"|} (Json.to_string (Json.String "hi"));
+  Alcotest.(check string) "list" "[1,2]" (Json.to_string (Json.List [ Json.Int 1; Json.Int 2 ]));
+  Alcotest.(check string) "assoc" {|{"a":1}|}
+    (Json.to_string (Json.Assoc [ ("a", Json.Int 1) ]))
+
+let test_json_escape_roundtrip () =
+  let s = "line1\nline2\t\"quoted\"\\back\x01ctl" in
+  let j = Json.String s in
+  Alcotest.check json "escaped string round-trips" j (Json.of_string (Json.to_string j))
+
+let test_json_parse_whitespace () =
+  let j = Json.of_string "  { \"a\" : [ 1 , 2.5 , null ] , \"b\" : false }  " in
+  Alcotest.check json "parsed"
+    (Json.Assoc
+       [ ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null ]); ("b", Json.Bool false) ])
+    j
+
+let test_json_parse_nested () =
+  let text = {|{"outer":{"inner":[{"x":1},{"y":[true,false]}]}}|} in
+  let j = Json.of_string text in
+  Alcotest.(check string) "reprint" text (Json.to_string j)
+
+let test_json_numbers () =
+  Alcotest.check json "negative float" (Json.Float (-3.25)) (Json.of_string "-3.25");
+  Alcotest.check json "exponent" (Json.Float 1500.0) (Json.of_string "1.5e3");
+  Alcotest.check json "int stays int" (Json.Int 7) (Json.of_string "7")
+
+let test_json_unicode_escape () =
+  let j = Json.of_string {|"Aé"|} in
+  Alcotest.(check string) "utf8 decoded" "A\xc3\xa9" (Json.get_string j)
+
+let test_json_errors () =
+  let fails s =
+    match Json.of_string s with
+    | _ -> Alcotest.fail (Printf.sprintf "expected parse failure for %S" s)
+    | exception Json.Parse_error _ -> ()
+  in
+  List.iter fails [ ""; "{"; "[1,"; "tru"; "{\"a\":}"; "1 2"; "\"unterminated" ]
+
+let test_json_member () =
+  let j = Json.Assoc [ ("a", Json.Int 1); ("b", Json.Null) ] in
+  Alcotest.check json "present" (Json.Int 1) (Json.member "a" j);
+  Alcotest.check json "absent is null" Json.Null (Json.member "zz" j);
+  Alcotest.(check bool) "mem" true (Json.mem "b" j);
+  Alcotest.(check bool) "not mem" false (Json.mem "zz" j)
+
+let test_json_accessor_errors () =
+  Alcotest.check_raises "get_int on string" (Invalid_argument "Json.get_int") (fun () ->
+      ignore (Json.get_int (Json.String "x")));
+  Alcotest.check_raises "member on list" (Invalid_argument "Json.member: not an object")
+    (fun () -> ignore (Json.member "a" (Json.List [])))
+
+let test_json_wire_size () =
+  let j = Json.Assoc [ ("a", Json.Int 1) ] in
+  Alcotest.(check int) "wire size matches encoding" (String.length (Json.to_string j))
+    (Json.wire_size j)
+
+let json_gen =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [
+            return Json.Null;
+            map (fun b -> Json.Bool b) bool;
+            map (fun i -> Json.Int i) (int_range (-1000000) 1000000);
+            map (fun s -> Json.String s) (string_size (int_range 0 12));
+          ]
+      else
+        oneof
+          [
+            map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n / 2)));
+            map
+              (fun fields -> Json.Assoc fields)
+              (list_size (int_range 0 4)
+                 (pair (string_size (int_range 1 6)) (self (n / 2))));
+          ])
+
+let prop_json_roundtrip =
+  QCheck2.Test.make ~name:"JSON print/parse round-trip" ~count:300 json_gen (fun j ->
+      Json.equal j (Json.of_string (Json.to_string j)))
+
+let prop_json_pretty_roundtrip =
+  QCheck2.Test.make ~name:"pretty print/parse round-trip" ~count:150 json_gen (fun j ->
+      Json.equal j (Json.of_string (Json.to_string_pretty j)))
+
+(* ------------------------------------------------------------------ *)
+(* Compression                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_compress_roundtrip_basic () =
+  let cases =
+    [
+      "";
+      "a";
+      "abcabcabcabcabcabc";
+      String.make 1000 'x';
+      "no repeats here at all!?";
+      String.concat "" (List.init 50 (fun i -> Printf.sprintf "{\"field\":%d}" (i mod 3)));
+    ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check string)
+        (Printf.sprintf "roundtrip %d bytes" (String.length s))
+        s
+        (Compress.decompress (Compress.compress s)))
+    cases
+
+let test_compress_shrinks_redundant () =
+  let s = String.concat "" (List.init 200 (fun _ -> "the same phrase again and again. ")) in
+  Alcotest.(check bool) "redundant input shrinks" true
+    (Compress.compressed_size s < String.length s / 2);
+  Alcotest.(check bool) "ratio positive" true (Compress.ratio s > 0.5)
+
+let test_compress_ratio_empty () =
+  Alcotest.(check (float 1e-9)) "empty ratio" 0.0 (Compress.ratio "")
+
+let prop_json_parse_total =
+  (* Parsing arbitrary bytes either yields a value or raises
+     Parse_error — never anything else. *)
+  QCheck2.Test.make ~name:"JSON parser is total" ~count:500
+    QCheck2.Gen.(string_size (int_range 0 64))
+    (fun s ->
+      match Json.of_string s with
+      | _ -> true
+      | exception Json.Parse_error _ -> true)
+
+let prop_compress_roundtrip =
+  QCheck2.Test.make ~name:"LZSS round-trip" ~count:300
+    QCheck2.Gen.(string_size (int_range 0 2000))
+    (fun s -> Compress.decompress (Compress.compress s) = s)
+
+let prop_compress_roundtrip_redundant =
+  (* Strings with long repeats exercise the back-reference paths. *)
+  QCheck2.Test.make ~name:"LZSS round-trip on repetitive input" ~count:200
+    QCheck2.Gen.(
+      pair (string_size (int_range 1 40)) (int_range 2 100))
+    (fun (unit_, reps) ->
+      let s = String.concat "" (List.init reps (fun _ -> unit_)) in
+      Compress.decompress (Compress.compress s) = s)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "openmb_wire"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "print basics" `Quick test_json_print_basics;
+          Alcotest.test_case "escape roundtrip" `Quick test_json_escape_roundtrip;
+          Alcotest.test_case "whitespace" `Quick test_json_parse_whitespace;
+          Alcotest.test_case "nested" `Quick test_json_parse_nested;
+          Alcotest.test_case "numbers" `Quick test_json_numbers;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escape;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "member" `Quick test_json_member;
+          Alcotest.test_case "accessor errors" `Quick test_json_accessor_errors;
+          Alcotest.test_case "wire size" `Quick test_json_wire_size;
+        ]
+        @ qcheck [ prop_json_roundtrip; prop_json_pretty_roundtrip; prop_json_parse_total ] );
+      ( "compress",
+        [
+          Alcotest.test_case "roundtrip basics" `Quick test_compress_roundtrip_basic;
+          Alcotest.test_case "shrinks redundant input" `Quick test_compress_shrinks_redundant;
+          Alcotest.test_case "empty ratio" `Quick test_compress_ratio_empty;
+        ]
+        @ qcheck [ prop_compress_roundtrip; prop_compress_roundtrip_redundant ] );
+    ]
