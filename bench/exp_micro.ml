@@ -1,14 +1,32 @@
 (* Bechamel micro-benchmarks of the hot primitives: flow-table lookup,
-   JSON codec, chunk sealing, LZSS compression and RE encoding. *)
+   state-table find/insert, JSON codec, chunk sealing, LZSS compression
+   and RE encoding.
+
+   With [json_label] set (main.exe micro --json [--label NAME]) the
+   results are also merged into BENCH_micro.json under that label, so
+   the perf trajectory of the packet path is tracked across PRs. *)
 
 open Bechamel
 open Openmb_net
+
+(* Set by the driver: when [Some label], results are written to
+   BENCH_micro.json under that label. *)
+let json_label : string option ref = ref None
 
 let mk_packet i =
   Packet.make ~id:i ~ts:Openmb_sim.Time.zero
     ~src_ip:(Addr.of_int (0x0A000000 lor (i land 0xFFFF)))
     ~dst_ip:(Addr.of_string "1.1.1.5") ~src_port:(1024 + (i land 0x3FFF)) ~dst_port:80
     ~proto:Packet.Tcp ()
+
+let mk_tuple i =
+  {
+    Five_tuple.src_ip = Addr.of_int (0x0A000000 lor (i land 0xFFFFFF));
+    dst_ip = Addr.of_string "1.1.1.10";
+    src_port = 1024 + (i land 0x3FFF);
+    dst_port = 80;
+    proto = Packet.Tcp;
+  }
 
 let flow_table_lookup =
   let table = Flow_table.create () in
@@ -21,6 +39,55 @@ let flow_table_lookup =
   let p = mk_packet 7 in
   Test.make ~name:"flow_table.lookup (100 rules)"
     (Staged.stage (fun () -> ignore (Flow_table.lookup table p)))
+
+let flow_table_lookup_exact =
+  (* Full five-tuple rules: the exact-match case switch tables are
+     dominated by in practice. *)
+  let table = Flow_table.create () in
+  for i = 0 to 99 do
+    let tup = mk_tuple i in
+    ignore
+      (Flow_table.install table ~priority:5
+         ~match_:(Hfl.key_of_tuple Hfl.full_granularity tup)
+         ~action:(Flow_table.Forward (string_of_int i)))
+  done;
+  let p = mk_packet 7 in
+  Test.make ~name:"flow_table.lookup (100 exact rules)"
+    (Staged.stage (fun () -> ignore (Flow_table.lookup table p)))
+
+let state_table_pair =
+  lazy
+    (let t = Openmb_mbox.State_table.create ~granularity:Hfl.full_granularity () in
+     for i = 0 to 9_999 do
+       ignore (Openmb_mbox.State_table.find_or_create t (mk_tuple i) ~default:(fun () -> i))
+     done;
+     (t, mk_tuple 1234))
+
+(* The 10k-entry table is built lazily so other experiments don't pay
+   for it, but forced here at test-construction time — inside the
+   measured closure it would skew the regression's first samples. *)
+let state_table_find () =
+  let t, tup = Lazy.force state_table_pair in
+  Test.make ~name:"state_table.find (full, 10k entries)"
+    (Staged.stage (fun () -> ignore (Openmb_mbox.State_table.find t tup)))
+
+let state_table_find_or_create () =
+  let t, tup = Lazy.force state_table_pair in
+  Test.make ~name:"state_table.find_or_create (hit)"
+    (Staged.stage (fun () ->
+         ignore (Openmb_mbox.State_table.find_or_create t tup ~default:(fun () -> 0))))
+
+let state_table_insert =
+  let t = Openmb_mbox.State_table.create ~granularity:Hfl.full_granularity () in
+  let keys =
+    Array.init 256 (fun i -> Hfl.key_of_tuple Hfl.full_granularity (mk_tuple i))
+  in
+  let i = ref 0 in
+  Test.make ~name:"state_table.insert (full)"
+    (Staged.stage (fun () ->
+         let k = keys.(!i land 255) in
+         incr i;
+         Openmb_mbox.State_table.insert t ~key:k !i))
 
 let json_codec =
   let text =
@@ -39,6 +106,29 @@ let json_codec =
   in
   Test.make ~name:"json.parse (protocol message)"
     (Staged.stage (fun () -> ignore (Openmb_wire.Json.of_string text)))
+
+let put_chunk_msg =
+  lazy
+    (let chunk =
+       Openmb_core.Chunk.seal ~mb_kind:"bro" ~role:Openmb_core.Taxonomy.Supporting
+         ~partition:Openmb_core.Taxonomy.Per_flow
+         ~key:(Hfl.key_of_tuple Hfl.full_granularity (mk_tuple 17))
+         ~plain:(String.make 200 's')
+     in
+     { Openmb_core.Message.op = 42; req = Openmb_core.Message.Put_support_perflow chunk })
+
+let message_encode_json () =
+  let msg = Lazy.force put_chunk_msg in
+  Test.make ~name:"message.encode (put chunk, json)"
+    (Staged.stage (fun () ->
+         ignore (Openmb_wire.Json.to_string (Openmb_core.Message.request_to_json msg))))
+
+let message_encode_binary () =
+  let msg = Lazy.force put_chunk_msg in
+  Test.make ~name:"message.encode (put chunk, binary)"
+    (Staged.stage (fun () ->
+         ignore
+           (Openmb_core.Message.request_to_wire ~framing:Openmb_wire.Framing.Binary msg)))
 
 let chunk_seal =
   let plain = String.make 202 's' in
@@ -78,6 +168,84 @@ let hfl_match =
   let p = mk_packet 3 in
   Test.make ~name:"hfl.matches_packet"
     (Staged.stage (fun () -> ignore (Hfl.matches_packet hfl p)))
+
+(* ------------------------------------------------------------------ *)
+(* Measurement plumbing                                                *)
+(* ------------------------------------------------------------------ *)
+
+type result = { bench_name : string; ns_per_op : float; minor_words_per_op : float }
+
+(* Toolkit.Instance.minor_allocated reads [(Gc.quick_stat ()).minor_words],
+   which on OCaml 5 only advances at minor-collection boundaries — sample
+   batches that fit in the young generation report zero.  [Gc.minor_words]
+   includes the young-pointer delta and is exact. *)
+module Minor_words = struct
+  type witness = unit
+
+  let make () = ()
+  let load () = ()
+  let unload () = ()
+  let get () = Gc.minor_words ()
+  let label () = "minor-words"
+  let unit () = "mnw"
+end
+
+let minor_words_instance =
+  Measure.instance (module Minor_words) (Measure.register (module Minor_words))
+
+let measure tests =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let minor = minor_words_instance in
+  List.concat_map
+    (fun test ->
+      List.map
+        (fun elt ->
+          let raw = Benchmark.run cfg [ clock; minor ] elt in
+          let estimate instance =
+            match Analyze.OLS.estimates (Analyze.one ols instance raw) with
+            | Some [ v ] -> v
+            | Some _ | None -> nan
+          in
+          {
+            bench_name = Test.Elt.name elt;
+            ns_per_op = estimate clock;
+            minor_words_per_op = estimate minor;
+          })
+        (Test.elements test))
+    tests
+
+let bench_file = "BENCH_micro.json"
+
+(* Merge this run's results into BENCH_micro.json under [label],
+   keeping any other labels (e.g. the pre-change numbers) intact. *)
+let write_json results label =
+  let open Openmb_wire in
+  let existing =
+    if Sys.file_exists bench_file then
+      match Json.of_string (In_channel.with_open_text bench_file In_channel.input_all) with
+      | Json.Assoc fields -> fields
+      | _ | (exception Json.Parse_error _) -> []
+    else []
+  in
+  let entry =
+    Json.Assoc
+      (List.map
+         (fun r ->
+           ( r.bench_name,
+             Json.Assoc
+               [
+                 ("ns_per_op", Json.Float r.ns_per_op);
+                 ("minor_words_per_op", Json.Float r.minor_words_per_op);
+               ] ))
+         results)
+  in
+  let fields = List.remove_assoc label existing @ [ (label, entry) ] in
+  Out_channel.with_open_text bench_file (fun oc ->
+      Out_channel.output_string oc (Json.to_string_pretty (Json.Assoc fields));
+      Out_channel.output_char oc '\n');
+  Printf.printf "  [json] wrote %s (label %S)\n" bench_file label
 
 (* Footnote-6 ablation: real wall-clock cost of the linear-scan get
    versus the source-indexed lookup, at growing table sizes. *)
@@ -130,22 +298,28 @@ let scan_vs_index () =
      6x get/put gap to this); a switch-style index makes the exact-source\n\
      get cost independent of table size.\n"
 
+let tests () =
+  [
+    flow_table_lookup;
+    flow_table_lookup_exact;
+    state_table_find ();
+    state_table_find_or_create ();
+    state_table_insert;
+    json_codec;
+    message_encode_json ();
+    message_encode_binary ();
+    chunk_seal;
+    lzss;
+    re_encode;
+    hfl_match;
+  ]
+
 let run () =
   Util.banner "Micro-benchmarks (Bechamel, wall-clock)";
-  let tests = [ flow_table_lookup; json_codec; chunk_seal; lzss; re_encode; hfl_match ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
-  let ols =
-    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
-  in
-  let instance = Toolkit.Instance.monotonic_clock in
+  let results = measure (tests ()) in
   List.iter
-    (fun test ->
-      List.iter
-        (fun elt ->
-          let result = Benchmark.run cfg [ instance ] elt in
-          let est = Analyze.one ols instance result in
-          match Analyze.OLS.estimates est with
-          | Some [ ns ] -> Util.row "  %-34s %12.1f ns/run\n" (Test.Elt.name elt) ns
-          | Some _ | None -> Util.row "  %-34s %12s\n" (Test.Elt.name elt) "n/a")
-        (Test.elements test))
-    tests
+    (fun r ->
+      Util.row "  %-36s %12.1f ns/run %12.1f mwords/run\n" r.bench_name r.ns_per_op
+        r.minor_words_per_op)
+    results;
+  match !json_label with None -> () | Some label -> write_json results label

@@ -6,7 +6,13 @@
 
      dune exec bench/main.exe             # everything
      dune exec bench/main.exe table3 fig8 # a subset
-     dune exec bench/main.exe -- --list   # available experiments *)
+     dune exec bench/main.exe -- --list   # available experiments
+
+   The micro experiment additionally honours --json [--label NAME],
+   which merges its results into BENCH_micro.json under that label
+   (default "current") so the perf trajectory is tracked across PRs:
+
+     dune exec bench/main.exe -- micro --json --label after *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -61,6 +67,17 @@ let () =
         Printf.printf "%!")
       experiments
   | _ :: args ->
+    (* Strip flags before dispatching on experiment names. *)
+    let rec strip = function
+      | [] -> []
+      | "--json" :: rest ->
+        if !Exp_micro.json_label = None then Exp_micro.json_label := Some "current";
+        strip rest
+      | "--label" :: label :: rest ->
+        Exp_micro.json_label := Some label;
+        strip rest
+      | arg :: rest -> arg :: strip rest
+    in
     List.iter
       (fun arg ->
         match arg with
@@ -68,5 +85,5 @@ let () =
         | name ->
           run_one name;
           Printf.printf "%!")
-      args
+      (strip args)
   | [] -> assert false

@@ -8,6 +8,7 @@ type config = {
   channel_latency : Time.t;
   channel_bandwidth : float;
   forward_events : bool;
+  framing : Openmb_wire.Framing.t;
 }
 
 let default_config =
@@ -18,6 +19,7 @@ let default_config =
     channel_latency = Time.us 200.0;
     channel_bandwidth = 125e6;
     forward_events = true;
+    framing = Openmb_wire.Framing.Json;
   }
 
 type move_result = {
@@ -33,6 +35,9 @@ type handler = Message.reply -> [ `Keep | `Done ]
 type conn = {
   agent : Mb_agent.t;
   to_mb : Message.to_mb Channel.t;
+  framing : Openmb_wire.Framing.t;
+      (* Negotiated when the channel was set up; sizes every message on
+         this connection. *)
   mutable next_op : int;
   pending : (int, handler) Hashtbl.t;
 }
@@ -123,7 +128,7 @@ let op_send t conn req handler =
   conn.next_op <- op + 1;
   Hashtbl.replace conn.pending op handler;
   let msg = { Message.op; req } in
-  let bytes = Message.request_wire_bytes msg in
+  let bytes = Message.request_wire_bytes ~framing:conn.framing msg in
   cpu t bytes (fun () -> Channel.send conn.to_mb ~bytes msg)
 
 (* Fire-and-forget request (deferred deletes, event forwarding). *)
@@ -259,13 +264,17 @@ let dispatch_from_mb t mb_name msg =
         | `Keep -> ()
         | `Done -> Hashtbl.remove conn.pending op)))
 
-let connect t agent =
+let connect t ?framing agent =
   let name = Mb_agent.name agent in
   if Hashtbl.mem t.mbs name then
     failwith (Printf.sprintf "Controller.connect: duplicate MB name %s" name);
+  (* The framing is negotiated once per MB connection — the config
+     default unless this MB asked for an override — and sizes every
+     message on its three channels. *)
+  let framing = Option.value framing ~default:t.cfg.framing in
   let deliver msg =
     (* Receiving costs controller CPU proportional to message size. *)
-    cpu t (Message.reply_wire_bytes msg) (fun () -> dispatch_from_mb t name msg)
+    cpu t (Message.reply_wire_bytes ~framing msg) (fun () -> dispatch_from_mb t name msg)
   in
   let mk_channel () =
     Channel.create t.engine ~latency:t.cfg.channel_latency
@@ -278,9 +287,12 @@ let connect t agent =
       ~deliver:(fun msg -> Mb_agent.handle_request agent msg)
   in
   Mb_agent.set_uplinks agent
-    ~send_reply:(fun msg -> Channel.send reply_ch ~bytes:(Message.reply_wire_bytes msg) msg)
-    ~send_event:(fun msg -> Channel.send event_ch ~bytes:(Message.reply_wire_bytes msg) msg);
-  Hashtbl.replace t.mbs name { agent; to_mb; next_op = 0; pending = Hashtbl.create 16 }
+    ~send_reply:(fun msg ->
+      Channel.send reply_ch ~bytes:(Message.reply_wire_bytes ~framing msg) msg)
+    ~send_event:(fun msg ->
+      Channel.send event_ch ~bytes:(Message.reply_wire_bytes ~framing msg) msg);
+  Hashtbl.replace t.mbs name
+    { agent; to_mb; framing; next_op = 0; pending = Hashtbl.create 16 }
 
 let disconnect t name =
   Hashtbl.remove t.mbs name;

@@ -34,6 +34,10 @@ type config = {
       (** Forward re-process events to destinations (true in OpenMB;
           the event ablation bench disables it to demonstrate the lost
           state updates). *)
+  framing : Openmb_wire.Framing.t;
+      (** Wire framing negotiated with MBs at connect time ([Json]
+          unless a {!connect} override says otherwise); determines
+          message sizes and hence channel transfer costs. *)
 }
 
 val default_config : config
@@ -49,9 +53,11 @@ val create :
   unit ->
   t
 
-val connect : t -> Mb_agent.t -> unit
+val connect : t -> ?framing:Openmb_wire.Framing.t -> Mb_agent.t -> unit
 (** Establish the op and event connections to an MB agent and register
-    it under its impl name.  Raises [Failure] on duplicate names. *)
+    it under its impl name.  Raises [Failure] on duplicate names.
+    [framing] overrides the config's wire framing for this MB's
+    channels. *)
 
 val disconnect : t -> string -> unit
 (** Forget an MB (e.g. a terminated instance); in-flight operations on

@@ -374,34 +374,586 @@ let from_mb_of_json j =
     Reply { op; reply }
 
 (* ------------------------------------------------------------------ *)
+(* Binary encoding                                                     *)
+(*                                                                     *)
+(* Compact alternative to the JSON encoding, negotiated per channel    *)
+(* (Framing.Binary).  Bodies start with a 0x42 tag so decoders can     *)
+(* fall back to JSON for peers that never negotiated: JSON text starts *)
+(* with '{'.  Writers go through a Binary.sink, so the exact wire size *)
+(* is computable without materializing the bytes.                      *)
+(* ------------------------------------------------------------------ *)
+
+let binary_tag = 'B'
+
+let proto_to_u8 = function Packet.Tcp -> 0 | Packet.Udp -> 1 | Packet.Icmp -> 2
+
+let proto_of_u8 = function
+  | 0 -> Packet.Tcp
+  | 1 -> Packet.Udp
+  | 2 -> Packet.Icmp
+  | n -> raise (Binary.Decode_error (Printf.sprintf "Message: proto tag %d" n))
+
+let bad_tag what n =
+  raise (Binary.Decode_error (Printf.sprintf "Message: unknown %s tag %d" what n))
+
+let w_hfl k hfl =
+  Binary.uvarint k (List.length hfl);
+  List.iter
+    (fun f ->
+      match f with
+      | Hfl.Src_ip p ->
+        Binary.u8 k 0;
+        Binary.u32 k (Addr.to_int (Addr.prefix_base p));
+        Binary.u8 k (Addr.prefix_len p)
+      | Hfl.Dst_ip p ->
+        Binary.u8 k 1;
+        Binary.u32 k (Addr.to_int (Addr.prefix_base p));
+        Binary.u8 k (Addr.prefix_len p)
+      | Hfl.Src_port v ->
+        Binary.u8 k 2;
+        Binary.u16 k v
+      | Hfl.Dst_port v ->
+        Binary.u8 k 3;
+        Binary.u16 k v
+      | Hfl.Proto v ->
+        Binary.u8 k 4;
+        Binary.u8 k (proto_to_u8 v))
+    hfl
+
+let r_hfl r =
+  let n = Binary.get_uvarint r in
+  List.init n (fun _ ->
+      match Binary.get_u8 r with
+      | 0 ->
+        let base = Binary.get_u32 r in
+        Hfl.Src_ip (Addr.prefix (Addr.of_int base) (Binary.get_u8 r))
+      | 1 ->
+        let base = Binary.get_u32 r in
+        Hfl.Dst_ip (Addr.prefix (Addr.of_int base) (Binary.get_u8 r))
+      | 2 -> Hfl.Src_port (Binary.get_u16 r)
+      | 3 -> Hfl.Dst_port (Binary.get_u16 r)
+      | 4 -> Hfl.Proto (proto_of_u8 (Binary.get_u8 r))
+      | n -> bad_tag "hfl field" n)
+
+let w_path k p = Binary.str k (Config_tree.path_to_string p)
+let r_path r = Config_tree.path_of_string (Binary.get_str r)
+
+let role_to_u8 = function
+  | Taxonomy.Configuring -> 0
+  | Taxonomy.Supporting -> 1
+  | Taxonomy.Reporting -> 2
+
+let role_of_u8 = function
+  | 0 -> Taxonomy.Configuring
+  | 1 -> Taxonomy.Supporting
+  | 2 -> Taxonomy.Reporting
+  | n -> bad_tag "role" n
+
+let w_chunk k (c : Chunk.t) =
+  Binary.str k c.mb_kind;
+  Binary.u8 k (role_to_u8 c.role);
+  Binary.u8 k (match c.partition with Taxonomy.Per_flow -> 0 | Taxonomy.Shared -> 1);
+  w_hfl k c.key;
+  Binary.str k c.cipher
+
+let r_chunk r : Chunk.t =
+  let mb_kind = Binary.get_str r in
+  let role = role_of_u8 (Binary.get_u8 r) in
+  let partition =
+    match Binary.get_u8 r with
+    | 0 -> Taxonomy.Per_flow
+    | 1 -> Taxonomy.Shared
+    | n -> bad_tag "partition" n
+  in
+  let key = r_hfl r in
+  let cipher = Binary.get_str r in
+  { mb_kind; role; partition; key; cipher }
+
+let w_flags k (f : Packet.tcp_flags) =
+  Binary.u8 k
+    ((if f.syn then 1 else 0)
+    lor (if f.ack then 2 else 0)
+    lor (if f.fin then 4 else 0)
+    lor if f.rst then 8 else 0)
+
+let r_flags r : Packet.tcp_flags =
+  let b = Binary.get_u8 r in
+  { syn = b land 1 <> 0; ack = b land 2 <> 0; fin = b land 4 <> 0; rst = b land 8 <> 0 }
+
+let w_app k = function
+  | Packet.Plain -> Binary.u8 k 0
+  | Packet.Http_request { method_; host; uri } ->
+    Binary.u8 k 1;
+    Binary.str k method_;
+    Binary.str k host;
+    Binary.str k uri
+  | Packet.Http_response { status } ->
+    Binary.u8 k 2;
+    Binary.uvarint k status
+
+let r_app r =
+  match Binary.get_u8 r with
+  | 0 -> Packet.Plain
+  | 1 ->
+    let method_ = Binary.get_str r in
+    let host = Binary.get_str r in
+    Packet.Http_request { method_; host; uri = Binary.get_str r }
+  | 2 -> Packet.Http_response { status = Binary.get_uvarint r }
+  | n -> bad_tag "app" n
+
+let w_payload k p =
+  let tokens = Payload.tokens p in
+  Binary.uvarint k (Array.length tokens);
+  Array.iter (Binary.varint k) tokens;
+  Binary.uvarint k (Payload.size_bytes p mod Payload.token_bytes)
+
+let r_payload r =
+  let n = Binary.get_uvarint r in
+  let tokens = Array.init n (fun _ -> Binary.get_varint r) in
+  Payload.of_tokens_trailing tokens ~trailing:(Binary.get_uvarint r)
+
+let w_segment k = function
+  | Packet.Literal p ->
+    Binary.u8 k 0;
+    w_payload k p
+  | Packet.Shim { offset; len } ->
+    Binary.u8 k 1;
+    Binary.uvarint k offset;
+    Binary.uvarint k len
+
+let r_segment r =
+  match Binary.get_u8 r with
+  | 0 -> Packet.Literal (r_payload r)
+  | 1 ->
+    let offset = Binary.get_uvarint r in
+    Packet.Shim { offset; len = Binary.get_uvarint r }
+  | n -> bad_tag "segment" n
+
+let w_body k = function
+  | Packet.Raw p ->
+    Binary.u8 k 0;
+    w_payload k p
+  | Packet.Encoded { cache_id; append_base; segments; orig } ->
+    Binary.u8 k 1;
+    Binary.varint k cache_id;
+    Binary.varint k append_base;
+    Binary.uvarint k (List.length segments);
+    List.iter (w_segment k) segments;
+    w_payload k orig
+
+let r_body r =
+  match Binary.get_u8 r with
+  | 0 -> Packet.Raw (r_payload r)
+  | 1 ->
+    let cache_id = Binary.get_varint r in
+    let append_base = Binary.get_varint r in
+    let nseg = Binary.get_uvarint r in
+    let segments = List.init nseg (fun _ -> r_segment r) in
+    Packet.Encoded { cache_id; append_base; segments; orig = r_payload r }
+  | n -> bad_tag "body" n
+
+let w_packet k (p : Packet.t) =
+  Binary.uvarint k p.id;
+  Binary.f64 k (Openmb_sim.Time.to_seconds p.ts);
+  Binary.u32 k (Addr.to_int p.src_ip);
+  Binary.u32 k (Addr.to_int p.dst_ip);
+  Binary.u16 k p.src_port;
+  Binary.u16 k p.dst_port;
+  Binary.u8 k (proto_to_u8 p.proto);
+  w_flags k p.flags;
+  w_app k p.app;
+  w_body k p.body
+
+let r_packet r : Packet.t =
+  let id = Binary.get_uvarint r in
+  let ts = Openmb_sim.Time.seconds (Binary.get_f64 r) in
+  let src_ip = Addr.of_int (Binary.get_u32 r) in
+  let dst_ip = Addr.of_int (Binary.get_u32 r) in
+  let src_port = Binary.get_u16 r in
+  let dst_port = Binary.get_u16 r in
+  let proto = proto_of_u8 (Binary.get_u8 r) in
+  let flags = r_flags r in
+  let app = r_app r in
+  { id; ts; src_ip; dst_ip; src_port; dst_port; proto; flags; app; body = r_body r }
+
+let rec w_json k = function
+  | Json.Null -> Binary.u8 k 0
+  | Json.Bool b ->
+    Binary.u8 k 1;
+    Binary.u8 k (if b then 1 else 0)
+  | Json.Int v ->
+    Binary.u8 k 2;
+    Binary.varint k v
+  | Json.Float v ->
+    Binary.u8 k 3;
+    Binary.f64 k v
+  | Json.String s ->
+    Binary.u8 k 4;
+    Binary.str k s
+  | Json.List items ->
+    Binary.u8 k 5;
+    Binary.uvarint k (List.length items);
+    List.iter (w_json k) items
+  | Json.Assoc fields ->
+    Binary.u8 k 6;
+    Binary.uvarint k (List.length fields);
+    List.iter
+      (fun (name, v) ->
+        Binary.str k name;
+        w_json k v)
+      fields
+
+let rec r_json r =
+  match Binary.get_u8 r with
+  | 0 -> Json.Null
+  | 1 -> Json.Bool (Binary.get_u8 r <> 0)
+  | 2 -> Json.Int (Binary.get_varint r)
+  | 3 -> Json.Float (Binary.get_f64 r)
+  | 4 -> Json.String (Binary.get_str r)
+  | 5 ->
+    let n = Binary.get_uvarint r in
+    Json.List (List.init n (fun _ -> r_json r))
+  | 6 ->
+    let n = Binary.get_uvarint r in
+    Json.Assoc
+      (List.init n (fun _ ->
+           let name = Binary.get_str r in
+           (name, r_json r)))
+  | n -> bad_tag "json" n
+
+let w_string_list k l =
+  Binary.uvarint k (List.length l);
+  List.iter (Binary.str k) l
+
+let r_string_list r =
+  let n = Binary.get_uvarint r in
+  List.init n (fun _ -> Binary.get_str r)
+
+let w_json_list k l =
+  Binary.uvarint k (List.length l);
+  List.iter (w_json k) l
+
+let r_json_list r =
+  let n = Binary.get_uvarint r in
+  List.init n (fun _ -> r_json r)
+
+let request_write k { op; req } =
+  k.Binary.put_char binary_tag;
+  Binary.uvarint k op;
+  match req with
+  | Get_config p ->
+    Binary.u8 k 0;
+    w_path k p
+  | Set_config (p, vs) ->
+    Binary.u8 k 1;
+    w_path k p;
+    w_json_list k vs
+  | Del_config p ->
+    Binary.u8 k 2;
+    w_path k p
+  | Get_support_perflow h ->
+    Binary.u8 k 3;
+    w_hfl k h
+  | Put_support_perflow c ->
+    Binary.u8 k 4;
+    w_chunk k c
+  | Del_support_perflow h ->
+    Binary.u8 k 5;
+    w_hfl k h
+  | Get_support_shared -> Binary.u8 k 6
+  | Put_support_shared c ->
+    Binary.u8 k 7;
+    w_chunk k c
+  | Get_report_perflow h ->
+    Binary.u8 k 8;
+    w_hfl k h
+  | Put_report_perflow c ->
+    Binary.u8 k 9;
+    w_chunk k c
+  | Del_report_perflow h ->
+    Binary.u8 k 10;
+    w_hfl k h
+  | Get_report_shared -> Binary.u8 k 11
+  | Put_report_shared c ->
+    Binary.u8 k 12;
+    w_chunk k c
+  | Get_stats h ->
+    Binary.u8 k 13;
+    w_hfl k h
+  | Enable_events { codes; key } ->
+    Binary.u8 k 14;
+    w_string_list k codes;
+    w_hfl k key
+  | Disable_events { codes } ->
+    Binary.u8 k 15;
+    w_string_list k codes
+  | Reprocess_packet { key; packet } ->
+    Binary.u8 k 16;
+    w_hfl k key;
+    w_packet k packet
+
+let request_read r =
+  let op = Binary.get_uvarint r in
+  let req =
+    match Binary.get_u8 r with
+    | 0 -> Get_config (r_path r)
+    | 1 ->
+      let p = r_path r in
+      Set_config (p, r_json_list r)
+    | 2 -> Del_config (r_path r)
+    | 3 -> Get_support_perflow (r_hfl r)
+    | 4 -> Put_support_perflow (r_chunk r)
+    | 5 -> Del_support_perflow (r_hfl r)
+    | 6 -> Get_support_shared
+    | 7 -> Put_support_shared (r_chunk r)
+    | 8 -> Get_report_perflow (r_hfl r)
+    | 9 -> Put_report_perflow (r_chunk r)
+    | 10 -> Del_report_perflow (r_hfl r)
+    | 11 -> Get_report_shared
+    | 12 -> Put_report_shared (r_chunk r)
+    | 13 -> Get_stats (r_hfl r)
+    | 14 ->
+      let codes = r_string_list r in
+      Enable_events { codes; key = r_hfl r }
+    | 15 -> Disable_events { codes = r_string_list r }
+    | 16 ->
+      let key = r_hfl r in
+      Reprocess_packet { key; packet = r_packet r }
+    | n -> bad_tag "request" n
+  in
+  { op; req }
+
+let error_to_u8 : Errors.t -> int = function
+  | Granularity_too_fine -> 0
+  | Unknown_mb _ -> 1
+  | Unknown_config_key _ -> 2
+  | Illegal_operation _ -> 3
+  | Bad_chunk _ -> 4
+  | Op_failed _ -> 5
+
+let error_arg : Errors.t -> string = function
+  | Granularity_too_fine -> ""
+  | Unknown_mb s | Unknown_config_key s | Illegal_operation s | Bad_chunk s
+  | Op_failed s ->
+    s
+
+let w_error k e =
+  Binary.u8 k (error_to_u8 e);
+  Binary.str k (error_arg e)
+
+let r_error r : Errors.t =
+  let code = Binary.get_u8 r in
+  let arg = Binary.get_str r in
+  match code with
+  | 0 -> Granularity_too_fine
+  | 1 -> Unknown_mb arg
+  | 2 -> Unknown_config_key arg
+  | 3 -> Illegal_operation arg
+  | 4 -> Bad_chunk arg
+  | 5 -> Op_failed arg
+  | n -> bad_tag "error" n
+
+let w_stats k (s : Southbound.stats) =
+  Binary.uvarint k s.perflow_support_chunks;
+  Binary.uvarint k s.perflow_report_chunks;
+  Binary.uvarint k s.perflow_support_bytes;
+  Binary.uvarint k s.perflow_report_bytes;
+  Binary.uvarint k s.shared_support_bytes;
+  Binary.uvarint k s.shared_report_bytes
+
+let r_stats r : Southbound.stats =
+  let perflow_support_chunks = Binary.get_uvarint r in
+  let perflow_report_chunks = Binary.get_uvarint r in
+  let perflow_support_bytes = Binary.get_uvarint r in
+  let perflow_report_bytes = Binary.get_uvarint r in
+  let shared_support_bytes = Binary.get_uvarint r in
+  {
+    perflow_support_chunks;
+    perflow_report_chunks;
+    perflow_support_bytes;
+    perflow_report_bytes;
+    shared_support_bytes;
+    shared_report_bytes = Binary.get_uvarint r;
+  }
+
+let w_entry k (e : Config_tree.entry) =
+  w_path k e.path;
+  w_json_list k e.values
+
+let r_entry r : Config_tree.entry =
+  let path = r_path r in
+  { path; values = r_json_list r }
+
+let w_event k = function
+  | Event.Reprocess { key; packet } ->
+    Binary.u8 k 0;
+    w_hfl k key;
+    w_packet k packet
+  | Event.Introspect { code; key; info } ->
+    Binary.u8 k 1;
+    Binary.str k code;
+    w_hfl k key;
+    w_json k info
+
+let r_event r =
+  match Binary.get_u8 r with
+  | 0 ->
+    let key = r_hfl r in
+    Event.Reprocess { key; packet = r_packet r }
+  | 1 ->
+    let code = Binary.get_str r in
+    let key = r_hfl r in
+    Event.Introspect { code; key; info = r_json r }
+  | n -> bad_tag "event" n
+
+let from_mb_write k = function
+  | Reply { op; reply } ->
+    k.Binary.put_char binary_tag;
+    Binary.u8 k 0;
+    Binary.uvarint k op;
+    (match reply with
+    | State_chunk c ->
+      Binary.u8 k 0;
+      w_chunk k c
+    | End_of_state { count } ->
+      Binary.u8 k 1;
+      Binary.uvarint k count
+    | Ack -> Binary.u8 k 2
+    | Config_values es ->
+      Binary.u8 k 3;
+      Binary.uvarint k (List.length es);
+      List.iter (w_entry k) es
+    | Stats_reply s ->
+      Binary.u8 k 4;
+      w_stats k s
+    | Op_error e ->
+      Binary.u8 k 5;
+      w_error k e)
+  | Event_msg ev ->
+    k.Binary.put_char binary_tag;
+    Binary.u8 k 1;
+    w_event k ev
+
+let from_mb_read r =
+  match Binary.get_u8 r with
+  | 0 ->
+    let op = Binary.get_uvarint r in
+    let reply =
+      match Binary.get_u8 r with
+      | 0 -> State_chunk (r_chunk r)
+      | 1 -> End_of_state { count = Binary.get_uvarint r }
+      | 2 -> Ack
+      | 3 ->
+        let n = Binary.get_uvarint r in
+        Config_values (List.init n (fun _ -> r_entry r))
+      | 4 -> Stats_reply (r_stats r)
+      | 5 -> Op_error (r_error r)
+      | n -> bad_tag "reply" n
+    in
+    Reply { op; reply }
+  | 1 -> Event_msg (r_event r)
+  | n -> bad_tag "from_mb" n
+
+(* ------------------------------------------------------------------ *)
+(* Wire strings                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let consumed what (r : Binary.reader) =
+  if r.pos <> String.length r.src then
+    raise
+      (Binary.Decode_error
+         (Printf.sprintf "Message: %d trailing bytes after %s"
+            (String.length r.src - r.pos) what))
+
+let to_wire write_binary to_json ~framing v =
+  match framing with
+  | Framing.Json -> Json.to_string (to_json v)
+  | Framing.Binary ->
+    let buf = Buffer.create 128 in
+    write_binary (Binary.buffer_sink buf) v;
+    Buffer.contents buf
+
+let of_wire read_binary of_json what s =
+  if String.length s > 0 && s.[0] = binary_tag then begin
+    let r = Binary.reader ~pos:1 s in
+    let v = read_binary r in
+    consumed what r;
+    v
+  end
+  else of_json (Json.of_string s)
+
+let request_to_wire ?(framing = Framing.Json) m =
+  to_wire request_write request_to_json ~framing m
+
+let request_of_wire s = of_wire request_read request_of_json "request" s
+
+let from_mb_to_wire ?(framing = Framing.Json) m =
+  to_wire from_mb_write from_mb_to_json ~framing m
+
+let from_mb_of_wire s = of_wire from_mb_read from_mb_of_json "reply/event" s
+
+let chunk_to_wire c =
+  let buf = Buffer.create 128 in
+  w_chunk (Binary.buffer_sink buf) c;
+  Binary.frame (Buffer.contents buf)
+
+let chunk_of_wire s =
+  let r = Binary.reader s in
+  let body = Binary.unframe r in
+  consumed "chunk frame" r;
+  let br = Binary.reader body in
+  let c = r_chunk br in
+  consumed "chunk" br;
+  c
+
+(* ------------------------------------------------------------------ *)
 (* Wire sizes                                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* Framing overhead covering the op id, type tag and JSON punctuation.
-   State- and packet-bearing messages avoid materializing the (large)
-   JSON text on the hot path; everything else measures the actual
-   encoding. *)
-let framing = 48
+(* JSON framing overhead covering the op id, type tag and JSON
+   punctuation.  State- and packet-bearing messages avoid materializing
+   the (large) JSON text on the hot path; everything else measures the
+   actual encoding.  The binary sizes are exact: the writers run
+   against a counting sink (no bytes materialized), plus the u32
+   length prefix of the stream frame. *)
+let json_overhead = 48
 
-let request_wire_bytes m =
-  match m.req with
-  | Put_support_perflow c | Put_support_shared c | Put_report_perflow c
-  | Put_report_shared c ->
-    framing + Chunk.size_bytes c + String.length (Hfl.to_string c.key)
-  | Reprocess_packet { key; packet } ->
-    framing + Packet.wire_bytes packet + String.length (Hfl.to_string key)
-  | Get_config _ | Set_config _ | Del_config _ | Get_support_perflow _
-  | Del_support_perflow _ | Get_support_shared | Get_report_perflow _
-  | Del_report_perflow _ | Get_report_shared | Get_stats _ | Enable_events _
-  | Disable_events _ ->
-    Json.wire_size (request_to_json m)
+let counted write v =
+  let k, count = Binary.counting_sink () in
+  write k v;
+  4 + count ()
 
-let reply_wire_bytes = function
-  | Reply { reply = State_chunk c; _ } ->
-    framing + Chunk.size_bytes c + String.length (Hfl.to_string c.key)
-  | Event_msg ev -> framing + Event.wire_bytes ev
-  | Reply { op; reply = (End_of_state _ | Ack | Config_values _ | Stats_reply _ | Op_error _) as reply } ->
-    Json.wire_size (from_mb_to_json (Reply { op; reply }))
+let request_wire_bytes ?(framing:Framing.t = Framing.Json) m =
+  match framing with
+  | Framing.Binary -> counted request_write m
+  | Framing.Json -> (
+    match m.req with
+    | Put_support_perflow c | Put_support_shared c | Put_report_perflow c
+    | Put_report_shared c ->
+      json_overhead + Chunk.size_bytes c + String.length (Hfl.to_string c.key)
+    | Reprocess_packet { key; packet } ->
+      json_overhead + Packet.wire_bytes packet
+      + String.length (Hfl.to_string key)
+    | Get_config _ | Set_config _ | Del_config _ | Get_support_perflow _
+    | Del_support_perflow _ | Get_support_shared | Get_report_perflow _
+    | Del_report_perflow _ | Get_report_shared | Get_stats _ | Enable_events _
+    | Disable_events _ ->
+      Json.wire_size (request_to_json m))
+
+let reply_wire_bytes ?(framing:Framing.t = Framing.Json) m =
+  match framing with
+  | Framing.Binary -> counted from_mb_write m
+  | Framing.Json -> (
+    match m with
+    | Reply { reply = State_chunk c; _ } ->
+      json_overhead + Chunk.size_bytes c + String.length (Hfl.to_string c.key)
+    | Event_msg ev -> json_overhead + Event.wire_bytes ev
+    | Reply
+        {
+          op;
+          reply = (End_of_state _ | Ack | Config_values _ | Stats_reply _ | Op_error _) as reply;
+        } ->
+      Json.wire_size (from_mb_to_json (Reply { op; reply })))
 
 (* ------------------------------------------------------------------ *)
 (* Descriptions                                                        *)

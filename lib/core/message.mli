@@ -57,11 +57,39 @@ val from_mb_of_json : Openmb_wire.Json.t -> from_mb
 (** Raises [Invalid_argument] on messages not produced by
     {!from_mb_to_json}. *)
 
-val request_wire_bytes : to_mb -> int
-(** Wire size of the message; dominated by chunk/packet bodies for
-    state-bearing messages. *)
+(** {1 Wire strings}
 
-val reply_wire_bytes : from_mb -> int
+    Each message also has a compact binary encoding
+    ({!Openmb_wire.Framing.Binary}): a [0x42] tag byte followed by
+    varint/fixed-width fields ({!Openmb_wire.Binary}).  The decoders
+    accept either encoding — binary bodies are recognized by their tag
+    byte, anything else is parsed as JSON — so a channel that never
+    negotiated binary framing keeps working. *)
+
+val request_to_wire : ?framing:Openmb_wire.Framing.t -> to_mb -> string
+(** Encode under the given framing (default [Json]). *)
+
+val request_of_wire : string -> to_mb
+(** Decode either framing.  Raises [Openmb_wire.Binary.Decode_error] on
+    malformed binary input and [Invalid_argument] /
+    [Openmb_wire.Json.Parse_error] on malformed JSON. *)
+
+val from_mb_to_wire : ?framing:Openmb_wire.Framing.t -> from_mb -> string
+val from_mb_of_wire : string -> from_mb
+
+val chunk_to_wire : Chunk.t -> string
+(** Standalone length-prefixed binary frame for one state chunk (bulk
+    state streams). *)
+
+val chunk_of_wire : string -> Chunk.t
+
+val request_wire_bytes : ?framing:Openmb_wire.Framing.t -> to_mb -> int
+(** Wire size of the message; dominated by chunk/packet bodies for
+    state-bearing messages.  JSON sizes are the prototype's estimates;
+    binary sizes are exact (computed against a counting sink, including
+    the frame's length prefix). *)
+
+val reply_wire_bytes : ?framing:Openmb_wire.Framing.t -> from_mb -> int
 
 val describe_request : request -> string
 (** Short label like ["getSupportPerflow nw_src=1.1.1.0/24"]. *)

@@ -1,9 +1,23 @@
 open Openmb_net
 
-type 'a entry = { key : Hfl.t; mutable value : 'a; mutable moved : bool }
+type 'a entry = {
+  key : Hfl.t;
+  id : string Lazy.t;
+  mutable value : 'a;
+  mutable moved : bool;
+}
+
+module Ptbl = Five_tuple.Packed_table
 
 type 'a t = {
   granularity : Hfl.granularity;
+  (* Full-granularity tables probe this packed-int hash on the packet
+     path: no field list, no key string, no per-lookup allocation
+     beyond the two-word packed key. *)
+  packed : 'a entry Ptbl.t option;
+  (* Coarse-granularity keys — and, for packed tables, the rare
+     imported key that does not pin a full five-tuple — live here under
+     their string form. *)
   by_key : (string, 'a entry) Hashtbl.t;
   (* Optional secondary index: source address -> entries, serving
      exact-source and host-prefix requests in O(matches) instead of a
@@ -12,13 +26,21 @@ type 'a t = {
   mutable move_filters : Hfl.t list;
 }
 
-let create ?(indexed = false) ~granularity () =
+let is_full_granularity g = List.length (List.sort_uniq Stdlib.compare g) = 5
+
+let create ?(indexed = false) ?packed ~granularity () =
+  let use_packed =
+    match packed with Some b -> b | None -> is_full_granularity granularity
+  in
   {
     granularity;
-    by_key = Hashtbl.create 64;
+    packed = (if use_packed then Some (Ptbl.create 64) else None);
+    by_key = Hashtbl.create (if use_packed then 8 else 64);
     by_src = (if indexed then Some (Hashtbl.create 64) else None);
     move_filters = [];
   }
+
+let mk_entry key value moved = { key; id = lazy (Hfl.to_string key); value; moved }
 
 let src_of_key key =
   List.find_map
@@ -40,7 +62,7 @@ let index_add t (e : 'a entry) =
         Hashtbl.replace idx src b;
         b
     in
-    Hashtbl.replace bucket (Hfl.to_string e.key) e
+    Hashtbl.replace bucket (Lazy.force e.id) e
   | (Some _ | None), _ -> ()
 
 let index_remove t (e : 'a entry) =
@@ -48,46 +70,91 @@ let index_remove t (e : 'a entry) =
   | Some idx, Some src -> (
     match Hashtbl.find_opt idx src with
     | Some bucket ->
-      Hashtbl.remove bucket (Hfl.to_string e.key);
+      Hashtbl.remove bucket (Lazy.force e.id);
       if Hashtbl.length bucket = 0 then Hashtbl.remove idx src
     | None -> ())
   | (Some _ | None), _ -> ()
 
 let granularity t = t.granularity
-let size t = Hashtbl.length t.by_key
+
+let size t =
+  Hashtbl.length t.by_key
+  + match t.packed with Some p -> Ptbl.length p | None -> 0
+
 let key_of t tup = Hfl.key_of_tuple t.granularity tup
 
-let find t tup = Hashtbl.find_opt t.by_key (Hfl.to_string (key_of t tup))
+let find t tup =
+  match t.packed with
+  | Some ptbl -> Ptbl.find_opt ptbl (Five_tuple.pack tup)
+  | None -> Hashtbl.find_opt t.by_key (Hfl.to_string (key_of t tup))
 
 let find_bidir t tup =
-  match find t tup with
-  | Some e -> Some e
-  | None -> find t (Five_tuple.reverse tup)
+  match t.packed with
+  | Some ptbl -> (
+    let k = Five_tuple.pack tup in
+    match Ptbl.find_opt ptbl k with
+    | Some e -> Some e
+    | None -> Ptbl.find_opt ptbl (Five_tuple.packed_reverse k))
+  | None -> (
+    match find t tup with
+    | Some e -> Some e
+    | None -> find t (Five_tuple.reverse tup))
+
+(* State created while a covering move is in progress belongs to the
+   destination: flag it immediately so its packets are re-processed
+   there (the flow started after the export scan and its record will
+   never be put — the replayed packets rebuild it at the destination
+   from scratch). *)
+let born_moved t key = List.exists (fun f -> Hfl.subsumes f key) t.move_filters
 
 let find_or_create t tup ~default =
-  match find_bidir t tup with
-  | Some e -> (e, false)
-  | None ->
-    let key = key_of t tup in
-    (* State created while a covering move is in progress belongs to
-       the destination: flag it immediately so its packets are
-       re-processed there (the flow started after the export scan and
-       its record will never be put — the replayed packets rebuild it
-       at the destination from scratch). *)
-    let moved = List.exists (fun f -> Hfl.subsumes f key) t.move_filters in
-    let e = { key; value = default (); moved } in
-    Hashtbl.replace t.by_key (Hfl.to_string key) e;
-    index_add t e;
-    (e, true)
+  match t.packed with
+  | Some ptbl -> (
+    let k = Five_tuple.pack tup in
+    match Ptbl.find_opt ptbl k with
+    | Some e -> (e, false)
+    | None -> (
+      match Ptbl.find_opt ptbl (Five_tuple.packed_reverse k) with
+      | Some e -> (e, false)
+      | None ->
+        let key = key_of t tup in
+        let e = mk_entry key (default ()) (born_moved t key) in
+        Ptbl.replace ptbl k e;
+        index_add t e;
+        (e, true)))
+  | None -> (
+    match find_bidir t tup with
+    | Some e -> (e, false)
+    | None ->
+      let key = key_of t tup in
+      let e = mk_entry key (default ()) (born_moved t key) in
+      Hashtbl.replace t.by_key (Hfl.to_string key) e;
+      index_add t e;
+      (e, true))
 
-let insert t ~key value =
+let insert_string t ~key value =
   let id = Hfl.to_string key in
   (match Hashtbl.find_opt t.by_key id with
   | Some old -> index_remove t old
   | None -> ());
-  let e = { key; value; moved = false } in
+  let e = mk_entry key value false in
   Hashtbl.replace t.by_key id e;
   index_add t e
+
+let insert t ~key value =
+  match t.packed with
+  | Some ptbl -> (
+    match Hfl.to_tuple key with
+    | Some tup ->
+      let k = Five_tuple.pack tup in
+      (match Ptbl.find_opt ptbl k with
+      | Some old -> index_remove t old
+      | None -> ());
+      let e = mk_entry key value false in
+      Ptbl.replace ptbl k e;
+      index_add t e
+    | None -> insert_string t ~key value)
+  | None -> insert_string t ~key value
 
 (* A request pinning the source to a single host can be served from the
    index; anything else falls back to the linear scan the paper's
@@ -107,21 +174,32 @@ let indexed_candidates t hfl =
           None)
       hfl
 
+let fold_entries t ~init ~f =
+  let acc =
+    match t.packed with
+    | Some ptbl -> Ptbl.fold (fun _ e acc -> f acc e) ptbl init
+    | None -> init
+  in
+  Hashtbl.fold (fun _ e acc -> f acc e) t.by_key acc
+
 let matching t hfl =
   match indexed_candidates t hfl with
   | Some candidates -> List.filter (fun e -> Hfl.subsumes hfl e.key) candidates
   | None ->
-    Hashtbl.fold
-      (fun _ e acc -> if Hfl.subsumes hfl e.key then e :: acc else acc)
-      t.by_key []
+    fold_entries t ~init:[] ~f:(fun acc e -> if Hfl.subsumes hfl e.key then e :: acc else acc)
+
+let remove_entry t (e : 'a entry) =
+  (match t.packed with
+  | Some ptbl -> (
+    match Hfl.to_tuple e.key with
+    | Some tup -> Ptbl.remove ptbl (Five_tuple.pack tup)
+    | None -> Hashtbl.remove t.by_key (Lazy.force e.id))
+  | None -> Hashtbl.remove t.by_key (Lazy.force e.id));
+  index_remove t e
 
 let remove_matching t hfl =
   let hits = matching t hfl in
-  List.iter
-    (fun e ->
-      Hashtbl.remove t.by_key (Hfl.to_string e.key);
-      index_remove t e)
-    hits;
+  List.iter (remove_entry t) hits;
   hits
 
 (* The deferred delete that completes a move (Fig. 5) must only remove
@@ -131,29 +209,47 @@ let remove_matching t hfl =
    and loses state. *)
 let remove_moved_matching t hfl =
   let hits = List.filter (fun e -> e.moved) (matching t hfl) in
-  List.iter
-    (fun e ->
-      Hashtbl.remove t.by_key (Hfl.to_string e.key);
-      index_remove t e)
-    hits;
+  List.iter (remove_entry t) hits;
   hits
 
 let remove_key t key =
-  let id = Hfl.to_string key in
-  match Hashtbl.find_opt t.by_key id with
-  | Some e ->
-    Hashtbl.remove t.by_key id;
-    index_remove t e;
-    true
-  | None -> false
+  match t.packed with
+  | Some ptbl -> (
+    match Hfl.to_tuple key with
+    | Some tup -> (
+      let k = Five_tuple.pack tup in
+      match Ptbl.find_opt ptbl k with
+      | Some e ->
+        Ptbl.remove ptbl k;
+        index_remove t e;
+        true
+      | None -> false)
+    | None -> (
+      let id = Hfl.to_string key in
+      match Hashtbl.find_opt t.by_key id with
+      | Some e ->
+        Hashtbl.remove t.by_key id;
+        index_remove t e;
+        true
+      | None -> false))
+  | None -> (
+    let id = Hfl.to_string key in
+    match Hashtbl.find_opt t.by_key id with
+    | Some e ->
+      Hashtbl.remove t.by_key id;
+      index_remove t e;
+      true
+    | None -> false)
 
 let add_move_filter t hfl = t.move_filters <- hfl :: t.move_filters
 
 let remove_move_filter t hfl =
   t.move_filters <- List.filter (fun f -> not (Hfl.equal f hfl)) t.move_filters
 
-let iter t f = Hashtbl.iter (fun _ e -> f e) t.by_key
-let fold t ~init ~f = Hashtbl.fold (fun _ e acc -> f acc e) t.by_key init
+let iter t f = fold_entries t ~init:() ~f:(fun () e -> f e)
+let fold t ~init ~f = fold_entries t ~init ~f
+
 let clear t =
+  (match t.packed with Some ptbl -> Ptbl.reset ptbl | None -> ());
   Hashtbl.reset t.by_key;
   match t.by_src with Some idx -> Hashtbl.reset idx | None -> ()

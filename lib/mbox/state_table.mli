@@ -12,6 +12,9 @@
 
 type 'a entry = {
   key : Openmb_net.Hfl.t;  (** The entry's state key at MB granularity. *)
+  id : string Lazy.t;
+      (** Memoized [Hfl.to_string key], so index maintenance and
+          coarse-key bookkeeping never re-stringify the key. *)
   mutable value : 'a;
   mutable moved : bool;
       (** Set when the entry has been exported by a get; packet-driven
@@ -20,12 +23,23 @@ type 'a entry = {
 
 type 'a t
 
-val create : ?indexed:bool -> granularity:Openmb_net.Hfl.granularity -> unit -> 'a t
+val create :
+  ?indexed:bool ->
+  ?packed:bool ->
+  granularity:Openmb_net.Hfl.granularity ->
+  unit ->
+  'a t
 (** With [indexed] (default false), a secondary source-address index
     accelerates {!matching} for exact-source requests from a full scan
     to O(matches) — the paper's footnote-6 suggestion of adopting
     switch-style lookup structures.  Results are identical either
-    way. *)
+    way.
+
+    Full-granularity tables are keyed by packed integer five-tuples
+    ({!Openmb_net.Five_tuple.pack}), so the packet path never builds a
+    field list or key string; coarser granularities keep string keys.
+    [packed] overrides that automatic choice (used by the equivalence
+    tests); behaviour is identical either way. *)
 
 val granularity : 'a t -> Openmb_net.Hfl.granularity
 

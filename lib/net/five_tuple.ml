@@ -57,3 +57,59 @@ module Table = Hashtbl.Make (struct
   let equal = equal
   let hash = hash
 end)
+
+(* ------------------------------------------------------------------ *)
+(* Packed keys                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The whole five-tuple fits in 98 bits, i.e. two native ints on 64-bit
+   platforms: [pa] = src_ip:32 | src_port:16 and [pb] = dst_ip:32 |
+   dst_port:16 | proto:2.  The hash is precomputed at pack time so hot
+   lookups neither allocate nor walk any structure. *)
+type packed = { pa : int; pb : int; phash : int }
+
+let proto_code = function Packet.Tcp -> 0 | Packet.Udp -> 1 | Packet.Icmp -> 2
+let proto_of_code = function 0 -> Packet.Tcp | 1 -> Packet.Udp | _ -> Packet.Icmp
+
+(* SplitMix-style finalizer over the two words. *)
+let mix pa pb =
+  let h = pa lxor (pb * 0x100000001B3) in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 32)) land max_int
+
+let pack_ints src_ip src_port dst_ip dst_port code =
+  let pa = (src_ip lsl 16) lor (src_port land 0xFFFF) in
+  let pb = (dst_ip lsl 18) lor ((dst_port land 0xFFFF) lsl 2) lor code in
+  { pa; pb; phash = mix pa pb }
+
+let pack t =
+  pack_ints (Addr.to_int t.src_ip) t.src_port (Addr.to_int t.dst_ip) t.dst_port
+    (proto_code t.proto)
+
+let pack_packet (p : Packet.t) =
+  pack_ints (Addr.to_int p.src_ip) p.src_port (Addr.to_int p.dst_ip) p.dst_port
+    (proto_code p.proto)
+
+let packed_reverse k =
+  pack_ints (k.pb lsr 18) ((k.pb lsr 2) land 0xFFFF) (k.pa lsr 16) (k.pa land 0xFFFF)
+    (k.pb land 3)
+
+let unpack k =
+  {
+    src_ip = Addr.of_int (k.pa lsr 16);
+    src_port = k.pa land 0xFFFF;
+    dst_ip = Addr.of_int (k.pb lsr 18);
+    dst_port = (k.pb lsr 2) land 0xFFFF;
+    proto = proto_of_code (k.pb land 3);
+  }
+
+let packed_equal a b = a.pa = b.pa && a.pb = b.pb
+let packed_hash k = k.phash
+
+module Packed_table = Hashtbl.Make (struct
+  type t = packed
+
+  let equal = packed_equal
+  let hash = packed_hash
+end)

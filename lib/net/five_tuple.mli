@@ -30,3 +30,30 @@ val pp : Format.formatter -> t -> unit
 
 module Table : Hashtbl.S with type key = t
 (** Hash tables keyed by five-tuples (direction-sensitive). *)
+
+(** {2 Packed keys}
+
+    A five-tuple packed into two native ints with a precomputed hash:
+    the allocation-free key the packet path probes state and flow
+    tables with.  Requires a 64-bit platform (the 98 key bits are split
+    48/50 across the two words). *)
+
+type packed
+(** An immutable packed five-tuple key. *)
+
+val pack : t -> packed
+
+val pack_packet : Packet.t -> packed
+(** [pack_packet p] is [pack (of_packet p)] without building the
+    intermediate tuple. *)
+
+val packed_reverse : packed -> packed
+(** Packed key of the opposite direction. *)
+
+val unpack : packed -> t
+
+val packed_equal : packed -> packed -> bool
+val packed_hash : packed -> int
+
+module Packed_table : Hashtbl.S with type key = packed
+(** Hash tables keyed by packed five-tuples (direction-sensitive). *)

@@ -9,44 +9,209 @@ type rule = {
   mutable bytes : int;
 }
 
-type t = { mutable rules : rule list; mutable next_cookie : int }
-(* [rules] is kept sorted: descending priority, then ascending cookie
-   (insertion order) so that lookup is a single scan. *)
-
-let create () = { rules = []; next_cookie = 0 }
-
 let rule_order a b =
   let c = Int.compare b.priority a.priority in
   if c <> 0 then c else Int.compare a.cookie b.cookie
 
+let proto_code = function Packet.Tcp -> 0 | Packet.Udp -> 1 | Packet.Icmp -> 2
+
+let mask_of_len len = if len = 0 then 0 else 0xFFFFFFFF lsl (32 - len) land 0xFFFFFFFF
+
+(* Wildcard rules compiled to struct-of-arrays integer mask/value rows,
+   sorted like the old rule list (descending priority, then ascending
+   cookie) so the first matching row wins.  The scan does no list
+   walking, closure calls or tuple allocation; ports/proto use [-1] as
+   the wildcard sentinel.  Rows whose HFL constrains a dimension twice
+   cannot be expressed as one mask/value pair and fall back to the
+   generic matcher ([generic] flag). *)
+type wildset = {
+  wrules : rule array;
+  wprio : int array;
+  wsmask : int array;
+  wsbase : int array;
+  wdmask : int array;
+  wdbase : int array;
+  wsport : int array;
+  wdport : int array;
+  wproto : int array;
+  wgeneric : bool array;
+}
+
+let empty_wildset =
+  {
+    wrules = [||];
+    wprio = [||];
+    wsmask = [||];
+    wsbase = [||];
+    wdmask = [||];
+    wdbase = [||];
+    wsport = [||];
+    wdport = [||];
+    wproto = [||];
+    wgeneric = [||];
+  }
+
+let compile_wildset rules =
+  let rules = Array.of_list (List.sort rule_order rules) in
+  let n = Array.length rules in
+  let w =
+    {
+      wrules = rules;
+      wprio = Array.make n 0;
+      wsmask = Array.make n 0;
+      wsbase = Array.make n 0;
+      wdmask = Array.make n 0;
+      wdbase = Array.make n 0;
+      wsport = Array.make n (-1);
+      wdport = Array.make n (-1);
+      wproto = Array.make n (-1);
+      wgeneric = Array.make n false;
+    }
+  in
+  Array.iteri
+    (fun i r ->
+      w.wprio.(i) <- r.priority;
+      let seen_s = ref false and seen_d = ref false in
+      let ok = ref true in
+      List.iter
+        (fun f ->
+          match f with
+          | Hfl.Src_ip p ->
+            if !seen_s then ok := false
+            else begin
+              seen_s := true;
+              w.wsmask.(i) <- mask_of_len (Addr.prefix_len p);
+              w.wsbase.(i) <- Addr.to_int (Addr.prefix_base p)
+            end
+          | Hfl.Dst_ip p ->
+            if !seen_d then ok := false
+            else begin
+              seen_d := true;
+              w.wdmask.(i) <- mask_of_len (Addr.prefix_len p);
+              w.wdbase.(i) <- Addr.to_int (Addr.prefix_base p)
+            end
+          | Hfl.Src_port v ->
+            if w.wsport.(i) >= 0 then ok := false else w.wsport.(i) <- v
+          | Hfl.Dst_port v ->
+            if w.wdport.(i) >= 0 then ok := false else w.wdport.(i) <- v
+          | Hfl.Proto v ->
+            if w.wproto.(i) >= 0 then ok := false else w.wproto.(i) <- proto_code v)
+        r.match_;
+      if not !ok then w.wgeneric.(i) <- true)
+    rules;
+  w
+
+type t = {
+  (* Full-five-tuple rules, probed by packed key in O(1).  Each list is
+     kept in [rule_order] so the head is the winning candidate; a list
+     longer than one holds identical duplicate matches at different
+     priorities or install times. *)
+  exact : rule list Five_tuple.Packed_table.t;
+  mutable exact_count : int;
+  mutable wild : wildset;
+  mutable next_cookie : int;
+}
+
+let create () =
+  {
+    exact = Five_tuple.Packed_table.create 64;
+    exact_count = 0;
+    wild = empty_wildset;
+    next_cookie = 0;
+  }
+
 let install t ~priority ~match_ ~action =
   let rule = { cookie = t.next_cookie; priority; match_; action; packets = 0; bytes = 0 } in
   t.next_cookie <- t.next_cookie + 1;
-  t.rules <- List.sort rule_order (rule :: t.rules);
+  (match Hfl.to_tuple match_ with
+  | Some tup ->
+    let k = Five_tuple.pack tup in
+    let existing =
+      match Five_tuple.Packed_table.find_opt t.exact k with Some rs -> rs | None -> []
+    in
+    Five_tuple.Packed_table.replace t.exact k (List.sort rule_order (rule :: existing));
+    t.exact_count <- t.exact_count + 1
+  | None -> t.wild <- compile_wildset (rule :: Array.to_list t.wild.wrules));
   rule
 
-let remove t ~cookie =
-  let before = List.length t.rules in
-  t.rules <- List.filter (fun r -> r.cookie <> cookie) t.rules;
-  List.length t.rules < before
+(* Remove every rule rejected by [keep]; returns how many went. *)
+let filter_rules t keep =
+  let removed = ref 0 in
+  let victims =
+    Five_tuple.Packed_table.fold
+      (fun k rs acc -> if List.for_all keep rs then acc else (k, rs) :: acc)
+      t.exact []
+  in
+  List.iter
+    (fun (k, rs) ->
+      let rs' = List.filter keep rs in
+      removed := !removed + (List.length rs - List.length rs');
+      match rs' with
+      | [] -> Five_tuple.Packed_table.remove t.exact k
+      | rs' -> Five_tuple.Packed_table.replace t.exact k rs')
+    victims;
+  t.exact_count <- t.exact_count - !removed;
+  if not (Array.for_all (fun r -> keep r) t.wild.wrules) then begin
+    let kept = List.filter keep (Array.to_list t.wild.wrules) in
+    removed := !removed + (Array.length t.wild.wrules - List.length kept);
+    t.wild <- compile_wildset kept
+  end;
+  !removed
 
-let remove_matching t hfl =
-  let before = List.length t.rules in
-  t.rules <- List.filter (fun r -> not (Hfl.equal r.match_ hfl)) t.rules;
-  before - List.length t.rules
+let remove t ~cookie = filter_rules t (fun r -> r.cookie <> cookie) > 0
+
+let remove_matching t hfl = filter_rules t (fun r -> not (Hfl.equal r.match_ hfl))
 
 let lookup t p =
-  let rec scan = function
-    | [] -> None
-    | r :: rest ->
-      if Hfl.matches_packet r.match_ p then begin
-        r.packets <- r.packets + 1;
-        r.bytes <- r.bytes + Packet.wire_bytes p;
-        Some r.action
-      end
-      else scan rest
+  let exact_hit =
+    if t.exact_count = 0 then None
+    else
+      match Five_tuple.Packed_table.find_opt t.exact (Five_tuple.pack_packet p) with
+      | Some (r :: _) -> Some r
+      | Some [] | None -> None
   in
-  scan t.rules
+  let w = t.wild in
+  let n = Array.length w.wrules in
+  let src = Addr.to_int p.src_ip and dst = Addr.to_int p.dst_ip in
+  let sp = p.src_port and dp = p.dst_port in
+  let pr = proto_code p.proto in
+  (* Rows below the exact candidate's priority cannot win: the scan
+     stops there (ties still need the cookie comparison below). *)
+  let cutoff = match exact_hit with Some re -> re.priority | None -> min_int in
+  let rec scan j =
+    if j >= n || Array.unsafe_get w.wprio j < cutoff then None
+    else
+      let matched =
+        if Array.unsafe_get w.wgeneric j then
+          Hfl.matches_packet (Array.unsafe_get w.wrules j).match_ p
+        else
+          src land Array.unsafe_get w.wsmask j = Array.unsafe_get w.wsbase j
+          && dst land Array.unsafe_get w.wdmask j = Array.unsafe_get w.wdbase j
+          && (let x = Array.unsafe_get w.wsport j in
+              x < 0 || x = sp)
+          && (let x = Array.unsafe_get w.wdport j in
+              x < 0 || x = dp)
+          &&
+          let x = Array.unsafe_get w.wproto j in
+          x < 0 || x = pr
+      in
+      if matched then Some (Array.unsafe_get w.wrules j) else scan (j + 1)
+  in
+  let hit =
+    match (exact_hit, scan 0) with
+    | Some a, Some b -> if rule_order a b <= 0 then Some a else Some b
+    | (Some _ as h), None | None, (Some _ as h) -> h
+    | None, None -> None
+  in
+  match hit with
+  | Some r ->
+    r.packets <- r.packets + 1;
+    r.bytes <- r.bytes + Packet.wire_bytes p;
+    Some r.action
+  | None -> None
 
-let rules t = t.rules
-let size t = List.length t.rules
+let rules t =
+  let exact = Five_tuple.Packed_table.fold (fun _ rs acc -> rs @ acc) t.exact [] in
+  List.sort rule_order (exact @ Array.to_list t.wild.wrules)
+
+let size t = t.exact_count + Array.length t.wild.wrules

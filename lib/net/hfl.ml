@@ -53,6 +53,39 @@ let well_formed hfl =
 let compatible_with_granularity hfl g =
   List.for_all (fun f -> List.mem (dim_of_field f) g) hfl
 
+(* Inverse of [key_of_tuple full_granularity]: the tuple an HFL pins
+   exactly, when it constrains every dimension to a single value. *)
+let to_tuple hfl =
+  let src = ref (-1) and dst = ref (-1) in
+  let sport = ref (-1) and dport = ref (-1) in
+  let proto = ref None in
+  let exact = ref true in
+  List.iter
+    (fun f ->
+      match f with
+      | Src_ip p ->
+        if Addr.prefix_len p = 32 && !src < 0 then src := Addr.to_int (Addr.prefix_base p)
+        else exact := false
+      | Dst_ip p ->
+        if Addr.prefix_len p = 32 && !dst < 0 then dst := Addr.to_int (Addr.prefix_base p)
+        else exact := false
+      | Src_port v -> if !sport < 0 then sport := v else exact := false
+      | Dst_port v -> if !dport < 0 then dport := v else exact := false
+      | Proto v -> (
+        match !proto with None -> proto := Some v | Some _ -> exact := false))
+    hfl;
+  match !proto with
+  | Some proto when !exact && !src >= 0 && !dst >= 0 && !sport >= 0 && !dport >= 0 ->
+    Some
+      {
+        Five_tuple.src_ip = Addr.of_int !src;
+        dst_ip = Addr.of_int !dst;
+        src_port = !sport;
+        dst_port = !dport;
+        proto;
+      }
+  | Some _ | None -> None
+
 let key_of_tuple g (tup : Five_tuple.t) =
   List.filter_map
     (fun d ->
@@ -98,9 +131,33 @@ let field_equal a b =
   | Proto p, Proto q -> p = q
   | (Src_ip _ | Dst_ip _ | Src_port _ | Dst_port _ | Proto _), _ -> false
 
+let dim_rank = function
+  | Dim_src_ip -> 0
+  | Dim_dst_ip -> 1
+  | Dim_src_port -> 2
+  | Dim_dst_port -> 3
+  | Dim_proto -> 4
+
+(* Total order on fields: by dimension, then by value — the canonical
+   order used to compare constraint lists. *)
+let field_compare a b =
+  let c = Int.compare (dim_rank (dim_of_field a)) (dim_rank (dim_of_field b)) in
+  if c <> 0 then c
+  else
+    match (a, b) with
+    | Src_ip p, Src_ip q | Dst_ip p, Dst_ip q ->
+      let c = Int.compare (Addr.to_int (Addr.prefix_base p)) (Addr.to_int (Addr.prefix_base q)) in
+      if c <> 0 then c else Int.compare (Addr.prefix_len p) (Addr.prefix_len q)
+    | Src_port p, Src_port q | Dst_port p, Dst_port q -> Int.compare p q
+    | Proto p, Proto q -> Stdlib.compare p q
+    | (Src_ip _ | Dst_ip _ | Src_port _ | Dst_port _ | Proto _), _ -> 0 (* same dim *)
+
+(* Equality up to constraint order, via canonical sorting.  (Mutual
+   existence checks are not enough: [A;A] would equal [A;B].) *)
 let equal a b =
-  List.length a = List.length b
-  && List.for_all (fun fa -> List.exists (field_equal fa) b) a
+  a == b
+  || List.length a = List.length b
+     && List.equal field_equal (List.sort field_compare a) (List.sort field_compare b)
 
 let pp fmt hfl =
   if hfl = [] then Format.pp_print_string fmt "<any>"

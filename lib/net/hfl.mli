@@ -69,6 +69,17 @@ val key_of_tuple : granularity -> Five_tuple.t -> t
     yielding the exact-match HFL that names the state chunk for that
     flow at that MB. *)
 
+val to_tuple : t -> Five_tuple.t option
+(** [to_tuple hfl] is the five-tuple [hfl] pins exactly — [Some tup]
+    iff [hfl] constrains all five dimensions, each to a single value
+    (/32 IP prefixes, one port, one protocol; no duplicate
+    dimensions).  Inverse of [key_of_tuple full_granularity], up to
+    constraint order. *)
+
+val field_compare : field -> field -> int
+(** Total order on constraints: dimension first, then value.  Sorting
+    by it yields the canonical form used by {!equal}. *)
+
 val equal : t -> t -> bool
 (** Equality up to constraint order. *)
 

@@ -75,8 +75,11 @@ let pop h =
   end
 
 let clear h =
+  (* Drop the backing array too: the slots above [len] would otherwise
+     keep every queued element reachable after a clear. *)
   h.len <- 0;
-  h.next_seq <- 0
+  h.next_seq <- 0;
+  h.data <- [||]
 
 let to_list h =
   let rec collect i acc =

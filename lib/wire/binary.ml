@@ -1,0 +1,116 @@
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+type sink = { put_char : char -> unit; put_string : string -> unit }
+
+let buffer_sink buf =
+  { put_char = Buffer.add_char buf; put_string = Buffer.add_string buf }
+
+let counting_sink () =
+  let n = ref 0 in
+  ( { put_char = (fun _ -> incr n); put_string = (fun s -> n := !n + String.length s) },
+    fun () -> !n )
+
+let u8 k v = k.put_char (Char.unsafe_chr (v land 0xFF))
+
+let u16 k v =
+  u8 k (v lsr 8);
+  u8 k v
+
+let u32 k v =
+  u8 k (v lsr 24);
+  u8 k (v lsr 16);
+  u8 k (v lsr 8);
+  u8 k v
+
+(* Base-128 emitter over the raw (two's-complement) bit pattern; [lsr]
+   makes the loop terminate for any int. *)
+let rec base128 k v =
+  if v land lnot 0x7F = 0 then u8 k v
+  else begin
+    u8 k (0x80 lor (v land 0x7F));
+    base128 k (v lsr 7)
+  end
+
+let uvarint k v =
+  if v < 0 then invalid_arg "Binary.uvarint: negative";
+  base128 k v
+
+(* Zigzag over OCaml's 63-bit int: sign bit is bit 62. *)
+let varint k v = base128 k ((v lsl 1) lxor (v asr 62))
+
+let f64 k v =
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    k.put_char
+      (Char.unsafe_chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF))
+  done
+
+let str k s =
+  uvarint k (String.length s);
+  k.put_string s
+
+type reader = { src : string; mutable pos : int }
+
+let reader ?(pos = 0) src = { src; pos }
+
+let get_u8 r =
+  if r.pos >= String.length r.src then fail "Binary: truncated input at byte %d" r.pos;
+  let c = Char.code (String.unsafe_get r.src r.pos) in
+  r.pos <- r.pos + 1;
+  c
+
+let get_u16 r =
+  let a = get_u8 r in
+  (a lsl 8) lor get_u8 r
+
+let get_u32 r =
+  let a = get_u16 r in
+  (a lsl 16) lor get_u16 r
+
+let get_uvarint r =
+  let rec go shift acc =
+    if shift > 62 then fail "Binary: varint overflow at byte %d" r.pos;
+    let b = get_u8 r in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let get_varint r =
+  let u = get_uvarint r in
+  (u lsr 1) lxor (0 - (u land 1))
+
+let get_f64 r =
+  let bits = ref 0L in
+  for _ = 0 to 7 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (get_u8 r))
+  done;
+  Int64.float_of_bits !bits
+
+let get_str r =
+  let n = get_uvarint r in
+  if r.pos + n > String.length r.src then
+    fail "Binary: string of %d bytes exceeds input at byte %d" n r.pos;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Length-prefixed frames                                              *)
+(* ------------------------------------------------------------------ *)
+
+let frame body =
+  let buf = Buffer.create (String.length body + 4) in
+  u32 (buffer_sink buf) (String.length body);
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let unframe r =
+  let n = get_u32 r in
+  if r.pos + n > String.length r.src then
+    fail "Binary: frame of %d bytes exceeds input at byte %d" n r.pos;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s

@@ -299,6 +299,138 @@ let test_message_wire_bytes_chunked () =
     (Message.request_wire_bytes msg >= 1000)
 
 (* ------------------------------------------------------------------ *)
+(* Binary codec equivalence                                            *)
+(* ------------------------------------------------------------------ *)
+
+let all_requests () =
+  let key = Hfl.of_string "nw_src=10.0.0.0/24,tp_dst=80" in
+  let chunk kind =
+    Chunk.seal ~mb_kind:kind ~role:Taxonomy.Reporting ~partition:Taxonomy.Per_flow ~key
+      ~plain:"some\nbinary\x01payload"
+  in
+  [
+    Message.Get_config [ "rules"; "http" ];
+    Message.Get_config [];
+    Message.Set_config ([ "cache" ], [ Json.Int 500; Json.String "lru"; Json.Null ]);
+    Message.Del_config [ "rules" ];
+    Message.Get_support_perflow key;
+    Message.Put_support_perflow (chunk "bro");
+    Message.Del_support_perflow key;
+    Message.Get_support_shared;
+    Message.Put_support_shared (chunk "re-encoder");
+    Message.Get_report_perflow key;
+    Message.Put_report_perflow (chunk "prads");
+    Message.Del_report_perflow Hfl.any;
+    Message.Get_report_shared;
+    Message.Put_report_shared (chunk "prads");
+    Message.Get_stats key;
+    Message.Enable_events { codes = [ "nat.new"; "lb.assign" ]; key };
+    Message.Disable_events { codes = [] };
+    Message.Reprocess_packet { key; packet = mk_packet ~id:77 () };
+  ]
+
+let all_replies () =
+  [
+    Message.State_chunk
+      (Chunk.seal ~mb_kind:"prads" ~role:Taxonomy.Reporting ~partition:Taxonomy.Per_flow
+         ~key:(Hfl.of_string "tp_src=99") ~plain:"rec");
+    Message.End_of_state { count = 42 };
+    Message.Ack;
+    Message.Config_values
+      [
+        { Config_tree.path = [ "a"; "b" ]; values = [ Json.Int 1 ] };
+        {
+          Config_tree.path = [ "c" ];
+          values = [ Json.List [ Json.Bool true; Json.Float 2.5 ]; Json.Assoc [ ("k", Json.Null) ] ];
+        };
+      ];
+    Message.Stats_reply
+      {
+        Southbound.perflow_support_chunks = 1;
+        perflow_report_chunks = 2;
+        perflow_support_bytes = 300;
+        perflow_report_bytes = 400;
+        shared_support_bytes = 5;
+        shared_report_bytes = 6;
+      };
+    Message.Op_error Errors.Granularity_too_fine;
+    Message.Op_error (Errors.Unknown_mb "x");
+    Message.Op_error (Errors.Illegal_operation "move shared");
+    Message.Op_error (Errors.Unknown_config_key "a.b");
+    Message.Op_error (Errors.Bad_chunk "mac");
+    Message.Op_error (Errors.Op_failed "boom");
+  ]
+
+let all_events () =
+  [
+    Event.Reprocess { key = Hfl.of_string "tp_dst=80"; packet = mk_packet () };
+    Event.Introspect
+      {
+        code = "nat.new_mapping";
+        key = Hfl.of_string "nw_src=10.0.0.1/32";
+        info = Json.Assoc [ ("ext_port", Json.Int 4242) ];
+      };
+  ]
+
+let test_request_codec_equivalence () =
+  List.iter
+    (fun req ->
+      let msg = { Message.op = 11; req } in
+      let bin = Message.request_to_wire ~framing:Framing.Binary msg in
+      let json = Message.request_to_wire msg in
+      let what = Message.describe_request req in
+      Alcotest.(check bool) (what ^ ": binary is tagged") true (bin.[0] = '\x42');
+      Alcotest.(check bool) (what ^ ": binary decodes") true
+        (Message.request_of_wire bin = msg);
+      Alcotest.(check bool) (what ^ ": json decodes") true
+        (Message.request_of_wire json = msg);
+      Alcotest.(check int)
+        (what ^ ": binary wire bytes are exact")
+        (4 + String.length bin)
+        (Message.request_wire_bytes ~framing:Framing.Binary msg);
+      Alcotest.(check bool) (what ^ ": binary is no larger than json") true
+        (String.length bin <= String.length json))
+    (all_requests ())
+
+let test_reply_codec_equivalence () =
+  let msgs =
+    List.map (fun reply -> Message.Reply { op = 3; reply }) (all_replies ())
+    @ List.map (fun ev -> Message.Event_msg ev) (all_events ())
+  in
+  List.iter
+    (fun msg ->
+      let bin = Message.from_mb_to_wire ~framing:Framing.Binary msg in
+      let json = Message.from_mb_to_wire msg in
+      Alcotest.(check bool) "binary decodes" true (Message.from_mb_of_wire bin = msg);
+      Alcotest.(check bool) "json decodes" true (Message.from_mb_of_wire json = msg);
+      Alcotest.(check int) "binary wire bytes are exact" (4 + String.length bin)
+        (Message.reply_wire_bytes ~framing:Framing.Binary msg))
+    msgs
+
+let test_chunk_wire_roundtrip () =
+  let c =
+    Chunk.seal ~mb_kind:"bro" ~role:Taxonomy.Supporting ~partition:Taxonomy.Shared
+      ~key:(Hfl.of_string "nw_dst=1.1.1.0/24,proto=udp")
+      ~plain:"shared\x00cache"
+  in
+  Alcotest.(check bool) "chunk frame round-trips" true
+    (Message.chunk_of_wire (Message.chunk_to_wire c) = c)
+
+let test_binary_decode_rejects_garbage () =
+  let fails s =
+    match Message.request_of_wire s with
+    | _ -> Alcotest.fail "garbage accepted"
+    | exception Openmb_wire.Binary.Decode_error _ -> ()
+  in
+  (* Tagged as binary but truncated / trailing garbage. *)
+  let bin =
+    Message.request_to_wire ~framing:Framing.Binary
+      { Message.op = 1; req = Message.Get_support_shared }
+  in
+  fails (String.sub bin 0 (String.length bin - 1));
+  fails (bin ^ "\x00")
+
+(* ------------------------------------------------------------------ *)
 (* Controller end-to-end                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -724,6 +856,50 @@ let test_duplicate_connect_rejected () =
     (fun () ->
       Controller.connect ctrl (Mb_agent.create engine ~impl:(Openmb_apps.Dummy_mb.impl mb) ()))
 
+let test_move_under_binary_framing () =
+  (* The negotiated framing only changes byte accounting on the
+     simulated channels; a move must produce identical functional
+     results under either, and binary framing must not inflate the
+     bytes transferred. *)
+  let run ?framing_override config_framing =
+    let engine = Engine.create () in
+    let ctrl =
+      Controller.create engine
+        ~config:{ test_config with Controller.framing = config_framing }
+        ()
+    in
+    let src = Openmb_apps.Dummy_mb.create engine ~name:"src" () in
+    let dst = Openmb_apps.Dummy_mb.create engine ~name:"dst" () in
+    Openmb_apps.Dummy_mb.populate src ~n:20;
+    Controller.connect ctrl (Mb_agent.create engine ~impl:(Openmb_apps.Dummy_mb.impl src) ());
+    Controller.connect ctrl ?framing:framing_override
+      (Mb_agent.create engine ~impl:(Openmb_apps.Dummy_mb.impl dst) ());
+    let result = ref None in
+    Controller.move_internal ctrl ~src:"src" ~dst:"dst" ~key:Hfl.any ~on_done:(fun res ->
+        result := Some res);
+    Engine.run engine;
+    match !result with
+    | Some (Ok mr) ->
+      ( (mr.Controller.chunks_moved, mr.Controller.bytes_moved),
+        mr.Controller.duration,
+        Openmb_apps.Dummy_mb.chunk_count dst,
+        Openmb_apps.Dummy_mb.chunk_count src )
+    | _ -> Alcotest.fail "move failed"
+  in
+  let moved_j, dur_json, dj, sj = run Framing.Json in
+  let moved_b, dur_bin, db, sb = run Framing.Binary in
+  Alcotest.(check (pair int int)) "json moved everything" (20, snd moved_j) moved_j;
+  Alcotest.(check (pair int int)) "identical state accounting" moved_j moved_b;
+  Alcotest.(check (pair int int)) "same dst/src occupancy" (dj, sj) (db, sb);
+  (* Smaller messages on the simulated channels: the move returns
+     sooner under binary framing. *)
+  Alcotest.(check bool) "binary move is faster" true
+    (Time.to_seconds dur_bin < Time.to_seconds dur_json);
+  (* A per-connection override on one MB must coexist with JSON peers. *)
+  let moved_m, _, dm, sm = run ~framing_override:Framing.Binary Framing.Json in
+  Alcotest.(check (pair int int)) "mixed framing same accounting" moved_j moved_m;
+  Alcotest.(check (pair int int)) "mixed framing same occupancy" (dj, sj) (dm, sm)
+
 (* Protocol-level property: an arbitrary sequence of moves between
    three MBs neither loses nor duplicates state — every chunk ends up
    at exactly one instance, and the union of keys is preserved. *)
@@ -800,6 +976,12 @@ let () =
           Alcotest.test_case "reply roundtrips" `Quick test_message_reply_roundtrips;
           Alcotest.test_case "event roundtrips" `Quick test_message_event_roundtrips;
           Alcotest.test_case "chunk wire bytes" `Quick test_message_wire_bytes_chunked;
+          Alcotest.test_case "request codec equivalence" `Quick
+            test_request_codec_equivalence;
+          Alcotest.test_case "reply codec equivalence" `Quick test_reply_codec_equivalence;
+          Alcotest.test_case "chunk wire roundtrip" `Quick test_chunk_wire_roundtrip;
+          Alcotest.test_case "binary decode rejects garbage" `Quick
+            test_binary_decode_rejects_garbage;
         ] );
       ( "controller",
         [
@@ -832,6 +1014,8 @@ let () =
           Alcotest.test_case "event wire bytes" `Quick test_event_wire_bytes;
           Alcotest.test_case "buffered peak tracked" `Quick test_buffered_peak_tracked;
           Alcotest.test_case "duplicate connect" `Quick test_duplicate_connect_rejected;
+          Alcotest.test_case "move under binary framing" `Quick
+            test_move_under_binary_framing;
         ]
         @ qcheck [ prop_moves_conserve_state ] );
     ]

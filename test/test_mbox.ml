@@ -131,6 +131,92 @@ let prop_state_table_index_equivalence =
       in
       keys (mk_tab false) = keys (mk_tab true))
 
+(* A random HFL filter of varying coarseness: a source prefix (host
+   bits cleared) optionally conjoined with a source-port constraint. *)
+let filter_gen =
+  QCheck2.Gen.(
+    map
+      (fun (host, len, port) ->
+        let base =
+          match len with
+          | 32 -> 1 + host
+          | 30 -> (1 + host) land lnot 3
+          | _ -> 0
+        in
+        let prefix = Printf.sprintf "nw_src=10.0.0.%d/%d" base len in
+        match port with
+        | None -> Hfl.of_string prefix
+        | Some p -> Hfl.of_string (Printf.sprintf "%s,tp_src=%d" prefix p))
+      (triple (int_bound 8) (oneofl [ 8; 24; 30; 32 ]) (opt (int_range 1 5000))))
+
+let flow_tuple (host, port) =
+  Five_tuple.of_packet
+    (mk_packet ~src:(Printf.sprintf "10.0.0.%d" (1 + host)) ~sport:port ())
+
+let entry_keys entries =
+  List.sort String.compare
+    (List.map (fun (e : int State_table.entry) -> Hfl.to_string e.key) entries)
+
+let prop_state_table_index_remove_equivalence =
+  QCheck2.Test.make ~name:"indexed remove_matching equals linear" ~count:100
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 40) (pair (int_bound 8) (int_range 1 5000)))
+        filter_gen)
+    (fun (flows, q) ->
+      let mk_tab indexed =
+        let t = State_table.create ~indexed ~granularity:Hfl.full_granularity () in
+        List.iter
+          (fun flow ->
+            ignore (State_table.find_or_create t (flow_tuple flow) ~default:(fun () -> 0)))
+          flows;
+        t
+      in
+      let a = mk_tab false and b = mk_tab true in
+      entry_keys (State_table.remove_matching a q)
+      = entry_keys (State_table.remove_matching b q)
+      && State_table.size a = State_table.size b
+      && entry_keys (State_table.matching a Hfl.any)
+         = entry_keys (State_table.matching b Hfl.any))
+
+let prop_state_table_packed_equivalence =
+  (* Full-granularity tables keyed by packed five-tuples must be
+     observationally identical to the string-keyed implementation,
+     including reverse-direction lookups and removal by filter. *)
+  QCheck2.Test.make ~name:"packed keys equal string keys" ~count:100
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 40) (triple (int_bound 8) (int_range 1 5000) bool))
+        filter_gen)
+    (fun (flows, q) ->
+      let tuple_of (host, port, reversed) =
+        let tup = flow_tuple (host, port) in
+        if reversed then Five_tuple.reverse tup else tup
+      in
+      let mk_tab packed =
+        let t = State_table.create ~packed ~granularity:Hfl.full_granularity () in
+        List.iter
+          (fun flow ->
+            ignore (State_table.find_or_create t (tuple_of flow) ~default:(fun () -> 0)))
+          flows;
+        t
+      in
+      let a = mk_tab true and b = mk_tab false in
+      let probe t tup =
+        let key (e : int State_table.entry) = Hfl.to_string e.key in
+        ( Option.map key (State_table.find t tup),
+          Option.map key (State_table.find t (Five_tuple.reverse tup)),
+          Option.map key (State_table.find_bidir t (Five_tuple.reverse tup)) )
+      in
+      let lookups_agree =
+        List.for_all (fun flow -> probe a (tuple_of flow) = probe b (tuple_of flow)) flows
+      in
+      entry_keys (State_table.matching a q) = entry_keys (State_table.matching b q)
+      && lookups_agree
+      && entry_keys (State_table.remove_matching a q)
+         = entry_keys (State_table.remove_matching b q)
+      && State_table.size a = State_table.size b)
+
 (* ------------------------------------------------------------------ *)
 (* Mb_base                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -955,7 +1041,12 @@ let () =
           Alcotest.test_case "indexed equivalence" `Quick
             test_state_table_indexed_equivalence;
         ]
-        @ qcheck [ prop_state_table_index_equivalence ] );
+        @ qcheck
+            [
+              prop_state_table_index_equivalence;
+              prop_state_table_index_remove_equivalence;
+              prop_state_table_packed_equivalence;
+            ] );
       ( "mb_base",
         [
           Alcotest.test_case "queueing latency" `Quick test_mb_base_queueing_latency;

@@ -86,6 +86,45 @@ let test_five_tuple_reverse_canonical () =
   Alcotest.(check bool) "canonical equal both directions" true
     (Five_tuple.equal (Five_tuple.canonical t) (Five_tuple.canonical r))
 
+let test_packed_roundtrip () =
+  let t = Five_tuple.of_packet (mk_packet ()) in
+  let p = Five_tuple.pack t in
+  Alcotest.(check bool) "unpack inverts pack" true (Five_tuple.equal t (Five_tuple.unpack p));
+  Alcotest.(check bool) "pack_packet agrees with pack" true
+    (Five_tuple.packed_equal p (Five_tuple.pack_packet (mk_packet ())));
+  Alcotest.(check bool) "packed_reverse = pack of reverse" true
+    (Five_tuple.packed_equal (Five_tuple.packed_reverse p)
+       (Five_tuple.pack (Five_tuple.reverse t)));
+  Alcotest.(check int) "hash is deterministic" (Five_tuple.packed_hash p)
+    (Five_tuple.packed_hash (Five_tuple.pack_packet (mk_packet ())))
+
+let tuple_gen =
+  QCheck2.Gen.(
+    map
+      (fun ((sip, dip), (sp, dp), pr) ->
+        {
+          Five_tuple.src_ip = Addr.of_int sip;
+          dst_ip = Addr.of_int dip;
+          src_port = sp;
+          dst_port = dp;
+          proto = (match pr with 0 -> Packet.Tcp | 1 -> Packet.Udp | _ -> Packet.Icmp);
+        })
+      (triple
+         (pair (int_bound 0xFFFFFFFF) (int_bound 0xFFFFFFFF))
+         (pair (int_bound 65535) (int_bound 65535))
+         (int_bound 2)))
+
+let prop_packed_roundtrip =
+  QCheck2.Test.make ~name:"packed key round-trip" ~count:500 tuple_gen (fun t ->
+      let p = Five_tuple.pack t in
+      Five_tuple.equal (Five_tuple.unpack p) t
+      && Five_tuple.packed_equal (Five_tuple.packed_reverse p)
+           (Five_tuple.pack (Five_tuple.reverse t))
+      && Five_tuple.equal
+           (Five_tuple.unpack (Five_tuple.packed_reverse (Five_tuple.packed_reverse p)))
+           t
+      && Five_tuple.packed_hash p = Five_tuple.packed_hash (Five_tuple.pack t))
+
 (* ------------------------------------------------------------------ *)
 (* Header-field lists                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -140,6 +179,35 @@ let test_hfl_key_of_tuple () =
   let full = Hfl.key_of_tuple Hfl.full_granularity t in
   Alcotest.(check bool) "full key matches own packet" true
     (Hfl.matches_packet full (mk_packet ()))
+
+let test_hfl_equal_order_insensitive () =
+  let a = Hfl.of_string "tp_dst=80,nw_src=10.0.0.0/8" in
+  let b = Hfl.of_string "nw_src=10.0.0.0/8,tp_dst=80" in
+  Alcotest.(check bool) "order-insensitive" true (Hfl.equal a b);
+  Alcotest.(check bool) "distinct lists differ" false
+    (Hfl.equal a (Hfl.of_string "tp_dst=80"));
+  (* Regression: a repeated constraint must not absorb a different one
+     on the same dimension, in either argument order. *)
+  let dup = Hfl.of_string "tp_dst=80,tp_dst=80" in
+  let two = Hfl.of_string "tp_dst=80,tp_dst=81" in
+  Alcotest.(check bool) "dup vs distinct" false (Hfl.equal dup two);
+  Alcotest.(check bool) "distinct vs dup" false (Hfl.equal two dup);
+  Alcotest.(check bool) "dup equals itself" true (Hfl.equal dup dup)
+
+let test_hfl_to_tuple () =
+  let t = Five_tuple.of_packet (mk_packet ()) in
+  let full = Hfl.key_of_tuple Hfl.full_granularity t in
+  (match Hfl.to_tuple full with
+  | Some t' ->
+    Alcotest.(check bool) "inverts full projection" true (Five_tuple.equal t t')
+  | None -> Alcotest.fail "full key should pin a tuple");
+  Alcotest.(check bool) "partial key pins nothing" true
+    (Hfl.to_tuple (Hfl.of_string "nw_src=10.0.0.1/32,tp_dst=80") = None);
+  Alcotest.(check bool) "wide prefix pins nothing" true
+    (Hfl.to_tuple
+       (Hfl.of_string "nw_src=10.0.0.0/24,nw_dst=1.1.1.5/32,tp_src=1234,tp_dst=80,proto=tcp")
+    = None);
+  Alcotest.(check bool) "empty pins nothing" true (Hfl.to_tuple Hfl.any = None)
 
 let test_hfl_well_formed () =
   Alcotest.(check bool) "dup dim" false
@@ -227,6 +295,110 @@ let test_flow_table_remove_matching () =
   ignore (Flow_table.install t ~priority:1 ~match_:Hfl.any ~action:Flow_table.Drop);
   Alcotest.(check int) "removed both" 2 (Flow_table.remove_matching t m);
   Alcotest.(check int) "one left" 1 (Flow_table.size t)
+
+(* Full five-tuple matches take the exact-match hash path; these tests
+   pin its interaction with wildcard rules, priorities and removal. *)
+
+let exact_hfl ?(sport = 1234) () =
+  Hfl.of_string
+    (Printf.sprintf "nw_src=10.0.0.1/32,nw_dst=1.1.1.5/32,tp_src=%d,tp_dst=80,proto=tcp"
+       sport)
+
+let test_flow_table_exact_vs_wildcard () =
+  let t = Flow_table.create () in
+  ignore
+    (Flow_table.install t ~priority:10 ~match_:(exact_hfl ())
+       ~action:(Flow_table.Forward "exact"));
+  ignore
+    (Flow_table.install t ~priority:50
+       ~match_:(Hfl.of_string "tp_dst=80")
+       ~action:(Flow_table.Forward "wild"));
+  Alcotest.(check (option action)) "higher-priority wildcard beats exact"
+    (Some (Flow_table.Forward "wild"))
+    (Flow_table.lookup t (mk_packet ()));
+  ignore
+    (Flow_table.install t ~priority:100 ~match_:(exact_hfl ())
+       ~action:(Flow_table.Forward "exact-hi"));
+  Alcotest.(check (option action)) "higher-priority exact wins"
+    (Some (Flow_table.Forward "exact-hi"))
+    (Flow_table.lookup t (mk_packet ()));
+  Alcotest.(check (option action)) "other flows fall through to wildcard"
+    (Some (Flow_table.Forward "wild"))
+    (Flow_table.lookup t (mk_packet ~sport:9999 ()))
+
+let test_flow_table_exact_tie_break () =
+  let t = Flow_table.create () in
+  ignore
+    (Flow_table.install t ~priority:5 ~match_:(exact_hfl ())
+       ~action:(Flow_table.Forward "first"));
+  ignore
+    (Flow_table.install t ~priority:5 ~match_:(exact_hfl ())
+       ~action:(Flow_table.Forward "second"));
+  Alcotest.(check (option action)) "earlier exact install wins ties"
+    (Some (Flow_table.Forward "first"))
+    (Flow_table.lookup t (mk_packet ()));
+  Alcotest.(check int) "both rules kept" 2 (Flow_table.size t)
+
+let test_flow_table_exact_remove () =
+  let t = Flow_table.create () in
+  let r = Flow_table.install t ~priority:5 ~match_:(exact_hfl ()) ~action:Flow_table.Drop in
+  ignore
+    (Flow_table.install t ~priority:5 ~match_:(exact_hfl ~sport:1111 ())
+       ~action:Flow_table.Drop);
+  Alcotest.(check bool) "remove by cookie" true
+    (Flow_table.remove t ~cookie:r.Flow_table.cookie);
+  Alcotest.(check (option action)) "removed rule no longer matches" None
+    (Flow_table.lookup t (mk_packet ()));
+  Alcotest.(check (option action)) "sibling exact rule intact" (Some Flow_table.Drop)
+    (Flow_table.lookup t (mk_packet ~sport:1111 ()));
+  Alcotest.(check int) "remove_matching drops exact rules" 1
+    (Flow_table.remove_matching t (exact_hfl ~sport:1111 ()));
+  Alcotest.(check int) "empty" 0 (Flow_table.size t)
+
+let prop_flow_table_reference =
+  (* The exact-hash + wildcard-scan lookup must behave exactly like a
+     naive priority-then-insertion-order linear search. *)
+  QCheck2.Gen.(
+    QCheck2.Test.make ~name:"lookup equals linear reference" ~count:300
+      (pair
+         (list_size (int_range 0 20)
+            (quad (int_bound 4) (int_range 0 3) (int_bound 4) (int_bound 4)))
+         (pair (int_bound 4) (int_bound 4))))
+    (fun (rules, (psrc, pdst)) ->
+      let mk_hfl kind sp dp =
+        match kind with
+        | 0 -> Hfl.any
+        | 1 -> Hfl.of_string (Printf.sprintf "tp_src=%d" (1000 + sp))
+        | 2 -> Hfl.of_string (Printf.sprintf "tp_dst=%d" (80 + dp))
+        | _ ->
+          Hfl.of_string
+            (Printf.sprintf
+               "nw_src=10.0.0.1/32,nw_dst=1.1.1.5/32,tp_src=%d,tp_dst=%d,proto=tcp"
+               (1000 + sp) (80 + dp))
+      in
+      let rules_l =
+        List.mapi
+          (fun i (prio, kind, sp, dp) ->
+            (prio, i, mk_hfl kind sp dp, Flow_table.Forward (Printf.sprintf "p%d" i)))
+          rules
+      in
+      let t = Flow_table.create () in
+      List.iter
+        (fun (prio, _, m, act) ->
+          ignore (Flow_table.install t ~priority:prio ~match_:m ~action:act))
+        rules_l;
+      let pkt = mk_packet ~sport:(1000 + psrc) ~dport:(80 + pdst) () in
+      let reference =
+        List.fold_left
+          (fun best (prio, i, m, act) ->
+            if not (Hfl.matches_packet m pkt) then best
+            else
+              match best with
+              | Some (bp, bi, _) when bp > prio || (bp = prio && bi < i) -> best
+              | _ -> Some (prio, i, act))
+          None rules_l
+      in
+      Flow_table.lookup t pkt = Option.map (fun (_, _, a) -> a) reference)
 
 (* ------------------------------------------------------------------ *)
 (* Switch + SDN controller                                             *)
@@ -364,8 +536,11 @@ let () =
           Alcotest.test_case "sub/concat/equal" `Quick test_payload_sub_equal;
         ] );
       ( "five_tuple",
-        [ Alcotest.test_case "reverse and canonical" `Quick test_five_tuple_reverse_canonical ]
-      );
+        [
+          Alcotest.test_case "reverse and canonical" `Quick test_five_tuple_reverse_canonical;
+          Alcotest.test_case "packed round-trip" `Quick test_packed_roundtrip;
+        ]
+        @ qcheck [ prop_packed_roundtrip ] );
       ( "hfl",
         [
           Alcotest.test_case "matching" `Quick test_hfl_matching;
@@ -375,6 +550,8 @@ let () =
           Alcotest.test_case "granularity" `Quick test_hfl_granularity;
           Alcotest.test_case "key projection" `Quick test_hfl_key_of_tuple;
           Alcotest.test_case "well-formedness" `Quick test_hfl_well_formed;
+          Alcotest.test_case "equality" `Quick test_hfl_equal_order_insensitive;
+          Alcotest.test_case "to_tuple" `Quick test_hfl_to_tuple;
         ]
         @ qcheck [ prop_hfl_subsumes_implies_match ] );
       ( "flow_table",
@@ -383,7 +560,11 @@ let () =
           Alcotest.test_case "tie break" `Quick test_flow_table_tie_break;
           Alcotest.test_case "remove and counters" `Quick test_flow_table_remove_and_counters;
           Alcotest.test_case "remove matching" `Quick test_flow_table_remove_matching;
-        ] );
+          Alcotest.test_case "exact vs wildcard" `Quick test_flow_table_exact_vs_wildcard;
+          Alcotest.test_case "exact tie break" `Quick test_flow_table_exact_tie_break;
+          Alcotest.test_case "exact remove" `Quick test_flow_table_exact_remove;
+        ]
+        @ qcheck [ prop_flow_table_reference ] );
       ( "switch",
         [
           Alcotest.test_case "forwarding" `Quick test_switch_forwarding;

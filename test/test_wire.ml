@@ -154,6 +154,120 @@ let prop_compress_roundtrip_redundant =
       let s = String.concat "" (List.init reps (fun _ -> unit_)) in
       Compress.decompress (Compress.compress s) = s)
 
+(* ------------------------------------------------------------------ *)
+(* Binary primitives                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let encode f =
+  let buf = Buffer.create 16 in
+  f (Binary.buffer_sink buf);
+  Buffer.contents buf
+
+let test_binary_fixed_roundtrip () =
+  List.iter
+    (fun v ->
+      let s = encode (fun k -> Binary.u8 k v) in
+      Alcotest.(check int) "u8 is one byte" 1 (String.length s);
+      Alcotest.(check int) "u8 value" v (Binary.get_u8 (Binary.reader s)))
+    [ 0; 1; 127; 255 ];
+  List.iter
+    (fun v ->
+      let s = encode (fun k -> Binary.u16 k v) in
+      Alcotest.(check int) "u16 is two bytes" 2 (String.length s);
+      Alcotest.(check int) "u16 value" v (Binary.get_u16 (Binary.reader s)))
+    [ 0; 258; 65535 ];
+  List.iter
+    (fun v ->
+      let s = encode (fun k -> Binary.u32 k v) in
+      Alcotest.(check int) "u32 is four bytes" 4 (String.length s);
+      Alcotest.(check int) "u32 value" v (Binary.get_u32 (Binary.reader s)))
+    [ 0; 0xDEADBEEF; 0xFFFFFFFF ]
+
+let test_binary_varint_sizes () =
+  let len v = String.length (encode (fun k -> Binary.uvarint k v)) in
+  Alcotest.(check int) "7 bits fit one byte" 1 (len 127);
+  Alcotest.(check int) "8 bits need two" 2 (len 128);
+  Alcotest.(check int) "max_int round-trips" max_int
+    (Binary.get_uvarint (Binary.reader (encode (fun k -> Binary.uvarint k max_int))));
+  (match Binary.uvarint (Binary.buffer_sink (Buffer.create 4)) (-1) with
+  | () -> Alcotest.fail "negative uvarint accepted"
+  | exception Invalid_argument _ -> ());
+  (* Zigzag keeps small magnitudes small regardless of sign. *)
+  let zlen v = String.length (encode (fun k -> Binary.varint k v)) in
+  Alcotest.(check int) "-1 fits one byte" 1 (zlen (-1));
+  Alcotest.(check int) "63 fits one byte" 1 (zlen 63);
+  List.iter
+    (fun v ->
+      Alcotest.(check int) "varint value" v
+        (Binary.get_varint (Binary.reader (encode (fun k -> Binary.varint k v)))))
+    [ 0; 1; -1; 63; -64; 123456; -987654; max_int; min_int ]
+
+let test_binary_f64_str_frame () =
+  List.iter
+    (fun v ->
+      let got = Binary.get_f64 (Binary.reader (encode (fun k -> Binary.f64 k v))) in
+      Alcotest.(check bool) "f64 bit-exact" true
+        (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float got)))
+    [ 0.0; -0.0; 1.5; -3.25e17; 1e-300; infinity; neg_infinity ];
+  List.iter
+    (fun s ->
+      Alcotest.(check string) "str round-trip" s
+        (Binary.get_str (Binary.reader (encode (fun k -> Binary.str k s)))))
+    [ ""; "x"; "some\x00binary\xffdata"; String.make 500 'q' ];
+  let body = "hello frame" in
+  let r = Binary.reader (Binary.frame body) in
+  Alcotest.(check string) "frame round-trip" body (Binary.unframe r);
+  Alcotest.(check int) "frame fully consumed" (String.length (Binary.frame body)) r.Binary.pos
+
+let test_binary_counting_sink () =
+  let write k =
+    Binary.u32 k 7;
+    Binary.str k "abc";
+    Binary.varint k (-5)
+  in
+  let k, count = Binary.counting_sink () in
+  write k;
+  Alcotest.(check int) "count matches materialized bytes"
+    (String.length (encode write))
+    (count ())
+
+let test_binary_truncated () =
+  let fails what f =
+    match f () with
+    | _ -> Alcotest.fail (what ^ ": expected Decode_error")
+    | exception Binary.Decode_error _ -> ()
+  in
+  fails "u32 on two bytes" (fun () -> Binary.get_u32 (Binary.reader "\x00\x01"));
+  fails "u8 at end" (fun () -> Binary.get_u8 (Binary.reader ""));
+  fails "str length past end" (fun () -> Binary.get_str (Binary.reader "\x0axy"));
+  fails "uvarint with dangling continuation" (fun () ->
+      Binary.get_uvarint (Binary.reader "\x80"));
+  fails "uvarint too wide" (fun () ->
+      Binary.get_uvarint (Binary.reader "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01"));
+  fails "unframe truncated body" (fun () ->
+      Binary.unframe (Binary.reader "\x00\x00\x00\x05ab"))
+
+let prop_varint_roundtrip =
+  QCheck2.Test.make ~name:"varint round-trip on full int range" ~count:500
+    QCheck2.Gen.int
+    (fun v -> Binary.get_varint (Binary.reader (encode (fun k -> Binary.varint k v))) = v)
+
+let prop_uvarint_roundtrip =
+  QCheck2.Test.make ~name:"uvarint round-trip" ~count:500
+    QCheck2.Gen.(map (fun i -> i land max_int) int)
+    (fun v -> Binary.get_uvarint (Binary.reader (encode (fun k -> Binary.uvarint k v))) = v)
+
+let prop_str_roundtrip =
+  QCheck2.Test.make ~name:"str round-trip on arbitrary bytes" ~count:300
+    QCheck2.Gen.(string_size (int_range 0 300))
+    (fun s -> Binary.get_str (Binary.reader (encode (fun k -> Binary.str k s))) = s)
+
+let prop_f64_roundtrip =
+  QCheck2.Test.make ~name:"f64 round-trip" ~count:300 QCheck2.Gen.float (fun v ->
+      Int64.equal (Int64.bits_of_float v)
+        (Int64.bits_of_float
+           (Binary.get_f64 (Binary.reader (encode (fun k -> Binary.f64 k v))))))
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -180,4 +294,19 @@ let () =
           Alcotest.test_case "empty ratio" `Quick test_compress_ratio_empty;
         ]
         @ qcheck [ prop_compress_roundtrip; prop_compress_roundtrip_redundant ] );
+      ( "binary",
+        [
+          Alcotest.test_case "fixed-width round-trips" `Quick test_binary_fixed_roundtrip;
+          Alcotest.test_case "varint sizes and values" `Quick test_binary_varint_sizes;
+          Alcotest.test_case "f64/str/frame" `Quick test_binary_f64_str_frame;
+          Alcotest.test_case "counting sink" `Quick test_binary_counting_sink;
+          Alcotest.test_case "truncated input" `Quick test_binary_truncated;
+        ]
+        @ qcheck
+            [
+              prop_varint_roundtrip;
+              prop_uvarint_roundtrip;
+              prop_str_roundtrip;
+              prop_f64_roundtrip;
+            ] );
     ]
