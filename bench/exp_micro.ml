@@ -1,10 +1,20 @@
 (* Bechamel micro-benchmarks of the hot primitives: flow-table lookup,
    state-table find/insert, JSON codec, chunk sealing, LZSS compression
-   and RE encoding.
+   and RE encoding — plus one tracked macro, a full 1k-flow move with
+   compression on.
+
+   The harness is hermetic: every benchmark builds its fixtures inside
+   its own thunk and the heap is compacted between benchmarks, so one
+   benchmark's long-lived fixtures (e.g. a 10k-entry state table) can't
+   inflate another's GC costs.  The PR-1 "regressions" of
+   hfl.matches_packet and re.encode were exactly that kind of
+   cross-benchmark interference.
 
    With [json_label] set (main.exe micro --json [--label NAME]) the
    results are also merged into BENCH_micro.json under that label, so
-   the perf trajectory of the packet path is tracked across PRs. *)
+   the perf trajectory of the packet path is tracked across PRs.
+   [compare_files] backs the --compare subcommand: it diffs two result
+   files and fails on >20%% regressions. *)
 
 open Bechamel
 open Openmb_net
@@ -28,7 +38,12 @@ let mk_tuple i =
     proto = Packet.Tcp;
   }
 
-let flow_table_lookup =
+(* ------------------------------------------------------------------ *)
+(* Micro benchmarks.  Each is a thunk so its fixtures are allocated    *)
+(* only while it is the one being measured.                            *)
+(* ------------------------------------------------------------------ *)
+
+let flow_table_lookup () =
   let table = Flow_table.create () in
   for i = 0 to 99 do
     ignore
@@ -40,7 +55,7 @@ let flow_table_lookup =
   Test.make ~name:"flow_table.lookup (100 rules)"
     (Staged.stage (fun () -> ignore (Flow_table.lookup table p)))
 
-let flow_table_lookup_exact =
+let flow_table_lookup_exact () =
   (* Full five-tuple rules: the exact-match case switch tables are
      dominated by in practice. *)
   let table = Flow_table.create () in
@@ -55,29 +70,25 @@ let flow_table_lookup_exact =
   Test.make ~name:"flow_table.lookup (100 exact rules)"
     (Staged.stage (fun () -> ignore (Flow_table.lookup table p)))
 
-let state_table_pair =
-  lazy
-    (let t = Openmb_mbox.State_table.create ~granularity:Hfl.full_granularity () in
-     for i = 0 to 9_999 do
-       ignore (Openmb_mbox.State_table.find_or_create t (mk_tuple i) ~default:(fun () -> i))
-     done;
-     (t, mk_tuple 1234))
+let big_state_table () =
+  let t = Openmb_mbox.State_table.create ~granularity:Hfl.full_granularity () in
+  for i = 0 to 9_999 do
+    ignore (Openmb_mbox.State_table.find_or_create t (mk_tuple i) ~default:(fun () -> i))
+  done;
+  (t, mk_tuple 1234)
 
-(* The 10k-entry table is built lazily so other experiments don't pay
-   for it, but forced here at test-construction time — inside the
-   measured closure it would skew the regression's first samples. *)
 let state_table_find () =
-  let t, tup = Lazy.force state_table_pair in
+  let t, tup = big_state_table () in
   Test.make ~name:"state_table.find (full, 10k entries)"
     (Staged.stage (fun () -> ignore (Openmb_mbox.State_table.find t tup)))
 
 let state_table_find_or_create () =
-  let t, tup = Lazy.force state_table_pair in
+  let t, tup = big_state_table () in
   Test.make ~name:"state_table.find_or_create (hit)"
     (Staged.stage (fun () ->
          ignore (Openmb_mbox.State_table.find_or_create t tup ~default:(fun () -> 0))))
 
-let state_table_insert =
+let state_table_insert () =
   let t = Openmb_mbox.State_table.create ~granularity:Hfl.full_granularity () in
   let keys =
     Array.init 256 (fun i -> Hfl.key_of_tuple Hfl.full_granularity (mk_tuple i))
@@ -89,7 +100,7 @@ let state_table_insert =
          incr i;
          Openmb_mbox.State_table.insert t ~key:k !i))
 
-let json_codec =
+let json_codec () =
   let text =
     Openmb_wire.Json.to_string
       (Openmb_wire.Json.Assoc
@@ -107,30 +118,29 @@ let json_codec =
   Test.make ~name:"json.parse (protocol message)"
     (Staged.stage (fun () -> ignore (Openmb_wire.Json.of_string text)))
 
-let put_chunk_msg =
-  lazy
-    (let chunk =
-       Openmb_core.Chunk.seal ~mb_kind:"bro" ~role:Openmb_core.Taxonomy.Supporting
-         ~partition:Openmb_core.Taxonomy.Per_flow
-         ~key:(Hfl.key_of_tuple Hfl.full_granularity (mk_tuple 17))
-         ~plain:(String.make 200 's')
-     in
-     { Openmb_core.Message.op = 42; req = Openmb_core.Message.Put_support_perflow chunk })
+let put_chunk_msg () =
+  let chunk =
+    Openmb_core.Chunk.seal ~mb_kind:"bro" ~role:Openmb_core.Taxonomy.Supporting
+      ~partition:Openmb_core.Taxonomy.Per_flow
+      ~key:(Hfl.key_of_tuple Hfl.full_granularity (mk_tuple 17))
+      ~plain:(String.make 200 's')
+  in
+  { Openmb_core.Message.op = 42; req = Openmb_core.Message.Put_support_perflow chunk }
 
 let message_encode_json () =
-  let msg = Lazy.force put_chunk_msg in
+  let msg = put_chunk_msg () in
   Test.make ~name:"message.encode (put chunk, json)"
     (Staged.stage (fun () ->
          ignore (Openmb_wire.Json.to_string (Openmb_core.Message.request_to_json msg))))
 
 let message_encode_binary () =
-  let msg = Lazy.force put_chunk_msg in
+  let msg = put_chunk_msg () in
   Test.make ~name:"message.encode (put chunk, binary)"
     (Staged.stage (fun () ->
          ignore
            (Openmb_core.Message.request_to_wire ~framing:Openmb_wire.Framing.Binary msg)))
 
-let chunk_seal =
+let chunk_seal () =
   let plain = String.make 202 's' in
   Test.make ~name:"chunk.seal (202B)"
     (Staged.stage (fun () ->
@@ -138,14 +148,14 @@ let chunk_seal =
            (Openmb_core.Chunk.seal ~mb_kind:"bro" ~role:Openmb_core.Taxonomy.Supporting
               ~partition:Openmb_core.Taxonomy.Per_flow ~key:Hfl.any ~plain)))
 
-let lzss =
+let lzss () =
   let payload =
     String.concat "" (List.init 20 (fun i -> Printf.sprintf "{\"f\":%d,\"s\":\"state\"}" i))
   in
   Test.make ~name:"compress.lzss (400B json)"
     (Staged.stage (fun () -> ignore (Openmb_wire.Compress.compress payload)))
 
-let re_encode =
+let re_encode () =
   let engine = Openmb_sim.Engine.create () in
   let enc = Openmb_mbox.Re_encoder.create engine ~name:"enc" () in
   Openmb_mbox.Mb_base.set_egress (Openmb_mbox.Re_encoder.base enc) (fun _ -> ());
@@ -163,7 +173,7 @@ let re_encode =
          Openmb_mbox.Re_encoder.receive enc p;
          Openmb_sim.Engine.run engine))
 
-let hfl_match =
+let hfl_match () =
   let hfl = Hfl.of_string "nw_src=10.0.0.0/8,tp_dst=80,proto=tcp" in
   let p = mk_packet 3 in
   Test.make ~name:"hfl.matches_packet"
@@ -193,28 +203,91 @@ end
 let minor_words_instance =
   Measure.instance (module Minor_words) (Measure.register (module Minor_words))
 
-let measure tests =
+(* Run one benchmark in isolation: compact away everything previous
+   benchmarks left behind, build this benchmark's fixtures, measure,
+   and let the fixtures die with the returned closure. *)
+let measure_one build =
+  Gc.compact ();
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let clock = Toolkit.Instance.monotonic_clock in
   let minor = minor_words_instance in
-  List.concat_map
-    (fun test ->
-      List.map
-        (fun elt ->
-          let raw = Benchmark.run cfg [ clock; minor ] elt in
-          let estimate instance =
-            match Analyze.OLS.estimates (Analyze.one ols instance raw) with
-            | Some [ v ] -> v
-            | Some _ | None -> nan
-          in
-          {
-            bench_name = Test.Elt.name elt;
-            ns_per_op = estimate clock;
-            minor_words_per_op = estimate minor;
-          })
-        (Test.elements test))
-    tests
+  List.map
+    (fun elt ->
+      let raw = Benchmark.run cfg [ clock; minor ] elt in
+      let estimate instance =
+        match Analyze.OLS.estimates (Analyze.one ols instance raw) with
+        | Some [ v ] -> v
+        | Some _ | None -> nan
+      in
+      {
+        bench_name = Test.Elt.name elt;
+        ns_per_op = estimate clock;
+        minor_words_per_op = estimate minor;
+      })
+    (Test.elements (build ()))
+
+let measure builds = List.concat_map measure_one builds
+
+(* ------------------------------------------------------------------ *)
+(* Macro: a full controller-brokered move, compression on              *)
+(* ------------------------------------------------------------------ *)
+
+(* One complete 1k-flow move between fresh dummy MBs with transfer
+   compression enabled — the end-to-end path the PR-2 pipeline work
+   (chunk batching, windowed puts, zero-alloc compress/seal) targets.
+   Too heavy for Bechamel's per-iteration sampling, so it is timed
+   directly: wall-clock and allocation over enough repetitions to fill
+   the quota. *)
+let one_macro_move () =
+  let open Openmb_sim in
+  let open Openmb_core in
+  let open Openmb_apps in
+  let engine = Engine.create () in
+  let config = { Controller.default_config with quiescence = Time.ms 100.0 } in
+  let ctrl = Controller.create engine ~config () in
+  let src = Dummy_mb.create engine ~name:"src" () in
+  let dst = Dummy_mb.create engine ~name:"dst" () in
+  Dummy_mb.populate src ~n:1000;
+  Controller.connect ctrl (Mb_agent.create engine ~impl:(Dummy_mb.impl src) ());
+  Controller.connect ctrl (Mb_agent.create engine ~impl:(Dummy_mb.impl dst) ());
+  let ok = ref false in
+  Controller.move_internal ctrl ~src:"src" ~dst:"dst" ~key:Hfl.any
+    ~on_done:(fun res ->
+      match res with
+      | Ok mr ->
+        assert (mr.Controller.chunks_moved = 1000);
+        ok := true
+      | Error e -> failwith (Errors.to_string e));
+  Engine.run engine;
+  assert !ok
+
+let macro_move_1k () =
+  Gc.compact ();
+  let saved = !Openmb_core.Chunk.compression_enabled in
+  Openmb_core.Chunk.compression_enabled := true;
+  Fun.protect
+    ~finally:(fun () -> Openmb_core.Chunk.compression_enabled := saved)
+    (fun () ->
+      one_macro_move ();
+      (* warm-up *)
+      let quota_ns = 1_000_000_000L in
+      let t0 = Monotonic_clock.now () in
+      let w0 = Gc.minor_words () in
+      let runs = ref 0 in
+      while
+        !runs < 3 || Int64.sub (Monotonic_clock.now ()) t0 < quota_ns
+      do
+        one_macro_move ();
+        incr runs
+      done;
+      let elapsed = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) in
+      let words = Gc.minor_words () -. w0 in
+      {
+        bench_name = "move (1k flows, compression on)";
+        ns_per_op = elapsed /. float_of_int !runs;
+        minor_words_per_op = words /. float_of_int !runs;
+      })
 
 let bench_file = "BENCH_micro.json"
 
@@ -246,6 +319,73 @@ let write_json results label =
       Out_channel.output_string oc (Json.to_string_pretty (Json.Assoc fields));
       Out_channel.output_char oc '\n');
   Printf.printf "  [json] wrote %s (label %S)\n" bench_file label
+
+(* ------------------------------------------------------------------ *)
+(* Result comparison (--compare)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A result file is either a flat {bench: {ns_per_op}} object or a
+   BENCH_micro.json-style {label: {bench: {ns_per_op}}}; for the latter
+   the LAST label wins (write_json appends the freshest label last). *)
+let load_results path =
+  let open Openmb_wire in
+  let json = Json.of_string (In_channel.with_open_text path In_channel.input_all) in
+  let looks_flat = function
+    | Json.Assoc ((_, Json.Assoc fields) :: _) -> List.mem_assoc "ns_per_op" fields
+    | _ -> false
+  in
+  let table =
+    match json with
+    | Json.Assoc _ when looks_flat json -> json
+    | Json.Assoc ((_ :: _) as labels) -> snd (List.nth labels (List.length labels - 1))
+    | _ -> failwith (path ^ ": not a benchmark result file")
+  in
+  match table with
+  | Json.Assoc benches ->
+    List.filter_map
+      (fun (name, fields) ->
+        match Json.member "ns_per_op" fields with
+        | Json.Float ns -> Some (name, ns)
+        | Json.Int ns -> Some (name, float_of_int ns)
+        | _ | (exception _) -> None)
+      benches
+  | _ -> failwith (path ^ ": not a benchmark result file")
+
+let regression_threshold = 0.20
+
+(* Diff two result files; returns the number of >20% regressions (the
+   driver exits non-zero when any are found). *)
+let compare_results before_path after_path =
+  let before = load_results before_path and after = load_results after_path in
+  Util.banner
+    (Printf.sprintf "Benchmark comparison: %s -> %s" before_path after_path);
+  Util.row "  %-36s %12s %12s %9s\n" "benchmark" "before(ns)" "after(ns)" "delta";
+  let regressions = ref 0 in
+  List.iter
+    (fun (name, b) ->
+      match List.assoc_opt name after with
+      | None -> Util.row "  %-36s %12.1f %12s %9s\n" name b "-" "gone"
+      | Some a ->
+        let delta = (a -. b) /. b in
+        let flag =
+          if delta > regression_threshold then begin
+            incr regressions;
+            "  REGRESSION"
+          end
+          else ""
+        in
+        Util.row "  %-36s %12.1f %12.1f %+8.1f%%%s\n" name b a (delta *. 100.0) flag)
+    before;
+  List.iter
+    (fun (name, a) ->
+      if not (List.mem_assoc name before) then
+        Util.row "  %-36s %12s %12.1f %9s\n" name "-" a "new")
+    after;
+  if !regressions > 0 then
+    Printf.printf "  %d benchmark(s) regressed by more than %.0f%%\n" !regressions
+      (regression_threshold *. 100.0)
+  else Printf.printf "  no regression beyond %.0f%%\n" (regression_threshold *. 100.0);
+  !regressions
 
 (* Footnote-6 ablation: real wall-clock cost of the linear-scan get
    versus the source-indexed lookup, at growing table sizes. *)
@@ -302,12 +442,12 @@ let tests () =
   [
     flow_table_lookup;
     flow_table_lookup_exact;
-    state_table_find ();
-    state_table_find_or_create ();
+    state_table_find;
+    state_table_find_or_create;
     state_table_insert;
     json_codec;
-    message_encode_json ();
-    message_encode_binary ();
+    message_encode_json;
+    message_encode_binary;
     chunk_seal;
     lzss;
     re_encode;
@@ -315,8 +455,8 @@ let tests () =
   ]
 
 let run () =
-  Util.banner "Micro-benchmarks (Bechamel, wall-clock)";
-  let results = measure (tests ()) in
+  Util.banner "Micro-benchmarks (Bechamel, wall-clock; hermetic fixtures)";
+  let results = measure (tests ()) @ [ macro_move_1k () ] in
   List.iter
     (fun r ->
       Util.row "  %-36s %12.1f ns/run %12.1f mwords/run\n" r.bench_name r.ns_per_op

@@ -12,7 +12,14 @@
    which merges its results into BENCH_micro.json under that label
    (default "current") so the perf trajectory is tracked across PRs:
 
-     dune exec bench/main.exe -- micro --json --label after *)
+     dune exec bench/main.exe -- micro --json --label after
+
+   micro --compare BEFORE.json AFTER.json skips the benchmarks and
+   instead diffs two result files (flat results or BENCH_micro.json
+   labelled files — the last label wins), exiting non-zero when any
+   benchmark regressed by more than 20%:
+
+     dune exec bench/main.exe -- micro --compare before.json after.json *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -76,6 +83,13 @@ let () =
       | "--label" :: label :: rest ->
         Exp_micro.json_label := Some label;
         strip rest
+      | "--compare" :: before :: after :: _ ->
+        (* A comparison replaces the run entirely: diff the two result
+           files and exit, failing the invocation on regressions. *)
+        exit (if Exp_micro.compare_results before after > 0 then 1 else 0)
+      | "--compare" :: _ ->
+        Printf.eprintf "usage: micro --compare BEFORE.json AFTER.json\n";
+        exit 2
       | arg :: rest -> arg :: strip rest
     in
     List.iter

@@ -87,6 +87,14 @@ let shared_report t = t.sh_report
 let chunk_count t = State_table.size t.support
 let report_count t = State_table.size t.report
 
+let entries_of table =
+  List.sort compare
+    (State_table.fold table ~init:[] ~f:(fun acc e ->
+         (Hfl.to_string e.State_table.key, e.value) :: acc))
+
+let support_entries t = entries_of t.support
+let report_entries t = entries_of t.report
+
 (* ------------------------------------------------------------------ *)
 (* Southbound implementation                                           *)
 (* ------------------------------------------------------------------ *)
@@ -95,18 +103,17 @@ let get_perflow t table ~role hfl =
   if not (Hfl.compatible_with_granularity hfl t.granularity) then
     Error Errors.Granularity_too_fine
   else begin
-    (* Skip entries an earlier pending transfer already exported. *)
-    let entries =
-      List.filter
-        (fun (e : string State_table.entry) -> not e.moved)
-        (State_table.matching table hfl)
-    in
-    List.iter (fun (e : string State_table.entry) -> e.moved <- true) entries;
-    Ok
-      (List.map
-         (fun (e : string State_table.entry) ->
-           Mb_base.seal_raw t.base ~role ~partition:Taxonomy.Per_flow ~key:e.key e.value)
-         entries)
+    (* One pass: skip entries an earlier pending transfer already
+       exported, mark and seal the rest as they are visited. *)
+    let chunks = ref [] in
+    State_table.iter_matching table hfl (fun (e : string State_table.entry) ->
+        if not e.moved then begin
+          e.moved <- true;
+          chunks :=
+            Mb_base.seal_raw t.base ~role ~partition:Taxonomy.Per_flow ~key:e.key e.value
+            :: !chunks
+        end);
+    Ok (List.rev !chunks)
   end
 
 let put_perflow t table ~role (chunk : Chunk.t) =

@@ -52,6 +52,12 @@ val chunk_count : t -> int
 
 val report_count : t -> int
 
+val support_entries : t -> (string * string) list
+(** Per-flow supporting records as (key string, value) pairs sorted by
+    key — lets tests compare two MBs' state tables for equality. *)
+
+val report_entries : t -> (string * string) list
+
 val start_events : t -> rate_pps:float -> unit
 (** Begin raising re-process events (128-byte packets keyed to resident
     chunks, round-robin) at the given rate until {!stop_events}. *)

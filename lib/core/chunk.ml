@@ -9,41 +9,68 @@ type t = {
 let magic = "OMB1"
 
 (* Keystream: SplitMix64 seeded from a hash of the MB kind, standing in
-   for a per-vendor symmetric key. *)
-let xor_keystream ~mb_kind s =
+   for a per-vendor symmetric key.  The stream is consumed LSB-first,
+   so eight consecutive stream bytes are exactly one [bits64] output
+   read little-endian — the in-place XOR below applies whole 64-bit
+   blocks and only falls back to per-byte work for the tail, producing
+   the same bytes as the original byte-at-a-time loop. *)
+let xor_inplace ~mb_kind buf =
   let g = Openmb_sim.Prng.create ~seed:(Hashtbl.hash ("vendor-secret:" ^ mb_kind)) in
-  let n = String.length s in
-  let out = Bytes.create n in
-  let block = ref 0L and avail = ref 0 in
-  for i = 0 to n - 1 do
-    if !avail = 0 then begin
-      block := Openmb_sim.Prng.bits64 g;
-      avail := 8
-    end;
-    let k = Int64.to_int (Int64.logand !block 0xFFL) in
-    block := Int64.shift_right_logical !block 8;
-    decr avail;
-    Bytes.set out i (Char.chr (Char.code s.[i] lxor k))
+  let n = Bytes.length buf in
+  let blocks = n / 8 in
+  for b = 0 to blocks - 1 do
+    let k = Openmb_sim.Prng.bits64 g in
+    let off = b * 8 in
+    Bytes.set_int64_le buf off (Int64.logxor (Bytes.get_int64_le buf off) k)
   done;
-  Bytes.to_string out
+  if n land 7 <> 0 then begin
+    let block = ref (Openmb_sim.Prng.bits64 g) in
+    for i = blocks * 8 to n - 1 do
+      let k = Int64.to_int (Int64.logand !block 0xFFL) in
+      block := Int64.shift_right_logical !block 8;
+      Bytes.unsafe_set buf i
+        (Char.unsafe_chr (Char.code (Bytes.unsafe_get buf i) lxor k))
+    done
+  end
+
+let xor_keystream ~mb_kind s =
+  let buf = Bytes.of_string s in
+  xor_inplace ~mb_kind buf;
+  Bytes.unsafe_to_string buf
 
 let compression_enabled = ref false
+
+let magic_len = String.length magic
+
+(* Assemble [magic ^ flag ^ body] straight into the output bytes and
+   encrypt in place: one allocation per seal, no intermediate
+   concatenations. *)
+let seal_body ~mb_kind ~flag body =
+  let n = magic_len + 1 + String.length body in
+  let buf = Bytes.create n in
+  Bytes.blit_string magic 0 buf 0 magic_len;
+  Bytes.set buf magic_len flag;
+  Bytes.blit_string body 0 buf (magic_len + 1) (String.length body);
+  xor_inplace ~mb_kind buf;
+  Bytes.unsafe_to_string buf
 
 let seal ~mb_kind ~role ~partition ~key ~plain =
   (* Compress-then-encrypt: the XOR keystream destroys redundancy, so
      any compression must happen on the plaintext.  A flag byte after
      the magic records whether the body is compressed. *)
-  let body =
-    if !compression_enabled then
+  let cipher =
+    if !compression_enabled then begin
       let c = Openmb_wire.Compress.compress plain in
-      if String.length c < String.length plain then "C" ^ c else "R" ^ plain
-    else "R" ^ plain
+      if String.length c < String.length plain then seal_body ~mb_kind ~flag:'C' c
+      else seal_body ~mb_kind ~flag:'R' plain
+    end
+    else seal_body ~mb_kind ~flag:'R' plain
   in
-  { mb_kind; role; partition; key; cipher = xor_keystream ~mb_kind (magic ^ body) }
+  { mb_kind; role; partition; key; cipher }
 
 let unseal ~mb_kind t =
   let plain = xor_keystream ~mb_kind t.cipher in
-  let ml = String.length magic in
+  let ml = magic_len in
   if String.length plain >= ml + 1 && String.sub plain 0 ml = magic then begin
     let body = String.sub plain (ml + 1) (String.length plain - ml - 1) in
     match plain.[ml] with

@@ -9,6 +9,9 @@ type config = {
   channel_bandwidth : float;
   forward_events : bool;
   framing : Openmb_wire.Framing.t;
+  batch_chunks : int;
+  batch_bytes : int;
+  put_window : int;
 }
 
 let default_config =
@@ -20,6 +23,9 @@ let default_config =
     channel_bandwidth = 125e6;
     forward_events = true;
     framing = Openmb_wire.Framing.Json;
+    batch_chunks = 16;
+    batch_bytes = 32768;
+    put_window = 4;
   }
 
 type move_result = {
@@ -53,6 +59,14 @@ type transfer = {
   started : Time.t;
   mutable open_gets : int;
   mutable pending_puts : int;
+  (* Windowed batching pipeline: streamed chunks queue here until a
+     size-bounded Put_batch is cut; at most [put_window] batches are in
+     flight at once.  Each queued or in-flight chunk is counted in
+     [pending_puts] and marked in [putting] from the moment it is
+     received — identical bookkeeping to the per-chunk path. *)
+  queued : Chunk.t Queue.t;
+  mutable queued_bytes : int;
+  mutable inflight_batches : int;
   mutable returned : bool;
   mutable chunks : int;
   mutable bytes : int;
@@ -318,7 +332,7 @@ let read_config t ~src ~key ~on_done =
           | Message.Config_values entries -> on_done (Ok entries)
           | Message.Op_error e -> on_done (Error e)
           | Message.State_chunk _ | Message.End_of_state _ | Message.Ack
-          | Message.Stats_reply _ ->
+          | Message.Stats_reply _ | Message.Batch_ack _ ->
             on_done (Error (Errors.Op_failed "unexpected reply to getConfig")));
           `Done))
 
@@ -327,7 +341,7 @@ let expect_ack on_done reply =
   | Message.Ack -> on_done (Ok ())
   | Message.Op_error e -> on_done (Error e)
   | Message.State_chunk _ | Message.End_of_state _ | Message.Config_values _
-  | Message.Stats_reply _ ->
+  | Message.Stats_reply _ | Message.Batch_ack _ ->
     on_done (Error (Errors.Op_failed "unexpected reply")));
   `Done
 
@@ -346,7 +360,7 @@ let stats t ~src ~key ~on_done =
           | Message.Stats_reply s -> on_done (Ok s)
           | Message.Op_error e -> on_done (Error e)
           | Message.State_chunk _ | Message.End_of_state _ | Message.Ack
-          | Message.Config_values _ ->
+          | Message.Config_values _ | Message.Batch_ack _ ->
             on_done (Error (Errors.Op_failed "unexpected reply to stats")));
           `Done))
 
@@ -471,7 +485,33 @@ let fail_transfer t transfer err =
     transfer.on_done (Error err)
   end
 
-(* Issue a put for a streamed chunk and track its acknowledgement. *)
+let chunk_key_id (chunk : Chunk.t) =
+  match chunk.partition with
+  | Taxonomy.Per_flow -> Hfl.to_string chunk.key
+  | Taxonomy.Shared -> shared_key_id
+
+(* Track a chunk the moment it is received from the get stream: it is
+   now this transfer's responsibility, events on its key must buffer
+   until the destination acknowledges it. *)
+let track_chunk transfer (chunk : Chunk.t) =
+  transfer.pending_puts <- transfer.pending_puts + 1;
+  transfer.chunks <- transfer.chunks + 1;
+  transfer.bytes <- transfer.bytes + Chunk.size_bytes chunk;
+  Hashtbl.replace transfer.putting (chunk_key_id chunk) ()
+
+(* The per-key bookkeeping one acknowledged chunk performs; the batched
+   path runs it once per chunk, in batch order, so reprocess-event
+   buffering and flushing behave exactly as under sequential acks. *)
+let ack_chunk t transfer key_id =
+  Hashtbl.remove transfer.putting key_id;
+  Hashtbl.replace transfer.acked key_id ();
+  transfer.pending_puts <- transfer.pending_puts - 1;
+  flush_buffered t transfer key_id
+
+(* Issue a put for a streamed chunk and track its acknowledgement —
+   the legacy one-message-per-chunk path, kept for [batch_chunks <= 1]
+   (and as the semantic reference the equivalence property test holds
+   the batched pipeline to). *)
 let issue_put t transfer dst_conn (chunk : Chunk.t) =
   let req =
     match (chunk.role, chunk.partition) with
@@ -483,43 +523,101 @@ let issue_put t transfer dst_conn (chunk : Chunk.t) =
       (* Configuration state never travels as chunks. *)
       Message.Put_support_shared chunk
   in
-  transfer.pending_puts <- transfer.pending_puts + 1;
-  transfer.chunks <- transfer.chunks + 1;
-  transfer.bytes <- transfer.bytes + Chunk.size_bytes chunk;
-  let key_id =
-    match chunk.partition with
-    | Taxonomy.Per_flow -> Hfl.to_string chunk.key
-    | Taxonomy.Shared -> shared_key_id
-  in
-  Hashtbl.replace transfer.putting key_id ();
+  track_chunk transfer chunk;
+  let key_id = chunk_key_id chunk in
   op_send t dst_conn req (fun reply ->
       (match reply with
       | Message.Ack ->
-        Hashtbl.remove transfer.putting key_id;
-        Hashtbl.replace transfer.acked key_id ();
-        transfer.pending_puts <- transfer.pending_puts - 1;
-        flush_buffered t transfer key_id;
+        ack_chunk t transfer key_id;
         maybe_return t transfer
       | Message.Op_error e -> fail_transfer t transfer e
       | Message.State_chunk _ | Message.End_of_state _ | Message.Config_values _
-      | Message.Stats_reply _ ->
+      | Message.Stats_reply _ | Message.Batch_ack _ ->
         fail_transfer t transfer (Errors.Op_failed "unexpected reply to put"));
       `Done)
+
+(* Cut one size-bounded batch off the head of the queue, preserving
+   stream order. *)
+let next_batch t transfer =
+  let batch = ref [] and n = ref 0 and bytes = ref 0 in
+  while
+    (not (Queue.is_empty transfer.queued))
+    && !n < t.cfg.batch_chunks
+    && (!n = 0 || !bytes < t.cfg.batch_bytes)
+  do
+    let c = Queue.pop transfer.queued in
+    transfer.queued_bytes <- transfer.queued_bytes - Chunk.size_bytes c;
+    batch := c :: !batch;
+    incr n;
+    bytes := !bytes + Chunk.size_bytes c
+  done;
+  List.rev !batch
+
+(* Drain the queue into Put_batch messages while the send window has
+   room.  A batch is cut when enough chunks or bytes have accumulated,
+   or unconditionally once every get stream has ended (the flush of the
+   final partial batch).  Acks re-enter here to refill the window. *)
+let rec pump t transfer dst_conn =
+  let ready_to_cut () =
+    (not transfer.returned)
+    && (not (Queue.is_empty transfer.queued))
+    && transfer.inflight_batches < t.cfg.put_window
+    && (Queue.length transfer.queued >= t.cfg.batch_chunks
+       || transfer.queued_bytes >= t.cfg.batch_bytes
+       || transfer.open_gets = 0)
+  in
+  if ready_to_cut () then begin
+    let batch = next_batch t transfer in
+    transfer.inflight_batches <- transfer.inflight_batches + 1;
+    op_send t dst_conn (Message.Put_batch batch) (fun reply ->
+        transfer.inflight_batches <- transfer.inflight_batches - 1;
+        (match reply with
+        | Message.Batch_ack { count = _; errors } ->
+          (* Acknowledge the batch's chunks in order up to the first
+             failure — exactly what N sequential acks would do. *)
+          (try
+             List.iteri
+               (fun idx chunk ->
+                 match List.assoc_opt idx errors with
+                 | Some e ->
+                   fail_transfer t transfer e;
+                   raise Exit
+                 | None -> ack_chunk t transfer (chunk_key_id chunk))
+               batch
+           with Exit -> ());
+          maybe_return t transfer;
+          pump t transfer dst_conn
+        | Message.Op_error e -> fail_transfer t transfer e
+        | Message.Ack | Message.State_chunk _ | Message.End_of_state _
+        | Message.Config_values _ | Message.Stats_reply _ ->
+          fail_transfer t transfer (Errors.Op_failed "unexpected reply to putBatch"));
+        `Done);
+    pump t transfer dst_conn
+  end
+
+let enqueue_chunk t transfer dst_conn chunk =
+  track_chunk transfer chunk;
+  Queue.push chunk transfer.queued;
+  transfer.queued_bytes <- transfer.queued_bytes + Chunk.size_bytes chunk;
+  pump t transfer dst_conn
 
 (* Handler for one of the source-side get streams of a transfer. *)
 let get_stream_handler t transfer dst_conn reply =
   match reply with
   | Message.State_chunk chunk ->
-    issue_put t transfer dst_conn chunk;
+    if t.cfg.batch_chunks <= 1 then issue_put t transfer dst_conn chunk
+    else enqueue_chunk t transfer dst_conn chunk;
     `Keep
   | Message.End_of_state _ ->
     transfer.open_gets <- transfer.open_gets - 1;
+    if t.cfg.batch_chunks > 1 then pump t transfer dst_conn;
     maybe_return t transfer;
     `Done
   | Message.Op_error e ->
     fail_transfer t transfer e;
     `Done
-  | Message.Ack | Message.Config_values _ | Message.Stats_reply _ ->
+  | Message.Ack | Message.Config_values _ | Message.Stats_reply _
+  | Message.Batch_ack _ ->
     fail_transfer t transfer (Errors.Op_failed "unexpected reply to get");
     `Done
 
@@ -550,6 +648,9 @@ let start_transfer t ~kind ~src ~dst ~hfl ~gets ~on_done =
             started = Engine.now t.engine;
             open_gets = List.length gets;
             pending_puts = 0;
+            queued = Queue.create ();
+            queued_bytes = 0;
+            inflight_batches = 0;
             returned = false;
             chunks = 0;
             bytes = 0;

@@ -38,12 +38,26 @@ type config = {
       (** Wire framing negotiated with MBs at connect time ([Json]
           unless a {!connect} override says otherwise); determines
           message sizes and hence channel transfer costs. *)
+  batch_chunks : int;
+      (** Maximum chunks coalesced into one [putBatch] message during a
+          transfer.  [<= 1] disables batching and issues one put per
+          chunk (the original pipeline, kept as the semantic
+          reference). *)
+  batch_bytes : int;
+      (** Byte bound on a batch: a batch is cut early once its chunks
+          reach this size, so a few large chunks don't ride in one
+          oversized message. *)
+  put_window : int;
+      (** Maximum [putBatch] messages in flight to the destination at
+          once; acks refill the window.  Batching and windowing change
+          only message timing, never the per-key ack bookkeeping. *)
 }
 
 val default_config : config
 (** 5 s quiescence, 8 µs + 0.3 µs/byte CPU, 200 µs / 125 MB/s
-    channels — calibrated to the paper's controller numbers.
-    (Compression of transfers is controlled by
+    channels — calibrated to the paper's controller numbers; transfers
+    batch up to 16 chunks / 32 KiB per [putBatch] with a 4-batch send
+    window.  (Compression of transfers is controlled by
     {!Chunk.compression_enabled}.) *)
 
 val create :

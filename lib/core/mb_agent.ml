@@ -187,6 +187,29 @@ let handle_request t { Message.op; req } =
   | Message.Disable_events { codes } ->
     Event.Filter.disable t.filter ~codes;
     reply t op Message.Ack
+  | Message.Put_batch chunks ->
+    (* Deserialization cost is the sum over the batch — the work is the
+       same as N individual puts — but the control-thread round trip,
+       the reply and the controller-side ack processing are paid
+       once. *)
+    let cost =
+      List.fold_left
+        (fun acc c -> Time.(acc + chunk_deserialize_cost i.cost c))
+        Time.zero chunks
+    in
+    exec t cost (fun () ->
+        let count = List.length chunks in
+        let errors = ref [] in
+        List.iteri
+          (fun idx c ->
+            match Southbound.put_chunk i c with
+            | Ok () -> ()
+            | Error e -> errors := (idx, e) :: !errors)
+          chunks;
+        let errors = List.rev !errors in
+        record t ~kind:"put-batch"
+          ~detail:(Printf.sprintf "n=%d errors=%d" count (List.length errors));
+        reply t op (Message.Batch_ack { count; errors }))
   | Message.Reprocess_packet { key; packet } ->
     (* Re-processing updates state but performs no external
        side-effects (§4.2.1).  It rides the MB's packet path, not the

@@ -21,6 +21,7 @@ type request =
   | Enable_events of { codes : string list; key : Hfl.t }
   | Disable_events of { codes : string list }
   | Reprocess_packet of { key : Hfl.t; packet : Packet.t }
+  | Put_batch of Chunk.t list
 
 type reply =
   | State_chunk of Chunk.t
@@ -29,6 +30,7 @@ type reply =
   | Config_values of Config_tree.entry list
   | Stats_reply of Southbound.stats
   | Op_error of Errors.t
+  | Batch_ack of { count : int; errors : (int * Errors.t) list }
 
 type to_mb = { op : op_id; req : request }
 
@@ -214,6 +216,8 @@ let request_body_to_json = function
     ("disableEvents", [ ("codes", Json.List (List.map (fun c -> Json.String c) codes)) ])
   | Reprocess_packet { key; packet } ->
     ("reprocessPacket", [ ("key", hfl_to_json key); ("packet", packet_to_json packet) ])
+  | Put_batch chunks ->
+    ("putBatch", [ ("chunks", Json.List (List.map chunk_to_json chunks)) ])
 
 let request_to_json { op; req } =
   let name, fields = request_body_to_json req in
@@ -252,6 +256,8 @@ let request_of_json j =
     | "reprocessPacket" ->
       Reprocess_packet
         { key = hfl_of_json (key_field ()); packet = packet_of_json (Json.member "packet" j) }
+    | "putBatch" ->
+      Put_batch (List.map chunk_of_json (Json.get_list (Json.member "chunks" j)))
     | s -> invalid_arg (Printf.sprintf "Message.request_of_json: unknown type %S" s)
   in
   { op; req }
@@ -317,6 +323,17 @@ let reply_to_json = function
   | Config_values es -> ("configValues", [ ("entries", Json.List (List.map entry_to_json es)) ])
   | Stats_reply s -> ("stats", [ ("stats", stats_to_json s) ])
   | Op_error e -> ("error", [ ("error", error_to_json e) ])
+  | Batch_ack { count; errors } ->
+    ( "batchAck",
+      [
+        ("count", Json.Int count);
+        ( "errors",
+          Json.List
+            (List.map
+               (fun (i, e) ->
+                 Json.Assoc [ ("i", Json.Int i); ("error", error_to_json e) ])
+               errors) );
+      ] )
 
 let event_to_json = function
   | Event.Reprocess { key; packet } ->
@@ -369,6 +386,16 @@ let from_mb_of_json j =
         Config_values (List.map entry_of_json (Json.get_list (Json.member "entries" j)))
       | "stats" -> Stats_reply (stats_of_json (Json.member "stats" j))
       | "error" -> Op_error (error_of_json (Json.member "error" j))
+      | "batchAck" ->
+        Batch_ack
+          {
+            count = Json.get_int (Json.member "count" j);
+            errors =
+              List.map
+                (fun ej ->
+                  (Json.get_int (Json.member "i" ej), error_of_json (Json.member "error" ej)))
+                (Json.get_list (Json.member "errors" j));
+          }
       | s -> invalid_arg (Printf.sprintf "Message.from_mb_of_json: unknown type %S" s)
     in
     Reply { op; reply }
@@ -691,6 +718,10 @@ let request_write k { op; req } =
     Binary.u8 k 16;
     w_hfl k key;
     w_packet k packet
+  | Put_batch chunks ->
+    Binary.u8 k 17;
+    Binary.uvarint k (List.length chunks);
+    List.iter (w_chunk k) chunks
 
 let request_read r =
   let op = Binary.get_uvarint r in
@@ -719,6 +750,9 @@ let request_read r =
     | 16 ->
       let key = r_hfl r in
       Reprocess_packet { key; packet = r_packet r }
+    | 17 ->
+      let n = Binary.get_uvarint r in
+      Put_batch (List.init n (fun _ -> r_chunk r))
     | n -> bad_tag "request" n
   in
   { op; req }
@@ -828,7 +862,16 @@ let from_mb_write k = function
       w_stats k s
     | Op_error e ->
       Binary.u8 k 5;
-      w_error k e)
+      w_error k e
+    | Batch_ack { count; errors } ->
+      Binary.u8 k 6;
+      Binary.uvarint k count;
+      Binary.uvarint k (List.length errors);
+      List.iter
+        (fun (i, e) ->
+          Binary.uvarint k i;
+          w_error k e)
+        errors)
   | Event_msg ev ->
     k.Binary.put_char binary_tag;
     Binary.u8 k 1;
@@ -848,6 +891,17 @@ let from_mb_read r =
         Config_values (List.init n (fun _ -> r_entry r))
       | 4 -> Stats_reply (r_stats r)
       | 5 -> Op_error (r_error r)
+      | 6 ->
+        let count = Binary.get_uvarint r in
+        let n_err = Binary.get_uvarint r in
+        Batch_ack
+          {
+            count;
+            errors =
+              List.init n_err (fun _ ->
+                  let i = Binary.get_uvarint r in
+                  (i, r_error r));
+          }
       | n -> bad_tag "reply" n
     in
     Reply { op; reply }
@@ -931,6 +985,14 @@ let request_wire_bytes ?(framing:Framing.t = Framing.Json) m =
     | Put_support_perflow c | Put_support_shared c | Put_report_perflow c
     | Put_report_shared c ->
       json_overhead + Chunk.size_bytes c + String.length (Hfl.to_string c.key)
+    | Put_batch chunks ->
+      (* One message envelope plus, per chunk, the chunk object's own
+         punctuation — sized like a single put so batching N chunks
+         saves exactly N-1 envelopes on the simulated channel. *)
+      List.fold_left
+        (fun acc c ->
+          acc + json_overhead + Chunk.size_bytes c + String.length (Hfl.to_string c.key))
+        json_overhead chunks
     | Reprocess_packet { key; packet } ->
       json_overhead + Packet.wire_bytes packet
       + String.length (Hfl.to_string key)
@@ -951,7 +1013,9 @@ let reply_wire_bytes ?(framing:Framing.t = Framing.Json) m =
     | Reply
         {
           op;
-          reply = (End_of_state _ | Ack | Config_values _ | Stats_reply _ | Op_error _) as reply;
+          reply =
+            ( End_of_state _ | Ack | Config_values _ | Stats_reply _ | Op_error _
+            | Batch_ack _ ) as reply;
         } ->
       Json.wire_size (from_mb_to_json (Reply { op; reply })))
 
@@ -973,6 +1037,9 @@ let describe_request req =
     | Get_support_shared | Get_report_shared -> ""
     | Enable_events { codes; _ } | Disable_events { codes } -> String.concat "," codes
     | Reprocess_packet { packet; _ } -> Packet.flow_label packet
+    | Put_batch chunks ->
+      Printf.sprintf "n=%d (%dB)" (List.length chunks)
+        (List.fold_left (fun acc c -> acc + Chunk.size_bytes c) 0 chunks)
   in
   if detail = "" then name else name ^ " " ^ detail
 
@@ -983,3 +1050,5 @@ let describe_reply = function
   | Config_values es -> Printf.sprintf "configValues n=%d" (List.length es)
   | Stats_reply _ -> "stats"
   | Op_error e -> "error " ^ Errors.to_string e
+  | Batch_ack { count; errors } ->
+    Printf.sprintf "batchAck count=%d errors=%d" count (List.length errors)

@@ -31,6 +31,12 @@ type request =
   | Reprocess_packet of { key : Openmb_net.Hfl.t; packet : Openmb_net.Packet.t }
       (** Controller forwarding a re-process event to the destination
           MB. *)
+  | Put_batch of Chunk.t list
+      (** Several state chunks installed with one message and one
+          coalesced {!Batch_ack}: the controller's transfer pipeline
+          batches streamed chunks instead of paying one put/ack round
+          trip each.  Chunks self-describe their role and partition, so
+          a batch may mix supporting and reporting state. *)
 
 type reply =
   | State_chunk of Chunk.t  (** One streamed piece of state during a get. *)
@@ -39,6 +45,10 @@ type reply =
   | Config_values of Config_tree.entry list
   | Stats_reply of Southbound.stats
   | Op_error of Errors.t
+  | Batch_ack of { count : int; errors : (int * Errors.t) list }
+      (** Reply to {!Put_batch}: [count] chunks were processed in
+          order; [errors] lists the zero-based indices that failed and
+          why.  An empty [errors] acknowledges every chunk. *)
 
 type to_mb = { op : op_id; req : request }
 (** Controller → MB. *)

@@ -58,6 +58,19 @@ let check_granularity impl hfl =
   if Openmb_net.Hfl.compatible_with_granularity hfl impl.granularity then Ok ()
   else Error Errors.Granularity_too_fine
 
+(* Dispatch one chunk to the put operation its role/partition selects —
+   chunks self-describe, so batch application needs no side channel. *)
+let put_chunk impl (chunk : Chunk.t) =
+  match (chunk.Chunk.role, chunk.Chunk.partition) with
+  | Taxonomy.Supporting, Taxonomy.Per_flow -> impl.put_support_perflow chunk
+  | Taxonomy.Supporting, Taxonomy.Shared -> impl.put_support_shared chunk
+  | Taxonomy.Reporting, Taxonomy.Per_flow -> impl.put_report_perflow chunk
+  | Taxonomy.Reporting, Taxonomy.Shared -> impl.put_report_shared chunk
+  | Taxonomy.Configuring, (Taxonomy.Per_flow | Taxonomy.Shared) ->
+    (* Configuration state never travels as chunks; mirror the
+       controller's single-put mapping. *)
+    impl.put_support_shared chunk
+
 let default_cost =
   {
     per_packet = Time.us 100.0;

@@ -89,6 +89,11 @@ val check_granularity : impl -> Openmb_net.Hfl.t -> (unit, Errors.t) result
 (** [Error Granularity_too_fine] when the request constrains dimensions
     outside the MB's granularity. *)
 
+val put_chunk : impl -> Chunk.t -> (unit, Errors.t) result
+(** Apply one chunk via the put operation selected by its role and
+    partition — the dispatch used when a [putBatch] installs a mixed
+    batch in one shot. *)
+
 val default_cost : cost_model
 (** Neutral cost model for tests: 100 µs per packet, 2% op slowdown,
     microsecond-scale state-op costs. *)

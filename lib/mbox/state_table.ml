@@ -188,6 +188,16 @@ let matching t hfl =
   | None ->
     fold_entries t ~init:[] ~f:(fun acc e -> if Hfl.subsumes hfl e.key then e :: acc else acc)
 
+(* Visit matching entries without materializing the hit list — the
+   bulk-export path (a get streaming thousands of chunks) folds each
+   entry straight into its batch instead of building and re-walking
+   intermediate lists. *)
+let iter_matching t hfl f =
+  match indexed_candidates t hfl with
+  | Some candidates -> List.iter (fun e -> if Hfl.subsumes hfl e.key then f e) candidates
+  | None ->
+    fold_entries t ~init:() ~f:(fun () e -> if Hfl.subsumes hfl e.key then f e)
+
 let remove_entry t (e : 'a entry) =
   (match t.packed with
   | Some ptbl -> (

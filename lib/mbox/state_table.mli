@@ -68,6 +68,11 @@ val insert : 'a t -> key:Openmb_net.Hfl.t -> 'a -> unit
 val matching : 'a t -> Openmb_net.Hfl.t -> 'a entry list
 (** Linear scan for entries whose key is subsumed by the request. *)
 
+val iter_matching : 'a t -> Openmb_net.Hfl.t -> ('a entry -> unit) -> unit
+(** [iter_matching t hfl f] applies [f] to every entry {!matching}
+    would return, without building the list — the batch-export
+    iteration used when a get streams a large table. *)
+
 val remove_matching : 'a t -> Openmb_net.Hfl.t -> 'a entry list
 (** Remove and return all matching entries. *)
 

@@ -29,7 +29,22 @@ let field_matches (tup : Five_tuple.t) = function
   | Proto proto -> tup.proto = proto
 
 let matches_tuple hfl tup = List.for_all (field_matches tup) hfl
-let matches_packet hfl p = matches_tuple hfl (Five_tuple.of_packet p)
+
+let field_matches_packet (p : Packet.t) = function
+  | Src_ip pre -> Addr.in_prefix p.src_ip pre
+  | Dst_ip pre -> Addr.in_prefix p.dst_ip pre
+  | Src_port port -> p.src_port = port
+  | Dst_port port -> p.dst_port = port
+  | Proto proto -> p.proto = proto
+
+(* Equivalent to [matches_tuple hfl (Five_tuple.of_packet p)] but reads
+   the packet's header fields directly: the packet path calls this per
+   rule, and the tuple record + closure it used to build per call was
+   pure garbage. *)
+let rec matches_packet hfl p =
+  match hfl with
+  | [] -> true
+  | f :: rest -> field_matches_packet p f && matches_packet rest p
 
 let matches_bidir hfl tup =
   matches_tuple hfl tup || matches_tuple hfl (Five_tuple.reverse tup)

@@ -11,20 +11,49 @@ let max_match = 18 (* 4-bit length field stores length - min_match *)
 let hash3 s i =
   (Char.code s.[i] lsl 10) lxor (Char.code s.[i + 1] lsl 5) lxor Char.code s.[i + 2]
 
-let compress input =
+(* A reusable workspace: the hash-chain head and prev arrays, plus the
+   output buffers, persist across calls.  Resetting the head array for
+   a new input is O(1) — each head slot carries the epoch it was last
+   written in and reads as empty under any other epoch — so a call
+   costs no 32 K-word allocation or clear.  The encoded output is
+   byte-for-byte what a fresh workspace (or the pre-workspace
+   implementation) produces. *)
+type workspace = {
+  head : int array;  (* head.(h) = most recent position with hash h *)
+  stamp : int array;  (* epoch that wrote head.(h); other epochs read -1 *)
+  prev : int array;  (* prev.(i mod window) = previous position, forming chains *)
+  mutable epoch : int;
+  out : Buffer.t;
+  group : Buffer.t;
+}
+
+let create_workspace () =
+  {
+    head = Array.make 32768 (-1);
+    stamp = Array.make 32768 (-1);
+    prev = Array.make window_size (-1);
+    epoch = 0;
+    out = Buffer.create 512;
+    group = Buffer.create 17;
+  }
+
+(* [compress_to ws input] encodes [input] into [ws.out] (cleared
+   first) and leaves the result there; the [compress*] entry points
+   below decide whether to materialize it. *)
+let compress_to ws input =
   let n = String.length input in
-  if n = 0 then ""
-  else begin
-    let out = Buffer.create (n / 2) in
-    (* head.(h) = most recent position with hash h; prev.(i mod window) =
-       previous position with the same hash, forming chains. *)
-    let head = Array.make 32768 (-1) in
-    let prev = Array.make window_size (-1) in
+  Buffer.clear ws.out;
+  if n > 0 then begin
+    let { head; stamp; prev; out; group; _ } = ws in
+    ws.epoch <- ws.epoch + 1;
+    let epoch = ws.epoch in
+    let head_get h = if stamp.(h) = epoch then head.(h) else -1 in
     let insert pos =
       if pos + min_match <= n then begin
         let h = hash3 input pos land 32767 in
-        prev.(pos land (window_size - 1)) <- head.(h);
-        head.(h) <- pos
+        prev.(pos land (window_size - 1)) <- head_get h;
+        head.(h) <- pos;
+        stamp.(h) <- epoch
       end
     in
     let find_match pos =
@@ -33,7 +62,7 @@ let compress input =
         let h = hash3 input pos land 32767 in
         let limit = pos - window_size in
         let best_len = ref 0 and best_off = ref 0 in
-        let candidate = ref head.(h) in
+        let candidate = ref (head_get h) in
         let tries = ref 32 in
         while !candidate >= 0 && !candidate > limit && !tries > 0 do
           let cand = !candidate in
@@ -54,7 +83,7 @@ let compress input =
     in
     let pos = ref 0 in
     let flags = ref 0 and flag_count = ref 0 in
-    let group = Buffer.create 17 in
+    Buffer.clear group;
     let flush_group () =
       if !flag_count > 0 then begin
         Buffer.add_char out (Char.chr !flags);
@@ -84,9 +113,18 @@ let compress input =
       incr flag_count;
       if !flag_count = 8 then flush_group ()
     done;
-    flush_group ();
-    Buffer.contents out
+    flush_group ()
   end
+
+let compress_with ws input =
+  compress_to ws input;
+  Buffer.contents ws.out
+
+(* Shared workspace for the plain entry points.  Created on first use
+   so modules that never compress pay nothing. *)
+let global = lazy (create_workspace ())
+
+let compress input = compress_with (Lazy.force global) input
 
 let decompress input =
   let n = String.length input in
@@ -120,7 +158,9 @@ let decompress input =
   done;
   Buffer.contents out
 
-let compressed_size s = String.length (compress s)
+let compressed_size s =
+  compress_to (Lazy.force global) s;
+  Buffer.length (Lazy.force global).out
 
 let ratio s =
   let n = String.length s in

@@ -7,9 +7,26 @@
     an actual ratio on actual serialized state rather than assuming
     one. *)
 
+type workspace
+(** Reusable compressor scratch state: the 32 K-entry hash-chain head
+    array, the window-sized chain links and the output buffer.  A
+    workspace makes repeated calls allocation-free apart from the
+    result string — resetting between inputs is O(1) (an epoch bump),
+    not a 32 K-word clear — which is what lets a 1000-chunk transfer
+    compress every chunk without re-paying the table setup. *)
+
+val create_workspace : unit -> workspace
+
+val compress_with : workspace -> string -> string
+(** [compress_with ws s] is {!compress}[ s] computed with [ws]'s
+    scratch state.  The output is byte-for-byte identical to a fresh
+    workspace's (prior inputs never leak into the encoding), so either
+    side of a transfer may reuse or not reuse workspaces freely. *)
+
 val compress : string -> string
-(** [compress s] is an LZSS encoding of [s].  Worst case it is slightly
-    larger than the input (one flag bit per literal byte). *)
+(** [compress s] is an LZSS encoding of [s], using a shared internal
+    workspace.  Worst case it is slightly larger than the input (one
+    flag bit per literal byte). *)
 
 val decompress : string -> string
 (** Inverse of {!compress}.  Raises [Invalid_argument] on input that
@@ -17,7 +34,7 @@ val decompress : string -> string
 
 val compressed_size : string -> int
 (** [compressed_size s] is [String.length (compress s)] without
-    materializing the intermediate string twice. *)
+    materializing the output string. *)
 
 val ratio : string -> float
 (** [ratio s] is [1 - compressed_size s / length s]: the fraction of

@@ -938,6 +938,105 @@ let prop_moves_conserve_state =
       let counts = Array.map Openmb_apps.Dummy_mb.chunk_count mbs in
       Array.fold_left ( + ) 0 counts = n_chunks)
 
+(* The batched transfer pipeline must be observationally equivalent to
+   the per-chunk reference path ([batch_chunks <= 1]): same destination
+   state tables, same chunk/byte accounting, the same per-key replay
+   order for forwarded re-process events, and the same number of
+   replays at the destination — under random scenario shapes with
+   packets arriving mid-move. *)
+type transfer_trace = {
+  tr_chunks : int;
+  tr_bytes : int;
+  tr_dst_support : (string * string) list;
+  tr_dst_report : (string * string) list;
+  tr_dst_reprocessed : int;
+  tr_fwd_by_key : (string * string list) list;
+}
+
+let run_move_scenario ~batch_chunks ~batch_bytes ~put_window ~n_chunks ~n_reports
+    ~rate_pps =
+  let engine = Engine.create () in
+  let recorder = Recorder.create engine in
+  let config = { test_config with batch_chunks; batch_bytes; put_window } in
+  let ctrl = Controller.create engine ~config ~recorder () in
+  let src = Openmb_apps.Dummy_mb.create engine ~name:"src" () in
+  let dst = Openmb_apps.Dummy_mb.create engine ~name:"dst" () in
+  Openmb_apps.Dummy_mb.populate src ~n:n_chunks;
+  Openmb_apps.Dummy_mb.populate_reporting src ~n:n_reports;
+  Controller.connect ctrl (Mb_agent.create engine ~impl:(Openmb_apps.Dummy_mb.impl src) ());
+  Controller.connect ctrl (Mb_agent.create engine ~impl:(Openmb_apps.Dummy_mb.impl dst) ());
+  if rate_pps > 0.0 then begin
+    Openmb_apps.Dummy_mb.start_events src ~rate_pps;
+    (* Stop at a fixed virtual time, so the schedule of raised events is
+       independent of when the move happens to return. *)
+    ignore
+      (Engine.schedule_after engine (Time.ms 8.0) (fun () ->
+           Openmb_apps.Dummy_mb.stop_events src))
+  end;
+  let result = ref None in
+  Controller.move_internal ctrl ~src:"src" ~dst:"dst" ~key:Hfl.any ~on_done:(fun res ->
+      result := Some res);
+  Engine.run engine;
+  match !result with
+  | Some (Ok mr) ->
+    (* Per-key order of forwarded re-process events; the detail line is
+       "src->dst reprocess key=<key> pkt=<label>" (no spaces within
+       fields). *)
+    let tbl = Hashtbl.create 16 in
+    let find_marker detail marker =
+      let n = String.length detail and m = String.length marker in
+      let rec scan i =
+        if i + m > n then None
+        else if String.sub detail i m = marker then Some i
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    List.iter
+      (fun (e : Recorder.entry) ->
+        (* The packet label may itself contain spaces, so split on the
+           field markers rather than on whitespace. *)
+        match (find_marker e.detail " key=", find_marker e.detail " pkt=") with
+        | Some k, Some p when k < p ->
+          let key = String.sub e.detail (k + 5) (p - k - 5) in
+          let pkt = String.sub e.detail (p + 5) (String.length e.detail - p - 5) in
+          let prev = try Hashtbl.find tbl key with Not_found -> [] in
+          Hashtbl.replace tbl key (pkt :: prev)
+        | _ -> Alcotest.fail ("unparsable event-fwd detail: " ^ e.detail))
+      (Recorder.filter ~actor:"controller" ~kind:"event-fwd" recorder);
+    {
+      tr_chunks = mr.Controller.chunks_moved;
+      tr_bytes = mr.Controller.bytes_moved;
+      tr_dst_support = Openmb_apps.Dummy_mb.support_entries dst;
+      tr_dst_report = Openmb_apps.Dummy_mb.report_entries dst;
+      tr_dst_reprocessed = Openmb_apps.Dummy_mb.reprocessed dst;
+      tr_fwd_by_key =
+        List.sort compare (Hashtbl.fold (fun k v acc -> (k, List.rev v) :: acc) tbl []);
+    }
+  | Some (Error e) -> Alcotest.fail ("move failed: " ^ Errors.to_string e)
+  | None -> Alcotest.fail "move did not return"
+
+let prop_batched_transfer_equivalent =
+  QCheck2.Test.make ~name:"batched transfer equals per-chunk transfer" ~count:30
+    QCheck2.Gen.(
+      pair
+        (quad (int_range 1 40) (int_range 0 10) (int_range 2 10) (int_range 1 6))
+        (int_bound 4))
+    (fun ((n_chunks, n_reports, batch_chunks, put_window), rate_level) ->
+      let rate_pps = float_of_int rate_level *. 2000.0 in
+      (* Alternate a tight byte bound in so batches also get cut on
+         size, not only on chunk count. *)
+      let batch_bytes = if batch_chunks mod 2 = 0 then 2048 else 32768 in
+      let reference =
+        run_move_scenario ~batch_chunks:1 ~batch_bytes:32768 ~put_window:1 ~n_chunks
+          ~n_reports ~rate_pps
+      in
+      let batched =
+        run_move_scenario ~batch_chunks ~batch_bytes ~put_window ~n_chunks ~n_reports
+          ~rate_pps
+      in
+      reference = batched)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -1017,5 +1116,5 @@ let () =
           Alcotest.test_case "move under binary framing" `Quick
             test_move_under_binary_framing;
         ]
-        @ qcheck [ prop_moves_conserve_state ] );
+        @ qcheck [ prop_moves_conserve_state; prop_batched_transfer_equivalent ] );
     ]

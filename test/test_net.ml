@@ -245,6 +245,44 @@ let prop_hfl_subsumes_implies_match =
       in
       (not (Hfl.subsumes a b && Hfl.matches_tuple b tup)) || Hfl.matches_tuple a tup)
 
+let prop_hfl_packet_matches_tuple =
+  (* The zero-allocation packet fast path must agree with matching the
+     packet's extracted five-tuple. *)
+  let gen =
+    QCheck2.Gen.(
+      let prefix =
+        map2 (fun a len -> Addr.prefix (Addr.of_int a) len) (int_bound 0xFFFFFFF)
+          (int_range 0 32)
+      in
+      let field =
+        oneof
+          [
+            map (fun p -> Hfl.Src_ip p) prefix;
+            map (fun p -> Hfl.Dst_ip p) prefix;
+            map (fun p -> Hfl.Src_port p) (int_range 1 65535);
+            map (fun p -> Hfl.Dst_port p) (int_range 1 65535);
+            map
+              (fun b -> Hfl.Proto (if b then Packet.Tcp else Packet.Udp))
+              bool;
+          ]
+      in
+      pair
+        (list_size (int_range 0 5) field)
+        (triple (pair (int_bound 0xFFFFFFF) bool)
+           (pair (int_range 1 65535) (int_range 1 65535))
+           bool))
+  in
+  QCheck2.Test.make ~name:"matches_packet agrees with matches_tuple" ~count:500 gen
+    (fun (hfl, ((ip, flip), (sp, dp), tcp)) ->
+      let p =
+        Packet.make ~id:1 ~ts:Openmb_sim.Time.zero ~src_ip:(Addr.of_int ip)
+          ~dst_ip:(Addr.of_int (if flip then ip lxor 0xFF else ip))
+          ~src_port:sp ~dst_port:dp
+          ~proto:(if tcp then Packet.Tcp else Packet.Udp)
+          ()
+      in
+      Hfl.matches_packet hfl p = Hfl.matches_tuple hfl (Five_tuple.of_packet p))
+
 (* ------------------------------------------------------------------ *)
 (* Flow table                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -553,7 +591,7 @@ let () =
           Alcotest.test_case "equality" `Quick test_hfl_equal_order_insensitive;
           Alcotest.test_case "to_tuple" `Quick test_hfl_to_tuple;
         ]
-        @ qcheck [ prop_hfl_subsumes_implies_match ] );
+        @ qcheck [ prop_hfl_subsumes_implies_match; prop_hfl_packet_matches_tuple ] );
       ( "flow_table",
         [
           Alcotest.test_case "priority" `Quick test_flow_table_priority;

@@ -154,6 +154,34 @@ let prop_compress_roundtrip_redundant =
       let s = String.concat "" (List.init reps (fun _ -> unit_)) in
       Compress.decompress (Compress.compress s) = s)
 
+let prop_compress_workspace_equivalent =
+  (* A long-lived workspace reused across many inputs (the controller's
+     transfer pipeline) must behave exactly like compressing each input
+     with a fresh workspace: identical bytes out, and every output
+     round-trips through the one shared decompressor.  Mixes random and
+     highly repetitive inputs so hash chains carry real state from one
+     call into the next. *)
+  QCheck2.Test.make ~name:"workspace reuse equals fresh compression" ~count:60
+    QCheck2.Gen.(
+      list_size (int_range 1 5)
+        (oneof
+           [
+             string_size (int_range 0 400);
+             map
+               (fun (unit_, reps) -> String.concat "" (List.init reps (fun _ -> unit_)))
+               (pair (string_size (int_range 1 24)) (int_range 2 50));
+           ]))
+    (fun inputs ->
+      let shared = Compress.create_workspace () in
+      List.for_all
+        (fun s ->
+          let reused = Compress.compress_with shared s in
+          let fresh = Compress.compress_with (Compress.create_workspace ()) s in
+          reused = fresh
+          && reused = Compress.compress s
+          && Compress.decompress reused = s)
+        inputs)
+
 (* ------------------------------------------------------------------ *)
 (* Binary primitives                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -293,7 +321,12 @@ let () =
           Alcotest.test_case "shrinks redundant input" `Quick test_compress_shrinks_redundant;
           Alcotest.test_case "empty ratio" `Quick test_compress_ratio_empty;
         ]
-        @ qcheck [ prop_compress_roundtrip; prop_compress_roundtrip_redundant ] );
+        @ qcheck
+            [
+              prop_compress_roundtrip;
+              prop_compress_roundtrip_redundant;
+              prop_compress_workspace_equivalent;
+            ] );
       ( "binary",
         [
           Alcotest.test_case "fixed-width round-trips" `Quick test_binary_fixed_roundtrip;
