@@ -120,13 +120,29 @@ let snapshots () =
   }
 
 (* OpenMB: the failover application mirrors critical state from
-   introspection events and restores it into a cold replacement. *)
-let introspection () =
-  let scenario =
-    Scenario.create
-      ~ctrl_config:{ Controller.default_config with quiescence = Time.ms 200.0 }
-      ~with_recorder:false ()
+   introspection events and restores it into a cold replacement.
+   [plan], when given, subjects the controller channels (and the
+   primary) to a fault-injection plan. *)
+type introspection_outcome = {
+  base : outcome;
+  mirrored : int;  (** Records in the watcher's mirror at failure time. *)
+  recovery : Time.t;  (** Failure to reroute-complete. *)
+  counters : Controller.counters;
+}
+
+let introspection_run ?plan () =
+  let config =
+    {
+      Controller.default_config with
+      quiescence = Time.ms 200.0;
+      (* Tight enough that retries under a fault plan land within the
+         run instead of after the default 30 s idle window. *)
+      request_timeout = Time.seconds 1.0;
+      retry_backoff_cap = Time.seconds 8.0;
+      max_retries = 4;
+    }
   in
+  let scenario = Scenario.create ~ctrl_config:config ?faults:plan ~with_recorder:false () in
   let engine = Scenario.engine scenario in
   let mk name =
     Nat.create engine ~name ~external_ip:(Addr.of_string "5.5.5.5")
@@ -149,20 +165,99 @@ let introspection () =
       (conn_packets i)
   done;
   let restored = ref 0 in
+  let mirrored = ref 0 in
+  let rerouted_at = ref Time.zero in
   Scenario.at scenario (Time.seconds fail_at) (fun () ->
       mappings_at_failure := Nat.mapping_count primary;
+      mirrored := Failover.tracked watcher;
       Failover.fail_over watcher ~replacement:"replacement" ~dst_port:"replacement"
-        ~on_done:(fun r -> restored := r.Failover.restored)
+        ~on_done:(fun r ->
+          restored := r.Failover.restored;
+          rerouted_at := r.Failover.rerouted_at)
         ());
   Scenario.run scenario;
   {
-    mappings_at_failure = !mappings_at_failure;
-    restored = !restored;
-    overhead_bytes = !mappings_at_failure * event_wire_bytes;
-    overhead_pkts = 0;
+    base =
+      {
+        mappings_at_failure = !mappings_at_failure;
+        restored = !restored;
+        overhead_bytes = !mappings_at_failure * event_wire_bytes;
+        overhead_pkts = 0;
+      };
+    mirrored = !mirrored;
+    recovery = Time.(!rerouted_at - Time.seconds fail_at);
+    counters = Controller.counters (Scenario.controller scenario);
   }
 
-let run () =
+let introspection () = (introspection_run ()).base
+
+(* ------------------------------------------------------------------ *)
+(* --faults <seed>: the same recovery under a named fault plan          *)
+(* ------------------------------------------------------------------ *)
+
+(* Set by the driver (bench failover --faults <seed>). *)
+let fault_seed : int option ref = ref None
+
+(* Only the primary is crash-eligible: the replacement must stay up for
+   the restore to have somewhere to land (the controller still retries
+   its messages through the faulty links). *)
+let fault_plan seed =
+  Openmb_sim.Faults.random_plan ~seed ~mbs:[ "primary" ]
+    ~horizon:(Time.seconds (fail_at +. 2.0))
+
+let append_bench_row ~seed (o : introspection_outcome) =
+  let open Openmb_wire in
+  let bench_file = "BENCH_micro.json" in
+  let existing =
+    if Sys.file_exists bench_file then
+      match
+        Json.of_string (In_channel.with_open_text bench_file In_channel.input_all)
+      with
+      | Json.Assoc fields -> fields
+      | _ | (exception Json.Parse_error _) -> []
+    else []
+  in
+  let label = "failover-faults" in
+  let entry =
+    Json.Assoc
+      [
+        ("seed", Json.Int seed);
+        ("recovery_ms", Json.Float (Time.to_seconds o.recovery *. 1e3));
+        ("retries", Json.Int o.counters.Controller.op_retries);
+        ("timeouts", Json.Int o.counters.Controller.op_timeouts);
+        ("mappings", Json.Int o.base.mappings_at_failure);
+        ("mirrored", Json.Int o.mirrored);
+        ("restored", Json.Int o.base.restored);
+      ]
+  in
+  let fields = List.remove_assoc label existing @ [ (label, entry) ] in
+  Out_channel.with_open_text bench_file (fun oc ->
+      Out_channel.output_string oc (Json.to_string_pretty (Json.Assoc fields));
+      Out_channel.output_char oc '\n');
+  Printf.printf "  [json] wrote %s (label %S, seed %d)\n" bench_file label seed
+
+let run_faults seed =
+  Util.banner
+    (Printf.sprintf "Failure recovery under fault plan %d (drops, dups, crashes)" seed);
+  let clean = introspection_run () in
+  let faulted = introspection_run ~plan:(fault_plan seed) () in
+  Util.row "  %-22s %10s %10s %10s %12s %8s\n" "" "mappings" "mirrored" "restored"
+    "recovery(ms)" "retries";
+  let show name (o : introspection_outcome) =
+    Util.row "  %-22s %10d %10d %10d %12.1f %8d\n" name o.base.mappings_at_failure
+      o.mirrored o.base.restored
+      (Time.to_seconds o.recovery *. 1e3)
+      o.counters.Controller.op_retries
+  in
+  show "fault-free" clean;
+  show (Printf.sprintf "fault plan %d" seed) faulted;
+  Format.printf "  controller under faults: %a@." Controller.pp_counters faulted.counters;
+  Printf.printf
+    "  Dropped events thin the mirror (lost mappings); dropped control\n\
+    \  messages stretch recovery by retry backoff, never losing the restore.\n";
+  append_bench_row ~seed faulted
+
+let run_battery () =
   Util.banner "Section 2: failure-recovery options for a NAT, quantified";
   let show name (o : outcome) =
     Util.row "  %-22s %10d %10d %8d %14d\n" name o.mappings_at_failure o.restored
@@ -178,3 +273,6 @@ let run () =
     \  shown is the duplicated wire bytes).  Snapshots lose whatever arrived\n\
     \  since the last interval.  Introspection mirroring loses nothing and\n\
     \  its overhead is one small event per state creation (R6).\n"
+
+let run () =
+  match !fault_seed with Some seed -> run_faults seed | None -> run_battery ()

@@ -85,8 +85,9 @@ let get_put_times kind ~chunks =
     (fun i (c : Chunk.t) ->
       let req =
         match c.role with
-        | Taxonomy.Supporting -> Message.Put_support_perflow c
-        | Taxonomy.Reporting | Taxonomy.Configuring -> Message.Put_report_perflow c
+        | Taxonomy.Supporting -> Message.Put_support_perflow { seq = i; chunk = c }
+        | Taxonomy.Reporting | Taxonomy.Configuring ->
+          Message.Put_report_perflow { seq = i; chunk = c }
       in
       Mb_agent.handle_request agent_b { Message.op = i; req })
     !chunks_out;

@@ -125,7 +125,10 @@ let put_chunk_msg () =
       ~key:(Hfl.key_of_tuple Hfl.full_granularity (mk_tuple 17))
       ~plain:(String.make 200 's')
   in
-  { Openmb_core.Message.op = 42; req = Openmb_core.Message.Put_support_perflow chunk }
+  {
+    Openmb_core.Message.op = 42;
+    req = Openmb_core.Message.Put_support_perflow { seq = 42; chunk };
+  }
 
 let message_encode_json () =
   let msg = put_chunk_msg () in

@@ -19,7 +19,15 @@
    labelled files — the last label wins), exiting non-zero when any
    benchmark regressed by more than 20%:
 
-     dune exec bench/main.exe -- micro --compare before.json after.json *)
+     dune exec bench/main.exe -- micro --compare before.json after.json
+
+   failover --faults SEED swaps the failover battery for a single
+   recovery run under the named deterministic fault plan (message drops
+   and duplication, latency spikes, a possible primary crash),
+   reporting recovery time and controller retries and appending the row
+   to BENCH_micro.json under the "failover-faults" label:
+
+     dune exec bench/main.exe -- failover --faults 42 *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -89,6 +97,12 @@ let () =
         exit (if Exp_micro.compare_results before after > 0 then 1 else 0)
       | "--compare" :: _ ->
         Printf.eprintf "usage: micro --compare BEFORE.json AFTER.json\n";
+        exit 2
+      | "--faults" :: seed :: rest when int_of_string_opt seed <> None ->
+        Exp_failover.fault_seed := int_of_string_opt seed;
+        strip rest
+      | "--faults" :: _ ->
+        Printf.eprintf "usage: failover --faults SEED\n";
         exit 2
       | arg :: rest -> arg :: strip rest
     in

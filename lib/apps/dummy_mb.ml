@@ -144,6 +144,23 @@ let put_shared t ~role ~get ~set (chunk : Chunk.t) =
       (match get () with None -> set v | Some existing -> set (existing ^ "+" ^ v));
       Ok ()
 
+(* Transactional rollback: give exported-but-undeleted entries back to
+   this MB by clearing their moved marks, so an aborted move leaves the
+   source authoritative and re-exportable. *)
+let abort_perflow t hfl =
+  State_table.iter_matching t.support hfl (fun (e : string State_table.entry) ->
+      e.moved <- false);
+  State_table.iter_matching t.report hfl (fun (e : string State_table.entry) ->
+      e.moved <- false)
+
+(* Existence check by key coverage, not five-tuple probe: populate's
+   synthetic keys pin only source ip/port, so they are invisible to the
+   packed-table fast path a five-tuple lookup takes.  O(entries), which
+   is fine for its test-harness role. *)
+let has_state_for t p =
+  State_table.fold t.support ~init:false ~f:(fun acc e ->
+      acc || Hfl.matches_packet e.State_table.key p)
+
 let process_packet t p ~side_effects =
   if side_effects then begin
     t.packets_seen <- t.packets_seen + 1;
@@ -193,6 +210,7 @@ let impl t =
       put_shared t ~role:Taxonomy.Reporting
         ~get:(fun () -> t.sh_report)
         ~set:(fun v -> t.sh_report <- Some v);
+    abort_perflow = abort_perflow t;
     stats = stats t;
     process_packet = process_packet t;
   }

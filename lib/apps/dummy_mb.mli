@@ -52,6 +52,14 @@ val chunk_count : t -> int
 
 val report_count : t -> int
 
+val has_state_for : t -> Openmb_net.Packet.t -> bool
+(** Whether a per-flow supporting entry exists for the packet's flow
+    (either direction) — the chaos tests' "replayed against present
+    state" check. *)
+
+val key_for : int -> Openmb_net.Hfl.t
+(** Key of the [i]-th synthetic record installed by {!populate}. *)
+
 val support_entries : t -> (string * string) list
 (** Per-flow supporting records as (key string, value) pairs sorted by
     key — lets tests compare two MBs' state tables for equality. *)

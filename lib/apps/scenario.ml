@@ -7,35 +7,43 @@ type t = {
   engine : Engine.t;
   recorder : Recorder.t option;
   ctrl : Controller.t;
+  faults : Faults.t option;
   sdn : Sdn_controller.t;
   switch : Switch.t;
   sink : Host.t;
 }
 
-let create ?ctrl_config ?(install_delay = Time.ms 10.0) ?(with_recorder = true) () =
+let create ?ctrl_config ?faults ?(install_delay = Time.ms 10.0) ?(with_recorder = true) ()
+    =
   let engine = Engine.create () in
   let recorder = if with_recorder then Some (Recorder.create engine) else None in
-  let ctrl = Controller.create engine ?config:ctrl_config ?recorder () in
+  let faults = Option.map (fun plan -> Faults.create engine plan) faults in
+  let ctrl = Controller.create engine ?config:ctrl_config ?recorder ?faults () in
   let sdn = Sdn_controller.create engine ~install_delay () in
   let switch = Switch.create engine ~name:"s1" () in
   Sdn_controller.register_switch sdn switch;
   let sink = Host.create ~name:"sink" () in
-  { engine; recorder; ctrl; sdn; switch; sink }
+  { engine; recorder; ctrl; faults; sdn; switch; sink }
 
 let engine t = t.engine
 let recorder t = t.recorder
 let controller t = t.ctrl
+let faults t = t.faults
 let sdn t = t.sdn
 let switch t = t.switch
 let sink t = t.sink
 
-let attach_mb t ~port ~receive ~base ~impl =
+let attach_mb_agent t ~port ~receive ~base ~impl =
   let to_mb = Link.create t.engine ~name:("s1-" ^ port) ~dst:receive () in
   Switch.attach_port t.switch ~port to_mb;
   let to_sink = Link.create t.engine ~name:(port ^ "-sink") ~dst:(Host.receive t.sink) () in
   Mb_base.set_egress base (Link.send to_sink);
   let agent = Mb_agent.create t.engine ?recorder:t.recorder ~impl () in
-  Controller.connect t.ctrl agent
+  Controller.connect t.ctrl agent;
+  agent
+
+let attach_mb t ~port ~receive ~base ~impl =
+  ignore (attach_mb_agent t ~port ~receive ~base ~impl)
 
 let attach_port_to_sink t ~port =
   let link = Link.create t.engine ~name:("s1-" ^ port) ~dst:(Host.receive t.sink) () in

@@ -10,16 +10,22 @@ type t
 
 val create :
   ?ctrl_config:Openmb_core.Controller.config ->
+  ?faults:Openmb_sim.Faults.plan ->
   ?install_delay:Openmb_sim.Time.t ->
   ?with_recorder:bool ->
   unit ->
   t
 (** Fresh engine, recorder (when [with_recorder], default true), MB
-    controller, SDN controller and one switch named ["s1"]. *)
+    controller, SDN controller and one switch named ["s1"].  [faults]
+    instantiates a fault-injection plan against the engine and hands it
+    to the MB controller: every controller–MB channel draws from the
+    plan's link profile and MBs attached later get the plan's scheduled
+    crashes armed. *)
 
 val engine : t -> Openmb_sim.Engine.t
 val recorder : t -> Openmb_sim.Recorder.t option
 val controller : t -> Openmb_core.Controller.t
+val faults : t -> Openmb_sim.Faults.t option
 val sdn : t -> Openmb_net.Sdn_controller.t
 val switch : t -> Openmb_net.Switch.t
 val sink : t -> Openmb_net.Host.t
@@ -34,6 +40,16 @@ val attach_mb :
 (** Wire a middlebox into the deployment: switch port [port] leads to
     [receive]; the MB's egress leads to the sink; the MB connects to
     the MB controller via a fresh agent (shared recorder). *)
+
+val attach_mb_agent :
+  t ->
+  port:string ->
+  receive:(Openmb_net.Packet.t -> unit) ->
+  base:Openmb_mbox.Mb_base.t ->
+  impl:Openmb_core.Southbound.impl ->
+  Openmb_core.Mb_agent.t
+(** Like {!attach_mb} but returns the created agent, so tests can crash
+    and restart it directly. *)
 
 val attach_port_to_sink : t -> port:string -> unit
 (** A switch port that bypasses middleboxes. *)

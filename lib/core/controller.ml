@@ -12,6 +12,9 @@ type config = {
   batch_chunks : int;
   batch_bytes : int;
   put_window : int;
+  request_timeout : Time.t;
+  retry_backoff_cap : Time.t;
+  max_retries : int;
 }
 
 let default_config =
@@ -26,6 +29,11 @@ let default_config =
     batch_chunks = 16;
     batch_bytes = 32768;
     put_window = 4;
+    (* Generous enough that a healthy deployment never trips it even
+       under heavy controller contention; chaos configs tighten it. *)
+    request_timeout = Time.seconds 30.0;
+    retry_backoff_cap = Time.seconds 120.0;
+    max_retries = 4;
   }
 
 type move_result = {
@@ -35,8 +43,31 @@ type move_result = {
   duration : Time.t;
 }
 
+type counters = {
+  msgs_processed : int;
+  evt_forwarded : int;
+  evt_dropped : int;
+  evt_returned : int;
+  evt_buffered_peak : int;
+  op_retries : int;
+  op_timeouts : int;
+  aborted_transfers : int;
+}
+
 (* A handler consumes successive replies to one op; [`Done] removes it. *)
 type handler = Message.reply -> [ `Keep | `Done ]
+
+(* One in-flight southbound request.  [po_last_activity] is refreshed
+   by every reply on the op, so a streaming get stays alive as long as
+   chunks keep arriving; the timeout chain measures idleness against
+   it.  Only idempotent requests are retried. *)
+type pending_op = {
+  po_req : Message.request;
+  po_handler : handler;
+  po_retryable : bool;
+  mutable po_attempts : int;
+  mutable po_last_activity : Time.t;
+}
 
 type conn = {
   agent : Mb_agent.t;
@@ -45,7 +76,10 @@ type conn = {
       (* Negotiated when the channel was set up; sizes every message on
          this connection. *)
   mutable next_op : int;
-  pending : (int, handler) Hashtbl.t;
+  mutable next_seq : int;
+      (* Sequence numbers stamped on mutating requests so the agent can
+         deduplicate retries and duplicated deliveries. *)
+  pending : (int, pending_op) Hashtbl.t;
 }
 
 type transfer_kind = T_move | T_clone | T_merge
@@ -72,7 +106,11 @@ type transfer = {
   mutable bytes : int;
   mutable events_fwd : int;
   acked : (string, unit) Hashtbl.t;
-  putting : (string, unit) Hashtbl.t;  (* keys with an unacked put *)
+  putting : (string, int) Hashtbl.t;
+      (* Outstanding put count per key: a flow with both a supporting
+         and a reporting chunk is only [acked] — and its buffered
+         events only flushed — once every chunk under the key has been
+         acknowledged. *)
   buffered : (string, Event.t Queue.t) Hashtbl.t;
   mutable buffered_count : int;
   mutable last_event : Time.t;
@@ -90,6 +128,7 @@ type t = {
   engine : Engine.t;
   cfg : config;
   recorder : Recorder.t option;
+  faults : Faults.t option;
   mbs : (string, conn) Hashtbl.t;
   mutable transfers : transfer list;
   mutable next_transfer : int;
@@ -97,15 +136,20 @@ type t = {
   mutable cpu_free_at : Time.t;
   mutable events_forwarded : int;
   mutable events_dropped : int;
+  mutable events_returned : int;
   mutable buffered_peak : int;
   mutable messages : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable aborted : int;
 }
 
-let create engine ?(config = default_config) ?recorder () =
+let create engine ?(config = default_config) ?recorder ?faults () =
   {
     engine;
     cfg = config;
     recorder;
+    faults;
     mbs = Hashtbl.create 8;
     transfers = [];
     next_transfer = 0;
@@ -113,8 +157,12 @@ let create engine ?(config = default_config) ?recorder () =
     cpu_free_at = Time.zero;
     events_forwarded = 0;
     events_dropped = 0;
+    events_returned = 0;
     buffered_peak = 0;
     messages = 0;
+    retries = 0;
+    timeouts = 0;
+    aborted = 0;
   }
 
 let record t ~kind ~detail =
@@ -136,14 +184,85 @@ let cpu t bytes k =
 
 let find_conn t name = Hashtbl.find_opt t.mbs name
 
-(* Send [req] to [conn], registering [handler] for its replies. *)
-let op_send t conn req handler =
-  let op = conn.next_op in
-  conn.next_op <- op + 1;
-  Hashtbl.replace conn.pending op handler;
+let alloc_seq conn =
+  let s = conn.next_seq in
+  conn.next_seq <- s + 1;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Request transmission, timeouts and retries                          *)
+(* ------------------------------------------------------------------ *)
+
+let timeouts_enabled t = Time.compare t.cfg.request_timeout Time.zero > 0
+
+(* Attempt [n] waits [request_timeout * 2^n], capped. *)
+let backoff_delay t attempts =
+  let base = Time.to_seconds t.cfg.request_timeout in
+  let cap = Time.to_seconds t.cfg.retry_backoff_cap in
+  Time.seconds (Float.min (base *. (2.0 ** float_of_int attempts)) cap)
+
+let transmit t conn op req =
   let msg = { Message.op; req } in
   let bytes = Message.request_wire_bytes ~framing:conn.framing msg in
   cpu t bytes (fun () -> Channel.send conn.to_mb ~bytes msg)
+
+(* One timer chain per op: each firing either re-arms (activity since),
+   retransmits and re-arms (idle, retryable, attempts left), or fails
+   the op with [Errors.Timeout].  Exactly one check event is
+   outstanding per pending op; resolution (reply or disconnect) ends
+   the chain at its next firing. *)
+let rec check_timeout t conn op po () =
+  if Hashtbl.mem conn.pending op then begin
+    let delay = backoff_delay t po.po_attempts in
+    let due = Time.(po.po_last_activity + delay) in
+    let now = Engine.now t.engine in
+    if Time.compare now due < 0 then
+      ignore (Engine.schedule_at t.engine due (check_timeout t conn op po))
+    else if po.po_retryable && po.po_attempts < t.cfg.max_retries then begin
+      po.po_attempts <- po.po_attempts + 1;
+      po.po_last_activity <- now;
+      t.retries <- t.retries + 1;
+      record t ~kind:"op-retry"
+        ~detail:
+          (Printf.sprintf "op=%d attempt=%d %s" op po.po_attempts
+             (Message.describe_request po.po_req));
+      transmit t conn op po.po_req;
+      ignore
+        (Engine.schedule_at t.engine
+           Time.(now + backoff_delay t po.po_attempts)
+           (check_timeout t conn op po))
+    end
+    else begin
+      Hashtbl.remove conn.pending op;
+      t.timeouts <- t.timeouts + 1;
+      record t ~kind:"op-timeout"
+        ~detail:(Printf.sprintf "op=%d %s" op (Message.describe_request po.po_req));
+      ignore
+        (po.po_handler
+           (Message.Op_error (Errors.Timeout (Message.describe_request po.po_req))))
+    end
+  end
+
+(* Send [req] to [conn], registering [handler] for its replies. *)
+let op_send ?(retryable = true) t conn req handler =
+  let op = conn.next_op in
+  conn.next_op <- op + 1;
+  let po =
+    {
+      po_req = req;
+      po_handler = handler;
+      po_retryable = retryable;
+      po_attempts = 0;
+      po_last_activity = Engine.now t.engine;
+    }
+  in
+  Hashtbl.replace conn.pending op po;
+  transmit t conn op req;
+  if timeouts_enabled t then
+    ignore
+      (Engine.schedule_at t.engine
+         Time.(Engine.now t.engine + backoff_delay t 0)
+         (check_timeout t conn op po))
 
 (* Fire-and-forget request (deferred deletes, event forwarding). *)
 let op_send_ignore t conn req =
@@ -236,9 +355,9 @@ let handle_reprocess_event t src_name ev key =
     transfer.last_event <- Engine.now t.engine;
     let id = transfer_key_id transfer key in
     (* Forward once the destination holds the state the event applies
-       to: either its put has been acknowledged, or the source's export
-       stream has ended without a chunk for this key — the flow started
-       mid-move and exists only through its replayed packets. *)
+       to: either its puts have all been acknowledged, or the source's
+       export stream has ended without a chunk for this key — the flow
+       started mid-move and exists only through its replayed packets. *)
     let ready =
       Hashtbl.mem transfer.acked id
       || (transfer.open_gets = 0 && not (Hashtbl.mem transfer.putting id))
@@ -273,8 +392,9 @@ let dispatch_from_mb t mb_name msg =
     | Some conn -> (
       match Hashtbl.find_opt conn.pending op with
       | None -> ()
-      | Some handler -> (
-        match handler reply with
+      | Some po -> (
+        po.po_last_activity <- Engine.now t.engine;
+        match po.po_handler reply with
         | `Keep -> ()
         | `Done -> Hashtbl.remove conn.pending op)))
 
@@ -286,29 +406,47 @@ let connect t ?framing agent =
      default unless this MB asked for an override — and sizes every
      message on its three channels. *)
   let framing = Option.value framing ~default:t.cfg.framing in
+  let faulted tag =
+    match t.faults with
+    | None -> None
+    | Some f -> Some (Faults.link f ~name:(name ^ "/" ^ tag))
+  in
   let deliver msg =
     (* Receiving costs controller CPU proportional to message size. *)
     cpu t (Message.reply_wire_bytes ~framing msg) (fun () -> dispatch_from_mb t name msg)
   in
-  let mk_channel () =
-    Channel.create t.engine ~latency:t.cfg.channel_latency
-      ~bytes_per_sec:t.cfg.channel_bandwidth ~deliver
+  let mk_channel tag =
+    Channel.create t.engine ?faults:(faulted tag) ~latency:t.cfg.channel_latency
+      ~bytes_per_sec:t.cfg.channel_bandwidth ~deliver ()
   in
-  let reply_ch = mk_channel () and event_ch = mk_channel () in
+  let reply_ch = mk_channel "reply" and event_ch = mk_channel "event" in
   let to_mb =
-    Channel.create t.engine ~latency:t.cfg.channel_latency
+    Channel.create t.engine ?faults:(faulted "op") ~latency:t.cfg.channel_latency
       ~bytes_per_sec:t.cfg.channel_bandwidth
       ~deliver:(fun msg -> Mb_agent.handle_request agent msg)
+      ()
   in
   Mb_agent.set_uplinks agent
     ~send_reply:(fun msg ->
       Channel.send reply_ch ~bytes:(Message.reply_wire_bytes ~framing msg) msg)
     ~send_event:(fun msg ->
       Channel.send event_ch ~bytes:(Message.reply_wire_bytes ~framing msg) msg);
+  (match t.faults with
+  | None -> ()
+  | Some f ->
+    Faults.arm_crashes f ~name
+      ~on_crash:(fun () -> Mb_agent.crash agent)
+      ~on_restart:(fun () -> Mb_agent.restart agent));
   Hashtbl.replace t.mbs name
-    { agent; to_mb; framing; next_op = 0; pending = Hashtbl.create 16 }
+    { agent; to_mb; framing; next_op = 0; next_seq = 0; pending = Hashtbl.create 16 }
 
 let disconnect t name =
+  (match find_conn t name with
+  | Some conn ->
+    (* Abandon in-flight ops: their handlers never fire and their
+       timeout chains die at the next check. *)
+    Hashtbl.reset conn.pending
+  | None -> ());
   Hashtbl.remove t.mbs name;
   t.transfers <-
     List.filter (fun tr -> not (String.equal tr.src name || String.equal tr.dst name))
@@ -478,10 +616,50 @@ let maybe_return t transfer =
     schedule_quiescence_check t transfer
   end
 
-let fail_transfer t transfer err =
+(* Transactional rollback (the paper's move/clone are all-or-nothing
+   from the caller's perspective): on any mid-transfer failure the
+   source keeps its state — buffered re-process events flush back to
+   it, and an [Abort_perflow] clears the moved marks its exports left
+   behind so the state is re-exportable.  The destination may retain
+   already-installed copies; the source stays authoritative and no
+   delete is ever issued.  The caller sees [Error (Move_aborted _)]
+   naming the underlying cause. *)
+let abort_transfer t transfer err =
   if not transfer.returned then begin
     transfer.returned <- true;
     t.transfers <- List.filter (fun tr -> tr.t_id <> transfer.t_id) t.transfers;
+    t.aborted <- t.aborted + 1;
+    (match find_conn t transfer.src with
+    | None ->
+      Hashtbl.iter
+        (fun _ q -> t.events_dropped <- t.events_dropped + Queue.length q)
+        transfer.buffered
+    | Some src_conn ->
+      Hashtbl.iter
+        (fun _ q ->
+          Queue.iter
+            (fun ev ->
+              match ev with
+              | Event.Reprocess { key; packet } ->
+                t.events_returned <- t.events_returned + 1;
+                op_send_ignore t src_conn (Message.Reprocess_packet { key; packet })
+              | Event.Introspect _ -> ())
+            q)
+        transfer.buffered;
+      match transfer.kind with
+      | T_move -> op_send_ignore t src_conn (Message.Abort_perflow transfer.hfl)
+      | T_clone | T_merge -> ());
+    Hashtbl.reset transfer.buffered;
+    transfer.buffered_count <- 0;
+    record t ~kind:"transfer-abort"
+      ~detail:
+        (Printf.sprintf "#%d %s->%s: %s" transfer.t_id transfer.src transfer.dst
+           (Errors.to_string err));
+    let err =
+      match err with
+      | Errors.Move_aborted _ -> err
+      | e -> Errors.Move_aborted (Errors.to_string e)
+    in
     transfer.on_done (Error err)
   end
 
@@ -497,31 +675,42 @@ let track_chunk transfer (chunk : Chunk.t) =
   transfer.pending_puts <- transfer.pending_puts + 1;
   transfer.chunks <- transfer.chunks + 1;
   transfer.bytes <- transfer.bytes + Chunk.size_bytes chunk;
-  Hashtbl.replace transfer.putting (chunk_key_id chunk) ()
+  let id = chunk_key_id chunk in
+  let n = try Hashtbl.find transfer.putting id with Not_found -> 0 in
+  Hashtbl.replace transfer.putting id (n + 1)
 
 (* The per-key bookkeeping one acknowledged chunk performs; the batched
    path runs it once per chunk, in batch order, so reprocess-event
-   buffering and flushing behave exactly as under sequential acks. *)
+   buffering and flushing behave exactly as under sequential acks.  A
+   key becomes [acked] — and its buffered events flush — only when its
+   last outstanding chunk is acknowledged, so a flow with both
+   supporting and reporting state never sees events forwarded after
+   half its state landed. *)
 let ack_chunk t transfer key_id =
-  Hashtbl.remove transfer.putting key_id;
-  Hashtbl.replace transfer.acked key_id ();
   transfer.pending_puts <- transfer.pending_puts - 1;
-  flush_buffered t transfer key_id
+  let n = try Hashtbl.find transfer.putting key_id with Not_found -> 1 in
+  if n <= 1 then begin
+    Hashtbl.remove transfer.putting key_id;
+    Hashtbl.replace transfer.acked key_id ();
+    flush_buffered t transfer key_id
+  end
+  else Hashtbl.replace transfer.putting key_id (n - 1)
 
 (* Issue a put for a streamed chunk and track its acknowledgement —
    the legacy one-message-per-chunk path, kept for [batch_chunks <= 1]
    (and as the semantic reference the equivalence property test holds
    the batched pipeline to). *)
 let issue_put t transfer dst_conn (chunk : Chunk.t) =
+  let seq = alloc_seq dst_conn in
   let req =
     match (chunk.role, chunk.partition) with
-    | Taxonomy.Supporting, Taxonomy.Per_flow -> Message.Put_support_perflow chunk
-    | Taxonomy.Supporting, Taxonomy.Shared -> Message.Put_support_shared chunk
-    | Taxonomy.Reporting, Taxonomy.Per_flow -> Message.Put_report_perflow chunk
-    | Taxonomy.Reporting, Taxonomy.Shared -> Message.Put_report_shared chunk
+    | Taxonomy.Supporting, Taxonomy.Per_flow -> Message.Put_support_perflow { seq; chunk }
+    | Taxonomy.Supporting, Taxonomy.Shared -> Message.Put_support_shared { seq; chunk }
+    | Taxonomy.Reporting, Taxonomy.Per_flow -> Message.Put_report_perflow { seq; chunk }
+    | Taxonomy.Reporting, Taxonomy.Shared -> Message.Put_report_shared { seq; chunk }
     | Taxonomy.Configuring, (Taxonomy.Per_flow | Taxonomy.Shared) ->
       (* Configuration state never travels as chunks. *)
-      Message.Put_support_shared chunk
+      Message.Put_support_shared { seq; chunk }
   in
   track_chunk transfer chunk;
   let key_id = chunk_key_id chunk in
@@ -530,10 +719,10 @@ let issue_put t transfer dst_conn (chunk : Chunk.t) =
       | Message.Ack ->
         ack_chunk t transfer key_id;
         maybe_return t transfer
-      | Message.Op_error e -> fail_transfer t transfer e
+      | Message.Op_error e -> abort_transfer t transfer e
       | Message.State_chunk _ | Message.End_of_state _ | Message.Config_values _
       | Message.Stats_reply _ | Message.Batch_ack _ ->
-        fail_transfer t transfer (Errors.Op_failed "unexpected reply to put"));
+        abort_transfer t transfer (Errors.Op_failed "unexpected reply to put"));
       `Done)
 
 (* Cut one size-bounded batch off the head of the queue, preserving
@@ -569,10 +758,12 @@ let rec pump t transfer dst_conn =
   if ready_to_cut () then begin
     let batch = next_batch t transfer in
     transfer.inflight_batches <- transfer.inflight_batches + 1;
-    op_send t dst_conn (Message.Put_batch batch) (fun reply ->
+    op_send t dst_conn
+      (Message.Put_batch { seq = alloc_seq dst_conn; chunks = batch })
+      (fun reply ->
         transfer.inflight_batches <- transfer.inflight_batches - 1;
         (match reply with
-        | Message.Batch_ack { count = _; errors } ->
+        | Message.Batch_ack { seq = _; count = _; errors } ->
           (* Acknowledge the batch's chunks in order up to the first
              failure — exactly what N sequential acks would do. *)
           (try
@@ -580,17 +771,17 @@ let rec pump t transfer dst_conn =
                (fun idx chunk ->
                  match List.assoc_opt idx errors with
                  | Some e ->
-                   fail_transfer t transfer e;
+                   abort_transfer t transfer e;
                    raise Exit
                  | None -> ack_chunk t transfer (chunk_key_id chunk))
                batch
            with Exit -> ());
           maybe_return t transfer;
           pump t transfer dst_conn
-        | Message.Op_error e -> fail_transfer t transfer e
+        | Message.Op_error e -> abort_transfer t transfer e
         | Message.Ack | Message.State_chunk _ | Message.End_of_state _
         | Message.Config_values _ | Message.Stats_reply _ ->
-          fail_transfer t transfer (Errors.Op_failed "unexpected reply to putBatch"));
+          abort_transfer t transfer (Errors.Op_failed "unexpected reply to putBatch"));
         `Done);
     pump t transfer dst_conn
   end
@@ -601,25 +792,59 @@ let enqueue_chunk t transfer dst_conn chunk =
   transfer.queued_bytes <- transfer.queued_bytes + Chunk.size_bytes chunk;
   pump t transfer dst_conn
 
-(* Handler for one of the source-side get streams of a transfer. *)
-let get_stream_handler t transfer dst_conn reply =
-  match reply with
-  | Message.State_chunk chunk ->
-    if t.cfg.batch_chunks <= 1 then issue_put t transfer dst_conn chunk
-    else enqueue_chunk t transfer dst_conn chunk;
-    `Keep
-  | Message.End_of_state _ ->
+(* Handler for one of the source-side get streams of a transfer.  Each
+   stream keeps its own accounting so losses, duplicates and reorder on
+   the reply channel are detected rather than silently corrupting the
+   move: duplicated chunks are dropped, and the stream only closes once
+   the [End_of_state] count has been reconciled against the chunks
+   actually received — a missing chunk keeps the op open until its
+   timeout aborts the transfer. *)
+let get_stream_handler t transfer dst_conn =
+  let seen = Hashtbl.create 16 in
+  let received = ref 0 in
+  let announced = ref (-1) in
+  let close () =
     transfer.open_gets <- transfer.open_gets - 1;
     if t.cfg.batch_chunks > 1 then pump t transfer dst_conn;
-    maybe_return t transfer;
-    `Done
-  | Message.Op_error e ->
-    fail_transfer t transfer e;
-    `Done
-  | Message.Ack | Message.Config_values _ | Message.Stats_reply _
-  | Message.Batch_ack _ ->
-    fail_transfer t transfer (Errors.Op_failed "unexpected reply to get");
-    `Done
+    maybe_return t transfer
+  in
+  fun reply ->
+    if transfer.returned then `Done
+    else
+      match reply with
+      | Message.State_chunk chunk ->
+        let id = chunk_key_id chunk in
+        if Hashtbl.mem seen id then `Keep
+        else begin
+          Hashtbl.replace seen id ();
+          incr received;
+          if t.cfg.batch_chunks <= 1 then issue_put t transfer dst_conn chunk
+          else enqueue_chunk t transfer dst_conn chunk;
+          if !announced >= 0 && !received >= !announced then begin
+            close ();
+            `Done
+          end
+          else `Keep
+        end
+      | Message.End_of_state { count } ->
+        if !received >= count then begin
+          close ();
+          `Done
+        end
+        else begin
+          (* Chunks overtaken by the end marker are still in flight:
+             keep the op open until they arrive (or its timeout aborts
+             the transfer). *)
+          announced := count;
+          `Keep
+        end
+      | Message.Op_error e ->
+        abort_transfer t transfer e;
+        `Done
+      | Message.Ack | Message.Config_values _ | Message.Stats_reply _
+      | Message.Batch_ack _ ->
+        abort_transfer t transfer (Errors.Op_failed "unexpected reply to get");
+        `Done
 
 let start_transfer t ~kind ~src ~dst ~hfl ~gets ~on_done =
   match (find_conn t src, find_conn t dst) with
@@ -670,8 +895,13 @@ let start_transfer t ~kind ~src ~dst ~hfl ~gets ~on_done =
             (Printf.sprintf "#%d %s %s->%s %s" transfer.t_id
                (match kind with T_move -> "move" | T_clone -> "clone" | T_merge -> "merge")
                src dst (Hfl.to_string hfl));
+        (* Gets are not retryable: the source marks exported entries as
+           moved, so replaying a get after losing its stream would
+           return an empty (or partial) stream and silently complete a
+           partial move.  A lost get stream times out and aborts. *)
         List.iter
-          (fun req -> op_send t src_conn req (get_stream_handler t transfer dst_conn))
+          (fun req ->
+            op_send ~retryable:false t src_conn req (get_stream_handler t transfer dst_conn))
           gets
     end
 
@@ -696,5 +926,27 @@ let merge_internal t ~src ~dst ~on_done =
 let events_buffered_peak t = t.buffered_peak
 let events_forwarded t = t.events_forwarded
 let events_dropped t = t.events_dropped
+let events_returned t = t.events_returned
 let active_transfers t = List.length t.transfers
 let messages_processed t = t.messages
+let op_retries t = t.retries
+let op_timeouts t = t.timeouts
+let transfers_aborted t = t.aborted
+
+let counters t =
+  {
+    msgs_processed = t.messages;
+    evt_forwarded = t.events_forwarded;
+    evt_dropped = t.events_dropped;
+    evt_returned = t.events_returned;
+    evt_buffered_peak = t.buffered_peak;
+    op_retries = t.retries;
+    op_timeouts = t.timeouts;
+    aborted_transfers = t.aborted;
+  }
+
+let pp_counters fmt c =
+  Format.fprintf fmt
+    "msgs=%d fwd=%d dropped=%d returned=%d buf-peak=%d retries=%d timeouts=%d aborts=%d"
+    c.msgs_processed c.evt_forwarded c.evt_dropped c.evt_returned c.evt_buffered_peak
+    c.op_retries c.op_timeouts c.aborted_transfers

@@ -51,21 +51,41 @@ type config = {
       (** Maximum [putBatch] messages in flight to the destination at
           once; acks refill the window.  Batching and windowing change
           only message timing, never the per-key ack bookkeeping. *)
+  request_timeout : Openmb_sim.Time.t;
+      (** Base idle timeout on a southbound op: if no reply activity is
+          seen for this long, the op is retried (if idempotent) or
+          failed with {!Errors.Timeout}.  [Time.zero] disables timeouts
+          and retries entirely. *)
+  retry_backoff_cap : Openmb_sim.Time.t;
+      (** Upper bound on the exponential backoff between retries
+          (attempt [n] waits [request_timeout * 2^n], capped here). *)
+  max_retries : int;
+      (** Retransmissions attempted on an idempotent op before it is
+          failed with {!Errors.Timeout}.  Retried mutations are safe:
+          they carry a sequence number the agent applies at most
+          once. *)
 }
 
 val default_config : config
 (** 5 s quiescence, 8 µs + 0.3 µs/byte CPU, 200 µs / 125 MB/s
     channels — calibrated to the paper's controller numbers; transfers
     batch up to 16 chunks / 32 KiB per [putBatch] with a 4-batch send
-    window.  (Compression of transfers is controlled by
+    window.  Requests time out after 30 s idle with up to 4 retries
+    backing off to 120 s — generous enough that only real failures trip
+    it.  (Compression of transfers is controlled by
     {!Chunk.compression_enabled}.) *)
 
 val create :
   Openmb_sim.Engine.t ->
   ?config:config ->
   ?recorder:Openmb_sim.Recorder.t ->
+  ?faults:Openmb_sim.Faults.t ->
   unit ->
   t
+(** [faults], when given, subjects every controller–MB channel to the
+    fault plan's link profile (named ["<mb>/op"], ["<mb>/reply"],
+    ["<mb>/event"]) and arms the plan's scheduled MB crashes at
+    {!connect} time. *)
 
 val connect : t -> ?framing:Openmb_wire.Framing.t -> Mb_agent.t -> unit
 (** Establish the op and event connections to an MB agent and register
@@ -129,7 +149,16 @@ val move_internal :
 (** Move the per-flow supporting and reporting state matching [key]
     from [src] to [dst].  [on_done] fires when every exported chunk has
     been acknowledged by [dst]; event forwarding continues afterwards,
-    and the state is deleted from [src] once events quiesce. *)
+    and the state is deleted from [src] once events quiesce.
+
+    The move is transactional: if any leg fails mid-transfer (an op
+    error, a timeout after retries are exhausted, a destination crash),
+    [on_done] fires with [Error (Move_aborted _)], buffered re-process
+    events are flushed back to [src], its exported entries are
+    un-marked ([abortPerflow]) so they remain re-exportable, and no
+    delete is ever issued — the source keeps its state intact.  The
+    destination may retain partial copies; the source stays
+    authoritative. *)
 
 val clone_support :
   t ->
@@ -181,6 +210,27 @@ val clone_config :
 
 (** {1 Reporting} *)
 
+type counters = {
+  msgs_processed : int;  (** Messages that crossed the controller CPU. *)
+  evt_forwarded : int;  (** Re-process events forwarded to destinations. *)
+  evt_dropped : int;  (** Re-process events that matched no active transfer. *)
+  evt_returned : int;
+      (** Buffered re-process events flushed back to the source by an
+          aborted transfer. *)
+  evt_buffered_peak : int;
+      (** High-water mark of buffered re-process events. *)
+  op_retries : int;  (** Southbound requests retransmitted. *)
+  op_timeouts : int;  (** Southbound requests failed with {!Errors.Timeout}. *)
+  aborted_transfers : int;  (** Transfers rolled back ({!Errors.Move_aborted}). *)
+}
+
+val counters : t -> counters
+(** Snapshot of every controller counter — the single stats surface the
+    benches print and the chaos oracle asserts over (a fault-free run
+    must show [evt_dropped = 0] and no retries, timeouts or aborts). *)
+
+val pp_counters : Format.formatter -> counters -> unit
+
 val events_buffered_peak : t -> int
 (** High-water mark of buffered re-process events across transfers. *)
 
@@ -190,9 +240,16 @@ val events_forwarded : t -> int
 val events_dropped : t -> int
 (** Re-process events that matched no active transfer. *)
 
+val events_returned : t -> int
+(** Buffered events an aborted transfer replayed back to its source. *)
+
 val active_transfers : t -> int
 (** Transfers still forwarding events (including returned ones awaiting
     quiescence). *)
 
 val messages_processed : t -> int
 (** Messages that crossed the controller CPU. *)
+
+val op_retries : t -> int
+val op_timeouts : t -> int
+val transfers_aborted : t -> int

@@ -5,6 +5,8 @@ type t =
   | Illegal_operation of string
   | Bad_chunk of string
   | Op_failed of string
+  | Timeout of string
+  | Move_aborted of string
 
 let to_string = function
   | Granularity_too_fine -> "request granularity finer than MB state granularity"
@@ -13,6 +15,8 @@ let to_string = function
   | Illegal_operation what -> Printf.sprintf "illegal operation: %s" what
   | Bad_chunk what -> Printf.sprintf "bad state chunk: %s" what
   | Op_failed what -> Printf.sprintf "operation failed: %s" what
+  | Timeout what -> Printf.sprintf "timed out: %s" what
+  | Move_aborted why -> Printf.sprintf "move aborted: %s" why
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 
@@ -23,7 +27,9 @@ let equal a b =
   | Unknown_config_key x, Unknown_config_key y
   | Illegal_operation x, Illegal_operation y
   | Bad_chunk x, Bad_chunk y
-  | Op_failed x, Op_failed y -> String.equal x y
+  | Op_failed x, Op_failed y
+  | Timeout x, Timeout y
+  | Move_aborted x, Move_aborted y -> String.equal x y
   | ( ( Granularity_too_fine | Unknown_mb _ | Unknown_config_key _ | Illegal_operation _
-      | Bad_chunk _ | Op_failed _ ),
+      | Bad_chunk _ | Op_failed _ | Timeout _ | Move_aborted _ ),
       _ ) -> false

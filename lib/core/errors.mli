@@ -14,6 +14,13 @@ type t =
       (** Chunk cannot be unsealed or is structurally invalid for the
           receiving MB. *)
   | Op_failed of string  (** MB-specific failure. *)
+  | Timeout of string
+      (** A southbound request exhausted its retries without a reply —
+          the MB is crashed, partitioned, or persistently lossy. *)
+  | Move_aborted of string
+      (** A transactional transfer ([moveInternal], [cloneSupport],
+          [mergeInternal]) was rolled back: source state is intact and
+          buffered events were flushed back to the source. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

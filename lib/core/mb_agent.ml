@@ -11,6 +11,24 @@ type t = {
   mutable active_ops : int;
   mutable ops_handled : int;
   mutable events_raised : int;
+  (* Crash model: a crash abandons everything in flight on the control
+     thread (epoch bump suppresses scheduled continuations) and wipes
+     the volatile dedup caches; durable configuration and the MB's own
+     state tables survive.  While down, requests and raised events are
+     dropped on the floor. *)
+  mutable crashed : bool;
+  mutable epoch : int;
+  mutable crash_count : int;
+  (* Volatile at-most-once bookkeeping.  [op_replies] caches the
+     replies of every op this incarnation completed so duplicated
+     deliveries replay instead of re-executing; [op_started] marks ops
+     currently executing so their duplicates are dropped (the running
+     execution will answer); [applied_seq] maps mutation sequence
+     numbers to their final reply so retried puts are idempotent even
+     across op ids. *)
+  op_replies : (int, Message.reply list) Hashtbl.t;
+  op_started : (int, unit) Hashtbl.t;
+  applied_seq : (int, Message.reply) Hashtbl.t;
 }
 
 let record t ~kind ~detail =
@@ -33,13 +51,19 @@ let create engine ?recorder ~impl () =
       active_ops = 0;
       ops_handled = 0;
       events_raised = 0;
+      crashed = false;
+      epoch = 0;
+      crash_count = 0;
+      op_replies = Hashtbl.create 64;
+      op_started = Hashtbl.create 64;
+      applied_seq = Hashtbl.create 64;
     }
   in
   (* Events raised by the MB's packet-processing logic flow out through
      the agent; re-process events always pass, introspection events are
      filtered (§4.2.2). *)
   impl.set_event_sink (fun ev ->
-      if Event.Filter.admits t.filter ev then begin
+      if (not t.crashed) && Event.Filter.admits t.filter ev then begin
         t.events_raised <- t.events_raised + 1;
         record t ~kind:"event-raise" ~detail:(Event.describe ev);
         t.send_event (Message.Event_msg ev)
@@ -56,20 +80,47 @@ let set_uplinks t ~send_reply ~send_event =
 let op_active t = t.active_ops > 0
 let ops_handled t = t.ops_handled
 let events_raised t = t.events_raised
+let is_crashed t = t.crashed
+let crash_count t = t.crash_count
+
+let crash t =
+  if not t.crashed then begin
+    t.crashed <- true;
+    t.crash_count <- t.crash_count + 1;
+    t.epoch <- t.epoch + 1;
+    t.active_ops <- 0;
+    t.impl.set_op_active false;
+    t.cpu_free_at <- Engine.now t.engine;
+    Hashtbl.reset t.op_replies;
+    Hashtbl.reset t.op_started;
+    Hashtbl.reset t.applied_seq;
+    record t ~kind:"crash" ~detail:""
+  end
+
+let restart t =
+  if t.crashed then begin
+    t.crashed <- false;
+    t.cpu_free_at <- Engine.now t.engine;
+    record t ~kind:"restart" ~detail:""
+  end
 
 (* Charge [cost] of serial control-thread CPU, then run [k].  The MB
    keeps processing packets meanwhile (its data path is separate); the
-   impl is told an op is active so it can apply the 2% slowdown. *)
+   impl is told an op is active so it can apply the 2% slowdown.  A
+   crash between scheduling and execution abandons [k]. *)
 let exec t cost k =
+  let epoch = t.epoch in
   let start = Time.max (Engine.now t.engine) t.cpu_free_at in
   t.cpu_free_at <- Time.(start + cost);
   t.active_ops <- t.active_ops + 1;
   if t.active_ops = 1 then t.impl.set_op_active true;
   ignore
     (Engine.schedule_at t.engine t.cpu_free_at (fun () ->
-         k ();
-         t.active_ops <- t.active_ops - 1;
-         if t.active_ops = 0 then t.impl.set_op_active false))
+         if t.epoch = epoch then begin
+           k ();
+           t.active_ops <- t.active_ops - 1;
+           if t.active_ops = 0 then t.impl.set_op_active false
+         end))
 
 let chunk_serialize_cost (cost : Southbound.cost_model) chunk =
   Time.(
@@ -89,7 +140,12 @@ let scan_cost t =
 
 let config_op_cost = Time.us 200.0
 
-let reply t op reply = t.send_reply (Message.Reply { op; reply })
+let send_reply_raw t op reply = t.send_reply (Message.Reply { op; reply })
+
+let reply t op reply =
+  let prev = try Hashtbl.find t.op_replies op with Not_found -> [] in
+  Hashtbl.replace t.op_replies op (reply :: prev);
+  send_reply_raw t op reply
 
 let reply_result t op = function
   | Ok () -> reply t op Message.Ack
@@ -129,10 +185,14 @@ let handle_get_shared t op ~what (fetch : unit -> (Chunk.t option, Errors.t) res
             record t ~kind:"get-end" ~detail:(what ^ " count=1");
             reply t op (Message.End_of_state { count = 1 })))
 
-let handle_put t op ~what chunk (store : Chunk.t -> (unit, Errors.t) result) =
+let handle_put t op ~what ~seq chunk (store : Chunk.t -> (unit, Errors.t) result) =
   exec t (chunk_deserialize_cost t.impl.cost chunk) (fun () ->
       record t ~kind:"put" ~detail:what;
-      reply_result t op (store chunk))
+      let r =
+        match store chunk with Ok () -> Message.Ack | Error e -> Message.Op_error e
+      in
+      Hashtbl.replace t.applied_seq seq r;
+      reply t op r)
 
 let handle_del t op (remove : unit -> (int, Errors.t) result) =
   exec t (scan_cost t) (fun () ->
@@ -142,8 +202,22 @@ let handle_del t op (remove : unit -> (int, Errors.t) result) =
         reply t op Message.Ack
       | Error e -> reply t op (Message.Op_error e))
 
-let handle_request t { Message.op; req } =
-  t.ops_handled <- t.ops_handled + 1;
+let seq_of_request = function
+  | Message.Put_support_perflow { seq; _ }
+  | Message.Put_support_shared { seq; _ }
+  | Message.Put_report_perflow { seq; _ }
+  | Message.Put_report_shared { seq; _ }
+  | Message.Put_batch { seq; _ } ->
+    Some seq
+  | Message.Get_config _ | Message.Set_config _ | Message.Del_config _
+  | Message.Get_support_perflow _ | Message.Del_support_perflow _
+  | Message.Get_support_shared | Message.Get_report_perflow _
+  | Message.Del_report_perflow _ | Message.Get_report_shared | Message.Get_stats _
+  | Message.Enable_events _ | Message.Disable_events _ | Message.Reprocess_packet _
+  | Message.Abort_perflow _ ->
+    None
+
+let execute t op req =
   let i = t.impl in
   match req with
   | Message.Get_config path ->
@@ -159,26 +233,26 @@ let handle_request t { Message.op; req } =
     handle_get t op
       ~what:("support " ^ Openmb_net.Hfl.to_string hfl)
       (fun () -> i.get_support_perflow hfl)
-  | Message.Put_support_perflow chunk ->
-    handle_put t op ~what:"support" chunk i.put_support_perflow
+  | Message.Put_support_perflow { seq; chunk } ->
+    handle_put t op ~what:"support" ~seq chunk i.put_support_perflow
   | Message.Del_support_perflow hfl ->
     handle_del t op (fun () -> i.del_support_perflow hfl)
   | Message.Get_support_shared ->
     handle_get_shared t op ~what:"support-shared" i.get_support_shared
-  | Message.Put_support_shared chunk ->
-    handle_put t op ~what:"support-shared" chunk i.put_support_shared
+  | Message.Put_support_shared { seq; chunk } ->
+    handle_put t op ~what:"support-shared" ~seq chunk i.put_support_shared
   | Message.Get_report_perflow hfl ->
     handle_get t op
       ~what:("report " ^ Openmb_net.Hfl.to_string hfl)
       (fun () -> i.get_report_perflow hfl)
-  | Message.Put_report_perflow chunk ->
-    handle_put t op ~what:"report" chunk i.put_report_perflow
+  | Message.Put_report_perflow { seq; chunk } ->
+    handle_put t op ~what:"report" ~seq chunk i.put_report_perflow
   | Message.Del_report_perflow hfl ->
     handle_del t op (fun () -> i.del_report_perflow hfl)
   | Message.Get_report_shared ->
     handle_get_shared t op ~what:"report-shared" i.get_report_shared
-  | Message.Put_report_shared chunk ->
-    handle_put t op ~what:"report-shared" chunk i.put_report_shared
+  | Message.Put_report_shared { seq; chunk } ->
+    handle_put t op ~what:"report-shared" ~seq chunk i.put_report_shared
   | Message.Get_stats hfl ->
     exec t config_op_cost (fun () -> reply t op (Message.Stats_reply (i.stats hfl)))
   | Message.Enable_events { codes; key } ->
@@ -187,7 +261,7 @@ let handle_request t { Message.op; req } =
   | Message.Disable_events { codes } ->
     Event.Filter.disable t.filter ~codes;
     reply t op Message.Ack
-  | Message.Put_batch chunks ->
+  | Message.Put_batch { seq; chunks } ->
     (* Deserialization cost is the sum over the batch — the work is the
        same as N individual puts — but the control-thread round trip,
        the reply and the controller-side ack processing are paid
@@ -209,13 +283,52 @@ let handle_request t { Message.op; req } =
         let errors = List.rev !errors in
         record t ~kind:"put-batch"
           ~detail:(Printf.sprintf "n=%d errors=%d" count (List.length errors));
-        reply t op (Message.Batch_ack { count; errors }))
+        let r = Message.Batch_ack { seq; count; errors } in
+        Hashtbl.replace t.applied_seq seq r;
+        reply t op r)
+  | Message.Abort_perflow hfl ->
+    exec t config_op_cost (fun () ->
+        record t ~kind:"abort-perflow" ~detail:(Openmb_net.Hfl.to_string hfl);
+        i.abort_perflow hfl;
+        reply t op Message.Ack)
   | Message.Reprocess_packet { key; packet } ->
     (* Re-processing updates state but performs no external
        side-effects (§4.2.1).  It rides the MB's packet path, not the
-       control thread, so no control CPU is charged here. *)
+       control thread, so no control CPU is charged here; the ack lets
+       the controller's retry machinery know the event landed. *)
     record t ~kind:"event-proc"
       ~detail:
         (Printf.sprintf "%s %s" (Openmb_net.Hfl.to_string key)
            (Openmb_net.Packet.flow_label packet));
-    i.process_packet packet ~side_effects:false
+    i.process_packet packet ~side_effects:false;
+    reply t op Message.Ack
+
+let handle_request t { Message.op; req } =
+  if t.crashed then
+    record t ~kind:"drop" ~detail:("crashed: " ^ Message.describe_request req)
+  else begin
+    t.ops_handled <- t.ops_handled + 1;
+    match seq_of_request req with
+    | Some seq when Hashtbl.mem t.applied_seq seq ->
+      (* Already-applied mutation (retry or duplicated delivery):
+         replay the recorded outcome under the incoming op id without
+         touching state. *)
+      let r = Hashtbl.find t.applied_seq seq in
+      record t ~kind:"dedup" ~detail:(Printf.sprintf "seq=%d" seq);
+      exec t Time.zero (fun () -> send_reply_raw t op r)
+    | _ ->
+      if Hashtbl.mem t.op_started op then begin
+        (* Duplicated delivery of an op this incarnation has seen:
+           replay its replies if it completed, otherwise drop — the
+           in-flight execution will answer. *)
+        match Hashtbl.find_opt t.op_replies op with
+        | Some replies ->
+          record t ~kind:"dedup" ~detail:(Printf.sprintf "op=%d" op);
+          exec t Time.zero (fun () -> List.iter (send_reply_raw t op) (List.rev replies))
+        | None -> record t ~kind:"dedup-drop" ~detail:(Printf.sprintf "op=%d" op)
+      end
+      else begin
+        Hashtbl.replace t.op_started op ();
+        execute t op req
+      end
+  end

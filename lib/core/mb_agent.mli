@@ -33,7 +33,31 @@ val set_uplinks :
     mirroring the paper's two threads per MB. *)
 
 val handle_request : t -> Message.to_mb -> unit
-(** Entry point for requests arriving from the controller. *)
+(** Entry point for requests arriving from the controller.  Requests
+    are executed at most once: duplicated deliveries of a completed op
+    replay its recorded replies, duplicates of a running op are
+    dropped, and sequence-numbered mutations ([Put_*], [Put_batch])
+    replay their original outcome even when retried under a fresh op
+    id.  While {!crash}ed, requests are silently dropped. *)
+
+(** {1 Crash model}
+
+    A crash abandons everything in flight on the control thread and
+    wipes the volatile at-most-once caches — after a {!restart} a
+    retried put re-applies, which is safe because per-flow puts
+    overwrite.  Durable state survives: the MB's own state tables, its
+    configuration tree, and the introspection filter. *)
+
+val crash : t -> unit
+(** Take the MB down: drop in-flight southbound operations, stop
+    accepting requests, and stop emitting events.  Idempotent. *)
+
+val restart : t -> unit
+(** Bring a crashed MB back up with empty volatile caches.  A no-op if
+    not crashed. *)
+
+val is_crashed : t -> bool
+val crash_count : t -> int
 
 val op_active : t -> bool
 (** Whether a state operation is currently executing. *)

@@ -8,20 +8,21 @@ type request =
   | Set_config of Config_tree.path * Json.t list
   | Del_config of Config_tree.path
   | Get_support_perflow of Hfl.t
-  | Put_support_perflow of Chunk.t
+  | Put_support_perflow of { seq : int; chunk : Chunk.t }
   | Del_support_perflow of Hfl.t
   | Get_support_shared
-  | Put_support_shared of Chunk.t
+  | Put_support_shared of { seq : int; chunk : Chunk.t }
   | Get_report_perflow of Hfl.t
-  | Put_report_perflow of Chunk.t
+  | Put_report_perflow of { seq : int; chunk : Chunk.t }
   | Del_report_perflow of Hfl.t
   | Get_report_shared
-  | Put_report_shared of Chunk.t
+  | Put_report_shared of { seq : int; chunk : Chunk.t }
   | Get_stats of Hfl.t
   | Enable_events of { codes : string list; key : Hfl.t }
   | Disable_events of { codes : string list }
   | Reprocess_packet of { key : Hfl.t; packet : Packet.t }
-  | Put_batch of Chunk.t list
+  | Put_batch of { seq : int; chunks : Chunk.t list }
+  | Abort_perflow of Hfl.t
 
 type reply =
   | State_chunk of Chunk.t
@@ -30,7 +31,7 @@ type reply =
   | Config_values of Config_tree.entry list
   | Stats_reply of Southbound.stats
   | Op_error of Errors.t
-  | Batch_ack of { count : int; errors : (int * Errors.t) list }
+  | Batch_ack of { seq : int; count : int; errors : (int * Errors.t) list }
 
 type to_mb = { op : op_id; req : request }
 
@@ -196,15 +197,19 @@ let request_body_to_json = function
   | Set_config (p, vs) -> ("setConfig", [ ("key", path_to_json p); ("values", Json.List vs) ])
   | Del_config p -> ("delConfig", [ ("key", path_to_json p) ])
   | Get_support_perflow h -> ("getSupportPerflow", [ ("key", hfl_to_json h) ])
-  | Put_support_perflow c -> ("putSupportPerflow", [ ("chunk", chunk_to_json c) ])
+  | Put_support_perflow { seq; chunk } ->
+    ("putSupportPerflow", [ ("seq", Json.Int seq); ("chunk", chunk_to_json chunk) ])
   | Del_support_perflow h -> ("delSupportPerflow", [ ("key", hfl_to_json h) ])
   | Get_support_shared -> ("getSupportShared", [])
-  | Put_support_shared c -> ("putSupportShared", [ ("chunk", chunk_to_json c) ])
+  | Put_support_shared { seq; chunk } ->
+    ("putSupportShared", [ ("seq", Json.Int seq); ("chunk", chunk_to_json chunk) ])
   | Get_report_perflow h -> ("getReportPerflow", [ ("key", hfl_to_json h) ])
-  | Put_report_perflow c -> ("putReportPerflow", [ ("chunk", chunk_to_json c) ])
+  | Put_report_perflow { seq; chunk } ->
+    ("putReportPerflow", [ ("seq", Json.Int seq); ("chunk", chunk_to_json chunk) ])
   | Del_report_perflow h -> ("delReportPerflow", [ ("key", hfl_to_json h) ])
   | Get_report_shared -> ("getReportShared", [])
-  | Put_report_shared c -> ("putReportShared", [ ("chunk", chunk_to_json c) ])
+  | Put_report_shared { seq; chunk } ->
+    ("putReportShared", [ ("seq", Json.Int seq); ("chunk", chunk_to_json chunk) ])
   | Get_stats h -> ("getStats", [ ("key", hfl_to_json h) ])
   | Enable_events { codes; key } ->
     ( "enableEvents",
@@ -216,8 +221,10 @@ let request_body_to_json = function
     ("disableEvents", [ ("codes", Json.List (List.map (fun c -> Json.String c) codes)) ])
   | Reprocess_packet { key; packet } ->
     ("reprocessPacket", [ ("key", hfl_to_json key); ("packet", packet_to_json packet) ])
-  | Put_batch chunks ->
-    ("putBatch", [ ("chunks", Json.List (List.map chunk_to_json chunks)) ])
+  | Put_batch { seq; chunks } ->
+    ( "putBatch",
+      [ ("seq", Json.Int seq); ("chunks", Json.List (List.map chunk_to_json chunks)) ] )
+  | Abort_perflow h -> ("abortPerflow", [ ("key", hfl_to_json h) ])
 
 let request_to_json { op; req } =
   let name, fields = request_body_to_json req in
@@ -226,6 +233,7 @@ let request_to_json { op; req } =
 let request_of_json j =
   let op = Json.get_int (Json.member "op" j) in
   let key_field () = Json.member "key" j in
+  let seq_field () = Json.get_int (Json.member "seq" j) in
   let chunk_field () = chunk_of_json (Json.member "chunk" j) in
   let req =
     match Json.get_string (Json.member "type" j) with
@@ -234,15 +242,15 @@ let request_of_json j =
       Set_config (path_of_json (key_field ()), Json.get_list (Json.member "values" j))
     | "delConfig" -> Del_config (path_of_json (key_field ()))
     | "getSupportPerflow" -> Get_support_perflow (hfl_of_json (key_field ()))
-    | "putSupportPerflow" -> Put_support_perflow (chunk_field ())
+    | "putSupportPerflow" -> Put_support_perflow { seq = seq_field (); chunk = chunk_field () }
     | "delSupportPerflow" -> Del_support_perflow (hfl_of_json (key_field ()))
     | "getSupportShared" -> Get_support_shared
-    | "putSupportShared" -> Put_support_shared (chunk_field ())
+    | "putSupportShared" -> Put_support_shared { seq = seq_field (); chunk = chunk_field () }
     | "getReportPerflow" -> Get_report_perflow (hfl_of_json (key_field ()))
-    | "putReportPerflow" -> Put_report_perflow (chunk_field ())
+    | "putReportPerflow" -> Put_report_perflow { seq = seq_field (); chunk = chunk_field () }
     | "delReportPerflow" -> Del_report_perflow (hfl_of_json (key_field ()))
     | "getReportShared" -> Get_report_shared
-    | "putReportShared" -> Put_report_shared (chunk_field ())
+    | "putReportShared" -> Put_report_shared { seq = seq_field (); chunk = chunk_field () }
     | "getStats" -> Get_stats (hfl_of_json (key_field ()))
     | "enableEvents" ->
       Enable_events
@@ -257,7 +265,12 @@ let request_of_json j =
       Reprocess_packet
         { key = hfl_of_json (key_field ()); packet = packet_of_json (Json.member "packet" j) }
     | "putBatch" ->
-      Put_batch (List.map chunk_of_json (Json.get_list (Json.member "chunks" j)))
+      Put_batch
+        {
+          seq = seq_field ();
+          chunks = List.map chunk_of_json (Json.get_list (Json.member "chunks" j));
+        }
+    | "abortPerflow" -> Abort_perflow (hfl_of_json (key_field ()))
     | s -> invalid_arg (Printf.sprintf "Message.request_of_json: unknown type %S" s)
   in
   { op; req }
@@ -292,6 +305,8 @@ let error_to_json (e : Errors.t) =
     | Illegal_operation s -> ("illegal_operation", s)
     | Bad_chunk s -> ("bad_chunk", s)
     | Op_failed s -> ("op_failed", s)
+    | Timeout s -> ("timeout", s)
+    | Move_aborted s -> ("move_aborted", s)
   in
   Json.Assoc [ ("code", Json.String code); ("arg", Json.String arg) ]
 
@@ -304,6 +319,8 @@ let error_of_json j : Errors.t =
   | "illegal_operation" -> Illegal_operation arg
   | "bad_chunk" -> Bad_chunk arg
   | "op_failed" -> Op_failed arg
+  | "timeout" -> Timeout arg
+  | "move_aborted" -> Move_aborted arg
   | s -> invalid_arg (Printf.sprintf "Message.error_of_json: %S" s)
 
 let entry_to_json (e : Config_tree.entry) =
@@ -323,9 +340,10 @@ let reply_to_json = function
   | Config_values es -> ("configValues", [ ("entries", Json.List (List.map entry_to_json es)) ])
   | Stats_reply s -> ("stats", [ ("stats", stats_to_json s) ])
   | Op_error e -> ("error", [ ("error", error_to_json e) ])
-  | Batch_ack { count; errors } ->
+  | Batch_ack { seq; count; errors } ->
     ( "batchAck",
       [
+        ("seq", Json.Int seq);
         ("count", Json.Int count);
         ( "errors",
           Json.List
@@ -389,6 +407,7 @@ let from_mb_of_json j =
       | "batchAck" ->
         Batch_ack
           {
+            seq = Json.get_int (Json.member "seq" j);
             count = Json.get_int (Json.member "count" j);
             errors =
               List.map
@@ -681,29 +700,33 @@ let request_write k { op; req } =
   | Get_support_perflow h ->
     Binary.u8 k 3;
     w_hfl k h
-  | Put_support_perflow c ->
+  | Put_support_perflow { seq; chunk } ->
     Binary.u8 k 4;
-    w_chunk k c
+    Binary.uvarint k seq;
+    w_chunk k chunk
   | Del_support_perflow h ->
     Binary.u8 k 5;
     w_hfl k h
   | Get_support_shared -> Binary.u8 k 6
-  | Put_support_shared c ->
+  | Put_support_shared { seq; chunk } ->
     Binary.u8 k 7;
-    w_chunk k c
+    Binary.uvarint k seq;
+    w_chunk k chunk
   | Get_report_perflow h ->
     Binary.u8 k 8;
     w_hfl k h
-  | Put_report_perflow c ->
+  | Put_report_perflow { seq; chunk } ->
     Binary.u8 k 9;
-    w_chunk k c
+    Binary.uvarint k seq;
+    w_chunk k chunk
   | Del_report_perflow h ->
     Binary.u8 k 10;
     w_hfl k h
   | Get_report_shared -> Binary.u8 k 11
-  | Put_report_shared c ->
+  | Put_report_shared { seq; chunk } ->
     Binary.u8 k 12;
-    w_chunk k c
+    Binary.uvarint k seq;
+    w_chunk k chunk
   | Get_stats h ->
     Binary.u8 k 13;
     w_hfl k h
@@ -718,10 +741,14 @@ let request_write k { op; req } =
     Binary.u8 k 16;
     w_hfl k key;
     w_packet k packet
-  | Put_batch chunks ->
+  | Put_batch { seq; chunks } ->
     Binary.u8 k 17;
+    Binary.uvarint k seq;
     Binary.uvarint k (List.length chunks);
     List.iter (w_chunk k) chunks
+  | Abort_perflow h ->
+    Binary.u8 k 18;
+    w_hfl k h
 
 let request_read r =
   let op = Binary.get_uvarint r in
@@ -733,15 +760,23 @@ let request_read r =
       Set_config (p, r_json_list r)
     | 2 -> Del_config (r_path r)
     | 3 -> Get_support_perflow (r_hfl r)
-    | 4 -> Put_support_perflow (r_chunk r)
+    | 4 ->
+      let seq = Binary.get_uvarint r in
+      Put_support_perflow { seq; chunk = r_chunk r }
     | 5 -> Del_support_perflow (r_hfl r)
     | 6 -> Get_support_shared
-    | 7 -> Put_support_shared (r_chunk r)
+    | 7 ->
+      let seq = Binary.get_uvarint r in
+      Put_support_shared { seq; chunk = r_chunk r }
     | 8 -> Get_report_perflow (r_hfl r)
-    | 9 -> Put_report_perflow (r_chunk r)
+    | 9 ->
+      let seq = Binary.get_uvarint r in
+      Put_report_perflow { seq; chunk = r_chunk r }
     | 10 -> Del_report_perflow (r_hfl r)
     | 11 -> Get_report_shared
-    | 12 -> Put_report_shared (r_chunk r)
+    | 12 ->
+      let seq = Binary.get_uvarint r in
+      Put_report_shared { seq; chunk = r_chunk r }
     | 13 -> Get_stats (r_hfl r)
     | 14 ->
       let codes = r_string_list r in
@@ -751,8 +786,10 @@ let request_read r =
       let key = r_hfl r in
       Reprocess_packet { key; packet = r_packet r }
     | 17 ->
+      let seq = Binary.get_uvarint r in
       let n = Binary.get_uvarint r in
-      Put_batch (List.init n (fun _ -> r_chunk r))
+      Put_batch { seq; chunks = List.init n (fun _ -> r_chunk r) }
+    | 18 -> Abort_perflow (r_hfl r)
     | n -> bad_tag "request" n
   in
   { op; req }
@@ -764,11 +801,13 @@ let error_to_u8 : Errors.t -> int = function
   | Illegal_operation _ -> 3
   | Bad_chunk _ -> 4
   | Op_failed _ -> 5
+  | Timeout _ -> 6
+  | Move_aborted _ -> 7
 
 let error_arg : Errors.t -> string = function
   | Granularity_too_fine -> ""
   | Unknown_mb s | Unknown_config_key s | Illegal_operation s | Bad_chunk s
-  | Op_failed s ->
+  | Op_failed s | Timeout s | Move_aborted s ->
     s
 
 let w_error k e =
@@ -785,6 +824,8 @@ let r_error r : Errors.t =
   | 3 -> Illegal_operation arg
   | 4 -> Bad_chunk arg
   | 5 -> Op_failed arg
+  | 6 -> Timeout arg
+  | 7 -> Move_aborted arg
   | n -> bad_tag "error" n
 
 let w_stats k (s : Southbound.stats) =
@@ -863,8 +904,9 @@ let from_mb_write k = function
     | Op_error e ->
       Binary.u8 k 5;
       w_error k e
-    | Batch_ack { count; errors } ->
+    | Batch_ack { seq; count; errors } ->
       Binary.u8 k 6;
+      Binary.uvarint k seq;
       Binary.uvarint k count;
       Binary.uvarint k (List.length errors);
       List.iter
@@ -892,10 +934,12 @@ let from_mb_read r =
       | 4 -> Stats_reply (r_stats r)
       | 5 -> Op_error (r_error r)
       | 6 ->
+        let seq = Binary.get_uvarint r in
         let count = Binary.get_uvarint r in
         let n_err = Binary.get_uvarint r in
         Batch_ack
           {
+            seq;
             count;
             errors =
               List.init n_err (fun _ ->
@@ -982,10 +1026,12 @@ let request_wire_bytes ?(framing:Framing.t = Framing.Json) m =
   | Framing.Binary -> counted request_write m
   | Framing.Json -> (
     match m.req with
-    | Put_support_perflow c | Put_support_shared c | Put_report_perflow c
-    | Put_report_shared c ->
+    | Put_support_perflow { chunk = c; _ }
+    | Put_support_shared { chunk = c; _ }
+    | Put_report_perflow { chunk = c; _ }
+    | Put_report_shared { chunk = c; _ } ->
       json_overhead + Chunk.size_bytes c + String.length (Hfl.to_string c.key)
-    | Put_batch chunks ->
+    | Put_batch { chunks; _ } ->
       (* One message envelope plus, per chunk, the chunk object's own
          punctuation — sized like a single put so batching N chunks
          saves exactly N-1 envelopes on the simulated channel. *)
@@ -999,7 +1045,7 @@ let request_wire_bytes ?(framing:Framing.t = Framing.Json) m =
     | Get_config _ | Set_config _ | Del_config _ | Get_support_perflow _
     | Del_support_perflow _ | Get_support_shared | Get_report_perflow _
     | Del_report_perflow _ | Get_report_shared | Get_stats _ | Enable_events _
-    | Disable_events _ ->
+    | Disable_events _ | Abort_perflow _ ->
       Json.wire_size (request_to_json m))
 
 let reply_wire_bytes ?(framing:Framing.t = Framing.Json) m =
@@ -1029,15 +1075,17 @@ let describe_request req =
     match req with
     | Get_config p | Set_config (p, _) | Del_config p -> Config_tree.path_to_string p
     | Get_support_perflow h | Del_support_perflow h | Get_report_perflow h
-    | Del_report_perflow h | Get_stats h ->
+    | Del_report_perflow h | Get_stats h | Abort_perflow h ->
       Hfl.to_string h
-    | Put_support_perflow c | Put_support_shared c | Put_report_perflow c
-    | Put_report_shared c ->
+    | Put_support_perflow { chunk = c; _ }
+    | Put_support_shared { chunk = c; _ }
+    | Put_report_perflow { chunk = c; _ }
+    | Put_report_shared { chunk = c; _ } ->
       Chunk.describe c
     | Get_support_shared | Get_report_shared -> ""
     | Enable_events { codes; _ } | Disable_events { codes } -> String.concat "," codes
     | Reprocess_packet { packet; _ } -> Packet.flow_label packet
-    | Put_batch chunks ->
+    | Put_batch { chunks; _ } ->
       Printf.sprintf "n=%d (%dB)" (List.length chunks)
         (List.fold_left (fun acc c -> acc + Chunk.size_bytes c) 0 chunks)
   in
@@ -1050,5 +1098,5 @@ let describe_reply = function
   | Config_values es -> Printf.sprintf "configValues n=%d" (List.length es)
   | Stats_reply _ -> "stats"
   | Op_error e -> "error " ^ Errors.to_string e
-  | Batch_ack { count; errors } ->
-    Printf.sprintf "batchAck count=%d errors=%d" count (List.length errors)
+  | Batch_ack { seq; count; errors } ->
+    Printf.sprintf "batchAck seq=%d count=%d errors=%d" seq count (List.length errors)

@@ -16,27 +16,38 @@ type request =
   | Set_config of Config_tree.path * Openmb_wire.Json.t list
   | Del_config of Config_tree.path
   | Get_support_perflow of Openmb_net.Hfl.t
-  | Put_support_perflow of Chunk.t
+  | Put_support_perflow of { seq : int; chunk : Chunk.t }
   | Del_support_perflow of Openmb_net.Hfl.t
   | Get_support_shared
-  | Put_support_shared of Chunk.t
+  | Put_support_shared of { seq : int; chunk : Chunk.t }
   | Get_report_perflow of Openmb_net.Hfl.t
-  | Put_report_perflow of Chunk.t
+  | Put_report_perflow of { seq : int; chunk : Chunk.t }
   | Del_report_perflow of Openmb_net.Hfl.t
   | Get_report_shared
-  | Put_report_shared of Chunk.t
+  | Put_report_shared of { seq : int; chunk : Chunk.t }
   | Get_stats of Openmb_net.Hfl.t
   | Enable_events of { codes : string list; key : Openmb_net.Hfl.t }
   | Disable_events of { codes : string list }
   | Reprocess_packet of { key : Openmb_net.Hfl.t; packet : Openmb_net.Packet.t }
       (** Controller forwarding a re-process event to the destination
           MB. *)
-  | Put_batch of Chunk.t list
+  | Put_batch of { seq : int; chunks : Chunk.t list }
       (** Several state chunks installed with one message and one
           coalesced {!Batch_ack}: the controller's transfer pipeline
           batches streamed chunks instead of paying one put/ack round
           trip each.  Chunks self-describe their role and partition, so
           a batch may mix supporting and reporting state. *)
+  | Abort_perflow of Openmb_net.Hfl.t
+      (** Roll back an in-progress per-flow export: un-mark the
+          exported-but-not-deleted entries matching the key so a later
+          transfer can export them again.  Sent by the controller when
+          a transactional move aborts. *)
+
+(** Mutating requests that may be retried ([Put_*], {!Put_batch})
+    carry a connection-scoped sequence number [seq]; the agent applies
+    each sequence number at most once and replays the original reply
+    for duplicates, making retries and duplicated deliveries
+    idempotent. *)
 
 type reply =
   | State_chunk of Chunk.t  (** One streamed piece of state during a get. *)
@@ -45,10 +56,11 @@ type reply =
   | Config_values of Config_tree.entry list
   | Stats_reply of Southbound.stats
   | Op_error of Errors.t
-  | Batch_ack of { count : int; errors : (int * Errors.t) list }
+  | Batch_ack of { seq : int; count : int; errors : (int * Errors.t) list }
       (** Reply to {!Put_batch}: [count] chunks were processed in
           order; [errors] lists the zero-based indices that failed and
-          why.  An empty [errors] acknowledges every chunk. *)
+          why.  An empty [errors] acknowledges every chunk.  [seq]
+          echoes the batch's sequence number. *)
 
 type to_mb = { op : op_id; req : request }
 (** Controller → MB. *)

@@ -69,6 +69,12 @@ type impl = {
   get_report_shared : unit -> (Chunk.t option, Errors.t) result;
   put_report_shared : Chunk.t -> (unit, Errors.t) result;
       (** Merges or starts afresh per MB-specific logic (§4.1.3). *)
+  abort_perflow : Openmb_net.Hfl.t -> unit;
+      (** Roll back an in-progress per-flow export: clear the
+          moved-but-not-deleted marks on entries matching the key so
+          the state is owned by this MB again and a later transfer can
+          re-export it.  Must be a no-op for keys with no marked
+          entries. *)
   stats : Openmb_net.Hfl.t -> stats;
   process_packet : Openmb_net.Packet.t -> side_effects:bool -> unit;
       (** Run the MB's packet-processing logic.  With

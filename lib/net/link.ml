@@ -9,7 +9,7 @@ type t = {
 
 let create engine ?(latency = Time.us 50.0) ?(bandwidth_bps = 1e9) ~name ~dst () =
   let bytes_per_sec = bandwidth_bps /. 8.0 in
-  { name; channel = Channel.create engine ~latency ~bytes_per_sec ~deliver:dst;
+  { name; channel = Channel.create engine ~latency ~bytes_per_sec ~deliver:dst ();
     packets = 0; bytes = 0 }
 
 let send t p =

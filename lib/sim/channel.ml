@@ -3,18 +3,20 @@ type 'a t = {
   latency : Time.t;
   bytes_per_sec : float;
   deliver : 'a -> unit;
+  faults : Faults.link option;
   mutable free_at : Time.t;
   mutable bytes_sent : int;
   mutable messages_sent : int;
 }
 
-let create engine ~latency ~bytes_per_sec ~deliver =
+let create engine ?faults ~latency ~bytes_per_sec ~deliver () =
   if bytes_per_sec <= 0.0 then invalid_arg "Channel.create: bytes_per_sec must be positive";
   {
     engine;
     latency;
     bytes_per_sec;
     deliver;
+    faults;
     free_at = Time.zero;
     bytes_sent = 0;
     messages_sent = 0;
@@ -28,7 +30,19 @@ let send ch ~bytes msg =
   ch.bytes_sent <- ch.bytes_sent + bytes;
   ch.messages_sent <- ch.messages_sent + 1;
   let arrival = Time.(done_sending + ch.latency) in
-  ignore (Engine.schedule_at ch.engine arrival (fun () -> ch.deliver msg))
+  match ch.faults with
+  | None -> ignore (Engine.schedule_at ch.engine arrival (fun () -> ch.deliver msg))
+  | Some link ->
+    (* Fault decisions are made at send time; extra delays stack on top
+       of the normal serialization + propagation arrival, so a reorder
+       or spike lets messages queued behind this one overtake it. *)
+    List.iter
+      (fun extra ->
+        ignore
+          (Engine.schedule_at ch.engine
+             Time.(arrival + extra)
+             (fun () -> ch.deliver msg)))
+      (Faults.deliveries link ~now:(Engine.now ch.engine))
 
 let bytes_sent ch = ch.bytes_sent
 let messages_sent ch = ch.messages_sent

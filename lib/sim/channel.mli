@@ -13,13 +13,18 @@ type 'a t
 
 val create :
   Engine.t ->
+  ?faults:Faults.link ->
   latency:Time.t ->
   bytes_per_sec:float ->
   deliver:('a -> unit) ->
+  unit ->
   'a t
-(** [create engine ~latency ~bytes_per_sec ~deliver] is a channel that
-    invokes [deliver msg] on the receiving side once the message has
-    crossed.  [bytes_per_sec] must be positive. *)
+(** [create engine ~latency ~bytes_per_sec ~deliver ()] is a channel
+    that invokes [deliver msg] on the receiving side once the message
+    has crossed.  [bytes_per_sec] must be positive.  With [?faults],
+    every send consults the fault stream, which may drop, duplicate or
+    further delay the delivery ({!Faults.deliveries}); counters
+    ({!bytes_sent}, {!messages_sent}) still count every send. *)
 
 val send : 'a t -> bytes:int -> 'a -> unit
 (** [send ch ~bytes msg] enqueues [msg], whose wire representation

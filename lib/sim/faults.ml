@@ -1,0 +1,164 @@
+type link_profile = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  reorder_window : Time.t;
+  spike : float;
+  spike_delay : Time.t;
+}
+
+let clean_link =
+  {
+    drop = 0.0;
+    duplicate = 0.0;
+    reorder = 0.0;
+    reorder_window = Time.zero;
+    spike = 0.0;
+    spike_delay = Time.zero;
+  }
+
+type partition = { part_from : Time.t; part_until : Time.t }
+type crash = { crash_at : Time.t; restart_after : Time.t option }
+
+type plan = {
+  seed : int;
+  link : link_profile;
+  partitions : partition list;
+  crashes : (string * crash) list;
+}
+
+let clean_plan ~seed = { seed; link = clean_link; partitions = []; crashes = [] }
+
+type t = {
+  engine : Engine.t;
+  plan : plan;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable crashes_fired : int;
+  mutable restarts_fired : int;
+}
+
+type link = { owner : t; rng : Prng.t }
+
+let create engine plan =
+  {
+    engine;
+    plan;
+    dropped = 0;
+    duplicated = 0;
+    delayed = 0;
+    crashes_fired = 0;
+    restarts_fired = 0;
+  }
+
+(* Each link draws from its own stream, seeded from the plan seed and
+   the link name, so the fault pattern on one channel does not depend
+   on traffic volume (and hence draw order) on any other, nor on the
+   order links are created in. *)
+let link t ~name =
+  { owner = t; rng = Prng.create ~seed:(t.plan.seed lxor Hashtbl.hash name) }
+
+let in_partition t now =
+  List.exists
+    (fun p -> Time.compare now p.part_from >= 0 && Time.compare now p.part_until < 0)
+    t.plan.partitions
+
+let jitter l =
+  let p = l.owner.plan.link in
+  let reorder =
+    if Prng.chance l.rng p.reorder then
+      Time.seconds (Prng.float l.rng (Time.to_seconds p.reorder_window))
+    else Time.zero
+  in
+  let d =
+    if Prng.chance l.rng p.spike then Time.(reorder + p.spike_delay) else reorder
+  in
+  if Time.compare d Time.zero > 0 then l.owner.delayed <- l.owner.delayed + 1;
+  d
+
+let deliveries l ~now =
+  let t = l.owner in
+  let p = t.plan.link in
+  if in_partition t now || Prng.chance l.rng p.drop then begin
+    t.dropped <- t.dropped + 1;
+    []
+  end
+  else begin
+    let first = jitter l in
+    if Prng.chance l.rng p.duplicate then begin
+      t.duplicated <- t.duplicated + 1;
+      [ first; jitter l ]
+    end
+    else [ first ]
+  end
+
+let arm_crashes t ~name ~on_crash ~on_restart =
+  List.iter
+    (fun (n, c) ->
+      if String.equal n name then
+        (* Clamp: the MB may be connected after the plan's crash point,
+           in which case it goes down immediately. *)
+        ignore
+          (Engine.schedule_at t.engine
+             (Time.max c.crash_at (Engine.now t.engine))
+             (fun () ->
+               t.crashes_fired <- t.crashes_fired + 1;
+               on_crash ();
+               match c.restart_after with
+               | None -> ()
+               | Some d ->
+                 ignore
+                   (Engine.schedule_after t.engine d (fun () ->
+                        t.restarts_fired <- t.restarts_fired + 1;
+                        on_restart ())))))
+    t.plan.crashes
+
+let dropped t = t.dropped
+let duplicated t = t.duplicated
+let delayed t = t.delayed
+let crashes_fired t = t.crashes_fired
+let restarts_fired t = t.restarts_fired
+
+(* ------------------------------------------------------------------ *)
+(* Seed-derived random plans                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One canonical generator so the chaos harness and the failover bench
+   name the same plan by the same seed. *)
+let random_plan ~seed ~mbs ~horizon =
+  let g = Prng.create ~seed in
+  let h = Time.to_seconds horizon in
+  let link =
+    {
+      drop = Prng.float g 0.12;
+      duplicate = Prng.float g 0.10;
+      reorder = Prng.float g 0.30;
+      reorder_window = Time.seconds (Prng.float g (h /. 20.0));
+      spike = Prng.float g 0.05;
+      spike_delay = Time.seconds (Prng.float g (h /. 10.0));
+    }
+  in
+  let partitions =
+    List.init (Prng.int g 3) (fun _ ->
+        let start = Prng.float g h in
+        let len = Prng.float g (h /. 8.0) in
+        { part_from = Time.seconds start; part_until = Time.seconds (start +. len) })
+  in
+  let crashes =
+    List.filter_map
+      (fun mb ->
+        if Prng.chance g 0.4 then
+          Some
+            ( mb,
+              {
+                crash_at = Time.seconds (Prng.float g h);
+                restart_after =
+                  (if Prng.chance g 0.75 then
+                     Some (Time.seconds (Prng.float g (h /. 4.0)))
+                   else None);
+              } )
+        else None)
+      mbs
+  in
+  { seed; link; partitions; crashes }

@@ -1,0 +1,86 @@
+(** Deterministic fault injection.
+
+    A {!plan} is a pure description of the faults a run should suffer:
+    per-link message drop / duplication / bounded reorder / latency
+    spikes, global link partition windows, and scheduled middlebox
+    crash / restart points.  Applying a plan is fully deterministic —
+    every stochastic decision draws from a {!Prng} stream derived from
+    the plan seed and the link name, so two runs of the same plan over
+    the same traffic make identical fault decisions.
+
+    Channels consult a {!link} handle on every send ({!deliveries});
+    agents arm their crash schedule once at connect time
+    ({!arm_crashes}). *)
+
+type link_profile = {
+  drop : float;  (** Probability a message is silently lost. *)
+  duplicate : float;  (** Probability a message is delivered twice. *)
+  reorder : float;
+      (** Probability a delivery is delayed by a uniform draw from
+          [\[0, reorder_window)], letting later messages overtake it. *)
+  reorder_window : Time.t;
+  spike : float;  (** Probability of an additive latency spike. *)
+  spike_delay : Time.t;
+}
+
+val clean_link : link_profile
+(** All-zero profile: every message delivered exactly once, on time. *)
+
+type partition = { part_from : Time.t; part_until : Time.t }
+(** Half-open window [\[part_from, part_until)] during which every
+    message sent on a faulted link is lost. *)
+
+type crash = {
+  crash_at : Time.t;
+  restart_after : Time.t option;
+      (** [None] means the MB never comes back. *)
+}
+
+type plan = {
+  seed : int;
+  link : link_profile;  (** Applied to every faulted link. *)
+  partitions : partition list;
+  crashes : (string * crash) list;  (** Keyed by MB name. *)
+}
+
+val clean_plan : seed:int -> plan
+(** A plan that injects nothing — useful as an oracle baseline. *)
+
+val random_plan : seed:int -> mbs:string list -> horizon:Time.t -> plan
+(** The canonical seed-to-plan generator shared by the chaos harness
+    and [bench failover --faults]: drop up to 12%, duplication up to
+    10%, reorder up to 30% within [horizon/20], spikes up to 5% of
+    [horizon/10], zero to two partitions, and for each named MB a 40%
+    chance of one crash (75% of which restart). *)
+
+type t
+(** A plan being applied to one engine; owns the fault counters. *)
+
+type link
+(** Per-channel fault stream. *)
+
+val create : Engine.t -> plan -> t
+
+val link : t -> name:string -> link
+(** [link t ~name] is the fault stream for the channel called [name].
+    Streams are independent per name and of creation order. *)
+
+val deliveries : link -> now:Time.t -> Time.t list
+(** [deliveries l ~now] decides the fate of one message sent at [now]:
+    the empty list drops it, otherwise each element is an extra delay
+    to add to one delivery of the message (two elements duplicate
+    it). *)
+
+val arm_crashes :
+  t -> name:string -> on_crash:(unit -> unit) -> on_restart:(unit -> unit) -> unit
+(** Schedule every crash entry for [name] in the plan: [on_crash] runs
+    at [crash_at], and [on_restart] runs [restart_after] later when
+    present. *)
+
+(** {1 Counters} *)
+
+val dropped : t -> int
+val duplicated : t -> int
+val delayed : t -> int
+val crashes_fired : t -> int
+val restarts_fired : t -> int

@@ -1,0 +1,455 @@
+(* Chaos harness: randomized fault plans against the state-transfer
+   protocol, checked against a fault-free oracle run of the same seed.
+
+   Each iteration derives a scenario (table size, event rate) and a
+   fault plan (drop/duplicate/reorder/spike/partition/crash) from one
+   seed, runs it to completion, and checks the transactional
+   invariants:
+
+   - a completed move delivered every chunk exactly once: the
+     destination's table equals the source's initial table;
+   - an aborted move lost nothing: the source's table is intact;
+   - no packet was ever replayed against missing per-flow state;
+   - the whole thing is deterministic: the same seed yields the same
+     verdict, counters and final tables.
+
+   The oracle (the same scenario under a fault-free plan) must complete
+   with zero drops, retries, timeouts and aborts.
+
+   Iteration count comes from CHAOS_ITERS (default 100, CI-fast); the
+   base seed from CHAOS_SEED. *)
+
+open Openmb_sim
+open Openmb_net
+open Openmb_core
+open Openmb_mbox
+open Openmb_apps
+
+let chaos_iters =
+  match Sys.getenv_opt "CHAOS_ITERS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 100)
+  | None -> 100
+
+let base_seed =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | Some s -> (try int_of_string s with _ -> 0x5EED)
+  | None -> 0x5EED
+
+(* Tight timeouts so a crashed MB is detected within the run instead of
+   after the default 30 s. *)
+let chaos_config =
+  {
+    Controller.default_config with
+    quiescence = Time.ms 40.0;
+    channel_latency = Time.us 100.0;
+    request_timeout = Time.ms 50.0;
+    retry_backoff_cap = Time.ms 400.0;
+    max_retries = 3;
+  }
+
+(* Faults stay active well past the transfer's natural end so late
+   stages (deletes, event forwarding) are exercised too. *)
+let horizon = Time.ms 30.0
+let event_stop = Time.ms 8.0
+
+(* Scenario shape is seed-derived, like the plan, so "oracle of the
+   same seed" pins both the faults and the traffic. *)
+let scenario_params seed =
+  let g = Prng.create ~seed:(seed lxor 0x51CA9A3B) in
+  let chunks = 20 + Prng.int g 41 in
+  let rate_pps = 500.0 +. Prng.float g 3000.0 in
+  (chunks, rate_pps)
+
+(* Invariant: a replay (process_packet without side effects) must find
+   the per-flow state it applies to already present. *)
+let wrap_replay_check mb violations (impl : Southbound.impl) =
+  {
+    impl with
+    Southbound.process_packet =
+      (fun p ~side_effects ->
+        if (not side_effects) && not (Dummy_mb.has_state_for mb p) then incr violations;
+        impl.Southbound.process_packet p ~side_effects);
+  }
+
+type outcome = {
+  verdict : (int, string) result;  (* chunks moved, or the error *)
+  src_entries : (string * string) list;
+  dst_entries : (string * string) list;
+  violations : int;
+  counters : Controller.counters;
+  f_dropped : int;
+  f_duplicated : int;
+  f_delayed : int;
+  f_crashes : int;
+  f_restarts : int;
+}
+
+let run_plan plan ~chunks ~rate_pps =
+  let engine = Engine.create () in
+  let faults = Faults.create engine plan in
+  let ctrl = Controller.create engine ~config:chaos_config ~faults () in
+  let src = Dummy_mb.create engine ~name:"src" () in
+  let dst = Dummy_mb.create engine ~name:"dst" () in
+  Dummy_mb.populate src ~n:chunks;
+  let violations = ref 0 in
+  let connect mb =
+    Controller.connect ctrl
+      (Mb_agent.create engine ~impl:(wrap_replay_check mb violations (Dummy_mb.impl mb)) ())
+  in
+  connect src;
+  connect dst;
+  let verdict = ref None in
+  Dummy_mb.start_events src ~rate_pps;
+  ignore (Engine.schedule_at engine event_stop (fun () -> Dummy_mb.stop_events src));
+  Controller.move_internal ctrl ~src:"src" ~dst:"dst" ~key:Hfl.any ~on_done:(fun res ->
+      verdict := Some res);
+  Engine.run engine;
+  let verdict =
+    match !verdict with
+    | None -> Alcotest.failf "seed %d: move never returned a verdict" plan.Faults.seed
+    | Some (Ok mr) -> Ok mr.Controller.chunks_moved
+    | Some (Error e) -> Error (Errors.to_string e)
+  in
+  {
+    verdict;
+    src_entries = Dummy_mb.support_entries src;
+    dst_entries = Dummy_mb.support_entries dst;
+    violations = !violations;
+    counters = Controller.counters ctrl;
+    f_dropped = Faults.dropped faults;
+    f_duplicated = Faults.duplicated faults;
+    f_delayed = Faults.delayed faults;
+    f_crashes = Faults.crashes_fired faults;
+    f_restarts = Faults.restarts_fired faults;
+  }
+
+let check_entries what expected got =
+  Alcotest.(check (list (pair string string))) what expected got
+
+let check_invariants ~seed ~initial outcome =
+  (match outcome.verdict with
+  | Ok n ->
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: completed move counted every chunk" seed)
+      (List.length initial) n;
+    check_entries
+      (Printf.sprintf "seed %d: completed move installed exactly the source state" seed)
+      initial outcome.dst_entries
+  | Error _ ->
+    check_entries
+      (Printf.sprintf "seed %d: aborted move left the source intact" seed)
+      initial outcome.src_entries);
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: no replay against missing state" seed)
+    0 outcome.violations
+
+let run_one_seed seed =
+  let chunks, rate_pps = scenario_params seed in
+  let initial =
+    (* The keys/values populate installs, computed without running. *)
+    let e = Engine.create () in
+    let mb = Dummy_mb.create e ~name:"src" () in
+    Dummy_mb.populate mb ~n:chunks;
+    Dummy_mb.support_entries mb
+  in
+  (* Fault-free oracle: same scenario, empty plan.  Everything must go
+     perfectly — in particular the events_dropped counter stays 0. *)
+  let oracle = run_plan (Faults.clean_plan ~seed) ~chunks ~rate_pps in
+  (match oracle.verdict with
+  | Ok n -> Alcotest.(check int) "oracle moved all chunks" chunks n
+  | Error e -> Alcotest.failf "seed %d: oracle move failed: %s" seed e);
+  check_entries "oracle: dst equals initial src" initial oracle.dst_entries;
+  check_entries "oracle: src emptied by deferred delete" [] oracle.src_entries;
+  Alcotest.(check int) "oracle: no events dropped" 0 oracle.counters.Controller.evt_dropped;
+  Alcotest.(check int) "oracle: no retries" 0 oracle.counters.Controller.op_retries;
+  Alcotest.(check int) "oracle: no timeouts" 0 oracle.counters.Controller.op_timeouts;
+  Alcotest.(check int) "oracle: no aborts" 0
+    oracle.counters.Controller.aborted_transfers;
+  Alcotest.(check int) "oracle: no replay violations" 0 oracle.violations;
+  (* Faulted run, twice: invariants hold and the run is reproducible. *)
+  let plan = Faults.random_plan ~seed ~mbs:[ "src"; "dst" ] ~horizon in
+  let first = run_plan plan ~chunks ~rate_pps in
+  check_invariants ~seed ~initial first;
+  let second = run_plan plan ~chunks ~rate_pps in
+  Alcotest.(check bool)
+    (Printf.sprintf "seed %d: same plan, same outcome" seed)
+    true (first = second);
+  first
+
+let test_chaos_plans () =
+  let aborted = ref 0 and completed = ref 0 in
+  for i = 0 to chaos_iters - 1 do
+    let outcome = run_one_seed (base_seed + i) in
+    match outcome.verdict with Ok _ -> incr completed | Error _ -> incr aborted
+  done;
+  (* The plan generator is aggressive enough that both outcomes show up
+     across a default run; with very few iterations this is vacuous. *)
+  if chaos_iters >= 50 then begin
+    Alcotest.(check bool) "some plans completed" true (!completed > 0);
+    Alcotest.(check bool) "some plans aborted" true (!aborted > 0)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic mid-move crash: abort, zero source loss, recovery     *)
+(* ------------------------------------------------------------------ *)
+
+type crash_rig = {
+  engine : Engine.t;
+  ctrl : Controller.t;
+  src : Dummy_mb.t;
+  dst : Dummy_mb.t;
+  dst_agent : Mb_agent.t;
+}
+
+let make_crash_rig ~chunks =
+  let engine = Engine.create () in
+  let ctrl = Controller.create engine ~config:chaos_config () in
+  let src = Dummy_mb.create engine ~name:"src" () in
+  let dst = Dummy_mb.create engine ~name:"dst" () in
+  Dummy_mb.populate src ~n:chunks;
+  let src_agent = Mb_agent.create engine ~impl:(Dummy_mb.impl src) () in
+  let dst_agent = Mb_agent.create engine ~impl:(Dummy_mb.impl dst) () in
+  Controller.connect ctrl src_agent;
+  Controller.connect ctrl dst_agent;
+  { engine; ctrl; src; dst; dst_agent }
+
+let test_mid_move_crash_aborts () =
+  let chunks = 200 in
+  let r = make_crash_rig ~chunks in
+  let initial = Dummy_mb.support_entries r.src in
+  let verdict = ref None in
+  (* 200 chunks keep the controller busy for tens of ms; 5 ms is
+     mid-stream, after some puts have been acknowledged. *)
+  ignore (Engine.schedule_at r.engine (Time.ms 5.0) (fun () -> Mb_agent.crash r.dst_agent));
+  Controller.move_internal r.ctrl ~src:"src" ~dst:"dst" ~key:Hfl.any ~on_done:(fun res ->
+      verdict := Some res);
+  Engine.run r.engine;
+  (match !verdict with
+  | Some (Error (Errors.Move_aborted _)) -> ()
+  | Some (Error e) -> Alcotest.failf "expected Move_aborted, got %s" (Errors.to_string e)
+  | Some (Ok _) -> Alcotest.fail "move against a crashed destination completed"
+  | None -> Alcotest.fail "move never returned");
+  Alcotest.(check bool) "controller retried before giving up" true
+    (Controller.op_retries r.ctrl > 0);
+  Alcotest.(check bool) "timeout was recorded" true (Controller.op_timeouts r.ctrl > 0);
+  Alcotest.(check int) "abort counted" 1 (Controller.transfers_aborted r.ctrl);
+  (* Zero source-state loss: every entry still present and intact. *)
+  check_entries "source intact after abort" initial (Dummy_mb.support_entries r.src);
+  (* Recovery: restart the destination and retry the move — the abort
+     must have cleared the moved marks, so every chunk exports again. *)
+  Mb_agent.restart r.dst_agent;
+  let verdict2 = ref None in
+  Controller.move_internal r.ctrl ~src:"src" ~dst:"dst" ~key:Hfl.any ~on_done:(fun res ->
+      verdict2 := Some res);
+  Engine.run r.engine;
+  (match !verdict2 with
+  | Some (Ok mr) ->
+    Alcotest.(check int) "second move exports every chunk" chunks
+      mr.Controller.chunks_moved
+  | Some (Error e) -> Alcotest.failf "second move failed: %s" (Errors.to_string e)
+  | None -> Alcotest.fail "second move never returned");
+  check_entries "destination has the full state" initial (Dummy_mb.support_entries r.dst);
+  check_entries "source emptied after successful move" []
+    (Dummy_mb.support_entries r.src)
+
+(* ------------------------------------------------------------------ *)
+(* Regression: late re-process must not resurrect deleted state        *)
+(* ------------------------------------------------------------------ *)
+
+let test_reprocess_after_delete_no_resurrect () =
+  let chunks = 5 in
+  let r = make_crash_rig ~chunks in
+  let verdict = ref None in
+  Controller.move_internal r.ctrl ~src:"src" ~dst:"dst" ~key:Hfl.any ~on_done:(fun res ->
+      verdict := Some res);
+  Engine.run r.engine;
+  (match !verdict with
+  | Some (Ok _) -> ()
+  | _ -> Alcotest.fail "move failed");
+  Alcotest.(check int) "deferred delete emptied the source" 0
+    (Dummy_mb.chunk_count r.src);
+  (* A straggler re-process replay for a deleted flow arrives at the
+     source after delSupportPerflow ran.  Replaying it must not
+     re-create the flow entry. *)
+  let key = Dummy_mb.key_for 0 in
+  let packet =
+    Packet.make ~id:424242 ~ts:(Engine.now r.engine)
+      ~src_ip:(Addr.of_string "10.0.0.1") ~dst_ip:(Addr.of_string "1.1.1.1")
+      ~src_port:10000 ~dst_port:80 ~proto:Packet.Tcp ()
+  in
+  let src_agent =
+    (* Deliver straight to the agent, as a retried forward would. *)
+    Mb_agent.create r.engine ~impl:(Dummy_mb.impl r.src) ()
+  in
+  Mb_agent.set_uplinks src_agent ~send_reply:(fun _ -> ()) ~send_event:(fun _ -> ());
+  Mb_agent.handle_request src_agent
+    { Message.op = 999; req = Message.Reprocess_packet { key; packet } };
+  Engine.run r.engine;
+  Alcotest.(check int) "replay did not resurrect the entry" 0
+    (Dummy_mb.chunk_count r.src);
+  Alcotest.(check bool) "no per-flow state for the replayed packet" false
+    (Dummy_mb.has_state_for r.src packet)
+
+(* ------------------------------------------------------------------ *)
+(* Failover under crash: primary dies mid-snapshot                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_failover_primary_crash_mid_snapshot () =
+  let fast = { Controller.default_config with quiescence = Time.ms 200.0 } in
+  let scenario = Scenario.create ~ctrl_config:fast () in
+  let engine = Scenario.engine scenario in
+  let internal_prefix = Addr.prefix_of_string "10.0.0.0/8" in
+  let external_ip = Addr.of_string "5.5.5.5" in
+  let nat1 = Nat.create engine ~name:"nat1" ~external_ip ~internal_prefix () in
+  let nat2 = Nat.create engine ~name:"nat2" ~external_ip ~internal_prefix () in
+  let nat1_agent =
+    Scenario.attach_mb_agent scenario ~port:"nat1" ~receive:(Nat.receive nat1)
+      ~base:(Nat.base nat1) ~impl:(Nat.impl nat1)
+  in
+  Scenario.attach_mb scenario ~port:"nat2" ~receive:(Nat.receive nat2)
+    ~base:(Nat.base nat2) ~impl:(Nat.impl nat2);
+  Scenario.install_default_route scenario ~port:"nat1";
+  let watcher = Failover.watch scenario ~mb:"nat1" ~codes:[ "nat.new_mapping" ] () in
+  let mk_out i ts =
+    Packet.make ~id:i ~ts:(Time.seconds ts)
+      ~src_ip:(Addr.of_string (Printf.sprintf "10.0.0.%d" (1 + i)))
+      ~dst_ip:(Addr.of_string "1.1.1.5") ~src_port:(1000 + i) ~dst_port:80
+      ~proto:Packet.Tcp ()
+  in
+  for i = 0 to 9 do
+    let ts = 0.1 +. (0.05 *. float_of_int i) in
+    Scenario.at scenario (Time.seconds ts) (fun () ->
+        Switch.receive (Scenario.switch scenario) (mk_out i ts))
+  done;
+  (* The primary crashes while mappings are still being established:
+     introspection events raised after this instant are lost with it. *)
+  Scenario.at scenario (Time.seconds 0.3) (fun () -> Mb_agent.crash nat1_agent);
+  let tracked_at_failover = ref 0 in
+  let recovered = ref None in
+  Scenario.at scenario (Time.seconds 1.0) (fun () ->
+      tracked_at_failover := Failover.tracked watcher;
+      Failover.fail_over watcher ~replacement:"nat2" ~dst_port:"nat2"
+        ~on_done:(fun r -> recovered := Some r)
+        ());
+  Scenario.run scenario;
+  (match !recovered with
+  | Some r ->
+    Alcotest.(check bool) "some mappings were mirrored before the crash" true
+      (!tracked_at_failover > 0);
+    Alcotest.(check bool) "crash lost the later mappings" true
+      (!tracked_at_failover < 10);
+    Alcotest.(check int) "everything mirrored was restored" !tracked_at_failover
+      r.Failover.restored
+  | None -> Alcotest.fail "failover never completed");
+  Alcotest.(check int) "replacement holds every mirrored mapping" !tracked_at_failover
+    (Nat.mapping_count nat2)
+
+(* ------------------------------------------------------------------ *)
+(* Codec properties: seq-numbered messages across both framings        *)
+(* ------------------------------------------------------------------ *)
+
+let gen_chunk =
+  QCheck2.Gen.(
+    let* idx = int_range 0 400 in
+    let* plain = string_size (int_range 0 300) in
+    let* supporting = bool in
+    let role = if supporting then Taxonomy.Supporting else Taxonomy.Reporting in
+    return
+      (Chunk.seal ~mb_kind:"chaos" ~role ~partition:Taxonomy.Per_flow
+         ~key:(Dummy_mb.key_for idx) ~plain))
+
+let gen_seq_request =
+  QCheck2.Gen.(
+    let* seq = int_range 0 0xFFFFFF in
+    oneof
+      [
+        (let* chunk = gen_chunk in
+         return (Message.Put_support_perflow { seq; chunk }));
+        (let* chunk = gen_chunk in
+         return (Message.Put_report_perflow { seq; chunk }));
+        (let* chunks = list_size (int_range 0 6) gen_chunk in
+         return (Message.Put_batch { seq; chunks }));
+        (let* idx = int_range 0 400 in
+         return (Message.Abort_perflow (Dummy_mb.key_for idx)));
+      ])
+
+let gen_seq_reply =
+  QCheck2.Gen.(
+    let* seq = int_range 0 0xFFFFFF in
+    let* count = int_range 0 32 in
+    let gen_err =
+      oneof
+        [
+          map (fun s -> Errors.Timeout s) (string_size (int_range 0 20));
+          map (fun s -> Errors.Move_aborted s) (string_size (int_range 0 20));
+          map (fun s -> Errors.Bad_chunk s) (string_size (int_range 0 20));
+          return Errors.Granularity_too_fine;
+        ]
+    in
+    let* errors = list_size (int_range 0 3) (pair (int_range 0 31) gen_err) in
+    oneof
+      [
+        return (Message.Batch_ack { seq; count; errors });
+        (match errors with
+        | (_, e) :: _ -> return (Message.Op_error e)
+        | [] -> return (Message.Op_error (Errors.Timeout "t")));
+      ])
+
+(* Both codecs round-trip, and a channel carrying a mix of framings
+   still decodes every message — the decoder dispatches per message on
+   the binary tag. *)
+let prop_seq_request_roundtrip =
+  QCheck2.Test.make ~name:"seq-numbered requests round-trip on mixed framing"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 8) (pair gen_seq_request bool))
+    (fun reqs ->
+      List.for_all
+        (fun (req, binary) ->
+          let msg = { Message.op = 5; req } in
+          let framing =
+            if binary then Openmb_wire.Framing.Binary else Openmb_wire.Framing.Json
+          in
+          Message.request_of_wire (Message.request_to_wire ~framing msg) = msg)
+        reqs)
+
+let prop_seq_reply_roundtrip =
+  QCheck2.Test.make ~name:"batchAck/Move_aborted replies round-trip on mixed framing"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 8) (pair gen_seq_reply bool))
+    (fun replies ->
+      List.for_all
+        (fun (reply, binary) ->
+          let msg = Message.Reply { op = 9; reply } in
+          let framing =
+            if binary then Openmb_wire.Framing.Binary else Openmb_wire.Framing.Json
+          in
+          Message.from_mb_of_wire (Message.from_mb_to_wire ~framing msg) = msg)
+        replies)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "openmb_chaos"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "%d random fault plans vs oracle" chaos_iters)
+            `Slow test_chaos_plans;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "mid-move crash aborts, source intact" `Quick
+            test_mid_move_crash_aborts;
+          Alcotest.test_case "failover when primary crashes mid-snapshot" `Quick
+            test_failover_primary_crash_mid_snapshot;
+        ] );
+      ( "regression",
+        [
+          Alcotest.test_case "re-process after delete does not resurrect" `Quick
+            test_reprocess_after_delete_no_resurrect;
+        ] );
+      ("codec", qcheck [ prop_seq_request_roundtrip; prop_seq_reply_roundtrip ]);
+    ]

@@ -224,12 +224,18 @@ let test_message_request_roundtrips () =
       Message.Set_config ([ "cache" ], [ Json.Int 500; Json.String "lru" ]);
       Message.Del_config [ "rules" ];
       Message.Get_support_perflow key;
-      Message.Put_support_perflow chunk;
+      Message.Put_support_perflow { seq = 9; chunk };
       Message.Del_support_perflow key;
       Message.Get_support_shared;
       Message.Put_support_shared
-        (Chunk.seal ~mb_kind:"re-decoder" ~role:Taxonomy.Supporting
-           ~partition:Taxonomy.Shared ~key:Hfl.any ~plain:"cache");
+        {
+          seq = 10;
+          chunk =
+            Chunk.seal ~mb_kind:"re-decoder" ~role:Taxonomy.Supporting
+              ~partition:Taxonomy.Shared ~key:Hfl.any ~plain:"cache";
+        };
+      Message.Put_batch { seq = 11; chunks = [ chunk; chunk ] };
+      Message.Abort_perflow key;
       Message.Get_report_perflow key;
       Message.Del_report_perflow key;
       Message.Get_report_shared;
@@ -255,6 +261,8 @@ let test_message_reply_roundtrips () =
            ~key:(Hfl.of_string "tp_src=99") ~plain:"rec");
       Message.End_of_state { count = 42 };
       Message.Ack;
+      Message.Batch_ack
+        { seq = 8; count = 3; errors = [ (1, Errors.Bad_chunk "mac") ] };
       Message.Config_values
         [ { Config_tree.path = [ "a"; "b" ]; values = [ Json.Int 1 ] } ];
       Message.Stats_reply
@@ -294,7 +302,7 @@ let test_message_wire_bytes_chunked () =
     Chunk.seal ~mb_kind:"bro" ~role:Taxonomy.Supporting ~partition:Taxonomy.Per_flow
       ~key:Hfl.any ~plain:(String.make 1000 'x')
   in
-  let msg = { Message.op = 0; req = Message.Put_support_perflow chunk } in
+  let msg = { Message.op = 0; req = Message.Put_support_perflow { seq = 0; chunk } } in
   Alcotest.(check bool) "wire size covers chunk body" true
     (Message.request_wire_bytes msg >= 1000)
 
@@ -314,15 +322,19 @@ let all_requests () =
     Message.Set_config ([ "cache" ], [ Json.Int 500; Json.String "lru"; Json.Null ]);
     Message.Del_config [ "rules" ];
     Message.Get_support_perflow key;
-    Message.Put_support_perflow (chunk "bro");
+    Message.Put_support_perflow { seq = 0; chunk = chunk "bro" };
     Message.Del_support_perflow key;
     Message.Get_support_shared;
-    Message.Put_support_shared (chunk "re-encoder");
+    Message.Put_support_shared { seq = 123456; chunk = chunk "re-encoder" };
+    Message.Put_batch { seq = 7; chunks = [ chunk "bro"; chunk "bro"; chunk "bro" ] };
+    Message.Put_batch { seq = 8; chunks = [] };
+    Message.Abort_perflow key;
+    Message.Abort_perflow Hfl.any;
     Message.Get_report_perflow key;
-    Message.Put_report_perflow (chunk "prads");
+    Message.Put_report_perflow { seq = 1; chunk = chunk "prads" };
     Message.Del_report_perflow Hfl.any;
     Message.Get_report_shared;
-    Message.Put_report_shared (chunk "prads");
+    Message.Put_report_shared { seq = 2; chunk = chunk "prads" };
     Message.Get_stats key;
     Message.Enable_events { codes = [ "nat.new"; "lb.assign" ]; key };
     Message.Disable_events { codes = [] };
@@ -336,6 +348,9 @@ let all_replies () =
          ~key:(Hfl.of_string "tp_src=99") ~plain:"rec");
     Message.End_of_state { count = 42 };
     Message.Ack;
+    Message.Batch_ack { seq = 0; count = 16; errors = [] };
+    Message.Batch_ack
+      { seq = 99; count = 2; errors = [ (0, Errors.Op_failed "x"); (1, Errors.Timeout "y") ] };
     Message.Config_values
       [
         { Config_tree.path = [ "a"; "b" ]; values = [ Json.Int 1 ] };
@@ -359,6 +374,8 @@ let all_replies () =
     Message.Op_error (Errors.Unknown_config_key "a.b");
     Message.Op_error (Errors.Bad_chunk "mac");
     Message.Op_error (Errors.Op_failed "boom");
+    Message.Op_error (Errors.Timeout "op=3 putBatch[16]");
+    Message.Op_error (Errors.Move_aborted "timed out: getSupportPerflow");
   ]
 
 let all_events () =

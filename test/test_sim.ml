@@ -301,8 +301,9 @@ let test_channel_latency_and_bandwidth () =
   let e = Engine.create () in
   let arrivals = ref [] in
   let ch =
-    Channel.create e ~latency:(Time.ms 1.0) ~bytes_per_sec:1000.0 ~deliver:(fun msg ->
-        arrivals := (msg, Time.to_seconds (Engine.now e)) :: !arrivals)
+    Channel.create e ~latency:(Time.ms 1.0) ~bytes_per_sec:1000.0
+      ~deliver:(fun msg -> arrivals := (msg, Time.to_seconds (Engine.now e)) :: !arrivals)
+      ()
   in
   (* 100 bytes at 1000 B/s = 100 ms transfer + 1 ms latency. *)
   Channel.send ch ~bytes:100 "m1";
@@ -315,8 +316,9 @@ let test_channel_fifo_serialization () =
   let e = Engine.create () in
   let arrivals = ref [] in
   let ch =
-    Channel.create e ~latency:Time.zero ~bytes_per_sec:1000.0 ~deliver:(fun msg ->
-        arrivals := (msg, Time.to_seconds (Engine.now e)) :: !arrivals)
+    Channel.create e ~latency:Time.zero ~bytes_per_sec:1000.0
+      ~deliver:(fun msg -> arrivals := (msg, Time.to_seconds (Engine.now e)) :: !arrivals)
+      ()
   in
   Channel.send ch ~bytes:100 "a";
   Channel.send ch ~bytes:100 "b";
