@@ -182,11 +182,64 @@ let hfl_match () =
   Test.make ~name:"hfl.matches_packet"
     (Staged.stage (fun () -> ignore (Hfl.matches_packet hfl p)))
 
+(* The scheduler hot path at scale: a standing population of 100k
+   parked timeouts (a large connection table's worth of pending idle
+   timers) while dense near-future events — packet arrivals — are
+   scheduled and drained.  Each op schedules 100 events spread over
+   200us and runs the engine 1ms forward. *)
+let engine_dense_timers () =
+  let open Openmb_sim in
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  let tick () = incr fired in
+  for _ = 1 to 100_000 do
+    ignore (Engine.schedule_at engine (Time.seconds 3600.0) tick)
+  done;
+  Test.make ~name:"engine.run (100 dense timers, 100k parked)"
+    (Staged.stage (fun () ->
+         let now = Engine.now engine in
+         for i = 1 to 100 do
+           ignore (Engine.schedule_at engine Time.(now + Time.us (float_of_int (2 * i))) tick)
+         done;
+         Engine.run ~until:Time.(now + Time.ms 1.0) engine))
+
+(* A burst of messages through a channel: serialization bookkeeping,
+   one delivery event per message, and the drain.  The canonical
+   per-packet event the pooled representation targets — 64 in flight,
+   because under load the queue always holds a window of undelivered
+   packets (a single-message ping-pong would only measure the
+   empty-queue edge case). *)
+let channel_in_flight = 64
+
+let channel_delivery () =
+  let open Openmb_sim in
+  let engine = Engine.create () in
+  let delivered = ref 0 in
+  let ch =
+    Channel.create engine ~latency:(Time.us 10.0) ~bytes_per_sec:1e9
+      ~deliver:(fun (_ : int) -> incr delivered)
+      ()
+  in
+  Test.make ~name:"channel.send+deliver (64 in flight)"
+    (Staged.stage (fun () ->
+         for i = 1 to channel_in_flight do
+           Channel.send ch ~bytes:(64 * i) 42
+         done;
+         Engine.run engine))
+
 (* ------------------------------------------------------------------ *)
 (* Measurement plumbing                                                *)
 (* ------------------------------------------------------------------ *)
 
-type result = { bench_name : string; ns_per_op : float; minor_words_per_op : float }
+type result = {
+  bench_name : string;
+  ns_per_op : float;
+  minor_words_per_op : float;
+  major_words_per_op : float;
+  promoted_words_per_op : float;
+  minor_collections_per_op : float;
+  major_collections_per_op : float;
+}
 
 (* Toolkit.Instance.minor_allocated reads [(Gc.quick_stat ()).minor_words],
    which on OCaml 5 only advances at minor-collection boundaries — sample
@@ -203,8 +256,67 @@ module Minor_words = struct
   let unit () = "mnw"
 end
 
+(* The remaining GC counters only move at collection boundaries, so a
+   single sample is quantized — but over OLS's growing run counts the
+   per-op slope converges, which is exactly what we record. *)
+module Major_words = struct
+  type witness = unit
+
+  let make () = ()
+  let load () = ()
+  let unload () = ()
+  let get () = (Gc.quick_stat ()).Gc.major_words
+  let label () = "major-words"
+  let unit () = "mjw"
+end
+
+module Promoted_words = struct
+  type witness = unit
+
+  let make () = ()
+  let load () = ()
+  let unload () = ()
+  let get () = (Gc.quick_stat ()).Gc.promoted_words
+  let label () = "promoted-words"
+  let unit () = "prw"
+end
+
+module Minor_collections = struct
+  type witness = unit
+
+  let make () = ()
+  let load () = ()
+  let unload () = ()
+  let get () = float_of_int (Gc.quick_stat ()).Gc.minor_collections
+  let label () = "minor-collections"
+  let unit () = "mnc"
+end
+
+module Major_collections = struct
+  type witness = unit
+
+  let make () = ()
+  let load () = ()
+  let unload () = ()
+  let get () = float_of_int (Gc.quick_stat ()).Gc.major_collections
+  let label () = "major-collections"
+  let unit () = "mjc"
+end
+
 let minor_words_instance =
   Measure.instance (module Minor_words) (Measure.register (module Minor_words))
+
+let major_words_instance =
+  Measure.instance (module Major_words) (Measure.register (module Major_words))
+
+let promoted_words_instance =
+  Measure.instance (module Promoted_words) (Measure.register (module Promoted_words))
+
+let minor_collections_instance =
+  Measure.instance (module Minor_collections) (Measure.register (module Minor_collections))
+
+let major_collections_instance =
+  Measure.instance (module Major_collections) (Measure.register (module Major_collections))
 
 (* Run one benchmark in isolation: compact away everything previous
    benchmarks left behind, build this benchmark's fixtures, measure,
@@ -214,10 +326,19 @@ let measure_one build =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let clock = Toolkit.Instance.monotonic_clock in
-  let minor = minor_words_instance in
+  let instances =
+    [
+      clock;
+      minor_words_instance;
+      major_words_instance;
+      promoted_words_instance;
+      minor_collections_instance;
+      major_collections_instance;
+    ]
+  in
   List.map
     (fun elt ->
-      let raw = Benchmark.run cfg [ clock; minor ] elt in
+      let raw = Benchmark.run cfg instances elt in
       let estimate instance =
         match Analyze.OLS.estimates (Analyze.one ols instance raw) with
         | Some [ v ] -> v
@@ -226,7 +347,11 @@ let measure_one build =
       {
         bench_name = Test.Elt.name elt;
         ns_per_op = estimate clock;
-        minor_words_per_op = estimate minor;
+        minor_words_per_op = estimate minor_words_instance;
+        major_words_per_op = estimate major_words_instance;
+        promoted_words_per_op = estimate promoted_words_instance;
+        minor_collections_per_op = estimate minor_collections_instance;
+        major_collections_per_op = estimate major_collections_instance;
       })
     (Test.elements (build ()))
 
@@ -275,21 +400,28 @@ let macro_move_1k () =
       one_macro_move ();
       (* warm-up *)
       let quota_ns = 1_000_000_000L in
-      let t0 = Monotonic_clock.now () in
-      let w0 = Gc.minor_words () in
+      let t0 = ref 0L in
       let runs = ref 0 in
-      while
-        !runs < 3 || Int64.sub (Monotonic_clock.now ()) t0 < quota_ns
-      do
-        one_macro_move ();
-        incr runs
-      done;
-      let elapsed = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) in
-      let words = Gc.minor_words () -. w0 in
+      let (), gc =
+        Util.gc_delta (fun () ->
+            t0 := Monotonic_clock.now ();
+            while
+              !runs < 3 || Int64.sub (Monotonic_clock.now ()) !t0 < quota_ns
+            do
+              one_macro_move ();
+              incr runs
+            done)
+      in
+      let elapsed = Int64.to_float (Int64.sub (Monotonic_clock.now ()) !t0) in
+      let n = float_of_int !runs in
       {
         bench_name = "move (1k flows, compression on)";
-        ns_per_op = elapsed /. float_of_int !runs;
-        minor_words_per_op = words /. float_of_int !runs;
+        ns_per_op = elapsed /. n;
+        minor_words_per_op = gc.Util.minor_words /. n;
+        major_words_per_op = gc.Util.major_words /. n;
+        promoted_words_per_op = gc.Util.promoted_words /. n;
+        minor_collections_per_op = float_of_int gc.Util.minor_collections /. n;
+        major_collections_per_op = float_of_int gc.Util.major_collections /. n;
       })
 
 let bench_file = "BENCH_micro.json"
@@ -314,6 +446,10 @@ let write_json results label =
                [
                  ("ns_per_op", Json.Float r.ns_per_op);
                  ("minor_words_per_op", Json.Float r.minor_words_per_op);
+                 ("major_words_per_op", Json.Float r.major_words_per_op);
+                 ("promoted_words_per_op", Json.Float r.promoted_words_per_op);
+                 ("minor_collections_per_op", Json.Float r.minor_collections_per_op);
+                 ("major_collections_per_op", Json.Float r.major_collections_per_op);
                ] ))
          results)
   in
@@ -330,18 +466,36 @@ let write_json results label =
 (* A result file is either a flat {bench: {ns_per_op}} object or a
    BENCH_micro.json-style {label: {bench: {ns_per_op}}}; for the latter
    the LAST label wins (write_json appends the freshest label last). *)
+(* [path] may carry a label selector — "BENCH_micro.json#before" reads
+   that label from a labelled file, so one committed file can hold the
+   whole before/after pair and still be diffed:
+
+     micro --compare BENCH_micro.json#before BENCH_micro.json#after *)
 let load_results path =
   let open Openmb_wire in
-  let json = Json.of_string (In_channel.with_open_text path In_channel.input_all) in
+  let file, label =
+    match String.index_opt path '#' with
+    | Some i ->
+      ( String.sub path 0 i,
+        Some (String.sub path (i + 1) (String.length path - i - 1)) )
+    | None -> (path, None)
+  in
+  let json = Json.of_string (In_channel.with_open_text file In_channel.input_all) in
   let looks_flat = function
     | Json.Assoc ((_, Json.Assoc fields) :: _) -> List.mem_assoc "ns_per_op" fields
     | _ -> false
   in
   let table =
-    match json with
-    | Json.Assoc _ when looks_flat json -> json
-    | Json.Assoc ((_ :: _) as labels) -> snd (List.nth labels (List.length labels - 1))
-    | _ -> failwith (path ^ ": not a benchmark result file")
+    match (label, json) with
+    | Some l, Json.Assoc labels -> (
+      match List.assoc_opt l labels with
+      | Some t -> t
+      | None -> failwith (path ^ ": no label " ^ l))
+    | Some _, _ -> failwith (path ^ ": not a labelled result file")
+    | None, Json.Assoc _ when looks_flat json -> json
+    | None, Json.Assoc ((_ :: _) as labels) ->
+      snd (List.nth labels (List.length labels - 1))
+    | None, _ -> failwith (path ^ ": not a benchmark result file")
   in
   match table with
   | Json.Assoc benches ->
@@ -455,14 +609,17 @@ let tests () =
     lzss;
     re_encode;
     hfl_match;
+    engine_dense_timers;
+    channel_delivery;
   ]
 
 let run () =
   Util.banner "Micro-benchmarks (Bechamel, wall-clock; hermetic fixtures)";
   let results = measure (tests ()) @ [ macro_move_1k () ] in
+  Util.row "  %-42s %12s %10s %10s %8s\n" "benchmark" "ns/op" "minor w" "promoted" "mnc/op";
   List.iter
     (fun r ->
-      Util.row "  %-36s %12.1f ns/run %12.1f mwords/run\n" r.bench_name r.ns_per_op
-        r.minor_words_per_op)
+      Util.row "  %-42s %12.1f %10.1f %10.2f %8.4f\n" r.bench_name r.ns_per_op
+        r.minor_words_per_op r.promoted_words_per_op r.minor_collections_per_op)
     results;
   match !json_label with None -> () | Some label -> write_json results label

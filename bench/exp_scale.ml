@@ -1,0 +1,181 @@
+(* Million-flow macro benchmark of the simulator core.
+
+   Drives [flows] concurrent TCP flows (default one million) through a
+   switch -> NAT -> monitor chain on a single engine while a 10k-chunk
+   moveInternal runs between a dummy pair on the same engine, then
+   reports raw event throughput and heap footprint.  This is the
+   workload the timer wheel and pooled event cells exist for: tens of
+   millions of near-future events with only a handful of live
+   allocations per packet.
+
+   Flows arrive incrementally — a self-rescheduling generator
+   materializes them in batches just before their start times — so the
+   pending-event set stays proportional to the arrival rate, not to
+   the total flow count.  The NAT is given a carrier-grade external
+   address pool: one address caps out at ~45k concurrent mappings.
+
+   bench scale [--flows N] appends its numbers to BENCH_micro.json
+   under the "scale" label. *)
+
+open Openmb_sim
+open Openmb_net
+open Openmb_core
+open Openmb_mbox
+open Openmb_traffic
+open Openmb_apps
+
+(* Set by the driver (bench scale --flows N). *)
+let flows = ref 1_000_000
+
+let internal_prefix = "10.0.0.0/8"
+let batch_size = 1_000
+let inter_arrival = Time.us 50.0 (* one flow every 50us of sim time *)
+let flow_duration = 0.01 (* seconds: packets spread over 10ms *)
+let move_chunks = 10_000
+
+(* The dp must outrun the offered load (~100k pps at the default
+   arrival spacing) or the backlog grows without bound: give both MBs a
+   1us/packet cost model instead of their PRADS/NAT-calibrated ones. *)
+let fast_cost base = { base with Southbound.per_packet = Time.us 1.0 }
+
+(* Flow [i]'s distinct internal (ip, port): 16k ports per address,
+   consecutive addresses from 10.0.0.0/8. *)
+let tuple_of_flow i =
+  let ip = Addr.of_int (Addr.to_int (Addr.of_string "10.0.0.1") + (i / 16_384)) in
+  {
+    Five_tuple.src_ip = ip;
+    dst_ip = Addr.of_string "1.1.1.5";
+    src_port = 1_024 + (i mod 16_384);
+    dst_port = 443;
+    proto = Packet.Tcp;
+  }
+
+let run () =
+  let n = !flows in
+  Util.banner
+    (Printf.sprintf "scale: %d concurrent flows + %dk-chunk move on one engine"
+       n (move_chunks / 1000));
+  let engine = Engine.create () in
+  (* NAT pool: enough external addresses for every flow's mapping. *)
+  let pool_extra =
+    let per_ip = 45_001 in
+    let needed = ((n + per_ip - 1) / per_ip) + 1 in
+    List.init needed (fun i -> Addr.of_int (Addr.to_int (Addr.of_string "5.5.5.0") + i + 1))
+  in
+  let nat =
+    Nat.create engine ~name:"nat" ~cost:(fast_cost Nat.default_cost)
+      ~external_ip:(Addr.of_string "5.5.5.0")
+      ~external_ips:pool_extra
+      ~internal_prefix:(Addr.prefix_of_string internal_prefix)
+      ()
+  in
+  let monitor =
+    Monitor.create engine ~name:"monitor" ~cost:(fast_cost Monitor.default_cost) ()
+  in
+  let egress = ref 0 in
+  Mb_base.set_egress (Nat.base nat) (fun p -> Monitor.receive monitor p);
+  Mb_base.set_egress (Monitor.base monitor) (fun _ -> incr egress);
+  let sw = Switch.create engine ~name:"edge" () in
+  Switch.attach_port sw ~port:"nat"
+    (Link.create engine ~name:"sw-nat" ~dst:(Nat.receive nat) ());
+  ignore
+    (Flow_table.install (Switch.table sw) ~priority:1 ~match_:[]
+       ~action:(Flow_table.Forward "nat"));
+  (* Incremental arrivals: each generator event materializes one batch
+     of flows and schedules the next batch at its first start time.
+     Only originator-direction packets are injected — the reverse path
+     would need a translated return trace, and the forward path is
+     what exercises mapping creation. *)
+  let ids = Trace.Id_gen.create () in
+  let prng = Prng.create ~seed:7 in
+  let internal = Addr.prefix_of_string internal_prefix in
+  let start_of i = Time.to_seconds inter_arrival *. float_of_int i in
+  let emit_flow i =
+    List.iter
+      (fun (p : Packet.t) ->
+        if Addr.in_prefix p.src_ip internal then
+          Engine.call2_at engine p.ts Switch.receive sw p)
+      (Flow_gen.tcp_flow ~ids ~prng ~tuple:(tuple_of_flow i) ~start:(start_of i)
+         ~duration:flow_duration ~data_packets:1 ~content:Flow_gen.empty_content ())
+  in
+  let rec emit_batch b () =
+    let lo = b * batch_size and hi = min n ((b + 1) * batch_size) in
+    for i = lo to hi - 1 do
+      emit_flow i
+    done;
+    if hi < n then
+      ignore
+        (Engine.schedule_at engine (Time.seconds (start_of hi)) (emit_batch (b + 1)))
+  in
+  emit_batch 0 ();
+  (* Concurrent control-plane work: a 10k-chunk moveInternal between a
+     dummy pair sharing the engine, kicked off mid-run. *)
+  let ctrl = Controller.create engine () in
+  let src = Dummy_mb.create engine ~name:"move-src" () in
+  let dst = Dummy_mb.create engine ~name:"move-dst" () in
+  Dummy_mb.populate src ~n:move_chunks;
+  Controller.connect ctrl (Mb_agent.create engine ~impl:(Dummy_mb.impl src) ());
+  Controller.connect ctrl (Mb_agent.create engine ~impl:(Dummy_mb.impl dst) ());
+  let move_ms = ref nan in
+  ignore
+    (Engine.schedule_at engine
+       (Time.seconds (start_of (n / 2)))
+       (fun () ->
+         Controller.move_internal ctrl ~src:"move-src" ~dst:"move-dst"
+           ~key:Hfl.any ~on_done:(fun res ->
+             match res with
+             | Ok mr -> move_ms := Util.ms mr.Controller.duration
+             | Error e -> failwith (Errors.to_string e))));
+  let t0 = Monotonic_clock.now () in
+  Engine.run engine;
+  let wall = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9 in
+  let executed = Engine.executed engine in
+  let events_per_sec = float_of_int executed /. wall in
+  let gc = Gc.stat () in
+  let stats = Engine.pool_stats engine in
+  Util.row "  %-28s %12d\n" "flows" n;
+  Util.row "  %-28s %12d\n" "events executed" executed;
+  Util.row "  %-28s %12.1f\n" "wall seconds" wall;
+  Util.row "  %-28s %12.0f\n" "events/sec" events_per_sec;
+  Util.row "  %-28s %12d\n" "NAT mappings" (Nat.mapping_count nat);
+  Util.row "  %-28s %12d\n" "monitor flows" (Monitor.tracked_flows monitor);
+  Util.row "  %-28s %12d\n" "egress packets" !egress;
+  Util.row "  %-28s %12.1f\n" "move duration (ms)" !move_ms;
+  Util.row "  %-28s %12d\n" "event pool high water" stats.Engine.high_water;
+  Util.row "  %-28s %12d\n" "peak heap words" gc.Gc.top_heap_words;
+  Util.row "  %-28s %12d\n" "live words at end" gc.Gc.live_words;
+  if Nat.mapping_count nat <> n then
+    failwith
+      (Printf.sprintf "scale: expected %d NAT mappings, got %d" n
+         (Nat.mapping_count nat));
+  if Float.is_nan !move_ms then failwith "scale: concurrent move did not complete";
+  (* Append the row so perf history rides along with the micro numbers. *)
+  let open Openmb_wire in
+  let bench_file = "BENCH_micro.json" in
+  let existing =
+    if Sys.file_exists bench_file then
+      match
+        Json.of_string (In_channel.with_open_text bench_file In_channel.input_all)
+      with
+      | Json.Assoc fields -> fields
+      | _ | (exception Json.Parse_error _) -> []
+    else []
+  in
+  let entry =
+    Json.Assoc
+      [
+        ("flows", Json.Int n);
+        ("events_executed", Json.Int executed);
+        ("wall_seconds", Json.Float wall);
+        ("events_per_sec", Json.Float events_per_sec);
+        ("move_ms", Json.Float !move_ms);
+        ("pool_high_water", Json.Int stats.Engine.high_water);
+        ("peak_heap_words", Json.Int gc.Gc.top_heap_words);
+        ("live_words_end", Json.Int gc.Gc.live_words);
+      ]
+  in
+  let fields = List.remove_assoc "scale" existing @ [ ("scale", entry) ] in
+  Out_channel.with_open_text bench_file (fun oc ->
+      Out_channel.output_string oc (Json.to_string_pretty (Json.Assoc fields));
+      Out_channel.output_char oc '\n');
+  Printf.printf "  [json] wrote %s (label \"scale\", %d flows)\n" bench_file n

@@ -58,6 +58,9 @@ let experiments : (string * string * (unit -> unit)) list =
       Exp_micro.scan_vs_index );
     ("failover", "failure-recovery options quantified (section 2)", Exp_failover.run);
     ("micro", "Bechamel micro-benchmarks of hot primitives", Exp_micro.run);
+    ( "scale",
+      "million-flow switch+NAT+monitor chain with concurrent move",
+      Exp_scale.run );
   ]
 
 let list_experiments () =
@@ -77,9 +80,12 @@ let () =
   | _ :: [] ->
     List.iter
       (fun (name, _, f) ->
-        Printf.printf "\n>>> %s\n%!" name;
-        f ();
-        Printf.printf "%!")
+        (* The million-flow macro takes minutes: explicit opt-in only. *)
+        if not (String.equal name "scale") then begin
+          Printf.printf "\n>>> %s\n%!" name;
+          f ();
+          Printf.printf "%!"
+        end)
       experiments
   | _ :: args ->
     (* Strip flags before dispatching on experiment names. *)
@@ -103,6 +109,16 @@ let () =
         strip rest
       | "--faults" :: _ ->
         Printf.eprintf "usage: failover --faults SEED\n";
+        exit 2
+      | "--flows" :: count :: rest when int_of_string_opt count <> None ->
+        (match int_of_string_opt count with
+        | Some c when c > 0 -> Exp_scale.flows := c
+        | _ ->
+          Printf.eprintf "usage: scale --flows N (N > 0)\n";
+          exit 2);
+        strip rest
+      | "--flows" :: _ ->
+        Printf.eprintf "usage: scale --flows N\n";
         exit 2
       | arg :: rest -> arg :: strip rest
     in

@@ -1,0 +1,26 @@
+#!/bin/sh
+# One-command perf + fault gate (also available as `dune build @perfgate`):
+#
+#   1. build the bench and chaos binaries — once, up front: everything
+#      below invokes _build artifacts directly, because running dune
+#      inside dune deadlocks on the build lock
+#   2. fresh micro-benchmark run, diffed against the committed
+#      BENCH_micro.json "after" baseline; any benchmark more than 20%
+#      slower fails the gate
+#   3. CHAOS_ITERS=5 chaos smoke: the full fault-plan suite at reduced
+#      iteration count
+#
+# Usage: bench/perfgate.sh   (from anywhere inside the repo)
+set -eu
+cd "$(dirname "$0")/.."
+dune build bench/main.exe test/test_chaos.exe
+bench="$PWD/_build/default/bench/main.exe"
+chaos="$PWD/_build/default/test/test_chaos.exe"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+# micro --json writes ./BENCH_micro.json: run it in a scratch directory
+# so the committed baseline is never clobbered.
+(cd "$tmp" && "$bench" micro --json --label fresh)
+"$bench" micro --compare "BENCH_micro.json#after" "$tmp/BENCH_micro.json#fresh"
+CHAOS_ITERS=5 "$chaos"
+echo "perfgate: OK"

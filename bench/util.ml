@@ -17,3 +17,39 @@ let paper_note fmt =
 let ms t = Openmb_sim.Time.to_ms t
 
 let mb bytes = float_of_int bytes /. 1e6
+
+(* ------------------------------------------------------------------ *)
+(* GC-pressure accounting                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Allocation and collection activity over a region of code.  Words are
+   OCaml heap words; [minor_words] uses [Gc.minor_words] (exact, includes
+   the young-pointer delta) while the rest come from [Gc.quick_stat]. *)
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let gc_delta f =
+  let s0 = Gc.quick_stat () in
+  let mw0 = Gc.minor_words () in
+  let result = f () in
+  let mw1 = Gc.minor_words () in
+  let s1 = Gc.quick_stat () in
+  ( result,
+    {
+      minor_words = mw1 -. mw0;
+      major_words = s1.Gc.major_words -. s0.Gc.major_words;
+      promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+      minor_collections = s1.Gc.minor_collections - s0.Gc.minor_collections;
+      major_collections = s1.Gc.major_collections - s0.Gc.major_collections;
+    } )
+
+let pp_gc_delta d =
+  Printf.printf
+    "  [gc] minor %.0f w, major %.0f w, promoted %.0f w, collections %d minor / %d major\n"
+    d.minor_words d.major_words d.promoted_words d.minor_collections
+    d.major_collections

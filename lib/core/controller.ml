@@ -180,7 +180,7 @@ let cpu t bytes k =
   let start = Time.max (Engine.now t.engine) t.cpu_free_at in
   t.cpu_free_at <- Time.(start + cost);
   t.messages <- t.messages + 1;
-  ignore (Engine.schedule_at t.engine t.cpu_free_at k)
+  Engine.call_at t.engine t.cpu_free_at k ()
 
 let find_conn t name = Hashtbl.find_opt t.mbs name
 

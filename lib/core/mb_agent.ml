@@ -114,13 +114,14 @@ let exec t cost k =
   t.cpu_free_at <- Time.(start + cost);
   t.active_ops <- t.active_ops + 1;
   if t.active_ops = 1 then t.impl.set_op_active true;
-  ignore
-    (Engine.schedule_at t.engine t.cpu_free_at (fun () ->
-         if t.epoch = epoch then begin
-           k ();
-           t.active_ops <- t.active_ops - 1;
-           if t.active_ops = 0 then t.impl.set_op_active false
-         end))
+  Engine.call_at t.engine t.cpu_free_at
+    (fun () ->
+      if t.epoch = epoch then begin
+        k ();
+        t.active_ops <- t.active_ops - 1;
+        if t.active_ops = 0 then t.impl.set_op_active false
+      end)
+    ()
 
 let chunk_serialize_cost (cost : Southbound.cost_model) chunk =
   Time.(

@@ -60,15 +60,16 @@ let inject t p ~side_effects ~work =
   in
   let start = Time.max arrival t.dp_free_at in
   t.dp_free_at <- Time.(start + cost);
-  ignore
-    (Engine.schedule_at t.engine t.dp_free_at (fun () ->
-         t.pkts <- t.pkts + 1;
-         let lat = Time.to_seconds Time.(Engine.now t.engine - arrival) in
-         Stats.add t.latency lat;
-         if during_op then Stats.add t.latency_during_op lat;
-         if side_effects then
-           record t ~kind:"pkt" ~detail:(Openmb_net.Packet.flow_label p);
-         work p))
+  Engine.call_at t.engine t.dp_free_at
+    (fun () ->
+      t.pkts <- t.pkts + 1;
+      let lat = Time.to_seconds Time.(Engine.now t.engine - arrival) in
+      Stats.add t.latency lat;
+      if during_op then Stats.add t.latency_during_op lat;
+      if side_effects then
+        record t ~kind:"pkt" ~detail:(Openmb_net.Packet.flow_label p);
+      work p)
+    ()
 
 let latency_stats t = t.latency
 let latency_during_op_stats t = t.latency_during_op

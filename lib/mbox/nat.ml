@@ -6,21 +6,32 @@ open Openmb_core
 type mapping = {
   m_int_ip : Addr.t;
   m_int_port : int;
+  m_ext_ip : Addr.t;
   m_ext_port : int;
   m_proto : Packet.proto;
   m_created : float;
   m_last_active : float;
 }
 
+(* Ports 20000..65000 inclusive per external IP. *)
+let port_lo = 20000
+let port_hi = 65000
+let ports_per_ip = port_hi - port_lo + 1
+
 type t = {
   base : Mb_base.t;
-  external_ip : Addr.t;
+  (* Carrier-grade pool: one external IP caps the NAT at ~45k concurrent
+     mappings, so large-scale runs hand in a pool and mappings record
+     which address they translated to.  [ext_ips.(0)] is the primary. *)
+  ext_ips : Addr.t array;
   internal_prefix : Addr.prefix;
   table : mapping State_table.t;
-  by_ext_port : (int, Hfl.t) Hashtbl.t;  (* ext port -> table key *)
-  mutable next_port : int;
+  by_external : (int, Hfl.t) Hashtbl.t;  (* packed (ext ip, port) -> table key *)
+  mutable next_slot : int; (* cursor into ip x port slot space *)
   mutable dropped : int;
 }
+
+let pack_external ip port = (Addr.to_int ip lsl 16) lor port
 
 let nat_granularity = Hfl.[ Dim_src_ip; Dim_src_port; Dim_proto ]
 
@@ -35,7 +46,8 @@ let default_cost : Southbound.cost_model =
     deserialize_per_byte = Time.us 0.005;
   }
 
-let create engine ?recorder ?(cost = default_cost) ~external_ip ~internal_prefix ~name () =
+let create engine ?recorder ?(cost = default_cost) ?(external_ips = []) ~external_ip
+    ~internal_prefix ~name () =
   let base = Mb_base.create engine ?recorder ~name ~kind:"nat" ~cost () in
   Config_tree.set (Mb_base.config base) [ "external_ip" ]
     [ Json.String (Addr.to_string external_ip) ];
@@ -43,29 +55,32 @@ let create engine ?recorder ?(cost = default_cost) ~external_ip ~internal_prefix
   Config_tree.set (Mb_base.config base) [ "timeout"; "udp" ] [ Json.Int 60 ];
   {
     base;
-    external_ip;
+    ext_ips = Array.of_list (external_ip :: external_ips);
     internal_prefix;
     table = State_table.create ~granularity:nat_granularity ();
-    by_ext_port = Hashtbl.create 64;
-    next_port = 20000;
+    by_external = Hashtbl.create 64;
+    next_slot = 0;
     dropped = 0;
   }
 
 let base t = t.base
 
-let allocate_port t =
-  (* Sequential allocation with wrap, skipping ports in use. *)
-  let start = t.next_port in
-  let rec go port =
-    let port = if port > 65000 then 20000 else port in
-    if not (Hashtbl.mem t.by_ext_port port) then begin
-      t.next_port <- port + 1;
-      port
+let allocate_external t =
+  (* Sequential allocation with wrap over the (ip, port) slot space,
+     skipping pairs in use. *)
+  let nslots = Array.length t.ext_ips * ports_per_ip in
+  let rec go slot tried =
+    if tried >= nslots then failwith "Nat.allocate_external: port pool exhausted";
+    let slot = if slot >= nslots then 0 else slot in
+    let ip = t.ext_ips.(slot / ports_per_ip) in
+    let port = port_lo + (slot mod ports_per_ip) in
+    if not (Hashtbl.mem t.by_external (pack_external ip port)) then begin
+      t.next_slot <- slot + 1;
+      (ip, port)
     end
-    else if port + 1 = start then failwith "Nat.allocate_port: port pool exhausted"
-    else go (port + 1)
+    else go (slot + 1) (tried + 1)
   in
-  go start
+  go t.next_slot 0
 
 let is_outbound t (p : Packet.t) = Addr.in_prefix p.src_ip t.internal_prefix
 
@@ -75,10 +90,11 @@ let process t (p : Packet.t) ~side_effects =
     let tup = Five_tuple.of_packet p in
     let entry, created =
       State_table.find_or_create t.table tup ~default:(fun () ->
-          let ext_port = allocate_port t in
+          let ext_ip, ext_port = allocate_external t in
           {
             m_int_ip = p.src_ip;
             m_int_port = p.src_port;
+            m_ext_ip = ext_ip;
             m_ext_port = ext_port;
             m_proto = p.proto;
             m_created = ts;
@@ -86,7 +102,9 @@ let process t (p : Packet.t) ~side_effects =
           })
     in
     if created then begin
-      Hashtbl.replace t.by_ext_port entry.value.m_ext_port entry.key;
+      Hashtbl.replace t.by_external
+        (pack_external entry.value.m_ext_ip entry.value.m_ext_port)
+        entry.key;
       if side_effects then
         Mb_base.raise_event t.base
           (Event.Introspect
@@ -110,14 +128,14 @@ let process t (p : Packet.t) ~side_effects =
       Some
         {
           p with
-          src_ip = t.external_ip;
+          src_ip = entry.value.m_ext_ip;
           src_port = entry.value.m_ext_port;
         }
     else None
   end
   else begin
-    (* Inbound: reverse translation by destination (external) port. *)
-    match Hashtbl.find_opt t.by_ext_port p.dst_port with
+    (* Inbound: reverse translation by destination (external IP, port). *)
+    match Hashtbl.find_opt t.by_external (pack_external p.dst_ip p.dst_port) with
     | None ->
       t.dropped <- t.dropped + 1;
       None
@@ -150,21 +168,29 @@ let mapping_to_json m =
     [
       ("int_ip", Json.String (Addr.to_string m.m_int_ip));
       ("int_port", Json.Int m.m_int_port);
+      ("ext_ip", Json.String (Addr.to_string m.m_ext_ip));
       ("ext_port", Json.Int m.m_ext_port);
       ("proto", Json.String (Packet.proto_to_string m.m_proto));
       ("created", Json.Float m.m_created);
       ("last_active", Json.Float m.m_last_active);
     ]
 
-let mapping_of_json j =
+let mapping_of_json ~default_ext_ip j =
   (* [created] is absent when restoring from introspection-event info
-     (failure recovery) — default it. *)
+     (failure recovery) — default it.  [ext_ip] is absent in chunks
+     sealed before the pool extension: those NATs had one address. *)
   let created =
     match Json.member "created" j with Json.Null -> 0.0 | v -> Json.get_float v
+  in
+  let ext_ip =
+    match Json.member "ext_ip" j with
+    | Json.Null -> default_ext_ip
+    | v -> Addr.of_string (Json.get_string v)
   in
   {
     m_int_ip = Addr.of_string (Json.get_string (Json.member "int_ip" j));
     m_int_port = Json.get_int (Json.member "int_port" j);
+    m_ext_ip = ext_ip;
     m_ext_port = Json.get_int (Json.member "ext_port" j);
     m_proto = Packet.proto_of_string (Json.get_string (Json.member "proto" j));
     m_created = created;
@@ -199,10 +225,10 @@ let put_support_perflow t (chunk : Chunk.t) =
     match Mb_base.unseal_json t.base chunk with
     | Error e -> Error e
     | Ok json -> (
-      match mapping_of_json json with
+      match mapping_of_json ~default_ext_ip:t.ext_ips.(0) json with
       | m ->
         State_table.insert t.table ~key:chunk.key m;
-        Hashtbl.replace t.by_ext_port m.m_ext_port chunk.key;
+        Hashtbl.replace t.by_external (pack_external m.m_ext_ip m.m_ext_port) chunk.key;
         Ok ()
       | exception Invalid_argument msg -> Error (Errors.Bad_chunk msg))
 
@@ -210,7 +236,8 @@ let del_support_perflow t hfl =
   let removed = State_table.remove_moved_matching t.table hfl in
   State_table.remove_move_filter t.table hfl;
   List.iter
-    (fun (e : mapping State_table.entry) -> Hashtbl.remove t.by_ext_port e.value.m_ext_port)
+    (fun (e : mapping State_table.entry) ->
+      Hashtbl.remove t.by_external (pack_external e.value.m_ext_ip e.value.m_ext_port))
     removed;
   Ok (List.length removed)
 
@@ -237,7 +264,7 @@ let set_config t path values =
   in
   match path with
   | [ "static_mappings" ] -> (
-    match List.map mapping_of_json values with
+    match List.map (mapping_of_json ~default_ext_ip:t.ext_ips.(0)) values with
     | ms ->
       List.iter
         (fun m ->
@@ -249,7 +276,7 @@ let set_config t path values =
             ]
           in
           State_table.insert t.table ~key m;
-          Hashtbl.replace t.by_ext_port m.m_ext_port key)
+          Hashtbl.replace t.by_external (pack_external m.m_ext_ip m.m_ext_port) key)
         ms;
       store ()
     | exception Invalid_argument msg -> Error (Errors.Op_failed msg))
@@ -279,9 +306,18 @@ let mappings t = State_table.fold t.table ~init:[] ~f:(fun acc e -> e.value :: a
 let mapping_count t = State_table.size t.table
 
 let lookup_external t ~ext_port =
-  match Hashtbl.find_opt t.by_ext_port ext_port with
-  | None -> None
-  | Some key -> (
-    match State_table.matching t.table key with [ e ] -> Some e.value | _ -> None)
+  (* Port-only lookup: scan the (small) IP pool for the first hit. *)
+  let n = Array.length t.ext_ips in
+  let rec go i =
+    if i >= n then None
+    else
+      match Hashtbl.find_opt t.by_external (pack_external t.ext_ips.(i) ext_port) with
+      | None -> go (i + 1)
+      | Some key -> (
+        match State_table.matching t.table key with
+        | [ e ] -> Some e.value
+        | _ -> None)
+  in
+  go 0
 
 let packets_dropped t = t.dropped

@@ -17,6 +17,7 @@ type t
 type mapping = {
   m_int_ip : Openmb_net.Addr.t;
   m_int_port : int;
+  m_ext_ip : Openmb_net.Addr.t;
   m_ext_port : int;
   m_proto : Openmb_net.Packet.proto;
   m_created : float;
@@ -27,11 +28,18 @@ val create :
   Openmb_sim.Engine.t ->
   ?recorder:Openmb_sim.Recorder.t ->
   ?cost:Openmb_core.Southbound.cost_model ->
+  ?external_ips:Openmb_net.Addr.t list ->
   external_ip:Openmb_net.Addr.t ->
   internal_prefix:Openmb_net.Addr.prefix ->
   name:string ->
   unit ->
   t
+(** [external_ips] extends the translation pool beyond [external_ip]
+    (carrier-grade NAT): each address contributes ~45k external ports,
+    so million-flow runs pass a pool of a few dozen addresses. *)
+
+val default_cost : Openmb_core.Southbound.cost_model
+(** NAT-calibrated per-packet and serialization costs. *)
 
 val impl : t -> Openmb_core.Southbound.impl
 val base : t -> Mb_base.t

@@ -24,27 +24,30 @@ let find_switch t name =
 let install_rule t ~switch ~priority ~match_ ~action ?on_done () =
   let sw = find_switch t switch in
   t.ops <- t.ops + 1;
-  ignore
-    (Engine.schedule_after t.engine t.install_delay (fun () ->
-         ignore (Flow_table.install (Switch.table sw) ~priority ~match_ ~action);
-         match on_done with Some f -> f () | None -> ()))
+  Engine.call_after t.engine t.install_delay
+    (fun () ->
+      ignore (Flow_table.install (Switch.table sw) ~priority ~match_ ~action);
+      match on_done with Some f -> f () | None -> ())
+    ()
 
 let remove_rules t ~switch ~match_ ?on_done () =
   let sw = find_switch t switch in
   t.ops <- t.ops + 1;
-  ignore
-    (Engine.schedule_after t.engine t.install_delay (fun () ->
-         ignore (Flow_table.remove_matching (Switch.table sw) match_);
-         match on_done with Some f -> f () | None -> ()))
+  Engine.call_after t.engine t.install_delay
+    (fun () ->
+      ignore (Flow_table.remove_matching (Switch.table sw) match_);
+      match on_done with Some f -> f () | None -> ())
+    ()
 
 let update_route t ~switch ~match_ ~new_action ?(priority = 100) ?on_done () =
   let sw = find_switch t switch in
   t.ops <- t.ops + 1;
-  ignore
-    (Engine.schedule_after t.engine t.install_delay (fun () ->
-         let table = Switch.table sw in
-         ignore (Flow_table.remove_matching table match_);
-         ignore (Flow_table.install table ~priority ~match_ ~action:new_action);
-         match on_done with Some f -> f () | None -> ()))
+  Engine.call_after t.engine t.install_delay
+    (fun () ->
+      let table = Switch.table sw in
+      ignore (Flow_table.remove_matching table match_);
+      ignore (Flow_table.install table ~priority ~match_ ~action:new_action);
+      match on_done with Some f -> f () | None -> ())
+    ()
 
 let rule_operations t = t.ops

@@ -31,17 +31,16 @@ let send ch ~bytes msg =
   ch.messages_sent <- ch.messages_sent + 1;
   let arrival = Time.(done_sending + ch.latency) in
   match ch.faults with
-  | None -> ignore (Engine.schedule_at ch.engine arrival (fun () -> ch.deliver msg))
+  | None ->
+    (* Closure-free: the delivery callback and message ride in a pooled
+       event cell, so the per-message cost is allocation-free. *)
+    Engine.call_at ch.engine arrival ch.deliver msg
   | Some link ->
     (* Fault decisions are made at send time; extra delays stack on top
        of the normal serialization + propagation arrival, so a reorder
        or spike lets messages queued behind this one overtake it. *)
     List.iter
-      (fun extra ->
-        ignore
-          (Engine.schedule_at ch.engine
-             Time.(arrival + extra)
-             (fun () -> ch.deliver msg)))
+      (fun extra -> Engine.call_at ch.engine Time.(arrival + extra) ch.deliver msg)
       (Faults.deliveries link ~now:(Engine.now ch.engine))
 
 let bytes_sent ch = ch.bytes_sent

@@ -1,14 +1,26 @@
 (** Discrete-event simulation engine.
 
-    The engine owns a virtual clock and a queue of pending events.  A
-    component schedules a closure to run at (or after) some simulated
-    time; [run] repeatedly pops the earliest event, advances the clock
-    to its timestamp and executes it.  Events scheduled for the same
-    instant execute in scheduling order.
+    The engine owns a virtual clock and a queue of pending events — a
+    hierarchical {!Timer_wheel} of pooled cells with a binary-heap
+    fallback for the far future.  A component schedules work to run at
+    (or after) some simulated time; [run] repeatedly pops the earliest
+    event, advances the clock to its timestamp and executes it.  Events
+    scheduled for the same instant execute in scheduling order.
 
     All OpenMB components — middleboxes, the MB controller, switches,
     traffic sources — are driven by one shared engine, which is what
-    lets the benches measure protocol latencies deterministically. *)
+    lets the benches measure protocol latencies deterministically.
+
+    Two scheduling APIs:
+
+    - {!schedule_at}/{!schedule_after} take a closure and return a
+      cancellable {!handle} — the general path.
+
+    - {!call_at}/{!call2_at} (and the [_after] variants) take a
+      callback and its argument(s) separately, storing both in a
+      reusable pooled cell: no closure, no handle, no per-event
+      allocation.  Use these on packet-rate paths with a pre-existing
+      callback (channel delivery, switch forwarding, trace replay). *)
 
 type t
 (** A simulation engine instance. *)
@@ -16,9 +28,18 @@ type t
 type handle
 (** A cancellable reference to a scheduled event. *)
 
-val create : unit -> t
-(** Fresh engine with the clock at {!Time.zero} and no pending
-    events. *)
+type pool_stats = {
+  capacity : int;  (** cells allocated (high-water-mark sized) *)
+  free : int;  (** cells on the free list *)
+  queued : int;  (** cells holding pending events (incl. tombstones) *)
+  high_water : int;  (** max simultaneously queued cells ever *)
+}
+
+val create : ?slot_us:float -> unit -> t
+(** Fresh engine with the clock at {!Time.zero} and no pending events.
+    [slot_us] is the timer wheel's level-0 slot width in microseconds
+    of simulated time (default [1.0]); it affects performance only,
+    never event order. *)
 
 val now : t -> Time.t
 (** Current virtual time. *)
@@ -31,6 +52,22 @@ val schedule_after : t -> Time.t -> (unit -> unit) -> handle
 (** [schedule_after t delay f] runs [f] at [now t + delay].  A negative
     [delay] raises [Invalid_argument]. *)
 
+val call_at : t -> Time.t -> ('a -> unit) -> 'a -> unit
+(** [call_at t when_ f x] runs [f x] when the clock reaches [when_],
+    without allocating a closure or a handle (not cancellable).
+    Scheduling in the past raises [Invalid_argument]. *)
+
+val call_after : t -> Time.t -> ('a -> unit) -> 'a -> unit
+(** [call_after t delay f x] is [call_at t (now t + delay) f x].  A
+    negative [delay] raises [Invalid_argument]. *)
+
+val call2_at : t -> Time.t -> ('a -> 'b -> unit) -> 'a -> 'b -> unit
+(** [call2_at t when_ f x y] runs [f x y] at [when_]; the two-argument
+    analogue of {!call_at} for callbacks like [receive mb packet]. *)
+
+val call2_after : t -> Time.t -> ('a -> 'b -> unit) -> 'a -> 'b -> unit
+(** [call2_after t delay f x y] is [call2_at t (now t + delay) f x y]. *)
+
 val cancel : handle -> unit
 (** Cancel a pending event; a no-op if it already ran or was
     cancelled. *)
@@ -39,13 +76,22 @@ val is_cancelled : handle -> bool
 (** Whether {!cancel} was called on this handle. *)
 
 val pending : t -> int
-(** Number of events still queued (including cancelled ones not yet
-    discarded). *)
+(** Number of live events still queued.  Cancelled-but-undiscarded
+    events are excluded; they are swept out lazily whenever tombstones
+    outnumber live events. *)
+
+val executed : t -> int
+(** Total events dispatched since [create] (cancelled events are
+    discarded, not dispatched). *)
+
+val pool_stats : t -> pool_stats
+(** Event-cell pool occupancy; [capacity = free + queued] always. *)
 
 val run : ?until:Time.t -> t -> unit
 (** [run t] executes events until the queue drains.  With [?until],
-    stops once the next event would be strictly later than [until] and
-    advances the clock to [until]. *)
+    stops once the next live event would be strictly later than
+    [until] and advances the clock to [until]; cancelled events are
+    discarded and never count toward the boundary. *)
 
 val step : t -> bool
 (** Execute the single earliest pending event.  Returns [false] when

@@ -99,19 +99,20 @@ let arm_crashes t ~name ~on_crash ~on_restart =
       if String.equal n name then
         (* Clamp: the MB may be connected after the plan's crash point,
            in which case it goes down immediately. *)
-        ignore
-          (Engine.schedule_at t.engine
-             (Time.max c.crash_at (Engine.now t.engine))
-             (fun () ->
-               t.crashes_fired <- t.crashes_fired + 1;
-               on_crash ();
-               match c.restart_after with
-               | None -> ()
-               | Some d ->
-                 ignore
-                   (Engine.schedule_after t.engine d (fun () ->
-                        t.restarts_fired <- t.restarts_fired + 1;
-                        on_restart ())))))
+        Engine.call_at t.engine
+          (Time.max c.crash_at (Engine.now t.engine))
+          (fun () ->
+            t.crashes_fired <- t.crashes_fired + 1;
+            on_crash ();
+            match c.restart_after with
+            | None -> ()
+            | Some d ->
+              Engine.call_after t.engine d
+                (fun () ->
+                  t.restarts_fired <- t.restarts_fired + 1;
+                  on_restart ())
+                ())
+          ())
     t.plan.crashes
 
 let dropped t = t.dropped

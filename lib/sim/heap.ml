@@ -60,19 +60,23 @@ let push h x =
   h.len <- h.len + 1;
   sift_up h (h.len - 1)
 
+let peek_exn h =
+  if h.len = 0 then invalid_arg "Heap.peek_exn: empty heap";
+  h.data.(0).value
+
 let peek h = if h.len = 0 then None else Some h.data.(0).value
 
-let pop h =
-  if h.len = 0 then None
-  else begin
-    let top = h.data.(0).value in
-    h.len <- h.len - 1;
-    if h.len > 0 then begin
-      h.data.(0) <- h.data.(h.len);
-      sift_down h 0
-    end;
-    Some top
-  end
+let pop_exn h =
+  if h.len = 0 then invalid_arg "Heap.pop_exn: empty heap";
+  let top = h.data.(0).value in
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    h.data.(0) <- h.data.(h.len);
+    sift_down h 0
+  end;
+  top
+
+let pop h = if h.len = 0 then None else Some (pop_exn h)
 
 let clear h =
   (* Drop the backing array too: the slots above [len] would otherwise

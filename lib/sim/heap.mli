@@ -29,6 +29,15 @@ val pop : 'a t -> 'a option
 (** [pop h] removes and returns the minimum element, breaking ties in
     insertion order, or returns [None] if [h] is empty. *)
 
+val peek_exn : 'a t -> 'a
+(** Like {!peek}, but raises [Invalid_argument] instead of allocating
+    an option — for hot loops that already know the heap is non-empty
+    (the engine's event loop). *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop}, but raises [Invalid_argument] on an empty heap instead
+    of allocating an option. *)
+
 val clear : 'a t -> unit
 (** Remove all elements. *)
 

@@ -21,9 +21,9 @@ let merge traces = of_packets (List.concat_map packets traces)
 let filter t ~f = Array.of_list (List.filter f (Array.to_list t))
 
 let replay engine t ~into =
-  Array.iter
-    (fun (p : Packet.t) -> ignore (Engine.schedule_at engine p.ts (fun () -> into p)))
-    t
+  (* Closure-free: one pooled event cell per packet, no per-packet
+     closure or handle. *)
+  Array.iter (fun (p : Packet.t) -> Engine.call_at engine p.ts into p) t
 
 module Id_gen = struct
   type gen = int ref

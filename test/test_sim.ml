@@ -294,6 +294,346 @@ let prop_engine_time_order =
       && List.length order = List.length times)
 
 (* ------------------------------------------------------------------ *)
+(* Timer wheel vs. reference scheduler                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The seed engine, verbatim: a binary heap of closures whose FIFO
+   tie-break comes from Heap's insertion sequence.  This is the
+   semantic oracle the timer-wheel engine must match event for
+   event. *)
+module Ref_engine = struct
+  type handle = { mutable cancelled : bool }
+  type event = { at : float; action : unit -> unit; h : handle }
+  type t = { mutable clock : float; queue : event Heap.t }
+
+  let create () =
+    { clock = 0.0; queue = Heap.create ~cmp:(fun a b -> Float.compare a.at b.at) }
+
+  let now t = t.clock
+
+  let schedule_at t when_ f =
+    if when_ < t.clock then invalid_arg "Ref_engine.schedule_at: past";
+    let h = { cancelled = false } in
+    Heap.push t.queue { at = when_; action = f; h };
+    h
+
+  let cancel h = h.cancelled <- true
+
+  let rec step t =
+    match Heap.pop t.queue with
+    | None -> false
+    | Some ev ->
+      if ev.h.cancelled then step t
+      else begin
+        t.clock <- ev.at;
+        ev.action ();
+        true
+      end
+
+  let run ?until t =
+    let keep_going () =
+      match until with
+      | None -> not (Heap.is_empty t.queue)
+      | Some limit ->
+        (* One deliberate deviation from the seed: decide the [until]
+           boundary on the next *live* event.  The seed peeked at the
+           raw head, so a cancelled event with [at <= limit] would
+           admit one live event beyond the limit; the wheel engine
+           sweeps tombstones, which makes that overshoot unobservable
+           and was never meaningful behavior. *)
+        let rec live () =
+          match Heap.peek t.queue with
+          | None -> false
+          | Some ev ->
+            if ev.h.cancelled then begin
+              ignore (Heap.pop t.queue);
+              live ()
+            end
+            else ev.at <= limit
+        in
+        live ()
+    in
+    while keep_going () do
+      ignore (step t)
+    done;
+    match until with Some l when t.clock < l -> t.clock <- l | _ -> ()
+end
+
+(* A random scheduling program: top-level events at absolute times,
+   each possibly spawning same-or-later children and cancelling an
+   earlier event when it fires, interpreted over an abstract scheduler
+   so the wheel engine and the reference produce comparable traces. *)
+type ev_spec = { at_s : float; kids : float list; cancel_tgt : int option }
+type program = { events : ev_spec list; untils : float list }
+
+type ('t, 'h) sched = {
+  s_create : unit -> 't;
+  s_now : 't -> float;
+  s_schedule : 't -> float -> (unit -> unit) -> 'h;
+  s_cancel : 'h -> unit;
+  s_run : 't -> float option -> unit;
+  s_pending : ('t -> int) option; (* None: use the interpreter's count *)
+}
+
+type trace = {
+  tr_log : (int * float) list; (* (event id, fire time), in fire order *)
+  tr_marks : (float * int * int) list; (* (clock, fired so far, live) per segment *)
+}
+
+let exec_program sched prog =
+  let t = sched.s_create () in
+  let log = ref [] in
+  let fired = ref 0 in
+  let cancelled_pending = ref 0 in
+  let handles : (int, 'h) Hashtbl.t = Hashtbl.create 64 in
+  let gone : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let rec schedule spec =
+    let id = !next_id in
+    incr next_id;
+    let h = sched.s_schedule t spec.at_s (fun () -> fire spec id) in
+    Hashtbl.replace handles id h
+  and fire spec id =
+    incr fired;
+    Hashtbl.replace gone id ();
+    log := (id, sched.s_now t) :: !log;
+    (match spec.cancel_tgt with
+    | Some k when !next_id > 0 ->
+      let tgt = k mod !next_id in
+      sched.s_cancel (Hashtbl.find handles tgt);
+      if not (Hashtbl.mem gone tgt) then begin
+        incr cancelled_pending;
+        Hashtbl.replace gone tgt ()
+      end
+    | _ -> ());
+    List.iter
+      (fun d -> schedule { at_s = sched.s_now t +. d; kids = []; cancel_tgt = None })
+      spec.kids
+  in
+  List.iter schedule prog.events;
+  let marks = ref [] in
+  let mark () =
+    let live =
+      match sched.s_pending with
+      | Some pending -> pending t
+      | None -> !next_id - !fired - !cancelled_pending
+    in
+    marks := (sched.s_now t, !fired, live) :: !marks
+  in
+  List.iter
+    (fun u ->
+      sched.s_run t (Some u);
+      mark ())
+    (List.sort Float.compare prog.untils);
+  sched.s_run t None;
+  mark ();
+  { tr_log = List.rev !log; tr_marks = List.rev !marks }
+
+let ref_sched =
+  {
+    s_create = Ref_engine.create;
+    s_now = Ref_engine.now;
+    s_schedule = (fun t at f -> Ref_engine.schedule_at t at f);
+    s_cancel = Ref_engine.cancel;
+    s_run = (fun t until -> match until with
+      | None -> Ref_engine.run t
+      | Some u -> Ref_engine.run ~until:u t);
+    s_pending = None;
+  }
+
+let wheel_sched ~slot_us =
+  {
+    s_create = (fun () -> Engine.create ~slot_us ());
+    s_now = (fun t -> Time.to_seconds (Engine.now t));
+    s_schedule = (fun t at f -> Engine.schedule_at t (Time.seconds at) f);
+    s_cancel = Engine.cancel;
+    s_run = (fun t until -> match until with
+      | None -> Engine.run t
+      | Some u -> Engine.run ~until:(Time.seconds u) t);
+    (* Checked against the interpreter's own live count: validates that
+       [pending] excludes tombstones. *)
+    s_pending = Some Engine.pending;
+  }
+
+let gen_program =
+  let open QCheck2.Gen in
+  let gen_time =
+    frequency
+      [
+        (* Dense microseconds: slot collisions and same-instant ties. *)
+        (6, map (fun n -> float_of_int n *. 1e-6) (int_range 0 300));
+        (* Milliseconds: level-1/2 placement and block crossings. *)
+        (3, map (fun n -> float_of_int n *. 0.37e-3) (int_range 0 100));
+        (* Seconds: level-3 placement at 1us slots. *)
+        (2, map (fun n -> float_of_int n) (int_range 0 5));
+        (* Beyond the 1us-slot wheel span: the overflow heap. *)
+        (1, map (fun n -> 4000.0 +. (float_of_int n *. 250.0)) (int_range 0 8));
+      ]
+  in
+  let gen_kid = map (fun n -> float_of_int n *. 1e-6) (int_range 0 50) in
+  let gen_spec =
+    map3
+      (fun at_s kids cancel_tgt -> { at_s; kids; cancel_tgt })
+      gen_time
+      (list_size (int_range 0 3) gen_kid)
+      (option (int_range 0 1000))
+  in
+  map2
+    (fun events untils -> { events; untils })
+    (list_size (int_range 0 40) gen_spec)
+    (list_size (int_range 0 4) gen_time)
+
+let print_program p =
+  let spec s =
+    Printf.sprintf "{at=%g; kids=[%s]; cancel=%s}" s.at_s
+      (String.concat ";" (List.map (Printf.sprintf "%g") s.kids))
+      (match s.cancel_tgt with None -> "-" | Some k -> string_of_int k)
+  in
+  Printf.sprintf "events=[%s] untils=[%s]"
+    (String.concat "; " (List.map spec p.events))
+    (String.concat ";" (List.map (Printf.sprintf "%g") p.untils))
+
+let equiv_prop ~slot_us prog =
+  let expected = exec_program ref_sched prog in
+  let actual = exec_program (wheel_sched ~slot_us) prog in
+  if expected = actual then true
+  else
+    QCheck2.Test.fail_reportf
+      "diverged (slot_us=%g)\nref:   %d fired, marks %s\nwheel: %d fired, marks %s\nfirst diff: %s"
+      slot_us
+      (List.length expected.tr_log)
+      (String.concat " "
+         (List.map (fun (c, f, l) -> Printf.sprintf "(%g,%d,%d)" c f l) expected.tr_marks))
+      (List.length actual.tr_log)
+      (String.concat " "
+         (List.map (fun (c, f, l) -> Printf.sprintf "(%g,%d,%d)" c f l) actual.tr_marks))
+      (match
+         List.find_opt
+           (fun ((a, _), (b, _)) -> a <> b)
+           (List.combine
+              (expected.tr_log @ List.init (max 0 (List.length actual.tr_log - List.length expected.tr_log)) (fun _ -> (-1, 0.0)))
+              (actual.tr_log @ List.init (max 0 (List.length expected.tr_log - List.length actual.tr_log)) (fun _ -> (-1, 0.0))))
+       with
+      | Some ((a, ta), (b, tb)) -> Printf.sprintf "ref id %d@%g vs wheel id %d@%g" a ta b tb
+      | None -> "same ids, different times/marks")
+
+let prop_wheel_equiv =
+  QCheck2.Test.make ~name:"timer wheel == seed heap scheduling (1us slots)"
+    ~count:500 ~print:print_program gen_program (equiv_prop ~slot_us:1.0)
+
+let prop_wheel_equiv_coarse =
+  (* 1ms slots: many distinct timestamps share a slot, exercising the
+     sorted drain. *)
+  QCheck2.Test.make ~name:"timer wheel == seed heap scheduling (1ms slots)"
+    ~count:300 ~print:print_program gen_program (equiv_prop ~slot_us:1000.0)
+
+let prop_wheel_equiv_fine =
+  (* 10ns slots: a ~43s wheel span, so the seconds/heap branches cross
+     blocks and overflow constantly. *)
+  QCheck2.Test.make ~name:"timer wheel == seed heap scheduling (0.01us slots)"
+    ~count:300 ~print:print_program gen_program (equiv_prop ~slot_us:0.01)
+
+let prop_pool_invariants =
+  QCheck2.Test.make ~name:"event pool: capacity = free + queued, drains empty"
+    ~count:300 ~print:print_program gen_program (fun prog ->
+      let e = Engine.create () in
+      let check_stats () =
+        let s = Engine.pool_stats e in
+        s.Engine.capacity = s.Engine.free + s.Engine.queued
+        && s.Engine.high_water <= s.Engine.capacity
+        && s.Engine.queued >= Engine.pending e
+      in
+      let ok = ref true in
+      let handles = ref [] in
+      List.iter
+        (fun spec ->
+          let h = Engine.schedule_at e (Time.seconds spec.at_s) (fun () -> ()) in
+          handles := (h, spec.cancel_tgt) :: !handles;
+          ok := !ok && check_stats ())
+        prog.events;
+      List.iter
+        (fun (h, tgt) -> if tgt <> None then Engine.cancel h)
+        !handles;
+      ok := !ok && check_stats ();
+      Engine.run e;
+      let s = Engine.pool_stats e in
+      !ok && check_stats () && s.Engine.queued = 0 && s.Engine.free = s.Engine.capacity
+      && Engine.pending e = 0)
+
+let test_pool_reuse () =
+  (* Cells recycle through the free list: scheduling the same load
+     repeatedly must not grow the pool past its first high-water mark.
+     (A cell live in two schedules at once would trip the wheel's
+     alloc/release state checks as Invalid_argument.) *)
+  let e = Engine.create () in
+  let sink () = () in
+  let round () =
+    for i = 1 to 1000 do
+      let at = Time.(Engine.now e + Time.us (float_of_int i)) in
+      if i mod 2 = 0 then ignore (Engine.schedule_at e at sink)
+      else Engine.call_at e at (fun (_ : int) -> ()) i
+    done;
+    Engine.run e
+  in
+  round ();
+  let cap_after_first = (Engine.pool_stats e).Engine.capacity in
+  for _ = 1 to 10 do
+    round ()
+  done;
+  let s = Engine.pool_stats e in
+  Alcotest.(check int) "pool did not grow on reuse" cap_after_first s.Engine.capacity;
+  Alcotest.(check int) "all cells back on the free list" s.Engine.capacity s.Engine.free;
+  Alcotest.(check bool) "high water bounded by one round" true (s.Engine.high_water <= 1024)
+
+let test_engine_call_fifo_with_closures () =
+  (* call_at/call2_at share the same (time, seq) order as schedule_at:
+     same-instant events of any kind fire in scheduling order. *)
+  let e = Engine.create () in
+  let order = ref [] in
+  let push tag = order := tag :: !order in
+  ignore (Engine.schedule_at e (Time.seconds 1.0) (fun () -> push 1));
+  Engine.call_at e (Time.seconds 1.0) push 2;
+  Engine.call2_at e (Time.seconds 1.0) (fun a b -> push (a + b)) 1 2;
+  ignore (Engine.schedule_at e (Time.seconds 1.0) (fun () -> push 4));
+  Engine.call_after e Time.zero push 0;
+  Engine.run e;
+  Alcotest.(check (list int)) "mixed-kind fifo" [ 0; 1; 2; 3; 4 ] (List.rev !order)
+
+let test_engine_far_future_overflow () =
+  (* Events beyond the wheel span (~71 min at 1us slots) take the heap
+     path yet stay in global order. *)
+  let e = Engine.create () in
+  let order = ref [] in
+  Engine.call_at e (Time.seconds 10_000.0) (fun x -> order := x :: !order) 3;
+  Engine.call_at e (Time.seconds 1e-6) (fun x -> order := x :: !order) 1;
+  Engine.call_at e (Time.seconds 5_000.0) (fun x -> order := x :: !order) 2;
+  Engine.run e;
+  Alcotest.(check (list int)) "heap overflow ordered" [ 1; 2; 3 ] (List.rev !order);
+  check_float "clock" 10_000.0 (Time.to_seconds (Engine.now e));
+  (* After the far-future drain the wheel re-syncs: near events still work. *)
+  Engine.call_after e (Time.us 5.0) (fun x -> order := x :: !order) 4;
+  Engine.run e;
+  Alcotest.(check int) "post-overflow event fired" 4 (List.hd !order)
+
+let test_engine_pending_excludes_cancelled () =
+  let e = Engine.create () in
+  let hs =
+    List.init 10 (fun i ->
+        Engine.schedule_at e (Time.seconds (float_of_int (i + 1))) (fun () -> ()))
+  in
+  Alcotest.(check int) "all pending" 10 (Engine.pending e);
+  List.iteri (fun i h -> if i < 4 then Engine.cancel h) hs;
+  Alcotest.(check int) "cancelled excluded" 6 (Engine.pending e);
+  (* Cancelling past the half-way point triggers the lazy purge and the
+     pool reflects it. *)
+  List.iteri (fun i h -> if i < 6 then Engine.cancel h) hs;
+  Alcotest.(check int) "after purge" 4 (Engine.pending e);
+  Alcotest.(check int) "tombstones swept from pool" 4
+    (Engine.pool_stats e).Engine.queued;
+  Engine.run e;
+  Alcotest.(check int) "drained" 0 (Engine.pending e)
+
+(* ------------------------------------------------------------------ *)
 (* Channel                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -354,6 +694,21 @@ let test_recorder_filter () =
   Alcotest.(check int) "by window" 1
     (List.length (Recorder.filter ~since:(Time.seconds 1.5) ~until:(Time.seconds 2.5) r))
 
+let test_heap_exn () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.check_raises "peek_exn empty"
+    (Invalid_argument "Heap.peek_exn: empty heap") (fun () ->
+      ignore (Heap.peek_exn h));
+  Alcotest.check_raises "pop_exn empty"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h));
+  List.iter (fun x -> Heap.push h x) [ 3; 1; 2 ];
+  Alcotest.(check int) "peek_exn" 1 (Heap.peek_exn h);
+  Alcotest.(check int) "pop_exn 1" 1 (Heap.pop_exn h);
+  Alcotest.(check int) "pop_exn 2" 2 (Heap.pop_exn h);
+  Alcotest.(check int) "pop_exn 3" 3 (Heap.pop_exn h);
+  Alcotest.(check bool) "empty again" true (Heap.is_empty h)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -365,6 +720,7 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "exn accessors" `Quick test_heap_exn;
         ]
         @ qcheck [ prop_heap_sorts ] );
       ( "prng",
@@ -400,8 +756,20 @@ let () =
           Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
           Alcotest.test_case "run until" `Quick test_engine_until;
           Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
+          Alcotest.test_case "mixed-kind fifo" `Quick test_engine_call_fifo_with_closures;
+          Alcotest.test_case "far-future overflow" `Quick test_engine_far_future_overflow;
+          Alcotest.test_case "pending excludes cancelled" `Quick
+            test_engine_pending_excludes_cancelled;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
         ]
-        @ qcheck [ prop_engine_time_order ] );
+        @ qcheck
+            [
+              prop_engine_time_order;
+              prop_wheel_equiv;
+              prop_wheel_equiv_coarse;
+              prop_wheel_equiv_fine;
+              prop_pool_invariants;
+            ] );
       ( "channel",
         [
           Alcotest.test_case "latency and bandwidth" `Quick
