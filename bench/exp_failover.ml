@@ -176,6 +176,7 @@ let introspection_run ?plan () =
           rerouted_at := r.Failover.rerouted_at)
         ());
   Scenario.run scenario;
+  Util.maybe_dump_trace (Scenario.telemetry scenario);
   {
     base =
       {

@@ -63,9 +63,9 @@ let get_put_times kind ~chunks =
     ~send_event:(fun _ -> ());
   get_start := Engine.now engine;
   Mb_agent.handle_request agent_a
-    { Message.op = 0; req = Message.Get_support_perflow Hfl.any };
+    { Message.op = 0; tid = 0; req = Message.Get_support_perflow Hfl.any };
   Mb_agent.handle_request agent_a
-    { Message.op = 1; req = Message.Get_report_perflow Hfl.any };
+    { Message.op = 1; tid = 0; req = Message.Get_report_perflow Hfl.any };
   Engine.run engine;
   (* Puts: issue every chunk back-to-back and time until the last
      acknowledgement. *)
@@ -89,7 +89,7 @@ let get_put_times kind ~chunks =
         | Taxonomy.Reporting | Taxonomy.Configuring ->
           Message.Put_report_perflow { seq = i; chunk = c }
       in
-      Mb_agent.handle_request agent_b { Message.op = i; req })
+      Mb_agent.handle_request agent_b { Message.op = i; tid = 0; req })
     !chunks_out;
   Engine.run engine;
   ( Time.to_seconds Time.(!get_end - !get_start) *. 1e3,

@@ -127,6 +127,7 @@ let put_chunk_msg () =
   in
   {
     Openmb_core.Message.op = 42;
+    tid = 0;
     req = Openmb_core.Message.Put_support_perflow { seq = 42; chunk };
   }
 
@@ -221,6 +222,43 @@ let channel_delivery () =
       ()
   in
   Test.make ~name:"channel.send+deliver (64 in flight)"
+    (Staged.stage (fun () ->
+         for i = 1 to channel_in_flight do
+           Channel.send ch ~bytes:(64 * i) 42
+         done;
+         Engine.run engine))
+
+(* Telemetry-enabled twins of the two tracked scheduler rows: same
+   workload with a live metric registry attached, so the overhead of
+   the counter increments on the hot path is itself a tracked number
+   (the perfgate holds the pair within a few percent). *)
+let engine_dense_timers_telemetry () =
+  let open Openmb_sim in
+  let engine = Engine.create ~telemetry:(Telemetry.create ()) () in
+  let fired = ref 0 in
+  let tick () = incr fired in
+  for _ = 1 to 100_000 do
+    ignore (Engine.schedule_at engine (Time.seconds 3600.0) tick)
+  done;
+  Test.make ~name:"engine.run (100 dense timers, telemetry on)"
+    (Staged.stage (fun () ->
+         let now = Engine.now engine in
+         for i = 1 to 100 do
+           ignore (Engine.schedule_at engine Time.(now + Time.us (float_of_int (2 * i))) tick)
+         done;
+         Engine.run ~until:Time.(now + Time.ms 1.0) engine))
+
+let channel_delivery_telemetry () =
+  let open Openmb_sim in
+  let tel = Telemetry.create () in
+  let engine = Engine.create ~telemetry:tel () in
+  let delivered = ref 0 in
+  let ch =
+    Channel.create engine ~telemetry:tel ~latency:(Time.us 10.0) ~bytes_per_sec:1e9
+      ~deliver:(fun (_ : int) -> incr delivered)
+      ()
+  in
+  Test.make ~name:"channel.send+deliver (64 in flight, telemetry on)"
     (Staged.stage (fun () ->
          for i = 1 to channel_in_flight do
            Channel.send ch ~bytes:(64 * i) 42
@@ -508,11 +546,13 @@ let load_results path =
       benches
   | _ -> failwith (path ^ ": not a benchmark result file")
 
-let regression_threshold = 0.20
+(* Default 20%; micro --threshold PCT overrides for tighter gates. *)
+let regression_threshold = ref 0.20
 
-(* Diff two result files; returns the number of >20% regressions (the
-   driver exits non-zero when any are found). *)
+(* Diff two result files; returns the number of regressions beyond the
+   threshold (the driver exits non-zero when any are found). *)
 let compare_results before_path after_path =
+  let regression_threshold = !regression_threshold in
   let before = load_results before_path and after = load_results after_path in
   Util.banner
     (Printf.sprintf "Benchmark comparison: %s -> %s" before_path after_path);
@@ -611,7 +651,81 @@ let tests () =
     hfl_match;
     engine_dense_timers;
     channel_delivery;
+    engine_dense_timers_telemetry;
+    channel_delivery_telemetry;
   ]
+
+(* ------------------------------------------------------------------ *)
+(* micro-telemetry: the overhead gate                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Set by the driver (micro-telemetry --gate PCT): fail the invocation
+   when any tracked pair's telemetry-on row is more than PCT slower
+   than its telemetry-off twin. *)
+let telemetry_gate : float option ref = ref None
+
+let telemetry_pairs =
+  [
+    ( "engine.run (100 dense timers, 100k parked)",
+      "engine.run (100 dense timers, telemetry on)" );
+    ( "channel.send+deliver (64 in flight)",
+      "channel.send+deliver (64 in flight, telemetry on)" );
+  ]
+
+(* Measure the two tracked rows with and without a live registry in
+   one process (same machine state for both sides of each pair), print
+   the overhead, and optionally gate on it.  Each row is the min of
+   three interleaved rounds: single Bechamel estimates on a shared
+   machine jitter by tens of percent, far above the few-percent signal
+   this gate watches, and the per-side minimum discards the scheduling
+   noise both sides suffer independently.  With --json the four rows
+   are merged into BENCH_micro.json under the label (use
+   --label micro-telemetry to keep the pair as its own entry). *)
+let telemetry_rounds = 3
+
+let run_telemetry () =
+  Util.banner "Telemetry overhead: tracked scheduler rows, registry off vs. on";
+  let best = Hashtbl.create 8 in
+  for _ = 1 to telemetry_rounds do
+    List.iter
+      (fun r ->
+        match Hashtbl.find_opt best r.bench_name with
+        | Some prev when prev.ns_per_op <= r.ns_per_op -> ()
+        | _ -> Hashtbl.replace best r.bench_name r)
+      (measure
+         [
+           engine_dense_timers;
+           engine_dense_timers_telemetry;
+           channel_delivery;
+           channel_delivery_telemetry;
+         ])
+  done;
+  let find name = Hashtbl.find best name in
+  let results =
+    List.concat_map (fun (off, on) -> [ find off; find on ]) telemetry_pairs
+  in
+  Util.row "  %-46s %12s %12s %9s\n" "benchmark" "off(ns)" "on(ns)" "delta";
+  let worst = ref neg_infinity in
+  List.iter
+    (fun (off_name, on_name) ->
+      let off = find off_name and on = find on_name in
+      let delta = (on.ns_per_op -. off.ns_per_op) /. off.ns_per_op in
+      if delta > !worst then worst := delta;
+      Util.row "  %-46s %12.1f %12.1f %+8.1f%%\n" off_name off.ns_per_op
+        on.ns_per_op (delta *. 100.0))
+    telemetry_pairs;
+  (match !json_label with None -> () | Some label -> write_json results label);
+  match !telemetry_gate with
+  | None -> ()
+  | Some limit ->
+    if !worst *. 100.0 > limit then begin
+      Printf.printf "  telemetry overhead %.1f%% exceeds the %.1f%% gate\n"
+        (!worst *. 100.0) limit;
+      exit 1
+    end
+    else
+      Printf.printf "  telemetry overhead within the %.1f%% gate (worst %+.1f%%)\n"
+        limit (!worst *. 100.0)
 
 let run () =
   Util.banner "Micro-benchmarks (Bechamel, wall-clock; hermetic fixtures)";

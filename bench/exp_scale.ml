@@ -55,7 +55,8 @@ let run () =
   Util.banner
     (Printf.sprintf "scale: %d concurrent flows + %dk-chunk move on one engine"
        n (move_chunks / 1000));
-  let engine = Engine.create () in
+  let tel = Telemetry.create ~span_capacity:65_536 () in
+  let engine = Engine.create ~telemetry:tel () in
   (* NAT pool: enough external addresses for every flow's mapping. *)
   let pool_extra =
     let per_ip = 45_001 in
@@ -63,19 +64,20 @@ let run () =
     List.init needed (fun i -> Addr.of_int (Addr.to_int (Addr.of_string "5.5.5.0") + i + 1))
   in
   let nat =
-    Nat.create engine ~name:"nat" ~cost:(fast_cost Nat.default_cost)
+    Nat.create engine ~telemetry:tel ~name:"nat" ~cost:(fast_cost Nat.default_cost)
       ~external_ip:(Addr.of_string "5.5.5.0")
       ~external_ips:pool_extra
       ~internal_prefix:(Addr.prefix_of_string internal_prefix)
       ()
   in
   let monitor =
-    Monitor.create engine ~name:"monitor" ~cost:(fast_cost Monitor.default_cost) ()
+    Monitor.create engine ~telemetry:tel ~name:"monitor"
+      ~cost:(fast_cost Monitor.default_cost) ()
   in
   let egress = ref 0 in
   Mb_base.set_egress (Nat.base nat) (fun p -> Monitor.receive monitor p);
   Mb_base.set_egress (Monitor.base monitor) (fun _ -> incr egress);
-  let sw = Switch.create engine ~name:"edge" () in
+  let sw = Switch.create engine ~telemetry:tel ~name:"edge" () in
   Switch.attach_port sw ~port:"nat"
     (Link.create engine ~name:"sw-nat" ~dst:(Nat.receive nat) ());
   ignore
@@ -110,12 +112,14 @@ let run () =
   emit_batch 0 ();
   (* Concurrent control-plane work: a 10k-chunk moveInternal between a
      dummy pair sharing the engine, kicked off mid-run. *)
-  let ctrl = Controller.create engine () in
+  let ctrl = Controller.create engine ~telemetry:tel () in
   let src = Dummy_mb.create engine ~name:"move-src" () in
   let dst = Dummy_mb.create engine ~name:"move-dst" () in
   Dummy_mb.populate src ~n:move_chunks;
-  Controller.connect ctrl (Mb_agent.create engine ~impl:(Dummy_mb.impl src) ());
-  Controller.connect ctrl (Mb_agent.create engine ~impl:(Dummy_mb.impl dst) ());
+  Controller.connect ctrl
+    (Mb_agent.create engine ~telemetry:tel ~impl:(Dummy_mb.impl src) ());
+  Controller.connect ctrl
+    (Mb_agent.create engine ~telemetry:tel ~impl:(Dummy_mb.impl dst) ());
   let move_ms = ref nan in
   ignore
     (Engine.schedule_at engine
@@ -144,6 +148,7 @@ let run () =
   Util.row "  %-28s %12d\n" "event pool high water" stats.Engine.high_water;
   Util.row "  %-28s %12d\n" "peak heap words" gc.Gc.top_heap_words;
   Util.row "  %-28s %12d\n" "live words at end" gc.Gc.live_words;
+  Util.maybe_dump_trace tel;
   if Nat.mapping_count nat <> n then
     failwith
       (Printf.sprintf "scale: expected %d NAT mappings, got %d" n

@@ -1,0 +1,98 @@
+(* The instrumented move macro: one controller-brokered moveInternal
+   between dummy MBs with every component sharing a single telemetry
+   instance, so the run yields linked controller/agent trace spans and
+   the paper's per-flow serialization-window histogram (the Figure-7
+   metric: how long each flow's state sat between leaving the source
+   and being acknowledged at the destination).
+
+     bench move [--flows N] [--trace-out FILE.json]   # span/latency summary
+     bench telemetry                                  # registry snapshot
+
+   The --trace-out dump loads in Perfetto / about:tracing: the
+   controller and each MB render as separate threads, and clicking a
+   span exposes its op_id — the causality id that also rode the wire
+   message — linking the controller-side op span to the agent-side
+   execution span. *)
+
+open Openmb_sim
+open Openmb_net
+open Openmb_core
+open Openmb_apps
+
+(* Set by the driver (bench move --flows N); shared default with the
+   acceptance run. *)
+let flows = ref 1000
+
+(* One complete [n]-flow move between fresh dummy MBs, everything
+   wired to one telemetry instance. *)
+let run_move n =
+  let tel = Telemetry.create ~span_capacity:16_384 () in
+  let engine = Engine.create ~telemetry:tel () in
+  let config = { Controller.default_config with quiescence = Time.ms 100.0 } in
+  let ctrl = Controller.create engine ~config ~telemetry:tel () in
+  let src = Dummy_mb.create engine ~name:"src" () in
+  let dst = Dummy_mb.create engine ~name:"dst" () in
+  Dummy_mb.populate src ~n;
+  Controller.connect ctrl
+    (Mb_agent.create engine ~telemetry:tel ~impl:(Dummy_mb.impl src) ());
+  Controller.connect ctrl
+    (Mb_agent.create engine ~telemetry:tel ~impl:(Dummy_mb.impl dst) ());
+  let result = ref None in
+  Controller.move_internal ctrl ~src:"src" ~dst:"dst" ~key:Hfl.any
+    ~on_done:(fun res -> result := Some res);
+  Engine.run engine;
+  match !result with
+  | Some (Ok mr) -> (tel, mr)
+  | Some (Error e) -> failwith (Errors.to_string e)
+  | None -> failwith "move did not complete"
+
+(* Causality ids that have both a controller-side span and an
+   agent-side span in the ring — the linkage the trace export exists
+   to show. *)
+let linked_ops tel =
+  let tr = Telemetry.trace tel in
+  let ctrl_id = Telemetry.Trace.lookup_id tr "controller" in
+  let seen = Hashtbl.create 256 in
+  Telemetry.Trace.fold tr ~init:()
+    ~f:(fun () ~actor ~name:_ ~op ~a0:_ ~a1:_ ~t0:_ ~t1:_ ~detail:_ ->
+      if op > 0 then begin
+        let c, a = try Hashtbl.find seen op with Not_found -> (false, false) in
+        Hashtbl.replace seen op
+          (if actor = ctrl_id then (true, a) else (c, true))
+      end);
+  Hashtbl.fold (fun _ (c, a) n -> if c && a then n + 1 else n) seen 0
+
+let q_ms h p = Telemetry.quantile h p *. 1e3
+
+let move () =
+  let n = !flows in
+  Util.banner
+    (Printf.sprintf "move: instrumented %d-flow moveInternal (telemetry on)" n);
+  let tel, mr = run_move n in
+  Util.row "  %-30s %12d\n" "chunks moved" mr.Controller.chunks_moved;
+  Util.row "  %-30s %12d\n" "bytes moved" mr.Controller.bytes_moved;
+  Util.row "  %-30s %12.1f\n" "move duration (ms)" (Util.ms mr.Controller.duration);
+  let h_op = Telemetry.histogram tel "controller.op_latency" in
+  let h_ser = Telemetry.histogram tel "controller.serialization_window" in
+  Util.row "  %-30s %12d  p50=%.3fms p99=%.3fms\n" "southbound ops"
+    (Telemetry.hist_count h_op) (q_ms h_op 0.5) (q_ms h_op 0.99);
+  Util.row "  %-30s %12d  p50=%.3fms p99=%.3fms\n" "serialization windows"
+    (Telemetry.hist_count h_ser) (q_ms h_ser 0.5) (q_ms h_ser 0.99);
+  let tr = Telemetry.trace tel in
+  Util.row "  %-30s %12d  (%d overwritten)\n" "trace spans"
+    (Telemetry.Trace.total tr)
+    (Telemetry.Trace.overwritten tr);
+  Util.row "  %-30s %12d\n" "linked controller+agent ops" (linked_ops tel);
+  Util.maybe_dump_trace tel
+
+let report () =
+  let n = !flows in
+  Util.banner
+    (Printf.sprintf "telemetry: registry snapshot after a %d-flow move" n);
+  let tel, _mr = run_move n in
+  let h = Telemetry.histogram tel "controller.serialization_window" in
+  Util.row "  serialization window: n=%d p50=%.3f ms p99=%.3f ms max=%.3f ms\n"
+    (Telemetry.hist_count h) (q_ms h 0.5) (q_ms h 0.99)
+    (Telemetry.hist_max h *. 1e3);
+  Format.printf "%a@." Telemetry.pp tel;
+  Util.maybe_dump_trace tel

@@ -61,6 +61,15 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "scale",
       "million-flow switch+NAT+monitor chain with concurrent move",
       Exp_scale.run );
+    ( "move",
+      "instrumented move: spans, linked op ids, latency histograms",
+      Exp_telemetry.move );
+    ( "telemetry",
+      "registry snapshot + serialization-window quantiles of a move",
+      Exp_telemetry.report );
+    ( "micro-telemetry",
+      "overhead of a live registry on the tracked scheduler rows",
+      Exp_micro.run_telemetry );
   ]
 
 let list_experiments () =
@@ -112,13 +121,37 @@ let () =
         exit 2
       | "--flows" :: count :: rest when int_of_string_opt count <> None ->
         (match int_of_string_opt count with
-        | Some c when c > 0 -> Exp_scale.flows := c
+        | Some c when c > 0 ->
+          Exp_scale.flows := c;
+          Exp_telemetry.flows := c
         | _ ->
-          Printf.eprintf "usage: scale --flows N (N > 0)\n";
+          Printf.eprintf "usage: scale|move --flows N (N > 0)\n";
           exit 2);
         strip rest
       | "--flows" :: _ ->
-        Printf.eprintf "usage: scale --flows N\n";
+        Printf.eprintf "usage: scale|move --flows N\n";
+        exit 2
+      | "--trace-out" :: file :: rest when String.length file > 0 ->
+        Util.trace_out := Some file;
+        strip rest
+      | "--trace-out" :: _ ->
+        Printf.eprintf "usage: move|telemetry|failover|scale --trace-out FILE.json\n";
+        exit 2
+      | "--threshold" :: pct :: rest when float_of_string_opt pct <> None ->
+        (match float_of_string_opt pct with
+        | Some p when p > 0.0 -> Exp_micro.regression_threshold := p /. 100.0
+        | _ ->
+          Printf.eprintf "usage: micro --threshold PCT (PCT > 0)\n";
+          exit 2);
+        strip rest
+      | "--threshold" :: _ ->
+        Printf.eprintf "usage: micro --threshold PCT\n";
+        exit 2
+      | "--gate" :: pct :: rest when float_of_string_opt pct <> None ->
+        Exp_micro.telemetry_gate := float_of_string_opt pct;
+        strip rest
+      | "--gate" :: _ ->
+        Printf.eprintf "usage: micro-telemetry --gate PCT\n";
         exit 2
       | arg :: rest -> arg :: strip rest
     in

@@ -7,7 +7,11 @@
 #   2. fresh micro-benchmark run, diffed against the committed
 #      BENCH_micro.json "after" baseline; any benchmark more than 20%
 #      slower fails the gate
-#   3. CHAOS_ITERS=5 chaos smoke: the full fault-plan suite at reduced
+#   3. telemetry-overhead gate: the tracked scheduler rows re-measured
+#      with a live metric registry attached must stay within 5% of
+#      their registry-free twins (min-of-3 rounds, off/on pair also
+#      recorded under the "micro-telemetry" label)
+#   4. CHAOS_ITERS=5 chaos smoke: the full fault-plan suite at reduced
 #      iteration count
 #
 # Usage: bench/perfgate.sh   (from anywhere inside the repo)
@@ -22,5 +26,6 @@ trap 'rm -rf "$tmp"' EXIT
 # so the committed baseline is never clobbered.
 (cd "$tmp" && "$bench" micro --json --label fresh)
 "$bench" micro --compare "BENCH_micro.json#after" "$tmp/BENCH_micro.json#fresh"
+(cd "$tmp" && "$bench" micro-telemetry --gate 5 --json --label micro-telemetry)
 CHAOS_ITERS=5 "$chaos"
 echo "perfgate: OK"

@@ -16,6 +16,20 @@ let paper_note fmt =
    result once the simulation drains. *)
 let ms t = Openmb_sim.Time.to_ms t
 
+(* Set by the driver (--trace-out FILE): experiments that own a
+   telemetry instance dump its span ring as Chrome trace_event JSON
+   here after their macro completes.  When several runs share one
+   invocation the last dump wins. *)
+let trace_out : string option ref = ref None
+
+let maybe_dump_trace tel =
+  match !trace_out with
+  | None -> ()
+  | Some path ->
+    Out_channel.with_open_text path (fun oc ->
+        Openmb_sim.Telemetry.export_chrome tel oc);
+    Printf.printf "  [trace] wrote %s\n" path
+
 let mb bytes = float_of_int bytes /. 1e6
 
 (* ------------------------------------------------------------------ *)

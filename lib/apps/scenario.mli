@@ -11,6 +11,7 @@ type t
 val create :
   ?ctrl_config:Openmb_core.Controller.config ->
   ?faults:Openmb_sim.Faults.plan ->
+  ?telemetry:Openmb_sim.Telemetry.t ->
   ?install_delay:Openmb_sim.Time.t ->
   ?with_recorder:bool ->
   unit ->
@@ -20,10 +21,22 @@ val create :
     instantiates a fault-injection plan against the engine and hands it
     to the MB controller: every controller–MB channel draws from the
     plan's link profile and MBs attached later get the plan's scheduled
-    crashes armed. *)
+    crashes armed.
+
+    One {!Openmb_sim.Telemetry.t} instance ([telemetry], or a fresh one)
+    is shared by every component the scenario wires — engine, fault
+    injector, controller, switch and agents — so registry counters
+    aggregate deployment-wide and controller/agent trace spans link up.
+    Middlebox bases are built by the caller: pass {!telemetry} to their
+    [create] to include data-path metrics. *)
 
 val engine : t -> Openmb_sim.Engine.t
 val recorder : t -> Openmb_sim.Recorder.t option
+
+(** The deployment-wide telemetry instance (shared with the
+    controller's — {!Openmb_core.Controller.telemetry} returns the same
+    value). *)
+val telemetry : t -> Openmb_sim.Telemetry.t
 val controller : t -> Openmb_core.Controller.t
 val faults : t -> Openmb_sim.Faults.t option
 val sdn : t -> Openmb_net.Sdn_controller.t

@@ -52,6 +52,7 @@ type counters = {
   op_retries : int;
   op_timeouts : int;
   aborted_transfers : int;
+  dedup_hits : int;
 }
 
 (* A handler consumes successive replies to one op; [`Done] removes it. *)
@@ -65,6 +66,11 @@ type pending_op = {
   po_req : Message.request;
   po_handler : handler;
   po_retryable : bool;
+  po_tid : int;
+      (* Causality id stamped on the wire message; the agent tags its
+         spans with it, linking both sides of the op in a trace. *)
+  po_span : Telemetry.Trace.span;
+  po_started : Time.t;
   mutable po_attempts : int;
   mutable po_last_activity : Time.t;
 }
@@ -86,6 +92,7 @@ type transfer_kind = T_move | T_clone | T_merge
 
 type transfer = {
   t_id : int;
+  t_span : Telemetry.Trace.span;
   kind : transfer_kind;
   src : string;
   dst : string;
@@ -114,6 +121,10 @@ type transfer = {
   buffered : (string, Event.t Queue.t) Hashtbl.t;
   mutable buffered_count : int;
   mutable last_event : Time.t;
+  put_started : (string, Time.t) Hashtbl.t;
+      (* First time a chunk for the key was received from the get
+         stream; the gap to the key's completing ack is the per-flow
+         serialization window (the paper's Fig. 7 metric). *)
   on_done : (move_result, Errors.t) result -> unit;
 }
 
@@ -129,41 +140,61 @@ type t = {
   cfg : config;
   recorder : Recorder.t option;
   faults : Faults.t option;
+  tel : Telemetry.t;
   mbs : (string, conn) Hashtbl.t;
   mutable transfers : transfer list;
   mutable next_transfer : int;
   mutable subscriptions : subscription list;
   mutable cpu_free_at : Time.t;
-  mutable events_forwarded : int;
-  mutable events_dropped : int;
-  mutable events_returned : int;
-  mutable buffered_peak : int;
-  mutable messages : int;
-  mutable retries : int;
-  mutable timeouts : int;
-  mutable aborted : int;
+  (* Registry-backed counters; the [counters] record below is a view of
+     these.  [c_dedup] is shared with agents on the same telemetry
+     instance — the agent increments it on a replayed reply. *)
+  c_msgs : Telemetry.counter;
+  c_evt_fwd : Telemetry.counter;
+  c_evt_dropped : Telemetry.counter;
+  c_evt_returned : Telemetry.counter;
+  c_retries : Telemetry.counter;
+  c_timeouts : Telemetry.counter;
+  c_aborted : Telemetry.counter;
+  c_dedup : Telemetry.counter;
+  g_buf : Telemetry.gauge;
+  g_window : Telemetry.gauge;
+  h_op : Telemetry.histogram;
+  h_serial : Telemetry.histogram;
+  h_transfer : Telemetry.histogram;
 }
 
-let create engine ?(config = default_config) ?recorder ?faults () =
+let create engine ?(config = default_config) ?recorder ?faults ?telemetry () =
+  (* Without a shared instance the controller keeps a private one, so
+     the counter accessors below stay per-controller either way. *)
+  let tel = match telemetry with Some tel -> tel | None -> Telemetry.create () in
   {
     engine;
     cfg = config;
     recorder;
     faults;
+    tel;
     mbs = Hashtbl.create 8;
     transfers = [];
     next_transfer = 0;
     subscriptions = [];
     cpu_free_at = Time.zero;
-    events_forwarded = 0;
-    events_dropped = 0;
-    events_returned = 0;
-    buffered_peak = 0;
-    messages = 0;
-    retries = 0;
-    timeouts = 0;
-    aborted = 0;
+    c_msgs = Telemetry.counter tel "controller.msgs";
+    c_evt_fwd = Telemetry.counter tel "controller.evt_forwarded";
+    c_evt_dropped = Telemetry.counter tel "controller.evt_dropped";
+    c_evt_returned = Telemetry.counter tel "controller.evt_returned";
+    c_retries = Telemetry.counter tel "controller.op_retries";
+    c_timeouts = Telemetry.counter tel "controller.op_timeouts";
+    c_aborted = Telemetry.counter tel "controller.transfers_aborted";
+    c_dedup = Telemetry.counter tel "mb.dedup_hits";
+    g_buf = Telemetry.gauge tel "controller.evt_buffered";
+    g_window = Telemetry.gauge tel "controller.put_window";
+    h_op = Telemetry.histogram tel "controller.op_latency";
+    h_serial = Telemetry.histogram tel "controller.serialization_window";
+    h_transfer = Telemetry.histogram tel "controller.transfer_duration";
   }
+
+let telemetry t = t.tel
 
 let record t ~kind ~detail =
   match t.recorder with
@@ -179,7 +210,7 @@ let cpu t bytes k =
   in
   let start = Time.max (Engine.now t.engine) t.cpu_free_at in
   t.cpu_free_at <- Time.(start + cost);
-  t.messages <- t.messages + 1;
+  Telemetry.incr t.c_msgs;
   Engine.call_at t.engine t.cpu_free_at k ()
 
 let find_conn t name = Hashtbl.find_opt t.mbs name
@@ -201,8 +232,8 @@ let backoff_delay t attempts =
   let cap = Time.to_seconds t.cfg.retry_backoff_cap in
   Time.seconds (Float.min (base *. (2.0 ** float_of_int attempts)) cap)
 
-let transmit t conn op req =
-  let msg = { Message.op; req } in
+let transmit t conn op tid req =
+  let msg = { Message.op; tid; req } in
   let bytes = Message.request_wire_bytes ~framing:conn.framing msg in
   cpu t bytes (fun () -> Channel.send conn.to_mb ~bytes msg)
 
@@ -221,12 +252,14 @@ let rec check_timeout t conn op po () =
     else if po.po_retryable && po.po_attempts < t.cfg.max_retries then begin
       po.po_attempts <- po.po_attempts + 1;
       po.po_last_activity <- now;
-      t.retries <- t.retries + 1;
+      Telemetry.incr t.c_retries;
+      Telemetry.instant t.tel ~now ~actor:"controller" ~name:"op-retry" ~op:po.po_tid
+        ~a0:po.po_attempts ();
       record t ~kind:"op-retry"
         ~detail:
           (Printf.sprintf "op=%d attempt=%d %s" op po.po_attempts
              (Message.describe_request po.po_req));
-      transmit t conn op po.po_req;
+      transmit t conn op po.po_tid po.po_req;
       ignore
         (Engine.schedule_at t.engine
            Time.(now + backoff_delay t po.po_attempts)
@@ -234,7 +267,9 @@ let rec check_timeout t conn op po () =
     end
     else begin
       Hashtbl.remove conn.pending op;
-      t.timeouts <- t.timeouts + 1;
+      Telemetry.incr t.c_timeouts;
+      Telemetry.span_end t.tel ~now po.po_span;
+      Telemetry.observe t.h_op Time.(to_seconds (now - po.po_started));
       record t ~kind:"op-timeout"
         ~detail:(Printf.sprintf "op=%d %s" op (Message.describe_request po.po_req));
       ignore
@@ -247,17 +282,26 @@ let rec check_timeout t conn op po () =
 let op_send ?(retryable = true) t conn req handler =
   let op = conn.next_op in
   conn.next_op <- op + 1;
+  let now = Engine.now t.engine in
+  let tid = Telemetry.next_op_id t.tel in
+  let span =
+    Telemetry.span_begin t.tel ~now ~actor:"controller"
+      ~name:(Message.request_name req) ~op:tid ~a0:op ()
+  in
   let po =
     {
       po_req = req;
       po_handler = handler;
       po_retryable = retryable;
+      po_tid = tid;
+      po_span = span;
+      po_started = now;
       po_attempts = 0;
-      po_last_activity = Engine.now t.engine;
+      po_last_activity = now;
     }
   in
   Hashtbl.replace conn.pending op po;
-  transmit t conn op req;
+  transmit t conn op tid req;
   if timeouts_enabled t then
     ignore
       (Engine.schedule_at t.engine
@@ -283,15 +327,15 @@ let transfer_key_id transfer key =
   | T_clone | T_merge -> shared_key_id
 
 let forward_reprocess t transfer ev =
-  if not t.cfg.forward_events then t.events_dropped <- t.events_dropped + 1
+  if not t.cfg.forward_events then Telemetry.incr t.c_evt_dropped
   else
   match ev with
   | Event.Reprocess { key; packet } -> (
     match find_conn t transfer.dst with
-    | None -> t.events_dropped <- t.events_dropped + 1
+    | None -> Telemetry.incr t.c_evt_dropped
     | Some dst_conn ->
       transfer.events_fwd <- transfer.events_fwd + 1;
-      t.events_forwarded <- t.events_forwarded + 1;
+      Telemetry.incr t.c_evt_fwd;
       record t ~kind:"event-fwd"
         ~detail:(Printf.sprintf "%s->%s %s" transfer.src transfer.dst (Event.describe ev));
       op_send_ignore t dst_conn (Message.Reprocess_packet { key; packet }))
@@ -312,7 +356,7 @@ let buffer_event t transfer key ev =
   let total =
     List.fold_left (fun acc tr -> acc + tr.buffered_count) 0 t.transfers
   in
-  if total > t.buffered_peak then t.buffered_peak <- total
+  Telemetry.set_gauge t.g_buf total
 
 let flush_buffered t transfer id =
   match Hashtbl.find_opt transfer.buffered id with
@@ -350,7 +394,7 @@ let handle_reprocess_event t src_name ev key =
       | None -> List.find_opt shared_match t.transfers
   in
   match found with
-  | None -> t.events_dropped <- t.events_dropped + 1
+  | None -> Telemetry.incr t.c_evt_dropped
   | Some transfer ->
     transfer.last_event <- Engine.now t.engine;
     let id = transfer_key_id transfer key in
@@ -393,10 +437,14 @@ let dispatch_from_mb t mb_name msg =
       match Hashtbl.find_opt conn.pending op with
       | None -> ()
       | Some po -> (
-        po.po_last_activity <- Engine.now t.engine;
+        let now = Engine.now t.engine in
+        po.po_last_activity <- now;
         match po.po_handler reply with
         | `Keep -> ()
-        | `Done -> Hashtbl.remove conn.pending op)))
+        | `Done ->
+          Hashtbl.remove conn.pending op;
+          Telemetry.span_end t.tel ~now po.po_span;
+          Telemetry.observe t.h_op Time.(to_seconds (now - po.po_started)))))
 
 let connect t ?framing agent =
   let name = Mb_agent.name agent in
@@ -416,13 +464,13 @@ let connect t ?framing agent =
     cpu t (Message.reply_wire_bytes ~framing msg) (fun () -> dispatch_from_mb t name msg)
   in
   let mk_channel tag =
-    Channel.create t.engine ?faults:(faulted tag) ~latency:t.cfg.channel_latency
-      ~bytes_per_sec:t.cfg.channel_bandwidth ~deliver ()
+    Channel.create t.engine ?faults:(faulted tag) ~telemetry:t.tel
+      ~latency:t.cfg.channel_latency ~bytes_per_sec:t.cfg.channel_bandwidth ~deliver ()
   in
   let reply_ch = mk_channel "reply" and event_ch = mk_channel "event" in
   let to_mb =
-    Channel.create t.engine ?faults:(faulted "op") ~latency:t.cfg.channel_latency
-      ~bytes_per_sec:t.cfg.channel_bandwidth
+    Channel.create t.engine ?faults:(faulted "op") ~telemetry:t.tel
+      ~latency:t.cfg.channel_latency ~bytes_per_sec:t.cfg.channel_bandwidth
       ~deliver:(fun msg -> Mb_agent.handle_request agent msg)
       ()
   in
@@ -595,6 +643,9 @@ let rec schedule_quiescence_check t transfer =
 let maybe_return t transfer =
   if (not transfer.returned) && transfer.open_gets = 0 && transfer.pending_puts = 0 then begin
     transfer.returned <- true;
+    Telemetry.span_end t.tel ~now:(Engine.now t.engine) transfer.t_span;
+    Telemetry.observe t.h_transfer
+      Time.(to_seconds (Engine.now t.engine - transfer.started));
     (* Any still-buffered events belong to flows that started mid-move
        (no chunk was ever exported for them): replay them now, in
        order — the destination rebuilds their state from scratch. *)
@@ -628,11 +679,12 @@ let abort_transfer t transfer err =
   if not transfer.returned then begin
     transfer.returned <- true;
     t.transfers <- List.filter (fun tr -> tr.t_id <> transfer.t_id) t.transfers;
-    t.aborted <- t.aborted + 1;
+    Telemetry.incr t.c_aborted;
+    Telemetry.span_end t.tel ~now:(Engine.now t.engine) transfer.t_span;
     (match find_conn t transfer.src with
     | None ->
       Hashtbl.iter
-        (fun _ q -> t.events_dropped <- t.events_dropped + Queue.length q)
+        (fun _ q -> Telemetry.add t.c_evt_dropped (Queue.length q))
         transfer.buffered
     | Some src_conn ->
       Hashtbl.iter
@@ -641,7 +693,7 @@ let abort_transfer t transfer err =
             (fun ev ->
               match ev with
               | Event.Reprocess { key; packet } ->
-                t.events_returned <- t.events_returned + 1;
+                Telemetry.incr t.c_evt_returned;
                 op_send_ignore t src_conn (Message.Reprocess_packet { key; packet })
               | Event.Introspect _ -> ())
             q)
@@ -671,11 +723,13 @@ let chunk_key_id (chunk : Chunk.t) =
 (* Track a chunk the moment it is received from the get stream: it is
    now this transfer's responsibility, events on its key must buffer
    until the destination acknowledges it. *)
-let track_chunk transfer (chunk : Chunk.t) =
+let track_chunk t transfer (chunk : Chunk.t) =
   transfer.pending_puts <- transfer.pending_puts + 1;
   transfer.chunks <- transfer.chunks + 1;
   transfer.bytes <- transfer.bytes + Chunk.size_bytes chunk;
   let id = chunk_key_id chunk in
+  if not (Hashtbl.mem transfer.put_started id) then
+    Hashtbl.replace transfer.put_started id (Engine.now t.engine);
   let n = try Hashtbl.find transfer.putting id with Not_found -> 0 in
   Hashtbl.replace transfer.putting id (n + 1)
 
@@ -692,6 +746,13 @@ let ack_chunk t transfer key_id =
   if n <= 1 then begin
     Hashtbl.remove transfer.putting key_id;
     Hashtbl.replace transfer.acked key_id ();
+    (* Every chunk under the key is installed: the key's serialization
+       window — first export to last ack — closes here. *)
+    (match Hashtbl.find_opt transfer.put_started key_id with
+    | Some started ->
+      Hashtbl.remove transfer.put_started key_id;
+      Telemetry.observe t.h_serial Time.(to_seconds (Engine.now t.engine - started))
+    | None -> ());
     flush_buffered t transfer key_id
   end
   else Hashtbl.replace transfer.putting key_id (n - 1)
@@ -712,7 +773,7 @@ let issue_put t transfer dst_conn (chunk : Chunk.t) =
       (* Configuration state never travels as chunks. *)
       Message.Put_support_shared { seq; chunk }
   in
-  track_chunk transfer chunk;
+  track_chunk t transfer chunk;
   let key_id = chunk_key_id chunk in
   op_send t dst_conn req (fun reply ->
       (match reply with
@@ -758,10 +819,12 @@ let rec pump t transfer dst_conn =
   if ready_to_cut () then begin
     let batch = next_batch t transfer in
     transfer.inflight_batches <- transfer.inflight_batches + 1;
+    Telemetry.set_gauge t.g_window transfer.inflight_batches;
     op_send t dst_conn
       (Message.Put_batch { seq = alloc_seq dst_conn; chunks = batch })
       (fun reply ->
         transfer.inflight_batches <- transfer.inflight_batches - 1;
+        Telemetry.set_gauge t.g_window transfer.inflight_batches;
         (match reply with
         | Message.Batch_ack { seq = _; count = _; errors } ->
           (* Acknowledge the batch's chunks in order up to the first
@@ -787,7 +850,7 @@ let rec pump t transfer dst_conn =
   end
 
 let enqueue_chunk t transfer dst_conn chunk =
-  track_chunk transfer chunk;
+  track_chunk t transfer chunk;
   Queue.push chunk transfer.queued;
   transfer.queued_bytes <- transfer.queued_bytes + Chunk.size_bytes chunk;
   pump t transfer dst_conn
@@ -863,9 +926,17 @@ let start_transfer t ~kind ~src ~dst ~hfl ~gets ~on_done =
       match Southbound.check_granularity src_impl hfl with
       | Error e -> fail_async t e on_done
       | Ok () ->
+        let kind_name =
+          match kind with T_move -> "move" | T_clone -> "clone" | T_merge -> "merge"
+        in
         let transfer =
           {
             t_id = t.next_transfer;
+            t_span =
+              Telemetry.span_begin t.tel ~now:(Engine.now t.engine) ~actor:"controller"
+                ~name:kind_name
+                ~op:(Telemetry.next_op_id t.tel)
+                ~a0:t.next_transfer ();
             kind;
             src;
             dst;
@@ -885,6 +956,7 @@ let start_transfer t ~kind ~src ~dst ~hfl ~gets ~on_done =
             buffered = Hashtbl.create 16;
             buffered_count = 0;
             last_event = Engine.now t.engine;
+            put_started = Hashtbl.create 64;
             on_done;
           }
         in
@@ -892,9 +964,8 @@ let start_transfer t ~kind ~src ~dst ~hfl ~gets ~on_done =
         t.transfers <- transfer :: t.transfers;
         record t ~kind:"transfer-start"
           ~detail:
-            (Printf.sprintf "#%d %s %s->%s %s" transfer.t_id
-               (match kind with T_move -> "move" | T_clone -> "clone" | T_merge -> "merge")
-               src dst (Hfl.to_string hfl));
+            (Printf.sprintf "#%d %s %s->%s %s" transfer.t_id kind_name src dst
+               (Hfl.to_string hfl));
         (* Gets are not retryable: the source marks exported entries as
            moved, so replaying a get after losing its stream would
            return an empty (or partial) stream and silently complete a
@@ -923,30 +994,34 @@ let merge_internal t ~src ~dst ~on_done =
 (* Reporting                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let events_buffered_peak t = t.buffered_peak
-let events_forwarded t = t.events_forwarded
-let events_dropped t = t.events_dropped
-let events_returned t = t.events_returned
+let events_buffered_peak t = Telemetry.gauge_peak t.g_buf
+let events_forwarded t = Telemetry.counter_value t.c_evt_fwd
+let events_dropped t = Telemetry.counter_value t.c_evt_dropped
+let events_returned t = Telemetry.counter_value t.c_evt_returned
 let active_transfers t = List.length t.transfers
-let messages_processed t = t.messages
-let op_retries t = t.retries
-let op_timeouts t = t.timeouts
-let transfers_aborted t = t.aborted
+let messages_processed t = Telemetry.counter_value t.c_msgs
+let op_retries t = Telemetry.counter_value t.c_retries
+let op_timeouts t = Telemetry.counter_value t.c_timeouts
+let transfers_aborted t = Telemetry.counter_value t.c_aborted
 
+(* The record is a point-in-time view of the registry counters; the
+   registry itself (via [telemetry]) is the richer interface. *)
 let counters t =
   {
-    msgs_processed = t.messages;
-    evt_forwarded = t.events_forwarded;
-    evt_dropped = t.events_dropped;
-    evt_returned = t.events_returned;
-    evt_buffered_peak = t.buffered_peak;
-    op_retries = t.retries;
-    op_timeouts = t.timeouts;
-    aborted_transfers = t.aborted;
+    msgs_processed = Telemetry.counter_value t.c_msgs;
+    evt_forwarded = Telemetry.counter_value t.c_evt_fwd;
+    evt_dropped = Telemetry.counter_value t.c_evt_dropped;
+    evt_returned = Telemetry.counter_value t.c_evt_returned;
+    evt_buffered_peak = Telemetry.gauge_peak t.g_buf;
+    op_retries = Telemetry.counter_value t.c_retries;
+    op_timeouts = Telemetry.counter_value t.c_timeouts;
+    aborted_transfers = Telemetry.counter_value t.c_aborted;
+    dedup_hits = Telemetry.counter_value t.c_dedup;
   }
 
 let pp_counters fmt c =
   Format.fprintf fmt
-    "msgs=%d fwd=%d dropped=%d returned=%d buf-peak=%d retries=%d timeouts=%d aborts=%d"
+    "msgs=%d fwd=%d dropped=%d returned=%d buf-peak=%d retries=%d timeouts=%d aborts=%d \
+     dedup=%d"
     c.msgs_processed c.evt_forwarded c.evt_dropped c.evt_returned c.evt_buffered_peak
-    c.op_retries c.op_timeouts c.aborted_transfers
+    c.op_retries c.op_timeouts c.aborted_transfers c.dedup_hits

@@ -80,12 +80,27 @@ val create :
   ?config:config ->
   ?recorder:Openmb_sim.Recorder.t ->
   ?faults:Openmb_sim.Faults.t ->
+  ?telemetry:Openmb_sim.Telemetry.t ->
   unit ->
   t
 (** [faults], when given, subjects every controller–MB channel to the
     fault plan's link profile (named ["<mb>/op"], ["<mb>/reply"],
     ["<mb>/event"]) and arms the plan's scheduled MB crashes at
-    {!connect} time. *)
+    {!connect} time.
+
+    [telemetry] hosts the controller's registry metrics
+    (["controller.*"] counters/gauges, the ["controller.op_latency"],
+    ["controller.serialization_window"] and
+    ["controller.transfer_duration"] histograms) and its trace spans —
+    one span per southbound op (named after the request, stamped with a
+    fresh causality id that also rides the wire message as
+    {!Message.to_mb.tid}) and one per transfer.  Without it the
+    controller keeps a private instance, so the {!counters} accessors
+    work either way; share one instance across controller and agents to
+    get linked cross-component traces. *)
+
+val telemetry : t -> Openmb_sim.Telemetry.t
+(** The instance passed to {!create} (or the private default). *)
 
 val connect : t -> ?framing:Openmb_wire.Framing.t -> Mb_agent.t -> unit
 (** Establish the op and event connections to an MB agent and register
@@ -222,6 +237,10 @@ type counters = {
   op_retries : int;  (** Southbound requests retransmitted. *)
   op_timeouts : int;  (** Southbound requests failed with {!Errors.Timeout}. *)
   aborted_transfers : int;  (** Transfers rolled back ({!Errors.Move_aborted}). *)
+  dedup_hits : int;
+      (** Duplicate requests the agents answered from their replay
+          caches.  Counted by agents sharing this controller's
+          telemetry instance; [0] when agents keep their own. *)
 }
 
 val counters : t -> counters

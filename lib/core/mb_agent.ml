@@ -3,6 +3,14 @@ open Openmb_sim
 type t = {
   engine : Engine.t;
   recorder : Recorder.t option;
+  tel : Telemetry.t option;
+  c_dedup : Telemetry.counter;
+  c_events : Telemetry.counter;
+  h_serialize : Telemetry.histogram;
+  h_apply : Telemetry.histogram;
+  (* Open agent-side spans keyed by op id; tagged with the controller's
+     causality id so exported traces link both halves of an op. *)
+  op_spans : (int, Telemetry.Trace.span) Hashtbl.t;
   impl : Southbound.impl;
   filter : Event.Filter.t;
   mutable send_reply : Message.from_mb -> unit;
@@ -38,11 +46,27 @@ let record t ~kind ~detail =
 
 let not_attached _ = failwith "Mb_agent: not attached to a controller"
 
-let create engine ?recorder ~impl () =
+let create engine ?recorder ?telemetry ~impl () =
+  let c name =
+    match telemetry with
+    | Some tel -> Telemetry.counter tel name
+    | None -> Telemetry.null_counter
+  in
+  let h name =
+    match telemetry with
+    | Some tel -> Telemetry.histogram tel name
+    | None -> Telemetry.null_histogram
+  in
   let t =
     {
       engine;
       recorder;
+      tel = telemetry;
+      c_dedup = c "mb.dedup_hits";
+      c_events = c "mb.events_raised";
+      h_serialize = h "mb.serialize";
+      h_apply = h "mb.apply";
+      op_spans = Hashtbl.create 64;
       impl;
       filter = Event.Filter.create ();
       send_reply = not_attached;
@@ -65,6 +89,7 @@ let create engine ?recorder ~impl () =
   impl.set_event_sink (fun ev ->
       if (not t.crashed) && Event.Filter.admits t.filter ev then begin
         t.events_raised <- t.events_raised + 1;
+        Telemetry.incr t.c_events;
         record t ~kind:"event-raise" ~detail:(Event.describe ev);
         t.send_event (Message.Event_msg ev)
       end);
@@ -94,6 +119,7 @@ let crash t =
     Hashtbl.reset t.op_replies;
     Hashtbl.reset t.op_started;
     Hashtbl.reset t.applied_seq;
+    Hashtbl.reset t.op_spans;
     record t ~kind:"crash" ~detail:""
   end
 
@@ -143,10 +169,33 @@ let config_op_cost = Time.us 200.0
 
 let send_reply_raw t op reply = t.send_reply (Message.Reply { op; reply })
 
+let begin_op_span t op tid req =
+  match t.tel with
+  | None -> ()
+  | Some tel ->
+    let span =
+      Telemetry.span_begin tel ~now:(Engine.now t.engine) ~actor:t.impl.name
+        ~name:("mb." ^ Message.request_name req) ~op:tid ~a0:op ()
+    in
+    Hashtbl.replace t.op_spans op span
+
+(* Everything but a mid-stream chunk finishes the op on the agent side. *)
+let reply_is_terminal = function Message.State_chunk _ -> false | _ -> true
+
+let end_op_span t op =
+  match Hashtbl.find_opt t.op_spans op with
+  | None -> ()
+  | Some span ->
+    Hashtbl.remove t.op_spans op;
+    (match t.tel with
+    | Some tel -> Telemetry.span_end tel ~now:(Engine.now t.engine) span
+    | None -> ())
+
 let reply t op reply =
   let prev = try Hashtbl.find t.op_replies op with Not_found -> [] in
   Hashtbl.replace t.op_replies op (reply :: prev);
-  send_reply_raw t op reply
+  send_reply_raw t op reply;
+  if reply_is_terminal reply then end_op_span t op
 
 let reply_result t op = function
   | Ok () -> reply t op Message.Ack
@@ -164,8 +213,9 @@ let handle_get t op ~what (fetch : unit -> (Chunk.t list, Errors.t) result) =
         let count = List.length chunks in
         List.iter
           (fun chunk ->
-            exec t (chunk_serialize_cost t.impl.cost chunk) (fun () ->
-                reply t op (Message.State_chunk chunk)))
+            let cost = chunk_serialize_cost t.impl.cost chunk in
+            Telemetry.observe t.h_serialize (Time.to_seconds cost);
+            exec t cost (fun () -> reply t op (Message.State_chunk chunk)))
           chunks;
         exec t Time.zero (fun () ->
             record t ~kind:"get-end" ~detail:(Printf.sprintf "%s count=%d" what count);
@@ -181,13 +231,17 @@ let handle_get_shared t op ~what (fetch : unit -> (Chunk.t option, Errors.t) res
         record t ~kind:"get-end" ~detail:(what ^ " count=0");
         reply t op (Message.End_of_state { count = 0 })
       | Ok (Some chunk) ->
-        exec t (chunk_serialize_cost t.impl.cost chunk) (fun () ->
+        let cost = chunk_serialize_cost t.impl.cost chunk in
+        Telemetry.observe t.h_serialize (Time.to_seconds cost);
+        exec t cost (fun () ->
             reply t op (Message.State_chunk chunk);
             record t ~kind:"get-end" ~detail:(what ^ " count=1");
             reply t op (Message.End_of_state { count = 1 })))
 
 let handle_put t op ~what ~seq chunk (store : Chunk.t -> (unit, Errors.t) result) =
-  exec t (chunk_deserialize_cost t.impl.cost chunk) (fun () ->
+  let cost = chunk_deserialize_cost t.impl.cost chunk in
+  Telemetry.observe t.h_apply (Time.to_seconds cost);
+  exec t cost (fun () ->
       record t ~kind:"put" ~detail:what;
       let r =
         match store chunk with Ok () -> Message.Ack | Error e -> Message.Op_error e
@@ -269,7 +323,10 @@ let execute t op req =
        once. *)
     let cost =
       List.fold_left
-        (fun acc c -> Time.(acc + chunk_deserialize_cost i.cost c))
+        (fun acc c ->
+          let dc = chunk_deserialize_cost i.cost c in
+          Telemetry.observe t.h_apply (Time.to_seconds dc);
+          Time.(acc + dc))
         Time.zero chunks
     in
     exec t cost (fun () ->
@@ -304,7 +361,7 @@ let execute t op req =
     i.process_packet packet ~side_effects:false;
     reply t op Message.Ack
 
-let handle_request t { Message.op; req } =
+let handle_request t { Message.op; tid; req } =
   if t.crashed then
     record t ~kind:"drop" ~detail:("crashed: " ^ Message.describe_request req)
   else begin
@@ -315,6 +372,7 @@ let handle_request t { Message.op; req } =
          replay the recorded outcome under the incoming op id without
          touching state. *)
       let r = Hashtbl.find t.applied_seq seq in
+      Telemetry.incr t.c_dedup;
       record t ~kind:"dedup" ~detail:(Printf.sprintf "seq=%d" seq);
       exec t Time.zero (fun () -> send_reply_raw t op r)
     | _ ->
@@ -324,12 +382,14 @@ let handle_request t { Message.op; req } =
            in-flight execution will answer. *)
         match Hashtbl.find_opt t.op_replies op with
         | Some replies ->
+          Telemetry.incr t.c_dedup;
           record t ~kind:"dedup" ~detail:(Printf.sprintf "op=%d" op);
           exec t Time.zero (fun () -> List.iter (send_reply_raw t op) (List.rev replies))
         | None -> record t ~kind:"dedup-drop" ~detail:(Printf.sprintf "op=%d" op)
       end
       else begin
         Hashtbl.replace t.op_started op ();
+        begin_op_span t op tid req;
         execute t op req
       end
   end

@@ -15,10 +15,20 @@ type t
 val create :
   Openmb_sim.Engine.t ->
   ?recorder:Openmb_sim.Recorder.t ->
+  ?telemetry:Openmb_sim.Telemetry.t ->
   impl:Southbound.impl ->
   unit ->
   t
-(** An agent not yet attached to a controller. *)
+(** An agent not yet attached to a controller.
+
+    With [telemetry], the agent counts its replay-cache hits
+    (["mb.dedup_hits"]) and raised events (["mb.events_raised"]),
+    observes per-chunk serialize/deserialize costs (["mb.serialize"],
+    ["mb.apply"] histograms), and emits one trace span per executed
+    request — tagged with the causality id ({!Message.to_mb.tid}) the
+    controller stamped on the wire message, so a shared instance links
+    both sides of every op.  Pass the controller's
+    {!Controller.telemetry} to get linked traces. *)
 
 val impl : t -> Southbound.impl
 val name : t -> string

@@ -33,7 +33,7 @@ type reply =
   | Op_error of Errors.t
   | Batch_ack of { seq : int; count : int; errors : (int * Errors.t) list }
 
-type to_mb = { op : op_id; req : request }
+type to_mb = { op : op_id; tid : int; req : request }
 
 type from_mb = Reply of { op : op_id; reply : reply } | Event_msg of Event.t
 
@@ -226,12 +226,16 @@ let request_body_to_json = function
       [ ("seq", Json.Int seq); ("chunks", Json.List (List.map chunk_to_json chunks)) ] )
   | Abort_perflow h -> ("abortPerflow", [ ("key", hfl_to_json h) ])
 
-let request_to_json { op; req } =
+let request_to_json { op; tid; req } =
   let name, fields = request_body_to_json req in
+  (* The trace id is omitted when absent so untraced runs produce the
+     original (pre-telemetry) JSON byte-for-byte. *)
+  let fields = if tid = 0 then fields else ("tid", Json.Int tid) :: fields in
   Json.Assoc (("op", Json.Int op) :: ("type", Json.String name) :: fields)
 
 let request_of_json j =
   let op = Json.get_int (Json.member "op" j) in
+  let tid = match Json.member "tid" j with Json.Null -> 0 | v -> Json.get_int v in
   let key_field () = Json.member "key" j in
   let seq_field () = Json.get_int (Json.member "seq" j) in
   let chunk_field () = chunk_of_json (Json.member "chunk" j) in
@@ -273,7 +277,7 @@ let request_of_json j =
     | "abortPerflow" -> Abort_perflow (hfl_of_json (key_field ()))
     | s -> invalid_arg (Printf.sprintf "Message.request_of_json: unknown type %S" s)
   in
-  { op; req }
+  { op; tid; req }
 
 let stats_to_json (s : Southbound.stats) =
   Json.Assoc
@@ -683,9 +687,10 @@ let r_json_list r =
   let n = Binary.get_uvarint r in
   List.init n (fun _ -> r_json r)
 
-let request_write k { op; req } =
+let request_write k { op; tid; req } =
   k.Binary.put_char binary_tag;
   Binary.uvarint k op;
+  Binary.uvarint k tid;
   match req with
   | Get_config p ->
     Binary.u8 k 0;
@@ -752,6 +757,7 @@ let request_write k { op; req } =
 
 let request_read r =
   let op = Binary.get_uvarint r in
+  let tid = Binary.get_uvarint r in
   let req =
     match Binary.get_u8 r with
     | 0 -> Get_config (r_path r)
@@ -792,7 +798,7 @@ let request_read r =
     | 18 -> Abort_perflow (r_hfl r)
     | n -> bad_tag "request" n
   in
-  { op; req }
+  { op; tid; req }
 
 let error_to_u8 : Errors.t -> int = function
   | Granularity_too_fine -> 0
@@ -1068,6 +1074,29 @@ let reply_wire_bytes ?(framing:Framing.t = Framing.Json) m =
 (* ------------------------------------------------------------------ *)
 (* Descriptions                                                        *)
 (* ------------------------------------------------------------------ *)
+
+(* Constructor name as a static literal: span names intern these, so
+   stamping a span from a request allocates nothing after first use. *)
+let request_name = function
+  | Get_config _ -> "getConfig"
+  | Set_config _ -> "setConfig"
+  | Del_config _ -> "delConfig"
+  | Get_support_perflow _ -> "getSupportPerflow"
+  | Put_support_perflow _ -> "putSupportPerflow"
+  | Del_support_perflow _ -> "delSupportPerflow"
+  | Get_support_shared -> "getSupportShared"
+  | Put_support_shared _ -> "putSupportShared"
+  | Get_report_perflow _ -> "getReportPerflow"
+  | Put_report_perflow _ -> "putReportPerflow"
+  | Del_report_perflow _ -> "delReportPerflow"
+  | Get_report_shared -> "getReportShared"
+  | Put_report_shared _ -> "putReportShared"
+  | Get_stats _ -> "getStats"
+  | Enable_events _ -> "enableEvents"
+  | Disable_events _ -> "disableEvents"
+  | Reprocess_packet _ -> "reprocessPacket"
+  | Put_batch _ -> "putBatch"
+  | Abort_perflow _ -> "abortPerflow"
 
 let describe_request req =
   let name, _ = request_body_to_json req in

@@ -62,8 +62,13 @@ type reply =
           why.  An empty [errors] acknowledges every chunk.  [seq]
           echoes the batch's sequence number. *)
 
-type to_mb = { op : op_id; req : request }
-(** Controller → MB. *)
+type to_mb = { op : op_id; tid : int; req : request }
+(** Controller → MB.  [tid] is the telemetry trace (causality) id: the
+    controller stamps each southbound request with the id of the span
+    that issued it, and the agent tags its own spans with the same id,
+    linking both sides of an operation in an exported trace.  [0] means
+    "untraced"; the JSON encoding omits the field in that case, and the
+    binary encoding carries it as one varint after [op]. *)
 
 type from_mb =
   | Reply of { op : op_id; reply : reply }
@@ -112,6 +117,10 @@ val request_wire_bytes : ?framing:Openmb_wire.Framing.t -> to_mb -> int
     the frame's length prefix). *)
 
 val reply_wire_bytes : ?framing:Openmb_wire.Framing.t -> from_mb -> int
+
+val request_name : request -> string
+(** The constructor's wire name (["getSupportPerflow"], …) as a static
+    literal — suitable as a span name. *)
 
 val describe_request : request -> string
 (** Short label like ["getSupportPerflow nw_src=1.1.1.0/24"]. *)

@@ -46,9 +46,9 @@ let rule_of_json j =
     rl_action = action_of_string (Json.get_string (Json.member "action" j));
   }
 
-let create engine ?recorder ?(cost = default_cost) ?(rules = []) ?(default_action = Allow)
+let create engine ?recorder ?telemetry ?(cost = default_cost) ?(rules = []) ?(default_action = Allow)
     ~name () =
-  let base = Mb_base.create engine ?recorder ~name ~kind:"fw" ~cost () in
+  let base = Mb_base.create engine ?recorder ?telemetry ~name ~kind:"fw" ~cost () in
   Config_tree.set (Mb_base.config base) [ "rules" ] (List.map rule_to_json rules);
   Config_tree.set (Mb_base.config base) [ "default" ]
     [ Json.String (action_to_string default_action) ];

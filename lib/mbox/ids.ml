@@ -233,8 +233,8 @@ let scan_merge_from_json scan j =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create engine ?recorder ?(cost = default_cost) ~name () =
-  let base = Mb_base.create engine ?recorder ~name ~kind:"bro" ~cost () in
+let create engine ?recorder ?telemetry ?(cost = default_cost) ~name () =
+  let base = Mb_base.create engine ?recorder ?telemetry ~name ~kind:"bro" ~cost () in
   let config = Mb_base.config base in
   Config_tree.set config [ "signatures" ]
     [ Json.String "cmd.exe"; Json.String "/etc/passwd"; Json.String "../.." ];

@@ -31,10 +31,10 @@ let policy_to_string = function
   | Least_conn -> "least_conn"
   | Source_hash -> "source_hash"
 
-let create engine ?recorder ?(cost = default_cost) ?(policy = Round_robin) ~backends
+let create engine ?recorder ?telemetry ?(cost = default_cost) ?(policy = Round_robin) ~backends
     ~name () =
   if backends = [] then invalid_arg "Load_balancer.create: no backends";
-  let base = Mb_base.create engine ?recorder ~name ~kind:"lb" ~cost () in
+  let base = Mb_base.create engine ?recorder ?telemetry ~name ~kind:"lb" ~cost () in
   Config_tree.set (Mb_base.config base) [ "backends" ]
     (List.map (fun a -> Json.String (Addr.to_string a)) backends);
   Config_tree.set (Mb_base.config base) [ "policy" ]

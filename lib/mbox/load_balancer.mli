@@ -19,6 +19,7 @@ type policy = Round_robin | Least_conn | Source_hash
 val create :
   Openmb_sim.Engine.t ->
   ?recorder:Openmb_sim.Recorder.t ->
+  ?telemetry:Openmb_sim.Telemetry.t ->
   ?cost:Openmb_core.Southbound.cost_model ->
   ?policy:policy ->
   backends:Openmb_net.Addr.t list ->

@@ -15,9 +15,16 @@ type t = {
   latency : Stats.t;
   latency_during_op : Stats.t;
   mutable pkts : int;
+  c_pkts : Telemetry.counter;
+  h_pkt : Telemetry.histogram;
 }
 
-let create engine ?recorder ~name ~kind ~cost () =
+let create engine ?recorder ?telemetry ~name ~kind ~cost () =
+  let c_pkts, h_pkt =
+    match telemetry with
+    | Some tel -> (Telemetry.counter tel "mb.pkts", Telemetry.histogram tel "mb.pkt_latency")
+    | None -> (Telemetry.null_counter, Telemetry.null_histogram)
+  in
   {
     engine;
     recorder;
@@ -32,6 +39,8 @@ let create engine ?recorder ~name ~kind ~cost () =
     latency = Stats.create ();
     latency_during_op = Stats.create ();
     pkts = 0;
+    c_pkts;
+    h_pkt;
   }
 
 let engine t = t.engine
@@ -63,8 +72,10 @@ let inject t p ~side_effects ~work =
   Engine.call_at t.engine t.dp_free_at
     (fun () ->
       t.pkts <- t.pkts + 1;
+      Telemetry.incr t.c_pkts;
       let lat = Time.to_seconds Time.(Engine.now t.engine - arrival) in
       Stats.add t.latency lat;
+      Telemetry.observe t.h_pkt lat;
       if during_op then Stats.add t.latency_during_op lat;
       if side_effects then
         record t ~kind:"pkt" ~detail:(Openmb_net.Packet.flow_label p);

@@ -11,11 +11,15 @@ type t
 val create :
   Openmb_sim.Engine.t ->
   ?recorder:Openmb_sim.Recorder.t ->
+  ?telemetry:Openmb_sim.Telemetry.t ->
   name:string ->
   kind:string ->
   cost:Openmb_core.Southbound.cost_model ->
   unit ->
   t
+(** With [telemetry], every processed packet increments the shared
+    ["mb.pkts"] counter and feeds its data-path latency (including
+    queueing) into the ["mb.pkt_latency"] histogram. *)
 
 val engine : t -> Openmb_sim.Engine.t
 val name : t -> string

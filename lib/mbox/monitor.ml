@@ -41,8 +41,8 @@ let default_cost : Southbound.cost_model =
     deserialize_per_byte = Time.us 0.01;
   }
 
-let create engine ?recorder ?(cost = default_cost) ~name () =
-  let base = Mb_base.create engine ?recorder ~name ~kind:"prads" ~cost () in
+let create engine ?recorder ?telemetry ?(cost = default_cost) ~name () =
+  let base = Mb_base.create engine ?recorder ?telemetry ~name ~kind:"prads" ~cost () in
   Config_tree.set (Mb_base.config base) [ "service"; "ports" ]
     [ Json.Int 80; Json.Int 443; Json.Int 22; Json.Int 53; Json.Int 25 ];
   {

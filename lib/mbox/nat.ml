@@ -46,9 +46,9 @@ let default_cost : Southbound.cost_model =
     deserialize_per_byte = Time.us 0.005;
   }
 
-let create engine ?recorder ?(cost = default_cost) ?(external_ips = []) ~external_ip
+let create engine ?recorder ?telemetry ?(cost = default_cost) ?(external_ips = []) ~external_ip
     ~internal_prefix ~name () =
-  let base = Mb_base.create engine ?recorder ~name ~kind:"nat" ~cost () in
+  let base = Mb_base.create engine ?recorder ?telemetry ~name ~kind:"nat" ~cost () in
   Config_tree.set (Mb_base.config base) [ "external_ip" ]
     [ Json.String (Addr.to_string external_ip) ];
   Config_tree.set (Mb_base.config base) [ "timeout"; "tcp" ] [ Json.Int 300 ];

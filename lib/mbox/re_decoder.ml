@@ -36,9 +36,9 @@ let default_cost : Southbound.cost_model =
     deserialize_per_byte = Time.us 0.25;
   }
 
-let create engine ?recorder ?(cost = default_cost) ?(capacity_tokens = 65536)
+let create engine ?recorder ?telemetry ?(cost = default_cost) ?(capacity_tokens = 65536)
     ?(mode = Re_encoder.Explicit) ?(cache_id = 0) ~name () =
-  let base = Mb_base.create engine ?recorder ~name ~kind:"re-decoder" ~cost () in
+  let base = Mb_base.create engine ?recorder ?telemetry ~name ~kind:"re-decoder" ~cost () in
   Config_tree.set (Mb_base.config base) [ "CacheId" ] [ Json.Int cache_id ];
   Config_tree.set (Mb_base.config base) [ "SyncEvents" ] [ Json.Bool true ];
   {

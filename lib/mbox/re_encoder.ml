@@ -44,9 +44,9 @@ let clone_ctx c =
     ctx_encoded_bytes = c.ctx_encoded_bytes;
   }
 
-let create engine ?recorder ?(cost = default_cost) ?(capacity_tokens = 65536)
+let create engine ?recorder ?telemetry ?(cost = default_cost) ?(capacity_tokens = 65536)
     ?(mode = Explicit) ~name () =
-  let base = Mb_base.create engine ?recorder ~name ~kind:"re-encoder" ~cost () in
+  let base = Mb_base.create engine ?recorder ?telemetry ~name ~kind:"re-encoder" ~cost () in
   Config_tree.set (Mb_base.config base) [ "NumCaches" ] [ Json.Int 1 ];
   Config_tree.set (Mb_base.config base) [ "CacheFlows" ] [];
   {

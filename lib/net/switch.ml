@@ -10,9 +10,17 @@ type t = {
   mutable received : int;
   mutable dropped : int;
   mutable to_controller : int;
+  c_recv : Telemetry.counter;
+  c_drop : Telemetry.counter;
+  c_punt : Telemetry.counter;
 }
 
-let create engine ?(switching_delay = Time.us 10.0) ~name () =
+let create engine ?(switching_delay = Time.us 10.0) ?telemetry ~name () =
+  let c n =
+    match telemetry with
+    | Some tel -> Telemetry.counter tel n
+    | None -> Telemetry.null_counter
+  in
   {
     engine;
     name;
@@ -23,6 +31,9 @@ let create engine ?(switching_delay = Time.us 10.0) ~name () =
     received = 0;
     dropped = 0;
     to_controller = 0;
+    c_recv = c "switch.received";
+    c_drop = c "switch.dropped";
+    c_punt = c "switch.to_controller";
   }
 
 let name t = t.name
@@ -30,21 +41,27 @@ let attach_port t ~port link = Hashtbl.replace t.ports port link
 let table t = t.table
 let on_miss t f = t.miss_handler <- Some f
 
+let drop t =
+  t.dropped <- t.dropped + 1;
+  Telemetry.incr t.c_drop
+
 let punt t p =
   t.to_controller <- t.to_controller + 1;
-  match t.miss_handler with Some f -> f p | None -> t.dropped <- t.dropped + 1
+  Telemetry.incr t.c_punt;
+  match t.miss_handler with Some f -> f p | None -> drop t
 
 let forward_now t p =
   match Flow_table.lookup t.table p with
   | Some (Flow_table.Forward port) -> (
     match Hashtbl.find_opt t.ports port with
     | Some link -> Link.send link p
-    | None -> t.dropped <- t.dropped + 1)
-  | Some Flow_table.Drop -> t.dropped <- t.dropped + 1
+    | None -> drop t)
+  | Some Flow_table.Drop -> drop t
   | Some Flow_table.To_controller | None -> punt t p
 
 let receive t p =
   t.received <- t.received + 1;
+  Telemetry.incr t.c_recv;
   (* Closure-free: the switch and packet ride in a pooled event cell,
      so the per-packet pipeline delay allocates nothing. *)
   Engine.call2_after t.engine t.switching_delay forward_now t p

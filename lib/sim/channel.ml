@@ -7,10 +7,20 @@ type 'a t = {
   mutable free_at : Time.t;
   mutable bytes_sent : int;
   mutable messages_sent : int;
+  (* Registry-wide delivery counters across every channel sharing the
+     telemetry instance; null sinks keep the send path branch-free when
+     the channel is uninstrumented. *)
+  tel_msgs : Telemetry.counter;
+  tel_bytes : Telemetry.counter;
 }
 
-let create engine ?faults ~latency ~bytes_per_sec ~deliver () =
+let create engine ?faults ?telemetry ~latency ~bytes_per_sec ~deliver () =
   if bytes_per_sec <= 0.0 then invalid_arg "Channel.create: bytes_per_sec must be positive";
+  let tel_msgs, tel_bytes =
+    match telemetry with
+    | Some tel -> (Telemetry.counter tel "channel.msgs", Telemetry.counter tel "channel.bytes")
+    | None -> (Telemetry.null_counter, Telemetry.null_counter)
+  in
   {
     engine;
     latency;
@@ -20,6 +30,8 @@ let create engine ?faults ~latency ~bytes_per_sec ~deliver () =
     free_at = Time.zero;
     bytes_sent = 0;
     messages_sent = 0;
+    tel_msgs;
+    tel_bytes;
   }
 
 let send ch ~bytes msg =
@@ -29,6 +41,8 @@ let send ch ~bytes msg =
   ch.free_at <- done_sending;
   ch.bytes_sent <- ch.bytes_sent + bytes;
   ch.messages_sent <- ch.messages_sent + 1;
+  Telemetry.incr ch.tel_msgs;
+  Telemetry.add ch.tel_bytes bytes;
   let arrival = Time.(done_sending + ch.latency) in
   match ch.faults with
   | None ->

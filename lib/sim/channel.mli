@@ -14,6 +14,7 @@ type 'a t
 val create :
   Engine.t ->
   ?faults:Faults.link ->
+  ?telemetry:Telemetry.t ->
   latency:Time.t ->
   bytes_per_sec:float ->
   deliver:('a -> unit) ->
@@ -24,7 +25,9 @@ val create :
     has crossed.  [bytes_per_sec] must be positive.  With [?faults],
     every send consults the fault stream, which may drop, duplicate or
     further delay the delivery ({!Faults.deliveries}); counters
-    ({!bytes_sent}, {!messages_sent}) still count every send. *)
+    ({!bytes_sent}, {!messages_sent}) still count every send.  With
+    [?telemetry], sends additionally feed the shared ["channel.msgs"]
+    and ["channel.bytes"] registry counters. *)
 
 val send : 'a t -> bytes:int -> 'a -> unit
 (** [send ch ~bytes msg] enqueues [msg], whose wire representation

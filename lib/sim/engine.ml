@@ -28,6 +28,9 @@ type t = {
   w : Wheel.t;
   mutable tombstones : int;
   mutable executed : int;
+  (* "engine.events" when created with a telemetry instance, the shared
+     null sink otherwise — dispatch stays branch-free either way. *)
+  ev : Telemetry.counter;
 }
 
 type handle = { eng : t; idx : int; gen : int; mutable hc : bool }
@@ -44,8 +47,17 @@ let kind_call1 = 1
 let kind_call2 = 2
 let obj_unit = Obj.repr ()
 
-let create ?slot_us () =
-  { clock_ = [| 0.0 |]; w = Wheel.create ?slot_us (); tombstones = 0; executed = 0 }
+let create ?slot_us ?telemetry () =
+  {
+    clock_ = [| 0.0 |];
+    w = Wheel.create ?slot_us ();
+    tombstones = 0;
+    executed = 0;
+    ev =
+      (match telemetry with
+      | Some tel -> Telemetry.counter tel "engine.events"
+      | None -> Telemetry.null_counter);
+  }
 
 let now t : Time.t = t.clock_.(0)
 
@@ -126,6 +138,7 @@ let rec step t =
   else begin
     t.clock_.(0) <- Wheel.at t.w i;
     t.executed <- t.executed + 1;
+    Telemetry.incr t.ev;
     let a = Wheel.pa t.w i in
     (* Payload reads come first ([release] clears them), release comes
        before dispatch: the callback may schedule (reusing this cell)

@@ -35,11 +35,12 @@ type pool_stats = {
   high_water : int;  (** max simultaneously queued cells ever *)
 }
 
-val create : ?slot_us:float -> unit -> t
+val create : ?slot_us:float -> ?telemetry:Telemetry.t -> unit -> t
 (** Fresh engine with the clock at {!Time.zero} and no pending events.
     [slot_us] is the timer wheel's level-0 slot width in microseconds
     of simulated time (default [1.0]); it affects performance only,
-    never event order. *)
+    never event order.  With [?telemetry], every dispatched event
+    increments the ["engine.events"] counter. *)
 
 val now : t -> Time.t
 (** Current virtual time. *)

@@ -37,11 +37,24 @@ type t = {
   mutable delayed : int;
   mutable crashes_fired : int;
   mutable restarts_fired : int;
+  (* Registry mirrors of the per-instance counters above, so a chaos
+     run's telemetry snapshot shows realized faults without reaching
+     for the Faults handle.  Null sinks when uninstrumented. *)
+  tel_dropped : Telemetry.counter;
+  tel_duplicated : Telemetry.counter;
+  tel_delayed : Telemetry.counter;
+  tel_crashes : Telemetry.counter;
+  tel_restarts : Telemetry.counter;
 }
 
 type link = { owner : t; rng : Prng.t }
 
-let create engine plan =
+let create ?telemetry engine plan =
+  let c name =
+    match telemetry with
+    | Some tel -> Telemetry.counter tel name
+    | None -> Telemetry.null_counter
+  in
   {
     engine;
     plan;
@@ -50,6 +63,11 @@ let create engine plan =
     delayed = 0;
     crashes_fired = 0;
     restarts_fired = 0;
+    tel_dropped = c "faults.dropped";
+    tel_duplicated = c "faults.duplicated";
+    tel_delayed = c "faults.delayed";
+    tel_crashes = c "faults.crashes";
+    tel_restarts = c "faults.restarts";
   }
 
 (* Each link draws from its own stream, seeded from the plan seed and
@@ -74,7 +92,10 @@ let jitter l =
   let d =
     if Prng.chance l.rng p.spike then Time.(reorder + p.spike_delay) else reorder
   in
-  if Time.compare d Time.zero > 0 then l.owner.delayed <- l.owner.delayed + 1;
+  if Time.compare d Time.zero > 0 then begin
+    l.owner.delayed <- l.owner.delayed + 1;
+    Telemetry.incr l.owner.tel_delayed
+  end;
   d
 
 let deliveries l ~now =
@@ -82,12 +103,14 @@ let deliveries l ~now =
   let p = t.plan.link in
   if in_partition t now || Prng.chance l.rng p.drop then begin
     t.dropped <- t.dropped + 1;
+    Telemetry.incr t.tel_dropped;
     []
   end
   else begin
     let first = jitter l in
     if Prng.chance l.rng p.duplicate then begin
       t.duplicated <- t.duplicated + 1;
+      Telemetry.incr t.tel_duplicated;
       [ first; jitter l ]
     end
     else [ first ]
@@ -103,6 +126,7 @@ let arm_crashes t ~name ~on_crash ~on_restart =
           (Time.max c.crash_at (Engine.now t.engine))
           (fun () ->
             t.crashes_fired <- t.crashes_fired + 1;
+            Telemetry.incr t.tel_crashes;
             on_crash ();
             match c.restart_after with
             | None -> ()
@@ -110,6 +134,7 @@ let arm_crashes t ~name ~on_crash ~on_restart =
               Engine.call_after t.engine d
                 (fun () ->
                   t.restarts_fired <- t.restarts_fired + 1;
+                  Telemetry.incr t.tel_restarts;
                   on_restart ())
                 ())
           ())

@@ -59,7 +59,10 @@ type t
 type link
 (** Per-channel fault stream. *)
 
-val create : Engine.t -> plan -> t
+val create : ?telemetry:Telemetry.t -> Engine.t -> plan -> t
+(** With [?telemetry], every realized fault also increments the
+    matching ["faults.*"] registry counter (dropped / duplicated /
+    delayed / crashes / restarts), mirroring the accessors below. *)
 
 val link : t -> name:string -> link
 (** [link t ~name] is the fault stream for the channel called [name].

@@ -1,33 +1,63 @@
+(* Compatibility shim over the telemetry span ring.
+
+   Entries are zero-duration spans in a growable (never-discarding)
+   {!Telemetry.Trace}: actor and kind are interned once, so [count] and
+   [filter] scan flat int columns instead of walking a cons list, and
+   [record] costs a few array stores after the first use of each
+   distinct actor/kind string. *)
+
 type entry = { time : Time.t; actor : string; kind : string; detail : string }
 
-type t = { engine : Engine.t; mutable entries_rev : entry list; mutable n : int }
+type t = { engine : Engine.t; tr : Telemetry.Trace.t }
 
-let create engine = { engine; entries_rev = []; n = 0 }
+let create engine = { engine; tr = Telemetry.Trace.create ~capacity:1024 ~growable:true () }
 
 let record t ~actor ~kind ~detail =
-  t.entries_rev <- { time = Engine.now t.engine; actor; kind; detail } :: t.entries_rev;
-  t.n <- t.n + 1
+  Telemetry.Trace.instant t.tr ~now:(Engine.now t.engine) ~actor ~name:kind ~detail ()
 
-let entries t = List.rev t.entries_rev
+let trace t = t.tr
 
-let matches ?actor ?kind ?since ?until e =
-  (match actor with None -> true | Some a -> String.equal e.actor a)
-  && (match kind with None -> true | Some k -> String.equal e.kind k)
-  && (match since with None -> true | Some s -> Time.compare e.time s >= 0)
-  && match until with None -> true | Some u -> Time.compare e.time u <= 0
+let entry_of t ~actor ~name ~t0 ~detail =
+  {
+    time = t0;
+    actor = Telemetry.Trace.string_of_id t.tr actor;
+    kind = Telemetry.Trace.string_of_id t.tr name;
+    detail;
+  }
+
+let entries t =
+  List.rev
+    (Telemetry.Trace.fold t.tr ~init:[]
+       ~f:(fun acc ~actor ~name ~op:_ ~a0:_ ~a1:_ ~t0 ~t1:_ ~detail ->
+         entry_of t ~actor ~name ~t0 ~detail :: acc))
 
 let filter ?actor ?kind ?since ?until t =
-  List.filter (matches ?actor ?kind ?since ?until) (entries t)
+  (* Interned-id comparison: a never-seen actor or kind matches
+     nothing, and matching rows avoid per-entry string compares. *)
+  let want_actor = match actor with None -> -2 | Some a -> Telemetry.Trace.lookup_id t.tr a
+  and want_kind = match kind with None -> -2 | Some k -> Telemetry.Trace.lookup_id t.tr k in
+  List.rev
+    (Telemetry.Trace.fold t.tr ~init:[]
+       ~f:(fun acc ~actor ~name ~op:_ ~a0:_ ~a1:_ ~t0 ~t1:_ ~detail ->
+         if
+           (want_actor = -2 || want_actor = actor)
+           && (want_kind = -2 || want_kind = name)
+           && (match since with None -> true | Some s -> Time.compare t0 s >= 0)
+           && match until with None -> true | Some u -> Time.compare t0 u <= 0
+         then entry_of t ~actor ~name ~t0 ~detail :: acc
+         else acc))
 
 let count ?actor ?kind t =
-  List.fold_left
-    (fun acc e -> if matches ?actor ?kind e then acc + 1 else acc)
-    0 t.entries_rev
+  let want_actor = match actor with None -> -2 | Some a -> Telemetry.Trace.lookup_id t.tr a
+  and want_kind = match kind with None -> -2 | Some k -> Telemetry.Trace.lookup_id t.tr k in
+  Telemetry.Trace.fold t.tr ~init:0
+    ~f:(fun acc ~actor ~name ~op:_ ~a0:_ ~a1:_ ~t0:_ ~t1:_ ~detail:_ ->
+      if (want_actor = -2 || want_actor = actor) && (want_kind = -2 || want_kind = name)
+      then acc + 1
+      else acc)
 
 let pp_entry fmt e =
   Format.fprintf fmt "[%8.3fs] %-16s %-12s %s" (Time.to_seconds e.time) e.actor e.kind
     e.detail
 
-let clear t =
-  t.entries_rev <- [];
-  t.n <- 0
+let clear t = Telemetry.Trace.clear t.tr

@@ -13,10 +13,16 @@ type entry = {
 (** One recorded occurrence. *)
 
 type t
-(** A mutable, append-only timeline. *)
+(** A mutable, append-only timeline, backed by a growable
+    {!Telemetry.Trace} — entries are zero-duration spans with interned
+    actor/kind strings, so {!count} and {!filter} scan flat arrays
+    rather than a list. *)
 
 val create : Engine.t -> t
 (** A recorder stamping entries with the engine's clock. *)
+
+val trace : t -> Telemetry.Trace.t
+(** The underlying span store (e.g. for Chrome trace export). *)
 
 val record : t -> actor:string -> kind:string -> detail:string -> unit
 (** Append one entry at the current virtual time. *)

@@ -1,0 +1,247 @@
+(** Unified telemetry: metric registry + structured trace spans.
+
+    One {!t} instance is shared by the components of a scenario (engine,
+    channels, controller, agents, middleboxes); each registers named
+    {!counter}s, {!gauge}s and log-2-bucketed latency {!histogram}s and
+    stamps {e spans} against the virtual clock.  The design goals, in
+    order:
+
+    - {b Zero-alloc hot path.}  [incr]/[add]/[observe]/[span_begin] do
+      not allocate: counters and gauges are single mutable immediates,
+      histogram state lives in preallocated [int]/[float] arrays, and
+      spans are rows of a structure-of-arrays ring buffer with interned
+      actor/name strings.
+
+    - {b Bounded memory.}  The span ring overwrites its oldest rows
+      once full (an overwritten span's [span_end] is a safe no-op); a
+      growable mode backs the unbounded {!Recorder} timeline.
+
+    - {b Causality.}  Every span carries an operation id ([op]); the
+      controller stamps southbound requests with a fresh id and agents
+      tag their spans with the id of the request being served, so one
+      logical operation links across components in the exported trace.
+
+    Handles obtained from a registry stay valid for the registry's
+    lifetime; re-requesting a name returns the same metric.  Components
+    created without a telemetry instance fall back to the shared
+    {!null_counter}/{!null_gauge}/{!null_histogram} sinks, keeping the
+    instrumented code branch-free. *)
+
+type t
+(** A telemetry instance: metric registry + span ring + op-id source. *)
+
+val create : ?span_capacity:int -> unit -> t
+(** Fresh instance.  [span_capacity] bounds the span ring (default
+    [4096] rows, rounded up to [16]); the ring's arrays are allocated
+    lazily on the first span. *)
+
+(** {1 Counters} *)
+
+type counter
+(** A monotone event count. *)
+
+val counter : t -> string -> counter
+(** [counter t name] is the counter registered under [name], created on
+    first request.  Raises [Invalid_argument] if [name] is already a
+    gauge or histogram. *)
+
+val null_counter : counter
+(** Shared sink for uninstrumented components: increments land in a
+    dummy cell that no snapshot reads. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+(** A current-level measurement; remembers its peak. *)
+
+val gauge : t -> string -> gauge
+val null_gauge : gauge
+
+val set_gauge : gauge -> int -> unit
+(** Set the current level (peak updated when exceeded). *)
+
+val gauge_value : gauge -> int
+val gauge_peak : gauge -> int
+
+(** {1 Histograms}
+
+    Latencies in seconds, bucketed by [floor (log2 nanoseconds)] into
+    64 preallocated slots — factor-of-two resolution over [1ns, ∞).
+    Quantiles return the {e upper bound} of the containing bucket, so
+    [quantile h q] is at least the true q-quantile and less than twice
+    it (plus 1ns of integer truncation slack). *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+val null_histogram : histogram
+
+val observe : histogram -> float -> unit
+(** Record one latency, in seconds.  Negative samples clamp to 0. *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_max : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [\[0, 1\]]; [0.0] when empty. *)
+
+(** {1 Snapshots} *)
+
+type snapshot
+(** An immutable copy of every registered metric. *)
+
+val snapshot : t -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-metric delta: counters and histogram buckets subtract; gauges
+    keep [after]'s value and peak (levels do not difference).  Metrics
+    absent from [before] pass through unchanged. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+(** Aligned table: counters, gauges, then histograms with
+    count/p50/p90/p99/max. *)
+
+val snapshot_to_json : snapshot -> string
+(** Compact JSON object
+    [{"counters":{..},"gauges":{..},"histograms":{..}}]. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp_snapshot] of the current state. *)
+
+(** {1 Trace spans}
+
+    The span ring proper.  {!Recorder} layers the legacy timeline API
+    over a growable instance; telemetry-enabled components write to the
+    bounded ring inside {!t}. *)
+
+module Trace : sig
+  type t
+
+  type span = int
+  (** A token for an open span: its absolute row index.  Tokens are
+      plain ints so holding one allocates nothing. *)
+
+  val none : span
+  (** Inert token; [span_end] on it is a no-op. *)
+
+  val create : ?capacity:int -> ?growable:bool -> unit -> t
+  (** Bounded ring of [capacity] rows (default [4096], min [16]) that
+      overwrites oldest-first when full, or — with [~growable:true] —
+      a doubling array that never discards. *)
+
+  val span_begin :
+    t ->
+    now:Time.t ->
+    actor:string ->
+    name:string ->
+    ?op:int ->
+    ?a0:int ->
+    ?a1:int ->
+    ?detail:string ->
+    unit ->
+    span
+  (** Open a span at virtual time [now].  [actor] and [name] are
+      interned (first use of each distinct string allocates, repeats do
+      not).  [op] is the causality id; [a0]/[a1] are free arg slots. *)
+
+  val span_end : t -> now:Time.t -> span -> unit
+  (** Close a span.  No-op on {!none} and on spans already overwritten
+      by ring wrap-around. *)
+
+  val instant :
+    t ->
+    now:Time.t ->
+    actor:string ->
+    name:string ->
+    ?op:int ->
+    ?a0:int ->
+    ?a1:int ->
+    ?detail:string ->
+    unit ->
+    unit
+  (** Zero-duration span. *)
+
+  val total : t -> int
+  (** Spans ever begun. *)
+
+  val length : t -> int
+  (** Spans currently held (≤ capacity in bounded mode). *)
+
+  val overwritten : t -> int
+  (** Spans lost to wrap-around ([0] in growable mode). *)
+
+  val lookup_id : t -> string -> int
+  (** Interned id of a string, or [-1] if never seen.  Never interns. *)
+
+  val fold :
+    t ->
+    init:'acc ->
+    f:
+      ('acc ->
+      actor:int ->
+      name:int ->
+      op:int ->
+      a0:int ->
+      a1:int ->
+      t0:Time.t ->
+      t1:Time.t ->
+      detail:string ->
+      'acc) ->
+    'acc
+  (** Fold over held rows oldest-first.  [actor]/[name] are interned
+      ids (resolve with {!string_of_id}); [t1 < t0] marks a span still
+      open. *)
+
+  val string_of_id : t -> int -> string
+
+  val clear : t -> unit
+  (** Drop all rows (interned strings are kept). *)
+
+  val export_chrome : t -> out_channel -> unit
+  (** Chrome [trace_event] JSON (one process; one thread per actor;
+      complete/instant events carrying [op_id] and arg slots) — loads
+      in [about:tracing] and Perfetto. *)
+end
+
+val trace : t -> Trace.t
+(** The bounded span ring owned by this instance. *)
+
+val next_op_id : t -> int
+(** Fresh causality id, starting at 1.  Id [0] means "none". *)
+
+val span_begin :
+  t ->
+  now:Time.t ->
+  actor:string ->
+  name:string ->
+  ?op:int ->
+  ?a0:int ->
+  ?a1:int ->
+  ?detail:string ->
+  unit ->
+  Trace.span
+(** {!Trace.span_begin} on {!trace}. *)
+
+val span_end : t -> now:Time.t -> Trace.span -> unit
+
+val instant :
+  t ->
+  now:Time.t ->
+  actor:string ->
+  name:string ->
+  ?op:int ->
+  ?a0:int ->
+  ?a1:int ->
+  ?detail:string ->
+  unit ->
+  unit
+
+val export_chrome : t -> out_channel -> unit
+(** {!Trace.export_chrome} on {!trace}. *)

@@ -85,8 +85,9 @@ type outcome = {
 }
 
 let run_plan plan ~chunks ~rate_pps =
-  let engine = Engine.create () in
-  let faults = Faults.create engine plan in
+  let tel = Telemetry.create () in
+  let engine = Engine.create ~telemetry:tel () in
+  let faults = Faults.create ~telemetry:tel engine plan in
   let ctrl = Controller.create engine ~config:chaos_config ~faults () in
   let src = Dummy_mb.create engine ~name:"src" () in
   let dst = Dummy_mb.create engine ~name:"dst" () in
@@ -110,6 +111,23 @@ let run_plan plan ~chunks ~rate_pps =
     | Some (Ok mr) -> Ok mr.Controller.chunks_moved
     | Some (Error e) -> Error (Errors.to_string e)
   in
+  (* The registry mirrors the injector's own accounting exactly: every
+     realized fault bumped the corresponding counter, nothing else did. *)
+  let tel_count name = Telemetry.counter_value (Telemetry.counter tel name) in
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: telemetry drops == realized drops" plan.Faults.seed)
+    (Faults.dropped faults) (tel_count "faults.dropped");
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: telemetry dups == realized dups" plan.Faults.seed)
+    (Faults.duplicated faults)
+    (tel_count "faults.duplicated");
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: telemetry delays == realized delays" plan.Faults.seed)
+    (Faults.delayed faults) (tel_count "faults.delayed");
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: telemetry crashes == realized crashes" plan.Faults.seed)
+    (Faults.crashes_fired faults)
+    (tel_count "faults.crashes");
   {
     verdict;
     src_entries = Dummy_mb.support_entries src;
@@ -283,7 +301,7 @@ let test_reprocess_after_delete_no_resurrect () =
   in
   Mb_agent.set_uplinks src_agent ~send_reply:(fun _ -> ()) ~send_event:(fun _ -> ());
   Mb_agent.handle_request src_agent
-    { Message.op = 999; req = Message.Reprocess_packet { key; packet } };
+    { Message.op = 999; tid = 0; req = Message.Reprocess_packet { key; packet } };
   Engine.run r.engine;
   Alcotest.(check int) "replay did not resurrect the entry" 0
     (Dummy_mb.chunk_count r.src);
@@ -401,11 +419,12 @@ let gen_seq_reply =
 let prop_seq_request_roundtrip =
   QCheck2.Test.make ~name:"seq-numbered requests round-trip on mixed framing"
     ~count:200
-    QCheck2.Gen.(list_size (int_range 1 8) (pair gen_seq_request bool))
+    QCheck2.Gen.(
+      list_size (int_range 1 8) (triple gen_seq_request bool (int_range 0 0xFFFFF)))
     (fun reqs ->
       List.for_all
-        (fun (req, binary) ->
-          let msg = { Message.op = 5; req } in
+        (fun (req, binary, tid) ->
+          let msg = { Message.op = 5; tid; req } in
           let framing =
             if binary then Openmb_wire.Framing.Binary else Openmb_wire.Framing.Json
           in

@@ -205,12 +205,33 @@ let test_event_filter_key_scope () =
 (* ------------------------------------------------------------------ *)
 
 let roundtrip_request req =
-  let msg = { Message.op = 7; req } in
+  let msg = { Message.op = 7; tid = 0; req } in
   let j = Message.request_to_json msg in
   let back = Message.request_of_json (Json.of_string (Json.to_string j)) in
   Alcotest.(check bool)
     (Printf.sprintf "request roundtrip: %s" (Message.describe_request req))
     true (back = msg)
+
+(* The causality id on the envelope: omitted from the JSON encoding
+   when 0 (untraced messages stay byte-identical to the pre-telemetry
+   wire format) and round-trips under both framings otherwise. *)
+let test_message_tid_roundtrip () =
+  let req = Message.Get_support_perflow (Hfl.of_string "nw_src=10.0.0.0/24") in
+  (match Message.request_to_json { Message.op = 3; tid = 0; req } with
+  | Json.Assoc fields ->
+    Alcotest.(check bool) "tid omitted when 0" false (List.mem_assoc "tid" fields)
+  | _ -> Alcotest.fail "request did not encode to an object");
+  List.iter
+    (fun tid ->
+      let msg = { Message.op = 3; tid; req } in
+      List.iter
+        (fun framing ->
+          Alcotest.(check bool)
+            (Printf.sprintf "tid=%d survives the wire" tid)
+            true
+            (Message.request_of_wire (Message.request_to_wire ~framing msg) = msg))
+        [ Framing.Json; Framing.Binary ])
+    [ 0; 1; 77; 123_456_789 ]
 
 let test_message_request_roundtrips () =
   let key = Hfl.of_string "nw_src=10.0.0.0/24,tp_dst=80" in
@@ -302,7 +323,7 @@ let test_message_wire_bytes_chunked () =
     Chunk.seal ~mb_kind:"bro" ~role:Taxonomy.Supporting ~partition:Taxonomy.Per_flow
       ~key:Hfl.any ~plain:(String.make 1000 'x')
   in
-  let msg = { Message.op = 0; req = Message.Put_support_perflow { seq = 0; chunk } } in
+  let msg = { Message.op = 0; tid = 0; req = Message.Put_support_perflow { seq = 0; chunk } } in
   Alcotest.(check bool) "wire size covers chunk body" true
     (Message.request_wire_bytes msg >= 1000)
 
@@ -392,7 +413,7 @@ let all_events () =
 let test_request_codec_equivalence () =
   List.iter
     (fun req ->
-      let msg = { Message.op = 11; req } in
+      let msg = { Message.op = 11; tid = 0; req } in
       let bin = Message.request_to_wire ~framing:Framing.Binary msg in
       let json = Message.request_to_wire msg in
       let what = Message.describe_request req in
@@ -442,7 +463,7 @@ let test_binary_decode_rejects_garbage () =
   (* Tagged as binary but truncated / trailing garbage. *)
   let bin =
     Message.request_to_wire ~framing:Framing.Binary
-      { Message.op = 1; req = Message.Get_support_shared }
+      { Message.op = 1; tid = 0; req = Message.Get_support_shared }
   in
   fails (String.sub bin 0 (String.length bin - 1));
   fails (bin ^ "\x00")
@@ -1089,6 +1110,7 @@ let () =
       ( "message",
         [
           Alcotest.test_case "request roundtrips" `Quick test_message_request_roundtrips;
+          Alcotest.test_case "tid roundtrips" `Quick test_message_tid_roundtrip;
           Alcotest.test_case "reply roundtrips" `Quick test_message_reply_roundtrips;
           Alcotest.test_case "event roundtrips" `Quick test_message_event_roundtrips;
           Alcotest.test_case "chunk wire bytes" `Quick test_message_wire_bytes_chunked;

@@ -694,6 +694,174 @@ let test_recorder_filter () =
   Alcotest.(check int) "by window" 1
     (List.length (Recorder.filter ~since:(Time.seconds 1.5) ~until:(Time.seconds 2.5) r))
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_telemetry_registry () =
+  let tel = Telemetry.create () in
+  let c = Telemetry.counter tel "c" in
+  Telemetry.incr c;
+  Telemetry.add c 4;
+  Alcotest.(check int) "counter" 5 (Telemetry.counter_value c);
+  Alcotest.(check bool) "same handle on re-request" true (Telemetry.counter tel "c" == c);
+  let g = Telemetry.gauge tel "g" in
+  Telemetry.set_gauge g 7;
+  Telemetry.set_gauge g 3;
+  Alcotest.(check int) "gauge value" 3 (Telemetry.gauge_value g);
+  Alcotest.(check int) "gauge peak" 7 (Telemetry.gauge_peak g);
+  (match Telemetry.gauge tel "c" with
+  | _ -> Alcotest.fail "kind clash accepted"
+  | exception Invalid_argument _ -> ());
+  (* Null sinks accept writes and never surface anywhere. *)
+  Telemetry.incr Telemetry.null_counter;
+  Telemetry.set_gauge Telemetry.null_gauge 42;
+  Telemetry.observe Telemetry.null_histogram 1.0;
+  let h = Telemetry.histogram tel "lat" in
+  Telemetry.observe h 2e-6;
+  Telemetry.observe h 5e-3;
+  Alcotest.(check int) "hist count" 2 (Telemetry.hist_count h);
+  check_float "hist sum" (2e-6 +. 5e-3) (Telemetry.hist_sum h);
+  check_float "hist max" 5e-3 (Telemetry.hist_max h)
+
+let test_telemetry_snapshot_diff () =
+  let open Openmb_wire in
+  let tel = Telemetry.create () in
+  let c = Telemetry.counter tel "ops" in
+  let h = Telemetry.histogram tel "lat" in
+  Telemetry.incr c;
+  Telemetry.observe h 1e-6;
+  let before = Telemetry.snapshot tel in
+  Telemetry.add c 9;
+  Telemetry.observe h 1e-3;
+  let d = Telemetry.diff ~before ~after:(Telemetry.snapshot tel) in
+  let j = Json.of_string (Telemetry.snapshot_to_json d) in
+  Alcotest.(check int) "counter delta" 9
+    (Json.get_int (Json.member "ops" (Json.member "counters" j)));
+  Alcotest.(check int) "hist delta count" 1
+    (Json.get_int (Json.member "count" (Json.member "lat" (Json.member "histograms" j))))
+
+(* The same rank rule the histogram uses: the ceil(q*n)-th smallest. *)
+let true_quantile samples q =
+  let arr = Array.of_list (List.sort compare samples) in
+  let n = Array.length arr in
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  let rank = if rank < 1 then 1 else if rank > n then n else rank in
+  arr.(rank - 1)
+
+(* Buckets are factor-of-two wide, so the reported quantile (the
+   containing bucket's upper bound) is sandwiched by the true one:
+   at least it (minus 1ns truncation), less than twice it (plus
+   slack). *)
+let prop_hist_quantile_bounds =
+  QCheck2.Test.make ~name:"histogram quantile within its bucket bounds" ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 200) (float_range 1e-9 10.0))
+        (float_range 0.0 1.0))
+    (fun (samples, q) ->
+      let tel = Telemetry.create () in
+      let h = Telemetry.histogram tel "lat" in
+      List.iter (Telemetry.observe h) samples;
+      let v = Telemetry.quantile h q in
+      let t = true_quantile samples q in
+      v >= t -. 2e-9 && v <= (2.0 *. t) +. 4e-9)
+
+let prop_hist_quantile_monotone =
+  QCheck2.Test.make ~name:"histogram quantile monotone in q" ~count:300
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 100) (float_range 0.0 5.0))
+        (float_range 0.0 1.0) (float_range 0.0 1.0))
+    (fun (samples, qa, qb) ->
+      let q1 = Float.min qa qb and q2 = Float.max qa qb in
+      let tel = Telemetry.create () in
+      let h = Telemetry.histogram tel "lat" in
+      List.iter (Telemetry.observe h) samples;
+      Telemetry.quantile h q1 <= Telemetry.quantile h q2)
+
+let prop_hist_bucket_monotone =
+  (* A larger sample never lands in a lower bucket: the single-sample
+     quantile (its bucket's upper bound) is monotone in the sample. *)
+  QCheck2.Test.make ~name:"histogram buckets monotone in value" ~count:300
+    QCheck2.Gen.(pair (float_range 0.0 10.0) (float_range 0.0 10.0))
+    (fun (a, b) ->
+      let v1 = Float.min a b and v2 = Float.max a b in
+      let one v =
+        let tel = Telemetry.create () in
+        let h = Telemetry.histogram tel "x" in
+        Telemetry.observe h v;
+        Telemetry.quantile h 1.0
+      in
+      one v1 <= one v2)
+
+let test_trace_ring_overwrite () =
+  let tr = Telemetry.Trace.create ~capacity:16 () in
+  let t i = Time.seconds (float_of_int i) in
+  let spans =
+    List.init 40 (fun i ->
+        Telemetry.Trace.span_begin tr ~now:(t i) ~actor:"a" ~name:"s" ~op:i ())
+  in
+  Alcotest.(check int) "total" 40 (Telemetry.Trace.total tr);
+  Alcotest.(check int) "length capped" 16 (Telemetry.Trace.length tr);
+  Alcotest.(check int) "overwritten" 24 (Telemetry.Trace.overwritten tr);
+  (* Ending an overwritten span is a no-op: its bogus end time must not
+     land on whichever newer row reused the slot. *)
+  Telemetry.Trace.span_end tr ~now:(Time.seconds 999.0) (List.hd spans);
+  let bogus =
+    Telemetry.Trace.fold tr ~init:false
+      ~f:(fun acc ~actor:_ ~name:_ ~op:_ ~a0:_ ~a1:_ ~t0:_ ~t1 ~detail:_ ->
+        acc || Time.to_seconds t1 = 999.0)
+  in
+  Alcotest.(check bool) "overwritten span_end is a no-op" false bogus;
+  (* The live rows are exactly the newest [capacity], oldest first. *)
+  let ops =
+    List.rev
+      (Telemetry.Trace.fold tr ~init:[]
+         ~f:(fun acc ~actor:_ ~name:_ ~op ~a0:_ ~a1:_ ~t0:_ ~t1:_ ~detail:_ ->
+           op :: acc))
+  in
+  Alcotest.(check (list int)) "newest rows live" (List.init 16 (fun i -> 24 + i)) ops;
+  (* A live span still closes normally. *)
+  Telemetry.Trace.span_end tr ~now:(Time.seconds 100.0) (List.nth spans 39);
+  let closed =
+    Telemetry.Trace.fold tr ~init:0
+      ~f:(fun acc ~actor:_ ~name:_ ~op:_ ~a0:_ ~a1:_ ~t0:_ ~t1 ~detail:_ ->
+        if Time.to_seconds t1 >= 0.0 then acc + 1 else acc)
+  in
+  Alcotest.(check int) "one closed" 1 closed
+
+let test_trace_chrome_export () =
+  let open Openmb_wire in
+  let tel = Telemetry.create () in
+  let s =
+    Telemetry.span_begin tel ~now:(Time.ms 1.0) ~actor:"controller" ~name:"move"
+      ~op:7 ~a0:3 ()
+  in
+  Telemetry.span_end tel ~now:(Time.ms 2.0) s;
+  Telemetry.instant tel ~now:(Time.ms 3.0) ~actor:"mb" ~name:"tick" ();
+  let file = Filename.temp_file "openmb_trace" ".json" in
+  Out_channel.with_open_text file (fun oc -> Telemetry.export_chrome tel oc);
+  let json = Json.of_string (In_channel.with_open_text file In_channel.input_all) in
+  Sys.remove file;
+  match Json.member "traceEvents" json with
+  | Json.List evs ->
+    (* Two actor-name metadata rows + one complete + one instant. *)
+    Alcotest.(check int) "event count" 4 (List.length evs);
+    let complete =
+      List.find
+        (fun e -> match Json.member "ph" e with Json.String "X" -> true | _ -> false)
+        evs
+    in
+    Alcotest.(check int) "op_id arg" 7
+      (Json.get_int (Json.member "op_id" (Json.member "args" complete)));
+    check_float "duration us" 1000.0
+      (match Json.member "dur" complete with
+      | Json.Float f -> f
+      | Json.Int i -> float_of_int i
+      | _ -> nan)
+  | _ -> Alcotest.fail "no traceEvents list"
+
 let test_heap_exn () =
   let h = Heap.create ~cmp:Int.compare in
   Alcotest.check_raises "peek_exn empty"
@@ -777,4 +945,17 @@ let () =
           Alcotest.test_case "fifo serialization" `Quick test_channel_fifo_serialization;
         ] );
       ("recorder", [ Alcotest.test_case "filter" `Quick test_recorder_filter ]);
+      ( "telemetry",
+        [
+          Alcotest.test_case "registry" `Quick test_telemetry_registry;
+          Alcotest.test_case "snapshot diff" `Quick test_telemetry_snapshot_diff;
+          Alcotest.test_case "ring overwrite" `Quick test_trace_ring_overwrite;
+          Alcotest.test_case "chrome export" `Quick test_trace_chrome_export;
+        ]
+        @ qcheck
+            [
+              prop_hist_quantile_bounds;
+              prop_hist_quantile_monotone;
+              prop_hist_bucket_monotone;
+            ] );
     ]
