@@ -549,19 +549,23 @@ let load_results path =
 (* Default 20%; micro --threshold PCT overrides for tighter gates. *)
 let regression_threshold = ref 0.20
 
-(* Diff two result files; returns the number of regressions beyond the
-   threshold (the driver exits non-zero when any are found). *)
+(* Diff two result files; returns the number of failures — regressions
+   beyond the threshold plus rows that vanished from the after file (a
+   gone row means the gate silently stopped measuring something, which
+   must fail as loudly as a slowdown). *)
 let compare_results before_path after_path =
   let regression_threshold = !regression_threshold in
   let before = load_results before_path and after = load_results after_path in
   Util.banner
     (Printf.sprintf "Benchmark comparison: %s -> %s" before_path after_path);
   Util.row "  %-36s %12s %12s %9s\n" "benchmark" "before(ns)" "after(ns)" "delta";
-  let regressions = ref 0 in
+  let regressions = ref 0 and gone = ref 0 in
   List.iter
     (fun (name, b) ->
       match List.assoc_opt name after with
-      | None -> Util.row "  %-36s %12.1f %12s %9s\n" name b "-" "gone"
+      | None ->
+        incr gone;
+        Util.row "  %-36s %12.1f %12s %9s\n" name b "-" "GONE"
       | Some a ->
         let delta = (a -. b) /. b in
         let flag =
@@ -582,7 +586,32 @@ let compare_results before_path after_path =
     Printf.printf "  %d benchmark(s) regressed by more than %.0f%%\n" !regressions
       (regression_threshold *. 100.0)
   else Printf.printf "  no regression beyond %.0f%%\n" (regression_threshold *. 100.0);
-  !regressions
+  if !gone > 0 then
+    Printf.printf
+      "  FAIL: %d benchmark(s) present before are missing after — the gate is no \
+       longer measuring them\n"
+      !gone;
+  !regressions + !gone
+
+(* Gate helper: fail loudly when a labelled result file lacks any of
+   the rows a gate intends to compare against, instead of the gate
+   silently passing because the comparison never ran.  Returns the
+   number of missing labels. *)
+let require_labels path labels =
+  let open Openmb_wire in
+  let fields =
+    match Json.of_string (In_channel.with_open_text path In_channel.input_all) with
+    | Json.Assoc fields -> fields
+    | _ -> failwith (path ^ ": not a labelled result file")
+    | exception Json.Parse_error _ -> failwith (path ^ ": unparseable result file")
+  in
+  let missing = List.filter (fun l -> not (List.mem_assoc l fields)) labels in
+  List.iter
+    (fun l -> Printf.eprintf "require-labels: %s: missing label %S\n" path l)
+    missing;
+  if missing = [] then
+    Printf.printf "  require-labels: %s has all of [%s]\n" path (String.concat ", " labels);
+  List.length missing
 
 (* Footnote-6 ablation: real wall-clock cost of the linear-scan get
    versus the source-indexed lookup, at growing table sizes. *)
@@ -727,9 +756,27 @@ let run_telemetry () =
       Printf.printf "  telemetry overhead within the %.1f%% gate (worst %+.1f%%)\n"
         limit (!worst *. 100.0)
 
+(* Set by the driver (micro --rounds N): run the whole suite N times
+   and keep each benchmark's fastest round.  A single Bechamel estimate
+   on a busy single-core machine jitters by tens of percent run to run
+   — far above the 20% regression threshold — so the perfgate compares
+   min-of-N against a min-of-N baseline: the per-row minimum
+   approximates the noise floor the same way the telemetry gate's
+   interleaved rounds do. *)
+let micro_rounds = ref 1
+
 let run () =
   Util.banner "Micro-benchmarks (Bechamel, wall-clock; hermetic fixtures)";
-  let results = measure (tests ()) @ [ macro_move_1k () ] in
+  let round () = measure (tests ()) @ [ macro_move_1k () ] in
+  let best = ref (round ()) in
+  for r = 2 to !micro_rounds do
+    Printf.printf "  [rounds] best-of round %d/%d\n%!" r !micro_rounds;
+    best :=
+      List.map2
+        (fun b fresh -> if fresh.ns_per_op < b.ns_per_op then fresh else b)
+        !best (round ())
+  done;
+  let results = !best in
   Util.row "  %-42s %12s %10s %10s %8s\n" "benchmark" "ns/op" "minor w" "promoted" "mnc/op";
   List.iter
     (fun r ->

@@ -1,12 +1,11 @@
 (* Million-flow macro benchmark of the simulator core.
 
    Drives [flows] concurrent TCP flows (default one million) through a
-   switch -> NAT -> monitor chain on a single engine while a 10k-chunk
-   moveInternal runs between a dummy pair on the same engine, then
-   reports raw event throughput and heap footprint.  This is the
-   workload the timer wheel and pooled event cells exist for: tens of
-   millions of near-future events with only a handful of live
-   allocations per packet.
+   switch -> NAT -> monitor chain while a 10k-chunk moveInternal runs
+   between a dummy pair, then reports raw event throughput and heap
+   footprint.  This is the workload the timer wheel and pooled event
+   cells exist for: tens of millions of near-future events with only a
+   handful of live allocations per packet.
 
    Flows arrive incrementally — a self-rescheduling generator
    materializes them in batches just before their start times — so the
@@ -15,7 +14,18 @@
    address pool: one address caps out at ~45k concurrent mappings.
 
    bench scale [--flows N] appends its numbers to BENCH_micro.json
-   under the "scale" label. *)
+   under the "scale" label.
+
+   bench scale --domains D [--flows N] instead runs the sharded-core
+   variant: the flow space is hash-partitioned across 8 logical shards
+   (each its own switch -> NAT -> monitor chain on a private engine),
+   run on D OCaml domains with epoch-barrier exchange.  The logical
+   shard count is fixed so results are bit-identical across D — the
+   row lands under the "scale-dD" label, and the run prints a state
+   fingerprint that must not vary with D.  About 1 flow in 64 is
+   emitted from a neighbouring shard, and the concurrent move runs
+   from a shard-0 MB to a shard-1 MB through a remote-connected
+   controller, so the cross-shard mailboxes see real traffic. *)
 
 open Openmb_sim
 open Openmb_net
@@ -24,14 +34,23 @@ open Openmb_mbox
 open Openmb_traffic
 open Openmb_apps
 
-(* Set by the driver (bench scale --flows N). *)
+(* Set by the driver (bench scale --flows N / --domains D
+   / --min-events-per-sec R). *)
 let flows = ref 1_000_000
+let domains = ref 0 (* 0 = legacy single-engine path *)
+let min_events_per_sec = ref 0.0
 
 let internal_prefix = "10.0.0.0/8"
 let batch_size = 1_000
 let inter_arrival = Time.us 50.0 (* one flow every 50us of sim time *)
 let flow_duration = 0.01 (* seconds: packets spread over 10ms *)
 let move_chunks = 10_000
+
+(* Logical shards of the sharded variant — fixed, never derived from
+   the domain count, so every --domains value runs the identical
+   partition and the results can be diffed bit-for-bit. *)
+let logical_shards = 8
+let epoch = Time.ms 2.0
 
 (* The dp must outrun the offered load (~100k pps at the default
    arrival spacing) or the backlog grows without bound: give both MBs a
@@ -50,23 +69,54 @@ let tuple_of_flow i =
     proto = Packet.Tcp;
   }
 
-let run () =
+(* NAT external pool sized for [n] concurrent mappings, based at
+   [base] (per-shard bases keep the pools disjoint). *)
+let nat_pool base n =
+  let per_ip = 45_001 in
+  let needed = ((n + per_ip - 1) / per_ip) + 1 in
+  List.init needed (fun i -> Addr.of_int (Addr.to_int base + i + 1))
+
+(* Append one labelled row to BENCH_micro.json, replacing any previous
+   row under the same label. *)
+let append_row label entry =
+  let open Openmb_wire in
+  let bench_file = "BENCH_micro.json" in
+  let existing =
+    if Sys.file_exists bench_file then
+      match
+        Json.of_string (In_channel.with_open_text bench_file In_channel.input_all)
+      with
+      | Json.Assoc fields -> fields
+      | _ | (exception Json.Parse_error _) -> []
+    else []
+  in
+  let fields = List.remove_assoc label existing @ [ (label, entry) ] in
+  Out_channel.with_open_text bench_file (fun oc ->
+      Out_channel.output_string oc (Json.to_string_pretty (Json.Assoc fields));
+      Out_channel.output_char oc '\n');
+  Printf.printf "  [json] wrote %s (label %S, %d flows)\n" bench_file label !flows
+
+let gate_events_per_sec events_per_sec =
+  if !min_events_per_sec > 0.0 && events_per_sec < !min_events_per_sec then
+    failwith
+      (Printf.sprintf "scale: %.0f events/sec below the --min-events-per-sec %.0f gate"
+         events_per_sec !min_events_per_sec)
+
+(* ------------------------------------------------------------------ *)
+(* Legacy single-engine run ("scale" label)                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_single () =
   let n = !flows in
   Util.banner
     (Printf.sprintf "scale: %d concurrent flows + %dk-chunk move on one engine"
        n (move_chunks / 1000));
   let tel = Telemetry.create ~span_capacity:65_536 () in
   let engine = Engine.create ~telemetry:tel () in
-  (* NAT pool: enough external addresses for every flow's mapping. *)
-  let pool_extra =
-    let per_ip = 45_001 in
-    let needed = ((n + per_ip - 1) / per_ip) + 1 in
-    List.init needed (fun i -> Addr.of_int (Addr.to_int (Addr.of_string "5.5.5.0") + i + 1))
-  in
   let nat =
     Nat.create engine ~telemetry:tel ~name:"nat" ~cost:(fast_cost Nat.default_cost)
       ~external_ip:(Addr.of_string "5.5.5.0")
-      ~external_ips:pool_extra
+      ~external_ips:(nat_pool (Addr.of_string "5.5.5.0") n)
       ~internal_prefix:(Addr.prefix_of_string internal_prefix)
       ()
   in
@@ -154,33 +204,265 @@ let run () =
       (Printf.sprintf "scale: expected %d NAT mappings, got %d" n
          (Nat.mapping_count nat));
   if Float.is_nan !move_ms then failwith "scale: concurrent move did not complete";
+  gate_events_per_sec events_per_sec;
   (* Append the row so perf history rides along with the micro numbers. *)
   let open Openmb_wire in
-  let bench_file = "BENCH_micro.json" in
-  let existing =
-    if Sys.file_exists bench_file then
-      match
-        Json.of_string (In_channel.with_open_text bench_file In_channel.input_all)
-      with
-      | Json.Assoc fields -> fields
-      | _ | (exception Json.Parse_error _) -> []
-    else []
+  append_row "scale"
+    (Json.Assoc
+       [
+         ("flows", Json.Int n);
+         ("events_executed", Json.Int executed);
+         ("wall_seconds", Json.Float wall);
+         ("events_per_sec", Json.Float events_per_sec);
+         ("move_ms", Json.Float !move_ms);
+         ("pool_high_water", Json.Int stats.Engine.high_water);
+         ("peak_heap_words", Json.Int gc.Gc.top_heap_words);
+         ("live_words_end", Json.Int gc.Gc.live_words);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Sharded run ("scale-dD" labels)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_sharded () =
+  let n = !flows and nd = !domains in
+  let s_count = logical_shards in
+  Util.banner
+    (Printf.sprintf
+       "scale: %d flows across %d logical shards on %d domain(s) + cross-shard move"
+       n s_count nd);
+  let se =
+    Sharded_engine.create ~domains:nd ~epoch ~seed:7 ~span_capacity:4_096
+      ~shards:s_count ()
   in
-  let entry =
-    Json.Assoc
-      [
-        ("flows", Json.Int n);
-        ("events_executed", Json.Int executed);
-        ("wall_seconds", Json.Float wall);
-        ("events_per_sec", Json.Float events_per_sec);
-        ("move_ms", Json.Float !move_ms);
-        ("pool_high_water", Json.Int stats.Engine.high_water);
-        ("peak_heap_words", Json.Int gc.Gc.top_heap_words);
-        ("live_words_end", Json.Int gc.Gc.live_words);
-      ]
+  let router = Shard_router.create se in
+  (* Partition the flow space once, up front: [owners] is the owning
+     shard per flow (canonical five-tuple hash), [gens] the shard that
+     emits it — the owner, except every 64th flow enters one shard over
+     so the epoch mailboxes carry steady packet traffic. *)
+  let owners = Bytes.create n in
+  let gen_counts = Array.make s_count 0 in
+  for i = 0 to n - 1 do
+    let o = Shard_router.place router (Five_tuple.pack (tuple_of_flow i)) in
+    Bytes.unsafe_set owners i (Char.unsafe_chr o);
+    let g = if i mod 64 = 0 then (o + 1) mod s_count else o in
+    gen_counts.(g) <- gen_counts.(g) + 1
+  done;
+  let owner_counts = Shard_router.placements router in
+  let gen_flows = Array.init s_count (fun g -> Array.make gen_counts.(g) 0) in
+  let gen_fill = Array.make s_count 0 in
+  for i = 0 to n - 1 do
+    let o = Char.code (Bytes.unsafe_get owners i) in
+    let g = if i mod 64 = 0 then (o + 1) mod s_count else o in
+    gen_flows.(g).(gen_fill.(g)) <- i;
+    gen_fill.(g) <- gen_fill.(g) + 1
+  done;
+  (* One switch -> NAT -> monitor chain per shard, living entirely on
+     that shard's engine and telemetry. *)
+  let shard_of = Array.init s_count (fun i -> Sharded_engine.shard se i) in
+  let egress = Array.make s_count 0 in
+  let internal = Addr.prefix_of_string internal_prefix in
+  let nats, monitors, switches =
+    let mk s =
+      let sh = shard_of.(s) in
+      let eng = Shard.engine sh and tel = Shard.telemetry sh in
+      let pool_base = Addr.of_int (Addr.to_int (Addr.of_string "5.0.0.0") + (s lsl 16)) in
+      let nat =
+        Nat.create eng ~telemetry:tel
+          ~name:(Printf.sprintf "nat%d" s)
+          ~cost:(fast_cost Nat.default_cost) ~external_ip:pool_base
+          ~external_ips:(nat_pool pool_base owner_counts.(s))
+          ~internal_prefix:internal ()
+      in
+      let monitor =
+        Monitor.create eng ~telemetry:tel
+          ~name:(Printf.sprintf "monitor%d" s)
+          ~cost:(fast_cost Monitor.default_cost) ()
+      in
+      Mb_base.set_egress (Nat.base nat) (fun p -> Monitor.receive monitor p);
+      Mb_base.set_egress (Monitor.base monitor) (fun _ ->
+          egress.(s) <- egress.(s) + 1);
+      let sw = Switch.create eng ~telemetry:tel ~name:(Printf.sprintf "edge%d" s) () in
+      Switch.attach_port sw ~port:"nat"
+        (Link.create eng ~name:(Printf.sprintf "sw-nat%d" s) ~dst:(Nat.receive nat) ());
+      ignore
+        (Flow_table.install (Switch.table sw) ~priority:1 ~match_:[]
+           ~action:(Flow_table.Forward "nat"));
+      (nat, monitor, sw)
+    in
+    let all = Array.init s_count mk in
+    ( Array.map (fun (a, _, _) -> a) all,
+      Array.map (fun (_, b, _) -> b) all,
+      Array.map (fun (_, _, c) -> c) all )
   in
-  let fields = List.remove_assoc "scale" existing @ [ ("scale", entry) ] in
-  Out_channel.with_open_text bench_file (fun oc ->
-      Out_channel.output_string oc (Json.to_string_pretty (Json.Assoc fields));
-      Out_channel.output_char oc '\n');
-  Printf.printf "  [json] wrote %s (label \"scale\", %d flows)\n" bench_file n
+  (* Reused ingress closures, one per destination shard, so the
+     per-packet post stays allocation-free on the same-shard fast
+     path. *)
+  let recvs = Array.init s_count (fun s -> fun p -> Switch.receive switches.(s) p) in
+  let start_of i = Time.to_seconds inter_arrival *. float_of_int i in
+  (* Per-shard incremental generators: each shard materializes its own
+     slice of the arrival sequence in batches, using its private PRNG
+     stream and id generator, and posts every packet toward the owning
+     shard's switch (a local short-circuit for 63 in 64 flows). *)
+  let start_generator g =
+    let mine = gen_flows.(g) in
+    if Array.length mine > 0 then begin
+      let sh = shard_of.(g) in
+      let eng = Shard.engine sh and prng = Shard.prng sh in
+      let ids = Trace.Id_gen.create () in
+      let emit_flow i =
+        let o = Char.code (Bytes.unsafe_get owners i) in
+        List.iter
+          (fun (p : Packet.t) ->
+            if Addr.in_prefix p.src_ip internal then
+              Shard.post sh ~dst:o ~at:p.ts recvs.(o) p)
+          (Flow_gen.tcp_flow ~ids ~prng ~tuple:(tuple_of_flow i) ~start:(start_of i)
+             ~duration:flow_duration ~data_packets:1 ~content:Flow_gen.empty_content ())
+      in
+      let rec emit_batch pos () =
+        let hi = min (Array.length mine) (pos + batch_size) in
+        for k = pos to hi - 1 do
+          emit_flow mine.(k)
+        done;
+        if hi < Array.length mine then
+          ignore
+            (Engine.schedule_at eng
+               (Time.seconds (start_of mine.(hi)))
+               (emit_batch hi))
+      in
+      emit_batch 0 ()
+    end
+  in
+  for g = 0 to s_count - 1 do
+    start_generator g
+  done;
+  (* Concurrent control-plane work, now genuinely cross-shard: the
+     controller and source MB live on shard 0, the destination MB on
+     shard 1, connected through the epoch mailboxes. *)
+  let s0 = shard_of.(0) and s1 = shard_of.(1) in
+  let ctrl =
+    Controller.create (Shard.engine s0) ~telemetry:(Shard.telemetry s0) ()
+  in
+  let src = Dummy_mb.create (Shard.engine s0) ~name:"move-src" () in
+  let dst = Dummy_mb.create (Shard.engine s1) ~name:"move-dst" () in
+  Dummy_mb.populate src ~n:move_chunks;
+  Controller.connect ctrl
+    (Mb_agent.create (Shard.engine s0) ~telemetry:(Shard.telemetry s0)
+       ~impl:(Dummy_mb.impl src) ());
+  Controller.connect ctrl
+    ~remote:
+      {
+        Controller.to_agent = Shard_router.route router ~src:0 ~dst:1;
+        to_controller = Shard_router.route router ~src:1 ~dst:0;
+        agent_faults = None;
+      }
+    (Mb_agent.create (Shard.engine s1) ~telemetry:(Shard.telemetry s1)
+       ~impl:(Dummy_mb.impl dst) ());
+  let move_ms = ref nan in
+  ignore
+    (Engine.schedule_at (Shard.engine s0)
+       (Time.seconds (start_of (n / 2)))
+       (fun () ->
+         Controller.move_internal ctrl ~src:"move-src" ~dst:"move-dst" ~key:Hfl.any
+           ~on_done:(fun res ->
+             match res with
+             | Ok mr -> move_ms := Util.ms mr.Controller.duration
+             | Error e -> failwith (Errors.to_string e))));
+  let t0 = Monotonic_clock.now () in
+  Sharded_engine.run se;
+  let wall = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9 in
+  let executed = Sharded_engine.executed se in
+  let events_per_sec = float_of_int executed /. wall in
+  let gc = Gc.stat () in
+  let per_shard_executed =
+    Array.init s_count (fun s -> Engine.executed (Shard.engine shard_of.(s)))
+  in
+  let per_shard_pool_hw =
+    Array.init s_count (fun s ->
+        (Engine.pool_stats (Shard.engine shard_of.(s))).Engine.high_water)
+  in
+  let skew = Shard_router.skew router in
+  let mappings = Array.map Nat.mapping_count nats in
+  let total_mappings = Array.fold_left ( + ) 0 mappings in
+  (* Domain-count-independent fingerprint: every per-shard end state
+     plus the merged registry's delivery counters.  Identical seeds and
+     shard counts must print identical fingerprints for every
+     --domains value — the quick bit-identity check without rerunning
+     the determinism property. *)
+  let fingerprint =
+    let snap = Sharded_engine.merged_snapshot se in
+    Hashtbl.hash
+      ( Array.to_list mappings,
+        Array.to_list (Array.map Monitor.tracked_flows monitors),
+        Array.to_list egress,
+        Array.to_list per_shard_executed,
+        Controller.counters ctrl,
+        Telemetry.snap_counter snap "channel.msgs",
+        Telemetry.snap_counter snap "channel.bytes" )
+    land 0xFFFFFF
+  in
+  Util.row "  %-28s %12d\n" "flows" n;
+  Util.row "  %-28s %12d\n" "logical shards" s_count;
+  Util.row "  %-28s %12d\n" "domains" (Sharded_engine.domains se);
+  Util.row "  %-28s %12d\n" "events executed" executed;
+  Util.row "  %-28s %12.1f\n" "wall seconds" wall;
+  Util.row "  %-28s %12.0f\n" "events/sec" events_per_sec;
+  Util.row "  %-28s %12d\n" "epoch barriers" (Sharded_engine.epochs se);
+  Util.row "  %-28s %12d\n" "cross-shard messages" (Sharded_engine.exchanged se);
+  Util.row "  %-28s %12.3f\n" "shard skew (max/mean)" skew;
+  Util.row "  %-28s %12d\n" "NAT mappings (sum)" total_mappings;
+  Util.row "  %-28s %12.1f\n" "move duration (ms)" !move_ms;
+  Util.row "  %-28s %12d\n" "peak heap words" gc.Gc.top_heap_words;
+  Util.row "  %-28s %12s\n" "state fingerprint" (Printf.sprintf "%06x" fingerprint);
+  for s = 0 to s_count - 1 do
+    Util.row "  shard %d: %9d flows %10d events %9.0f ev/s  pool hw %8d\n" s
+      owner_counts.(s) per_shard_executed.(s)
+      (float_of_int per_shard_executed.(s) /. wall)
+      per_shard_pool_hw.(s)
+  done;
+  if total_mappings <> n then
+    failwith
+      (Printf.sprintf "scale: expected %d NAT mappings across shards, got %d" n
+         total_mappings);
+  Array.iteri
+    (fun s m ->
+      if m <> owner_counts.(s) then
+        failwith
+          (Printf.sprintf "scale: shard %d owns %d flows but holds %d mappings" s
+             owner_counts.(s) m))
+    mappings;
+  if Float.is_nan !move_ms then failwith "scale: concurrent move did not complete";
+  gate_events_per_sec events_per_sec;
+  let open Openmb_wire in
+  append_row
+    (Printf.sprintf "scale-d%d" nd)
+    (Json.Assoc
+       [
+         ("flows", Json.Int n);
+         ("shards", Json.Int s_count);
+         ("domains", Json.Int (Sharded_engine.domains se));
+         ("events_executed", Json.Int executed);
+         ("wall_seconds", Json.Float wall);
+         ("events_per_sec", Json.Float events_per_sec);
+         ( "per_shard_events",
+           Json.List (Array.to_list (Array.map (fun e -> Json.Int e) per_shard_executed))
+         );
+         ( "per_shard_events_per_sec",
+           Json.List
+             (Array.to_list
+                (Array.map
+                   (fun e -> Json.Float (float_of_int e /. wall))
+                   per_shard_executed)) );
+         ( "per_shard_pool_high_water",
+           Json.List (Array.to_list (Array.map (fun p -> Json.Int p) per_shard_pool_hw))
+         );
+         ("shard_skew", Json.Float skew);
+         ("epoch_barriers", Json.Int (Sharded_engine.epochs se));
+         ("cross_shard_messages", Json.Int (Sharded_engine.exchanged se));
+         ("move_ms", Json.Float !move_ms);
+         ("fingerprint", Json.Int fingerprint);
+         ("peak_heap_words", Json.Int gc.Gc.top_heap_words);
+         ("live_words_end", Json.Int gc.Gc.live_words);
+       ])
+
+let run () = if !domains > 0 then run_sharded () else run_single ()

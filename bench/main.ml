@@ -131,11 +131,53 @@ let () =
       | "--flows" :: _ ->
         Printf.eprintf "usage: scale|move --flows N\n";
         exit 2
+      | "--domains" :: count :: rest when int_of_string_opt count <> None ->
+        (match int_of_string_opt count with
+        | Some d when d > 0 -> Exp_scale.domains := d
+        | _ ->
+          Printf.eprintf "usage: scale --domains D (D > 0)\n";
+          exit 2);
+        strip rest
+      | "--domains" :: _ ->
+        Printf.eprintf "usage: scale --domains D\n";
+        exit 2
+      | "--min-events-per-sec" :: rate :: rest when float_of_string_opt rate <> None ->
+        (match float_of_string_opt rate with
+        | Some r when r > 0.0 -> Exp_scale.min_events_per_sec := r
+        | _ ->
+          Printf.eprintf "usage: scale --min-events-per-sec RATE (RATE > 0)\n";
+          exit 2);
+        strip rest
+      | "--min-events-per-sec" :: _ ->
+        Printf.eprintf "usage: scale --min-events-per-sec RATE\n";
+        exit 2
+      | "--require-labels" :: file :: labels :: _ ->
+        (* A label check replaces the run: verify the result file holds
+           every comma-separated label, exiting non-zero otherwise so
+           gates fail loudly instead of comparing against nothing. *)
+        exit
+          (if
+             Exp_micro.require_labels file (String.split_on_char ',' labels) > 0
+           then 1
+           else 0)
+      | "--require-labels" :: _ ->
+        Printf.eprintf "usage: micro --require-labels FILE LABEL[,LABEL...]\n";
+        exit 2
       | "--trace-out" :: file :: rest when String.length file > 0 ->
         Util.trace_out := Some file;
         strip rest
       | "--trace-out" :: _ ->
         Printf.eprintf "usage: move|telemetry|failover|scale --trace-out FILE.json\n";
+        exit 2
+      | "--rounds" :: n :: rest when int_of_string_opt n <> None ->
+        (match int_of_string_opt n with
+        | Some r when r > 0 -> Exp_micro.micro_rounds := r
+        | _ ->
+          Printf.eprintf "usage: micro --rounds N (N > 0)\n";
+          exit 2);
+        strip rest
+      | "--rounds" :: _ ->
+        Printf.eprintf "usage: micro --rounds N\n";
         exit 2
       | "--threshold" :: pct :: rest when float_of_string_opt pct <> None ->
         (match float_of_string_opt pct with

@@ -446,7 +446,13 @@ let dispatch_from_mb t mb_name msg =
           Telemetry.span_end t.tel ~now po.po_span;
           Telemetry.observe t.h_op Time.(to_seconds (now - po.po_started)))))
 
-let connect t ?framing agent =
+type remote = {
+  to_agent : Shard.route;
+  to_controller : Shard.route;
+  agent_faults : Faults.t option;
+}
+
+let connect t ?framing ?remote agent =
   let name = Mb_agent.name agent in
   if Hashtbl.mem t.mbs name then
     failwith (Printf.sprintf "Controller.connect: duplicate MB name %s" name);
@@ -454,8 +460,8 @@ let connect t ?framing agent =
      default unless this MB asked for an override — and sizes every
      message on its three channels. *)
   let framing = Option.value framing ~default:t.cfg.framing in
-  let faulted tag =
-    match t.faults with
+  let faulted inst tag =
+    match inst with
     | None -> None
     | Some f -> Some (Faults.link f ~name:(name ^ "/" ^ tag))
   in
@@ -463,13 +469,28 @@ let connect t ?framing agent =
     (* Receiving costs controller CPU proportional to message size. *)
     cpu t (Message.reply_wire_bytes ~framing msg) (fun () -> dispatch_from_mb t name msg)
   in
+  (* Up-channels (MB → controller) are driven by the agent's sends, so
+     with a remote agent they must live on the agent's engine, draw from
+     the agent's telemetry and fault instances, and only hand the final
+     delivery back to the controller's shard via the route. *)
   let mk_channel tag =
-    Channel.create t.engine ?faults:(faulted tag) ~telemetry:t.tel
-      ~latency:t.cfg.channel_latency ~bytes_per_sec:t.cfg.channel_bandwidth ~deliver ()
+    match remote with
+    | None ->
+      Channel.create t.engine ?faults:(faulted t.faults tag) ~telemetry:t.tel
+        ~latency:t.cfg.channel_latency ~bytes_per_sec:t.cfg.channel_bandwidth ~deliver ()
+    | Some r ->
+      Channel.create (Mb_agent.engine agent)
+        ?faults:(faulted r.agent_faults tag)
+        ?telemetry:(Mb_agent.telemetry agent)
+        ~via:r.to_controller.Shard.route ~latency:t.cfg.channel_latency
+        ~bytes_per_sec:t.cfg.channel_bandwidth ~deliver ()
   in
   let reply_ch = mk_channel "reply" and event_ch = mk_channel "event" in
+  (* The op channel is driven by controller sends and stays local; with
+     a remote agent only the delivery execution crosses shards. *)
   let to_mb =
-    Channel.create t.engine ?faults:(faulted "op") ~telemetry:t.tel
+    Channel.create t.engine ?faults:(faulted t.faults "op") ~telemetry:t.tel
+      ?via:(Option.map (fun r -> r.to_agent.Shard.route) remote)
       ~latency:t.cfg.channel_latency ~bytes_per_sec:t.cfg.channel_bandwidth
       ~deliver:(fun msg -> Mb_agent.handle_request agent msg)
       ()
@@ -479,12 +500,29 @@ let connect t ?framing agent =
       Channel.send reply_ch ~bytes:(Message.reply_wire_bytes ~framing msg) msg)
     ~send_event:(fun msg ->
       Channel.send event_ch ~bytes:(Message.reply_wire_bytes ~framing msg) msg);
-  (match t.faults with
-  | None -> ()
-  | Some f ->
+  (* Crash schedules mutate the agent, so they are armed on the agent's
+     own fault instance when it has one; otherwise the controller-side
+     plan fires them and routes the mutation onto the agent's shard. *)
+  (match remote with
+  | Some { agent_faults = Some f; _ } ->
     Faults.arm_crashes f ~name
       ~on_crash:(fun () -> Mb_agent.crash agent)
-      ~on_restart:(fun () -> Mb_agent.restart agent));
+      ~on_restart:(fun () -> Mb_agent.restart agent)
+  | Some ({ agent_faults = None; _ } as r) -> (
+    match t.faults with
+    | None -> ()
+    | Some f ->
+      let route k = r.to_agent.Shard.route ~at:(Engine.now t.engine) k () in
+      Faults.arm_crashes f ~name
+        ~on_crash:(fun () -> route (fun () -> Mb_agent.crash agent))
+        ~on_restart:(fun () -> route (fun () -> Mb_agent.restart agent)))
+  | None -> (
+    match t.faults with
+    | None -> ()
+    | Some f ->
+      Faults.arm_crashes f ~name
+        ~on_crash:(fun () -> Mb_agent.crash agent)
+        ~on_restart:(fun () -> Mb_agent.restart agent)));
   Hashtbl.replace t.mbs name
     { agent; to_mb; framing; next_op = 0; next_seq = 0; pending = Hashtbl.create 16 }
 

@@ -102,11 +102,36 @@ val create :
 val telemetry : t -> Openmb_sim.Telemetry.t
 (** The instance passed to {!create} (or the private default). *)
 
-val connect : t -> ?framing:Openmb_wire.Framing.t -> Mb_agent.t -> unit
+type remote = {
+  to_agent : Openmb_sim.Shard.route;
+      (** Posts execution onto the agent's shard (controller → MB
+          deliveries: requests, state chunks). *)
+  to_controller : Openmb_sim.Shard.route;
+      (** Posts execution onto the controller's shard (MB → controller
+          deliveries: replies, events). *)
+  agent_faults : Openmb_sim.Faults.t option;
+      (** Fault instance owned by the {e agent's} shard, applied to the
+          reply/event channels (their sends run on the agent's domain,
+          so they must not draw from the controller-shard instance).
+          [None] leaves those channels fault-free. *)
+}
+(** Routing for an MB agent living on another shard of a
+    {!Openmb_sim.Sharded_engine}. *)
+
+val connect : t -> ?framing:Openmb_wire.Framing.t -> ?remote:remote -> Mb_agent.t -> unit
 (** Establish the op and event connections to an MB agent and register
     it under its impl name.  Raises [Failure] on duplicate names.
     [framing] overrides the config's wire framing for this MB's
-    channels. *)
+    channels.
+
+    With [?remote], the agent lives on a different shard: the op
+    channel stays on the controller's engine but delivers through
+    [remote.to_agent], while the reply and event channels live on the
+    {e agent's} engine (sends happen there) and deliver through
+    [remote.to_controller].  Those channels use the agent's telemetry
+    instance and [remote.agent_faults], keeping every mutation
+    shard-local; cross-shard deliveries are clamped to the next epoch
+    barrier, which adds up to one epoch of latency per direction. *)
 
 val disconnect : t -> string -> unit
 (** Forget an MB (e.g. a terminated instance); in-flight operations on

@@ -97,6 +97,8 @@ let create engine ?recorder ?telemetry ~impl () =
 
 let impl t = t.impl
 let name t = t.impl.name
+let engine t = t.engine
+let telemetry t = t.tel
 
 let set_uplinks t ~send_reply ~send_event =
   t.send_reply <- send_reply;

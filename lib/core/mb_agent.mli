@@ -33,6 +33,14 @@ val create :
 val impl : t -> Southbound.impl
 val name : t -> string
 
+val engine : t -> Openmb_sim.Engine.t
+(** The engine this agent executes on — the agent's shard in a sharded
+    simulation.  {!Controller.connect} with [?remote] uses it to keep
+    the agent-side channels on the agent's engine. *)
+
+val telemetry : t -> Openmb_sim.Telemetry.t option
+(** The instance passed to {!create}, if any. *)
+
 val set_uplinks :
   t ->
   send_reply:(Message.from_mb -> unit) ->

@@ -107,6 +107,15 @@ let unpack k =
 let packed_equal a b = a.pa = b.pa && a.pb = b.pb
 let packed_hash k = k.phash
 
+(* Direction-insensitive hash without materializing the reversed key:
+   feed the smaller (pa, pb) word pair of the two directions through the
+   same finalizer.  Used for shard placement, so both directions of a
+   connection land on the same shard. *)
+let packed_canonical_hash k =
+  let rpa = ((k.pb lsr 18) lsl 16) lor ((k.pb lsr 2) land 0xFFFF) in
+  let rpb = ((k.pa lsr 16) lsl 18) lor ((k.pa land 0xFFFF) lsl 2) lor (k.pb land 3) in
+  if k.pa < rpa || (k.pa = rpa && k.pb <= rpb) then mix k.pa k.pb else mix rpa rpb
+
 module Packed_table = Hashtbl.Make (struct
   type t = packed
 

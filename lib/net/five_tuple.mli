@@ -55,5 +55,11 @@ val unpack : packed -> t
 val packed_equal : packed -> packed -> bool
 val packed_hash : packed -> int
 
+val packed_canonical_hash : packed -> int
+(** Direction-insensitive hash: equal for a key and its
+    {!packed_reverse}, computed without materializing the reverse.
+    This is the shard-placement hash — both directions of a
+    bidirectional connection map to the same shard. *)
+
 module Packed_table : Hashtbl.S with type key = packed
 (** Hash tables keyed by packed five-tuples (direction-sensitive). *)

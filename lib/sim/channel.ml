@@ -3,6 +3,9 @@ type 'a t = {
   latency : Time.t;
   bytes_per_sec : float;
   deliver : 'a -> unit;
+  (* Delivery scheduler: [None] is the local engine's closure-free
+     [call_at]; [Some via] reroutes execution (the cross-shard path). *)
+  via : (at:Time.t -> ('a -> unit) -> 'a -> unit) option;
   faults : Faults.link option;
   mutable free_at : Time.t;
   mutable bytes_sent : int;
@@ -14,7 +17,7 @@ type 'a t = {
   tel_bytes : Telemetry.counter;
 }
 
-let create engine ?faults ?telemetry ~latency ~bytes_per_sec ~deliver () =
+let create engine ?faults ?telemetry ?via ~latency ~bytes_per_sec ~deliver () =
   if bytes_per_sec <= 0.0 then invalid_arg "Channel.create: bytes_per_sec must be positive";
   let tel_msgs, tel_bytes =
     match telemetry with
@@ -26,6 +29,7 @@ let create engine ?faults ?telemetry ~latency ~bytes_per_sec ~deliver () =
     latency;
     bytes_per_sec;
     deliver;
+    via;
     faults;
     free_at = Time.zero;
     bytes_sent = 0;
@@ -44,17 +48,25 @@ let send ch ~bytes msg =
   Telemetry.incr ch.tel_msgs;
   Telemetry.add ch.tel_bytes bytes;
   let arrival = Time.(done_sending + ch.latency) in
+  (* The common fault-free local path stays closure-free: the delivery
+     callback and message ride in a pooled event cell, so the
+     per-message cost is allocation-free.  [via] reroutes the same
+     (at, deliver, msg) triple onto another shard's engine. *)
   match ch.faults with
-  | None ->
-    (* Closure-free: the delivery callback and message ride in a pooled
-       event cell, so the per-message cost is allocation-free. *)
-    Engine.call_at ch.engine arrival ch.deliver msg
+  | None -> (
+    match ch.via with
+    | None -> Engine.call_at ch.engine arrival ch.deliver msg
+    | Some via -> via ~at:arrival ch.deliver msg)
   | Some link ->
     (* Fault decisions are made at send time; extra delays stack on top
        of the normal serialization + propagation arrival, so a reorder
        or spike lets messages queued behind this one overtake it. *)
     List.iter
-      (fun extra -> Engine.call_at ch.engine Time.(arrival + extra) ch.deliver msg)
+      (fun extra ->
+        let at = Time.(arrival + extra) in
+        match ch.via with
+        | None -> Engine.call_at ch.engine at ch.deliver msg
+        | Some via -> via ~at ch.deliver msg)
       (Faults.deliveries link ~now:(Engine.now ch.engine))
 
 let bytes_sent ch = ch.bytes_sent

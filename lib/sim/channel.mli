@@ -15,6 +15,7 @@ val create :
   Engine.t ->
   ?faults:Faults.link ->
   ?telemetry:Telemetry.t ->
+  ?via:(at:Time.t -> ('a -> unit) -> 'a -> unit) ->
   latency:Time.t ->
   bytes_per_sec:float ->
   deliver:('a -> unit) ->
@@ -27,7 +28,16 @@ val create :
     further delay the delivery ({!Faults.deliveries}); counters
     ({!bytes_sent}, {!messages_sent}) still count every send.  With
     [?telemetry], sends additionally feed the shared ["channel.msgs"]
-    and ["channel.bytes"] registry counters. *)
+    and ["channel.bytes"] registry counters.
+
+    [via] overrides how deliveries are scheduled: instead of the local
+    [Engine.call_at engine at deliver msg], the channel hands
+    [(at, deliver, msg)] to [via].  This is the cross-shard hook — pass
+    a {!Shard.route}'s field to make the delivery execute on the
+    receiving component's shard ([Shard.post] clamps the arrival to the
+    next epoch barrier when the destination is remote).  The channel's
+    own clock, pipe-busy bookkeeping and fault decisions stay on the
+    sending side either way. *)
 
 val send : 'a t -> bytes:int -> 'a -> unit
 (** [send ch ~bytes msg] enqueues [msg], whose wire representation

@@ -397,6 +397,63 @@ let diff ~before ~after =
 
 let snap_quantile buckets count q = quantile_of_buckets buckets count q
 
+let snap_counter snap name =
+  match List.assoc_opt name snap with Some (Scounter v) -> Some v | _ -> None
+
+let snap_gauge snap name =
+  match List.assoc_opt name snap with
+  | Some (Sgauge { value; peak }) -> Some (value, peak)
+  | _ -> None
+
+let snap_hist snap name =
+  match List.assoc_opt name snap with
+  | Some (Shist { count; sum; mx; _ }) -> Some (count, sum, mx)
+  | _ -> None
+
+let snap_hist_quantile snap name q =
+  match List.assoc_opt name snap with
+  | Some (Shist { buckets; count; _ }) -> Some (quantile_of_buckets buckets count q)
+  | _ -> None
+
+(* Merge two snapshots metric-by-metric.  Both inputs are sorted by
+   name (the [snapshot] invariant), so this is a linear sorted-list
+   union; the result keeps the invariant.  Counters and histograms
+   combine symmetrically; gauges are levels, which don't sum — the
+   right-hand (later) side's value wins, with the peak of both. *)
+let merge_metric name a b =
+  match (a, b) with
+  | Scounter x, Scounter y -> Scounter (x + y)
+  | Sgauge x, Sgauge y -> Sgauge { value = y.value; peak = max x.peak y.peak }
+  | Shist x, Shist y ->
+    Shist
+      {
+        buckets = Array.mapi (fun i v -> v + y.buckets.(i)) x.buckets;
+        count = x.count + y.count;
+        sum = x.sum +. y.sum;
+        mx = Float.max x.mx y.mx;
+      }
+  | _ ->
+    let kind = function Scounter _ -> "counter" | Sgauge _ -> "gauge" | Shist _ -> "histogram" in
+    invalid_arg
+      (Printf.sprintf "Telemetry.merge: %S is a %s on one side and a %s on the other"
+         name (kind a) (kind b))
+
+let rec merge a b =
+  match (a, b) with
+  | [], s | s, [] -> s
+  | (na, ma) :: ra, (nb, mb) :: rb ->
+    let c = String.compare na nb in
+    if c < 0 then (na, ma) :: merge ra b
+    else if c > 0 then (nb, mb) :: merge a rb
+    else (na, merge_metric na ma mb) :: merge ra rb
+
+let merge_all = List.fold_left merge []
+
+module Registry = struct
+  let merge = merge
+  let merge_all = merge_all
+end
+
 let pp_ns fmt v =
   if v < 1e-6 then Format.fprintf fmt "%4.0fns" (v *. 1e9)
   else if v < 1e-3 then Format.fprintf fmt "%4.1fus" (v *. 1e6)

@@ -112,6 +112,47 @@ val snapshot_to_json : snapshot -> string
 (** Compact JSON object
     [{"counters":{..},"gauges":{..},"histograms":{..}}]. *)
 
+(** {2 Snapshot accessors}
+
+    Per-metric reads, used by gates and the shard-merge property tests.
+    All return [None] when [name] is absent or registered as a different
+    kind. *)
+
+val snap_counter : snapshot -> string -> int option
+
+val snap_gauge : snapshot -> string -> (int * int) option
+(** [(value, peak)]. *)
+
+val snap_hist : snapshot -> string -> (int * float * float) option
+(** [(count, sum, max)]. *)
+
+val snap_hist_quantile : snapshot -> string -> float -> float option
+
+(** {2 Merging}
+
+    Combining the per-shard registries of a sharded run into one
+    aggregate view ({!Sharded_engine.merged_snapshot}). *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** [merge a b] combines two snapshots metric-by-metric: counters sum,
+    histograms add bucket-wise (counts and sums add, maxima take the
+    larger), and gauges keep the {e last writer}'s value — [b]'s — with
+    the peak of both.  Metrics present on only one side pass through.
+    Merging is associative, and commutative on counters and histograms
+    (gauge values are ordered by construction).  Raises
+    [Invalid_argument] when the same name has different kinds on the
+    two sides. *)
+
+val merge_all : snapshot list -> snapshot
+(** Left fold of {!merge}; the empty list yields an empty snapshot. *)
+
+module Registry : sig
+  (** Alias namespace for registry-level operations on snapshots. *)
+
+  val merge : snapshot -> snapshot -> snapshot
+  val merge_all : snapshot list -> snapshot
+end
+
 val pp : Format.formatter -> t -> unit
 (** [pp_snapshot] of the current state. *)
 

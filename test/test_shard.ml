@@ -1,0 +1,301 @@
+(* Sharded simulator core: determinism and cross-shard plumbing.
+
+   The heart of this suite is the domain-count-invariance property: a
+   seeded scenario — cross-shard hop traffic mutating per-shard state
+   tables, plus a faulted controller move between MBs on different
+   shards — is run once on a single domain (the oracle) and again on
+   2, 4 and 8 domains, and every observable outcome (state-table
+   contents, per-shard execution counts, controller and fault
+   counters, merged telemetry) must be byte-identical.  The logical
+   shard count stays fixed at 8 throughout, so only the domain
+   scheduling varies.
+
+   Iteration count for the property comes from CHAOS_ITERS (default 5;
+   `dune build @shardcheck` runs it at 20). *)
+
+open Openmb_sim
+open Openmb_net
+open Openmb_core
+open Openmb_mbox
+open Openmb_apps
+
+let prop_count =
+  match Sys.getenv_opt "CHAOS_ITERS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 5)
+  | None -> 5
+
+let shards = 8
+let epoch = Time.ms 1.0
+let initial_hops = 8 (* seed events per shard *)
+let hop_ttl = 6 (* cross-shard hops per seed event *)
+let move_chunks = 120
+
+(* Tight enough that a faulted move resolves (completes or aborts)
+   within the scenario instead of waiting out 30 s timeouts. *)
+let shard_config =
+  {
+    Controller.default_config with
+    Controller.request_timeout = Time.seconds 2.0;
+    retry_backoff_cap = Time.seconds 8.0;
+    max_retries = 3;
+    quiescence = Time.seconds 0.5;
+  }
+
+let tuple_of j =
+  {
+    Five_tuple.src_ip = Addr.of_int (0x0a_00_00_01 + (j / 100));
+    dst_ip = Addr.of_string "1.1.1.5";
+    src_port = 1_024 + (j mod 16_384);
+    dst_port = 443;
+    proto = Packet.Tcp;
+  }
+
+(* One full scenario at a given domain count, rendered to a string so
+   divergences are both comparable and printable.  Every random draw
+   comes either from scenario setup (before the run, domain-count
+   independent) or from the PRNG stream of the shard executing the
+   drawing event. *)
+let run_scenario ~domains ~seed =
+  let se = Sharded_engine.create ~domains ~epoch ~seed ~shards () in
+  let router = Shard_router.create se in
+  let sh = Array.init shards (Sharded_engine.shard se) in
+  let tbls =
+    Array.init shards (fun _ ->
+        State_table.create ~granularity:Hfl.full_granularity ())
+  in
+  let hop_ctr =
+    Array.map (fun s -> Telemetry.counter (Shard.telemetry s) "hop.executed") sh
+  in
+  (* Hop payloads carry the shard they execute on, so the handler can
+     find its own table and PRNG without any shared mutable state. *)
+  let rec hop (s, ttl) =
+    let h = sh.(s) in
+    let prng = Shard.prng h in
+    Telemetry.incr hop_ctr.(s);
+    let j = Prng.int prng 500 in
+    let v = Prng.int prng 1_000_000 in
+    State_table.insert tbls.(s)
+      ~key:(Hfl.key_of_tuple Hfl.full_granularity (tuple_of j))
+      v;
+    if ttl > 0 then begin
+      let dst = Prng.int prng shards in
+      let delay = Time.us (float_of_int (1 + Prng.int prng 3_000)) in
+      Shard.post h ~dst
+        ~at:Time.(Engine.now (Shard.engine h) + delay)
+        hop (dst, ttl - 1)
+    end
+  in
+  let setup = Prng.create ~seed:(seed lxor 0x5eed11) in
+  for s = 0 to shards - 1 do
+    for _ = 1 to initial_hops do
+      let at = Time.us (float_of_int (Prng.int setup 5_000)) in
+      ignore (Engine.schedule_at (Shard.engine sh.(s)) at (fun () -> hop (s, hop_ttl)))
+    done
+  done;
+  (* Faulted cross-shard move: controller and source on shard 0, the
+     destination on shard 1 behind a remote connect.  Each side draws
+     faults from an instance on its own shard. *)
+  let horizon = Time.seconds 60.0 in
+  let ctl_faults =
+    Faults.create
+      ~telemetry:(Shard.telemetry sh.(0))
+      (Shard.engine sh.(0))
+      (Faults.random_plan ~seed:(seed + 1) ~mbs:[ "move-src" ] ~horizon)
+  in
+  let agent_faults =
+    Faults.create
+      ~telemetry:(Shard.telemetry sh.(1))
+      (Shard.engine sh.(1))
+      (Faults.random_plan ~seed:(seed + 2) ~mbs:[ "move-dst" ] ~horizon)
+  in
+  let ctrl =
+    Controller.create (Shard.engine sh.(0)) ~config:shard_config ~faults:ctl_faults
+      ~telemetry:(Shard.telemetry sh.(0))
+      ()
+  in
+  let src = Dummy_mb.create (Shard.engine sh.(0)) ~name:"move-src" () in
+  let dst = Dummy_mb.create (Shard.engine sh.(1)) ~name:"move-dst" () in
+  Dummy_mb.populate src ~n:move_chunks;
+  Controller.connect ctrl
+    (Mb_agent.create (Shard.engine sh.(0))
+       ~telemetry:(Shard.telemetry sh.(0))
+       ~impl:(Dummy_mb.impl src) ());
+  Controller.connect ctrl
+    ~remote:
+      {
+        Controller.to_agent = Shard_router.route router ~src:0 ~dst:1;
+        to_controller = Shard_router.route router ~src:1 ~dst:0;
+        agent_faults = Some agent_faults;
+      }
+    (Mb_agent.create (Shard.engine sh.(1))
+       ~telemetry:(Shard.telemetry sh.(1))
+       ~impl:(Dummy_mb.impl dst) ());
+  let move_result = ref "pending" in
+  ignore
+    (Engine.schedule_at (Shard.engine sh.(0)) (Time.ms 3.0) (fun () ->
+         Controller.move_internal ctrl ~src:"move-src" ~dst:"move-dst" ~key:Hfl.any
+           ~on_done:(fun res ->
+             move_result :=
+               match res with
+               | Ok mr ->
+                 Printf.sprintf "ok chunks=%d bytes=%d events=%d" mr.Controller.chunks_moved
+                   mr.Controller.bytes_moved mr.Controller.events_forwarded
+               | Error e -> "error " ^ Errors.to_string e)));
+  Sharded_engine.run se;
+  (* Render every observable. *)
+  let buf = Buffer.create 4_096 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  for s = 0 to shards - 1 do
+    let dump =
+      State_table.fold tbls.(s) ~init:[] ~f:(fun acc e ->
+          (Lazy.force e.State_table.id, e.State_table.value) :: acc)
+      |> List.sort compare
+    in
+    p "shard %d: executed=%d hops=%d table=[" s
+      (Engine.executed (Shard.engine sh.(s)))
+      (Telemetry.counter_value hop_ctr.(s));
+    List.iter (fun (id, v) -> p " %s=%d" id v) dump;
+    p " ]\n"
+  done;
+  p "exchanged=%d epochs=%d\n" (Sharded_engine.exchanged se) (Sharded_engine.epochs se);
+  p "move: %s\n" !move_result;
+  p "src chunks=%d [" (Dummy_mb.chunk_count src);
+  List.iter (fun (k, v) -> p " %s=%s" k v) (List.sort compare (Dummy_mb.support_entries src));
+  p " ]\n";
+  p "dst chunks=%d [" (Dummy_mb.chunk_count dst);
+  List.iter (fun (k, v) -> p " %s=%s" k v) (List.sort compare (Dummy_mb.support_entries dst));
+  p " ]\n";
+  p "controller: %s\n" (Format.asprintf "%a" Controller.pp_counters (Controller.counters ctrl));
+  List.iter
+    (fun (tag, f) ->
+      p "faults %s: drop=%d dup=%d delay=%d crash=%d restart=%d\n" tag (Faults.dropped f)
+        (Faults.duplicated f) (Faults.delayed f) (Faults.crashes_fired f)
+        (Faults.restarts_fired f))
+    [ ("ctl", ctl_faults); ("agent", agent_faults) ];
+  let snap = Sharded_engine.merged_snapshot se in
+  List.iter
+    (fun name ->
+      match Telemetry.snap_counter snap name with
+      | Some v -> p "tel %s=%d\n" name v
+      | None -> p "tel %s=-\n" name)
+    [
+      "hop.executed"; "channel.msgs"; "channel.bytes"; "faults.dropped";
+      "faults.duplicated"; "faults.delayed"; "faults.crashes"; "faults.restarts";
+      "controller.msgs_processed";
+    ];
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* The determinism property                                            *)
+(* ------------------------------------------------------------------ *)
+
+let prop_domain_invariance =
+  QCheck2.Test.make ~name:"sharded outcome is domain-count invariant" ~count:prop_count
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let oracle = run_scenario ~domains:1 ~seed in
+      List.for_all
+        (fun d ->
+          let o = run_scenario ~domains:d ~seed in
+          String.equal o oracle
+          || QCheck2.Test.fail_reportf
+               "seed %d: domains=%d diverged from 1-domain oracle\n--- oracle ---\n%s\n--- domains=%d ---\n%s"
+               seed d oracle d o)
+        [ 2; 4; 8 ])
+
+(* ------------------------------------------------------------------ *)
+(* Directed smokes                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A ring of posts around 4 shards on 4 real domains: every hop is
+   cross-shard, so this exercises outboxes, barrier merge and horizon
+   clamping with genuine parallelism. *)
+let test_ring_4_domains () =
+  let n = 4 in
+  let se = Sharded_engine.create ~domains:n ~epoch ~seed:1 ~shards:n () in
+  let sh = Array.init n (Sharded_engine.shard se) in
+  let hits = Array.make n 0 in
+  let rounds = 100 in
+  let rec ring (s, k) =
+    hits.(s) <- hits.(s) + 1;
+    if k > 0 then begin
+      let dst = (s + 1) mod n in
+      Shard.post sh.(s) ~dst
+        ~at:(Engine.now (Shard.engine sh.(s)))
+        ring
+        (dst, k - 1)
+    end
+  in
+  ignore (Engine.schedule_at (Shard.engine sh.(0)) (Time.us 1.0) (fun () -> ring (0, rounds)));
+  Sharded_engine.run se;
+  Alcotest.(check int) "total hops" (rounds + 1) (Array.fold_left ( + ) 0 hits);
+  Alcotest.(check int) "all hops crossed shards" rounds (Sharded_engine.exchanged se);
+  Alcotest.(check int) "domains ran" n (Sharded_engine.domains se)
+
+(* A clean (fault-free) move whose destination lives on another shard:
+   the full controller pipeline over the epoch mailboxes must deliver
+   every chunk and delete the source copy after quiescence. *)
+let test_remote_move () =
+  let se = Sharded_engine.create ~domains:2 ~epoch ~seed:3 ~shards:2 () in
+  let router = Shard_router.create se in
+  let s0 = Sharded_engine.shard se 0 and s1 = Sharded_engine.shard se 1 in
+  let ctrl =
+    Controller.create (Shard.engine s0) ~config:shard_config
+      ~telemetry:(Shard.telemetry s0) ()
+  in
+  let src = Dummy_mb.create (Shard.engine s0) ~name:"move-src" () in
+  let dst = Dummy_mb.create (Shard.engine s1) ~name:"move-dst" () in
+  Dummy_mb.populate src ~n:move_chunks;
+  let expected = List.sort compare (Dummy_mb.support_entries src) in
+  Controller.connect ctrl
+    (Mb_agent.create (Shard.engine s0) ~telemetry:(Shard.telemetry s0)
+       ~impl:(Dummy_mb.impl src) ());
+  Controller.connect ctrl
+    ~remote:
+      {
+        Controller.to_agent = Shard_router.route router ~src:0 ~dst:1;
+        to_controller = Shard_router.route router ~src:1 ~dst:0;
+        agent_faults = None;
+      }
+    (Mb_agent.create (Shard.engine s1) ~telemetry:(Shard.telemetry s1)
+       ~impl:(Dummy_mb.impl dst) ());
+  let result = ref None in
+  ignore
+    (Engine.schedule_at (Shard.engine s0) (Time.ms 1.0) (fun () ->
+         Controller.move_internal ctrl ~src:"move-src" ~dst:"move-dst" ~key:Hfl.any
+           ~on_done:(fun res -> result := Some res)));
+  Sharded_engine.run se;
+  (match !result with
+  | Some (Ok mr) ->
+    Alcotest.(check int) "chunks moved" move_chunks mr.Controller.chunks_moved
+  | Some (Error e) -> Alcotest.failf "move failed: %s" (Errors.to_string e)
+  | None -> Alcotest.fail "move never completed");
+  Alcotest.(check (list (pair string string)))
+    "destination holds the moved state" expected
+    (List.sort compare (Dummy_mb.support_entries dst));
+  Alcotest.(check int) "source copy deleted" 0 (Dummy_mb.chunk_count src);
+  Alcotest.(check bool) "mailboxes carried traffic" true (Sharded_engine.exchanged se > 0)
+
+(* The canonical hash must ignore direction, and the router must agree
+   with it. *)
+let test_canonical_hash () =
+  for j = 0 to 999 do
+    let t = tuple_of j in
+    let k = Five_tuple.pack t and r = Five_tuple.pack (Five_tuple.reverse t) in
+    Alcotest.(check int)
+      (Printf.sprintf "flow %d: canonical hash direction-insensitive" j)
+      (Five_tuple.packed_canonical_hash k)
+      (Five_tuple.packed_canonical_hash r)
+  done
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "sharded-engine",
+        [
+          Alcotest.test_case "4-domain ring" `Quick test_ring_4_domains;
+          Alcotest.test_case "remote move" `Quick test_remote_move;
+          Alcotest.test_case "canonical hash" `Quick test_canonical_hash;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_domain_invariance ] );
+    ]

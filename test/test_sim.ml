@@ -795,6 +795,125 @@ let prop_hist_bucket_monotone =
       in
       one v1 <= one v2)
 
+(* ------------------------------------------------------------------ *)
+(* Registry merge (sharded telemetry aggregation)                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_merge () =
+  let mk f =
+    let tel = Telemetry.create () in
+    f tel;
+    Telemetry.snapshot tel
+  in
+  let a =
+    mk (fun tel ->
+        Telemetry.add (Telemetry.counter tel "ops") 7;
+        Telemetry.set_gauge (Telemetry.gauge tel "depth") 9;
+        Telemetry.set_gauge (Telemetry.gauge tel "depth") 2;
+        Telemetry.observe (Telemetry.histogram tel "lat") 1.0;
+        Telemetry.add (Telemetry.counter tel "only_a") 3)
+  in
+  let b =
+    mk (fun tel ->
+        Telemetry.add (Telemetry.counter tel "ops") 5;
+        Telemetry.set_gauge (Telemetry.gauge tel "depth") 4;
+        Telemetry.observe (Telemetry.histogram tel "lat") 4.0;
+        Telemetry.observe (Telemetry.histogram tel "lat") 2.0)
+  in
+  let m = Telemetry.Registry.merge a b in
+  Alcotest.(check (option int)) "counters sum" (Some 12) (Telemetry.snap_counter m "ops");
+  Alcotest.(check (option int)) "disjoint names survive" (Some 3)
+    (Telemetry.snap_counter m "only_a");
+  Alcotest.(check (option (pair int int)))
+    "gauge: last writer's value, max peak" (Some (4, 9))
+    (Telemetry.snap_gauge m "depth");
+  (match Telemetry.snap_hist m "lat" with
+  | Some (count, sum, mx) ->
+    Alcotest.(check int) "hist count adds" 3 count;
+    Alcotest.(check (float 1e-9)) "hist sum adds" 7.0 sum;
+    Alcotest.(check (float 1e-9)) "hist max" 4.0 mx
+  | None -> Alcotest.fail "merged histogram missing");
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument
+       "Telemetry.merge: \"x\" is a counter on one side and a histogram on the other")
+    (fun () ->
+      ignore
+        (Telemetry.Registry.merge
+           (mk (fun tel -> Telemetry.incr (Telemetry.counter tel "x")))
+           (mk (fun tel -> Telemetry.observe (Telemetry.histogram tel "x") 1.0))))
+
+(* Random registry programs over a small shared name pool.  Histogram
+   observations are integer-valued so float sums stay exact and merge
+   associativity is checkable with structural equality. *)
+type tel_op = Cadd of int * int | Gset of int * int | Hobs of int * int
+
+let gen_tel_ops ~gauges =
+  QCheck2.Gen.(
+    list_size (int_range 0 40)
+      (oneof
+         ([
+            map2 (fun i n -> Cadd (i, n)) (int_bound 2) (int_range 0 1_000);
+            map2 (fun i v -> Hobs (i, v)) (int_bound 1) (int_range 0 1_000);
+          ]
+         @ if gauges then [ map2 (fun i v -> Gset (i, v)) (int_bound 1) (int_range 0 500) ]
+           else [])))
+
+let snap_of_ops ops =
+  let tel = Telemetry.create () in
+  List.iter
+    (function
+      | Cadd (i, n) -> Telemetry.add (Telemetry.counter tel (Printf.sprintf "c%d" i)) n
+      | Gset (i, v) -> Telemetry.set_gauge (Telemetry.gauge tel (Printf.sprintf "g%d" i)) v
+      | Hobs (i, v) ->
+        Telemetry.observe
+          (Telemetry.histogram tel (Printf.sprintf "h%d" i))
+          (float_of_int v))
+    ops;
+  Telemetry.snapshot tel
+
+let prop_merge_associative =
+  QCheck2.Test.make ~name:"registry merge is associative" ~count:300
+    QCheck2.Gen.(
+      triple (gen_tel_ops ~gauges:true) (gen_tel_ops ~gauges:true)
+        (gen_tel_ops ~gauges:true))
+    (fun (xa, xb, xc) ->
+      let a = snap_of_ops xa and b = snap_of_ops xb and c = snap_of_ops xc in
+      Telemetry.Registry.merge (Telemetry.Registry.merge a b) c
+      = Telemetry.Registry.merge a (Telemetry.Registry.merge b c))
+
+let prop_merge_commutative =
+  (* Gauges are last-writer by design, so commutativity is only claimed
+     for counter/histogram registries — the shard-aggregation case. *)
+  QCheck2.Test.make ~name:"registry merge commutes on counters and histograms"
+    ~count:300
+    QCheck2.Gen.(pair (gen_tel_ops ~gauges:false) (gen_tel_ops ~gauges:false))
+    (fun (xa, xb) ->
+      let a = snap_of_ops xa and b = snap_of_ops xb in
+      Telemetry.Registry.merge a b = Telemetry.Registry.merge b a)
+
+let prop_merge_quantile_sandwich =
+  (* A merged histogram's quantile can't escape the envelope of the
+     per-shard quantiles: pooling samples interpolates between the
+     parts. *)
+  QCheck2.Test.make ~name:"merged quantile sandwiched by per-shard quantiles"
+    ~count:300
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 100) (int_range 0 100_000))
+        (list_size (int_range 1 100) (int_range 0 100_000))
+        (float_range 0.0 1.0))
+    (fun (va, vb, q) ->
+      let snap vs = snap_of_ops (List.map (fun v -> Hobs (0, v)) vs) in
+      let a = snap va and b = snap vb in
+      let m = Telemetry.Registry.merge a b in
+      let quant s =
+        match Telemetry.snap_hist_quantile s "h0" q with
+        | Some v -> v
+        | None -> QCheck2.Test.fail_reportf "histogram h0 missing from snapshot"
+      in
+      let qa = quant a and qb = quant b and qm = quant m in
+      Float.min qa qb <= qm && qm <= Float.max qa qb)
+
 let test_trace_ring_overwrite () =
   let tr = Telemetry.Trace.create ~capacity:16 () in
   let t i = Time.seconds (float_of_int i) in
@@ -949,6 +1068,7 @@ let () =
         [
           Alcotest.test_case "registry" `Quick test_telemetry_registry;
           Alcotest.test_case "snapshot diff" `Quick test_telemetry_snapshot_diff;
+          Alcotest.test_case "registry merge" `Quick test_registry_merge;
           Alcotest.test_case "ring overwrite" `Quick test_trace_ring_overwrite;
           Alcotest.test_case "chrome export" `Quick test_trace_chrome_export;
         ]
@@ -957,5 +1077,8 @@ let () =
               prop_hist_quantile_bounds;
               prop_hist_quantile_monotone;
               prop_hist_bucket_monotone;
+              prop_merge_associative;
+              prop_merge_commutative;
+              prop_merge_quantile_sandwich;
             ] );
     ]
