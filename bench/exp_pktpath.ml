@@ -1,0 +1,197 @@
+(* Vectorized packet-path macro benchmark.
+
+   Pushes the same trace through the switch -> NAT -> monitor chain at
+   several batching factors and reports end-to-end packets per second of
+   wall time, so the BENCH_micro.json history tracks what the
+   Packet_batch data path buys over the scalar one.
+
+   --batch 1 runs the true scalar path: one engine event per packet at
+   every hop (Trace.replay into Switch.receive, scalar links, scalar MB
+   injection).  --batch N (N > 1) runs the batch path: the trace is
+   grouped through a size-or-deadline window, the switch classifies each
+   batch in one flow-table pass, and NAT and monitor use their
+   vectorized receive_batch hooks, so the whole chain costs one engine
+   event per batch per hop.
+
+   bench pktpath [--batch N]... sweeps the requested factors (default
+   1, 16, 64, 256), appending one "pktpath-bN" row per factor.  With
+   --min-speedup S the run fails unless the best batched factor reaches
+   S x the batch-1 packet rate — the perf gate for the batch path. *)
+
+open Openmb_sim
+open Openmb_net
+open Openmb_core
+open Openmb_mbox
+open Openmb_traffic
+
+(* Set by the driver (bench pktpath --batch N [--batch N...]
+   / --min-speedup S). *)
+let batches : int list ref = ref []
+let min_speedup : float option ref = ref None
+
+let default_batches = [ 1; 16; 64; 256 ]
+let packets = 200_000
+let flow_count = 4_096
+let inter_arrival = Time.us 1.0
+let window = Time.us 500.0
+let internal_prefix = "10.0.0.0/8"
+
+let fast_cost base = { base with Southbound.per_packet = Time.us 1.0 }
+
+let tuple_of_flow i =
+  {
+    Five_tuple.src_ip = Addr.of_int (Addr.to_int (Addr.of_string "10.0.0.1") + (i / 16_384));
+    dst_ip = Addr.of_string "1.1.1.5";
+    src_port = 1_024 + (i mod 16_384);
+    dst_port = 443;
+    proto = Packet.Tcp;
+  }
+
+(* The same trace for every factor: [packets] data packets round-robined
+   over [flow_count] flows at a fixed arrival spacing.  Materialized
+   once, outside the measured region. *)
+let make_trace () =
+  Trace.of_packets
+    (List.init packets (fun i ->
+         let tup = tuple_of_flow (i mod flow_count) in
+         Packet.make ~id:i
+           ~ts:(Time.seconds (Time.to_seconds inter_arrival *. float_of_int i))
+           ~src_ip:tup.Five_tuple.src_ip ~dst_ip:tup.dst_ip ~src_port:tup.src_port
+           ~dst_port:tup.dst_port ~proto:tup.proto ()))
+
+type result = {
+  r_batch : int;
+  r_pps : float;
+  r_wall : float;
+  r_events : int;
+  r_occupancy : float;  (* mean members per switch batch (1.0 scalar) *)
+  r_pool_hw : int;  (* peak outstanding batches across the run's pools *)
+  r_minor_words : float;
+}
+
+let run_one trace ~batch =
+  let tel = Telemetry.create () in
+  let engine = Engine.create ~telemetry:tel () in
+  let nat =
+    Nat.create engine ~telemetry:tel ~name:"nat" ~cost:(fast_cost Nat.default_cost)
+      ~external_ip:(Addr.of_string "5.5.5.0")
+      ~external_ips:(List.init 2 (fun i -> Addr.of_int (Addr.to_int (Addr.of_string "5.5.5.0") + i + 1)))
+      ~internal_prefix:(Addr.prefix_of_string internal_prefix)
+      ()
+  in
+  let monitor =
+    Monitor.create engine ~telemetry:tel ~name:"monitor"
+      ~cost:(fast_cost Monitor.default_cost) ()
+  in
+  let egress = ref 0 in
+  Mb_base.set_egress (Nat.base nat) (Monitor.receive monitor);
+  Mb_base.set_egress (Monitor.base monitor) (fun _ -> incr egress);
+  let sw = Switch.create engine ~telemetry:tel ~name:"edge" () in
+  let to_nat = Link.create engine ~name:"sw-nat" ~dst:(Nat.receive nat) () in
+  Switch.attach_port sw ~port:"nat" to_nat;
+  ignore
+    (Flow_table.install (Switch.table sw) ~priority:1 ~match_:Hfl.any
+       ~action:(Flow_table.Forward "nat"));
+  let pool = Packet_batch.pool ~telemetry:tel () in
+  if batch > 1 then begin
+    Link.set_dst_batch to_nat (Nat.receive_batch nat);
+    Mb_base.set_egress_batch (Nat.base nat) (Monitor.receive_batch monitor);
+    Mb_base.set_egress_batch (Monitor.base monitor) (fun b ->
+        egress := !egress + Packet_batch.length b;
+        Packet_batch.release b)
+  end;
+  (* Setup (trace scheduling) happens inside the measured region for
+     both modes — it is the injection half of the data path. *)
+  let t0 = Monotonic_clock.now () in
+  let mw0 = Gc.minor_words () in
+  if batch > 1 then
+    Trace.replay_batched engine trace ~pool ~batch ~window
+      ~into:(Switch.receive_batch sw) ()
+  else Trace.replay engine trace ~into:(Switch.receive sw);
+  Engine.run engine;
+  let mw1 = Gc.minor_words () in
+  let wall = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9 in
+  if !egress <> packets then
+    failwith
+      (Printf.sprintf "pktpath: batch %d delivered %d of %d packets" batch !egress
+         packets);
+  if Nat.mapping_count nat <> flow_count then
+    failwith
+      (Printf.sprintf "pktpath: batch %d created %d of %d NAT mappings" batch
+         (Nat.mapping_count nat) flow_count);
+  let h_occ = Telemetry.histogram tel "switch.batch_occupancy" in
+  (* observe_count stores a count k as k ns, and hist_sum reports
+     seconds — scale back to raw counts. *)
+  let occupancy =
+    if Telemetry.hist_count h_occ = 0 then 1.0
+    else Telemetry.hist_sum h_occ *. 1e9 /. float_of_int (Telemetry.hist_count h_occ)
+  in
+  let pool_hw =
+    max (Packet_batch.pool_high_water pool)
+      (Packet_batch.pool_high_water (Switch.batch_pool sw))
+  in
+  {
+    r_batch = batch;
+    r_pps = float_of_int packets /. wall;
+    r_wall = wall;
+    r_events = Engine.executed engine;
+    r_occupancy = occupancy;
+    r_pool_hw = pool_hw;
+    r_minor_words = mw1 -. mw0;
+  }
+
+let run () =
+  let factors = match !batches with [] -> default_batches | l -> List.rev l in
+  Util.banner
+    (Printf.sprintf "pktpath: %d packets / %d flows through switch+NAT+monitor" packets
+       flow_count);
+  let trace = make_trace () in
+  let results = List.map (fun batch -> run_one trace ~batch) factors in
+  let base =
+    List.find_opt (fun r -> r.r_batch = 1) results |> Option.map (fun r -> r.r_pps)
+  in
+  Util.row "  %-8s %14s %10s %12s %10s %9s %8s %14s\n" "batch" "packets/sec" "speedup"
+    "events" "occupancy" "pool hw" "wall s" "minor words/pkt";
+  List.iter
+    (fun r ->
+      let speedup =
+        match base with Some b when b > 0.0 -> r.r_pps /. b | _ -> Float.nan
+      in
+      Util.row "  %-8d %14.0f %9.2fx %12d %10.1f %9d %8.2f %14.1f\n" r.r_batch r.r_pps
+        speedup r.r_events r.r_occupancy r.r_pool_hw r.r_wall
+        (r.r_minor_words /. float_of_int packets))
+    results;
+  let open Openmb_wire in
+  List.iter
+    (fun r ->
+      Util.append_row
+        (Printf.sprintf "pktpath-b%d" r.r_batch)
+        (Json.Assoc
+           [
+             ("packets", Json.Int packets);
+             ("flows", Json.Int flow_count);
+             ("batch", Json.Int r.r_batch);
+             ("packets_per_sec", Json.Float r.r_pps);
+             ("wall_seconds", Json.Float r.r_wall);
+             ("events_executed", Json.Int r.r_events);
+             ("batch_occupancy_mean", Json.Float r.r_occupancy);
+             ("batch_pool_high_water", Json.Int r.r_pool_hw);
+             ("minor_words_per_packet", Json.Float (r.r_minor_words /. float_of_int packets));
+           ]))
+    results;
+  match !min_speedup with
+  | None -> ()
+  | Some gate -> (
+    match base with
+    | None -> failwith "pktpath: --min-speedup needs --batch 1 in the sweep"
+    | Some b ->
+      let best =
+        List.fold_left
+          (fun acc r -> if r.r_batch > 1 then Float.max acc (r.r_pps /. b) else acc)
+          0.0 results
+      in
+      if best < gate then
+        failwith
+          (Printf.sprintf "pktpath: best batched speedup %.2fx below the --min-speedup %.2fx gate"
+             best gate)
+      else Util.row "  [gate] best batched speedup %.2fx >= %.2fx\n" best gate)

@@ -76,25 +76,7 @@ let nat_pool base n =
   let needed = ((n + per_ip - 1) / per_ip) + 1 in
   List.init needed (fun i -> Addr.of_int (Addr.to_int base + i + 1))
 
-(* Append one labelled row to BENCH_micro.json, replacing any previous
-   row under the same label. *)
-let append_row label entry =
-  let open Openmb_wire in
-  let bench_file = "BENCH_micro.json" in
-  let existing =
-    if Sys.file_exists bench_file then
-      match
-        Json.of_string (In_channel.with_open_text bench_file In_channel.input_all)
-      with
-      | Json.Assoc fields -> fields
-      | _ | (exception Json.Parse_error _) -> []
-    else []
-  in
-  let fields = List.remove_assoc label existing @ [ (label, entry) ] in
-  Out_channel.with_open_text bench_file (fun oc ->
-      Out_channel.output_string oc (Json.to_string_pretty (Json.Assoc fields));
-      Out_channel.output_char oc '\n');
-  Printf.printf "  [json] wrote %s (label %S, %d flows)\n" bench_file label !flows
+let append_row = Util.append_row
 
 let gate_events_per_sec events_per_sec =
   if !min_events_per_sec > 0.0 && events_per_sec < !min_events_per_sec then

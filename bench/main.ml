@@ -70,6 +70,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "micro-telemetry",
       "overhead of a live registry on the tracked scheduler rows",
       Exp_micro.run_telemetry );
+    ( "pktpath",
+      "batched vs. scalar packet path through switch+NAT+monitor",
+      Exp_pktpath.run );
   ]
 
 let list_experiments () =
@@ -140,6 +143,26 @@ let () =
         strip rest
       | "--domains" :: _ ->
         Printf.eprintf "usage: scale --domains D\n";
+        exit 2
+      | "--batch" :: size :: rest when int_of_string_opt size <> None ->
+        (match int_of_string_opt size with
+        | Some b when b > 0 -> Exp_pktpath.batches := b :: !Exp_pktpath.batches
+        | _ ->
+          Printf.eprintf "usage: pktpath --batch N (N > 0, repeatable)\n";
+          exit 2);
+        strip rest
+      | "--batch" :: _ ->
+        Printf.eprintf "usage: pktpath --batch N\n";
+        exit 2
+      | "--min-speedup" :: factor :: rest when float_of_string_opt factor <> None ->
+        (match float_of_string_opt factor with
+        | Some s when s > 0.0 -> Exp_pktpath.min_speedup := Some s
+        | _ ->
+          Printf.eprintf "usage: pktpath --min-speedup S (S > 0)\n";
+          exit 2);
+        strip rest
+      | "--min-speedup" :: _ ->
+        Printf.eprintf "usage: pktpath --min-speedup S\n";
         exit 2
       | "--min-events-per-sec" :: rate :: rest when float_of_string_opt rate <> None ->
         (match float_of_string_opt rate with

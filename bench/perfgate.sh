@@ -18,11 +18,15 @@
 #   4. sharded-scale smoke: the 8-shard engine on 4 domains at reduced
 #      flow count, with a modest absolute events/sec floor (the full
 #      10M-flow sweep is recorded in BENCH_micro.json, not rerun here)
-#   5. telemetry-overhead gate: the tracked scheduler rows re-measured
+#   5. batch-path gate: the pktpath macro at batching factors 1 and 64
+#      must show the vectorized path at least 5x the scalar packet rate
+#      (the full 1/16/64/256 sweep is recorded in BENCH_micro.json, not
+#      rerun here)
+#   6. telemetry-overhead gate: the tracked scheduler rows re-measured
 #      with a live metric registry attached must stay within 5% of
 #      their registry-free twins (min-of-3 rounds, off/on pair also
 #      recorded under the "micro-telemetry" label)
-#   6. CHAOS_ITERS=5 chaos smoke: the full fault-plan suite at reduced
+#   7. CHAOS_ITERS=5 chaos smoke: the full fault-plan suite at reduced
 #      iteration count
 #
 # Usage: bench/perfgate.sh   (from anywhere inside the repo)
@@ -37,11 +41,13 @@ trap 'rm -rf "$tmp"' EXIT
 # so the committed baseline is never clobbered.
 (cd "$tmp" && "$bench" micro --json --label fresh --rounds 3)
 "$bench" micro --compare "BENCH_micro.json#after" "$tmp/BENCH_micro.json#fresh"
-"$bench" micro --require-labels BENCH_micro.json after,scale-d1,scale-d2,scale-d4,scale-d8
+"$bench" micro --require-labels BENCH_micro.json \
+  after,scale-d1,scale-d2,scale-d4,scale-d8,pktpath-b1,pktpath-b16,pktpath-b64,pktpath-b256
 # The smoke floor is deliberately conservative: it catches a sharded
 # core that collapsed (orders of magnitude), not scheduler noise on a
 # loaded or single-core machine.
 (cd "$tmp" && "$bench" scale --flows 20000 --domains 4 --min-events-per-sec 50000)
+(cd "$tmp" && "$bench" pktpath --batch 1 --batch 64 --min-speedup 5)
 (cd "$tmp" && "$bench" micro-telemetry --gate 5 --json --label micro-telemetry)
 CHAOS_ITERS=5 "$chaos"
 echo "perfgate: OK"

@@ -32,6 +32,26 @@ let maybe_dump_trace tel =
 
 let mb bytes = float_of_int bytes /. 1e6
 
+(* Append one labelled row to BENCH_micro.json (in the current
+   directory), replacing any previous row under the same label. *)
+let append_row label entry =
+  let open Openmb_wire in
+  let bench_file = "BENCH_micro.json" in
+  let existing =
+    if Sys.file_exists bench_file then
+      match
+        Json.of_string (In_channel.with_open_text bench_file In_channel.input_all)
+      with
+      | Json.Assoc fields -> fields
+      | _ | (exception Json.Parse_error _) -> []
+    else []
+  in
+  let fields = List.remove_assoc label existing @ [ (label, entry) ] in
+  Out_channel.with_open_text bench_file (fun oc ->
+      Out_channel.output_string oc (Json.to_string_pretty (Json.Assoc fields));
+      Out_channel.output_char oc '\n');
+  Printf.printf "  [json] wrote %s (label %S)\n" bench_file label
+
 (* ------------------------------------------------------------------ *)
 (* GC-pressure accounting                                              *)
 (* ------------------------------------------------------------------ *)

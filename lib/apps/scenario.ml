@@ -38,23 +38,31 @@ let sdn t = t.sdn
 let switch t = t.switch
 let sink t = t.sink
 
-let attach_mb_agent t ~port ~receive ~base ~impl =
+let attach_mb_agent ?receive_batch t ~port ~receive ~base ~impl =
   let to_mb = Link.create t.engine ~name:("s1-" ^ port) ~dst:receive () in
+  (* With a batch receiver, batches arriving on the ingress link stay
+     whole; the egress link also carries batches onward (the sink is
+     batch-unaware, so the link drains them member-by-member there). *)
+  Option.iter (Link.set_dst_batch to_mb) receive_batch;
   Switch.attach_port t.switch ~port to_mb;
   let to_sink = Link.create t.engine ~name:(port ^ "-sink") ~dst:(Host.receive t.sink) () in
   Mb_base.set_egress base (Link.send to_sink);
+  if receive_batch <> None then
+    Mb_base.set_egress_batch base (Link.send_batch to_sink);
   let agent = Mb_agent.create t.engine ?recorder:t.recorder ~telemetry:t.tel ~impl () in
   Controller.connect t.ctrl agent;
   agent
 
-let attach_mb t ~port ~receive ~base ~impl =
-  ignore (attach_mb_agent t ~port ~receive ~base ~impl)
+let attach_mb ?receive_batch t ~port ~receive ~base ~impl =
+  ignore (attach_mb_agent ?receive_batch t ~port ~receive ~base ~impl)
 
 let attach_port_to_sink t ~port =
   let link = Link.create t.engine ~name:("s1-" ^ port) ~dst:(Host.receive t.sink) () in
   Switch.attach_port t.switch ~port link
 
-let chain ~receive base = Mb_base.set_egress base receive
+let chain ?receive_batch ~receive base =
+  Mb_base.set_egress base receive;
+  Option.iter (Mb_base.set_egress_batch base) receive_batch
 
 let install_default_route t ~port =
   ignore
@@ -66,6 +74,9 @@ let route t ~match_ ~port ?(priority = 100) ?on_done () =
     ~new_action:(Flow_table.Forward port) ~priority ?on_done ()
 
 let inject t trace ~into = Openmb_traffic.Trace.replay t.engine trace ~into
+
+let inject_batched t trace ?pool ~batch ~window ~into () =
+  Openmb_traffic.Trace.replay_batched t.engine trace ?pool ~batch ~window ~into ()
 
 let run ?until t = Engine.run ?until t.engine
 

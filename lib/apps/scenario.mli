@@ -44,6 +44,7 @@ val switch : t -> Openmb_net.Switch.t
 val sink : t -> Openmb_net.Host.t
 
 val attach_mb :
+  ?receive_batch:(Openmb_net.Packet_batch.t -> unit) ->
   t ->
   port:string ->
   receive:(Openmb_net.Packet.t -> unit) ->
@@ -52,9 +53,14 @@ val attach_mb :
   unit
 (** Wire a middlebox into the deployment: switch port [port] leads to
     [receive]; the MB's egress leads to the sink; the MB connects to
-    the MB controller via a fresh agent (shared recorder). *)
+    the MB controller via a fresh agent (shared recorder).  With
+    [?receive_batch] (the MB's [receive_batch]), batches arriving on the
+    ingress link stay whole and the MB's egress forwards batches to the
+    sink link (which drains them scalar into the batch-unaware
+    sink). *)
 
 val attach_mb_agent :
+  ?receive_batch:(Openmb_net.Packet_batch.t -> unit) ->
   t ->
   port:string ->
   receive:(Openmb_net.Packet.t -> unit) ->
@@ -67,10 +73,15 @@ val attach_mb_agent :
 val attach_port_to_sink : t -> port:string -> unit
 (** A switch port that bypasses middleboxes. *)
 
-val chain : receive:(Openmb_net.Packet.t -> unit) -> Openmb_mbox.Mb_base.t -> unit
+val chain :
+  ?receive_batch:(Openmb_net.Packet_batch.t -> unit) ->
+  receive:(Openmb_net.Packet.t -> unit) ->
+  Openmb_mbox.Mb_base.t ->
+  unit
 (** [chain ~receive base] points [base]'s egress at another MB's
     [receive] — for in-path pairs like RE encoder→switch→decoder this
-    links MB stages directly. *)
+    links MB stages directly.  With [?receive_batch], surviving batches
+    are handed to the next hop whole, in a single engine event. *)
 
 val install_default_route : t -> port:string -> unit
 (** Lowest-priority rule sending everything to [port] (installed
@@ -90,6 +101,19 @@ val route :
 val inject : t -> Openmb_traffic.Trace.t -> into:(Openmb_net.Packet.t -> unit) -> unit
 (** Replay a trace into an entry point ([Switch.receive (switch t)] or
     an upstream MB's receive). *)
+
+val inject_batched :
+  t ->
+  Openmb_traffic.Trace.t ->
+  ?pool:Openmb_net.Packet_batch.pool ->
+  batch:int ->
+  window:Openmb_sim.Time.t ->
+  into:(Openmb_net.Packet_batch.t -> unit) ->
+  unit ->
+  unit
+(** Batch replay into a batch entry point
+    ([Switch.receive_batch (switch t)]) — see
+    {!Openmb_traffic.Trace.replay_batched}. *)
 
 val run : ?until:Openmb_sim.Time.t -> t -> unit
 (** Drive the engine. *)

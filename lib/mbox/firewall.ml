@@ -103,6 +103,44 @@ let receive t p =
       | Some allowed -> Mb_base.forward t.base allowed
       | None -> ())
 
+(* Vectorized batch path: the rule list and default action — parsed
+   from the config JSON on every verdict-cache miss by the scalar path —
+   are hoisted lazily to at most one parse per batch.  Denied members
+   are compacted out in place. *)
+let receive_batch t b =
+  Mb_base.inject_batch t.base b ~side_effects:true ~work:(fun b ->
+      let hoisted = lazy (rules t, default_action t) in
+      let eval p =
+        let rls, dflt = Lazy.force hoisted in
+        let rec scan = function
+          | [] -> dflt
+          | r :: rest -> if Hfl.matches_packet r.rl_match p then r.rl_action else scan rest
+        in
+        scan rls
+      in
+      let n = Packet_batch.length b in
+      let allowed = ref 0 and denied = ref 0 in
+      for i = 0 to n - 1 do
+        let p = Packet_batch.get b i in
+        let tup = Five_tuple.of_packet p in
+        let entry, _created =
+          State_table.find_or_create t.table tup ~default:(fun () -> eval p)
+        in
+        (match entry.value with
+        | Allow -> incr allowed
+        | Deny ->
+          incr denied;
+          Packet_batch.drop b i);
+        if entry.moved then
+          Mb_base.raise_event t.base (Event.Reprocess { key = entry.key; packet = p });
+        if t.shared_exported then
+          Mb_base.raise_event t.base (Event.Reprocess { key = Hfl.any; packet = p })
+      done;
+      t.allowed <- t.allowed + !allowed;
+      t.denied <- t.denied + !denied;
+      ignore (Packet_batch.compact b : int);
+      Mb_base.forward_batch t.base b)
+
 (* ------------------------------------------------------------------ *)
 (* Southbound implementation                                           *)
 (* ------------------------------------------------------------------ *)

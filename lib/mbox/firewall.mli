@@ -29,6 +29,11 @@ val base : t -> Mb_base.t
 
 val receive : t -> Openmb_net.Packet.t -> unit
 
+val receive_batch : t -> Openmb_net.Packet_batch.t -> unit
+(** Batch entry point: verdicts evaluated per member (rule parsing
+    hoisted to once per batch), denied members compacted out, survivors
+    forwarded as one batch. *)
+
 val rules : t -> rule list
 (** Current ordered rule list (reflects [setConfig] updates). *)
 

@@ -414,6 +414,11 @@ let receive t p =
       process t p ~side_effects:true;
       Mb_base.forward t.base p)
 
+let receive_batch t b =
+  Mb_base.process_batch t.base b ~side_effects:true ~process:(fun p ->
+      process t p ~side_effects:true;
+      Some p)
+
 (* ------------------------------------------------------------------ *)
 (* Southbound implementation                                           *)
 (* ------------------------------------------------------------------ *)

@@ -64,6 +64,10 @@ val receive : t -> Openmb_net.Packet.t -> unit
 (** Network entry point: process with side effects and forward on the
     egress. *)
 
+val receive_batch : t -> Openmb_net.Packet_batch.t -> unit
+(** Batch entry point: the scalar analysis runs per member, the batch
+    is forwarded whole. *)
+
 val conn_log : t -> conn_entry list
 (** Completed-connection log, in emission order. *)
 

@@ -99,6 +99,10 @@ let receive t p =
       | Some rewritten -> Mb_base.forward t.base rewritten
       | None -> ())
 
+let receive_batch t b =
+  Mb_base.process_batch t.base b ~side_effects:true
+    ~process:(fun p -> process t p ~side_effects:true)
+
 (* ------------------------------------------------------------------ *)
 (* Southbound implementation                                           *)
 (* ------------------------------------------------------------------ *)

@@ -34,6 +34,10 @@ val base : t -> Mb_base.t
 
 val receive : t -> Openmb_net.Packet.t -> unit
 
+val receive_batch : t -> Openmb_net.Packet_batch.t -> unit
+(** Batch entry point: members are rewritten in place and forwarded as
+    one batch. *)
+
 val assignments : t -> (Openmb_net.Hfl.t * Openmb_net.Addr.t) list
 (** (flow key, backend) pairs currently resident. *)
 

@@ -10,6 +10,7 @@ type t = {
   config : Config_tree.t;
   mutable event_sink : Event.t -> unit;
   mutable egress : (Openmb_net.Packet.t -> unit) option;
+  mutable egress_batch : (Openmb_net.Packet_batch.t -> unit) option;
   mutable op_active : bool;
   mutable dp_free_at : Time.t;
   latency : Stats.t;
@@ -17,13 +18,17 @@ type t = {
   mutable pkts : int;
   c_pkts : Telemetry.counter;
   h_pkt : Telemetry.histogram;
+  h_occ : Telemetry.histogram;
 }
 
 let create engine ?recorder ?telemetry ~name ~kind ~cost () =
-  let c_pkts, h_pkt =
+  let c_pkts, h_pkt, h_occ =
     match telemetry with
-    | Some tel -> (Telemetry.counter tel "mb.pkts", Telemetry.histogram tel "mb.pkt_latency")
-    | None -> (Telemetry.null_counter, Telemetry.null_histogram)
+    | Some tel ->
+      ( Telemetry.counter tel "mb.pkts",
+        Telemetry.histogram tel "mb.pkt_latency",
+        Telemetry.histogram tel "mb.batch_occupancy" )
+    | None -> (Telemetry.null_counter, Telemetry.null_histogram, Telemetry.null_histogram)
   in
   {
     engine;
@@ -34,6 +39,7 @@ let create engine ?recorder ?telemetry ~name ~kind ~cost () =
     config = Config_tree.create ();
     event_sink = (fun _ -> ());
     egress = None;
+    egress_batch = None;
     op_active = false;
     dp_free_at = Time.zero;
     latency = Stats.create ();
@@ -41,6 +47,7 @@ let create engine ?recorder ?telemetry ~name ~kind ~cost () =
     pkts = 0;
     c_pkts;
     h_pkt;
+    h_occ;
   }
 
 let engine t = t.engine
@@ -49,7 +56,21 @@ let kind t = t.kind
 let config t = t.config
 let now t = Engine.now t.engine
 let set_egress t f = t.egress <- Some f
+let set_egress_batch t f = t.egress_batch <- Some f
 let forward t p = match t.egress with Some f -> f p | None -> ()
+
+(* Emit a whole batch on the egress.  Without a batch egress, drain
+   through the scalar one so batch-mode middleboxes compose with
+   batch-unaware downstream components. *)
+let forward_batch t b =
+  if Openmb_net.Packet_batch.length b = 0 then Openmb_net.Packet_batch.release b
+  else
+    match t.egress_batch with
+    | Some f -> f b
+    | None -> (
+      match t.egress with
+      | Some f -> Openmb_net.Packet_batch.drain b f
+      | None -> Openmb_net.Packet_batch.release b)
 let raise_event t ev = t.event_sink ev
 let set_op_active t b = t.op_active <- b
 let op_active t = t.op_active
@@ -81,6 +102,55 @@ let inject t p ~side_effects ~work =
         record t ~kind:"pkt" ~detail:(Openmb_net.Packet.flow_label p);
       work p)
     ()
+
+(* Batch data path: the whole batch is charged [n × per-packet cost] on
+   the serial data-path clock as one event, and the per-packet
+   accounting (counters, latency stats, histogram) is amortized into
+   single weighted updates — this is where the batch path's speedup
+   comes from.  [work] receives the batch at dispatch time and takes
+   ownership of it. *)
+let inject_batch t b ~side_effects ~work =
+  let n = Openmb_net.Packet_batch.length b in
+  if n = 0 then Openmb_net.Packet_batch.release b
+  else begin
+    let arrival = Engine.now t.engine in
+    let during_op = t.op_active in
+    let per =
+      if during_op then Time.to_seconds t.cost.per_packet *. t.cost.op_slowdown
+      else Time.to_seconds t.cost.per_packet
+    in
+    let start = Time.max arrival t.dp_free_at in
+    t.dp_free_at <- Time.(start + Time.seconds (per *. float_of_int n));
+    Engine.call_at t.engine t.dp_free_at
+      (fun () ->
+        t.pkts <- t.pkts + n;
+        Telemetry.add t.c_pkts n;
+        let lat = Time.to_seconds Time.(Engine.now t.engine - arrival) in
+        Stats.add_n t.latency lat ~n;
+        Telemetry.observe_n t.h_pkt lat ~n;
+        Telemetry.observe_count t.h_occ n;
+        if during_op then Stats.add_n t.latency_during_op lat ~n;
+        if side_effects then record t ~kind:"pktbatch" ~detail:(string_of_int n);
+        work b)
+      ()
+  end
+
+(* Default batch hook: loop the MB's scalar per-packet function over the
+   members, compact out the drops, and forward the survivors as one
+   batch.  Middleboxes with a vectorized pass call {!inject_batch}
+   directly instead. *)
+let process_batch t b ~side_effects ~process =
+  inject_batch t b ~side_effects ~work:(fun b ->
+      let n = Openmb_net.Packet_batch.length b in
+      for i = 0 to n - 1 do
+        let p = Openmb_net.Packet_batch.get b i in
+        match process p with
+        | Some p' -> if p' != p then Openmb_net.Packet_batch.set b i p'
+        | None -> Openmb_net.Packet_batch.drop b i
+      done;
+      ignore (Openmb_net.Packet_batch.compact b : int);
+      if side_effects then forward_batch t b
+      else Openmb_net.Packet_batch.release b)
 
 let latency_stats t = t.latency
 let latency_during_op_stats t = t.latency_during_op

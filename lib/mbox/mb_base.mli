@@ -30,9 +30,17 @@ val now : t -> Openmb_sim.Time.t
 val set_egress : t -> (Openmb_net.Packet.t -> unit) -> unit
 (** Where processed packets are forwarded (the MB's egress link). *)
 
+val set_egress_batch : t -> (Openmb_net.Packet_batch.t -> unit) -> unit
+(** Where processed batches are forwarded.  Without one, batch
+    forwarding drains through the scalar egress. *)
+
 val forward : t -> Openmb_net.Packet.t -> unit
 (** Emit a packet on the egress (drops silently when none is set —
     sink deployments). *)
+
+val forward_batch : t -> Openmb_net.Packet_batch.t -> unit
+(** Emit a whole batch on the egress (ownership passes on; the batch is
+    released when no egress is set or it is empty). *)
 
 val raise_event : t -> Openmb_core.Event.t -> unit
 (** Send an event up to the agent (no-op before an agent attaches). *)
@@ -54,6 +62,33 @@ val inject :
     and (only when [side_effects] is true) any forwarding/alerting.
     Records per-packet latency including queueing, and the ["pkt"]
     timeline entry. *)
+
+val inject_batch :
+  t ->
+  Openmb_net.Packet_batch.t ->
+  side_effects:bool ->
+  work:(Openmb_net.Packet_batch.t -> unit) ->
+  unit
+(** Batch form of {!inject}: the whole batch is charged
+    [n × per-packet cost] on the serial data-path clock as a single
+    event, and counters / latency stats / histograms are updated once
+    with weight [n] instead of per packet.  Batch sizes feed the
+    ["mb.batch_occupancy"] count histogram.  [work] receives the batch
+    at dispatch time and owns it.  An empty batch is released without
+    scheduling anything. *)
+
+val process_batch :
+  t ->
+  Openmb_net.Packet_batch.t ->
+  side_effects:bool ->
+  process:(Openmb_net.Packet.t -> Openmb_net.Packet.t option) ->
+  unit
+(** Default batch hook: {!inject_batch}, then loop [process] over the
+    members — [Some p'] rewrites the member in place (key columns
+    refreshed), [None] drops it — compact, and {!forward_batch} the
+    survivors.  A middlebox whose scalar path is [process]-shaped gets
+    batch support in one line; vectorized middleboxes use
+    {!inject_batch} directly. *)
 
 val latency_stats : t -> Openmb_sim.Stats.t
 (** Per-packet processing latency (including queueing). *)

@@ -54,12 +54,12 @@ let create engine ?recorder ?telemetry ?(cost = default_cost) ~name () =
 
 let base t = t.base
 
-let service_of_port t port =
-  let known =
-    match Config_tree.get (Mb_base.config t.base) [ "service"; "ports" ] with
-    | [ { values; _ } ] -> List.filter_map (function Json.Int p -> Some p | _ -> None) values
-    | _ -> []
-  in
+let known_service_ports t =
+  match Config_tree.get (Mb_base.config t.base) [ "service"; "ports" ] with
+  | [ { values; _ } ] -> List.filter_map (function Json.Int p -> Some p | _ -> None) values
+  | _ -> []
+
+let service_of_known known port =
   if not (List.mem port known) then ""
   else
     match port with
@@ -70,7 +70,12 @@ let service_of_port t port =
     | 25 -> "smtp"
     | _ -> "tcp-" ^ string_of_int port
 
-let process t (p : Packet.t) ~side_effects =
+(* Per-flow record update for one packet.  [known] supplies the service
+   port list — the scalar path reads the config tree on demand (only
+   first packets of a flow classify), the batch path hoists one read per
+   batch.  Returns [(created, body_bytes)] for the caller's shared-totals
+   accounting. *)
+let touch t (p : Packet.t) ~known ~side_effects =
   let tup = Five_tuple.of_packet p in
   let ts = Time.to_seconds p.ts in
   let entry, created =
@@ -79,7 +84,7 @@ let process t (p : Packet.t) ~side_effects =
   in
   let body = Packet.body_bytes p in
   let service =
-    if entry.value.fr_service = "" then service_of_port t p.dst_port
+    if entry.value.fr_service = "" then service_of_known (known ()) p.dst_port
     else entry.value.fr_service
   in
   let newly_detected = entry.value.fr_service = "" && service <> "" in
@@ -91,6 +96,20 @@ let process t (p : Packet.t) ~side_effects =
       fr_bytes = entry.value.fr_bytes + body;
       fr_service = service;
     };
+  if newly_detected && side_effects then
+    Mb_base.raise_event t.base
+      (Event.Introspect
+         {
+           code = "monitor.new_asset";
+           key = entry.key;
+           info = Json.Assoc [ ("service", Json.String service) ];
+         });
+  if entry.moved then
+    Mb_base.raise_event t.base (Event.Reprocess { key = entry.key; packet = p });
+  (created, body)
+
+let process t (p : Packet.t) ~side_effects =
+  let created, body = touch t p ~known:(fun () -> known_service_ports t) ~side_effects in
   (* Shared reporting state is merged between instances when flows
      consolidate (§4.1.3); a re-processed packet must not also bump
      these counters or the merged totals would double-count it.  Only
@@ -105,22 +124,49 @@ let process t (p : Packet.t) ~side_effects =
         tot_udp = (t.shared.tot_udp + match p.proto with Packet.Udp -> 1 | _ -> 0);
         tot_icmp = (t.shared.tot_icmp + match p.proto with Packet.Icmp -> 1 | _ -> 0);
         tot_new_flows = (t.shared.tot_new_flows + if created then 1 else 0);
-      };
-  if newly_detected && side_effects then
-    Mb_base.raise_event t.base
-      (Event.Introspect
-         {
-           code = "monitor.new_asset";
-           key = entry.key;
-           info = Json.Assoc [ ("service", Json.String service) ];
-         });
-  if entry.moved then
-    Mb_base.raise_event t.base (Event.Reprocess { key = entry.key; packet = p })
+      }
 
 let receive t p =
   Mb_base.inject t.base p ~side_effects:true ~work:(fun p ->
       process t p ~side_effects:true;
       Mb_base.forward t.base p)
+
+(* Vectorized batch path: the service-port config read is hoisted to
+   once per batch, and the shared totals record — immutable, so the
+   scalar path rebuilds it per packet — is accumulated in locals and
+   written back once. *)
+let receive_batch t b =
+  Mb_base.inject_batch t.base b ~side_effects:true ~work:(fun b ->
+      let known = lazy (known_service_ports t) in
+      let known () = Lazy.force known in
+      let n = Packet_batch.length b in
+      let pkts = ref 0
+      and bytes = ref 0
+      and tcp = ref 0
+      and udp = ref 0
+      and icmp = ref 0
+      and new_flows = ref 0 in
+      for i = 0 to n - 1 do
+        let p = Packet_batch.get b i in
+        let created, body = touch t p ~known ~side_effects:true in
+        incr pkts;
+        bytes := !bytes + body;
+        (match p.proto with
+        | Packet.Tcp -> incr tcp
+        | Packet.Udp -> incr udp
+        | Packet.Icmp -> incr icmp);
+        if created then incr new_flows
+      done;
+      t.shared <-
+        {
+          tot_pkts = t.shared.tot_pkts + !pkts;
+          tot_bytes = t.shared.tot_bytes + !bytes;
+          tot_tcp = t.shared.tot_tcp + !tcp;
+          tot_udp = t.shared.tot_udp + !udp;
+          tot_icmp = t.shared.tot_icmp + !icmp;
+          tot_new_flows = t.shared.tot_new_flows + !new_flows;
+        };
+      Mb_base.forward_batch t.base b)
 
 (* ------------------------------------------------------------------ *)
 (* Serialization: a single flat structure per flow, like PRADS'        *)

@@ -50,6 +50,11 @@ val base : t -> Mb_base.t
 
 val receive : t -> Openmb_net.Packet.t -> unit
 
+val receive_batch : t -> Openmb_net.Packet_batch.t -> unit
+(** Batch entry point: vectorized — the service-port config read is
+    hoisted to once per batch and the shared totals are accumulated
+    once per batch instead of per packet. *)
+
 val totals : t -> totals
 (** Current shared counters of this instance. *)
 

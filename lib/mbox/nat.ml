@@ -159,6 +159,13 @@ let receive t p =
       | Some translated -> Mb_base.forward t.base translated
       | None -> ())
 
+(* Batch path: members are translated in index order — external-port
+   allocation is cursor-based, so processing order is part of the NAT's
+   observable state and must match the scalar path's. *)
+let receive_batch t b =
+  Mb_base.process_batch t.base b ~side_effects:true
+    ~process:(fun p -> process t p ~side_effects:true)
+
 (* ------------------------------------------------------------------ *)
 (* Serialization                                                       *)
 (* ------------------------------------------------------------------ *)

@@ -47,6 +47,11 @@ val base : t -> Mb_base.t
 
 val receive : t -> Openmb_net.Packet.t -> unit
 
+val receive_batch : t -> Openmb_net.Packet_batch.t -> unit
+(** Batch entry point: members are translated in index order (the
+    external-port cursor makes order observable) and forwarded as one
+    batch; unmatched inbound packets are compacted out. *)
+
 val mappings : t -> mapping list
 val mapping_count : t -> int
 

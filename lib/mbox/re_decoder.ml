@@ -168,6 +168,10 @@ let receive t p =
       | Some decoded -> Mb_base.forward t.base decoded
       | None -> ())
 
+let receive_batch t b =
+  Mb_base.process_batch t.base b ~side_effects:true
+    ~process:(fun p -> decode t p ~side_effects:true)
+
 (* ------------------------------------------------------------------ *)
 (* Southbound implementation                                           *)
 (* ------------------------------------------------------------------ *)

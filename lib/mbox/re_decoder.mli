@@ -38,6 +38,9 @@ val base : t -> Mb_base.t
 
 val receive : t -> Openmb_net.Packet.t -> unit
 
+val receive_batch : t -> Openmb_net.Packet_batch.t -> unit
+(** Batch entry point: undecodable members are compacted out. *)
+
 val cache : t -> Re_cache.t
 
 val cache_id : t -> int

@@ -149,6 +149,10 @@ let receive t p =
   Mb_base.inject t.base p ~side_effects:true ~work:(fun p ->
       Mb_base.forward t.base (encode t p))
 
+let receive_batch t b =
+  Mb_base.process_batch t.base b ~side_effects:true
+    ~process:(fun p -> Some (encode t p))
+
 (* ------------------------------------------------------------------ *)
 (* Configuration hooks                                                 *)
 (* ------------------------------------------------------------------ *)

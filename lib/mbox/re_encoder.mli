@@ -40,6 +40,10 @@ val base : t -> Mb_base.t
 
 val receive : t -> Openmb_net.Packet.t -> unit
 
+val receive_batch : t -> Openmb_net.Packet_batch.t -> unit
+(** Batch entry point: members are encoded in index order (shared
+    cache state makes order observable). *)
+
 val num_caches : t -> int
 
 val cache : t -> int -> Re_cache.t

@@ -11,13 +11,23 @@ module Ptbl = Five_tuple.Packed_table
 
 type 'a t = {
   granularity : Hfl.granularity;
-  (* Full-granularity tables probe this packed-int hash on the packet
-     path: no field list, no key string, no per-lookup allocation
-     beyond the two-word packed key. *)
+  (* Tables probe this packed-int hash on the packet path: no field
+     list, no key string, no per-lookup allocation beyond the two-word
+     packed key.  Coarse granularities participate through masked
+     words (below): the bits of absent dimensions are cleared, so
+     every tuple with the same granularity projection probes the same
+     slot. *)
   packed : 'a entry Ptbl.t option;
-  (* Coarse-granularity keys — and, for packed tables, the rare
-     imported key that does not pin a full five-tuple — live here under
-     their string form. *)
+  (* Dimension-presence bits (see [dim_bit]) and the corresponding
+     bit masks over the two packed words; [kbits = full_kbits] means
+     the identity mask. *)
+  kbits : int;
+  pa_mask : int;
+  pb_mask : int;
+  (* Keys the masked packed index cannot represent — imported keys
+     whose shape differs from the table's granularity (wildcard
+     prefixes, extra/missing dims) — live here under their string
+     form, as does everything when [packed] is [None]. *)
   by_key : (string, 'a entry) Hashtbl.t;
   (* Optional secondary index: source address -> entries, serving
      exact-source and host-prefix requests in O(matches) instead of a
@@ -26,15 +36,36 @@ type 'a t = {
   mutable move_filters : Hfl.t list;
 }
 
-let is_full_granularity g = List.length (List.sort_uniq Stdlib.compare g) = 5
+let dim_bit = function
+  | Hfl.Dim_src_ip -> 1
+  | Hfl.Dim_dst_ip -> 2
+  | Hfl.Dim_src_port -> 4
+  | Hfl.Dim_dst_port -> 8
+  | Hfl.Dim_proto -> 16
+
+let full_kbits = 31
+let kbits_of g = List.fold_left (fun m d -> m lor dim_bit d) 0 g
+
+(* Word layout (Five_tuple): pa = src_ip:32 | src_port:16,
+   pb = dst_ip:32 | dst_port:16 | proto:2. *)
+let pa_mask_of bits =
+  (if bits land 1 <> 0 then -1 lsl 16 else 0)
+  lor if bits land 4 <> 0 then 0xFFFF else 0
+
+let pb_mask_of bits =
+  (if bits land 2 <> 0 then -1 lsl 18 else 0)
+  lor (if bits land 8 <> 0 then 0xFFFF lsl 2 else 0)
+  lor if bits land 16 <> 0 then 3 else 0
 
 let create ?(indexed = false) ?packed ~granularity () =
-  let use_packed =
-    match packed with Some b -> b | None -> is_full_granularity granularity
-  in
+  let use_packed = match packed with Some b -> b | None -> true in
+  let kbits = kbits_of granularity in
   {
     granularity;
     packed = (if use_packed then Some (Ptbl.create 64) else None);
+    kbits;
+    pa_mask = pa_mask_of kbits;
+    pb_mask = pb_mask_of kbits;
     by_key = Hashtbl.create (if use_packed then 8 else 64);
     by_src = (if indexed then Some (Hashtbl.create 64) else None);
     move_filters = [];
@@ -83,18 +114,57 @@ let size t =
 
 let key_of t tup = Hfl.key_of_tuple t.granularity tup
 
+(* Project a packed key onto the table's granularity: clear the bits of
+   every absent dimension.  Two tuples equal under [key_of] mask to the
+   same words, so the masked key is a faithful allocation-light stand-in
+   for the Hfl key string. *)
+let mask_packed t k =
+  if t.kbits = full_kbits then k
+  else
+    Five_tuple.pack_words
+      ~pa:(Five_tuple.packed_pa k land t.pa_mask)
+      ~pb:(Five_tuple.packed_pb k land t.pb_mask)
+
+(* Masked packed form of a stored key, when the key has exactly the
+   table's granularity shape (one exact field per dimension).  Keys
+   that do not — wildcard prefixes, imports from an MB with a different
+   granularity — return [None] and stay string-keyed. *)
+let masked_of_key t key =
+  let zero = Addr.of_int 0 in
+  let rec go bits src sp dst dp proto = function
+    | [] ->
+      if bits = t.kbits then
+        Some
+          (mask_packed t
+             (Five_tuple.pack
+                { Five_tuple.src_ip = src; dst_ip = dst; src_port = sp;
+                  dst_port = dp; proto }))
+      else None
+    | f :: rest -> (
+      match f with
+      | Hfl.Src_ip p when Addr.prefix_len p = 32 ->
+        go (bits lor 1) (Addr.prefix_base p) sp dst dp proto rest
+      | Hfl.Dst_ip p when Addr.prefix_len p = 32 ->
+        go (bits lor 2) src sp (Addr.prefix_base p) dp proto rest
+      | Hfl.Src_port v -> go (bits lor 4) src v dst dp proto rest
+      | Hfl.Dst_port v -> go (bits lor 8) src sp dst v proto rest
+      | Hfl.Proto pr -> go (bits lor 16) src sp dst dp pr rest
+      | Hfl.Src_ip _ | Hfl.Dst_ip _ -> None)
+  in
+  go 0 zero 0 zero 0 Packet.Tcp key
+
 let find t tup =
   match t.packed with
-  | Some ptbl -> Ptbl.find_opt ptbl (Five_tuple.pack tup)
+  | Some ptbl -> Ptbl.find_opt ptbl (mask_packed t (Five_tuple.pack tup))
   | None -> Hashtbl.find_opt t.by_key (Hfl.to_string (key_of t tup))
 
 let find_bidir t tup =
   match t.packed with
   | Some ptbl -> (
     let k = Five_tuple.pack tup in
-    match Ptbl.find_opt ptbl k with
+    match Ptbl.find_opt ptbl (mask_packed t k) with
     | Some e -> Some e
-    | None -> Ptbl.find_opt ptbl (Five_tuple.packed_reverse k))
+    | None -> Ptbl.find_opt ptbl (mask_packed t (Five_tuple.packed_reverse k)))
   | None -> (
     match find t tup with
     | Some e -> Some e
@@ -110,11 +180,13 @@ let born_moved t key = List.exists (fun f -> Hfl.subsumes f key) t.move_filters
 let find_or_create t tup ~default =
   match t.packed with
   | Some ptbl -> (
-    let k = Five_tuple.pack tup in
+    let k = mask_packed t (Five_tuple.pack tup) in
     match Ptbl.find_opt ptbl k with
     | Some e -> (e, false)
     | None -> (
-      match Ptbl.find_opt ptbl (Five_tuple.packed_reverse k) with
+      match
+        Ptbl.find_opt ptbl (mask_packed t (Five_tuple.pack (Five_tuple.reverse tup)))
+      with
       | Some e -> (e, false)
       | None ->
         let key = key_of t tup in
@@ -144,9 +216,8 @@ let insert_string t ~key value =
 let insert t ~key value =
   match t.packed with
   | Some ptbl -> (
-    match Hfl.to_tuple key with
-    | Some tup ->
-      let k = Five_tuple.pack tup in
+    match masked_of_key t key with
+    | Some k ->
       (match Ptbl.find_opt ptbl k with
       | Some old -> index_remove t old
       | None -> ());
@@ -201,8 +272,8 @@ let iter_matching t hfl f =
 let remove_entry t (e : 'a entry) =
   (match t.packed with
   | Some ptbl -> (
-    match Hfl.to_tuple e.key with
-    | Some tup -> Ptbl.remove ptbl (Five_tuple.pack tup)
+    match masked_of_key t e.key with
+    | Some k -> Ptbl.remove ptbl k
     | None -> Hashtbl.remove t.by_key (Lazy.force e.id))
   | None -> Hashtbl.remove t.by_key (Lazy.force e.id));
   index_remove t e
@@ -225,9 +296,8 @@ let remove_moved_matching t hfl =
 let remove_key t key =
   match t.packed with
   | Some ptbl -> (
-    match Hfl.to_tuple key with
-    | Some tup -> (
-      let k = Five_tuple.pack tup in
+    match masked_of_key t key with
+    | Some k -> (
       match Ptbl.find_opt ptbl k with
       | Some e ->
         Ptbl.remove ptbl k;

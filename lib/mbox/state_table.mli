@@ -35,11 +35,15 @@ val create :
     switch-style lookup structures.  Results are identical either
     way.
 
-    Full-granularity tables are keyed by packed integer five-tuples
+    Tables are keyed by packed integer five-tuples
     ({!Openmb_net.Five_tuple.pack}), so the packet path never builds a
-    field list or key string; coarser granularities keep string keys.
-    [packed] overrides that automatic choice (used by the equivalence
-    tests); behaviour is identical either way. *)
+    field list or key string.  Coarse granularities participate by
+    masking out the bits of absent dimensions, so every tuple with the
+    same granularity projection probes the same slot; only imported
+    keys whose shape differs from the table's granularity (wildcard
+    prefixes, extra or missing dimensions) fall back to string keys.
+    [packed:false] forces the all-string legacy layout (used by the
+    equivalence tests); behaviour is identical either way. *)
 
 val granularity : 'a t -> Openmb_net.Hfl.granularity
 

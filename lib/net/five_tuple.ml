@@ -107,6 +107,13 @@ let unpack k =
 let packed_equal a b = a.pa = b.pa && a.pb = b.pb
 let packed_hash k = k.phash
 
+(* Word-level access for the batch packet path: [Packet_batch] stores
+   the two packed words in parallel int arrays and rebuilds a probe key
+   only at table-lookup time. *)
+let packed_pa k = k.pa
+let packed_pb k = k.pb
+let pack_words ~pa ~pb = { pa; pb; phash = mix pa pb }
+
 (* Direction-insensitive hash without materializing the reversed key:
    feed the smaller (pa, pb) word pair of the two directions through the
    same finalizer.  Used for shard placement, so both directions of a

@@ -55,6 +55,17 @@ val unpack : packed -> t
 val packed_equal : packed -> packed -> bool
 val packed_hash : packed -> int
 
+val packed_pa : packed -> int
+(** First packed word: [src_ip:32 | src_port:16]. *)
+
+val packed_pb : packed -> int
+(** Second packed word: [dst_ip:32 | dst_port:16 | proto:2]. *)
+
+val pack_words : pa:int -> pb:int -> packed
+(** Rebuild a key from its two words (hash recomputed).  Inverse of
+    {!packed_pa}/{!packed_pb}; the batch packet path stores the words
+    in parallel int arrays and re-materializes probe keys with this. *)
+
 val packed_canonical_hash : packed -> int
 (** Direction-insensitive hash: equal for a key and its
     {!packed_reverse}, computed without materializing the reverse.

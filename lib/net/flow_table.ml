@@ -162,28 +162,21 @@ let remove t ~cookie = filter_rules t (fun r -> r.cookie <> cookie) > 0
 
 let remove_matching t hfl = filter_rules t (fun r -> not (Hfl.equal r.match_ hfl))
 
-let lookup t p =
-  let exact_hit =
-    if t.exact_count = 0 then None
-    else
-      match Five_tuple.Packed_table.find_opt t.exact (Five_tuple.pack_packet p) with
-      | Some (r :: _) -> Some r
-      | Some [] | None -> None
-  in
-  let w = t.wild in
+(* Scan the wildcard rows against one packet's header ints.  Rows below
+   [cutoff] (the exact candidate's priority) cannot win, so the scan
+   stops there (ties still need the cookie comparison in [combine]).
+   Generic rows — HFLs inexpressible as one mask/value per dimension —
+   need the full packet record, obtained via [pkt_of x]: the scalar path
+   passes the packet itself, the batch path the member's payload-slot
+   accessor. *)
+let scan_wild w ~src ~sp ~dst ~dp ~pr ~cutoff pkt_of x =
   let n = Array.length w.wrules in
-  let src = Addr.to_int p.src_ip and dst = Addr.to_int p.dst_ip in
-  let sp = p.src_port and dp = p.dst_port in
-  let pr = proto_code p.proto in
-  (* Rows below the exact candidate's priority cannot win: the scan
-     stops there (ties still need the cookie comparison below). *)
-  let cutoff = match exact_hit with Some re -> re.priority | None -> min_int in
   let rec scan j =
     if j >= n || Array.unsafe_get w.wprio j < cutoff then None
     else
       let matched =
         if Array.unsafe_get w.wgeneric j then
-          Hfl.matches_packet (Array.unsafe_get w.wrules j).match_ p
+          Hfl.matches_packet (Array.unsafe_get w.wrules j).match_ (pkt_of x)
         else
           src land Array.unsafe_get w.wsmask j = Array.unsafe_get w.wsbase j
           && dst land Array.unsafe_get w.wdmask j = Array.unsafe_get w.wdbase j
@@ -197,18 +190,82 @@ let lookup t p =
       in
       if matched then Some (Array.unsafe_get w.wrules j) else scan (j + 1)
   in
-  let hit =
-    match (exact_hit, scan 0) with
-    | Some a, Some b -> if rule_order a b <= 0 then Some a else Some b
-    | (Some _ as h), None | None, (Some _ as h) -> h
-    | None, None -> None
+  scan 0
+
+let combine exact_hit wild_hit =
+  match (exact_hit, wild_hit) with
+  | Some a, Some b -> if rule_order a b <= 0 then Some a else Some b
+  | (Some _ as h), None | None, (Some _ as h) -> h
+  | None, None -> None
+
+let exact_probe t k =
+  match Five_tuple.Packed_table.find_opt t.exact k with
+  | Some (r :: _) -> Some r
+  | Some [] | None -> None
+
+let lookup t p =
+  let exact_hit =
+    if t.exact_count = 0 then None else exact_probe t (Five_tuple.pack_packet p)
   in
-  match hit with
+  let wild_hit =
+    if Array.length t.wild.wrules = 0 then None
+    else
+      let cutoff = match exact_hit with Some re -> re.priority | None -> min_int in
+      scan_wild t.wild ~src:(Addr.to_int p.src_ip) ~sp:p.src_port
+        ~dst:(Addr.to_int p.dst_ip) ~dp:p.dst_port ~pr:(proto_code p.proto)
+        ~cutoff
+        (fun (p : Packet.t) -> p)
+        p
+  in
+  match combine exact_hit wild_hit with
   | Some r ->
     r.packets <- r.packets + 1;
     r.bytes <- r.bytes + Packet.wire_bytes p;
     Some r.action
   | None -> None
+
+(* One classification pass over a whole batch, filling [actions.(i)] for
+   each member.  The exact fast path probes straight from the batch's
+   packed-key word columns — no [Packet.t] is touched when the table has
+   no wildcard rules.  With wildcard rules present, the header ints for
+   the scan are still decoded from the key words; only generic rows fall
+   out to the member's payload slot. *)
+let lookup_batch t b actions =
+  let n = Packet_batch.length b in
+  if Array.length actions < n then
+    invalid_arg "Flow_table.lookup_batch: actions array too small";
+  let ka = Packet_batch.key_a b and kb = Packet_batch.key_b b in
+  let sizes = Packet_batch.sizes b in
+  let have_exact = t.exact_count > 0 in
+  let w = t.wild in
+  let nw = Array.length w.wrules in
+  let getp i = Packet_batch.get b i in
+  for i = 0 to n - 1 do
+    let pa = Array.unsafe_get ka i and pb = Array.unsafe_get kb i in
+    let exact_hit =
+      if not have_exact then None
+      else exact_probe t (Five_tuple.pack_words ~pa ~pb)
+    in
+    let hit =
+      if nw = 0 then exact_hit
+      else begin
+        let cutoff =
+          match exact_hit with Some re -> re.priority | None -> min_int
+        in
+        let wild_hit =
+          scan_wild w ~src:(pa lsr 16) ~sp:(pa land 0xFFFF) ~dst:(pb lsr 18)
+            ~dp:((pb lsr 2) land 0xFFFF) ~pr:(pb land 3) ~cutoff getp i
+        in
+        combine exact_hit wild_hit
+      end
+    in
+    match hit with
+    | Some r ->
+      r.packets <- r.packets + 1;
+      r.bytes <- r.bytes + Array.unsafe_get sizes i;
+      Array.unsafe_set actions i (Some r.action)
+    | None -> Array.unsafe_set actions i None
+  done
 
 let rules t =
   let exact = Five_tuple.Packed_table.fold (fun _ rs acc -> rs @ acc) t.exact [] in

@@ -36,6 +36,14 @@ val lookup : t -> Packet.t -> action option
 (** Highest-priority matching rule's action, updating its counters;
     [None] on table miss. *)
 
+val lookup_batch : t -> Packet_batch.t -> action option array -> unit
+(** One classification pass over a whole batch: fills [actions.(i)] with
+    the winning action (counters updated) or [None] on miss, for each
+    member [i].  The exact-match fast path probes directly from the
+    batch's packed-key columns; wildcard rules that cannot be decided
+    from the key words alone fall out to a per-member scalar scan.
+    [actions] must have at least [Packet_batch.length b] slots. *)
+
 val rules : t -> rule list
 (** Current rules, highest priority first. *)
 

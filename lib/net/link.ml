@@ -2,21 +2,88 @@ open Openmb_sim
 
 type t = {
   name : string;
+  engine : Engine.t;
   channel : Packet.t Channel.t;
+  faults : Faults.link option;
+  dst : Packet.t -> unit;
+  (* Batch receiver; links whose destination is batch-unaware fall back
+     to draining arriving batches through the scalar [dst]. *)
+  mutable dst_batch : (Packet_batch.t -> unit) option;
   mutable packets : int;
   mutable bytes : int;
 }
 
-let create engine ?(latency = Time.us 50.0) ?(bandwidth_bps = 1e9) ~name ~dst () =
+let create engine ?faults ?(latency = Time.us 50.0) ?(bandwidth_bps = 1e9) ~name
+    ~dst () =
   let bytes_per_sec = bandwidth_bps /. 8.0 in
-  { name; channel = Channel.create engine ~latency ~bytes_per_sec ~deliver:dst ();
-    packets = 0; bytes = 0 }
+  {
+    name;
+    engine;
+    channel = Channel.create engine ?faults ~latency ~bytes_per_sec ~deliver:dst ();
+    faults;
+    dst;
+    dst_batch = None;
+    packets = 0;
+    bytes = 0;
+  }
+
+let set_dst_batch t f = t.dst_batch <- Some f
 
 let send t p =
   let bytes = Packet.wire_bytes p in
   t.packets <- t.packets + 1;
   t.bytes <- t.bytes + bytes;
   Channel.send t.channel ~bytes p
+
+let deliver_batch t b =
+  match t.dst_batch with
+  | Some f -> f b
+  | None -> Packet_batch.drain b t.dst
+
+(* A whole batch crosses the wire as one message: one reservation on the
+   channel's serialization clock (so it queues FIFO behind scalar sends
+   on the same link) and one delivery event.  Ownership of [b] passes to
+   the receiver.
+
+   Per-link faults apply to batch members individually: a dropped member
+   is compacted out; a delayed member leaves the batch and arrives as a
+   scalar delivery at its jittered time ("split on reorder"); duplicate
+   copies also travel scalar.  Survivors stay in arrival order, so the
+   fault-free members of a batch are never reordered among themselves. *)
+let send_batch t b =
+  let n = Packet_batch.length b in
+  if n = 0 then Packet_batch.release b
+  else begin
+    let bytes = Packet_batch.total_bytes b in
+    t.packets <- t.packets + n;
+    t.bytes <- t.bytes + bytes;
+    let arrival = Channel.reserve t.channel ~bytes in
+    match t.faults with
+    | None -> Engine.call2_at t.engine arrival deliver_batch t b
+    | Some link ->
+      let now = Engine.now t.engine in
+      for i = 0 to n - 1 do
+        match Faults.deliveries link ~now with
+        | [] -> Packet_batch.drop b i
+        | first :: dups ->
+          if first <> Time.zero then begin
+            (* Jittered member: overtakes or falls behind the batch. *)
+            Packet_batch.drop b i;
+            Engine.call_at t.engine
+              Time.(arrival + first)
+              t.dst (Packet_batch.get b i)
+          end;
+          List.iter
+            (fun extra ->
+              Engine.call_at t.engine
+                Time.(arrival + extra)
+                t.dst (Packet_batch.get b i))
+            dups
+      done;
+      ignore (Packet_batch.compact b : int);
+      if Packet_batch.length b = 0 then Packet_batch.release b
+      else Engine.call2_at t.engine arrival deliver_batch t b
+  end
 
 let name t = t.name
 let packets_sent t = t.packets

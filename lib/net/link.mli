@@ -4,12 +4,18 @@
     plus store-and-forward serialization delay, in FIFO order.  A
     non-zero latency is what creates the paper's in-flight-packet
     window: packets already on the wire keep arriving at the old
-    middlebox after a routing update. *)
+    middlebox after a routing update.
+
+    Links also carry whole {!Packet_batch.t} vectors: a batch crosses as
+    a single message (its serialization time is the sum of its members'
+    wire bytes, on the same channel clock as scalar sends) and lands as
+    one delivery event at the receiver. *)
 
 type t
 
 val create :
   Openmb_sim.Engine.t ->
+  ?faults:Openmb_sim.Faults.link ->
   ?latency:Openmb_sim.Time.t ->
   ?bandwidth_bps:float ->
   name:string ->
@@ -18,11 +24,29 @@ val create :
   t
 (** [create engine ~name ~dst ()] is a link delivering to [dst].
     [latency] defaults to 50 µs (one LAN hop); [bandwidth_bps] to
-    1 Gbit/s, matching the paper's testbed NICs. *)
+    1 Gbit/s, matching the paper's testbed NICs.  With [?faults], every
+    scalar send consults the fault stream (drop / duplicate / delay per
+    packet), and batch sends apply the same per-packet decisions to each
+    member individually — drops are compacted out, delayed members and
+    duplicate copies split off as scalar deliveries. *)
+
+val set_dst_batch : t -> (Packet_batch.t -> unit) -> unit
+(** Attach a batch receiver.  Without one, arriving batches are drained
+    member-by-member through the scalar [dst], so batch-unaware
+    components keep working behind a batching sender. *)
 
 val send : t -> Packet.t -> unit
 (** Put a packet on the wire. *)
 
+val send_batch : t -> Packet_batch.t -> unit
+(** Put a whole batch on the wire as one message.  Ownership of the
+    batch passes to the link (released if everything is dropped,
+    forwarded to the receiver otherwise).  An empty batch is released
+    immediately without touching the channel. *)
+
 val name : t -> string
+
 val packets_sent : t -> int
+(** Total packets ever sent, counting each batch member. *)
+
 val bytes_sent : t -> int

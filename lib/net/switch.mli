@@ -38,6 +38,20 @@ val on_miss : t -> (Packet.t -> unit) -> unit
 val receive : t -> Packet.t -> unit
 (** Packet arrival on any ingress port. *)
 
+val receive_batch : t -> Packet_batch.t -> unit
+(** Batch arrival: the whole batch is classified with one flow-table
+    pass after the switching delay.  When every member forwards to the
+    same port the batch is handed onward intact; mixed verdicts are
+    resolved member-by-member in original index order (per-arrival FIFO
+    is preserved across the forward/drop/punt split), with each output
+    port's survivors re-batched and flushed once.  Ownership of the
+    batch passes to the switch.  With [telemetry], batch sizes feed the
+    ["switch.batch_occupancy"] count histogram. *)
+
+val batch_pool : t -> Packet_batch.pool
+(** The switch's staging pool (for split batches) — exposed for pool
+    high-water reporting. *)
+
 val packets_received : t -> int
 val packets_dropped : t -> int
 val packets_to_controller : t -> int

@@ -38,7 +38,11 @@ let create engine ?faults ?telemetry ?via ~latency ~bytes_per_sec ~deliver () =
     tel_bytes;
   }
 
-let send ch ~bytes msg =
+(* Occupy the pipe for [bytes] and return the resulting arrival time —
+   the timing/counter half of [send], exposed so the batch packet path
+   (which delivers a whole [Packet_batch] as one message) shares the
+   same serialization clock as scalar sends on the same channel. *)
+let reserve ch ~bytes =
   let start = Time.max (Engine.now ch.engine) ch.free_at in
   let transfer = Time.seconds (float_of_int bytes /. ch.bytes_per_sec) in
   let done_sending = Time.(start + transfer) in
@@ -47,7 +51,10 @@ let send ch ~bytes msg =
   ch.messages_sent <- ch.messages_sent + 1;
   Telemetry.incr ch.tel_msgs;
   Telemetry.add ch.tel_bytes bytes;
-  let arrival = Time.(done_sending + ch.latency) in
+  Time.(done_sending + ch.latency)
+
+let send ch ~bytes msg =
+  let arrival = reserve ch ~bytes in
   (* The common fault-free local path stays closure-free: the delivery
      callback and message ride in a pooled event cell, so the
      per-message cost is allocation-free.  [via] reroutes the same

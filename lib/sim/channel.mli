@@ -43,6 +43,16 @@ val send : 'a t -> bytes:int -> 'a -> unit
 (** [send ch ~bytes msg] enqueues [msg], whose wire representation
     occupies [bytes] bytes, for delivery. *)
 
+val reserve : _ t -> bytes:int -> Time.t
+(** [reserve ch ~bytes] occupies the pipe for one [bytes]-sized message
+    and returns the time it would arrive, without scheduling a
+    delivery.  Counters ({!bytes_sent}, {!messages_sent}, telemetry)
+    count the reservation as one send.  This is the batch packet
+    path's hook: a whole packet batch crosses as a single message whose
+    serialization shares the channel's clock with scalar sends, while
+    the caller schedules the delivery (and applies per-member fault
+    decisions) itself. *)
+
 val bytes_sent : 'a t -> int
 (** Total bytes ever enqueued on this channel. *)
 

@@ -20,6 +20,25 @@ let add t x =
   t.sum_sq <- t.sum_sq +. (x *. x);
   t.sorted <- false
 
+let add_n t x ~n =
+  if n > 0 then begin
+    if t.len + n > Array.length t.data then begin
+      let cap = ref (2 * Array.length t.data) in
+      while t.len + n > !cap do
+        cap := 2 * !cap
+      done;
+      let d = Array.make !cap 0.0 in
+      Array.blit t.data 0 d 0 t.len;
+      t.data <- d
+    end;
+    Array.fill t.data t.len n x;
+    t.len <- t.len + n;
+    let fn = float_of_int n in
+    t.sum <- t.sum +. (x *. fn);
+    t.sum_sq <- t.sum_sq +. (x *. x *. fn);
+    t.sorted <- false
+  end
+
 let count t = t.len
 let total t = t.sum
 let mean t = if t.len = 0 then nan else t.sum /. float_of_int t.len

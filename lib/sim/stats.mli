@@ -14,6 +14,11 @@ val create : unit -> t
 val add : t -> float -> unit
 (** Record one observation. *)
 
+val add_n : t -> float -> n:int -> unit
+(** [add_n t x ~n] records [n] identical observations of [x] with one
+    array fill — the batch-path form of {!add}.  [n <= 0] is a
+    no-op. *)
+
 val count : t -> int
 (** Number of observations recorded. *)
 

@@ -67,6 +67,26 @@ let observe h v =
   h.fs.(0) <- h.fs.(0) +. v;
   if v > h.fs.(1) then h.fs.(1) <- v
 
+(* Weighted observe for the batch packet path: [n] members of a batch
+   share one measured value, so the histogram update is a single bucket
+   store instead of [n] — instrumentation cost per batch, not per
+   packet. *)
+let observe_n h v ~n =
+  if n > 0 then begin
+    let v = if v < 0.0 then 0.0 else v in
+    let b = bucket_of_seconds v in
+    h.buckets.(b) <- h.buckets.(b) + n;
+    h.n <- h.n + n;
+    h.fs.(0) <- h.fs.(0) +. (v *. float_of_int n);
+    if v > h.fs.(1) then h.fs.(1) <- v
+  end
+
+(* Dimensionless-count histograms (batch occupancy, queue depths): one
+   unit is encoded as 1ns so a count of [k] lands in bucket
+   [floor (log2 k)] and the pp/quantile machinery reads naturally as
+   "units" where it prints "ns". *)
+let observe_count h k = observe h (float_of_int k *. 1e-9)
+
 let hist_count h = h.n
 let hist_sum h = h.fs.(0)
 let hist_max h = h.fs.(1)

@@ -85,6 +85,17 @@ val null_histogram : histogram
 val observe : histogram -> float -> unit
 (** Record one latency, in seconds.  Negative samples clamp to 0. *)
 
+val observe_n : histogram -> float -> n:int -> unit
+(** [observe_n h v ~n] records [n] samples of value [v] with a single
+    bucket update — the batch-path form of {!observe}, so histogram
+    cost is per batch rather than per packet.  [n <= 0] is a no-op. *)
+
+val observe_count : histogram -> int -> unit
+(** Record a dimensionless count (batch occupancy, queue depth):
+    encoded as [k] nanoseconds so count [k] lands in bucket
+    [floor (log2 k)] and quantiles read back in units where the
+    printers say "ns". *)
+
 val hist_count : histogram -> int
 val hist_sum : histogram -> float
 val hist_max : histogram -> float

@@ -25,6 +25,18 @@ let replay engine t ~into =
      closure or handle. *)
   Array.iter (fun (p : Packet.t) -> Engine.call_at engine p.ts into p) t
 
+let replay_batched engine t ?pool ~batch ~window ~into () =
+  (* Accumulate the trace through a size-or-deadline window and schedule
+     one injection event per emitted batch: the scalar path's
+     event-per-packet becomes an event per batch. *)
+  let bld =
+    Packet_batch.Builder.create ?pool ~size:batch ~window
+      ~emit:(fun ~at b -> Engine.call_at engine at into b)
+      ()
+  in
+  Array.iter (Packet_batch.Builder.add bld) t;
+  Packet_batch.Builder.flush bld
+
 module Id_gen = struct
   type gen = int ref
 

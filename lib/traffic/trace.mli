@@ -31,6 +31,22 @@ val replay : Openmb_sim.Engine.t -> t -> into:(Openmb_net.Packet.t -> unit) -> u
     Raises [Invalid_argument] if the engine clock is already past the
     first packet. *)
 
+val replay_batched :
+  Openmb_sim.Engine.t ->
+  t ->
+  ?pool:Openmb_net.Packet_batch.pool ->
+  batch:int ->
+  window:Openmb_sim.Time.t ->
+  into:(Openmb_net.Packet_batch.t -> unit) ->
+  unit ->
+  unit
+(** Batch replay: packets are grouped through a size-or-deadline window
+    ({!Openmb_net.Packet_batch.Builder}) of at most [batch] members and
+    at most [window] of timestamp spread, and each batch is delivered to
+    [into] as one scheduled event (a full batch at its last member's
+    timestamp, a window-expired one at its deadline).  [into] owns each
+    batch.  With [?pool], batches are drawn from that pool. *)
+
 module Id_gen : sig
   type gen
   (** Packet-id allocator shared across a run's generators. *)

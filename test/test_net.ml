@@ -554,6 +554,255 @@ let test_host_send_receive () =
   Host.clear h;
   Alcotest.(check int) "cleared" 0 (Host.packets_received h)
 
+(* ------------------------------------------------------------------ *)
+(* Packet_batch                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let batch_ids b =
+  let ids = ref [] in
+  Packet_batch.iter b (fun p -> ids := p.Packet.id :: !ids);
+  List.rev !ids
+
+let test_batch_columns () =
+  let b = Packet_batch.create ~capacity:2 () in
+  for i = 0 to 4 do
+    Packet_batch.push b (mk_packet ~id:i ~ts:(float_of_int i *. 0.001) ~sport:(1000 + i) ())
+  done;
+  Alcotest.(check int) "length" 5 (Packet_batch.length b);
+  Alcotest.(check bool) "grown past initial capacity" true (Packet_batch.capacity b >= 5);
+  let check_member i =
+    let p = Packet_batch.get b i in
+    let packed = Five_tuple.pack_packet p in
+    Alcotest.(check int) "key_a column" (Five_tuple.packed_pa packed) (Packet_batch.key_a b).(i);
+    Alcotest.(check int) "key_b column" (Five_tuple.packed_pb packed) (Packet_batch.key_b b).(i);
+    Alcotest.(check int) "hash column" (Five_tuple.packed_hash packed)
+      (Packet_batch.key_hash b).(i);
+    Alcotest.(check int) "size column" (Packet.wire_bytes p) (Packet_batch.sizes b).(i)
+  in
+  for i = 0 to 4 do
+    check_member i;
+    Alcotest.(check (float 1e-9)) "arrival"
+      (float_of_int i *. 0.001)
+      (Time.to_seconds (Packet_batch.arrival b i))
+  done;
+  (* A header rewrite (NAT) must refresh the key columns in place. *)
+  Packet_batch.set b 2 (mk_packet ~id:2 ~src:"99.9.9.9" ~sport:777 ());
+  check_member 2;
+  let sum = Array.fold_left ( + ) 0 (Array.sub (Packet_batch.sizes b) 0 5) in
+  Alcotest.(check int) "total_bytes is the size-column sum" sum (Packet_batch.total_bytes b)
+
+let test_batch_drop_compact () =
+  let b = Packet_batch.create () in
+  for i = 0 to 9 do
+    Packet_batch.push b (mk_packet ~id:i ~sport:(1000 + i) ())
+  done;
+  Packet_batch.drop b 0;
+  Packet_batch.drop b 4;
+  Packet_batch.drop b 9;
+  Alcotest.(check bool) "marked" true (Packet_batch.is_dropped b 4);
+  Alcotest.(check int) "removed" 3 (Packet_batch.compact b);
+  Alcotest.(check int) "length" 7 (Packet_batch.length b);
+  Alcotest.(check (list int)) "survivor order preserved" [ 1; 2; 3; 5; 6; 7; 8 ] (batch_ids b);
+  Alcotest.(check bool) "marks cleared" false (Packet_batch.is_dropped b 0);
+  (* Key columns must track the compacted payload slots. *)
+  for i = 0 to 6 do
+    Alcotest.(check int) "key follows survivor"
+      (Five_tuple.packed_pa (Five_tuple.pack_packet (Packet_batch.get b i)))
+      (Packet_batch.key_a b).(i)
+  done;
+  Alcotest.(check int) "compact with no marks" 0 (Packet_batch.compact b)
+
+let test_batch_pool_reuse () =
+  let pool = Packet_batch.pool () in
+  let b1 = Packet_batch.alloc pool in
+  Packet_batch.push b1 (mk_packet ());
+  let b2 = Packet_batch.alloc pool in
+  Alcotest.(check int) "created" 2 (Packet_batch.pool_created pool);
+  Alcotest.(check int) "outstanding" 2 (Packet_batch.pool_outstanding pool);
+  Alcotest.(check int) "high water" 2 (Packet_batch.pool_high_water pool);
+  Packet_batch.release b1;
+  Alcotest.(check int) "outstanding after release" 1 (Packet_batch.pool_outstanding pool);
+  let b3 = Packet_batch.alloc pool in
+  Alcotest.(check bool) "free-list reuse, no allocation" true (b3 == b1);
+  Alcotest.(check int) "reuse creates nothing" 2 (Packet_batch.pool_created pool);
+  Alcotest.(check int) "cleared on release" 0 (Packet_batch.length b3);
+  (* A detached batch (cross-shard handoff) never returns to the pool. *)
+  Packet_batch.detach b2;
+  Packet_batch.release b2;
+  let b4 = Packet_batch.alloc pool in
+  Alcotest.(check bool) "detached batch not recycled" true (b4 != b2);
+  Alcotest.(check int) "fresh batch created instead" 3 (Packet_batch.pool_created pool)
+
+let test_batch_builder_triggers () =
+  let emitted = ref [] in
+  let bld =
+    Packet_batch.Builder.create ~size:3 ~window:(Time.ms 10.0)
+      ~emit:(fun ~at b ->
+        emitted := (Time.to_seconds at, batch_ids b) :: !emitted;
+        Packet_batch.release b)
+      ()
+  in
+  List.iter
+    (fun (id, ms) -> Packet_batch.Builder.add bld (mk_packet ~id ~ts:(ms /. 1000.0) ()))
+    [
+      (0, 0.0);
+      (1, 1.0);
+      (2, 2.0) (* fills the batch: emit [0;1;2] at 2 ms *);
+      (3, 20.0);
+      (4, 35.0) (* past 20 ms + 10 ms window: emit [3] at its 30 ms deadline *);
+      (5, 36.0);
+    ];
+  Packet_batch.Builder.flush bld (* remainder [4;5] at its last member's 36 ms *);
+  Alcotest.(check int) "batches emitted" 3 (Packet_batch.Builder.batches_emitted bld);
+  Alcotest.(check (list (pair (float 1e-9) (list int))))
+    "size trigger at filling ts, window trigger at deadline, flush at last ts"
+    [ (0.002, [ 0; 1; 2 ]); (0.030, [ 3 ]); (0.036, [ 4; 5 ]) ]
+    (List.rev !emitted)
+
+let test_flow_table_batch_matches_scalar () =
+  (* One classification pass over a batch must agree with per-packet
+     lookups — same winning actions, same per-rule counters — across
+     the exact fast path, the wildcard sidecar, their priority
+     interplay, and misses. *)
+  let install_rules t =
+    ignore
+      (Flow_table.install t ~priority:10
+         ~match_:
+           (Hfl.of_string "nw_src=10.0.0.1/32,nw_dst=1.1.1.5/32,tp_src=1000,tp_dst=80,proto=tcp")
+         ~action:(Flow_table.Forward "exact"));
+    ignore
+      (Flow_table.install t ~priority:15 ~match_:(Hfl.of_string "tp_src=1001")
+         ~action:(Flow_table.Forward "wild-wins"));
+    ignore
+      (Flow_table.install t ~priority:10
+         ~match_:
+           (Hfl.of_string "nw_src=10.0.0.1/32,nw_dst=1.1.1.5/32,tp_src=1001,tp_dst=80,proto=tcp")
+         ~action:(Flow_table.Forward "exact-shadowed"));
+    ignore
+      (Flow_table.install t ~priority:20 ~match_:(Hfl.of_string "tp_dst=443")
+         ~action:(Flow_table.Forward "wild"));
+    ignore (Flow_table.install t ~priority:5 ~match_:(Hfl.of_string "tp_dst=22") ~action:Flow_table.Drop)
+  in
+  let ta = Flow_table.create () and tb = Flow_table.create () in
+  install_rules ta;
+  install_rules tb;
+  let pkts =
+    [
+      mk_packet ~id:0 ~sport:1000 ~dport:80 () (* exact fast path *);
+      mk_packet ~id:1 ~sport:7 ~dport:443 () (* wildcard scan *);
+      mk_packet ~id:2 ~sport:1001 ~dport:80 () (* wildcard outranks exact *);
+      mk_packet ~id:3 ~sport:8 ~dport:22 () (* Drop rule *);
+      mk_packet ~id:4 ~sport:9 ~dport:9999 () (* table miss *);
+      mk_packet ~id:5 ~sport:1000 ~dport:80 ~proto:Packet.Udp () (* near-miss on proto *);
+    ]
+  in
+  let b = Packet_batch.create () in
+  List.iter (Packet_batch.push b) pkts;
+  let actions = Array.make (Packet_batch.length b) None in
+  Flow_table.lookup_batch tb b actions;
+  List.iteri
+    (fun i p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "member %d action agrees" i)
+        true
+        (Flow_table.lookup ta p = actions.(i)))
+    pkts;
+  List.iter2
+    (fun (ra : Flow_table.rule) (rb : Flow_table.rule) ->
+      Alcotest.(check int) "rule packet counter agrees" ra.packets rb.packets;
+      Alcotest.(check int) "rule byte counter agrees" ra.bytes rb.bytes)
+    (Flow_table.rules ta) (Flow_table.rules tb)
+
+let test_switch_batch_uniform_fast_path () =
+  let e = Engine.create () in
+  let sw = Switch.create e ~name:"s1" () in
+  let batch_lens = ref [] and scalar = ref 0 in
+  let link = Link.create e ~name:"s1-out" ~dst:(fun _ -> incr scalar) () in
+  Link.set_dst_batch link (fun b ->
+      batch_lens := Packet_batch.length b :: !batch_lens;
+      Packet_batch.release b);
+  Switch.attach_port sw ~port:"out" link;
+  ignore
+    (Flow_table.install (Switch.table sw) ~priority:1 ~match_:Hfl.any
+       ~action:(Flow_table.Forward "out"));
+  let b = Packet_batch.alloc (Switch.batch_pool sw) in
+  for i = 0 to 7 do
+    Packet_batch.push b (mk_packet ~id:i ())
+  done;
+  Switch.receive_batch sw b;
+  Engine.run e;
+  Alcotest.(check (list int)) "delivered whole, as one batch" [ 8 ] !batch_lens;
+  Alcotest.(check int) "no scalar fallback" 0 !scalar;
+  Alcotest.(check int) "rx counter counts members" 8 (Switch.packets_received sw);
+  Alcotest.(check int) "link counts members" 8 (Link.packets_sent link);
+  Alcotest.(check int) "batch recycled to switch pool" 0
+    (Packet_batch.pool_outstanding (Switch.batch_pool sw))
+
+let test_switch_batch_split_fifo () =
+  (* Satellite guarantee: when one batch splits between the exact fast
+     path and the wildcard/miss sidecar, every destination — each output
+     port, the controller punt queue, the drop counter — still sees its
+     members in exact arrival order. *)
+  let e = Engine.create () in
+  let sw = Switch.create e ~name:"s1" () in
+  let got_a = ref [] and got_b = ref [] and punted = ref [] in
+  let mk_rec_link name cell =
+    Link.create e ~name ~dst:(fun p -> cell := p.Packet.id :: !cell) ()
+  in
+  Switch.attach_port sw ~port:"a" (mk_rec_link "la" got_a);
+  Switch.attach_port sw ~port:"b" (mk_rec_link "lb" got_b);
+  Switch.on_miss sw (fun p -> punted := p.Packet.id :: !punted);
+  let exact sport =
+    Hfl.of_string
+      (Printf.sprintf "nw_src=10.0.0.1/32,nw_dst=1.1.1.5/32,tp_src=%d,tp_dst=80,proto=tcp" sport)
+  in
+  let table = Switch.table sw in
+  ignore (Flow_table.install table ~priority:10 ~match_:(exact 1000) ~action:(Flow_table.Forward "a"));
+  ignore (Flow_table.install table ~priority:10 ~match_:(exact 1001) ~action:(Flow_table.Forward "a"));
+  ignore
+    (Flow_table.install table ~priority:10 ~match_:(Hfl.of_string "tp_dst=443")
+       ~action:(Flow_table.Forward "b"));
+  ignore (Flow_table.install table ~priority:10 ~match_:(Hfl.of_string "tp_dst=22") ~action:Flow_table.Drop);
+  let b = Packet_batch.alloc (Switch.batch_pool sw) in
+  List.iter
+    (fun (id, sport, dport) -> Packet_batch.push b (mk_packet ~id ~sport ~dport ()))
+    [
+      (0, 1000, 80) (* exact -> a *);
+      (1, 7, 443) (* wildcard -> b *);
+      (2, 1001, 80) (* exact -> a *);
+      (3, 9, 9999) (* miss -> punt *);
+      (4, 8, 22) (* Drop *);
+      (5, 7, 443) (* wildcard -> b *);
+      (6, 1000, 80) (* exact -> a *);
+      (7, 9, 9999) (* miss -> punt *);
+    ];
+  Switch.receive_batch sw b;
+  Engine.run e;
+  Alcotest.(check (list int)) "port a FIFO" [ 0; 2; 6 ] (List.rev !got_a);
+  Alcotest.(check (list int)) "port b FIFO" [ 1; 5 ] (List.rev !got_b);
+  Alcotest.(check (list int)) "punts in order" [ 3; 7 ] (List.rev !punted);
+  Alcotest.(check int) "drop counted" 1 (Switch.packets_dropped sw);
+  Alcotest.(check int) "rx counter" 8 (Switch.packets_received sw);
+  Alcotest.(check int) "sub-batches recycled" 0
+    (Packet_batch.pool_outstanding (Switch.batch_pool sw))
+
+let test_link_batch_scalar_drain () =
+  (* A batch sent over a link whose destination is batch-unaware drains
+     member-by-member, in order, with member-granularity counters. *)
+  let e = Engine.create () in
+  let got = ref [] in
+  let link = Link.create e ~name:"l" ~dst:(fun p -> got := p.Packet.id :: !got) () in
+  let b = Packet_batch.create () in
+  for i = 0 to 3 do
+    Packet_batch.push b (mk_packet ~id:i ())
+  done;
+  let bytes = Packet_batch.total_bytes b in
+  Link.send_batch link b;
+  Engine.run e;
+  Alcotest.(check (list int)) "drained in order" [ 0; 1; 2; 3 ] (List.rev !got);
+  Alcotest.(check int) "packets counted per member" 4 (Link.packets_sent link);
+  Alcotest.(check int) "bytes counted" bytes (Link.bytes_sent link)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -603,13 +852,28 @@ let () =
           Alcotest.test_case "exact remove" `Quick test_flow_table_exact_remove;
         ]
         @ qcheck [ prop_flow_table_reference ] );
+      ( "packet_batch",
+        [
+          Alcotest.test_case "columns track members" `Quick test_batch_columns;
+          Alcotest.test_case "drop and compact" `Quick test_batch_drop_compact;
+          Alcotest.test_case "pool reuse" `Quick test_batch_pool_reuse;
+          Alcotest.test_case "builder triggers" `Quick test_batch_builder_triggers;
+          Alcotest.test_case "lookup_batch matches scalar" `Quick
+            test_flow_table_batch_matches_scalar;
+        ] );
       ( "switch",
         [
           Alcotest.test_case "forwarding" `Quick test_switch_forwarding;
           Alcotest.test_case "miss handler" `Quick test_switch_miss_handler;
           Alcotest.test_case "unknown port drops" `Quick test_switch_unknown_port_drops;
+          Alcotest.test_case "batch uniform fast path" `Quick test_switch_batch_uniform_fast_path;
+          Alcotest.test_case "batch split preserves FIFO" `Quick test_switch_batch_split_fifo;
         ] );
-      ("link", [ Alcotest.test_case "counters and order" `Quick test_link_counters_and_order ]);
+      ( "link",
+        [
+          Alcotest.test_case "counters and order" `Quick test_link_counters_and_order;
+          Alcotest.test_case "batch scalar drain" `Quick test_link_batch_scalar_drain;
+        ] );
       ( "sdn",
         [
           Alcotest.test_case "route update delay" `Quick test_sdn_route_update_takes_time;

@@ -186,6 +186,171 @@ let run_scenario ~domains ~seed =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Batch-vs-scalar equivalence across the sharded pipeline             *)
+(* ------------------------------------------------------------------ *)
+
+(* The vectorized batch path must be an optimization, not a semantic
+   change: the same trace, pushed through switch → NAT (shard 0) →
+   monitor (shard 3) → firewall (shard 5) → sink, must leave
+   bit-identical middlebox state, telemetry counters and drop decisions
+   whether packets travel one per event or batched — and whether the
+   batch run is scheduled on 1, 2, 4 or 8 domains (batches cross the
+   epoch-barrier mailboxes as single records).  The fingerprint
+   deliberately excludes time-of-dispatch observables (latency stats,
+   channel message counts, engine event counts): batching legitimately
+   amortizes those.  Everything derived from packet content, packet
+   timestamps and processing order must match exactly. *)
+let run_pipeline ~domains ~batched ~seed =
+  let se = Sharded_engine.create ~domains ~epoch ~seed ~shards () in
+  let sh = Array.init shards (Sharded_engine.shard se) in
+  let s0 = sh.(0) and s3 = sh.(3) and s5 = sh.(5) in
+  (* -- the chain ---------------------------------------------------- *)
+  let sw = Switch.create (Shard.engine s0) ~telemetry:(Shard.telemetry s0) ~name:"s1" () in
+  let nat =
+    Nat.create (Shard.engine s0)
+      ~telemetry:(Shard.telemetry s0)
+      ~external_ip:(Addr.of_string "5.5.5.5")
+      ~internal_prefix:(Addr.prefix_of_string "10.0.0.0/8")
+      ~name:"nat" ()
+  in
+  let mon = Monitor.create (Shard.engine s3) ~telemetry:(Shard.telemetry s3) ~name:"mon" () in
+  let fw =
+    Firewall.create (Shard.engine s5)
+      ~telemetry:(Shard.telemetry s5)
+      ~rules:[ { Firewall.rl_match = Hfl.of_string "tp_dst=22"; rl_action = Firewall.Deny } ]
+      ~default_action:Firewall.Allow ~name:"fw" ()
+  in
+  let sink = ref [] in
+  let sink_recv (p : Packet.t) = sink := p.Packet.id :: !sink in
+  (* Switch port "mb" leads to the NAT; tp_dst=9999 traffic is dropped
+     at the switch so batches split between fast path and drop. *)
+  let to_nat = Link.create (Shard.engine s0) ~name:"s1-mb" ~dst:(Nat.receive nat) () in
+  if batched then Link.set_dst_batch to_nat (Nat.receive_batch nat);
+  Switch.attach_port sw ~port:"mb" to_nat;
+  ignore
+    (Flow_table.install (Switch.table sw) ~priority:10 ~match_:(Hfl.of_string "tp_dst=9999")
+       ~action:Flow_table.Drop);
+  ignore
+    (Flow_table.install (Switch.table sw) ~priority:1 ~match_:Hfl.any
+       ~action:(Flow_table.Forward "mb"));
+  (* Cross-shard hops: each MB's egress posts into the next shard's
+     mailbox — scalar packets one per post, batches as one record
+     (detached first: pools are single-domain). *)
+  let hop_scalar src ~dst recv (p : Packet.t) =
+    Shard.post src ~dst ~at:(Engine.now (Shard.engine src)) recv p
+  in
+  let hop_batch src ~dst recv b =
+    Packet_batch.detach b;
+    Shard.post src ~dst ~at:(Engine.now (Shard.engine src)) recv b
+  in
+  Mb_base.set_egress (Nat.base nat) (hop_scalar s0 ~dst:3 (Monitor.receive mon));
+  Mb_base.set_egress (Monitor.base mon) (hop_scalar s3 ~dst:5 (Firewall.receive fw));
+  Mb_base.set_egress (Firewall.base fw) sink_recv;
+  if batched then begin
+    Mb_base.set_egress_batch (Nat.base nat) (hop_batch s0 ~dst:3 (Monitor.receive_batch mon));
+    Mb_base.set_egress_batch (Monitor.base mon) (hop_batch s3 ~dst:5 (Firewall.receive_batch fw));
+    Mb_base.set_egress_batch (Firewall.base fw) (fun b -> Packet_batch.drain b sink_recv)
+  end;
+  (* -- the trace, pre-grouped identically for both modes ------------ *)
+  let gen = Prng.create ~seed:(seed lxor 0xba7c4) in
+  let dports = [| 80; 443; 22; 9999; 53 |] in
+  let pkts =
+    List.init 160 (fun i ->
+        Packet.make ~id:i
+          ~ts:(Time.us (1_000.0 +. (float_of_int i *. 50.0)))
+          ~src_ip:(Addr.of_int (0x0a_00_00_01 + Prng.int gen 8))
+          ~dst_ip:(Addr.of_string "1.1.1.5")
+          ~src_port:(1_024 + Prng.int gen 48)
+          ~dst_port:dports.(Prng.int gen (Array.length dports))
+          ~proto:(if Prng.int gen 4 = 0 then Packet.Udp else Packet.Tcp)
+          ())
+  in
+  let rec group = function
+    | [] -> []
+    | pkts ->
+      let n = 1 + Prng.int gen 8 in
+      let rec take k = function
+        | p :: rest when k > 0 ->
+          let g, rest = take (k - 1) rest in
+          (p :: g, rest)
+        | rest -> ([], rest)
+      in
+      let g, rest = take n pkts in
+      g :: group rest
+  in
+  let groups = group pkts in
+  let pool = Packet_batch.pool ~telemetry:(Shard.telemetry s0) () in
+  List.iter
+    (fun g ->
+      let at = (List.nth g (List.length g - 1)).Packet.ts in
+      if batched then begin
+        let b = Packet_batch.alloc pool in
+        List.iter (Packet_batch.push b) g;
+        ignore
+          (Engine.schedule_at (Shard.engine s0) at (fun () -> Switch.receive_batch sw b))
+      end
+      else
+        ignore
+          (Engine.schedule_at (Shard.engine s0) at (fun () ->
+               List.iter (Switch.receive sw) g)))
+    groups;
+  Sharded_engine.run se;
+  (* -- the fingerprint ---------------------------------------------- *)
+  let buf = Buffer.create 4_096 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "sink: %s\n" (String.concat "," (List.rev_map string_of_int !sink));
+  p "switch: rx=%d drop=%d\n" (Switch.packets_received sw) (Switch.packets_dropped sw);
+  List.iter
+    (fun (r : Flow_table.rule) -> p "rule prio=%d pkts=%d bytes=%d\n" r.priority r.packets r.bytes)
+    (Flow_table.rules (Switch.table sw));
+  p "nat: mappings=%d dropped=%d\n" (Nat.mapping_count nat) (Nat.packets_dropped nat);
+  List.iter
+    (fun (m : Nat.mapping) ->
+      p "map %s:%d -> %s:%d %s created=%.6f last=%.6f\n" (Addr.to_string m.m_int_ip)
+        m.m_int_port (Addr.to_string m.m_ext_ip) m.m_ext_port
+        (Packet.proto_to_string m.m_proto) m.m_created m.m_last_active)
+    (List.sort compare (Nat.mappings nat));
+  let tot = Monitor.totals mon in
+  p "monitor: pkts=%d bytes=%d tcp=%d udp=%d icmp=%d new=%d flows=%d\n" tot.Monitor.tot_pkts
+    tot.tot_bytes tot.tot_tcp tot.tot_udp tot.tot_icmp tot.tot_new_flows
+    (Monitor.tracked_flows mon);
+  List.iter
+    (fun (key, (r : Monitor.flow_record)) ->
+      p "flow %s first=%.6f last=%.6f pkts=%d bytes=%d svc=%s\n" key r.fr_first r.fr_last
+        r.fr_pkts r.fr_bytes r.fr_service)
+    (List.sort compare
+       (List.map (fun (k, r) -> (Hfl.to_string k, r)) (Monitor.flow_records mon)));
+  p "firewall: allowed=%d denied=%d cached=%d\n" (Firewall.allowed fw) (Firewall.denied fw)
+    (Firewall.cached_verdicts fw);
+  let snap = Sharded_engine.merged_snapshot se in
+  List.iter
+    (fun name ->
+      match Telemetry.snap_counter snap name with
+      | Some v -> p "tel %s=%d\n" name v
+      | None -> p "tel %s=-\n" name)
+    [ "mb.pkts"; "switch.received"; "switch.dropped" ];
+  Buffer.contents buf
+
+let prop_batch_scalar_equivalence =
+  QCheck2.Test.make ~name:"batch path is scalar-equivalent across domain counts"
+    ~count:prop_count
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let oracle = run_pipeline ~domains:1 ~batched:false ~seed in
+      List.for_all
+        (fun d ->
+          let o = run_pipeline ~domains:d ~batched:true ~seed in
+          String.equal o oracle
+          || QCheck2.Test.fail_reportf
+               "seed %d: batched domains=%d diverged from scalar oracle\n\
+                --- scalar oracle ---\n\
+                %s\n\
+                --- batched domains=%d ---\n\
+                %s"
+               seed d oracle d o)
+        [ 1; 2; 4; 8 ])
+
+(* ------------------------------------------------------------------ *)
 (* The determinism property                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -297,5 +462,6 @@ let () =
           Alcotest.test_case "remote move" `Quick test_remote_move;
           Alcotest.test_case "canonical hash" `Quick test_canonical_hash;
         ]
-        @ List.map QCheck_alcotest.to_alcotest [ prop_domain_invariance ] );
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_domain_invariance; prop_batch_scalar_equivalence ] );
     ]
