@@ -73,6 +73,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "pktpath",
       "batched vs. scalar packet path through switch+NAT+monitor",
       Exp_pktpath.run );
+    ( "soak",
+      "HA chaos soak: replicated controller vs. fault-free oracle",
+      Exp_soak.run );
   ]
 
 let list_experiments () =

@@ -28,13 +28,18 @@
 #      recorded under the "micro-telemetry" label)
 #   7. CHAOS_ITERS=5 chaos smoke: the full fault-plan suite at reduced
 #      iteration count
+#   8. HA soak smoke: the reduced-scale soak bench (fingerprint must
+#      match the fault-free oracle) plus a SOAK_ITERS=5 slice of the
+#      chaos-soak seed matrix (the 100-seed acceptance matrix runs via
+#      `dune build @soakcheck`, not here)
 #
 # Usage: bench/perfgate.sh   (from anywhere inside the repo)
 set -eu
 cd "$(dirname "$0")/.."
-dune build bench/main.exe test/test_chaos.exe
+dune build bench/main.exe test/test_chaos.exe test/test_soak.exe
 bench="$PWD/_build/default/bench/main.exe"
 chaos="$PWD/_build/default/test/test_chaos.exe"
+soak="$PWD/_build/default/test/test_soak.exe"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 # micro --json writes ./BENCH_micro.json: run it in a scratch directory
@@ -42,7 +47,7 @@ trap 'rm -rf "$tmp"' EXIT
 (cd "$tmp" && "$bench" micro --json --label fresh --rounds 3)
 "$bench" micro --compare "BENCH_micro.json#after" "$tmp/BENCH_micro.json#fresh"
 "$bench" micro --require-labels BENCH_micro.json \
-  after,scale-d1,scale-d2,scale-d4,scale-d8,pktpath-b1,pktpath-b16,pktpath-b64,pktpath-b256
+  after,scale-d1,scale-d2,scale-d4,scale-d8,pktpath-b1,pktpath-b16,pktpath-b64,pktpath-b256,soak
 # The smoke floor is deliberately conservative: it catches a sharded
 # core that collapsed (orders of magnitude), not scheduler noise on a
 # loaded or single-core machine.
@@ -50,4 +55,6 @@ trap 'rm -rf "$tmp"' EXIT
 (cd "$tmp" && "$bench" pktpath --batch 1 --batch 64 --min-speedup 5)
 (cd "$tmp" && "$bench" micro-telemetry --gate 5 --json --label micro-telemetry)
 CHAOS_ITERS=5 "$chaos"
+(cd "$tmp" && "$bench" soak)
+SOAK_ITERS=5 "$soak"
 echo "perfgate: OK"

@@ -15,6 +15,12 @@ type t = {
   mutable event_rr : int;
   mutable reprocessed : int;
   mutable packets_seen : int;
+  (* Latched by [on_crash] when the hosting agent dies while some
+     entries carry a moved mark: the reply to the get that laid those
+     marks may have died with the agent's dedup cache, so the next
+     matching get is treated as a lost-reply retransmission and
+     refused (see [get_perflow]).  Cleared by the rollback. *)
+  mutable export_suspect : bool;
 }
 
 let default_cost : Southbound.cost_model =
@@ -43,6 +49,7 @@ let create engine ?recorder ?(cost = default_cost) ?(granularity = Hfl.full_gran
     event_rr = 0;
     reprocessed = 0;
     packets_seen = 0;
+    export_suspect = false;
   }
 
 let base t = t.base
@@ -103,17 +110,36 @@ let get_perflow t table ~role hfl =
   if not (Hfl.compatible_with_granularity hfl t.granularity) then
     Error Errors.Granularity_too_fine
   else begin
-    (* One pass: skip entries an earlier pending transfer already
-       exported, mark and seal the rest as they are visited. *)
-    let chunks = ref [] in
+    (* Matching entries already marked moved are normally skipped: an
+       earlier pending transfer exported them and its deferred delete
+       will collect them, so a concurrent overlapping get exports only
+       the unmarked remainder.  But when the hosting agent crashed
+       while marks were outstanding ([export_suspect]), the reply that
+       exported them may have died with the agent's dedup cache and
+       this get is its retransmission re-executing against a fresh
+       incarnation — exporting only the remainder would let the
+       controller close the stream without the chunks that died with
+       the crash, silently completing a partial move.  Fail instead so
+       the transfer aborts, the rollback clears the marks and the
+       re-run exports everything. *)
+    let dirty = ref false in
     State_table.iter_matching table hfl (fun (e : string State_table.entry) ->
-        if not e.moved then begin
-          e.moved <- true;
-          chunks :=
-            Mb_base.seal_raw t.base ~role ~partition:Taxonomy.Per_flow ~key:e.key e.value
-            :: !chunks
-        end);
-    Ok (List.rev !chunks)
+        if e.moved then dirty := true);
+    if !dirty && t.export_suspect then
+      Error (Errors.Illegal_operation "export possibly lost in a crash for this range")
+    else begin
+      (* One pass: skip already-exported entries, mark and seal the
+         rest as they are visited. *)
+      let chunks = ref [] in
+      State_table.iter_matching table hfl (fun (e : string State_table.entry) ->
+          if not e.moved then begin
+            e.moved <- true;
+            chunks :=
+              Mb_base.seal_raw t.base ~role ~partition:Taxonomy.Per_flow ~key:e.key e.value
+              :: !chunks
+          end);
+      Ok (List.rev !chunks)
+    end
   end
 
 let put_perflow t table ~role (chunk : Chunk.t) =
@@ -151,7 +177,19 @@ let abort_perflow t hfl =
   State_table.iter_matching t.support hfl (fun (e : string State_table.entry) ->
       e.moved <- false);
   State_table.iter_matching t.report hfl (fun (e : string State_table.entry) ->
-      e.moved <- false)
+      e.moved <- false);
+  (* The marks the crash made suspect are gone; exports are clean again. *)
+  t.export_suspect <- false
+
+(* A crash can only have lost an export reply if some export was
+   outstanding when it hit — i.e. some entry still carries a moved
+   mark.  A crash with no marks anywhere has nothing to suspect, and
+   latching anyway would poison a far-later unrelated transfer. *)
+let on_crash t () =
+  let any_moved table =
+    State_table.fold table ~init:false ~f:(fun acc e -> acc || e.State_table.moved)
+  in
+  if any_moved t.support || any_moved t.report then t.export_suspect <- true
 
 (* Existence check by key coverage, not five-tuple probe: populate's
    synthetic keys pin only source ip/port, so they are invisible to the
@@ -211,6 +249,7 @@ let impl t =
         ~get:(fun () -> t.sh_report)
         ~set:(fun v -> t.sh_report <- Some v);
     abort_perflow = abort_perflow t;
+    on_crash = on_crash t;
     stats = stats t;
     process_packet = process_packet t;
   }

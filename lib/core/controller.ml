@@ -146,6 +146,12 @@ type t = {
   mutable next_transfer : int;
   mutable subscriptions : subscription list;
   mutable cpu_free_at : Time.t;
+  (* A fenced controller is a dead leader: its lease has expired and a
+     replica has taken over.  Every CPU dispatch — sends, receives,
+     timeout retries, quiescence finalization — is gated on this flag,
+     so a fenced instance can never emit another southbound op or
+     mutate shared state, no matter what timers were already armed. *)
+  mutable fenced : bool;
   (* Registry-backed counters; the [counters] record below is a view of
      these.  [c_dedup] is shared with agents on the same telemetry
      instance — the agent increments it on a replayed reply. *)
@@ -179,6 +185,7 @@ let create engine ?(config = default_config) ?recorder ?faults ?telemetry () =
     next_transfer = 0;
     subscriptions = [];
     cpu_free_at = Time.zero;
+    fenced = false;
     c_msgs = Telemetry.counter tel "controller.msgs";
     c_evt_fwd = Telemetry.counter tel "controller.evt_forwarded";
     c_evt_dropped = Telemetry.counter tel "controller.evt_dropped";
@@ -205,13 +212,25 @@ let record t ~kind ~detail =
    then run [k].  Concurrent operations contend here, which is what
    makes simultaneous moves slow each other down (Fig. 10b). *)
 let cpu t bytes k =
-  let cost =
-    Time.(t.cfg.cpu_fixed + seconds (to_seconds t.cfg.cpu_per_byte *. float_of_int bytes))
-  in
-  let start = Time.max (Engine.now t.engine) t.cpu_free_at in
-  t.cpu_free_at <- Time.(start + cost);
-  Telemetry.incr t.c_msgs;
-  Engine.call_at t.engine t.cpu_free_at k ()
+  if not t.fenced then begin
+    let cost =
+      Time.(t.cfg.cpu_fixed + seconds (to_seconds t.cfg.cpu_per_byte *. float_of_int bytes))
+    in
+    let start = Time.max (Engine.now t.engine) t.cpu_free_at in
+    t.cpu_free_at <- Time.(start + cost);
+    Telemetry.incr t.c_msgs;
+    (* The continuation re-checks the fence: a takeover between dispatch
+       and execution must still silence this instance. *)
+    Engine.call_at t.engine t.cpu_free_at (fun () -> if not t.fenced then k ()) ()
+  end
+
+let fence t =
+  if not t.fenced then begin
+    t.fenced <- true;
+    record t ~kind:"fenced" ~detail:"controller fenced (lease expired)"
+  end
+
+let is_fenced t = t.fenced
 
 let find_conn t name = Hashtbl.find_opt t.mbs name
 
@@ -243,7 +262,7 @@ let transmit t conn op tid req =
    outstanding per pending op; resolution (reply or disconnect) ends
    the chain at its next firing. *)
 let rec check_timeout t conn op po () =
-  if Hashtbl.mem conn.pending op then begin
+  if (not t.fenced) && Hashtbl.mem conn.pending op then begin
     let delay = backoff_delay t po.po_attempts in
     let due = Time.(po.po_last_activity + delay) in
     let now = Engine.now t.engine in
@@ -452,7 +471,7 @@ type remote = {
   agent_faults : Faults.t option;
 }
 
-let connect t ?framing ?remote agent =
+let connect t ?framing ?remote ?(id_base = 0) ?(arm_faults = true) agent =
   let name = Mb_agent.name agent in
   if Hashtbl.mem t.mbs name then
     failwith (Printf.sprintf "Controller.connect: duplicate MB name %s" name);
@@ -460,10 +479,12 @@ let connect t ?framing ?remote agent =
      default unless this MB asked for an override — and sizes every
      message on its three channels. *)
   let framing = Option.value framing ~default:t.cfg.framing in
-  let faulted inst tag =
+  (* Control-plane direction mapping: the op channel is the link's
+     forward direction, replies and events travel the reverse one. *)
+  let faulted inst tag dir =
     match inst with
     | None -> None
-    | Some f -> Some (Faults.link f ~name:(name ^ "/" ^ tag))
+    | Some f -> Some (Faults.link f ~dir ~name:(name ^ "/" ^ tag) ())
   in
   let deliver msg =
     (* Receiving costs controller CPU proportional to message size. *)
@@ -476,11 +497,11 @@ let connect t ?framing ?remote agent =
   let mk_channel tag =
     match remote with
     | None ->
-      Channel.create t.engine ?faults:(faulted t.faults tag) ~telemetry:t.tel
+      Channel.create t.engine ?faults:(faulted t.faults tag `Rev) ~telemetry:t.tel
         ~latency:t.cfg.channel_latency ~bytes_per_sec:t.cfg.channel_bandwidth ~deliver ()
     | Some r ->
       Channel.create (Mb_agent.engine agent)
-        ?faults:(faulted r.agent_faults tag)
+        ?faults:(faulted r.agent_faults tag `Rev)
         ?telemetry:(Mb_agent.telemetry agent)
         ~via:r.to_controller.Shard.route ~latency:t.cfg.channel_latency
         ~bytes_per_sec:t.cfg.channel_bandwidth ~deliver ()
@@ -489,7 +510,7 @@ let connect t ?framing ?remote agent =
   (* The op channel is driven by controller sends and stays local; with
      a remote agent only the delivery execution crosses shards. *)
   let to_mb =
-    Channel.create t.engine ?faults:(faulted t.faults "op") ~telemetry:t.tel
+    Channel.create t.engine ?faults:(faulted t.faults "op" `Fwd) ~telemetry:t.tel
       ?via:(Option.map (fun r -> r.to_agent.Shard.route) remote)
       ~latency:t.cfg.channel_latency ~bytes_per_sec:t.cfg.channel_bandwidth
       ~deliver:(fun msg -> Mb_agent.handle_request agent msg)
@@ -502,8 +523,13 @@ let connect t ?framing ?remote agent =
       Channel.send event_ch ~bytes:(Message.reply_wire_bytes ~framing msg) msg);
   (* Crash schedules mutate the agent, so they are armed on the agent's
      own fault instance when it has one; otherwise the controller-side
-     plan fires them and routes the mutation onto the agent's shard. *)
-  (match remote with
+     plan fires them and routes the mutation onto the agent's shard.
+     [arm_faults = false] skips arming entirely — a replica re-adopting
+     an agent after failover must not double-schedule the plan's
+     crashes. *)
+  (if not arm_faults then ()
+   else
+  match remote with
   | Some { agent_faults = Some f; _ } ->
     Faults.arm_crashes f ~name
       ~on_crash:(fun () -> Mb_agent.crash agent)
@@ -523,8 +549,20 @@ let connect t ?framing ?remote agent =
       Faults.arm_crashes f ~name
         ~on_crash:(fun () -> Mb_agent.crash agent)
         ~on_restart:(fun () -> Mb_agent.restart agent)));
+  (* [id_base] offsets this connection's op and sequence counters.  An
+     agent's dedup caches survive a controller failover (the agent did
+     not crash), so a successor controller must start numbering above
+     anything its predecessor could have issued or its first mutations
+     would be swallowed as replays. *)
   Hashtbl.replace t.mbs name
-    { agent; to_mb; framing; next_op = 0; next_seq = 0; pending = Hashtbl.create 16 }
+    {
+      agent;
+      to_mb;
+      framing;
+      next_op = id_base;
+      next_seq = id_base;
+      pending = Hashtbl.create 16;
+    }
 
 let disconnect t name =
   (match find_conn t name with
@@ -576,6 +614,36 @@ let write_config t ~dst ~key ~values ~on_done =
 let del_config t ~dst ~key ~on_done =
   with_conn t dst on_done (fun conn ->
       op_send t conn (Message.Del_config key) (expect_ack on_done))
+
+(* Northbound failover-recovery surface.  [abort_perflow] clears the
+   moved marks a dead leader's partial export left at [mb], making the
+   state re-exportable before a successor re-runs the move.
+   [delete_perflow] re-issues the deferred delete of a move whose
+   completion outlived its leader: it removes only moved-marked entries,
+   so replaying it after the original delete (or against untouched
+   state) is harmless. *)
+let abort_perflow t ~mb ~key ~on_done =
+  with_conn t mb on_done (fun conn ->
+      op_send t conn (Message.Abort_perflow key) (expect_ack on_done))
+
+let delete_perflow t ~mb ~key ~on_done =
+  with_conn t mb on_done (fun conn ->
+      let remaining = ref 2 in
+      let failed = ref None in
+      let leg reply =
+        (match reply with
+        | Message.Ack -> ()
+        | Message.Op_error e -> if !failed = None then failed := Some e
+        | Message.State_chunk _ | Message.End_of_state _ | Message.Config_values _
+        | Message.Stats_reply _ | Message.Batch_ack _ ->
+          if !failed = None then failed := Some (Errors.Op_failed "unexpected reply"));
+        decr remaining;
+        if !remaining = 0 then
+          on_done (match !failed with Some e -> Error e | None -> Ok ());
+        `Done
+      in
+      op_send t conn (Message.Del_support_perflow key) leg;
+      op_send t conn (Message.Del_report_perflow key) leg)
 
 let stats t ~src ~key ~on_done =
   with_conn t src on_done (fun conn ->
@@ -672,7 +740,8 @@ let rec schedule_quiescence_check t transfer =
   let delay = Time.max delay (Time.ms 1.0) in
   ignore
     (Engine.schedule_after t.engine delay (fun () ->
-         if List.exists (fun tr -> tr.t_id = transfer.t_id) t.transfers then begin
+         if (not t.fenced) && List.exists (fun tr -> tr.t_id = transfer.t_id) t.transfers
+         then begin
            let idle = Time.(Engine.now t.engine - transfer.last_event) in
            if Time.compare idle t.cfg.quiescence >= 0 then finalize_transfer t transfer
            else schedule_quiescence_check t transfer
@@ -1004,13 +1073,18 @@ let start_transfer t ~kind ~src ~dst ~hfl ~gets ~on_done =
           ~detail:
             (Printf.sprintf "#%d %s %s->%s %s" transfer.t_id kind_name src dst
                (Hfl.to_string hfl));
-        (* Gets are not retryable: the source marks exported entries as
-           moved, so replaying a get after losing its stream would
-           return an empty (or partial) stream and silently complete a
-           partial move.  A lost get stream times out and aborts. *)
+        (* Gets are retryable, and retransmission doubles as the stream's
+           ARQ: the agent replays a completed op's cached replies under
+           the same op number (re-delivering chunks lost on the reply
+           channel; the handler's dedup absorbs the repeats), drops the
+           duplicate while the op is still executing, and only re-executes
+           when the original request never arrived — in which case nothing
+           was exported and a fresh export is sound.  The unsound case, an
+           agent restart wiping the replay cache mid-transfer, is refused
+           at the source (moved marks present → error → abort). *)
         List.iter
           (fun req ->
-            op_send ~retryable:false t src_conn req (get_stream_handler t transfer dst_conn))
+            op_send t src_conn req (get_stream_handler t transfer dst_conn))
           gets
     end
 

@@ -118,11 +118,26 @@ type remote = {
 (** Routing for an MB agent living on another shard of a
     {!Openmb_sim.Sharded_engine}. *)
 
-val connect : t -> ?framing:Openmb_wire.Framing.t -> ?remote:remote -> Mb_agent.t -> unit
+val connect :
+  t ->
+  ?framing:Openmb_wire.Framing.t ->
+  ?remote:remote ->
+  ?id_base:int ->
+  ?arm_faults:bool ->
+  Mb_agent.t ->
+  unit
 (** Establish the op and event connections to an MB agent and register
     it under its impl name.  Raises [Failure] on duplicate names.
     [framing] overrides the config's wire framing for this MB's
     channels.
+
+    [id_base] (default 0) offsets the connection's op and sequence
+    counters.  A successor controller re-adopting an agent after a
+    failover must number above anything its predecessor could have
+    issued — the agent's dedup caches survived — so replicas pass an
+    epoch-shifted base.  [arm_faults:false] skips arming the fault
+    plan's crash schedule for this MB (a re-adoption must not
+    double-schedule crashes the first connect already armed).
 
     With [?remote], the agent lives on a different shard: the op
     channel stays on the controller's engine but delivers through
@@ -237,6 +252,29 @@ val unsubscribe_introspection : t -> mb:string -> codes:string list -> unit
     ([codes = []] removes all of them) and disable the MB-side
     generation. *)
 
+val abort_perflow :
+  t ->
+  mb:string ->
+  key:Openmb_net.Hfl.t ->
+  on_done:((unit, Errors.t) result -> unit) ->
+  unit
+(** Clear the moved marks matching [key] at [mb], making the state
+    re-exportable.  The transactional abort path issues this
+    internally; it is exposed northbound so a successor controller can
+    roll back a predecessor's partial export before re-running the
+    move. *)
+
+val delete_perflow :
+  t ->
+  mb:string ->
+  key:Openmb_net.Hfl.t ->
+  on_done:((unit, Errors.t) result -> unit) ->
+  unit
+(** Issue the deferred delete of moved per-flow state (supporting and
+    reporting) matching [key] at [mb].  Removes only entries marked
+    moved by a completed export, so re-issuing it after a failover —
+    whether or not the dead leader's own delete ran — is idempotent. *)
+
 val clone_config :
   t ->
   src:string ->
@@ -297,3 +335,17 @@ val messages_processed : t -> int
 val op_retries : t -> int
 val op_timeouts : t -> int
 val transfers_aborted : t -> int
+
+(** {1 Fencing}
+
+    Replicated deployments ({!Controller_replica}) fence a deposed
+    leader at takeover.  Fencing models lease expiry: the config store
+    stops honoring the old epoch, so nothing the deposed instance does
+    can reach an agent. *)
+
+val fence : t -> unit
+(** Permanently silence this controller: every pending and future CPU
+    dispatch — sends, receives, retry timers, quiescence deletes — is
+    discarded.  Idempotent; there is no unfence. *)
+
+val is_fenced : t -> bool

@@ -27,6 +27,16 @@ type t = {
   mutable crashed : bool;
   mutable epoch : int;
   mutable crash_count : int;
+  (* Fencing token: op ids encode the issuing controller's replication
+     epoch in their high bits (id_base = epoch lsl 40), and epochs only
+     grow.  Once any op from epoch [e] is seen, ops from epochs < e are
+     a deposed leader's stragglers — a reordering op channel can land
+     them *after* the successor's recovery aborts, where executing one
+     (e.g. a get that re-marks just-rolled-back entries as exported)
+     would corrupt the takeover.  Tracked durably: a crash does not
+     reset it, exactly as a lease check against a config store would
+     survive the MB restarting. *)
+  mutable ctrl_epoch : int;
   (* Volatile at-most-once bookkeeping.  [op_replies] caches the
      replies of every op this incarnation completed so duplicated
      deliveries replay instead of re-executing; [op_started] marks ops
@@ -78,6 +88,7 @@ let create engine ?recorder ?telemetry ~impl () =
       crashed = false;
       epoch = 0;
       crash_count = 0;
+      ctrl_epoch = 0;
       op_replies = Hashtbl.create 64;
       op_started = Hashtbl.create 64;
       applied_seq = Hashtbl.create 64;
@@ -122,6 +133,7 @@ let crash t =
     Hashtbl.reset t.op_started;
     Hashtbl.reset t.applied_seq;
     Hashtbl.reset t.op_spans;
+    t.impl.on_crash ();
     record t ~kind:"crash" ~detail:""
   end
 
@@ -366,7 +378,13 @@ let execute t op req =
 let handle_request t { Message.op; tid; req } =
   if t.crashed then
     record t ~kind:"drop" ~detail:("crashed: " ^ Message.describe_request req)
+  else if op asr 40 < t.ctrl_epoch then
+    (* Fenced-out straggler from a deposed leader (see [ctrl_epoch]);
+       its issuer is already silenced, so no reply is owed either. *)
+    record t ~kind:"drop"
+      ~detail:(Printf.sprintf "stale epoch op=%d: %s" op (Message.describe_request req))
   else begin
+    if op asr 40 > t.ctrl_epoch then t.ctrl_epoch <- op asr 40;
     t.ops_handled <- t.ops_handled + 1;
     match seq_of_request req with
     | Some seq when Hashtbl.mem t.applied_seq seq ->

@@ -49,6 +49,7 @@ type impl = {
   get_report_shared : unit -> (Chunk.t option, Errors.t) result;
   put_report_shared : Chunk.t -> (unit, Errors.t) result;
   abort_perflow : Openmb_net.Hfl.t -> unit;
+  on_crash : unit -> unit;
   stats : Openmb_net.Hfl.t -> stats;
   process_packet : Openmb_net.Packet.t -> side_effects:bool -> unit;
   set_event_sink : (Event.t -> unit) -> unit;

@@ -75,6 +75,13 @@ type impl = {
           the state is owned by this MB again and a later transfer can
           re-export it.  Must be a no-op for keys with no marked
           entries. *)
+  on_crash : unit -> unit;
+      (** Notification that the hosting agent crashed.  The agent's
+          volatile dedup caches are gone, so any op reply still in
+          flight is lost and the controller's retransmissions will
+          re-execute against this (surviving) MB state.  MBs whose
+          export bookkeeping cannot tolerate a re-executed get should
+          latch that here. *)
   stats : Openmb_net.Hfl.t -> stats;
   process_packet : Openmb_net.Packet.t -> side_effects:bool -> unit;
       (** Run the MB's packet-processing logic.  With

@@ -223,6 +223,7 @@ let default_impl t ~table_entries : Southbound.impl =
     get_report_shared = (fun () -> Ok None);
     put_report_shared = illegal "MB keeps no shared reporting state";
     abort_perflow = (fun _ -> ());
+    on_crash = (fun () -> ());
     stats = (fun _ -> Southbound.empty_stats);
     process_packet = (fun _ ~side_effects:_ -> ());
     set_event_sink = (fun sink -> t.event_sink <- sink);

@@ -62,8 +62,9 @@ let send_batch t b =
     | None -> Engine.call2_at t.engine arrival deliver_batch t b
     | Some link ->
       let now = Engine.now t.engine in
+      let sizes = Packet_batch.sizes b in
       for i = 0 to n - 1 do
-        match Faults.deliveries link ~now with
+        match Faults.deliveries link ~now ~bytes:sizes.(i) with
         | [] -> Packet_batch.drop b i
         | first :: dups ->
           if first <> Time.zero then begin

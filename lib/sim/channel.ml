@@ -74,7 +74,7 @@ let send ch ~bytes msg =
         match ch.via with
         | None -> Engine.call_at ch.engine at ch.deliver msg
         | Some via -> via ~at ch.deliver msg)
-      (Faults.deliveries link ~now:(Engine.now ch.engine))
+      (Faults.deliveries link ~now:(Engine.now ch.engine) ~bytes)
 
 let bytes_sent ch = ch.bytes_sent
 let messages_sent ch = ch.messages_sent

@@ -78,6 +78,70 @@ let empirical g ~points =
     let v0, p0 = points.(i - 1) and v1, p1 = points.(i) in
     if p1 <= p0 then v1 else v0 +. ((v1 -. v0) *. ((u -. p0) /. (p1 -. p0)))
 
+(* ------------------------------------------------------------------ *)
+(* First-class distribution specs                                      *)
+(* ------------------------------------------------------------------ *)
+
+type spec =
+  | Constant of float
+  | Uniform_spec of { lo : float; hi : float }
+  | Exponential_spec of { mean : float }
+  | Normal_spec of { mean : float; stddev : float }
+  | Lognormal_spec of { mu : float; sigma : float }
+  | Pareto_spec of { shape : float; lo : float; hi : float }
+
+let sample g = function
+  | Constant v -> v
+  | Uniform_spec { lo; hi } -> uniform g ~lo ~hi
+  | Exponential_spec { mean } -> exponential g ~mean
+  | Normal_spec { mean; stddev } -> normal g ~mean ~stddev
+  | Lognormal_spec { mu; sigma } -> lognormal g ~mu ~sigma
+  | Pareto_spec { shape; lo; hi } -> bounded_pareto g ~shape ~lo ~hi
+
+let support = function
+  | Constant v -> (v, v)
+  | Uniform_spec { lo; hi } -> (lo, hi)
+  | Exponential_spec _ -> (0.0, infinity)
+  | Normal_spec _ -> (neg_infinity, infinity)
+  | Lognormal_spec _ -> (0.0, infinity)
+  | Pareto_spec { lo; hi; _ } -> (lo, hi)
+
+(* Specs print with hex-float literals ("%h") so that parsing the
+   printed form reconstructs bit-identical parameters — a requirement
+   of the fault-plan reproducer path, where a failing seed's printed
+   plan must re-run verbatim. *)
+let spec_to_string = function
+  | Constant v -> Printf.sprintf "const(%h)" v
+  | Uniform_spec { lo; hi } -> Printf.sprintf "uniform(%h,%h)" lo hi
+  | Exponential_spec { mean } -> Printf.sprintf "exp(%h)" mean
+  | Normal_spec { mean; stddev } -> Printf.sprintf "normal(%h,%h)" mean stddev
+  | Lognormal_spec { mu; sigma } -> Printf.sprintf "lognormal(%h,%h)" mu sigma
+  | Pareto_spec { shape; lo; hi } -> Printf.sprintf "pareto(%h,%h,%h)" shape lo hi
+
+let spec_of_string s =
+  let fail () = failwith (Printf.sprintf "Dist.spec_of_string: cannot parse %S" s) in
+  match (String.index_opt s '(', String.rindex_opt s ')') with
+  | Some op, Some cl when cl = String.length s - 1 && op < cl ->
+    let name = String.sub s 0 op in
+    let args =
+      String.split_on_char ',' (String.sub s (op + 1) (cl - op - 1))
+      |> List.map (fun a ->
+             match float_of_string_opt (String.trim a) with
+             | Some f -> f
+             | None -> fail ())
+    in
+    (match (name, args) with
+    | "const", [ v ] -> Constant v
+    | "uniform", [ lo; hi ] -> Uniform_spec { lo; hi }
+    | "exp", [ mean ] -> Exponential_spec { mean }
+    | "normal", [ mean; stddev ] -> Normal_spec { mean; stddev }
+    | "lognormal", [ mu; sigma ] -> Lognormal_spec { mu; sigma }
+    | "pareto", [ shape; lo; hi ] -> Pareto_spec { shape; lo; hi }
+    | _ -> fail ())
+  | _ -> fail ()
+
+let pp_spec fmt s = Format.pp_print_string fmt (spec_to_string s)
+
 let weighted_index g ~weights =
   let total = Array.fold_left ( +. ) 0.0 weights in
   assert (total > 0.0);

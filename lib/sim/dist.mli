@@ -38,3 +38,36 @@ val empirical : Prng.t -> points:(float * float) array -> float
 val weighted_index : Prng.t -> weights:float array -> int
 (** Index [i] chosen with probability proportional to [weights.(i)].
     Weights must be non-negative and not all zero. *)
+
+(** {1 First-class distribution specs}
+
+    A {!spec} is a pure, serializable description of a distribution —
+    the pluggable jitter model of {!Faults} impairment profiles.  Specs
+    survive a print/parse round trip bit-identically (parameters print
+    as hex-float literals), which is what lets a failing chaos-soak
+    seed print a fault plan that re-runs verbatim. *)
+
+type spec =
+  | Constant of float
+  | Uniform_spec of { lo : float; hi : float }
+  | Exponential_spec of { mean : float }
+  | Normal_spec of { mean : float; stddev : float }
+  | Lognormal_spec of { mu : float; sigma : float }
+  | Pareto_spec of { shape : float; lo : float; hi : float }
+      (** Bounded Pareto on [\[lo, hi\]] (see {!bounded_pareto}). *)
+
+val sample : Prng.t -> spec -> float
+(** Draw one variate; dispatches to the matching sampler above. *)
+
+val support : spec -> float * float
+(** [(lo, hi)] bounds every {!sample} draw falls within (possibly
+    infinite for unbounded distributions). *)
+
+val spec_to_string : spec -> string
+(** Compact textual form, e.g. ["uniform(0x1p-3,0x1p-1)"]. *)
+
+val spec_of_string : string -> spec
+(** Inverse of {!spec_to_string}; raises [Failure] on malformed input.
+    [spec_of_string (spec_to_string s) = s] for every [s]. *)
+
+val pp_spec : Format.formatter -> spec -> unit

@@ -128,6 +128,26 @@ let run_plan plan ~chunks ~rate_pps =
     (Printf.sprintf "seed %d: telemetry crashes == realized crashes" plan.Faults.seed)
     (Faults.crashes_fired faults)
     (tel_count "faults.crashes");
+  List.iter
+    (fun (what, injector, counter) ->
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: telemetry %s == realized %s" plan.Faults.seed what
+           what)
+        (injector faults) (tel_count counter))
+    [
+      ("corruptions", Faults.corrupted, "faults.corrupted");
+      ("throttles", Faults.throttled, "faults.throttled");
+      ("shaper tail-drops", Faults.shaper_dropped, "faults.shaper_dropped");
+      ("blackhole losses", Faults.blackholed, "faults.blackholed");
+      ("restarts", Faults.restarts_fired, "faults.restarts");
+    ];
+  (* Every loss is attributed to exactly one cause. *)
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: lost == dropped + blackholed + shaper + corrupted"
+       plan.Faults.seed)
+    (Faults.dropped faults + Faults.blackholed faults + Faults.shaper_dropped faults
+   + Faults.corrupted faults)
+    (Faults.lost faults);
   {
     verdict;
     src_entries = Dummy_mb.support_entries src;
@@ -161,7 +181,7 @@ let check_invariants ~seed ~initial outcome =
     (Printf.sprintf "seed %d: no replay against missing state" seed)
     0 outcome.violations
 
-let run_one_seed seed =
+let run_one_seed ?(impairment = false) seed =
   let chunks, rate_pps = scenario_params seed in
   let initial =
     (* The keys/values populate installs, computed without running. *)
@@ -185,7 +205,11 @@ let run_one_seed seed =
     oracle.counters.Controller.aborted_transfers;
   Alcotest.(check int) "oracle: no replay violations" 0 oracle.violations;
   (* Faulted run, twice: invariants hold and the run is reproducible. *)
-  let plan = Faults.random_plan ~seed ~mbs:[ "src"; "dst" ] ~horizon in
+  let plan =
+    if impairment then
+      Faults.random_impairment_plan ~seed ~mbs:[ "src"; "dst" ] ~horizon
+    else Faults.random_plan ~seed ~mbs:[ "src"; "dst" ] ~horizon
+  in
   let first = run_plan plan ~chunks ~rate_pps in
   check_invariants ~seed ~initial first;
   let second = run_plan plan ~chunks ~rate_pps in
@@ -206,6 +230,23 @@ let test_chaos_plans () =
     Alcotest.(check bool) "some plans completed" true (!completed > 0);
     Alcotest.(check bool) "some plans aborted" true (!aborted > 0)
   end
+
+(* Same scenario under the production-grade generator: jitter drawn
+   from distributions, token-bucket shapers, corruption and blackhole
+   windows all active, and every new-kind registry counter reconciled
+   against the injector by [run_plan]. *)
+let test_impairment_plans () =
+  let iters = max 1 (chaos_iters / 2) in
+  let exercised = ref 0 in
+  for i = 0 to iters - 1 do
+    let outcome = run_one_seed ~impairment:true (base_seed + 0x11000 + i) in
+    ignore outcome.verdict;
+    if
+      outcome.f_dropped + outcome.f_duplicated + outcome.f_delayed + outcome.f_crashes
+      > 0
+    then incr exercised
+  done;
+  Alcotest.(check bool) "impairment plans realized some faults" true (!exercised > 0)
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic mid-move crash: abort, zero source loss, recovery     *)
@@ -467,7 +508,7 @@ let run_batch_faults plan =
   let got = ref [] in
   let link =
     Link.create engine
-      ~faults:(Faults.link faults ~name:"batch-wire")
+      ~faults:(Faults.link faults ~name:"batch-wire" ())
       ~name:"batch-wire"
       ~dst:(fun p -> got := p.Packet.id :: !got)
       ()
@@ -551,6 +592,9 @@ let () =
           Alcotest.test_case
             (Printf.sprintf "%d batched-link fault plans vs oracle" (max 1 (chaos_iters / 4)))
             `Slow test_batch_link_faults;
+          Alcotest.test_case
+            (Printf.sprintf "%d impairment plans vs oracle" (max 1 (chaos_iters / 2)))
+            `Slow test_impairment_plans;
         ] );
       ( "crash",
         [

@@ -996,6 +996,178 @@ let test_heap_exn () =
   Alcotest.(check int) "pop_exn 3" 3 (Heap.pop_exn h);
   Alcotest.(check bool) "empty again" true (Heap.is_empty h)
 
+(* ------------------------------------------------------------------ *)
+(* Impairment profiles (Faults)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A fresh injector applying [link_profile] to every link, nothing
+   else.  [deliveries] takes [~now] explicitly, so properties can walk
+   virtual time without stepping the engine. *)
+let faults_with link_profile =
+  let engine = Engine.create () in
+  let plan = { (Faults.clean_plan ~seed:1) with Faults.link = link_profile } in
+  let t = Faults.create engine plan in
+  (t, Faults.link t ~name:"wire" ())
+
+(* Token-bucket conservation: every send is either delivered exactly
+   once with a queueing delay in [0, max_queue] or tail-dropped, the
+   two outcomes partition the sends, and the shaper is the only loss
+   cause in play. *)
+let prop_shaper_conservation =
+  QCheck2.Test.make ~name:"token bucket conserves and bounds queueing delay"
+    ~count:150
+    QCheck2.Gen.(
+      quad
+        (float_range 100.0 100_000.0)
+        (int_range 64 10_000)
+        (float_range 0.001 0.5)
+        (list_size (int_range 1 150) (pair (float_range 0.0 5.0) (int_range 1 4096))))
+    (fun (rate, burst, maxq, sends) ->
+      let sends = List.sort compare sends in
+      let prof =
+        {
+          Faults.clean_dir with
+          rate =
+            Some
+              {
+                Faults.rate_bytes_per_sec = rate;
+                burst_bytes = burst;
+                max_queue = Time.seconds maxq;
+              };
+        }
+      in
+      let t, l = faults_with (Faults.symmetric prof) in
+      let delivered = ref 0 in
+      let ok =
+        List.for_all
+          (fun (at, bytes) ->
+            match Faults.deliveries l ~now:(Time.seconds at) ~bytes with
+            | [] -> true
+            | [ d ] ->
+              incr delivered;
+              Time.compare d Time.zero >= 0 && Time.to_seconds d <= maxq +. 1e-9
+            | _ -> false)
+          sends
+      in
+      ok
+      && !delivered + Faults.shaper_dropped t = List.length sends
+      && Faults.lost t = Faults.shaper_dropped t
+      && Faults.dropped t = 0)
+
+let gen_jitter_spec =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun c -> Dist.Constant c) (float_range (-0.5) 2.0);
+      map2
+        (fun lo w -> Dist.Uniform_spec { lo; hi = lo +. w })
+        (float_range 0.0 1.0) (float_range 0.0 2.0);
+      map (fun mean -> Dist.Exponential_spec { mean }) (float_range 0.01 1.0);
+      map2
+        (fun mean stddev -> Dist.Normal_spec { mean; stddev })
+        (float_range 0.0 1.0) (float_range 0.01 0.5);
+      map2
+        (fun mu sigma -> Dist.Lognormal_spec { mu; sigma })
+        (float_range (-1.0) 0.5) (float_range 0.05 0.8);
+      map3
+        (fun shape lo w -> Dist.Pareto_spec { shape; lo; hi = lo +. w })
+        (float_range 1.1 3.0) (float_range 0.01 1.0) (float_range 0.0 5.0);
+    ]
+
+(* Every jitter delay falls inside the spec's advertised support,
+   clamped at zero (jitter only ever delays). *)
+let prop_jitter_within_support =
+  QCheck2.Test.make ~name:"jitter delays stay within Dist.support" ~count:200
+    QCheck2.Gen.(
+      pair gen_jitter_spec (list_size (int_range 1 100) (float_range 0.0 5.0)))
+    (fun (spec, times) ->
+      let lo, hi = Dist.support spec in
+      let lo = Float.max 0.0 lo and hi = Float.max 0.0 hi in
+      let prof = { Faults.clean_dir with jitter = Some spec } in
+      let _t, l = faults_with (Faults.symmetric prof) in
+      List.for_all
+        (fun at ->
+          match Faults.deliveries l ~now:(Time.seconds at) ~bytes:100 with
+          | [ d ] ->
+            let d = Time.to_seconds d in
+            d >= lo -. 1e-9 && (hi = infinity || d <= hi +. 1e-9)
+          | _ -> false)
+        times)
+
+(* Blackhole windows lose exactly the in-window sends — no bleed into
+   surrounding traffic, and each loss is attributed to the blackhole
+   counter. *)
+let prop_blackhole_exact =
+  QCheck2.Test.make ~name:"blackhole windows lose exactly the in-window sends"
+    ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 3) (pair (float_range 0.0 8.0) (float_range 0.0 2.0)))
+        (list_size (int_range 1 150) (float_range 0.0 10.0)))
+    (fun (windows, times) ->
+      let bhs =
+        List.map
+          (fun (f, w) ->
+            { Faults.bh_from = Time.seconds f; bh_until = Time.seconds (f +. w) })
+          windows
+      in
+      let prof = { Faults.clean_dir with blackholes = bhs } in
+      let t, l = faults_with (Faults.symmetric prof) in
+      let in_window at =
+        List.exists
+          (fun b ->
+            Time.compare at b.Faults.bh_from >= 0 && Time.compare at b.bh_until < 0)
+          bhs
+      in
+      let expected_lost = ref 0 in
+      let ok =
+        List.for_all
+          (fun s ->
+            let at = Time.seconds s in
+            let lost = Faults.deliveries l ~now:at ~bytes:64 = [] in
+            if in_window at then begin
+              incr expected_lost;
+              lost
+            end
+            else not lost)
+          times
+      in
+      ok && Faults.blackholed t = !expected_lost && Faults.lost t = !expected_lost)
+
+(* Channel-level determinism: the same impairment plan over the same
+   traffic makes bit-identical fault decisions — the property the soak's
+   printed-plan replay rests on. *)
+let prop_impairment_rerun_identical =
+  QCheck2.Test.make ~name:"same plan, same traffic, same fault decisions" ~count:60
+    QCheck2.Gen.(pair small_nat (int_range 10 120))
+    (fun (seed, n) ->
+      let plan =
+        Faults.random_impairment_plan ~seed ~mbs:[ "m" ] ~horizon:(Time.seconds 10.0)
+      in
+      let run () =
+        let engine = Engine.create () in
+        let t = Faults.create engine plan in
+        let fwd = Faults.link t ~name:"wire" () in
+        let rev = Faults.link t ~dir:`Rev ~name:"wire" () in
+        let g = Prng.create ~seed:(seed lxor 0x7E57) in
+        let out = ref [] in
+        for _ = 1 to n do
+          let at = Time.seconds (Prng.float g 10.0) in
+          let bytes = 1 + Prng.int g 4096 in
+          let dir = if Prng.chance g 0.5 then fwd else rev in
+          out := Faults.deliveries dir ~now:at ~bytes :: !out
+        done;
+        ( !out,
+          Faults.dropped t,
+          Faults.duplicated t,
+          Faults.delayed t,
+          Faults.corrupted t,
+          Faults.throttled t,
+          Faults.shaper_dropped t,
+          Faults.blackholed t )
+      in
+      run () = run ())
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -1063,6 +1235,14 @@ let () =
             test_channel_latency_and_bandwidth;
           Alcotest.test_case "fifo serialization" `Quick test_channel_fifo_serialization;
         ] );
+      ( "faults",
+        qcheck
+          [
+            prop_shaper_conservation;
+            prop_jitter_within_support;
+            prop_blackhole_exact;
+            prop_impairment_rerun_identical;
+          ] );
       ("recorder", [ Alcotest.test_case "filter" `Quick test_recorder_filter ]);
       ( "telemetry",
         [
