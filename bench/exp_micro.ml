@@ -358,10 +358,21 @@ let major_collections_instance =
 
 (* Run one benchmark in isolation: compact away everything previous
    benchmarks left behind, build this benchmark's fixtures, measure,
-   and let the fixtures die with the returned closure. *)
+   and let the fixtures die with the returned closure.
+
+   Per-sample GC stabilization and compaction are off: with a multi-MB
+   fixture (a 10k-entry state table, 100k parked timers) each costs
+   milliseconds per sample, which caps the sampler at small run counts
+   and bleeds into the OLS slope — the state-table rows read ~10x their
+   true per-op cost (and a spurious ~4 minor words/op) with stabilize
+   on.  Heap hygiene across benchmarks is already handled by the
+   explicit compact above. *)
 let measure_one build =
   Gc.compact ();
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let cfg =
+    Benchmark.cfg ~stabilize:false ~compaction:false ~limit:2000
+      ~quota:(Time.second 0.5) ()
+  in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let clock = Toolkit.Instance.monotonic_clock in
   let instances =
@@ -464,6 +475,18 @@ let macro_move_1k () =
 
 let bench_file = "BENCH_micro.json"
 
+let result_row r =
+  let open Openmb_wire in
+  Json.Assoc
+    [
+      ("ns_per_op", Json.Float r.ns_per_op);
+      ("minor_words_per_op", Json.Float r.minor_words_per_op);
+      ("major_words_per_op", Json.Float r.major_words_per_op);
+      ("promoted_words_per_op", Json.Float r.promoted_words_per_op);
+      ("minor_collections_per_op", Json.Float r.minor_collections_per_op);
+      ("major_collections_per_op", Json.Float r.major_collections_per_op);
+    ]
+
 (* Merge this run's results into BENCH_micro.json under [label],
    keeping any other labels (e.g. the pre-change numbers) intact. *)
 let write_json results label =
@@ -475,27 +498,75 @@ let write_json results label =
       | _ | (exception Json.Parse_error _) -> []
     else []
   in
-  let entry =
-    Json.Assoc
-      (List.map
-         (fun r ->
-           ( r.bench_name,
-             Json.Assoc
-               [
-                 ("ns_per_op", Json.Float r.ns_per_op);
-                 ("minor_words_per_op", Json.Float r.minor_words_per_op);
-                 ("major_words_per_op", Json.Float r.major_words_per_op);
-                 ("promoted_words_per_op", Json.Float r.promoted_words_per_op);
-                 ("minor_collections_per_op", Json.Float r.minor_collections_per_op);
-                 ("major_collections_per_op", Json.Float r.major_collections_per_op);
-               ] ))
-         results)
-  in
+  let entry = Json.Assoc (List.map (fun r -> (r.bench_name, result_row r)) results) in
   let fields = List.remove_assoc label existing @ [ (label, entry) ] in
   Out_channel.with_open_text bench_file (fun oc ->
       Out_channel.output_string oc (Json.to_string_pretty (Json.Assoc fields));
       Out_channel.output_char oc '\n');
   Printf.printf "  [json] wrote %s (label %S)\n" bench_file label
+
+(* Set by the driver (micro --rebaseline L1[,L2...]): after the suite
+   runs, re-record the named committed labels in place instead of
+   appending a new label. *)
+let rebaseline_labels : string list ref = ref []
+
+(* Host-drift helper: when the machine changes, every committed ns/op
+   baseline is stale at once and a fresh run can't be compared against
+   any of them.  [rebaseline results labels] overwrites, inside each
+   named label of BENCH_micro.json, only the rows that label already
+   tracks with this run's measurements.  Rows the fresh run didn't
+   produce are kept verbatim (and counted, so a label fed by a
+   different experiment is visibly not refreshed); rows the label never
+   tracked are never added; a label absent from the file is a hard
+   error — a typo'd label must fail loudly, not silently record
+   nothing. *)
+let rebaseline results labels =
+  let open Openmb_wire in
+  let fields =
+    match Json.of_string (In_channel.with_open_text bench_file In_channel.input_all) with
+    | Json.Assoc fields -> fields
+    | _ -> failwith (bench_file ^ ": not a labelled result file")
+    | exception Sys_error msg -> failwith msg
+    | exception Json.Parse_error _ -> failwith (bench_file ^ ": unparseable result file")
+  in
+  let missing = List.filter (fun l -> not (List.mem_assoc l fields)) labels in
+  if missing <> [] then begin
+    List.iter
+      (fun l -> Printf.eprintf "rebaseline: %s: missing label %S\n" bench_file l)
+      missing;
+    exit 1
+  end;
+  let fresh name = List.find_opt (fun r -> String.equal r.bench_name name) results in
+  let fields =
+    List.map
+      (fun (label, entry) ->
+        match (List.mem label labels, entry) with
+        | false, _ -> (label, entry)
+        | true, Json.Assoc rows ->
+          let hit = ref 0 in
+          let rows =
+            List.map
+              (fun (name, old) ->
+                match fresh name with
+                | Some r ->
+                  incr hit;
+                  (name, result_row r)
+                | None -> (name, old))
+              rows
+          in
+          Printf.printf "  [rebaseline] %S: overwrote %d row(s), kept %d\n" label !hit
+            (List.length rows - !hit);
+          (label, Json.Assoc rows)
+        | true, other ->
+          Printf.printf "  [rebaseline] %S: not a row table, kept verbatim\n" label;
+          (label, other))
+      fields
+  in
+  Out_channel.with_open_text bench_file (fun oc ->
+      Out_channel.output_string oc (Json.to_string_pretty (Json.Assoc fields));
+      Out_channel.output_char oc '\n');
+  Printf.printf "  [json] rebaselined %s (labels %s)\n" bench_file
+    (String.concat ", " labels)
 
 (* ------------------------------------------------------------------ *)
 (* Result comparison (--compare)                                       *)
@@ -646,7 +717,10 @@ let scan_vs_index () =
           Test.make ~name:"scan"
             (Staged.stage (fun () -> ignore (Openmb_mbox.State_table.matching t q)))
         in
-        let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
+        let cfg =
+          Benchmark.cfg ~stabilize:false ~compaction:false ~limit:1000
+            ~quota:(Time.second 0.25) ()
+        in
         let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
         let instance = Toolkit.Instance.monotonic_clock in
         match Test.elements test with
@@ -783,4 +857,7 @@ let run () =
       Util.row "  %-42s %12.1f %10.1f %10.2f %8.4f\n" r.bench_name r.ns_per_op
         r.minor_words_per_op r.promoted_words_per_op r.minor_collections_per_op)
     results;
-  match !json_label with None -> () | Some label -> write_json results label
+  match !rebaseline_labels with
+  | _ :: _ as labels -> rebaseline results labels
+  | [] -> (
+    match !json_label with None -> () | Some label -> write_json results label)

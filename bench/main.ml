@@ -21,6 +21,14 @@
 
      dune exec bench/main.exe -- micro --compare before.json after.json
 
+   micro --rebaseline LABEL[,LABEL...] re-records committed baselines
+   in place after a host change: the suite runs once (honouring
+   --rounds) and, inside each named label of BENCH_micro.json, only the
+   rows that label already tracks are overwritten — a label absent from
+   the file fails the run:
+
+     dune exec bench/main.exe -- micro --rounds 3 --rebaseline after
+
    failover --faults SEED swaps the failover battery for a single
    recovery run under the named deterministic fault plan (message drops
    and duplication, latency spikes, a possible primary crash),
@@ -73,6 +81,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "pktpath",
       "batched vs. scalar packet path through switch+NAT+monitor",
       Exp_pktpath.run );
+    ( "statetable",
+      "flat open-addressing flow-state core vs. Hashtbl, 10k and 1M entries",
+      Exp_statetable.run );
     ( "soak",
       "HA chaos soak: replicated controller vs. fault-free oracle",
       Exp_soak.run );
@@ -159,13 +170,16 @@ let () =
         exit 2
       | "--min-speedup" :: factor :: rest when float_of_string_opt factor <> None ->
         (match float_of_string_opt factor with
-        | Some s when s > 0.0 -> Exp_pktpath.min_speedup := Some s
+        | Some s when s > 0.0 ->
+          (* The floor applies to whichever gated experiment runs. *)
+          Exp_pktpath.min_speedup := Some s;
+          Exp_statetable.min_speedup := Some s
         | _ ->
-          Printf.eprintf "usage: pktpath --min-speedup S (S > 0)\n";
+          Printf.eprintf "usage: pktpath|statetable --min-speedup S (S > 0)\n";
           exit 2);
         strip rest
       | "--min-speedup" :: _ ->
-        Printf.eprintf "usage: pktpath --min-speedup S\n";
+        Printf.eprintf "usage: pktpath|statetable --min-speedup S\n";
         exit 2
       | "--min-events-per-sec" :: rate :: rest when float_of_string_opt rate <> None ->
         (match float_of_string_opt rate with
@@ -194,6 +208,12 @@ let () =
         strip rest
       | "--trace-out" :: _ ->
         Printf.eprintf "usage: move|telemetry|failover|scale --trace-out FILE.json\n";
+        exit 2
+      | "--rebaseline" :: labels :: rest when String.length labels > 0 ->
+        Exp_micro.rebaseline_labels := String.split_on_char ',' labels;
+        strip rest
+      | "--rebaseline" :: _ ->
+        Printf.eprintf "usage: micro --rebaseline LABEL[,LABEL...]\n";
         exit 2
       | "--rounds" :: n :: rest when int_of_string_opt n <> None ->
         (match int_of_string_opt n with

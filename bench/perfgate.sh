@@ -22,6 +22,10 @@
 #      must show the vectorized path at least 5x the scalar packet rate
 #      (the full 1/16/64/256 sweep is recorded in BENCH_micro.json, not
 #      rerun here)
+#   5b. flow-state-core gate: the flat open-addressing table must beat
+#      the Hashtbl baseline by at least 1.3x on 1M-entry find hits (it
+#      measures ~3x when the machine is quiet; the floor catches a
+#      probe path that collapsed, not scheduler noise)
 #   6. telemetry-overhead gate: the tracked scheduler rows re-measured
 #      with a live metric registry attached must stay within 5% of
 #      their registry-free twins (min-of-3 rounds, off/on pair also
@@ -47,12 +51,13 @@ trap 'rm -rf "$tmp"' EXIT
 (cd "$tmp" && "$bench" micro --json --label fresh --rounds 3)
 "$bench" micro --compare "BENCH_micro.json#after" "$tmp/BENCH_micro.json#fresh"
 "$bench" micro --require-labels BENCH_micro.json \
-  after,scale-d1,scale-d2,scale-d4,scale-d8,pktpath-b1,pktpath-b16,pktpath-b64,pktpath-b256,soak
+  after,scale-d1,scale-d2,scale-d4,scale-d8,pktpath-b1,pktpath-b16,pktpath-b64,pktpath-b256,statetable-10k,statetable-1m,soak
 # The smoke floor is deliberately conservative: it catches a sharded
 # core that collapsed (orders of magnitude), not scheduler noise on a
 # loaded or single-core machine.
 (cd "$tmp" && "$bench" scale --flows 20000 --domains 4 --min-events-per-sec 50000)
 (cd "$tmp" && "$bench" pktpath --batch 1 --batch 64 --min-speedup 5)
+(cd "$tmp" && "$bench" statetable --min-speedup 1.3)
 (cd "$tmp" && "$bench" micro-telemetry --gate 5 --json --label micro-telemetry)
 CHAOS_ITERS=5 "$chaos"
 (cd "$tmp" && "$bench" soak)

@@ -10,7 +10,7 @@ type t = {
   h_apply : Telemetry.histogram;
   (* Open agent-side spans keyed by op id; tagged with the controller's
      causality id so exported traces link both halves of an op. *)
-  op_spans : (int, Telemetry.Trace.span) Hashtbl.t;
+  op_spans : Telemetry.Trace.span Openmb_net.Flat_table.t;
   impl : Southbound.impl;
   filter : Event.Filter.t;
   mutable send_reply : Message.from_mb -> unit;
@@ -37,17 +37,26 @@ type t = {
      reset it, exactly as a lease check against a config store would
      survive the MB restarting. *)
   mutable ctrl_epoch : int;
-  (* Volatile at-most-once bookkeeping.  [op_replies] caches the
-     replies of every op this incarnation completed so duplicated
-     deliveries replay instead of re-executing; [op_started] marks ops
-     currently executing so their duplicates are dropped (the running
-     execution will answer); [applied_seq] maps mutation sequence
-     numbers to their final reply so retried puts are idempotent even
-     across op ids. *)
-  op_replies : (int, Message.reply list) Hashtbl.t;
-  op_started : (int, unit) Hashtbl.t;
-  applied_seq : (int, Message.reply) Hashtbl.t;
+  (* Volatile at-most-once bookkeeping, in int-keyed flat tables (the
+     id rides in key word [pa]).  [ops] holds every op this incarnation
+     has seen: an entry appears (empty) when execution starts, so
+     duplicates of an in-flight op are dropped (the running execution
+     will answer), and accumulates the op's replies so duplicated
+     deliveries of a completed op replay instead of re-executing.
+     [applied_seq] maps mutation sequence numbers to their final reply
+     so retried puts are idempotent even across op ids. *)
+  ops : Message.reply list Openmb_net.Flat_table.t;
+  applied_seq : Message.reply Openmb_net.Flat_table.t;
 }
+
+(* Int-keyed probes into the flat cores: the id is word [pa], [pb] is 0.
+   Op ids and sequence numbers are non-negative, as the mixer needs. *)
+let[@inline] ihash k = Openmb_net.Five_tuple.hash_words ~pa:k ~pb:0
+let ft_find tbl k = Openmb_net.Flat_table.find tbl ~pa:k ~pb:0 ~h:(ihash k)
+let ft_replace tbl k v = Openmb_net.Flat_table.replace tbl ~pa:k ~pb:0 ~h:(ihash k) v
+
+let ft_remove tbl k =
+  ignore (Openmb_net.Flat_table.remove tbl ~pa:k ~pb:0 ~h:(ihash k) : bool)
 
 let record t ~kind ~detail =
   match t.recorder with
@@ -76,7 +85,7 @@ let create engine ?recorder ?telemetry ~impl () =
       c_events = c "mb.events_raised";
       h_serialize = h "mb.serialize";
       h_apply = h "mb.apply";
-      op_spans = Hashtbl.create 64;
+      op_spans = Openmb_net.Flat_table.create ~capacity:64 ();
       impl;
       filter = Event.Filter.create ();
       send_reply = not_attached;
@@ -89,9 +98,8 @@ let create engine ?recorder ?telemetry ~impl () =
       epoch = 0;
       crash_count = 0;
       ctrl_epoch = 0;
-      op_replies = Hashtbl.create 64;
-      op_started = Hashtbl.create 64;
-      applied_seq = Hashtbl.create 64;
+      ops = Openmb_net.Flat_table.create ~capacity:64 ();
+      applied_seq = Openmb_net.Flat_table.create ~capacity:64 ();
     }
   in
   (* Events raised by the MB's packet-processing logic flow out through
@@ -129,10 +137,9 @@ let crash t =
     t.active_ops <- 0;
     t.impl.set_op_active false;
     t.cpu_free_at <- Engine.now t.engine;
-    Hashtbl.reset t.op_replies;
-    Hashtbl.reset t.op_started;
-    Hashtbl.reset t.applied_seq;
-    Hashtbl.reset t.op_spans;
+    Openmb_net.Flat_table.clear t.ops;
+    Openmb_net.Flat_table.clear t.applied_seq;
+    Openmb_net.Flat_table.clear t.op_spans;
     t.impl.on_crash ();
     record t ~kind:"crash" ~detail:""
   end
@@ -191,23 +198,23 @@ let begin_op_span t op tid req =
       Telemetry.span_begin tel ~now:(Engine.now t.engine) ~actor:t.impl.name
         ~name:("mb." ^ Message.request_name req) ~op:tid ~a0:op ()
     in
-    Hashtbl.replace t.op_spans op span
+    ft_replace t.op_spans op span
 
 (* Everything but a mid-stream chunk finishes the op on the agent side. *)
 let reply_is_terminal = function Message.State_chunk _ -> false | _ -> true
 
 let end_op_span t op =
-  match Hashtbl.find_opt t.op_spans op with
+  match ft_find t.op_spans op with
   | None -> ()
   | Some span ->
-    Hashtbl.remove t.op_spans op;
+    ft_remove t.op_spans op;
     (match t.tel with
     | Some tel -> Telemetry.span_end tel ~now:(Engine.now t.engine) span
     | None -> ())
 
 let reply t op reply =
-  let prev = try Hashtbl.find t.op_replies op with Not_found -> [] in
-  Hashtbl.replace t.op_replies op (reply :: prev);
+  let prev = match ft_find t.ops op with Some l -> l | None -> [] in
+  ft_replace t.ops op (reply :: prev);
   send_reply_raw t op reply;
   if reply_is_terminal reply then end_op_span t op
 
@@ -260,7 +267,7 @@ let handle_put t op ~what ~seq chunk (store : Chunk.t -> (unit, Errors.t) result
       let r =
         match store chunk with Ok () -> Message.Ack | Error e -> Message.Op_error e
       in
-      Hashtbl.replace t.applied_seq seq r;
+      ft_replace t.applied_seq seq r;
       reply t op r)
 
 let handle_del t op (remove : unit -> (int, Errors.t) result) =
@@ -356,7 +363,7 @@ let execute t op req =
         record t ~kind:"put-batch"
           ~detail:(Printf.sprintf "n=%d errors=%d" count (List.length errors));
         let r = Message.Batch_ack { seq; count; errors } in
-        Hashtbl.replace t.applied_seq seq r;
+        ft_replace t.applied_seq seq r;
         reply t op r)
   | Message.Abort_perflow hfl ->
     exec t config_op_cost (fun () ->
@@ -386,30 +393,34 @@ let handle_request t { Message.op; tid; req } =
   else begin
     if op asr 40 > t.ctrl_epoch then t.ctrl_epoch <- op asr 40;
     t.ops_handled <- t.ops_handled + 1;
-    match seq_of_request req with
-    | Some seq when Hashtbl.mem t.applied_seq seq ->
+    let seq_hit =
+      match seq_of_request req with
+      | Some seq -> (
+        match ft_find t.applied_seq seq with
+        | Some r -> Some (seq, r)
+        | None -> None)
+      | None -> None
+    in
+    match seq_hit with
+    | Some (seq, r) ->
       (* Already-applied mutation (retry or duplicated delivery):
          replay the recorded outcome under the incoming op id without
          touching state. *)
-      let r = Hashtbl.find t.applied_seq seq in
       Telemetry.incr t.c_dedup;
       record t ~kind:"dedup" ~detail:(Printf.sprintf "seq=%d" seq);
       exec t Time.zero (fun () -> send_reply_raw t op r)
-    | _ ->
-      if Hashtbl.mem t.op_started op then begin
-        (* Duplicated delivery of an op this incarnation has seen:
-           replay its replies if it completed, otherwise drop — the
-           in-flight execution will answer. *)
-        match Hashtbl.find_opt t.op_replies op with
-        | Some replies ->
-          Telemetry.incr t.c_dedup;
-          record t ~kind:"dedup" ~detail:(Printf.sprintf "op=%d" op);
-          exec t Time.zero (fun () -> List.iter (send_reply_raw t op) (List.rev replies))
-        | None -> record t ~kind:"dedup-drop" ~detail:(Printf.sprintf "op=%d" op)
-      end
-      else begin
-        Hashtbl.replace t.op_started op ();
+    | None -> (
+      (* One probe decides all three op-id cases: unseen (entry absent),
+         in flight with nothing sent yet (empty list), or already
+         replied (replay). *)
+      match ft_find t.ops op with
+      | Some (_ :: _ as replies) ->
+        Telemetry.incr t.c_dedup;
+        record t ~kind:"dedup" ~detail:(Printf.sprintf "op=%d" op);
+        exec t Time.zero (fun () -> List.iter (send_reply_raw t op) (List.rev replies))
+      | Some [] -> record t ~kind:"dedup-drop" ~detail:(Printf.sprintf "op=%d" op)
+      | None ->
+        ft_replace t.ops op [];
         begin_op_span t op tid req;
-        execute t op req
-      end
+        execute t op req)
   end

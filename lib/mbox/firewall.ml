@@ -80,9 +80,11 @@ let evaluate t (p : Packet.t) =
   scan (rules t)
 
 let process t (p : Packet.t) ~side_effects =
-  let tup = Five_tuple.of_packet p in
   let entry, _created =
-    State_table.find_or_create t.table tup ~default:(fun () -> evaluate t p)
+    State_table.find_or_create_words t.table ~pa:(Five_tuple.word_a_packet p)
+      ~pb:(Five_tuple.word_b_packet p)
+      ~tuple:(fun () -> Five_tuple.of_packet p)
+      ~default:(fun () -> evaluate t p)
   in
   (* Shared reporting counters merge by addition on scale-down; replays
      must not double-count (§4.1.3). *)
@@ -119,12 +121,17 @@ let receive_batch t b =
         scan rls
       in
       let n = Packet_batch.length b in
+      let ka = Packet_batch.key_a b and kb = Packet_batch.key_b b in
       let allowed = ref 0 and denied = ref 0 in
       for i = 0 to n - 1 do
         let p = Packet_batch.get b i in
-        let tup = Five_tuple.of_packet p in
+        (* Probe straight from the batch's key columns; the tuple is
+           only built for first-seen flows. *)
         let entry, _created =
-          State_table.find_or_create t.table tup ~default:(fun () -> eval p)
+          State_table.find_or_create_words t.table ~pa:(Array.unsafe_get ka i)
+            ~pb:(Array.unsafe_get kb i)
+            ~tuple:(fun () -> Five_tuple.of_packet p)
+            ~default:(fun () -> eval p)
         in
         (match entry.value with
         | Allow -> incr allowed

@@ -73,13 +73,18 @@ let pick_backend t (p : Packet.t) =
     in
     best
   | Source_hash ->
-    let h = Hashtbl.hash (Addr.to_string p.src_ip, p.src_port) in
+    (* Avalanche the (src ip, src port) word with the packed-key mixer —
+       no string or tuple allocation, and sequential client ports spread
+       evenly across backends. *)
+    let h = Five_tuple.hash_words ~pa:(Five_tuple.word_a_packet p) ~pb:0 in
     t.backends.(h mod Array.length t.backends)
 
 let process t (p : Packet.t) ~side_effects =
-  let tup = Five_tuple.of_packet p in
   let entry, created =
-    State_table.find_or_create t.table tup ~default:(fun () -> pick_backend t p)
+    State_table.find_or_create_words t.table ~pa:(Five_tuple.word_a_packet p)
+      ~pb:(Five_tuple.word_b_packet p)
+      ~tuple:(fun () -> Five_tuple.of_packet p)
+      ~default:(fun () -> pick_backend t p)
   in
   if created && side_effects then
     Mb_base.raise_event t.base

@@ -76,10 +76,14 @@ let service_of_known known port =
    batch.  Returns [(created, body_bytes)] for the caller's shared-totals
    accounting. *)
 let touch t (p : Packet.t) ~known ~side_effects =
-  let tup = Five_tuple.of_packet p in
   let ts = Time.to_seconds p.ts in
+  (* Word-level probe: the per-flow record resolves without building a
+     tuple; one is only materialized when the flow is first seen. *)
   let entry, created =
-    State_table.find_or_create t.table tup ~default:(fun () ->
+    State_table.find_or_create_words t.table ~pa:(Five_tuple.word_a_packet p)
+      ~pb:(Five_tuple.word_b_packet p)
+      ~tuple:(fun () -> Five_tuple.of_packet p)
+      ~default:(fun () ->
         { fr_first = ts; fr_last = ts; fr_pkts = 0; fr_bytes = 0; fr_service = "" })
   in
   let body = Packet.body_bytes p in

@@ -26,12 +26,30 @@ type t = {
   ext_ips : Addr.t array;
   internal_prefix : Addr.prefix;
   table : mapping State_table.t;
-  by_external : (int, Hfl.t) Hashtbl.t;  (* packed (ext ip, port) -> table key *)
+  (* packed (ext ip, port) -> table key, in the flat open-addressing
+     core: the int key rides in word [pa] with [pb = 0]. *)
+  by_external : Hfl.t Flat_table.t;
   mutable next_slot : int; (* cursor into ip x port slot space *)
   mutable dropped : int;
 }
 
 let pack_external ip port = (Addr.to_int ip lsl 16) lor port
+
+let ext_find t ip port =
+  let pa = pack_external ip port in
+  Flat_table.find t.by_external ~pa ~pb:0 ~h:(Five_tuple.hash_words ~pa ~pb:0)
+
+let ext_mem t ip port =
+  let pa = pack_external ip port in
+  Flat_table.mem t.by_external ~pa ~pb:0 ~h:(Five_tuple.hash_words ~pa ~pb:0)
+
+let ext_set t ip port key =
+  let pa = pack_external ip port in
+  Flat_table.replace t.by_external ~pa ~pb:0 ~h:(Five_tuple.hash_words ~pa ~pb:0) key
+
+let ext_remove t ip port =
+  let pa = pack_external ip port in
+  ignore (Flat_table.remove t.by_external ~pa ~pb:0 ~h:(Five_tuple.hash_words ~pa ~pb:0) : bool)
 
 let nat_granularity = Hfl.[ Dim_src_ip; Dim_src_port; Dim_proto ]
 
@@ -58,7 +76,7 @@ let create engine ?recorder ?telemetry ?(cost = default_cost) ?(external_ips = [
     ext_ips = Array.of_list (external_ip :: external_ips);
     internal_prefix;
     table = State_table.create ~granularity:nat_granularity ();
-    by_external = Hashtbl.create 64;
+    by_external = Flat_table.create ~capacity:64 ();
     next_slot = 0;
     dropped = 0;
   }
@@ -74,7 +92,7 @@ let allocate_external t =
     let slot = if slot >= nslots then 0 else slot in
     let ip = t.ext_ips.(slot / ports_per_ip) in
     let port = port_lo + (slot mod ports_per_ip) in
-    if not (Hashtbl.mem t.by_external (pack_external ip port)) then begin
+    if not (ext_mem t ip port) then begin
       t.next_slot <- slot + 1;
       (ip, port)
     end
@@ -87,9 +105,11 @@ let is_outbound t (p : Packet.t) = Addr.in_prefix p.src_ip t.internal_prefix
 let process t (p : Packet.t) ~side_effects =
   let ts = Time.to_seconds p.ts in
   if is_outbound t p then begin
-    let tup = Five_tuple.of_packet p in
     let entry, created =
-      State_table.find_or_create t.table tup ~default:(fun () ->
+      State_table.find_or_create_words t.table ~pa:(Five_tuple.word_a_packet p)
+        ~pb:(Five_tuple.word_b_packet p)
+        ~tuple:(fun () -> Five_tuple.of_packet p)
+        ~default:(fun () ->
           let ext_ip, ext_port = allocate_external t in
           {
             m_int_ip = p.src_ip;
@@ -102,9 +122,7 @@ let process t (p : Packet.t) ~side_effects =
           })
     in
     if created then begin
-      Hashtbl.replace t.by_external
-        (pack_external entry.value.m_ext_ip entry.value.m_ext_port)
-        entry.key;
+      ext_set t entry.value.m_ext_ip entry.value.m_ext_port entry.key;
       if side_effects then
         Mb_base.raise_event t.base
           (Event.Introspect
@@ -134,21 +152,23 @@ let process t (p : Packet.t) ~side_effects =
     else None
   end
   else begin
-    (* Inbound: reverse translation by destination (external IP, port). *)
-    match Hashtbl.find_opt t.by_external (pack_external p.dst_ip p.dst_port) with
+    (* Inbound: reverse translation by destination (external IP, port).
+       The stored key is exact at NAT granularity, so the reverse map
+       resolves with two O(1) flat probes — no table scan. *)
+    match ext_find t p.dst_ip p.dst_port with
     | None ->
       t.dropped <- t.dropped + 1;
       None
     | Some key -> (
-      match State_table.matching t.table key with
-      | [ entry ] ->
+      match State_table.find_key t.table key with
+      | Some entry ->
         entry.value <- { entry.value with m_last_active = ts };
         if entry.moved then
           Mb_base.raise_event t.base (Event.Reprocess { key = entry.key; packet = p });
         if side_effects then
           Some { p with dst_ip = entry.value.m_int_ip; dst_port = entry.value.m_int_port }
         else None
-      | _ ->
+      | None ->
         t.dropped <- t.dropped + 1;
         None)
   end
@@ -235,7 +255,7 @@ let put_support_perflow t (chunk : Chunk.t) =
       match mapping_of_json ~default_ext_ip:t.ext_ips.(0) json with
       | m ->
         State_table.insert t.table ~key:chunk.key m;
-        Hashtbl.replace t.by_external (pack_external m.m_ext_ip m.m_ext_port) chunk.key;
+        ext_set t m.m_ext_ip m.m_ext_port chunk.key;
         Ok ()
       | exception Invalid_argument msg -> Error (Errors.Bad_chunk msg))
 
@@ -243,8 +263,7 @@ let del_support_perflow t hfl =
   let removed = State_table.remove_moved_matching t.table hfl in
   State_table.remove_move_filter t.table hfl;
   List.iter
-    (fun (e : mapping State_table.entry) ->
-      Hashtbl.remove t.by_external (pack_external e.value.m_ext_ip e.value.m_ext_port))
+    (fun (e : mapping State_table.entry) -> ext_remove t e.value.m_ext_ip e.value.m_ext_port)
     removed;
   Ok (List.length removed)
 
@@ -283,7 +302,7 @@ let set_config t path values =
             ]
           in
           State_table.insert t.table ~key m;
-          Hashtbl.replace t.by_external (pack_external m.m_ext_ip m.m_ext_port) key)
+          ext_set t m.m_ext_ip m.m_ext_port key)
         ms;
       store ()
     | exception Invalid_argument msg -> Error (Errors.Op_failed msg))
@@ -318,12 +337,12 @@ let lookup_external t ~ext_port =
   let rec go i =
     if i >= n then None
     else
-      match Hashtbl.find_opt t.by_external (pack_external t.ext_ips.(i) ext_port) with
+      match ext_find t t.ext_ips.(i) ext_port with
       | None -> go (i + 1)
       | Some key -> (
-        match State_table.matching t.table key with
-        | [ e ] -> Some e.value
-        | _ -> None)
+        match State_table.find_key t.table key with
+        | Some e -> Some e.value
+        | None -> None)
   in
   go 0
 

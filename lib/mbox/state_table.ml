@@ -7,20 +7,19 @@ type 'a entry = {
   mutable moved : bool;
 }
 
-module Ptbl = Five_tuple.Packed_table
-
 type 'a t = {
   granularity : Hfl.granularity;
-  (* Tables probe this packed-int hash on the packet path: no field
-     list, no key string, no per-lookup allocation beyond the two-word
-     packed key.  Coarse granularities participate through masked
-     words (below): the bits of absent dimensions are cleared, so
-     every tuple with the same granularity projection probes the same
-     slot. *)
-  packed : 'a entry Ptbl.t option;
+  (* Tables probe this flat open-addressing table on the packet path:
+     no field list, no key string, no per-lookup allocation — the probe
+     key is the tuple's two packed words and their precomputed hash
+     ({!Openmb_net.Flat_table}).  Coarse granularities participate
+     through masked words (below): the bits of absent dimensions are
+     cleared, so every tuple with the same granularity projection
+     probes the same slot. *)
+  packed : 'a entry Flat_table.t option;
   (* Dimension-presence bits (see [dim_bit]) and the corresponding
-     bit masks over the two packed words; [kbits = full_kbits] means
-     the identity mask. *)
+     bit masks over the two packed words; at full granularity both
+     word masks are all-ones, so masking is branch-free either way. *)
   kbits : int;
   pa_mask : int;
   pb_mask : int;
@@ -43,7 +42,6 @@ let dim_bit = function
   | Hfl.Dim_dst_port -> 8
   | Hfl.Dim_proto -> 16
 
-let full_kbits = 31
 let kbits_of g = List.fold_left (fun m d -> m lor dim_bit d) 0 g
 
 (* Word layout (Five_tuple): pa = src_ip:32 | src_port:16,
@@ -57,12 +55,17 @@ let pb_mask_of bits =
   lor (if bits land 8 <> 0 then 0xFFFF lsl 2 else 0)
   lor if bits land 16 <> 0 then 3 else 0
 
+(* Packed words of the reverse-direction tuple, from the forward words:
+   swap the ip:port halves and carry the proto bits across. *)
+let[@inline] rev_pa ~pb = ((pb lsr 18) lsl 16) lor ((pb lsr 2) land 0xFFFF)
+let[@inline] rev_pb ~pa ~pb = ((pa lsr 16) lsl 18) lor ((pa land 0xFFFF) lsl 2) lor (pb land 3)
+
 let create ?(indexed = false) ?packed ~granularity () =
   let use_packed = match packed with Some b -> b | None -> true in
   let kbits = kbits_of granularity in
   {
     granularity;
-    packed = (if use_packed then Some (Ptbl.create 64) else None);
+    packed = (if use_packed then Some (Flat_table.create ~capacity:64 ()) else None);
     kbits;
     pa_mask = pa_mask_of kbits;
     pb_mask = pb_mask_of kbits;
@@ -82,89 +85,100 @@ let src_of_key key =
         None)
     key
 
+(* Both guards match on [by_src] first: the unindexed default must not
+   pay [src_of_key]'s scan (and its closure) on every insert. *)
 let index_add t (e : 'a entry) =
-  match (t.by_src, src_of_key e.key) with
-  | Some idx, Some src ->
-    let bucket =
-      match Hashtbl.find_opt idx src with
-      | Some b -> b
-      | None ->
-        let b = Hashtbl.create 4 in
-        Hashtbl.replace idx src b;
-        b
-    in
-    Hashtbl.replace bucket (Lazy.force e.id) e
-  | (Some _ | None), _ -> ()
+  match t.by_src with
+  | None -> ()
+  | Some idx -> (
+    match src_of_key e.key with
+    | None -> ()
+    | Some src ->
+      let bucket =
+        match Hashtbl.find_opt idx src with
+        | Some b -> b
+        | None ->
+          let b = Hashtbl.create 4 in
+          Hashtbl.replace idx src b;
+          b
+      in
+      Hashtbl.replace bucket (Lazy.force e.id) e)
 
 let index_remove t (e : 'a entry) =
-  match (t.by_src, src_of_key e.key) with
-  | Some idx, Some src -> (
-    match Hashtbl.find_opt idx src with
-    | Some bucket ->
-      Hashtbl.remove bucket (Lazy.force e.id);
-      if Hashtbl.length bucket = 0 then Hashtbl.remove idx src
-    | None -> ())
-  | (Some _ | None), _ -> ()
+  match t.by_src with
+  | None -> ()
+  | Some idx -> (
+    match src_of_key e.key with
+    | None -> ()
+    | Some src -> (
+      match Hashtbl.find_opt idx src with
+      | Some bucket ->
+        Hashtbl.remove bucket (Lazy.force e.id);
+        if Hashtbl.length bucket = 0 then Hashtbl.remove idx src
+      | None -> ()))
 
 let granularity t = t.granularity
 
 let size t =
   Hashtbl.length t.by_key
-  + match t.packed with Some p -> Ptbl.length p | None -> 0
+  + match t.packed with Some p -> Flat_table.length p | None -> 0
 
 let key_of t tup = Hfl.key_of_tuple t.granularity tup
-
-(* Project a packed key onto the table's granularity: clear the bits of
-   every absent dimension.  Two tuples equal under [key_of] mask to the
-   same words, so the masked key is a faithful allocation-light stand-in
-   for the Hfl key string. *)
-let mask_packed t k =
-  if t.kbits = full_kbits then k
-  else
-    Five_tuple.pack_words
-      ~pa:(Five_tuple.packed_pa k land t.pa_mask)
-      ~pb:(Five_tuple.packed_pb k land t.pb_mask)
 
 (* Masked packed form of a stored key, when the key has exactly the
    table's granularity shape (one exact field per dimension).  Keys
    that do not — wildcard prefixes, imports from an MB with a different
-   granularity — return [None] and stay string-keyed. *)
+   granularity — return [None] and stay string-keyed.  The walk is a
+   top-level function (an inner [let rec] would heap a closure per
+   call) and builds the words from loose fields without an
+   intermediate tuple record: imports stream through here once per
+   chunk during a move, so the only allocation left is the result. *)
+let rec masked_walk kbits pa_mask pb_mask bits src sp dst dp proto = function
+  | [] ->
+    if bits = kbits then
+      Some
+        ( Five_tuple.word_a_of ~src_ip:src ~src_port:sp land pa_mask,
+          Five_tuple.word_b_of ~dst_ip:dst ~dst_port:dp ~proto land pb_mask )
+    else None
+  | f :: rest -> (
+    match f with
+    | Hfl.Src_ip p when Addr.prefix_len p = 32 ->
+      masked_walk kbits pa_mask pb_mask (bits lor 1) (Addr.prefix_base p) sp dst dp
+        proto rest
+    | Hfl.Dst_ip p when Addr.prefix_len p = 32 ->
+      masked_walk kbits pa_mask pb_mask (bits lor 2) src sp (Addr.prefix_base p) dp
+        proto rest
+    | Hfl.Src_port v ->
+      masked_walk kbits pa_mask pb_mask (bits lor 4) src v dst dp proto rest
+    | Hfl.Dst_port v ->
+      masked_walk kbits pa_mask pb_mask (bits lor 8) src sp dst v proto rest
+    | Hfl.Proto pr ->
+      masked_walk kbits pa_mask pb_mask (bits lor 16) src sp dst dp pr rest
+    | Hfl.Src_ip _ | Hfl.Dst_ip _ -> None)
+
 let masked_of_key t key =
-  let zero = Addr.of_int 0 in
-  let rec go bits src sp dst dp proto = function
-    | [] ->
-      if bits = t.kbits then
-        Some
-          (mask_packed t
-             (Five_tuple.pack
-                { Five_tuple.src_ip = src; dst_ip = dst; src_port = sp;
-                  dst_port = dp; proto }))
-      else None
-    | f :: rest -> (
-      match f with
-      | Hfl.Src_ip p when Addr.prefix_len p = 32 ->
-        go (bits lor 1) (Addr.prefix_base p) sp dst dp proto rest
-      | Hfl.Dst_ip p when Addr.prefix_len p = 32 ->
-        go (bits lor 2) src sp (Addr.prefix_base p) dp proto rest
-      | Hfl.Src_port v -> go (bits lor 4) src v dst dp proto rest
-      | Hfl.Dst_port v -> go (bits lor 8) src sp dst v proto rest
-      | Hfl.Proto pr -> go (bits lor 16) src sp dst dp pr rest
-      | Hfl.Src_ip _ | Hfl.Dst_ip _ -> None)
-  in
-  go 0 zero 0 zero 0 Packet.Tcp key
+  masked_walk t.kbits t.pa_mask t.pb_mask 0 (Addr.of_int 0) 0 (Addr.of_int 0) 0
+    Packet.Tcp key
 
 let find t tup =
   match t.packed with
-  | Some ptbl -> Ptbl.find_opt ptbl (mask_packed t (Five_tuple.pack tup))
+  | Some ftbl ->
+    let pa = Five_tuple.word_a tup land t.pa_mask
+    and pb = Five_tuple.word_b tup land t.pb_mask in
+    Flat_table.find ftbl ~pa ~pb ~h:(Five_tuple.hash_words ~pa ~pb)
   | None -> Hashtbl.find_opt t.by_key (Hfl.to_string (key_of t tup))
 
 let find_bidir t tup =
   match t.packed with
-  | Some ptbl -> (
-    let k = Five_tuple.pack tup in
-    match Ptbl.find_opt ptbl (mask_packed t k) with
-    | Some e -> Some e
-    | None -> Ptbl.find_opt ptbl (mask_packed t (Five_tuple.packed_reverse k)))
+  | Some ftbl -> (
+    let wa = Five_tuple.word_a tup and wb = Five_tuple.word_b tup in
+    let pa = wa land t.pa_mask and pb = wb land t.pb_mask in
+    match Flat_table.find ftbl ~pa ~pb ~h:(Five_tuple.hash_words ~pa ~pb) with
+    | Some _ as hit -> hit
+    | None ->
+      let rpa = rev_pa ~pb:wb land t.pa_mask
+      and rpb = rev_pb ~pa:wa ~pb:wb land t.pb_mask in
+      Flat_table.find ftbl ~pa:rpa ~pb:rpb ~h:(Five_tuple.hash_words ~pa:rpa ~pb:rpb))
   | None -> (
     match find t tup with
     | Some e -> Some e
@@ -177,24 +191,28 @@ let find_bidir t tup =
    from scratch). *)
 let born_moved t key = List.exists (fun f -> Hfl.subsumes f key) t.move_filters
 
-let find_or_create t tup ~default =
+(* Word-level find-or-create: the batch paths probe with the key
+   columns a [Packet_batch] already carries and only materialize the
+   tuple (and its Hfl key) on a miss. *)
+let find_or_create_words t ~pa:wa ~pb:wb ~tuple ~default =
   match t.packed with
-  | Some ptbl -> (
-    let k = mask_packed t (Five_tuple.pack tup) in
-    match Ptbl.find_opt ptbl k with
+  | Some ftbl -> (
+    let pa = wa land t.pa_mask and pb = wb land t.pb_mask in
+    match Flat_table.find ftbl ~pa ~pb ~h:(Five_tuple.hash_words ~pa ~pb) with
     | Some e -> (e, false)
     | None -> (
-      match
-        Ptbl.find_opt ptbl (mask_packed t (Five_tuple.pack (Five_tuple.reverse tup)))
-      with
+      let rpa = rev_pa ~pb:wb land t.pa_mask
+      and rpb = rev_pb ~pa:wa ~pb:wb land t.pb_mask in
+      match Flat_table.find ftbl ~pa:rpa ~pb:rpb ~h:(Five_tuple.hash_words ~pa:rpa ~pb:rpb) with
       | Some e -> (e, false)
       | None ->
-        let key = key_of t tup in
+        let key = key_of t (tuple ()) in
         let e = mk_entry key (default ()) (born_moved t key) in
-        Ptbl.replace ptbl k e;
+        Flat_table.replace ftbl ~pa ~pb ~h:(Five_tuple.hash_words ~pa ~pb) e;
         index_add t e;
         (e, true)))
   | None -> (
+    let tup = tuple () in
     match find_bidir t tup with
     | Some e -> (e, false)
     | None ->
@@ -203,6 +221,10 @@ let find_or_create t tup ~default =
       Hashtbl.replace t.by_key (Hfl.to_string key) e;
       index_add t e;
       (e, true))
+
+let find_or_create t tup ~default =
+  find_or_create_words t ~pa:(Five_tuple.word_a tup) ~pb:(Five_tuple.word_b tup)
+    ~tuple:(fun () -> tup) ~default
 
 let insert_string t ~key value =
   let id = Hfl.to_string key in
@@ -215,17 +237,31 @@ let insert_string t ~key value =
 
 let insert t ~key value =
   match t.packed with
-  | Some ptbl -> (
+  | Some ftbl -> (
     match masked_of_key t key with
-    | Some k ->
-      (match Ptbl.find_opt ptbl k with
+    | Some (pa, pb) ->
+      let h = Five_tuple.hash_words ~pa ~pb in
+      (match Flat_table.find ftbl ~pa ~pb ~h with
       | Some old -> index_remove t old
       | None -> ());
       let e = mk_entry key value false in
-      Ptbl.replace ptbl k e;
+      Flat_table.replace ftbl ~pa ~pb ~h e;
       index_add t e
     | None -> insert_string t ~key value)
   | None -> insert_string t ~key value
+
+(* Exact lookup under a stored key: the masked flat probe when the key
+   has the table's shape, the string fallback otherwise.  This is what
+   lets NAT resolve an inbound mapping in O(1) instead of scanning
+   ({!matching}) per packet. *)
+let find_key t key =
+  let string_find () = Hashtbl.find_opt t.by_key (Hfl.to_string key) in
+  match t.packed with
+  | Some ftbl -> (
+    match masked_of_key t key with
+    | Some (pa, pb) -> Flat_table.find ftbl ~pa ~pb ~h:(Five_tuple.hash_words ~pa ~pb)
+    | None -> string_find ())
+  | None -> string_find ()
 
 (* A request pinning the source to a single host can be served from the
    index; anything else falls back to the linear scan the paper's
@@ -248,7 +284,7 @@ let indexed_candidates t hfl =
 let fold_entries t ~init ~f =
   let acc =
     match t.packed with
-    | Some ptbl -> Ptbl.fold (fun _ e acc -> f acc e) ptbl init
+    | Some ftbl -> Flat_table.fold ftbl ~init ~f
     | None -> init
   in
   Hashtbl.fold (fun _ e acc -> f acc e) t.by_key acc
@@ -271,9 +307,10 @@ let iter_matching t hfl f =
 
 let remove_entry t (e : 'a entry) =
   (match t.packed with
-  | Some ptbl -> (
+  | Some ftbl -> (
     match masked_of_key t e.key with
-    | Some k -> Ptbl.remove ptbl k
+    | Some (pa, pb) ->
+      ignore (Flat_table.remove ftbl ~pa ~pb ~h:(Five_tuple.hash_words ~pa ~pb) : bool)
     | None -> Hashtbl.remove t.by_key (Lazy.force e.id))
   | None -> Hashtbl.remove t.by_key (Lazy.force e.id));
   index_remove t e
@@ -294,32 +331,28 @@ let remove_moved_matching t hfl =
   hits
 
 let remove_key t key =
-  match t.packed with
-  | Some ptbl -> (
-    match masked_of_key t key with
-    | Some k -> (
-      match Ptbl.find_opt ptbl k with
-      | Some e ->
-        Ptbl.remove ptbl k;
-        index_remove t e;
-        true
-      | None -> false)
-    | None -> (
-      let id = Hfl.to_string key in
-      match Hashtbl.find_opt t.by_key id with
-      | Some e ->
-        Hashtbl.remove t.by_key id;
-        index_remove t e;
-        true
-      | None -> false))
-  | None -> (
+  let string_remove () =
     let id = Hfl.to_string key in
     match Hashtbl.find_opt t.by_key id with
     | Some e ->
       Hashtbl.remove t.by_key id;
       index_remove t e;
       true
-    | None -> false)
+    | None -> false
+  in
+  match t.packed with
+  | Some ftbl -> (
+    match masked_of_key t key with
+    | Some (pa, pb) -> (
+      let h = Five_tuple.hash_words ~pa ~pb in
+      match Flat_table.find ftbl ~pa ~pb ~h with
+      | Some e ->
+        ignore (Flat_table.remove ftbl ~pa ~pb ~h : bool);
+        index_remove t e;
+        true
+      | None -> false)
+    | None -> string_remove ())
+  | None -> string_remove ()
 
 let add_move_filter t hfl = t.move_filters <- hfl :: t.move_filters
 
@@ -330,6 +363,6 @@ let iter t f = fold_entries t ~init:() ~f:(fun () e -> f e)
 let fold t ~init ~f = fold_entries t ~init ~f
 
 let clear t =
-  (match t.packed with Some ptbl -> Ptbl.reset ptbl | None -> ());
+  (match t.packed with Some ftbl -> Flat_table.clear ftbl | None -> ());
   Hashtbl.reset t.by_key;
   match t.by_src with Some idx -> Hashtbl.reset idx | None -> ()

@@ -65,6 +65,25 @@ val find_or_create :
 (** Bidirectional find; on miss, creates an entry keyed on the tuple as
     given.  The boolean is [true] when the entry was created. *)
 
+val find_or_create_words :
+  'a t ->
+  pa:int ->
+  pb:int ->
+  tuple:(unit -> Openmb_net.Five_tuple.t) ->
+  default:(unit -> 'a) ->
+  'a entry * bool
+(** {!find_or_create} probing directly with the tuple's two packed
+    words ({!Openmb_net.Five_tuple.word_a}/[word_b]) — the batch paths
+    pass a {!Openmb_net.Packet_batch}'s key columns and only
+    materialize the tuple (via [tuple ()]) when an entry must be
+    created, so the hit path allocates nothing. *)
+
+val find_key : 'a t -> Openmb_net.Hfl.t -> 'a entry option
+(** Exact lookup under a stored key (the key as {!insert} would store
+    it): an O(1) flat probe when the key has the table's granularity
+    shape, the string-keyed fallback otherwise.  Unlike {!matching}
+    this never scans. *)
+
 val insert : 'a t -> key:Openmb_net.Hfl.t -> 'a -> unit
 (** Install an entry under an explicit key (state import).  Replaces
     any existing entry with that key and clears its [moved] flag. *)

@@ -42,7 +42,6 @@ let canonical t =
   if compare t r <= 0 then t else r
 
 let equal a b = compare a b = 0
-let hash t = Hashtbl.hash t
 
 let to_string t =
   Printf.sprintf "%s %s:%d>%s:%d"
@@ -50,13 +49,6 @@ let to_string t =
     (Addr.to_string t.src_ip) t.src_port (Addr.to_string t.dst_ip) t.dst_port
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
-
-module Table = Hashtbl.Make (struct
-  type nonrec t = t
-
-  let equal = equal
-  let hash = hash
-end)
 
 (* ------------------------------------------------------------------ *)
 (* Packed keys                                                         *)
@@ -71,17 +63,64 @@ type packed = { pa : int; pb : int; phash : int }
 let proto_code = function Packet.Tcp -> 0 | Packet.Udp -> 1 | Packet.Icmp -> 2
 let proto_of_code = function 0 -> Packet.Tcp | 1 -> Packet.Udp | _ -> Packet.Icmp
 
-(* SplitMix-style finalizer over the two words. *)
+(* Avalanching two-word mixer (murmur3-finalizer style, one extra
+   round): [pb] is spread by a multiply before combining so the two
+   words never cancel, then two xor-shift/multiply rounds diffuse every
+   key bit into every hash bit — including the low bits the flat
+   tables' power-of-two slot masks keep.  The old single-round mixer
+   (and the polymorphic [Hashtbl.hash] before it) clustered adversarial
+   key patterns like sequential ports or same-subnet addresses; the
+   bucket-skew property in test_net pins the new distribution.
+   Constants are odd and fit OCaml's 63-bit native int, in which all
+   arithmetic here wraps mod 2^63.  Result is non-negative, as the flat
+   tables require ([-1] marks their empty slots). *)
 let mix pa pb =
-  let h = pa lxor (pb * 0x100000001B3) in
-  let h = h lxor (h lsr 29) in
-  let h = h * 0x2545F4914F6CDD1D in
-  (h lxor (h lsr 32)) land max_int
+  let h = pa + (pb * 0x2545F4914F6CDD1D) in
+  let h = (h lxor (h lsr 30)) * 0x3C79AC492BA7B653 in
+  let h = (h lxor (h lsr 27)) * 0x1C69B3F74AC4AE35 in
+  (h lxor (h lsr 31)) land max_int
+
+let hash_words ~pa ~pb = mix pa pb
 
 let pack_ints src_ip src_port dst_ip dst_port code =
   let pa = (src_ip lsl 16) lor (src_port land 0xFFFF) in
   let pb = (dst_ip lsl 18) lor ((dst_port land 0xFFFF) lsl 2) lor code in
   { pa; pb; phash = mix pa pb }
+
+(* Scalar word accessors: the packed words of a tuple without building
+   the [packed] record — the state-table fast path probes flat tables
+   with these and allocates nothing. *)
+let word_a t = (Addr.to_int t.src_ip lsl 16) lor (t.src_port land 0xFFFF)
+
+let word_b t =
+  (Addr.to_int t.dst_ip lsl 18)
+  lor ((t.dst_port land 0xFFFF) lsl 2)
+  lor proto_code t.proto
+
+let word_a_packet (p : Packet.t) =
+  (Addr.to_int p.src_ip lsl 16) lor (p.src_port land 0xFFFF)
+
+let word_b_packet (p : Packet.t) =
+  (Addr.to_int p.dst_ip lsl 18)
+  lor ((p.dst_port land 0xFFFF) lsl 2)
+  lor proto_code p.proto
+
+(* Field-level variants for callers that hold the header fields loose
+   (e.g. a state table reconstructing words from a stored Hfl key)
+   without a tuple record to pass. *)
+let word_a_of ~src_ip ~src_port = (Addr.to_int src_ip lsl 16) lor (src_port land 0xFFFF)
+
+let word_b_of ~dst_ip ~dst_port ~proto =
+  (Addr.to_int dst_ip lsl 18) lor ((dst_port land 0xFFFF) lsl 2) lor proto_code proto
+
+let hash t = mix (word_a t) (word_b t)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
 
 let pack t =
   pack_ints (Addr.to_int t.src_ip) t.src_port (Addr.to_int t.dst_ip) t.dst_port

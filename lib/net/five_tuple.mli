@@ -21,7 +21,12 @@ val canonical : t -> t
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
 val hash : t -> int
+(** Avalanching hash of the packed key words — identical to
+    [packed_hash (pack t)], so record-keyed and packed-keyed tables
+    agree.  (Replaces the polymorphic [Hashtbl.hash], whose weak mixing
+    clustered sequential ports and same-subnet addresses.) *)
 
 val to_string : t -> string
 (** ["tcp 10.0.0.1:3456>1.1.1.5:80"]. *)
@@ -53,7 +58,36 @@ val packed_reverse : packed -> packed
 val unpack : packed -> t
 
 val packed_equal : packed -> packed -> bool
+
 val packed_hash : packed -> int
+(** The hash precomputed at pack time: [hash_words] of the two words. *)
+
+val hash_words : pa:int -> pb:int -> int
+(** The avalanching two-word mixer itself: non-negative, suitable as
+    the [h] argument of {!Flat_table} probes.  Every place a packed key
+    (or an int widened to the packed shape) is hashed composes this
+    mixer. *)
+
+val word_a : t -> int
+(** First packed word of a tuple ([src_ip:32 | src_port:16]) without
+    materializing the [packed] record — the allocation-free fast path
+    of flat-table probes. *)
+
+val word_b : t -> int
+(** Second packed word ([dst_ip:32 | dst_port:16 | proto:2]). *)
+
+val word_a_packet : Packet.t -> int
+val word_b_packet : Packet.t -> int
+(** Packed words straight from a packet's headers — [word_a (of_packet
+    p)] etc. without the intermediate tuple; the batch fill path derives
+    its key columns with these. *)
+
+val word_a_of : src_ip:Addr.t -> src_port:int -> int
+
+val word_b_of : dst_ip:Addr.t -> dst_port:int -> proto:Packet.proto -> int
+(** Packed words from loose header fields, for callers without a tuple
+    or packet to hand (state tables reconstructing probe words from a
+    stored Hfl key). *)
 
 val packed_pa : packed -> int
 (** First packed word: [src_ip:32 | src_port:16]. *)

@@ -1,0 +1,264 @@
+(* Cache-conscious flat open-addressing table over two-word packed keys.
+
+   Every hot per-flow path in the system — state-table probes, NAT
+   mappings, flow-table exact matches, the agent's dedup caches — walks
+   a table keyed by a packed five-tuple (or a plain int widened into the
+   same two-word shape).  Generic [Hashtbl] pays a pointer chase per
+   bucket link and an allocation per insert for the bucket cell; at 10k+
+   entries nearly every probe is a cache miss.  This table is a
+   struct-of-arrays layout instead: parallel int arrays for the two key
+   words and the precomputed hash, a value column, and a byte-wide flag
+   column, so a probe touches a handful of flat arrays at the same index
+   and a miss is decided from the hash column alone without ever loading
+   a key or value pointer.
+
+   Probing is Robin Hood linear probing: an insert displaces any
+   incumbent that sits closer to its home slot than the new key is to
+   its own, which bounds probe-length variance, and a lookup can stop as
+   soon as it reaches a slot whose displacement is smaller than the
+   distance already travelled (the key, were it present, would have
+   evicted that slot).  Deletes do backward-shift compaction — the
+   successor chain slides back one slot — so flow churn never
+   accumulates tombstones and long-lived tables keep short probes.
+
+   Capacity is a power of two, grown at 3/4 load by re-placing every
+   slot into arrays of twice the size.  The stored hash must be
+   non-negative ([-1] marks an empty slot); {!Five_tuple.hash_words}
+   and friends guarantee that. *)
+
+type 'a t = {
+  mutable ka : int array;  (* key word a *)
+  mutable kb : int array;  (* key word b *)
+  mutable hs : int array;  (* full mixed hash; -1 = empty slot *)
+  (* Values are kept pre-wrapped in [Some] so a hit returns the stored
+     option without allocating; [None] doubles as the empty filler. *)
+  mutable vs : 'a option array;
+  (* Per-slot flag column (the [moved] bit of a state entry, the
+     "replied" bit of an agent op): rides along through displacement,
+     backward shifts and growth. *)
+  mutable fl : Bytes.t;
+  mutable mask : int;  (* capacity - 1 *)
+  mutable len : int;
+  mutable limit : int;  (* grow when [len] reaches this *)
+}
+
+let min_capacity = 8
+
+let rec pow2 n c = if c >= n then c else pow2 n (c * 2)
+
+let alloc cap =
+  {
+    ka = Array.make cap 0;
+    kb = Array.make cap 0;
+    hs = Array.make cap (-1);
+    vs = Array.make cap None;
+    fl = Bytes.make cap '\000';
+    mask = cap - 1;
+    len = 0;
+    limit = cap - (cap / 4);
+  }
+
+let create ?(capacity = min_capacity) () =
+  let cap = pow2 (max capacity min_capacity) min_capacity in
+  alloc cap
+
+let length t = t.len
+let capacity t = t.mask + 1
+
+(* Displacement of the occupant of slot [i] from its home slot.  With a
+   power-of-two capacity, [(i - h) land mask] equals
+   [(i - (h land mask)) mod capacity], so the full stored hash works
+   directly. *)
+let[@inline] dist mask i h = (i - h) land mask
+
+(* Core probe: index of the slot holding (pa, pb), or [-1].  Stops at an
+   empty slot or at a slot whose displacement is below the distance
+   travelled (the Robin Hood invariant makes a later hit impossible).
+   The loop is a top-level function taking everything as arguments: an
+   inner [let rec] would capture the columns in a heap closure on every
+   probe (no flambda), and this is the hottest loop in the tree. *)
+let rec probe hs ka kb mask pa pb h i d =
+  let hv = Array.unsafe_get hs i in
+  if hv = h && Array.unsafe_get ka i = pa && Array.unsafe_get kb i = pb then i
+  else if hv = -1 || dist mask i hv < d then -1
+  else probe hs ka kb mask pa pb h ((i + 1) land mask) (d + 1)
+
+(* The home slot is probed inline: at <= 3/4 load most keys sit at
+   displacement 0, and the unrolled first step skips the out-of-line
+   loop call (at d = 0 the displacement early-exit is vacuous, so only
+   the empty check remains). *)
+let[@inline] find_slot t ~pa ~pb ~h =
+  let mask = t.mask in
+  let i = h land mask in
+  let hv = Array.unsafe_get t.hs i in
+  if hv = h && Array.unsafe_get t.ka i = pa && Array.unsafe_get t.kb i = pb then i
+  else if hv = -1 then -1
+  else probe t.hs t.ka t.kb mask pa pb h ((i + 1) land mask) 1
+
+let find t ~pa ~pb ~h =
+  let i = find_slot t ~pa ~pb ~h in
+  if i < 0 then None else Array.unsafe_get t.vs i
+
+let mem t ~pa ~pb ~h = find_slot t ~pa ~pb ~h >= 0
+
+let flag t ~pa ~pb ~h =
+  let i = find_slot t ~pa ~pb ~h in
+  i >= 0 && Bytes.unsafe_get t.fl i <> '\000'
+
+let set_flag t ~pa ~pb ~h v =
+  let i = find_slot t ~pa ~pb ~h in
+  if i >= 0 then Bytes.unsafe_set t.fl i (if v then '\001' else '\000')
+
+(* Place a key known to be absent, displacing richer incumbents (Robin
+   Hood).  No equality checks: the caller established absence, and once
+   an incumbent is evicted the carried key cannot equal anything further
+   down its own chain. *)
+let rec place t i d h pa pb v f =
+  let hv = t.hs.(i) in
+  if hv = -1 then begin
+    t.hs.(i) <- h;
+    t.ka.(i) <- pa;
+    t.kb.(i) <- pb;
+    t.vs.(i) <- v;
+    Bytes.unsafe_set t.fl i f
+  end
+  else begin
+    let dv = dist t.mask i hv in
+    if dv < d then begin
+      (* Evict the closer-to-home incumbent and keep placing it. *)
+      let epa = t.ka.(i) and epb = t.kb.(i) and ev = t.vs.(i) in
+      let ef = Bytes.unsafe_get t.fl i in
+      t.hs.(i) <- h;
+      t.ka.(i) <- pa;
+      t.kb.(i) <- pb;
+      t.vs.(i) <- v;
+      Bytes.unsafe_set t.fl i f;
+      place t ((i + 1) land t.mask) (dv + 1) hv epa epb ev ef
+    end
+    else place t ((i + 1) land t.mask) (d + 1) h pa pb v f
+  end
+
+let grow t =
+  let old_hs = t.hs and old_ka = t.ka and old_kb = t.kb in
+  let old_vs = t.vs and old_fl = t.fl in
+  let cap = (t.mask + 1) * 2 in
+  let fresh = alloc cap in
+  t.ka <- fresh.ka;
+  t.kb <- fresh.kb;
+  t.hs <- fresh.hs;
+  t.vs <- fresh.vs;
+  t.fl <- fresh.fl;
+  t.mask <- cap - 1;
+  t.limit <- cap - (cap / 4);
+  for i = 0 to Array.length old_hs - 1 do
+    let h = Array.unsafe_get old_hs i in
+    if h >= 0 then
+      place t (h land t.mask) 0 h (Array.unsafe_get old_ka i)
+        (Array.unsafe_get old_kb i)
+        (Array.unsafe_get old_vs i)
+        (Bytes.unsafe_get old_fl i)
+  done
+
+let replace t ~pa ~pb ~h v =
+  if h < 0 then invalid_arg "Flat_table.replace: negative hash";
+  if t.len >= t.limit then grow t;
+  let i = find_slot t ~pa ~pb ~h in
+  if i >= 0 then t.vs.(i) <- Some v
+  else begin
+    place t (h land t.mask) 0 h pa pb (Some v) '\000';
+    t.len <- t.len + 1
+  end
+
+(* Backward-shift deletion: slide the probe chain after [i] back one
+   slot until an empty slot or a home-positioned occupant, leaving no
+   tombstone behind.  Top-level for the same no-closure reason as
+   [probe] — flow churn deletes on the packet path. *)
+let rec shift_back t mask i =
+  let j = (i + 1) land mask in
+  let hv = t.hs.(j) in
+  if hv = -1 || dist mask j hv = 0 then begin
+    t.hs.(i) <- -1;
+    t.vs.(i) <- None;
+    Bytes.unsafe_set t.fl i '\000'
+  end
+  else begin
+    t.hs.(i) <- hv;
+    t.ka.(i) <- t.ka.(j);
+    t.kb.(i) <- t.kb.(j);
+    t.vs.(i) <- t.vs.(j);
+    Bytes.unsafe_set t.fl i (Bytes.unsafe_get t.fl j);
+    shift_back t mask j
+  end
+
+let remove t ~pa ~pb ~h =
+  let i = find_slot t ~pa ~pb ~h in
+  if i < 0 then false
+  else begin
+    shift_back t t.mask i;
+    t.len <- t.len - 1;
+    true
+  end
+
+let clear t =
+  Array.fill t.hs 0 (t.mask + 1) (-1);
+  Array.fill t.vs 0 (t.mask + 1) None;
+  Bytes.fill t.fl 0 (t.mask + 1) '\000';
+  t.len <- 0
+
+(* Allocation-free traversal: a plain index walk over the columns, used
+   as the iteration cursor of move/export scans. *)
+let iter t f =
+  let n = t.mask + 1 in
+  for i = 0 to n - 1 do
+    if Array.unsafe_get t.hs i >= 0 then
+      match Array.unsafe_get t.vs i with
+      | Some v -> f ~pa:(Array.unsafe_get t.ka i) ~pb:(Array.unsafe_get t.kb i) v
+      | None -> ()
+  done
+
+let fold t ~init ~f =
+  let n = t.mask + 1 in
+  let acc = ref init in
+  for i = 0 to n - 1 do
+    if Array.unsafe_get t.hs i >= 0 then
+      match Array.unsafe_get t.vs i with
+      | Some v -> acc := f !acc v
+      | None -> ()
+  done;
+  !acc
+
+(* One-pass batch probe straight off a [Packet_batch]'s parallel key
+   columns (or any caller-built column triple). *)
+let find_batch t ~ka ~kb ~kh ~n out =
+  if Array.length out < n then invalid_arg "Flat_table.find_batch: out array too small";
+  for i = 0 to n - 1 do
+    Array.unsafe_set out i
+      (find t ~pa:(Array.unsafe_get ka i) ~pb:(Array.unsafe_get kb i)
+         ~h:(Array.unsafe_get kh i))
+  done
+
+let find_or_create_batch t ~ka ~kb ~kh ~n ~default out =
+  if Array.length out < n then
+    invalid_arg "Flat_table.find_or_create_batch: out array too small";
+  for i = 0 to n - 1 do
+    let pa = Array.unsafe_get ka i
+    and pb = Array.unsafe_get kb i
+    and h = Array.unsafe_get kh i in
+    match find t ~pa ~pb ~h with
+    | Some _ as hit -> Array.unsafe_set out i hit
+    | None ->
+      let v = default i in
+      replace t ~pa ~pb ~h v;
+      Array.unsafe_set out i (Some v)
+  done
+
+(* Longest probe chain currently in the table — the number the Robin
+   Hood displacement policy keeps small; exposed for tests and bench
+   diagnostics. *)
+let max_probe t =
+  let worst = ref 0 in
+  for i = 0 to t.mask do
+    let hv = t.hs.(i) in
+    if hv >= 0 then worst := max !worst (dist t.mask i hv)
+  done;
+  !worst

@@ -1,0 +1,78 @@
+(** Cache-conscious flat open-addressing table over two-word packed
+    keys — the flow-state core behind every hot per-flow path.
+
+    Keys are two native ints (a packed five-tuple's words, or a plain
+    int widened with [pb = 0]) plus a caller-supplied non-negative hash,
+    normally precomputed by {!Five_tuple.hash_words} at pack time.
+    Layout is struct-of-arrays: parallel int columns for the key words
+    and hash, a value column, and a byte-wide flag column, so probes
+    touch flat memory instead of chasing bucket pointers.  Probing is
+    Robin Hood linear probing with backward-shift deletion: churn never
+    accumulates tombstones, and lookups terminate early on the
+    displacement invariant.
+
+    Values are stored pre-wrapped in [Some], so {!find} returns without
+    allocating.  Not thread-safe; one table per shard, like every other
+    mutable structure in the simulator. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fresh table; [capacity] (default 8) is rounded up to a power of
+    two.  Growth doubles at 3/4 load. *)
+
+val length : 'a t -> int
+(** Number of live entries. *)
+
+val capacity : 'a t -> int
+(** Current slot count (a power of two). *)
+
+val find : 'a t -> pa:int -> pb:int -> h:int -> 'a option
+(** Probe by key words and precomputed hash.  Allocation-free: the
+    stored [Some] is returned as-is. *)
+
+val mem : 'a t -> pa:int -> pb:int -> h:int -> bool
+
+val replace : 'a t -> pa:int -> pb:int -> h:int -> 'a -> unit
+(** Insert or overwrite.  A fresh insert clears the entry's flag; an
+    overwrite keeps it.  Raises [Invalid_argument] on a negative hash
+    ([-1] marks empty slots internally). *)
+
+val remove : 'a t -> pa:int -> pb:int -> h:int -> bool
+(** Backward-shift delete; [false] if the key was absent. *)
+
+val flag : 'a t -> pa:int -> pb:int -> h:int -> bool
+(** The entry's flag bit; [false] when absent. *)
+
+val set_flag : 'a t -> pa:int -> pb:int -> h:int -> bool -> unit
+(** Set the entry's flag bit; no-op when absent. *)
+
+val iter : 'a t -> (pa:int -> pb:int -> 'a -> unit) -> unit
+(** Visit every entry (unspecified order).  A plain index walk over the
+    columns — no allocation, no intermediate list. *)
+
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+
+val clear : 'a t -> unit
+(** Drop every entry, keeping the current capacity. *)
+
+val find_batch :
+  'a t -> ka:int array -> kb:int array -> kh:int array -> n:int -> 'a option array -> unit
+(** [find_batch t ~ka ~kb ~kh ~n out] probes members [0..n-1] of the
+    parallel key columns (e.g. a {!Packet_batch}'s key/hash arrays) in
+    one pass, filling [out.(i)] with each hit. *)
+
+val find_or_create_batch :
+  'a t ->
+  ka:int array ->
+  kb:int array ->
+  kh:int array ->
+  n:int ->
+  default:(int -> 'a) ->
+  'a option array ->
+  unit
+(** Like {!find_batch}, but a missing member is inserted with
+    [default i] first; every [out.(i)] is therefore [Some _]. *)
+
+val max_probe : 'a t -> int
+(** Longest probe chain currently in the table (diagnostics). *)

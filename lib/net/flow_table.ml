@@ -102,11 +102,12 @@ let compile_wildset rules =
   w
 
 type t = {
-  (* Full-five-tuple rules, probed by packed key in O(1).  Each list is
-     kept in [rule_order] so the head is the winning candidate; a list
+  (* Full-five-tuple rules, probed by packed key words in O(1) through
+     the flat open-addressing core ({!Flat_table}).  Each list is kept
+     in [rule_order] so the head is the winning candidate; a list
      longer than one holds identical duplicate matches at different
      priorities or install times. *)
-  exact : rule list Five_tuple.Packed_table.t;
+  exact : rule list Flat_table.t;
   mutable exact_count : int;
   mutable wild : wildset;
   mutable next_cookie : int;
@@ -114,7 +115,7 @@ type t = {
 
 let create () =
   {
-    exact = Five_tuple.Packed_table.create 64;
+    exact = Flat_table.create ~capacity:64 ();
     exact_count = 0;
     wild = empty_wildset;
     next_cookie = 0;
@@ -125,11 +126,12 @@ let install t ~priority ~match_ ~action =
   t.next_cookie <- t.next_cookie + 1;
   (match Hfl.to_tuple match_ with
   | Some tup ->
-    let k = Five_tuple.pack tup in
+    let pa = Five_tuple.word_a tup and pb = Five_tuple.word_b tup in
+    let h = Five_tuple.hash_words ~pa ~pb in
     let existing =
-      match Five_tuple.Packed_table.find_opt t.exact k with Some rs -> rs | None -> []
+      match Flat_table.find t.exact ~pa ~pb ~h with Some rs -> rs | None -> []
     in
-    Five_tuple.Packed_table.replace t.exact k (List.sort rule_order (rule :: existing));
+    Flat_table.replace t.exact ~pa ~pb ~h (List.sort rule_order (rule :: existing));
     t.exact_count <- t.exact_count + 1
   | None -> t.wild <- compile_wildset (rule :: Array.to_list t.wild.wrules));
   rule
@@ -137,19 +139,18 @@ let install t ~priority ~match_ ~action =
 (* Remove every rule rejected by [keep]; returns how many went. *)
 let filter_rules t keep =
   let removed = ref 0 in
-  let victims =
-    Five_tuple.Packed_table.fold
-      (fun k rs acc -> if List.for_all keep rs then acc else (k, rs) :: acc)
-      t.exact []
-  in
+  let victims = ref [] in
+  Flat_table.iter t.exact (fun ~pa ~pb rs ->
+      if not (List.for_all keep rs) then victims := (pa, pb, rs) :: !victims);
   List.iter
-    (fun (k, rs) ->
+    (fun (pa, pb, rs) ->
+      let h = Five_tuple.hash_words ~pa ~pb in
       let rs' = List.filter keep rs in
       removed := !removed + (List.length rs - List.length rs');
       match rs' with
-      | [] -> Five_tuple.Packed_table.remove t.exact k
-      | rs' -> Five_tuple.Packed_table.replace t.exact k rs')
-    victims;
+      | [] -> ignore (Flat_table.remove t.exact ~pa ~pb ~h : bool)
+      | rs' -> Flat_table.replace t.exact ~pa ~pb ~h rs')
+    !victims;
   t.exact_count <- t.exact_count - !removed;
   if not (Array.for_all (fun r -> keep r) t.wild.wrules) then begin
     let kept = List.filter keep (Array.to_list t.wild.wrules) in
@@ -198,14 +199,18 @@ let combine exact_hit wild_hit =
   | (Some _ as h), None | None, (Some _ as h) -> h
   | None, None -> None
 
-let exact_probe t k =
-  match Five_tuple.Packed_table.find_opt t.exact k with
+let exact_probe t ~pa ~pb ~h =
+  match Flat_table.find t.exact ~pa ~pb ~h with
   | Some (r :: _) -> Some r
   | Some [] | None -> None
 
 let lookup t p =
   let exact_hit =
-    if t.exact_count = 0 then None else exact_probe t (Five_tuple.pack_packet p)
+    if t.exact_count = 0 then None
+    else
+      let tup = Five_tuple.of_packet p in
+      let pa = Five_tuple.word_a tup and pb = Five_tuple.word_b tup in
+      exact_probe t ~pa ~pb ~h:(Five_tuple.hash_words ~pa ~pb)
   in
   let wild_hit =
     if Array.length t.wild.wrules = 0 then None
@@ -235,6 +240,7 @@ let lookup_batch t b actions =
   if Array.length actions < n then
     invalid_arg "Flow_table.lookup_batch: actions array too small";
   let ka = Packet_batch.key_a b and kb = Packet_batch.key_b b in
+  let kh = Packet_batch.key_hash b in
   let sizes = Packet_batch.sizes b in
   let have_exact = t.exact_count > 0 in
   let w = t.wild in
@@ -244,7 +250,7 @@ let lookup_batch t b actions =
     let pa = Array.unsafe_get ka i and pb = Array.unsafe_get kb i in
     let exact_hit =
       if not have_exact then None
-      else exact_probe t (Five_tuple.pack_words ~pa ~pb)
+      else exact_probe t ~pa ~pb ~h:(Array.unsafe_get kh i)
     in
     let hit =
       if nw = 0 then exact_hit
@@ -268,7 +274,7 @@ let lookup_batch t b actions =
   done
 
 let rules t =
-  let exact = Five_tuple.Packed_table.fold (fun _ rs acc -> rs @ acc) t.exact [] in
+  let exact = Flat_table.fold t.exact ~init:[] ~f:(fun acc rs -> rs @ acc) in
   List.sort rule_order (exact @ Array.to_list t.wild.wrules)
 
 let size t = t.exact_count + Array.length t.wild.wrules

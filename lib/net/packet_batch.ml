@@ -83,12 +83,13 @@ let grow b =
   Bytes.blit b.dead 0 d 0 cap;
   b.dead <- d
 
-(* Fill row [i]'s derived columns from packet [p]. *)
+(* Fill row [i]'s derived columns from packet [p].  The key words come
+   straight off the header fields — no intermediate packed record. *)
 let fill b i (p : Packet.t) =
-  let k = Five_tuple.pack_packet p in
-  b.ka.(i) <- Five_tuple.packed_pa k;
-  b.kb.(i) <- Five_tuple.packed_pb k;
-  b.khash.(i) <- Five_tuple.packed_hash k;
+  let pa = Five_tuple.word_a_packet p and pb = Five_tuple.word_b_packet p in
+  b.ka.(i) <- pa;
+  b.kb.(i) <- pb;
+  b.khash.(i) <- Five_tuple.hash_words ~pa ~pb;
   b.size.(i) <- Packet.wire_bytes p;
   b.arrival.(i) <- Time.to_seconds p.ts;
   b.pkts.(i) <- p

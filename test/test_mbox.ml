@@ -217,6 +217,64 @@ let prop_state_table_packed_equivalence =
          = entry_keys (State_table.remove_matching b q)
       && State_table.size a = State_table.size b)
 
+let prop_state_table_masked_equivalence =
+  (* Coarse granularities probe the flat core through masked packed
+     words: tables at every granularity must stay observationally
+     identical to the string-keyed layout, and the exact-key lookup
+     ([find_key]) must agree with tuple lookups.  Ports are drawn from
+     a tiny range so distinct tuples collide under the mask. *)
+  QCheck2.Test.make ~name:"masked granularities equal string keys" ~count:100
+    QCheck2.Gen.(
+      triple (int_bound 3)
+        (list_size (int_range 0 40) (triple (int_bound 8) (int_range 1 50) bool))
+        filter_gen)
+    (fun (gi, flows, q) ->
+      let granularity =
+        match gi with
+        | 0 -> Hfl.[ Dim_src_ip; Dim_src_port; Dim_proto ] (* the NAT's *)
+        | 1 -> Hfl.[ Dim_src_ip; Dim_dst_ip ]
+        | 2 -> Hfl.[ Dim_dst_port ]
+        | _ -> Hfl.full_granularity
+      in
+      let tuple_of (host, port, reversed) =
+        let tup = flow_tuple (host, port) in
+        if reversed then Five_tuple.reverse tup else tup
+      in
+      let mk_tab packed =
+        let t = State_table.create ~packed ~granularity () in
+        List.iter
+          (fun flow ->
+            ignore (State_table.find_or_create t (tuple_of flow) ~default:(fun () -> 0)))
+          flows;
+        t
+      in
+      let a = mk_tab true and b = mk_tab false in
+      let key (e : int State_table.entry) = Hfl.to_string e.key in
+      let probe t tup =
+        ( Option.map key (State_table.find t tup),
+          Option.map key (State_table.find_bidir t (Five_tuple.reverse tup)) )
+      in
+      let lookups_agree =
+        List.for_all (fun flow -> probe a (tuple_of flow) = probe b (tuple_of flow)) flows
+      in
+      let find_key_agrees =
+        List.for_all
+          (fun flow ->
+            let tup = tuple_of flow in
+            let k = State_table.key_of a tup in
+            Option.map key (State_table.find_key a k)
+            = Option.map key (State_table.find a tup)
+            && Option.map key (State_table.find_key b k)
+               = Option.map key (State_table.find b tup))
+          flows
+      in
+      lookups_agree && find_key_agrees
+      && entry_keys (State_table.matching a q) = entry_keys (State_table.matching b q)
+      && State_table.size a = State_table.size b
+      && entry_keys (State_table.remove_matching a q)
+         = entry_keys (State_table.remove_matching b q)
+      && State_table.size a = State_table.size b)
+
 (* ------------------------------------------------------------------ *)
 (* Mb_base                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -1046,6 +1104,7 @@ let () =
               prop_state_table_index_equivalence;
               prop_state_table_index_remove_equivalence;
               prop_state_table_packed_equivalence;
+              prop_state_table_masked_equivalence;
             ] );
       ( "mb_base",
         [

@@ -126,6 +126,205 @@ let prop_packed_roundtrip =
       && Five_tuple.packed_hash p = Five_tuple.packed_hash (Five_tuple.pack t))
 
 (* ------------------------------------------------------------------ *)
+(* Flat_table                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fh pa pb = Five_tuple.hash_words ~pa ~pb
+
+let test_flat_table_basics () =
+  let t = Flat_table.create () in
+  Alcotest.(check int) "empty" 0 (Flat_table.length t);
+  for i = 0 to 99 do
+    Flat_table.replace t ~pa:i ~pb:(i * 2) ~h:(fh i (i * 2)) (i * 10)
+  done;
+  Alcotest.(check int) "length" 100 (Flat_table.length t);
+  Alcotest.(check bool) "grew" true (Flat_table.capacity t >= 128);
+  for i = 0 to 99 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "find %d" i)
+      (Some (i * 10))
+      (Flat_table.find t ~pa:i ~pb:(i * 2) ~h:(fh i (i * 2)))
+  done;
+  Alcotest.(check (option int)) "miss" None (Flat_table.find t ~pa:5 ~pb:11 ~h:(fh 5 11));
+  Flat_table.replace t ~pa:7 ~pb:14 ~h:(fh 7 14) 999;
+  Alcotest.(check (option int)) "overwrite" (Some 999)
+    (Flat_table.find t ~pa:7 ~pb:14 ~h:(fh 7 14));
+  Alcotest.(check int) "overwrite keeps length" 100 (Flat_table.length t);
+  Alcotest.(check bool) "remove hit" true (Flat_table.remove t ~pa:7 ~pb:14 ~h:(fh 7 14));
+  Alcotest.(check bool) "remove miss" false (Flat_table.remove t ~pa:7 ~pb:14 ~h:(fh 7 14));
+  Alcotest.(check int) "length after remove" 99 (Flat_table.length t);
+  Flat_table.clear t;
+  Alcotest.(check int) "cleared" 0 (Flat_table.length t);
+  Alcotest.(check (option int)) "find after clear" None
+    (Flat_table.find t ~pa:3 ~pb:6 ~h:(fh 3 6))
+
+let test_flat_table_collision_chain () =
+  (* The hash is caller-supplied, so collisions can be forced: every key
+     below shares home slot 5.  Robin Hood placement and backward-shift
+     deletion must keep the whole chain findable through arbitrary
+     middle deletions, with no tombstone residue. *)
+  let t = Flat_table.create ~capacity:16 () in
+  let h = 5 in
+  for k = 0 to 5 do
+    Flat_table.replace t ~pa:k ~pb:0 ~h k
+  done;
+  Alcotest.(check int) "chain placed" 6 (Flat_table.length t);
+  Alcotest.(check bool) "probe chain length is the cluster" true (Flat_table.max_probe t >= 5);
+  (* Delete from the middle, twice. *)
+  Alcotest.(check bool) "del 2" true (Flat_table.remove t ~pa:2 ~pb:0 ~h);
+  Alcotest.(check bool) "del 4" true (Flat_table.remove t ~pa:4 ~pb:0 ~h);
+  List.iter
+    (fun k ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "survivor %d" k)
+        (Some k)
+        (Flat_table.find t ~pa:k ~pb:0 ~h))
+    [ 0; 1; 3; 5 ];
+  Alcotest.(check (option int)) "deleted gone" None (Flat_table.find t ~pa:2 ~pb:0 ~h);
+  (* Backward shift compacted the chain: displacement shrank. *)
+  Alcotest.(check bool) "chain compacted" true (Flat_table.max_probe t <= 3)
+
+let test_flat_table_flags () =
+  let t = Flat_table.create () in
+  Flat_table.replace t ~pa:1 ~pb:2 ~h:(fh 1 2) "a";
+  Alcotest.(check bool) "fresh insert unflagged" false (Flat_table.flag t ~pa:1 ~pb:2 ~h:(fh 1 2));
+  Flat_table.set_flag t ~pa:1 ~pb:2 ~h:(fh 1 2) true;
+  Alcotest.(check bool) "set" true (Flat_table.flag t ~pa:1 ~pb:2 ~h:(fh 1 2));
+  Flat_table.replace t ~pa:1 ~pb:2 ~h:(fh 1 2) "b";
+  Alcotest.(check bool) "overwrite keeps flag" true (Flat_table.flag t ~pa:1 ~pb:2 ~h:(fh 1 2));
+  (* The flag must survive growth and ride displacement. *)
+  for i = 10 to 300 do
+    Flat_table.replace t ~pa:i ~pb:0 ~h:(fh i 0) "x"
+  done;
+  Alcotest.(check bool) "flag survives growth" true (Flat_table.flag t ~pa:1 ~pb:2 ~h:(fh 1 2));
+  ignore (Flat_table.remove t ~pa:1 ~pb:2 ~h:(fh 1 2) : bool);
+  Flat_table.replace t ~pa:1 ~pb:2 ~h:(fh 1 2) "c";
+  Alcotest.(check bool) "reinsert after delete is unflagged" false
+    (Flat_table.flag t ~pa:1 ~pb:2 ~h:(fh 1 2));
+  Alcotest.(check bool) "flag of absent key" false (Flat_table.flag t ~pa:9 ~pb:9 ~h:(fh 9 9))
+
+let test_flat_table_batch_probe () =
+  let t = Flat_table.create () in
+  let n = 64 in
+  let ka = Array.init n (fun i -> i land 15)
+  and kb = Array.init n (fun i -> i lsr 4) in
+  let kh = Array.init n (fun i -> fh ka.(i) kb.(i)) in
+  let out = Array.make n None in
+  Flat_table.find_batch t ~ka ~kb ~kh ~n out;
+  Alcotest.(check bool) "all miss on empty table" true (Array.for_all (( = ) None) out);
+  Flat_table.find_or_create_batch t ~ka ~kb ~kh ~n ~default:(fun i -> i) out;
+  Alcotest.(check bool) "every member resolved" true
+    (Array.for_all (function Some _ -> true | None -> false) out);
+  Alcotest.(check int) "distinct keys created once" 64 (Flat_table.length t);
+  (* Second pass hits every slot and creates nothing. *)
+  let out2 = Array.make n None in
+  Flat_table.find_batch t ~ka ~kb ~kh ~n out2;
+  for i = 0 to n - 1 do
+    Alcotest.(check (option int)) (Printf.sprintf "member %d" i) (Some i) out2.(i)
+  done
+
+(* Model-equivalence over random op sequences: the flat table must agree
+   with a reference Hashtbl at every step — through inserts, overwrites,
+   deletes, flag traffic, growth and churn. *)
+let prop_flat_table_model =
+  let op_gen =
+    (* (op kind, key within a small pool to force collisions/overwrites,
+       payload) *)
+    QCheck2.Gen.(triple (int_bound 5) (pair (int_bound 60) (int_bound 3)) (int_bound 1000))
+  in
+  QCheck2.Test.make ~name:"flat table agrees with Hashtbl model" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 500) op_gen)
+    (fun ops ->
+      let ft = Flat_table.create () in
+      let model : (int * int, int * bool) Hashtbl.t = Hashtbl.create 16 in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      List.iter
+        (fun (op, (ka, kb), v) ->
+          let h = fh ka kb in
+          match op with
+          | 0 ->
+            Flat_table.replace ft ~pa:ka ~pb:kb ~h v;
+            let flag =
+              match Hashtbl.find_opt model (ka, kb) with Some (_, f) -> f | None -> false
+            in
+            Hashtbl.replace model (ka, kb) (v, flag)
+          | 1 ->
+            let removed = Flat_table.remove ft ~pa:ka ~pb:kb ~h in
+            check (removed = Hashtbl.mem model (ka, kb));
+            Hashtbl.remove model (ka, kb)
+          | 2 ->
+            check
+              (Flat_table.find ft ~pa:ka ~pb:kb ~h
+              = Option.map fst (Hashtbl.find_opt model (ka, kb)))
+          | 3 | 4 ->
+            let b = op = 3 in
+            Flat_table.set_flag ft ~pa:ka ~pb:kb ~h b;
+            (match Hashtbl.find_opt model (ka, kb) with
+            | Some (v, _) -> Hashtbl.replace model (ka, kb) (v, b)
+            | None -> ())
+          | _ ->
+            check
+              (Flat_table.flag ft ~pa:ka ~pb:kb ~h
+              = (match Hashtbl.find_opt model (ka, kb) with
+                | Some (_, f) -> f
+                | None -> false)))
+        ops;
+      check (Flat_table.length ft = Hashtbl.length model);
+      (* Full traversal agrees, values and flags both. *)
+      let seen = ref 0 in
+      Flat_table.iter ft (fun ~pa ~pb v ->
+          incr seen;
+          match Hashtbl.find_opt model (pa, pb) with
+          | Some (mv, mf) ->
+            check (v = mv);
+            check (Flat_table.flag ft ~pa ~pb ~h:(fh pa pb) = mf)
+          | None -> check false);
+      check (!seen = Hashtbl.length model);
+      !ok)
+
+(* Distribution quality of the packed-key mixer on adversarial patterns:
+   sequential ports (one host scanning), same-subnet addresses
+   (sequential IPs, fixed ports) and sequential flow ids must spread
+   evenly over power-of-two slot masks — the regime the flat tables
+   probe in.  With 2048 keys in 512 buckets (expected load 4), an
+   avalanching hash keeps the max bucket under ~20 with overwhelming
+   probability; the pre-mixer hashes concentrated thousands of such keys
+   onto a handful of buckets. *)
+let prop_hash_bucket_skew =
+  let buckets = 512 and n = 2048 and bound = 26 in
+  let max_load keys =
+    let load = Array.make buckets 0 in
+    List.iter
+      (fun (pa, pb) ->
+        let b = Five_tuple.hash_words ~pa ~pb land (buckets - 1) in
+        load.(b) <- load.(b) + 1)
+      keys;
+    Array.fold_left max 0 load
+  in
+  QCheck2.Test.make ~name:"mixer bounds bucket skew on adversarial keys" ~count:40
+    QCheck2.Gen.(triple (int_bound 0xFFFFFF) (int_bound 0xFFFF) (int_bound 2))
+    (fun (base_ip, base_port, pattern) ->
+      let tup ~sip ~sp =
+        {
+          Five_tuple.src_ip = Addr.of_int (sip land 0xFFFFFFFF);
+          dst_ip = Addr.of_int 0x01010105;
+          src_port = sp land 0xFFFF;
+          dst_port = 80;
+          proto = Packet.Tcp;
+        }
+      in
+      let key t = (Five_tuple.word_a t, Five_tuple.word_b t) in
+      let keys =
+        List.init n (fun i ->
+            match pattern with
+            | 0 -> key (tup ~sip:base_ip ~sp:(base_port + i)) (* sequential ports *)
+            | 1 -> key (tup ~sip:(base_ip + i) ~sp:base_port) (* same-subnet IPs *)
+            | _ -> key (tup ~sip:(base_ip + (i lsr 8)) ~sp:(base_port + (i land 0xFF))))
+      in
+      max_load keys <= bound)
+
+(* ------------------------------------------------------------------ *)
 (* Header-field lists                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -827,7 +1026,15 @@ let () =
           Alcotest.test_case "reverse and canonical" `Quick test_five_tuple_reverse_canonical;
           Alcotest.test_case "packed round-trip" `Quick test_packed_roundtrip;
         ]
-        @ qcheck [ prop_packed_roundtrip ] );
+        @ qcheck [ prop_packed_roundtrip; prop_hash_bucket_skew ] );
+      ( "flat_table",
+        [
+          Alcotest.test_case "basics" `Quick test_flat_table_basics;
+          Alcotest.test_case "forced collision chain" `Quick test_flat_table_collision_chain;
+          Alcotest.test_case "flag column" `Quick test_flat_table_flags;
+          Alcotest.test_case "batch probe" `Quick test_flat_table_batch_probe;
+        ]
+        @ qcheck [ prop_flat_table_model ] );
       ( "hfl",
         [
           Alcotest.test_case "matching" `Quick test_hfl_matching;
