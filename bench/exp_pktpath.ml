@@ -100,6 +100,18 @@ let run_one trace ~batch =
         egress := !egress + Packet_batch.length b;
         Packet_batch.release b)
   end;
+  (* Opt-in observability (--dash): the 0.2 s virtual horizon suits the
+     scraper's default 1 ms cadence.  A dashboard run is a demo, not a
+     gated number. *)
+  let obs =
+    if !Util.dash then begin
+      let ts, slo = Util.attach_obs tel engine in
+      Mb_base.register_series (Nat.base nat) ts;
+      Mb_base.register_series (Monitor.base monitor) ts;
+      Some (ts, slo)
+    end
+    else None
+  in
   (* Setup (trace scheduling) happens inside the measured region for
      both modes — it is the injection half of the data path. *)
   let t0 = Monotonic_clock.now () in
@@ -130,6 +142,7 @@ let run_one trace ~batch =
     max (Packet_batch.pool_high_water pool)
       (Packet_batch.pool_high_water (Switch.batch_pool sw))
   in
+  Util.maybe_dash obs;
   {
     r_batch = batch;
     r_pps = float_of_int packets /. wall;

@@ -162,6 +162,20 @@ let run_single () =
              match res with
              | Ok mr -> move_ms := Util.ms mr.Controller.duration
              | Error e -> failwith (Errors.to_string e))));
+  (* Opt-in observability (--dash): scraper + SLOs + per-MB series.
+     Inside the timed region by design — the dashboard run is a demo,
+     not the gated number ([bench obs] measures the overhead). *)
+  let obs =
+    if !Util.dash then begin
+      let ts, slo = Util.attach_obs ~every:(Time.ms 10.0) tel engine in
+      Mb_base.register_series (Nat.base nat) ts;
+      Mb_base.register_series (Monitor.base monitor) ts;
+      Timeseries.add ts ~name:"nat.mappings"
+        (Timeseries.Poll (fun () -> float_of_int (Nat.mapping_count nat)));
+      Some (ts, slo)
+    end
+    else None
+  in
   let t0 = Monotonic_clock.now () in
   Engine.run engine;
   let wall = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9 in
@@ -181,6 +195,7 @@ let run_single () =
   Util.row "  %-28s %12d\n" "peak heap words" gc.Gc.top_heap_words;
   Util.row "  %-28s %12d\n" "live words at end" gc.Gc.live_words;
   Util.maybe_dump_trace tel;
+  Util.maybe_dash obs;
   if Nat.mapping_count nat <> n then
     failwith
       (Printf.sprintf "scale: expected %d NAT mappings, got %d" n
@@ -350,6 +365,24 @@ let run_sharded () =
              match res with
              | Ok mr -> move_ms := Util.ms mr.Controller.duration
              | Error e -> failwith (Errors.to_string e))));
+  (* Opt-in observability (--dash): one scraper per shard, each on its
+     own engine and registry.  The scrape ticks are virtual-time events
+     and therefore deterministic — the state fingerprint still must not
+     vary with --domains, dashboard or not. *)
+  let obs =
+    if !Util.dash then
+      Some
+        (Array.init s_count (fun s ->
+             let sh = shard_of.(s) in
+             let ts, slo =
+               Util.attach_obs ~every:(Time.ms 10.0) (Shard.telemetry sh)
+                 (Shard.engine sh)
+             in
+             Mb_base.register_series (Nat.base nats.(s)) ts;
+             Mb_base.register_series (Monitor.base monitors.(s)) ts;
+             (ts, slo)))
+    else None
+  in
   let t0 = Monotonic_clock.now () in
   Sharded_engine.run se;
   let wall = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9 in
@@ -402,6 +435,19 @@ let run_sharded () =
       (float_of_int per_shard_executed.(s) /. wall)
       per_shard_pool_hw.(s)
   done;
+  (match obs with
+  | None -> ()
+  | Some arr ->
+    (* Shard 0 carries the controller; its dashboard is the interesting
+       one.  The merged snapshot is the fleet view — print its size as
+       a cheap existence proof and to keep it exercised. *)
+    Util.maybe_dash (Some arr.(0));
+    let merged =
+      Timeseries.merge_all
+        (Array.to_list (Array.map (fun (ts, _) -> Timeseries.snapshot ts) arr))
+    in
+    Util.row "  %-28s %12d\n" "merged obs json bytes"
+      (String.length (Timeseries.to_json merged)));
   if total_mappings <> n then
     failwith
       (Printf.sprintf "scale: expected %d NAT mappings across shards, got %d" n

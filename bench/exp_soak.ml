@@ -79,6 +79,8 @@ type outcome = {
   moves_rerun : int;
   retransmits : int;
   faults_lost : int;
+  obs : (Timeseries.t * Slo.t) option;
+  recorder : Flight_recorder.t option;
 }
 
 let run_once ~chaos =
@@ -86,6 +88,23 @@ let run_once ~chaos =
   let engine = Engine.create ~telemetry:tel () in
   let plan = if chaos then impairment_plan else Faults.clean_plan ~seed in
   let faults = Faults.create ~telemetry:tel engine plan in
+  (* The chaos run always carries the observability stack: a coarse
+     scraper sized to the hours-long virtual horizon, SLOs, and a
+     flight recorder armed to dump on the first breach.  The post-mortem
+     bundle embeds the impairment plan verbatim so a failure is
+     replayable from the JSON alone. *)
+  let obs, recorder =
+    if chaos then begin
+      let ts, slo = Util.attach_obs ~every:(Time.seconds 5.0) tel engine in
+      let fr =
+        Flight_recorder.create ~telemetry:tel ~timeseries:ts ~slo
+          ~fault_plan:(Faults.plan_to_string plan) ()
+      in
+      Flight_recorder.arm fr ~engine;
+      (Some (ts, slo), Some fr)
+    end
+    else (None, None)
+  in
   let mb_a = Dummy_mb.create engine ~name:"mb-a" () in
   let mb_b = Dummy_mb.create engine ~name:"mb-b" () in
   Dummy_mb.populate mb_a ~n:flows;
@@ -168,6 +187,8 @@ let run_once ~chaos =
     retransmits =
       (match !replica with Some r -> Controller_replica.log_retransmits r | None -> 0);
     faults_lost = Faults.lost faults;
+    obs;
+    recorder;
   }
 
 let append_bench_row (o : outcome) ~wall_ms =
@@ -212,11 +233,31 @@ let run () =
   let t0 = Sys.time () in
   let chaos = run_once ~chaos:true in
   let wall_ms = (Sys.time () -. t0) *. 1e3 in
+  (* A failing chaos run ships its black box before the exception: the
+     bundle captured at the first SLO breach if one fired, otherwise a
+     fresh dump of the end-of-run state. *)
+  let post_mortem reason =
+    match chaos.recorder with
+    | None -> ()
+    | Some fr ->
+      let path = "soak_flight.json" in
+      if Flight_recorder.dumps fr = 0 then
+        ignore (Flight_recorder.dump fr ~now:(Time.seconds chaos.virtual_s) ~reason);
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc
+            (Option.value ~default:"{}" (Flight_recorder.last_bundle fr)));
+      Printf.printf "  [flight] wrote %s (%s)\n" path reason
+  in
   (match chaos.failure with
-  | Some f -> failwith ("soak bench: chaos run failed: " ^ f)
+  | Some f ->
+    post_mortem ("chaos run failed: " ^ f);
+    failwith ("soak bench: chaos run failed: " ^ f)
   | None -> ());
-  if chaos.fingerprint <> oracle.fingerprint then
-    failwith "soak bench: final state diverged from the fault-free oracle";
+  if chaos.fingerprint <> oracle.fingerprint then begin
+    post_mortem "final state diverged from the fault-free oracle";
+    failwith "soak bench: final state diverged from the fault-free oracle"
+  end;
+  Util.maybe_dash chaos.obs;
   Util.row "  %-28s %10s %10s %12s %12s\n" "" "failovers" "reruns" "retransmits" "lost";
   Util.row "  %-28s %10d %10d %12d %12d\n"
     (Printf.sprintf "chaos (%d rounds, %d flows)" rounds flows)

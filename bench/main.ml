@@ -87,6 +87,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "soak",
       "HA chaos soak: replicated controller vs. fault-free oracle",
       Exp_soak.run );
+    ( "obs",
+      "time-series scrape overhead on the chain workload (3% gate target)",
+      Exp_obs.run );
   ]
 
 let list_experiments () =
@@ -140,7 +143,8 @@ let () =
         (match int_of_string_opt count with
         | Some c when c > 0 ->
           Exp_scale.flows := c;
-          Exp_telemetry.flows := c
+          Exp_telemetry.flows := c;
+          Exp_obs.flows := c
         | _ ->
           Printf.eprintf "usage: scale|move --flows N (N > 0)\n";
           exit 2);
@@ -215,9 +219,14 @@ let () =
       | "--rebaseline" :: _ ->
         Printf.eprintf "usage: micro --rebaseline LABEL[,LABEL...]\n";
         exit 2
+      | "--dash" :: rest ->
+        Util.dash := true;
+        strip rest
       | "--rounds" :: n :: rest when int_of_string_opt n <> None ->
         (match int_of_string_opt n with
-        | Some r when r > 0 -> Exp_micro.micro_rounds := r
+        | Some r when r > 0 ->
+          Exp_micro.micro_rounds := r;
+          Exp_obs.rounds := r
         | _ ->
           Printf.eprintf "usage: micro --rounds N (N > 0)\n";
           exit 2);
@@ -236,10 +245,12 @@ let () =
         Printf.eprintf "usage: micro --threshold PCT\n";
         exit 2
       | "--gate" :: pct :: rest when float_of_string_opt pct <> None ->
+        (* The budget applies to whichever gated experiment runs. *)
         Exp_micro.telemetry_gate := float_of_string_opt pct;
+        Exp_obs.gate := float_of_string_opt pct;
         strip rest
       | "--gate" :: _ ->
-        Printf.eprintf "usage: micro-telemetry --gate PCT\n";
+        Printf.eprintf "usage: micro-telemetry|obs --gate PCT\n";
         exit 2
       | arg :: rest -> arg :: strip rest
     in

@@ -30,6 +30,10 @@
 #      with a live metric registry attached must stay within 5% of
 #      their registry-free twins (min-of-3 rounds, off/on pair also
 #      recorded under the "micro-telemetry" label)
+#   6b. observability-overhead gate: the chain workload rerun with the
+#      full Timeseries scraper + SLO evaluation attached must stay
+#      within 3% (tick cost measured in-process — wall-pair quotients
+#      swing by tens of percent on a loaded single-core machine)
 #   7. CHAOS_ITERS=5 chaos smoke: the full fault-plan suite at reduced
 #      iteration count
 #   8. HA soak smoke: the reduced-scale soak bench (fingerprint must
@@ -51,7 +55,7 @@ trap 'rm -rf "$tmp"' EXIT
 (cd "$tmp" && "$bench" micro --json --label fresh --rounds 3)
 "$bench" micro --compare "BENCH_micro.json#after" "$tmp/BENCH_micro.json#fresh"
 "$bench" micro --require-labels BENCH_micro.json \
-  after,scale-d1,scale-d2,scale-d4,scale-d8,pktpath-b1,pktpath-b16,pktpath-b64,pktpath-b256,statetable-10k,statetable-1m,soak
+  after,scale-d1,scale-d2,scale-d4,scale-d8,pktpath-b1,pktpath-b16,pktpath-b64,pktpath-b256,statetable-10k,statetable-1m,soak,obs
 # The smoke floor is deliberately conservative: it catches a sharded
 # core that collapsed (orders of magnitude), not scheduler noise on a
 # loaded or single-core machine.
@@ -59,6 +63,7 @@ trap 'rm -rf "$tmp"' EXIT
 (cd "$tmp" && "$bench" pktpath --batch 1 --batch 64 --min-speedup 5)
 (cd "$tmp" && "$bench" statetable --min-speedup 1.3)
 (cd "$tmp" && "$bench" micro-telemetry --gate 5 --json --label micro-telemetry)
+(cd "$tmp" && "$bench" obs --gate 3)
 CHAOS_ITERS=5 "$chaos"
 (cd "$tmp" && "$bench" soak)
 SOAK_ITERS=5 "$soak"

@@ -32,6 +32,58 @@ let maybe_dump_trace tel =
 
 let mb bytes = float_of_int bytes /. 1e6
 
+(* Set by the driver (--dash): macros that attach an observability
+   scraper render the terminal dashboard after their run. *)
+let dash : bool ref = ref false
+
+(* Standard observability attachment for the macros (bench obs and the
+   --dash flag on scale/soak/pktpath): a Timeseries scraper over the
+   registry signals every macro shares, plus default SLOs.  Signals a
+   given workload never drives render as flat zero rows.  [every] must
+   scale with the macro's virtual horizon — milliseconds for
+   packet-path runs, seconds for the hours-long soak. *)
+let attach_obs ?(every = Openmb_sim.Time.ms 1.0) ?(cap = 512) tel engine =
+  let open Openmb_sim in
+  let ts = Timeseries.create ~cap engine in
+  let c n = Timeseries.add ts ~name:n (Timeseries.Counter (Telemetry.counter tel n)) in
+  List.iter c
+    [
+      "engine.events";
+      "mb.pkts";
+      "controller.msgs";
+      "controller.evt_dropped";
+      "controller.op_retries";
+      "faults.dropped";
+      "replica.failovers";
+    ];
+  Timeseries.add ts ~name:"replica.log_lag" ~mode:Timeseries.Max
+    (Timeseries.Gauge (Telemetry.gauge tel "replica.log_lag"));
+  let q hist quant label =
+    Timeseries.add ts ~name:label
+      (Timeseries.Quantile (Telemetry.histogram tel hist, quant))
+  in
+  q "mb.pkt_latency" 0.99 "mb.pkt_latency_p99";
+  q "controller.op_latency" 0.99 "controller.op_latency_p99";
+  q "controller.serialization_window" 0.99 "controller.serialization_window_p99";
+  let slo = Slo.create ts in
+  Slo.add slo
+    (Slo.objective ~name:"pkt-p99-under-2ms" ~series:"mb.pkt_latency_p99" Slo.Le 0.002);
+  Slo.add slo
+    (Slo.objective ~signal:Slo.Delta ~budget:1e-6 ~name:"evt-drops-zero"
+       ~series:"controller.evt_dropped" Slo.Le 0.0);
+  Slo.attach slo;
+  Timeseries.start ts ~every;
+  (ts, slo)
+
+let maybe_dash obs =
+  if !dash then
+    match obs with
+    | None -> ()
+    | Some (_, slo) ->
+      section "dashboard";
+      Openmb_sim.Slo.pp_dash Format.std_formatter slo;
+      Format.pp_print_flush Format.std_formatter ()
+
 (* Append one labelled row to BENCH_micro.json (in the current
    directory), replacing any previous row under the same label. *)
 let append_row label entry =

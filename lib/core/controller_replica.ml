@@ -119,7 +119,13 @@ type t = {
   c_moves_rerun : Telemetry.counter;
   c_moves_resubmitted : Telemetry.counter;
   c_deletes_reissued : Telemetry.counter;
+  (* Replicable entries appended but not yet acked by the standby —
+     the op-log lag the health scraper watches; a lag that only grows
+     means the replication link is dead or the standby is gone. *)
+  g_lag : Telemetry.gauge;
 }
+
+let update_lag t = Telemetry.set_gauge t.g_lag (Hashtbl.length t.unacked)
 
 let record t ~kind ~detail =
   match t.recorder with
@@ -190,6 +196,7 @@ let send_snapshot t =
   let now = Engine.now t.engine in
   t.snapshot_base <- t.next_lsn;
   Hashtbl.reset t.unacked;
+  update_lag t;
   let pending =
     sorted_bindings t.inflight
     |> List.filter_map (fun (_, f) ->
@@ -208,7 +215,8 @@ let send_snapshot t =
 let append_log t entry =
   (match entry with
   | Log_move_start { i_lsn = lsn; _ } | Log_move_done { lsn; _ } ->
-    Hashtbl.replace t.unacked lsn entry
+    Hashtbl.replace t.unacked lsn entry;
+    update_lag t
   | Log_snapshot _ | Log_heartbeat _ -> ());
   Telemetry.incr t.c_log;
   if standby_member t <> None then send_log t entry
@@ -275,7 +283,8 @@ let on_ack t gen lsn =
       t.acked_lsn <- lsn;
       Hashtbl.iter
         (fun l _ -> if l <= lsn then Hashtbl.remove t.unacked l)
-        (Hashtbl.copy t.unacked)
+        (Hashtbl.copy t.unacked);
+      update_lag t
     end
 
 (* Both directions of the replication link share one fault-plan name,
@@ -581,6 +590,7 @@ let create engine ?(config = default_config) ?recorder ?faults ?telemetry
       c_moves_rerun = Telemetry.counter tel "replica.moves_rerun";
       c_moves_resubmitted = Telemetry.counter tel "replica.moves_resubmitted";
       c_deletes_reissued = Telemetry.counter tel "replica.deletes_reissued";
+      g_lag = Telemetry.gauge tel "replica.log_lag";
     }
   in
   t.a.role <- Leader;
@@ -689,6 +699,7 @@ let moves_retried t = Telemetry.counter_value t.c_move_retries
 let moves_rerun t = Telemetry.counter_value t.c_moves_rerun
 let moves_resubmitted t = Telemetry.counter_value t.c_moves_resubmitted
 let deletes_reissued t = Telemetry.counter_value t.c_deletes_reissued
+let log_lag t = Telemetry.gauge_value t.g_lag
 let pending_moves t =
   Hashtbl.fold
     (fun _ f n -> if f.f_state = Running then n + 1 else n)

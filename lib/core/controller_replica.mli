@@ -151,4 +151,9 @@ val moves_resubmitted : t -> int
 val deletes_reissued : t -> int
 (** Deferred deletes replayed by takeovers. *)
 
+val log_lag : t -> int
+(** Replicable op-log entries appended but not yet acked by the
+    standby (the ["replica.log_lag"] registry gauge — the health
+    series the scraper watches for a dead replication link). *)
+
 val pending_moves : t -> int

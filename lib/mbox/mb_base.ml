@@ -50,6 +50,23 @@ let create engine ?recorder ?telemetry ~name ~kind ~cost () =
     h_occ;
   }
 
+(* Per-MB scrape set.  The registry counters ("mb.pkts", ...) are
+   shared across every MB on one telemetry instance, so per-instance
+   series go through Poll sources reading this base's own fields,
+   named by the MB.  The polls read simulation state but never write
+   it, preserving scrape determinism. *)
+let register_series t ts =
+  Timeseries.add ts ~name:(t.name ^ ".pkts") ~mode:Timeseries.Sum
+    (Timeseries.Poll (fun () -> float_of_int t.pkts));
+  Timeseries.add ts ~name:(t.name ^ ".dp_backlog_us") ~mode:Timeseries.Max
+    (Timeseries.Poll
+       (fun () ->
+         let b = Time.to_us Time.(t.dp_free_at - Engine.now t.engine) in
+         if b > 0.0 then b else 0.0));
+  Timeseries.add ts ~name:(t.name ^ ".lat_mean_us") ~mode:Timeseries.Max
+    (Timeseries.Poll
+       (fun () -> if Stats.count t.latency = 0 then 0.0 else Stats.mean t.latency *. 1e6))
+
 let engine t = t.engine
 let name t = t.name
 let kind t = t.kind

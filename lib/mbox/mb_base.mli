@@ -90,6 +90,16 @@ val process_batch :
     batch support in one line; vectorized middleboxes use
     {!inject_batch} directly. *)
 
+val register_series : t -> Openmb_sim.Timeseries.t -> unit
+(** Register this MB's per-instance scrape set on a {!Openmb_sim.Timeseries}
+    scraper: [<name>.pkts] (packets processed, Sum), [<name>.dp_backlog_us]
+    (data-path queueing backlog, Max) and [<name>.lat_mean_us] (mean
+    per-packet latency, Max).  The shared registry metrics ([mb.pkts],
+    ...) aggregate all MBs on one telemetry instance; these series keep
+    per-MB identity, which is what the dashboard and the future
+    autoscaler consume.  The sources only read MB state.  Unregister by
+    dropping the scraper — series handles do not outlive it. *)
+
 val latency_stats : t -> Openmb_sim.Stats.t
 (** Per-packet processing latency (including queueing). *)
 

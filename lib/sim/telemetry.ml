@@ -372,6 +372,19 @@ let histogram t name =
     invalid_arg
       (Printf.sprintf "Telemetry.histogram: %S is already a %s" name (kind_name m))
 
+let remove t name =
+  if Hashtbl.mem t.metrics name then begin
+    Hashtbl.remove t.metrics name;
+    true
+  end
+  else false
+
+let reset_counter c = c.c <- 0
+
+let reset_gauge gg =
+  gg.g <- 0;
+  gg.g_peak <- 0
+
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)
 (* ------------------------------------------------------------------ *)

@@ -103,6 +103,27 @@ val hist_max : histogram -> float
 val quantile : histogram -> float -> float
 (** [quantile h q] for [q] in [\[0, 1\]]; [0.0] when empty. *)
 
+(** {1 Removal and reset}
+
+    Scrape sets and MB clone/merge need series lifecycle management:
+    a cloned middlebox that is later merged away must not leave its
+    metrics in the registry forever (dead series pollute snapshots and
+    time-series scrapes). *)
+
+val remove : t -> string -> bool
+(** Drop the named metric from the registry; [false] if absent.
+    Handles already obtained for it keep working but become detached
+    sinks (writes land in the orphaned cell and no longer appear in
+    snapshots) — the same contract as {!null_counter}. *)
+
+val reset_counter : counter -> unit
+(** Zero a counter in place (registration kept).  Resetting before a
+    merge keeps merging associative: a reset series contributes 0 no
+    matter how the merge tree is parenthesized. *)
+
+val reset_gauge : gauge -> unit
+(** Zero a gauge's level and peak in place. *)
+
 (** {1 Snapshots} *)
 
 type snapshot

@@ -50,12 +50,29 @@ let tuple_of j =
     proto = Packet.Tcp;
   }
 
-(* One full scenario at a given domain count, rendered to a string so
+(* One full scenario at a given domain count, rendered to strings so
    divergences are both comparable and printable.  Every random draw
    comes either from scenario setup (before the run, domain-count
    independent) or from the PRNG stream of the shard executing the
-   drawing event. *)
-let run_scenario ~domains ~seed =
+   drawing event.
+
+   [fp_app] is the application-state fingerprint: state tables, hop
+   counters, move outcome, controller/fault counters, merged telemetry.
+   [fp_sched] adds the scheduler observables (per-shard executed event
+   counts, epoch count) that a scraper legitimately perturbs — its
+   ticks are real events.  [fp_full] is their concatenation.  With
+   [~scrape:true] every shard carries a Timeseries scraper over its own
+   registry; [fp_ts] renders all shard scrapes and [fp_ticks] counts
+   their samples. *)
+type scenario_fp = {
+  fp_app : string;
+  fp_sched : string;
+  fp_full : string;
+  fp_ts : string;
+  fp_ticks : int;
+}
+
+let run_scenario ?(scrape = false) ~domains ~seed () =
   let se = Sharded_engine.create ~domains ~epoch ~seed ~shards () in
   let router = Shard_router.create se in
   let sh = Array.init shards (Sharded_engine.shard se) in
@@ -141,6 +158,24 @@ let run_scenario ~domains ~seed =
                  Printf.sprintf "ok chunks=%d bytes=%d events=%d" mr.Controller.chunks_moved
                    mr.Controller.bytes_moved mr.Controller.events_forwarded
                | Error e -> "error " ^ Errors.to_string e)));
+  (* Optional per-shard scrapers, each on its shard's private engine
+     and registry.  Ticks are virtual-time events: they auto-stop when
+     the shard drains, so they never extend the run. *)
+  let scrapers =
+    if not scrape then [||]
+    else
+      Array.map
+        (fun h ->
+          let ts = Timeseries.create ~cap:128 (Shard.engine h) in
+          List.iter
+            (fun n ->
+              Timeseries.add ts ~name:n
+                (Timeseries.Counter (Telemetry.counter (Shard.telemetry h) n)))
+            [ "hop.executed"; "channel.msgs"; "faults.dropped" ];
+          Timeseries.start ts ~every:(Time.us 500.0);
+          ts)
+        sh
+  in
   Sharded_engine.run se;
   (* Render every observable. *)
   let buf = Buffer.create 4_096 in
@@ -151,13 +186,11 @@ let run_scenario ~domains ~seed =
           (Lazy.force e.State_table.id, e.State_table.value) :: acc)
       |> List.sort compare
     in
-    p "shard %d: executed=%d hops=%d table=[" s
-      (Engine.executed (Shard.engine sh.(s)))
-      (Telemetry.counter_value hop_ctr.(s));
+    p "shard %d: hops=%d table=[" s (Telemetry.counter_value hop_ctr.(s));
     List.iter (fun (id, v) -> p " %s=%d" id v) dump;
     p " ]\n"
   done;
-  p "exchanged=%d epochs=%d\n" (Sharded_engine.exchanged se) (Sharded_engine.epochs se);
+  p "exchanged=%d\n" (Sharded_engine.exchanged se);
   p "move: %s\n" !move_result;
   p "src chunks=%d [" (Dummy_mb.chunk_count src);
   List.iter (fun (k, v) -> p " %s=%s" k v) (List.sort compare (Dummy_mb.support_entries src));
@@ -183,7 +216,25 @@ let run_scenario ~domains ~seed =
       "faults.duplicated"; "faults.delayed"; "faults.crashes"; "faults.restarts";
       "controller.msgs_processed";
     ];
-  Buffer.contents buf
+  let fp_app = Buffer.contents buf in
+  let sched = Buffer.create 256 in
+  let ps fmt = Printf.ksprintf (Buffer.add_string sched) fmt in
+  for s = 0 to shards - 1 do
+    ps "shard %d executed=%d\n" s (Engine.executed (Shard.engine sh.(s)))
+  done;
+  ps "epochs=%d\n" (Sharded_engine.epochs se);
+  let fp_sched = Buffer.contents sched in
+  let fp_ts =
+    String.concat "\n"
+      (Array.to_list
+         (Array.mapi
+            (fun s ts ->
+              Printf.sprintf "shard %d ticks=%d %s" s (Timeseries.ticks ts)
+                (Timeseries.to_json (Timeseries.snapshot ts)))
+            scrapers))
+  in
+  let fp_ticks = Array.fold_left (fun acc ts -> acc + Timeseries.ticks ts) 0 scrapers in
+  { fp_app; fp_sched; fp_full = fp_app ^ fp_sched; fp_ts; fp_ticks }
 
 (* ------------------------------------------------------------------ *)
 (* Batch-vs-scalar equivalence across the sharded pipeline             *)
@@ -358,14 +409,45 @@ let prop_domain_invariance =
   QCheck2.Test.make ~name:"sharded outcome is domain-count invariant" ~count:prop_count
     QCheck2.Gen.(int_bound 1_000_000)
     (fun seed ->
-      let oracle = run_scenario ~domains:1 ~seed in
+      let oracle = run_scenario ~domains:1 ~seed () in
       List.for_all
         (fun d ->
-          let o = run_scenario ~domains:d ~seed in
-          String.equal o oracle
+          let o = run_scenario ~domains:d ~seed () in
+          String.equal o.fp_full oracle.fp_full
           || QCheck2.Test.fail_reportf
                "seed %d: domains=%d diverged from 1-domain oracle\n--- oracle ---\n%s\n--- domains=%d ---\n%s"
-               seed d oracle d o)
+               seed d oracle.fp_full d o.fp_full)
+        [ 2; 4; 8 ])
+
+(* Observability neutrality: attaching per-shard scrapers must leave
+   the application state fingerprint bit-identical to the scrape-free
+   oracle — sampling only reads — and the scraped series themselves
+   must be identical at every domain count (the scrape schedule is
+   virtual-time, so what a tick observes cannot depend on domain
+   scheduling). *)
+let prop_scrape_neutral =
+  QCheck2.Test.make ~name:"scraping is state-neutral and domain-count invariant"
+    ~count:prop_count
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let oracle = run_scenario ~domains:1 ~seed () in
+      let obs1 = run_scenario ~scrape:true ~domains:1 ~seed () in
+      if not (String.equal obs1.fp_app oracle.fp_app) then
+        QCheck2.Test.fail_reportf
+          "seed %d: scraping perturbed application state\n--- off ---\n%s\n--- on ---\n%s"
+          seed oracle.fp_app obs1.fp_app;
+      if obs1.fp_ticks = 0 then
+        QCheck2.Test.fail_reportf "seed %d: scraper never sampled" seed;
+      List.for_all
+        (fun d ->
+          let o = run_scenario ~scrape:true ~domains:d ~seed () in
+          if not (String.equal o.fp_app oracle.fp_app) then
+            QCheck2.Test.fail_reportf
+              "seed %d: domains=%d scrape run perturbed application state" seed d;
+          String.equal o.fp_ts obs1.fp_ts
+          || QCheck2.Test.fail_reportf
+               "seed %d: domains=%d scraped series diverged\n--- domains=1 ---\n%s\n--- domains=%d ---\n%s"
+               seed d obs1.fp_ts d o.fp_ts)
         [ 2; 4; 8 ])
 
 (* ------------------------------------------------------------------ *)
@@ -463,5 +545,9 @@ let () =
           Alcotest.test_case "canonical hash" `Quick test_canonical_hash;
         ]
         @ List.map QCheck_alcotest.to_alcotest
-            [ prop_domain_invariance; prop_batch_scalar_equivalence ] );
+            [
+              prop_domain_invariance;
+              prop_batch_scalar_equivalence;
+              prop_scrape_neutral;
+            ] );
     ]

@@ -1168,6 +1168,316 @@ let prop_impairment_rerun_identical =
       in
       run () = run ())
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry remove/reset                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_telemetry_remove_reset () =
+  let tel = Telemetry.create () in
+  let c = Telemetry.counter tel "x" in
+  Telemetry.add c 5;
+  Telemetry.reset_counter c;
+  Alcotest.(check int) "counter reset" 0 (Telemetry.counter_value c);
+  Telemetry.incr c;
+  Alcotest.(check int) "counts again after reset" 1 (Telemetry.counter_value c);
+  let g = Telemetry.gauge tel "y" in
+  Telemetry.set_gauge g 7;
+  Telemetry.reset_gauge g;
+  Alcotest.(check int) "gauge reset" 0 (Telemetry.gauge_value g);
+  Alcotest.(check bool) "remove existing" true (Telemetry.remove tel "x");
+  Alcotest.(check bool) "remove missing" false (Telemetry.remove tel "x");
+  (* The detached handle becomes a sink: writes must not resurrect the
+     removed row. *)
+  Telemetry.add c 100;
+  Alcotest.(check (option int))
+    "removed stays gone" None
+    (Telemetry.snap_counter (Telemetry.snapshot tel) "x");
+  let c' = Telemetry.counter tel "x" in
+  Alcotest.(check int) "recreated starts fresh" 0 (Telemetry.counter_value c')
+
+(* Random registry programs extended with remove/reset: merge must stay
+   associative — a reset metric is just a smaller value, and a removed
+   one is absent from the snapshot on every side identically. *)
+type tel_op_rr = Base of tel_op | Crst of int | Grst of int | Rm of string
+
+let gen_tel_ops_rr =
+  QCheck2.Gen.(
+    list_size (int_range 0 50)
+      (oneof
+         [
+           map2 (fun i n -> Base (Cadd (i, n))) (int_bound 2) (int_range 0 1_000);
+           map2 (fun i v -> Base (Gset (i, v))) (int_bound 1) (int_range 0 500);
+           map2 (fun i v -> Base (Hobs (i, v))) (int_bound 1) (int_range 0 1_000);
+           map (fun i -> Crst i) (int_bound 2);
+           map (fun i -> Grst i) (int_bound 1);
+           map2
+             (fun k i -> Rm (Printf.sprintf "%s%d" k i))
+             (oneofl [ "c"; "g"; "h" ])
+             (int_bound 2);
+         ]))
+
+let snap_of_ops_rr ops =
+  let tel = Telemetry.create () in
+  List.iter
+    (function
+      | Base (Cadd (i, n)) ->
+        Telemetry.add (Telemetry.counter tel (Printf.sprintf "c%d" i)) n
+      | Base (Gset (i, v)) ->
+        Telemetry.set_gauge (Telemetry.gauge tel (Printf.sprintf "g%d" i)) v
+      | Base (Hobs (i, v)) ->
+        Telemetry.observe
+          (Telemetry.histogram tel (Printf.sprintf "h%d" i))
+          (float_of_int v)
+      | Crst i -> Telemetry.reset_counter (Telemetry.counter tel (Printf.sprintf "c%d" i))
+      | Grst i -> Telemetry.reset_gauge (Telemetry.gauge tel (Printf.sprintf "g%d" i))
+      | Rm name -> ignore (Telemetry.remove tel name))
+    ops;
+  Telemetry.snapshot tel
+
+let prop_merge_associative_after_reset =
+  QCheck2.Test.make ~name:"registry merge stays associative under remove/reset"
+    ~count:300
+    QCheck2.Gen.(triple gen_tel_ops_rr gen_tel_ops_rr gen_tel_ops_rr)
+    (fun (xa, xb, xc) ->
+      let a = snap_of_ops_rr xa and b = snap_of_ops_rr xb and c = snap_of_ops_rr xc in
+      Telemetry.Registry.merge (Telemetry.Registry.merge a b) c
+      = Telemetry.Registry.merge a (Telemetry.Registry.merge b c))
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive a scraper for exactly [n] samples: a sentinel event pins the
+   horizon (the tick auto-stops when it would be the only pending
+   event) and [~until] bounds the last tick to (n-1) periods. *)
+let scrape_values ?(cap = 16) ~every values n =
+  let engine = Engine.create () in
+  let ts = Timeseries.create ~cap engine in
+  let i = ref 0 in
+  Timeseries.add ts ~name:"v"
+    (Timeseries.Poll
+       (fun () ->
+         let v = values.(!i) in
+         incr i;
+         v));
+  (* Accumulate the horizon with the same repeated addition the tick
+     uses, so the (n-1)-th tick lands exactly on [until] even where
+     n * every is not float-exact. *)
+  let horizon = ref Time.zero in
+  for _ = 2 to n do
+    horizon := Time.(!horizon + every)
+  done;
+  let horizon = !horizon in
+  ignore (Engine.schedule_at engine horizon (fun () -> ()));
+  Timeseries.start ts ~until:horizon ~every;
+  Engine.run engine;
+  (engine, ts)
+
+let test_timeseries_basics () =
+  let values = Array.init 40 float_of_int in
+  let _, ts = scrape_values ~cap:16 ~every:(Time.seconds 1.0) values 40 in
+  Alcotest.(check int) "total" 40 (Timeseries.total ts);
+  Alcotest.(check bool) "auto-stopped" false (Timeseries.running ts);
+  Alcotest.(check int) "retained" 16 (Timeseries.retained ts);
+  let si = Timeseries.index ts "v" in
+  check_float "raw keeps absolute indexing" 24.0 (Timeseries.raw_get ts ~series:si 24);
+  check_float "newest sample" 39.0 (Timeseries.raw_get ts ~series:si 39);
+  Alcotest.check_raises "evicted sample rejected"
+    (Invalid_argument "Timeseries.raw_get: index outside retained window")
+    (fun () -> ignore (Timeseries.raw_get ts ~series:si 23));
+  check_float "sample timestamps" 39.0 (Timeseries.time_of_sample ts 39);
+  Alcotest.(check int) "10x buckets" 4 (Timeseries.completed_buckets ts ~level:0);
+  let mn, mx, mean, last = Timeseries.bucket_get ts ~series:si ~level:0 3 in
+  check_float "bucket min" 30.0 mn;
+  check_float "bucket max" 39.0 mx;
+  check_float "bucket mean" 34.5 mean;
+  check_float "bucket last" 39.0 last
+
+let test_timeseries_merge_json () =
+  let n = 30 in
+  let mk c =
+    let values = Array.make n c in
+    let _, ts = scrape_values ~cap:8 ~every:(Time.ms 1.0) values n in
+    Timeseries.snapshot ts
+  in
+  let merged = Timeseries.merge_all [ mk 1.0; mk 2.0 ] in
+  let json = Timeseries.to_json merged in
+  (* Well-formed JSON carrying the summed series. *)
+  (match Openmb_wire.Json.of_string json with
+  | Openmb_wire.Json.Assoc _ -> ()
+  | _ -> Alcotest.fail "merged snapshot JSON is not an object"
+  | exception Openmb_wire.Json.Parse_error _ ->
+    Alcotest.fail "merged snapshot JSON failed to parse");
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "series present" true (contains ~sub:"\"v\"" json);
+  (* Sum mode: 1.0 + 2.0 everywhere in the overlapping window. *)
+  Alcotest.(check bool) "summed values" true (contains ~sub:"3" json)
+
+(* Every retained completed bucket at every rollup level aggregates
+   exactly its absolute sample range [f*b, f*(b+1)) — wrap or no wrap —
+   and the bounds sandwich both the bucket mean and the raw samples.
+   Integer-valued floats keep the reference sums exact. *)
+let prop_rollup_buckets_exact =
+  QCheck2.Test.make ~name:"rollup buckets aggregate absolute sample ranges exactly"
+    ~count:100
+    QCheck2.Gen.(
+      triple (int_range 1 400) (int_range 16 32)
+        (array_size (return 400) (map float_of_int (int_range (-1000) 1000))))
+    (fun (n, cap, values) ->
+      let _, ts = scrape_values ~cap ~every:(Time.ms 1.0) values n in
+      if Timeseries.total ts <> n then
+        QCheck2.Test.fail_reportf "sampled %d of %d" (Timeseries.total ts) n;
+      let si = Timeseries.index ts "v" in
+      for k = max 0 (n - cap) to n - 1 do
+        if Timeseries.raw_get ts ~series:si k <> values.(k) then
+          QCheck2.Test.fail_reportf "raw[%d] drifted after wrap" k
+      done;
+      for l = 0 to Timeseries.levels - 1 do
+        let f = Timeseries.level_factor l in
+        let nb = Timeseries.completed_buckets ts ~level:l in
+        if nb <> n / f then
+          QCheck2.Test.fail_reportf "level %d: %d buckets from %d samples" l nb n;
+        for b = nb - Timeseries.retained_buckets ts ~level:l to nb - 1 do
+          let mn, mx, mean, last = Timeseries.bucket_get ts ~series:si ~level:l b in
+          let emn = ref infinity and emx = ref neg_infinity and esum = ref 0.0 in
+          for k = f * b to (f * (b + 1)) - 1 do
+            let v = values.(k) in
+            if v < !emn then emn := v;
+            if v > !emx then emx := v;
+            esum := !esum +. v
+          done;
+          if mn <> !emn || mx <> !emx then
+            QCheck2.Test.fail_reportf "level %d bucket %d bounds mismatch" l b;
+          if last <> values.((f * (b + 1)) - 1) then
+            QCheck2.Test.fail_reportf "level %d bucket %d last mismatch" l b;
+          if Float.abs (mean -. (!esum /. float_of_int f)) > 1e-9 then
+            QCheck2.Test.fail_reportf "level %d bucket %d mean mismatch" l b;
+          if not (mn <= mean && mean <= mx) then
+            QCheck2.Test.fail_reportf "level %d bucket %d mean escapes [min,max]" l b;
+          for k = f * b to (f * (b + 1)) - 1 do
+            if k >= n - cap then begin
+              let v = Timeseries.raw_get ts ~series:si k in
+              if not (mn <= v && v <= mx) then
+                QCheck2.Test.fail_reportf "level %d bucket %d does not sandwich raw[%d]"
+                  l b k
+            end
+          done
+        done
+      done;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* SLO burn rates                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* 20 good samples then sustained badness: with a 5-sample window and a
+   10% budget the first bad sample burns at 2x and trips the objective
+   exactly once (edge-triggered). *)
+let test_slo_breach () =
+  let engine = Engine.create () in
+  let ts = Timeseries.create ~cap:64 engine in
+  let i = ref 0 in
+  Timeseries.add ts ~name:"lat"
+    (Timeseries.Poll
+       (fun () ->
+         incr i;
+         if !i <= 20 then 0.001 else 0.010));
+  let slo = Slo.create ts in
+  Slo.add slo
+    (Slo.objective ~budget:0.1 ~windows:[ (5, 1.0) ] ~name:"lat-slo" ~series:"lat"
+       Slo.Le 0.002);
+  Slo.attach slo;
+  let seen = ref [] in
+  Slo.set_on_breach slo (fun br -> seen := br.Slo.br_objective :: !seen);
+  let horizon = Time.seconds 39.0 in
+  ignore (Engine.schedule_at engine horizon (fun () -> ()));
+  Timeseries.start ts ~until:horizon ~every:(Time.seconds 1.0);
+  Engine.run engine;
+  Alcotest.(check int) "edge-triggered once" 1 (Slo.breach_count slo);
+  Alcotest.(check (list string)) "hook fired" [ "lat-slo" ] !seen;
+  Alcotest.(check bool) "still in breach" true (Slo.in_breach slo "lat-slo");
+  Alcotest.(check bool) "burn rate >= threshold" true (Slo.burn_rate slo "lat-slo" >= 1.0);
+  match Slo.breaches slo with
+  | [ br ] ->
+    check_float "offending value recorded" 0.010 br.Slo.br_value;
+    check_float "virtual timestamp" 20.0 br.Slo.br_at
+  | _ -> Alcotest.fail "expected exactly one breach"
+
+let test_slo_quiet () =
+  let engine = Engine.create () in
+  let ts = Timeseries.create ~cap:64 engine in
+  Timeseries.add ts ~name:"lat" (Timeseries.Poll (fun () -> 0.001));
+  let slo = Slo.create ts in
+  Slo.add slo (Slo.objective ~name:"lat-slo" ~series:"lat" Slo.Le 0.002);
+  Slo.attach slo;
+  let horizon = Time.seconds 50.0 in
+  ignore (Engine.schedule_at engine horizon (fun () -> ()));
+  Timeseries.start ts ~until:horizon ~every:(Time.seconds 1.0);
+  Engine.run engine;
+  Alcotest.(check int) "no breach on healthy series" 0 (Slo.breach_count slo);
+  Alcotest.(check bool) "not in breach" false (Slo.in_breach slo "lat-slo")
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_flight_recorder_bundle () =
+  let tel = Telemetry.create () in
+  let engine = Engine.create ~telemetry:tel () in
+  Telemetry.add (Telemetry.counter tel "pkts") 3;
+  let tr = Telemetry.trace tel in
+  let s = Telemetry.Trace.span_begin tr ~now:Time.zero ~actor:"mb" ~name:"op" ~op:1 () in
+  Telemetry.Trace.span_end tr ~now:(Time.ms 1.0) s;
+  let ts = Timeseries.create ~cap:64 engine in
+  let i = ref 0 in
+  Timeseries.add ts ~name:"lat"
+    (Timeseries.Poll
+       (fun () ->
+         incr i;
+         if !i <= 10 then 0.001 else 0.010));
+  let slo = Slo.create ts in
+  Slo.add slo
+    (Slo.objective ~budget:0.1 ~windows:[ (5, 1.0) ] ~name:"lat-slo" ~series:"lat"
+       Slo.Le 0.002);
+  Slo.attach slo;
+  let fr =
+    Flight_recorder.create ~telemetry:tel ~timeseries:ts ~slo ~fault_plan:"plan{demo}" ()
+  in
+  Flight_recorder.arm fr ~engine;
+  let horizon = Time.seconds 30.0 in
+  ignore (Engine.schedule_at engine horizon (fun () -> ()));
+  Timeseries.start ts ~until:horizon ~every:(Time.seconds 1.0);
+  Engine.run engine;
+  Alcotest.(check int) "one bundle on first breach" 1 (Flight_recorder.dumps fr);
+  let bundle =
+    match Flight_recorder.last_bundle fr with
+    | Some b -> b
+    | None -> Alcotest.fail "no bundle captured"
+  in
+  (match Openmb_wire.Json.of_string bundle with
+  | Openmb_wire.Json.Assoc fields ->
+    List.iter
+      (fun key ->
+        if not (List.mem_assoc key fields) then
+          Alcotest.failf "bundle missing %S section" key)
+      [ "reason"; "at_s"; "fault_plan"; "breaches"; "series"; "registry"; "span_tail" ]
+  | _ -> Alcotest.fail "bundle is not a JSON object"
+  | exception Openmb_wire.Json.Parse_error _ ->
+    Alcotest.fail "bundle failed to parse as JSON");
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "replayable plan embedded" true (contains ~sub:"plan{demo}" bundle);
+  Alcotest.(check bool) "breached series window" true (contains ~sub:"\"lat\"" bundle);
+  Alcotest.(check bool) "breach log" true (contains ~sub:"lat-slo" bundle);
+  Alcotest.(check bool) "span tail" true (contains ~sub:"\"mb\"" bundle)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -1251,6 +1561,7 @@ let () =
           Alcotest.test_case "registry merge" `Quick test_registry_merge;
           Alcotest.test_case "ring overwrite" `Quick test_trace_ring_overwrite;
           Alcotest.test_case "chrome export" `Quick test_trace_chrome_export;
+          Alcotest.test_case "remove and reset" `Quick test_telemetry_remove_reset;
         ]
         @ qcheck
             [
@@ -1260,5 +1571,19 @@ let () =
               prop_merge_associative;
               prop_merge_commutative;
               prop_merge_quantile_sandwich;
+              prop_merge_associative_after_reset;
             ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "scrape, wrap, rollups" `Quick test_timeseries_basics;
+          Alcotest.test_case "merge + json" `Quick test_timeseries_merge_json;
+        ]
+        @ qcheck [ prop_rollup_buckets_exact ] );
+      ( "slo",
+        [
+          Alcotest.test_case "burn-rate breach" `Quick test_slo_breach;
+          Alcotest.test_case "healthy series" `Quick test_slo_quiet;
+        ] );
+      ( "flight_recorder",
+        [ Alcotest.test_case "breach bundle" `Quick test_flight_recorder_bundle ] );
     ]

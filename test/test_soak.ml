@@ -237,7 +237,14 @@ let fingerprint mbs =
 
 let soak_debug = Sys.getenv_opt "SOAK_DEBUG" <> None
 
-let run_soak ~plan ~use_replica ~kills =
+(* The chaos side always carries the observability stack: a coarse
+   scraper over the registry, an SLO on the replication-log lag, and a
+   flight recorder armed to capture a post-mortem bundle on the first
+   breach.  A failing run writes the bundle to soak_flight.json — the
+   black box riding along with the printed plan.  [strict_slo] adds a
+   deliberately unmeetable objective (any fault-layer drop breaches) so
+   the bundle path itself is testable on a healthy seed. *)
+let run_soak ?(strict_slo = false) ~plan ~use_replica ~kills () =
   let tel = Telemetry.create () in
   let engine = Engine.create ~telemetry:tel () in
   let recorder = if soak_debug then Some (Recorder.create engine) else None in
@@ -333,6 +340,41 @@ let run_soak ~plan ~use_replica ~kills =
                    round (r + 1))))
     end
   in
+  let recorder_fr =
+    if use_replica then begin
+      let ts = Timeseries.create ~cap:512 engine in
+      List.iter
+        (fun n ->
+          Timeseries.add ts ~name:n (Timeseries.Counter (Telemetry.counter tel n)))
+        [ "controller.msgs"; "controller.op_retries"; "faults.dropped";
+          "replica.failovers" ];
+      Timeseries.add ts ~name:"replica.log_lag" ~mode:Timeseries.Max
+        (Timeseries.Gauge (Telemetry.gauge tel "replica.log_lag"));
+      let slo = Slo.create ts in
+      (* Sustained unacked-op backlog far beyond the table size means
+         replication stopped draining — bounded outages recover well
+         inside the 60-sample (5-minute) window. *)
+      Slo.add slo
+        (Slo.objective ~budget:0.5
+           ~windows:[ (60, 1.0) ]
+           ~name:"log-lag-bounded" ~series:"replica.log_lag" Slo.Le
+           (float_of_int (soak_flows * 4)));
+      if strict_slo then
+        Slo.add slo
+          (Slo.objective ~signal:Slo.Delta ~budget:1e-9
+             ~windows:[ (1, 1.0) ]
+             ~name:"no-drops-ever" ~series:"faults.dropped" Slo.Le 0.0);
+      Slo.attach slo;
+      let fr =
+        Flight_recorder.create ~telemetry:tel ~timeseries:ts ~slo
+          ~fault_plan:(Faults.plan_to_string plan) ()
+      in
+      Flight_recorder.arm fr ~engine;
+      Timeseries.start ts ~every:(Time.seconds 5.0);
+      Some fr
+    end
+    else None
+  in
   round 0;
   (* Liveness watchdog: a move that never completes (or a failover that
      never converges) would otherwise keep the heartbeat timers alive
@@ -386,17 +428,30 @@ let run_soak ~plan ~use_replica ~kills =
       List.iter (fun e -> Format.eprintf "    %a@." Recorder.pp_entry e) tail
     | None -> ())
   end;
-  {
-    s_fingerprint = fingerprint [ ("mb-a", mb_a); ("mb-b", mb_b) ];
-    s_failure = !failure;
-    s_failovers =
-      (match !replica with Some r -> Controller_replica.failovers r | None -> 0);
-    s_moves_rerun =
-      (match !replica with Some r -> Controller_replica.moves_rerun r | None -> 0);
-    s_deletes_reissued =
-      (match !replica with Some r -> Controller_replica.deletes_reissued r | None -> 0);
-    s_kills_fired = !kills_fired;
-  }
+  (* A failing chaos run ships its black box: the bundle captured at
+     the first SLO breach if one fired, otherwise a fresh dump of the
+     end-of-run state. *)
+  (match (recorder_fr, !failure) with
+  | Some fr, Some msg ->
+    if Flight_recorder.dumps fr = 0 then
+      ignore (Flight_recorder.dump fr ~now:(Engine.now engine) ~reason:msg);
+    Out_channel.with_open_text "soak_flight.json" (fun oc ->
+        Out_channel.output_string oc
+          (Option.value ~default:"{}" (Flight_recorder.last_bundle fr)));
+    Printf.eprintf "soak: flight-recorder bundle written to soak_flight.json\n"
+  | _ -> ());
+  ( {
+      s_fingerprint = fingerprint [ ("mb-a", mb_a); ("mb-b", mb_b) ];
+      s_failure = !failure;
+      s_failovers =
+        (match !replica with Some r -> Controller_replica.failovers r | None -> 0);
+      s_moves_rerun =
+        (match !replica with Some r -> Controller_replica.moves_rerun r | None -> 0);
+      s_deletes_reissued =
+        (match !replica with Some r -> Controller_replica.deletes_reissued r | None -> 0);
+      s_kills_fired = !kills_fired;
+    },
+    recorder_fr )
 
 (* ------------------------------------------------------------------ *)
 (* The soak proper                                                     *)
@@ -413,14 +468,14 @@ let triage_hint plan =
 let soak_one_plan plan =
   let kills = kill_schedule ~seed:plan.Faults.seed ~rounds:soak_rounds in
   (* Fault-free single-controller oracle of the same scenario. *)
-  let oracle =
+  let oracle, _ =
     run_soak ~plan:(Faults.clean_plan ~seed:plan.Faults.seed) ~use_replica:false
-      ~kills:no_kills
+      ~kills:no_kills ()
   in
   (match oracle.s_failure with
   | Some msg -> Alcotest.failf "seed %d: oracle run failed: %s" plan.Faults.seed msg
   | None -> ());
-  let chaos = run_soak ~plan ~use_replica:true ~kills in
+  let chaos, _ = run_soak ~plan ~use_replica:true ~kills () in
   (match chaos.s_failure with
   | Some msg ->
     Alcotest.failf "seed %d: %s\n  plan: %s\n  %s" plan.Faults.seed msg
@@ -479,9 +534,62 @@ let test_soak_determinism () =
          ~horizon:est_horizon)
   in
   let kills = kill_schedule ~seed:plan.Faults.seed ~rounds:soak_rounds in
-  let first = run_soak ~plan ~use_replica:true ~kills in
-  let second = run_soak ~plan ~use_replica:true ~kills in
+  let first, _ = run_soak ~plan ~use_replica:true ~kills () in
+  let second, _ = run_soak ~plan ~use_replica:true ~kills () in
   Alcotest.(check bool) "same plan, same soak outcome" true (first = second)
+
+(* Forced SLO breach: [strict_slo] adds a deliberately unmeetable
+   objective (any fault-layer drop in a scrape interval breaches), so a
+   healthy chaos seed trips it almost immediately and the armed flight
+   recorder must ship a post-mortem bundle carrying the breached series
+   window, the span-ring tail, and the replayable plan string verbatim
+   — the triage contract for real failures. *)
+let test_flight_recorder_on_breach () =
+  let plan =
+    bound_for_soak
+      (Faults.random_impairment_plan ~seed:base_seed ~mbs:[ "mb-a"; "mb-b" ]
+         ~horizon:est_horizon)
+  in
+  let kills = kill_schedule ~seed:plan.Faults.seed ~rounds:soak_rounds in
+  let stats, fr = run_soak ~strict_slo:true ~plan ~use_replica:true ~kills () in
+  (match stats.s_failure with
+  | Some msg -> Alcotest.failf "strict-SLO run unexpectedly failed: %s" msg
+  | None -> ());
+  let fr = match fr with Some fr -> fr | None -> Alcotest.fail "no flight recorder" in
+  Alcotest.(check int) "first breach captured exactly one bundle" 1
+    (Flight_recorder.dumps fr);
+  let bundle =
+    match Flight_recorder.last_bundle fr with
+    | Some b -> b
+    | None -> Alcotest.fail "no bundle captured"
+  in
+  let open Openmb_wire in
+  let fields =
+    match Json.of_string bundle with
+    | Json.Assoc fields -> fields
+    | _ -> Alcotest.fail "bundle is not a JSON object"
+    | exception Json.Parse_error _ -> Alcotest.fail "bundle failed to parse"
+  in
+  (match List.assoc_opt "fault_plan" fields with
+  | Some (Json.String s) ->
+    Alcotest.(check string) "replayable plan embedded verbatim"
+      (Faults.plan_to_string plan) s
+  | _ -> Alcotest.fail "bundle carries no fault_plan string");
+  (match List.assoc_opt "span_tail" fields with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "bundle carries no span tail");
+  (match List.assoc_opt "breaches" fields with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "bundle carries no breach log");
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "breached series window present" true
+    (contains ~sub:"\"faults.dropped\"" bundle);
+  Alcotest.(check bool) "breaching objective named" true
+    (contains ~sub:"no-drops-ever" bundle)
 
 (* The plan a failing seed would print reproduces its run: parse of
    print is structurally identical, so the SOAK_PLAN path re-runs the
@@ -505,6 +613,8 @@ let () =
       ( "soak",
         [
           Alcotest.test_case "plan round-trip" `Quick test_plan_roundtrip_soak;
+          Alcotest.test_case "flight recorder on breach" `Quick
+            test_flight_recorder_on_breach;
           Alcotest.test_case "determinism" `Quick test_soak_determinism;
           Alcotest.test_case "chaos soak matrix" `Slow test_soak_matrix;
         ] );
